@@ -1,0 +1,69 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! * capability operation microcosts (inc_offset vs inc_base vs checks);
+//! * tagged-memory store-clears-tag bookkeeping;
+//! * cache-hierarchy geometry (FPGA-like vs desktop-like);
+//! * 128-bit compressed capabilities (low-fat) compress/decompress and
+//!   the representability rate over allocator outputs.
+use cheri_cache::{Hierarchy, HierarchyConfig};
+use cheri_cap::{Capability, CompressedCapability, CompressionStats, Perms};
+use cheri_mem::{Allocator, TaggedMemory};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_substrate");
+
+    let cap = Capability::new_mem(0x1000, 0x1000, Perms::data());
+    g.bench_function("cap_inc_offset", |b| {
+        b.iter(|| black_box(cap).inc_offset(black_box(8)).unwrap())
+    });
+    g.bench_function("cap_inc_base", |b| {
+        b.iter(|| black_box(cap).inc_base(black_box(8)).unwrap())
+    });
+    g.bench_function("cap_check_access", |b| {
+        b.iter(|| black_box(cap).check_access(8, Perms::LOAD).unwrap())
+    });
+    g.bench_function("cap_compress_roundtrip", |b| {
+        b.iter(|| CompressedCapability::compress(&black_box(cap)).map(|z| z.decompress()))
+    });
+
+    g.bench_function("compression_rate_over_allocs", |b| {
+        b.iter(|| {
+            let mut heap = Allocator::new(0x1_0000, 1 << 20);
+            let mut stats = CompressionStats::default();
+            for i in 1..200u64 {
+                if let Ok(cp) = heap.alloc_cap(i * 7 % 512 + 1, Perms::data()) {
+                    stats.try_compress(&cp);
+                }
+            }
+            stats.success_rate()
+        })
+    });
+
+    g.bench_function("tagged_store_clears_tag", |b| {
+        let mut mem = TaggedMemory::new(1 << 16);
+        mem.write_cap(0x40, &cap).unwrap();
+        b.iter(|| {
+            mem.write_cap(0x40, &cap).unwrap();
+            mem.write_u64(0x48, 1).unwrap();
+            mem.tag_at(0x40).unwrap()
+        })
+    });
+
+    for (name, cfg) in [
+        ("cache_fpga", HierarchyConfig::fpga_softcore()),
+        ("cache_desktop", HierarchyConfig::desktop()),
+    ] {
+        g.bench_function(name, |b| {
+            let mut h = Hierarchy::new(cfg);
+            let mut a = 0u64;
+            b.iter(|| {
+                a = (a + 4097) & 0xF_FFFF;
+                h.access(a, 8, a % 3 == 0)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench behind Figure 1: Olden treeadd under each ABI
+//! (compile + run on the FPGA-modelled machine).
+use cheri_bench::run_or_panic;
+use cheri_compile::Abi;
+use cheri_workloads::sources;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let src = sources::treeadd(8, 2);
+    let mut g = c.benchmark_group("fig1_olden");
+    g.sample_size(10);
+    for abi in Abi::ALL {
+        g.bench_function(abi.name(), |b| {
+            b.iter(|| run_or_panic("treeadd", &src, abi, &[]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench behind Figure 2: Dhrystone under each ABI.
+use cheri_bench::run_or_panic;
+use cheri_compile::Abi;
+use cheri_workloads::sources;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let src = sources::dhrystone(200);
+    let mut g = c.benchmark_group("fig2_dhrystone");
+    g.sample_size(10);
+    for abi in Abi::ALL {
+        g.bench_function(abi.name(), |b| {
+            b.iter(|| run_or_panic("dhrystone", &src, abi, &[]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

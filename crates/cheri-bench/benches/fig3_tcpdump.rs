@@ -1,0 +1,26 @@
+//! Criterion bench behind Figure 3: tcpdump-lite under MIPS and CHERIv3.
+use cheri_bench::run_or_panic;
+use cheri_compile::Abi;
+use cheri_workloads::{inputs, sources};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let trace = inputs::packet_trace(500, 61106);
+    let base = sources::tcpdump_baseline();
+    let v2 = sources::tcpdump_cheriv2();
+    let mut g = c.benchmark_group("fig3_tcpdump");
+    g.sample_size(10);
+    g.bench_function("MIPS", |b| {
+        b.iter(|| run_or_panic("tcpdump", &base, Abi::Mips, &[("trace", &trace)]))
+    });
+    g.bench_function("CHERIv2_ported", |b| {
+        b.iter(|| run_or_panic("tcpdump", &v2, Abi::CheriV2, &[("trace", &trace)]))
+    });
+    g.bench_function("CHERIv3", |b| {
+        b.iter(|| run_or_panic("tcpdump", &base, Abi::CheriV3, &[("trace", &trace)]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

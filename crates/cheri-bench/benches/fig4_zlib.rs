@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 4: zlib-lite, plain vs boundary-copying.
+use cheri_bench::run_or_panic;
+use cheri_compile::Abi;
+use cheri_workloads::{inputs, sources};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let size = 8192u32;
+    let file = inputs::compressible_file(size as usize, 61106);
+    let plain = sources::zlib(size, false);
+    let copying = sources::zlib(size, true);
+    let mut g = c.benchmark_group("fig4_zlib");
+    g.sample_size(10);
+    g.bench_function("MIPS", |b| {
+        b.iter(|| run_or_panic("zlib", &plain, Abi::Mips, &[("input", &file)]))
+    });
+    g.bench_function("CHERI", |b| {
+        b.iter(|| run_or_panic("zlib", &plain, Abi::CheriV3, &[("input", &file)]))
+    });
+    g.bench_function("CHERI_copying", |b| {
+        b.iter(|| run_or_panic("zlib", &copying, Abi::CheriV3, &[("input", &file)]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

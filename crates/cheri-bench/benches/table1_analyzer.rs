@@ -1,0 +1,19 @@
+//! Criterion bench for the Table 1 machinery: corpus generation plus
+//! static analysis of one package.
+use cheri_idioms::{analyzer, corpus};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let spec = corpus::paper_packages().remove(11); // zlib: small
+    let package = corpus::generate_package(&spec, 7);
+    let unit = cheri_c::parse(&package.source).unwrap();
+    let mut g = c.benchmark_group("table1_analyzer");
+    g.bench_function("generate_zlib_package", |b| {
+        b.iter(|| corpus::generate_package(&spec, 7))
+    });
+    g.bench_function("analyze_zlib_package", |b| b.iter(|| analyzer::analyze(&unit)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

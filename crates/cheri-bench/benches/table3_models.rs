@@ -1,0 +1,22 @@
+//! Criterion bench for the Table 3 machinery: running one idiom case under
+//! each memory model in the abstract-machine interpreter.
+use cheri_idioms::{cases, Idiom};
+use cheri_interp::ModelKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_models");
+    for model in ModelKind::ALL {
+        g.bench_function(model.display_name(), |b| {
+            b.iter(|| {
+                let _ = cases::run_case(model, Idiom::Sub);
+                let _ = cases::run_case(model, Idiom::IA);
+            })
+        });
+    }
+    g.bench_function("full_matrix", |b| b.iter(cases::run_matrix));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates Figure 1: Olden runtimes under the three ABIs.
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let pts = cheri_bench::fig1_points(scale);
+    print!("{}", cheri_bench::render_abi_points("Figure 1: Olden results (smaller is better)", &pts));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 2: Dhrystone iterations/second under the three ABIs.
+fn main() {
+    let runs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let pts = cheri_bench::fig2_points(runs);
+    print!("{}", cheri_bench::render_abi_points("Figure 2: Dhrystone results (bigger is better)", &pts));
+    for p in &pts {
+        let per_sec = runs as f64 / p.outcome.seconds_at_100mhz();
+        println!("{:<10} {:>12.0} dhrystones/second", p.abi.name(), per_sec);
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3: tcpdump trace-processing time under the three ABIs.
+fn main() {
+    let packets: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let pts = cheri_bench::fig3_points(packets, 61106);
+    print!("{}", cheri_bench::render_abi_points("Figure 3: tcpdump results (smaller is better)", &pts));
+}

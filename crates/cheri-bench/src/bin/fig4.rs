@@ -1,0 +1,6 @@
+//! Regenerates Figure 4: zlib overhead vs file size, two CHERI configs.
+fn main() {
+    let sizes: Vec<u32> = vec![1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17];
+    let pts = cheri_bench::fig4_points(&sizes, 61106);
+    print!("{}", cheri_bench::render_fig4(&pts));
+}

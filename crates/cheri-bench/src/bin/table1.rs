@@ -1,0 +1,4 @@
+//! Regenerates Table 1: idiom counts over the (synthetic) corpus.
+fn main() {
+    print!("{}", cheri_bench::table1_report(2026));
+}

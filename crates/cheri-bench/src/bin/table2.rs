@@ -1,0 +1,4 @@
+//! Regenerates Table 2: the CHERIv3 instructions, from ISA metadata.
+fn main() {
+    print!("{}", cheri_bench::table2_report());
+}

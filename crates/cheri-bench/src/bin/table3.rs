@@ -1,0 +1,4 @@
+//! Regenerates Table 3: idiom support per memory model, measured live.
+fn main() {
+    print!("{}", cheri_bench::table3_report());
+}

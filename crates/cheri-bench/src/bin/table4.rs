@@ -1,0 +1,4 @@
+//! Regenerates Table 4: porting effort (annotation vs semantic lines).
+fn main() {
+    print!("{}", cheri_bench::table4_report());
+}

@@ -1,0 +1,535 @@
+//! The abstract syntax tree and the type representation.
+
+use std::fmt;
+
+/// Index of a struct/union definition in [`TranslationUnit::structs`].
+pub type StructId = usize;
+
+/// Capability qualifier on a pointer declarator (paper §4.1, §5).
+///
+/// `__capability` opts a pointer into the capability representation in the
+/// hybrid ABI; `__input`/`__output` additionally drop write/read permission
+/// — the hardware-enforced replacement for advisory `const`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CapQual {
+    /// Plain pointer.
+    #[default]
+    None,
+    /// `__capability`: represented as a capability.
+    Capability,
+    /// `__input`: capability without store permission.
+    Input,
+    /// `__output`: capability without load permission.
+    Output,
+}
+
+/// A mini-C type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `void`.
+    Void,
+    /// An integer type of `width` bytes (1, 2, 4, 8).
+    Int {
+        /// Size in bytes.
+        width: u8,
+        /// Signedness.
+        signed: bool,
+    },
+    /// `intptr_t`/`uintptr_t`: an integer wide enough to hold a pointer.
+    /// Its representation is chosen by the memory model — on CHERI it *is*
+    /// `intcap_t` (§5.1).
+    IntPtr {
+        /// Signedness.
+        signed: bool,
+    },
+    /// `intcap_t`/`uintcap_t`: an integer carried in a capability.
+    IntCap {
+        /// Signedness.
+        signed: bool,
+    },
+    /// A pointer.
+    Ptr {
+        /// The pointed-to type.
+        pointee: Box<Type>,
+        /// `true` if the pointee is `const`-qualified.
+        is_const: bool,
+        /// Capability qualifier.
+        qual: CapQual,
+    },
+    /// A fixed-size array.
+    Array {
+        /// Element type.
+        elem: Box<Type>,
+        /// Element count.
+        len: u64,
+    },
+    /// A struct or union, by definition index.
+    Struct(StructId),
+}
+
+impl Type {
+    /// `int`.
+    pub fn int() -> Type {
+        Type::Int { width: 4, signed: true }
+    }
+
+    /// `long`.
+    pub fn long() -> Type {
+        Type::Int { width: 8, signed: true }
+    }
+
+    /// `char`.
+    pub fn char_() -> Type {
+        Type::Int { width: 1, signed: true }
+    }
+
+    /// A plain (unqualified, mutable) pointer to `t`.
+    pub fn ptr_to(t: Type) -> Type {
+        Type::Ptr { pointee: Box::new(t), is_const: false, qual: CapQual::None }
+    }
+
+    /// `true` for any integer-ish type, including `intptr_t`/`intcap_t`.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Type::Int { .. } | Type::IntPtr { .. } | Type::IntCap { .. })
+    }
+
+    /// `true` for pointer types.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr { .. })
+    }
+
+    /// `true` for array types.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array { .. })
+    }
+
+    /// `true` if values of this type can appear in arithmetic.
+    pub fn is_arith(&self) -> bool {
+        self.is_integer()
+    }
+
+    /// `true` for void.
+    pub fn is_void(&self) -> bool {
+        matches!(self, Type::Void)
+    }
+
+    /// Array-to-pointer decay; other types unchanged.
+    pub fn decay(&self) -> Type {
+        match self {
+            Type::Array { elem, .. } => Type::ptr_to((**elem).clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// The pointee of a pointer (after decay), if any.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr { pointee, .. } => Some(pointee),
+            _ => None,
+        }
+    }
+
+    /// Whether loading/storing through this pointer type is a const
+    /// violation (the **Deconst** idiom's concern).
+    pub fn pointee_is_const(&self) -> bool {
+        matches!(self, Type::Ptr { is_const: true, .. })
+    }
+
+    /// The capability qualifier, if this is a pointer.
+    pub fn cap_qual(&self) -> CapQual {
+        match self {
+            Type::Ptr { qual, .. } => *qual,
+            _ => CapQual::None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int { width, signed } => {
+                let base = match width {
+                    1 => "char",
+                    2 => "short",
+                    4 => "int",
+                    _ => "long",
+                };
+                if *signed {
+                    write!(f, "{base}")
+                } else {
+                    write!(f, "unsigned {base}")
+                }
+            }
+            Type::IntPtr { signed: true } => write!(f, "intptr_t"),
+            Type::IntPtr { signed: false } => write!(f, "uintptr_t"),
+            Type::IntCap { signed: true } => write!(f, "intcap_t"),
+            Type::IntCap { signed: false } => write!(f, "uintcap_t"),
+            Type::Ptr { pointee, is_const, qual } => {
+                if *is_const {
+                    write!(f, "const ")?;
+                }
+                write!(f, "{pointee}*")?;
+                match qual {
+                    CapQual::None => Ok(()),
+                    CapQual::Capability => write!(f, " __capability"),
+                    CapQual::Input => write!(f, " __input"),
+                    CapQual::Output => write!(f, " __output"),
+                }
+            }
+            Type::Array { elem, len } => write!(f, "{elem}[{len}]"),
+            Type::Struct(id) => write!(f, "struct#{id}"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`).
+    Not,
+    /// Bitwise complement (`~`).
+    BitNot,
+    /// Dereference (`*`).
+    Deref,
+    /// Address-of (`&`).
+    Addr,
+}
+
+/// Binary operators (excluding assignment and `&&`/`||` short-circuiting,
+/// which are separate expression kinds only in evaluation, not syntax).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `^`
+    BitXor,
+    /// `|`
+    BitOr,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+impl BinOp {
+    /// `true` for the comparison operators, whose result is `int`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// An expression; `ty` is filled in by semantic analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The node.
+    pub kind: ExprKind,
+    /// The computed type (valid after [`crate::check`]).
+    pub ty: Type,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Expr {
+    /// An expression with type to-be-determined.
+    pub fn new(kind: ExprKind, line: u32) -> Expr {
+        Expr { kind, ty: Type::Void, line }
+    }
+}
+
+/// Expression node kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// String literal.
+    StrLit(String),
+    /// Variable reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment; `Some(op)` for compound assignment `lhs op= rhs`.
+    Assign(Option<BinOp>, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Direct function call.
+    Call(String, Vec<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field` or `base->field`.
+    Member {
+        /// The aggregate (or pointer to it).
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// `true` for `->`.
+        arrow: bool,
+    },
+    /// `(T)e`.
+    Cast(Type, Box<Expr>),
+    /// `sizeof(T)`.
+    SizeofType(Type),
+    /// `sizeof e`.
+    SizeofExpr(Box<Expr>),
+    /// `offsetof(struct S, field)`.
+    Offsetof(Type, String),
+    /// `++e` / `--e` / `e++` / `e--`.
+    IncDec {
+        /// Prefix (`true`) or postfix.
+        pre: bool,
+        /// Increment (`true`) or decrement.
+        inc: bool,
+        /// The lvalue operated on.
+        target: Box<Expr>,
+    },
+}
+
+/// One field of a struct or union.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+}
+
+/// A struct or union definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructDef {
+    /// Tag name.
+    pub name: String,
+    /// `true` for `union` (all fields at offset 0 — the §3.2 aliasing
+    /// escape hatch).
+    pub is_union: bool,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+impl StructDef {
+    /// Finds a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A sequence of statements.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Local declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Block,
+        /// Optional else branch.
+        else_branch: Option<Block>,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `do … while`.
+    DoWhile {
+        /// Body.
+        body: Block,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for`.
+    For {
+        /// Optional init statement (decl or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition.
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `return`.
+    Return(Option<Expr>, u32),
+    /// `break`.
+    Break(u32),
+    /// `continue`.
+    Continue(u32),
+    /// A nested block.
+    Block(Block),
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A global variable definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Optional constant initializer.
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TranslationUnit {
+    /// Struct and union definitions (indexed by [`StructId`]).
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+}
+
+impl TranslationUnit {
+    /// Looks up a struct by tag name.
+    pub fn struct_by_name(&self, name: &str) -> Option<StructId> {
+        self.structs.iter().position(|s| s.name == name)
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDef> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDef> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_predicates() {
+        assert!(Type::int().is_integer());
+        assert!(Type::IntPtr { signed: true }.is_integer());
+        assert!(Type::IntCap { signed: false }.is_integer());
+        assert!(Type::ptr_to(Type::int()).is_pointer());
+        assert!(!Type::ptr_to(Type::int()).is_integer());
+        assert!(Type::Void.is_void());
+    }
+
+    #[test]
+    fn arrays_decay() {
+        let a = Type::Array { elem: Box::new(Type::char_()), len: 10 };
+        assert_eq!(a.decay(), Type::ptr_to(Type::char_()));
+        assert_eq!(Type::int().decay(), Type::int());
+    }
+
+    #[test]
+    fn const_pointee_is_visible() {
+        let p = Type::Ptr {
+            pointee: Box::new(Type::char_()),
+            is_const: true,
+            qual: CapQual::None,
+        };
+        assert!(p.pointee_is_const());
+        assert!(!Type::ptr_to(Type::char_()).pointee_is_const());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Type::int().to_string(), "int");
+        assert_eq!(Type::Int { width: 1, signed: false }.to_string(), "unsigned char");
+        assert_eq!(Type::ptr_to(Type::int()).to_string(), "int*");
+        let q = Type::Ptr {
+            pointee: Box::new(Type::char_()),
+            is_const: true,
+            qual: CapQual::Input,
+        };
+        assert_eq!(q.to_string(), "const char* __input");
+    }
+
+    #[test]
+    fn struct_field_lookup() {
+        let s = StructDef {
+            name: "pair".into(),
+            is_union: false,
+            fields: vec![
+                Field { name: "a".into(), ty: Type::int() },
+                Field { name: "b".into(), ty: Type::long() },
+            ],
+        };
+        assert_eq!(s.field("b").unwrap().ty, Type::long());
+        assert!(s.field("z").is_none());
+    }
+}

@@ -1,0 +1,284 @@
+//! The lexer.
+
+use crate::CError;
+
+/// A lexical token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal (decimal, hex `0x`, octal `0`, or character).
+    Int(i64),
+    /// String literal, with escapes resolved.
+    Str(String),
+    /// Punctuation or operator, e.g. `"+"`, `"->"`, `"<<="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+];
+
+/// Tokenizes `src`. Lines beginning with `#` (preprocessor directives) are
+/// skipped, so sources may carry `#include` lines for documentation.
+///
+/// # Errors
+///
+/// [`CError`] on malformed literals or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut at_line_start = true;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                at_line_start = true;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' if at_line_start => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(CError::new(line, "unterminated block comment"));
+                }
+                i += 2;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                at_line_start = false;
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                at_line_start = false;
+                let start = i;
+                let radix = if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                    i += 2;
+                    16
+                } else if c == '0' {
+                    8
+                } else {
+                    10
+                };
+                let digits_start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let mut text = &src[digits_start..i];
+                // Strip integer suffixes (u, l, ul, ll…).
+                while text.ends_with(['u', 'U', 'l', 'L']) {
+                    text = &text[..text.len() - 1];
+                }
+                let v = if radix == 8 {
+                    let t = &src[start..][..1 + (text.len() + digits_start - start - 1)];
+                    // Octal "0" alone is zero; otherwise parse the rest base 8.
+                    let rest = &t[1..];
+                    if rest.is_empty() {
+                        0
+                    } else {
+                        i64::from_str_radix(rest, 8)
+                            .map_err(|_| CError::new(line, format!("bad octal literal {t}")))?
+                    }
+                } else {
+                    u64::from_str_radix(text, radix)
+                        .map(|u| u as i64)
+                        .map_err(|_| CError::new(line, format!("bad integer literal {text}")))?
+                };
+                toks.push(Token { kind: TokenKind::Int(v), line });
+            }
+            '\'' => {
+                at_line_start = false;
+                i += 1;
+                let (ch, used) = unescape_char(bytes, i, line)?;
+                i += used;
+                if i >= bytes.len() || bytes[i] != b'\'' {
+                    return Err(CError::new(line, "unterminated char literal"));
+                }
+                i += 1;
+                toks.push(Token { kind: TokenKind::Int(ch as i64), line });
+            }
+            '"' => {
+                at_line_start = false;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != b'"' {
+                    let (ch, used) = unescape_char(bytes, i, line)?;
+                    s.push(ch as char);
+                    i += used;
+                }
+                if i >= bytes.len() {
+                    return Err(CError::new(line, "unterminated string literal"));
+                }
+                i += 1;
+                toks.push(Token { kind: TokenKind::Str(s), line });
+            }
+            _ => {
+                at_line_start = false;
+                let rest = &src[i..];
+                let p = PUNCTS
+                    .iter()
+                    .find(|p| rest.starts_with(**p))
+                    .ok_or_else(|| CError::new(line, format!("unexpected character {c:?}")))?;
+                toks.push(Token { kind: TokenKind::Punct(p), line });
+                i += p.len();
+            }
+        }
+    }
+    toks.push(Token { kind: TokenKind::Eof, line });
+    Ok(toks)
+}
+
+/// Decodes one possibly-escaped character at `bytes[i..]`, returning it and
+/// the number of bytes consumed.
+fn unescape_char(bytes: &[u8], i: usize, line: u32) -> Result<(u8, usize), CError> {
+    if i >= bytes.len() {
+        return Err(CError::new(line, "unexpected end of literal"));
+    }
+    if bytes[i] != b'\\' {
+        return Ok((bytes[i], 1));
+    }
+    if i + 1 >= bytes.len() {
+        return Err(CError::new(line, "dangling escape"));
+    }
+    let c = match bytes[i + 1] {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => return Err(CError::new(line, format!("unknown escape \\{}", other as char))),
+    };
+    Ok((c, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_ints() {
+        assert_eq!(
+            kinds("foo 42 0x2A 052"),
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::Int(42),
+                TokenKind::Int(42),
+                TokenKind::Int(42),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn suffixes_are_stripped() {
+        assert_eq!(kinds("10UL")[0], TokenKind::Int(10));
+        assert_eq!(kinds("0xFFul")[0], TokenKind::Int(255));
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        assert_eq!(
+            kinds("a <<= b >> c->d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(">>"),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("->"),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_and_string_escapes() {
+        assert_eq!(kinds("'a'")[0], TokenKind::Int(97));
+        assert_eq!(kinds(r"'\n'")[0], TokenKind::Int(10));
+        assert_eq!(kinds(r#""hi\n""#)[0], TokenKind::Str("hi\n".into()));
+        assert_eq!(kinds(r"'\0'")[0], TokenKind::Int(0));
+    }
+
+    #[test]
+    fn comments_and_preprocessor_lines_are_skipped() {
+        let src = "#include <stdio.h>\n// line comment\nint /* inline */ x;\n";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(";"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = lex("a\n$\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn hash_mid_line_is_an_error() {
+        assert!(lex("a # b").is_err());
+    }
+}

@@ -1,0 +1,720 @@
+//! Semantic analysis: scope resolution and type annotation.
+//!
+//! After [`check`] succeeds, every [`Expr::ty`] holds the expression's C
+//! type. The checker is deliberately *layout-agnostic*: it never asks how
+//! big a pointer is, because that answer belongs to the memory model
+//! (PDP-11: 8 bytes; CHERI purecap: 32). `sizeof` therefore stays symbolic
+//! until interpretation or code generation.
+//!
+//! The checker is permissive exactly where real-world C is permissive —
+//! pointer↔integer round trips, const-stripping casts, arbitrary pointer
+//! casts — because the whole point of the paper is that such code *exists*
+//! and must be classified by the analyzer and judged by the memory models,
+//! not rejected up front. It still rejects what no C compiler accepts:
+//! unknown identifiers, bad member accesses, assigning to non-lvalues,
+//! writing through `const` pointers *without* a cast, arity errors.
+
+use crate::ast::*;
+use crate::CError;
+use std::collections::HashMap;
+
+/// Built-in function signatures: `(return type, parameter types)`.
+/// `malloc`/`free` sit below the abstract machine (paper §2); the rest are
+/// the slice of libc the workloads need.
+pub(crate) fn builtins() -> HashMap<&'static str, (Type, Vec<Type>)> {
+    let vp = Type::ptr_to(Type::Void);
+    let cvp = Type::Ptr { pointee: Box::new(Type::Void), is_const: true, qual: CapQual::None };
+    let ccp = Type::Ptr { pointee: Box::new(Type::char_()), is_const: true, qual: CapQual::None };
+    let ul = Type::Int { width: 8, signed: false };
+    HashMap::from([
+        ("malloc", (vp.clone(), vec![ul.clone()])),
+        ("free", (Type::Void, vec![vp.clone()])),
+        ("memcpy", (vp.clone(), vec![vp.clone(), cvp.clone(), ul.clone()])),
+        ("memset", (vp.clone(), vec![vp.clone(), Type::int(), ul.clone()])),
+        ("strlen", (ul.clone(), vec![ccp.clone()])),
+        ("strcmp", (Type::int(), vec![ccp.clone(), ccp.clone()])),
+        ("puts", (Type::int(), vec![ccp])),
+        ("putchar", (Type::int(), vec![Type::int()])),
+        ("putint", (Type::Void, vec![Type::long()])),
+        ("assert", (Type::Void, vec![Type::int()])),
+        ("abort", (Type::Void, vec![])),
+        ("clock", (Type::long(), vec![])),
+    ])
+}
+
+/// Type-checks and annotates a translation unit in place.
+///
+/// # Errors
+///
+/// The first semantic error found.
+pub fn check(unit: &mut TranslationUnit) -> Result<(), CError> {
+    let structs = unit.structs.clone();
+    let mut funcs_sig: HashMap<String, (Type, Vec<Type>)> = HashMap::new();
+    for (name, sig) in builtins() {
+        funcs_sig.insert(name.to_string(), sig);
+    }
+    for f in &unit.funcs {
+        if funcs_sig
+            .insert(f.name.clone(), (f.ret.clone(), f.params.iter().map(|p| p.ty.clone()).collect()))
+            .is_some()
+            && unit.funcs.iter().filter(|g| g.name == f.name).count() > 1
+        {
+            return Err(CError::new(f.line, format!("duplicate function `{}`", f.name)));
+        }
+    }
+    let mut globals: HashMap<String, Type> = HashMap::new();
+    for g in &mut unit.globals {
+        infer_string_array_len(&mut g.ty, g.init.as_ref(), g.line)?;
+        if globals.insert(g.name.clone(), g.ty.clone()).is_some() {
+            return Err(CError::new(g.line, format!("duplicate global `{}`", g.name)));
+        }
+    }
+    // Check global initializers in a pure-global scope.
+    {
+        let mut ck = Checker {
+            structs: &structs,
+            funcs: &funcs_sig,
+            globals: &globals,
+            scopes: Vec::new(),
+            ret: Type::Void,
+            loop_depth: 0,
+        };
+        for g in &mut unit.globals {
+            if let Some(init) = &mut g.init {
+                ck.expr(init)?;
+                ck.check_assignable(&g.ty, init, g.line)?;
+            }
+        }
+    }
+    for f in &mut unit.funcs {
+        let mut ck = Checker {
+            structs: &structs,
+            funcs: &funcs_sig,
+            globals: &globals,
+            scopes: vec![HashMap::new()],
+            ret: f.ret.clone(),
+            loop_depth: 0,
+        };
+        for p in &f.params {
+            ck.scopes[0].insert(p.name.clone(), p.ty.decay());
+        }
+        ck.block(&mut f.body)?;
+    }
+    Ok(())
+}
+
+fn infer_string_array_len(ty: &mut Type, init: Option<&Expr>, line: u32) -> Result<(), CError> {
+    if let Type::Array { elem, len } = ty {
+        if *len == 0 {
+            if let Some(Expr { kind: ExprKind::StrLit(s), .. }) = init {
+                if **elem == Type::char_() {
+                    *len = s.len() as u64 + 1;
+                    return Ok(());
+                }
+            }
+            return Err(CError::new(line, "unsized array needs a string initializer"));
+        }
+    }
+    Ok(())
+}
+
+struct Checker<'a> {
+    structs: &'a [StructDef],
+    funcs: &'a HashMap<String, (Type, Vec<Type>)>,
+    globals: &'a HashMap<String, Type>,
+    scopes: Vec<HashMap<String, Type>>,
+    ret: Type,
+    loop_depth: u32,
+}
+
+impl<'a> Checker<'a> {
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(t) = scope.get(name) {
+                return Some(t.clone());
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    fn block(&mut self, b: &mut Block) -> Result<(), CError> {
+        self.scopes.push(HashMap::new());
+        for s in &mut b.stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &mut Stmt) -> Result<(), CError> {
+        match s {
+            Stmt::Decl { name, ty, init, line } => {
+                infer_string_array_len(ty, init.as_ref(), *line)?;
+                if let Some(e) = init {
+                    self.expr(e)?;
+                    self.check_assignable(ty, e, *line)?;
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), ty.clone());
+                Ok(())
+            }
+            Stmt::Expr(e) => self.expr(e).map(|_| ()),
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.scalar_cond(cond)?;
+                self.block(then_branch)?;
+                if let Some(e) = else_branch {
+                    self.block(e)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                self.scalar_cond(cond)?;
+                self.loop_depth += 1;
+                self.block(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.loop_depth += 1;
+                self.block(body)?;
+                self.loop_depth -= 1;
+                self.scalar_cond(cond)
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.scalar_cond(c)?;
+                }
+                if let Some(st) = step {
+                    self.expr(st)?;
+                }
+                self.loop_depth += 1;
+                self.block(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(e, line) => {
+                match (e, self.ret.is_void()) {
+                    (None, true) => Ok(()),
+                    (None, false) => Err(CError::new(*line, "missing return value")),
+                    (Some(e), false) => {
+                        self.expr(e)?;
+                        let ret = self.ret.clone();
+                        self.check_assignable(&ret, e, *line)
+                    }
+                    (Some(_), true) => Err(CError::new(*line, "returning a value from void function")),
+                }
+            }
+            Stmt::Break(line) | Stmt::Continue(line) => {
+                if self.loop_depth == 0 {
+                    Err(CError::new(*line, "break/continue outside a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    fn scalar_cond(&mut self, e: &mut Expr) -> Result<(), CError> {
+        let t = self.expr(e)?;
+        if t.decay().is_pointer() || t.is_arith() {
+            Ok(())
+        } else {
+            Err(CError::new(e.line, format!("condition has non-scalar type {t}")))
+        }
+    }
+
+    fn struct_of(&self, ty: &Type, line: u32) -> Result<&StructDef, CError> {
+        match ty {
+            Type::Struct(id) => Ok(&self.structs[*id]),
+            other => Err(CError::new(line, format!("not a struct/union: {other}"))),
+        }
+    }
+
+    fn is_lvalue(e: &Expr) -> bool {
+        matches!(
+            e.kind,
+            ExprKind::Ident(_)
+                | ExprKind::Unary(UnOp::Deref, _)
+                | ExprKind::Index(..)
+                | ExprKind::Member { .. }
+        )
+    }
+
+    /// `true` when assigning through this lvalue violates a `const`
+    /// qualifier (the guard the **Deconst** idiom casts away).
+    fn is_const_lvalue(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Unary(UnOp::Deref, p) => p.ty.decay().pointee_is_const(),
+            ExprKind::Index(base, _) => base.ty.decay().pointee_is_const(),
+            ExprKind::Member { base, arrow: true, .. } => base.ty.decay().pointee_is_const(),
+            ExprKind::Member { base, arrow: false, .. } => self.is_const_lvalue(base),
+            _ => false,
+        }
+    }
+
+    fn check_assignable(&self, target: &Type, value: &Expr, line: u32) -> Result<(), CError> {
+        let vt = value.ty.decay();
+        let ok = match (target, &vt) {
+            // Char arrays may be initialized from string literals.
+            (Type::Array { elem, .. }, _)
+                if **elem == Type::char_() && matches!(value.kind, ExprKind::StrLit(_)) =>
+            {
+                true
+            }
+            (t, v) if t.is_arith() && v.is_arith() => true,
+            (Type::Ptr { .. }, Type::Ptr { .. }) => true,
+            // Null-pointer constant.
+            (Type::Ptr { .. }, v) if v.is_integer() => {
+                matches!(value.kind, ExprKind::IntLit(0))
+            }
+            (Type::Struct(a), Type::Struct(b)) => a == b,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CError::new(
+                line,
+                format!("cannot assign value of type {vt} to {target} without a cast"),
+            ))
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) -> Result<Type, CError> {
+        let line = e.line;
+        let ty = match &mut e.kind {
+            ExprKind::IntLit(v) => {
+                if *v >= i32::MIN as i64 && *v <= i32::MAX as i64 {
+                    Type::int()
+                } else {
+                    Type::long()
+                }
+            }
+            ExprKind::StrLit(_) => Type::ptr_to(Type::char_()),
+            ExprKind::Ident(name) => self
+                .lookup(name)
+                .ok_or_else(|| CError::new(line, format!("unknown identifier `{name}`")))?,
+            ExprKind::Unary(op, inner) => {
+                let it = self.expr(inner)?;
+                match op {
+                    UnOp::Neg | UnOp::BitNot => {
+                        if !it.is_arith() {
+                            return Err(CError::new(line, format!("arithmetic on {it}")));
+                        }
+                        promote(&it)
+                    }
+                    UnOp::Not => {
+                        if !(it.is_arith() || it.decay().is_pointer()) {
+                            return Err(CError::new(line, format!("`!` on {it}")));
+                        }
+                        Type::int()
+                    }
+                    UnOp::Deref => {
+                        let dt = it.decay();
+                        dt.pointee()
+                            .cloned()
+                            .ok_or_else(|| CError::new(line, format!("dereference of {it}")))?
+                    }
+                    UnOp::Addr => {
+                        if !Self::is_lvalue(inner) {
+                            return Err(CError::new(line, "address of non-lvalue"));
+                        }
+                        Type::ptr_to(it)
+                    }
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.expr(a)?.decay();
+                let tb = self.expr(b)?.decay();
+                self.binary_type(*op, &ta, &tb, line)?
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                let lt = self.expr(lhs)?;
+                if !Self::is_lvalue(lhs) {
+                    return Err(CError::new(line, "assignment to non-lvalue"));
+                }
+                if self.is_const_lvalue(lhs) {
+                    return Err(CError::new(line, "assignment through const pointer"));
+                }
+                if lt.is_array() {
+                    return Err(CError::new(line, "assignment to array"));
+                }
+                self.expr(rhs)?;
+                if let Some(op) = op {
+                    let rt = rhs.ty.decay();
+                    self.binary_type(*op, &lt.decay(), &rt, line)?;
+                } else {
+                    self.check_assignable(&lt, rhs, line)?;
+                }
+                lt
+            }
+            ExprKind::Ternary(c, a, b) => {
+                self.expr(c)?;
+                let ta = self.expr(a)?.decay();
+                let tb = self.expr(b)?.decay();
+                if ta.is_arith() && tb.is_arith() {
+                    common_type(&ta, &tb)
+                } else {
+                    ta
+                }
+            }
+            ExprKind::Call(name, args) => {
+                let (ret, params) = self
+                    .funcs
+                    .get(name.as_str())
+                    .cloned()
+                    .ok_or_else(|| CError::new(line, format!("unknown function `{name}`")))?;
+                if args.len() != params.len() {
+                    return Err(CError::new(
+                        line,
+                        format!("`{name}` expects {} arguments, got {}", params.len(), args.len()),
+                    ));
+                }
+                for (arg, pty) in args.iter_mut().zip(&params) {
+                    self.expr(arg)?;
+                    // Arguments follow assignment rules, with the usual C
+                    // laxity for void* both ways.
+                    self.check_assignable(pty, arg, line)?;
+                }
+                ret
+            }
+            ExprKind::Index(base, idx) => {
+                let bt = self.expr(base)?.decay();
+                let it = self.expr(idx)?;
+                if !it.is_arith() {
+                    return Err(CError::new(line, format!("array index of type {it}")));
+                }
+                bt.pointee()
+                    .cloned()
+                    .ok_or_else(|| CError::new(line, format!("indexing non-pointer {bt}")))?
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let bt = self.expr(base)?;
+                let sty = if *arrow {
+                    bt.decay()
+                        .pointee()
+                        .cloned()
+                        .ok_or_else(|| CError::new(line, format!("`->` on non-pointer {bt}")))?
+                } else {
+                    bt
+                };
+                let sd = self.struct_of(&sty, line)?;
+                sd.field(field)
+                    .map(|f| f.ty.clone())
+                    .ok_or_else(|| {
+                        CError::new(line, format!("no field `{field}` in `{}`", sd.name))
+                    })?
+            }
+            ExprKind::Cast(ty, inner) => {
+                let it = self.expr(inner)?.decay();
+                let tt = ty.clone();
+                let ok = (tt.is_arith() || tt.is_pointer() || tt.is_void())
+                    && (it.is_arith() || it.is_pointer() || it.is_void());
+                if !ok {
+                    return Err(CError::new(line, format!("invalid cast from {it} to {tt}")));
+                }
+                tt
+            }
+            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => {
+                if let ExprKind::SizeofExpr(inner) = &mut e.kind {
+                    self.expr(inner)?;
+                }
+                Type::Int { width: 8, signed: false }
+            }
+            ExprKind::Offsetof(sty, field) => {
+                let sd = self.struct_of(sty, line)?;
+                if sd.field(field).is_none() {
+                    return Err(CError::new(line, format!("no field `{field}` in `{}`", sd.name)));
+                }
+                Type::Int { width: 8, signed: false }
+            }
+            ExprKind::IncDec { target, .. } => {
+                let tt = self.expr(target)?;
+                if !Self::is_lvalue(target) {
+                    return Err(CError::new(line, "++/-- on non-lvalue"));
+                }
+                if self.is_const_lvalue(target) {
+                    return Err(CError::new(line, "++/-- through const pointer"));
+                }
+                if !(tt.is_arith() || tt.is_pointer()) {
+                    return Err(CError::new(line, format!("++/-- on {tt}")));
+                }
+                tt
+            }
+        };
+        e.ty = ty.clone();
+        Ok(ty)
+    }
+
+    fn binary_type(&self, op: BinOp, ta: &Type, tb: &Type, line: u32) -> Result<Type, CError> {
+        use BinOp::*;
+        match op {
+            Add => match (ta.is_pointer(), tb.is_pointer()) {
+                (true, false) if tb.is_arith() => Ok(ta.clone()),
+                (false, true) if ta.is_arith() => Ok(tb.clone()),
+                (false, false) if ta.is_arith() && tb.is_arith() => Ok(common_type(ta, tb)),
+                _ => Err(CError::new(line, format!("invalid operands to +: {ta}, {tb}"))),
+            },
+            Sub => match (ta.is_pointer(), tb.is_pointer()) {
+                (true, true) => Ok(Type::long()), // ptrdiff_t
+                (true, false) if tb.is_arith() => Ok(ta.clone()),
+                (false, false) if ta.is_arith() && tb.is_arith() => Ok(common_type(ta, tb)),
+                _ => Err(CError::new(line, format!("invalid operands to -: {ta}, {tb}"))),
+            },
+            Mul | Div | Rem | Shl | Shr | BitAnd | BitXor | BitOr => {
+                if ta.is_arith() && tb.is_arith() {
+                    Ok(common_type(ta, tb))
+                } else {
+                    Err(CError::new(line, format!("invalid operands to {op:?}: {ta}, {tb}")))
+                }
+            }
+            Lt | Gt | Le | Ge | Eq | Ne => {
+                let ok = (ta.is_arith() && tb.is_arith())
+                    || (ta.is_pointer() && tb.is_pointer())
+                    || (ta.is_pointer() && tb.is_arith())
+                    || (ta.is_arith() && tb.is_pointer());
+                if ok {
+                    Ok(Type::int())
+                } else {
+                    Err(CError::new(line, format!("cannot compare {ta} and {tb}")))
+                }
+            }
+            LogAnd | LogOr => {
+                let scalar = |t: &Type| t.is_arith() || t.is_pointer();
+                if scalar(ta) && scalar(tb) {
+                    Ok(Type::int())
+                } else {
+                    Err(CError::new(line, format!("invalid operands to &&/||: {ta}, {tb}")))
+                }
+            }
+        }
+    }
+}
+
+/// Integer promotion: anything narrower than `int` computes as `int`.
+fn promote(t: &Type) -> Type {
+    match t {
+        Type::Int { width, signed } if *width < 4 => Type::Int { width: 4, signed: *signed },
+        other => other.clone(),
+    }
+}
+
+/// Usual arithmetic conversions, extended so that capability-carried
+/// integers are sticky: `intcap_t + long` stays `intcap_t` (the result may
+/// still be a pointer in disguise, and the capability must travel with it —
+/// paper §5.1).
+fn common_type(a: &Type, b: &Type) -> Type {
+    match (a, b) {
+        (Type::IntCap { signed: sa }, Type::IntCap { signed: sb }) => {
+            Type::IntCap { signed: *sa && *sb }
+        }
+        (Type::IntCap { .. }, _) => a.clone(),
+        (_, Type::IntCap { .. }) => b.clone(),
+        (Type::IntPtr { signed: sa }, Type::IntPtr { signed: sb }) => {
+            Type::IntPtr { signed: *sa && *sb }
+        }
+        (Type::IntPtr { .. }, _) => a.clone(),
+        (_, Type::IntPtr { .. }) => b.clone(),
+        (Type::Int { width: wa, signed: sa }, Type::Int { width: wb, signed: sb }) => {
+            let w = (*wa).max(*wb).max(4);
+            let signed = if wa == wb { *sa && *sb } else if wa > wb { *sa } else { *sb };
+            Type::Int { width: w, signed }
+        }
+        _ => a.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn ok(src: &str) -> TranslationUnit {
+        parse(src).expect("should type-check")
+    }
+
+    fn err(src: &str) -> CError {
+        parse(src).expect_err("should fail")
+    }
+
+    #[test]
+    fn simple_function_checks() {
+        ok("int add(int a, int b) { return a + b; }");
+    }
+
+    #[test]
+    fn unknown_identifier_rejected() {
+        let e = err("int f(void) { return missing; }");
+        assert!(e.msg.contains("missing"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(err("int f(void) { return g(); }").msg.contains("g"));
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(err("int f(int a) { return f(1, 2); }").msg.contains("arguments"));
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        let u = ok("long f(int *p, int *q) { return q - p; }");
+        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else { panic!() };
+        assert_eq!(e.ty, Type::long());
+    }
+
+    #[test]
+    fn ptr_plus_int_is_ptr() {
+        let u = ok("int *f(int *p) { return p + 3; }");
+        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else { panic!() };
+        assert!(e.ty.is_pointer());
+    }
+
+    #[test]
+    fn ptr_to_int_requires_cast() {
+        assert!(err("long f(int *p) { long x = p; return x; }").msg.contains("cast"));
+        ok("long f(int *p) { long x = (long)p; return x; }");
+    }
+
+    #[test]
+    fn int_to_ptr_requires_cast_except_null() {
+        assert!(err("int *f(long x) { int *p = x; return p; }").msg.contains("cast"));
+        ok("int *f(long x) { int *p = 0; return (int*)x; }");
+    }
+
+    #[test]
+    fn const_write_rejected_but_cast_allowed() {
+        // The Deconst idiom: direct write rejected, cast accepted.
+        let e = err("void f(const char *p) { *p = 1; }");
+        assert!(e.msg.contains("const"));
+        ok("void f(const char *p) { char *q = (char*)p; *q = 1; }");
+    }
+
+    #[test]
+    fn member_access_types() {
+        let u = ok(
+            "struct pair { int a; long b; };
+             long f(struct pair *p) { return p->b + p->a; }",
+        );
+        assert_eq!(u.funcs[0].ret, Type::long());
+        assert!(err(
+            "struct pair { int a; };
+             int f(struct pair *p) { return p->zz; }"
+        )
+        .msg
+        .contains("zz"));
+    }
+
+    #[test]
+    fn intcap_arithmetic_is_sticky() {
+        let u = ok("intcap_t f(intcap_t x) { return x + 1; }");
+        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else { panic!() };
+        assert_eq!(e.ty, Type::IntCap { signed: true });
+    }
+
+    #[test]
+    fn intptr_round_trip_checks() {
+        ok("int *f(int *p) { intptr_t x = (intptr_t)p; x += 8; return (int*)x; }");
+    }
+
+    #[test]
+    fn sizeof_is_unsigned_long() {
+        let u = ok("unsigned long f(void) { return sizeof(long) + sizeof(int*); }");
+        assert_eq!(u.funcs[0].ret, Type::Int { width: 8, signed: false });
+    }
+
+    #[test]
+    fn offsetof_requires_field() {
+        ok("struct s { int a; long b; }; long f(void) { return offsetof(struct s, b); }");
+        assert!(err("struct s { int a; }; long f(void) { return offsetof(struct s, q); }")
+            .msg
+            .contains("q"));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        assert!(err("void f(void) { break; }").msg.contains("loop"));
+        ok("void f(void) { while (1) { break; } }");
+    }
+
+    #[test]
+    fn return_type_mismatch() {
+        assert!(err("int *f(void) { return 3; }").msg.contains("cast"));
+        ok("int *f(void) { return 0; }"); // null constant is fine
+    }
+
+    #[test]
+    fn void_function_return() {
+        assert!(err("void f(void) { return 1; }").msg.contains("void"));
+        assert!(err("int f(void) { return; }").msg.contains("missing"));
+    }
+
+    #[test]
+    fn string_array_len_inferred() {
+        let mut u = ok("char msg[] = \"hello\";");
+        let g = u.globals.remove(0);
+        assert_eq!(g.ty, Type::Array { elem: Box::new(Type::char_()), len: 6 });
+    }
+
+    #[test]
+    fn builtins_are_known() {
+        ok(r#"
+            void f(void) {
+                char *p = (char*)malloc(10);
+                memset(p, 0, 10);
+                memcpy(p, "hi", 3);
+                putint(strlen(p));
+                puts(p);
+                free(p);
+            }
+        "#);
+    }
+
+    #[test]
+    fn assignment_to_non_lvalue_rejected() {
+        assert!(err("void f(int x) { x + 1 = 2; }").msg.contains("lvalue"));
+    }
+
+    #[test]
+    fn incdec_on_pointer_ok() {
+        ok("void f(char *p) { p++; --p; }");
+    }
+
+    #[test]
+    fn union_members_check() {
+        ok("union u { long l; char b[8]; };
+            long f(void) { union u v; v.l = 5; return v.b[0]; }");
+    }
+
+    #[test]
+    fn container_of_pattern_checks() {
+        // The Container idiom expressed with offsetof, as the kernels do.
+        ok(r#"
+            struct outer { int tag; int inner; };
+            struct outer *container(int *field) {
+                return (struct outer *)((char *)field - offsetof(struct outer, inner));
+            }
+        "#);
+    }
+
+    #[test]
+    fn mask_idiom_checks() {
+        ok(r#"
+            int *mask(int *p) {
+                uintptr_t bits = (uintptr_t)p;
+                bits = bits & ~7;
+                return (int *)bits;
+            }
+        "#);
+    }
+}

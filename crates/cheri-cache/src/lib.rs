@@ -1,0 +1,461 @@
+//! A set-associative cache-hierarchy simulator.
+//!
+//! The paper's performance evaluation runs on a 100 MHz FPGA softcore with a
+//! **16 KB L1 data cache and a 64 KB L2**, noting that "the DDR DRAM is
+//! faster relative to the CPU speed, so cache misses are more common but
+//! less costly than on most modern processors" (§5.2). The measured CHERI
+//! overheads are dominated by the cache footprint of 256-bit capabilities
+//! versus 64-bit integer pointers ("the performance difference ... is
+//! primarily due to the larger pointers causing more cache misses").
+//!
+//! This crate reproduces that cost model: [`Hierarchy`] simulates an
+//! inclusive two-level write-back, write-allocate, LRU cache in front of a
+//! flat DRAM, charging configurable latencies per level.
+//!
+//! # Example
+//!
+//! ```
+//! use cheri_cache::{Hierarchy, HierarchyConfig};
+//!
+//! let mut h = Hierarchy::new(HierarchyConfig::fpga_softcore());
+//! let cold = h.access(0x1000, 8, false);
+//! let warm = h.access(0x1000, 8, false);
+//! assert!(cold > warm); // second access hits in L1
+//! assert_eq!(warm, 1);
+//! ```
+
+use std::fmt;
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero or non-dividing sizes).
+    pub fn sets(&self) -> u64 {
+        assert!(self.line_bytes > 0 && self.ways > 0);
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(lines >= self.ways, "cache smaller than one set");
+        lines / self.ways
+    }
+}
+
+/// Configuration of the full hierarchy, including per-level hit latencies
+/// (in cycles) and the DRAM access penalty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L2 cache geometry.
+    pub l2: CacheConfig,
+    /// Cycles for an L1 hit.
+    pub l1_hit_cycles: u64,
+    /// Additional cycles for an access served by L2.
+    pub l2_hit_cycles: u64,
+    /// Additional cycles for an access served by DRAM.
+    pub dram_cycles: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's FPGA softcore: 16 KB L1, 64 KB L2, 64-byte lines,
+    /// 4-way, with DRAM "less costly than on most modern processors".
+    pub fn fpga_softcore() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig { size_bytes: 16 * 1024, line_bytes: 64, ways: 4 },
+            l2: CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, ways: 8 },
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 9,
+            dram_cycles: 30,
+        }
+    }
+
+    /// A modern-desktop-like hierarchy for the substrate ablation bench
+    /// (bigger caches, relatively slower DRAM).
+    pub fn desktop() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
+            l2: CacheConfig { size_bytes: 512 * 1024, line_bytes: 64, ways: 8 },
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 12,
+            dram_cycles: 200,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig::fpga_softcore()
+    }
+}
+
+/// Hit/miss counters for the whole hierarchy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses served by L1.
+    pub l1_hits: u64,
+    /// Accesses that missed L1.
+    pub l1_misses: u64,
+    /// L1 misses served by L2.
+    pub l2_hits: u64,
+    /// Accesses that went all the way to DRAM.
+    pub l2_misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Total cycles charged by the hierarchy.
+    pub cycles: u64,
+}
+
+impl CacheStats {
+    /// L1 hit rate in `[0, 1]` (0 if no accesses).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 {}/{} hits ({:.1}%), L2 {} hits, {} DRAM, {} writebacks, {} cycles",
+            self.l1_hits,
+            self.l1_hits + self.l1_misses,
+            100.0 * self.l1_hit_rate(),
+            self.l2_hits,
+            self.l2_misses,
+            self.writebacks,
+            self.cycles
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    stamp: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Level {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+}
+
+enum Lookup {
+    Hit,
+    /// Miss; the filled-in line evicted a dirty victim.
+    MissEvictedDirty,
+    Miss,
+}
+
+impl Level {
+    fn new(cfg: CacheConfig) -> Level {
+        Level {
+            cfg,
+            sets: vec![Vec::new(); cfg.sets() as usize],
+            clock: 0,
+        }
+    }
+
+    /// Looks up the line containing `line_addr`, filling on miss.
+    fn access(&mut self, line_addr: u64, write: bool) -> Lookup {
+        self.clock += 1;
+        let set_idx = ((line_addr / self.cfg.line_bytes) % self.cfg.sets()) as usize;
+        let tag = line_addr / self.cfg.line_bytes / self.cfg.sets();
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.stamp = self.clock;
+            line.dirty |= write;
+            return Lookup::Hit;
+        }
+        let mut evicted_dirty = false;
+        if set.len() as u64 >= self.cfg.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            evicted_dirty = set[lru].dirty;
+            set.remove(lru);
+        }
+        set.push(Line { tag, dirty: write, stamp: self.clock });
+        if evicted_dirty {
+            Lookup::MissEvictedDirty
+        } else {
+            Lookup::Miss
+        }
+    }
+
+    fn flush(&mut self) -> u64 {
+        let mut dirty = 0;
+        for set in &mut self.sets {
+            dirty += set.iter().filter(|l| l.dirty).count() as u64;
+            set.clear();
+        }
+        dirty
+    }
+}
+
+/// A two-level write-back, write-allocate cache hierarchy with LRU
+/// replacement, charging cycles per access.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1: Level,
+    l2: Level,
+    stats: CacheStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for `cfg`.
+    pub fn new(cfg: HierarchyConfig) -> Hierarchy {
+        Hierarchy {
+            cfg,
+            l1: Level::new(cfg.l1),
+            l2: Level::new(cfg.l2),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> HierarchyConfig {
+        self.cfg
+    }
+
+    /// Simulates an access of `len` bytes at `addr` (split across lines as
+    /// the hardware would), returning the cycles charged.
+    pub fn access(&mut self, addr: u64, len: u64, write: bool) -> u64 {
+        let line = self.cfg.l1.line_bytes;
+        let mut cycles = 0;
+        let mut a = addr;
+        let end = addr.saturating_add(len.max(1));
+        while a < end {
+            let line_addr = a / line * line;
+            cycles += self.access_line(line_addr, write);
+            a = line_addr + line;
+        }
+        self.stats.cycles += cycles;
+        cycles
+    }
+
+    fn access_line(&mut self, line_addr: u64, write: bool) -> u64 {
+        match self.l1.access(line_addr, write) {
+            Lookup::Hit => {
+                self.stats.l1_hits += 1;
+                self.cfg.l1_hit_cycles
+            }
+            miss => {
+                self.stats.l1_misses += 1;
+                if matches!(miss, Lookup::MissEvictedDirty) {
+                    self.stats.writebacks += 1;
+                }
+                match self.l2.access(line_addr, write) {
+                    Lookup::Hit => {
+                        self.stats.l2_hits += 1;
+                        self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles
+                    }
+                    l2miss => {
+                        if matches!(l2miss, Lookup::MissEvictedDirty) {
+                            self.stats.writebacks += 1;
+                        }
+                        self.stats.l2_misses += 1;
+                        self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles + self.cfg.dram_cycles
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Empties both levels (counting dirty lines as writebacks) and keeps
+    /// statistics. Used between benchmark phases.
+    pub fn flush(&mut self) {
+        self.stats.writebacks += self.l1.flush() + self.l2.flush();
+    }
+
+    /// Resets statistics without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+impl Default for Hierarchy {
+    fn default() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn geometry_is_sane() {
+        let cfg = HierarchyConfig::fpga_softcore();
+        assert_eq!(cfg.l1.sets(), 64);
+        assert_eq!(cfg.l2.sets(), 128);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut h = Hierarchy::default();
+        let miss = h.access(0x40, 8, false);
+        let hit = h.access(0x40, 8, false);
+        assert_eq!(
+            miss,
+            h.config().l1_hit_cycles + h.config().l2_hit_cycles + h.config().dram_cycles
+        );
+        assert_eq!(hit, h.config().l1_hit_cycles);
+        assert_eq!(h.stats().l1_hits, 1);
+        assert_eq!(h.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut h = Hierarchy::default();
+        h.access(0x40, 1, false);
+        assert_eq!(h.access(0x7F, 1, false), 1);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut h = Hierarchy::default();
+        h.access(0x7C, 8, false);
+        assert_eq!(h.stats().l1_misses, 2);
+    }
+
+    #[test]
+    fn eviction_falls_back_to_l2() {
+        let mut h = Hierarchy::default();
+        let cfg = h.config();
+        // Fill one L1 set beyond its ways with distinct tags.
+        let stride = cfg.l1.line_bytes * cfg.l1.sets();
+        for i in 0..=cfg.l1.ways {
+            h.access(i * stride, 1, false);
+        }
+        // First address has been evicted from L1 but lives in L2.
+        h.reset_stats();
+        h.access(0, 1, false);
+        assert_eq!(h.stats().l1_misses, 1);
+        assert_eq!(h.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut h = Hierarchy::default();
+        let cfg = h.config();
+        let stride = cfg.l1.line_bytes * cfg.l1.sets();
+        h.access(0, 8, true); // dirty line
+        for i in 1..=cfg.l1.ways {
+            h.access(i * stride, 1, false);
+        }
+        assert!(h.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_thrashes() {
+        // The mechanism behind the Olden results: a pointer-chasing working
+        // set that fits in L1 with 8-byte pointers but not with 32-byte
+        // capabilities must show a worse hit rate.
+        let run = |ptr_size: u64| {
+            let mut h = Hierarchy::default();
+            let nodes = 1024u64;
+            for _ in 0..20 {
+                for i in 0..nodes {
+                    h.access(0x1_0000 + i * ptr_size * 3, ptr_size, false);
+                }
+            }
+            h.stats().l1_hit_rate()
+        };
+        let narrow = run(8);
+        let wide = run(32);
+        assert!(
+            narrow > wide,
+            "8-byte pointers should hit more: {narrow} vs {wide}"
+        );
+    }
+
+    #[test]
+    fn flush_forgets_contents() {
+        let mut h = Hierarchy::default();
+        h.access(0x40, 8, true);
+        h.flush();
+        h.reset_stats();
+        h.access(0x40, 8, false);
+        assert_eq!(h.stats().l1_misses, 1);
+    }
+
+    #[test]
+    fn stats_display_mentions_hits() {
+        let mut h = Hierarchy::default();
+        h.access(0, 1, false);
+        h.access(0, 1, false);
+        let s = h.stats().to_string();
+        assert!(s.contains("L1"));
+        assert!(s.contains("cycles"));
+    }
+
+    proptest! {
+        /// The hierarchy never charges less than an L1 hit or more than a
+        /// full miss per line touched, and cycle accounting matches stats.
+        #[test]
+        fn cycle_bounds(accesses in proptest::collection::vec((0u64..1 << 20, 1u64..64, any::<bool>()), 1..200)) {
+            let mut h = Hierarchy::default();
+            let cfg = h.config();
+            let mut total = 0;
+            for (addr, len, w) in accesses {
+                let lines = {
+                    let first = addr / cfg.l1.line_bytes;
+                    let last = (addr + len - 1) / cfg.l1.line_bytes;
+                    last - first + 1
+                };
+                let c = h.access(addr, len, w);
+                total += c;
+                prop_assert!(c >= lines * cfg.l1_hit_cycles);
+                prop_assert!(c <= lines * (cfg.l1_hit_cycles + cfg.l2_hit_cycles + cfg.dram_cycles));
+            }
+            prop_assert_eq!(h.stats().cycles, total);
+            prop_assert_eq!(h.stats().l1_hits + h.stats().l1_misses,
+                            h.stats().l1_hits + h.stats().l2_hits + h.stats().l2_misses);
+        }
+
+        /// Repeating the same small working set converges to all-hits.
+        #[test]
+        fn small_working_set_converges(base in 0u64..1 << 16) {
+            let mut h = Hierarchy::default();
+            for _ in 0..3 {
+                for i in 0..16u64 {
+                    h.access(base + i * 64, 8, false);
+                }
+            }
+            h.reset_stats();
+            for i in 0..16u64 {
+                h.access(base + i * 64, 8, false);
+            }
+            prop_assert_eq!(h.stats().l1_misses, 0);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Capability exception conditions.
+//!
+//! On the hardware these raise a CP2 exception; in this reproduction they
+//! surface as `Err(CapError)` from capability operations, and the VM converts
+//! them into traps.
+
+use crate::Perms;
+use std::error::Error;
+use std::fmt;
+
+/// An attempted capability operation violated the capability model.
+///
+/// Each variant corresponds to an exception cause the CHERI hardware can
+/// raise. The distinction matters for the evaluation: e.g. a *tag* violation
+/// is what a forged pointer produces (a plain store cleared the granule tag),
+/// while a *bounds* violation is what an out-of-bounds dereference produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CapError {
+    /// The capability's tag bit was clear: it is data, not a capability.
+    TagViolation,
+    /// The capability is sealed and the operation requires an unsealed one.
+    SealViolation,
+    /// A required permission bit was missing.
+    PermissionViolation(Perms),
+    /// The access at `addr .. addr + len` fell outside `[base, base+length)`.
+    BoundsViolation {
+        /// First byte of the attempted access (absolute virtual address).
+        addr: u64,
+        /// Width of the attempted access in bytes.
+        len: u64,
+    },
+    /// An operation attempted to *increase* rights (grow bounds, add
+    /// permissions); forbidden by capability monotonicity.
+    MonotonicityViolation,
+    /// A capability load or store used an address that is not 32-byte
+    /// aligned. Capabilities must be naturally aligned (paper §4).
+    AlignmentViolation {
+        /// The misaligned address.
+        addr: u64,
+    },
+    /// CHERIv2 cannot represent this operation at all (e.g. pointer
+    /// subtraction, which would move `base` backwards).
+    Unrepresentable(&'static str),
+    /// Arithmetic on the capability's fields overflowed 64 bits.
+    ArithmeticOverflow,
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::TagViolation => write!(f, "tag violation: value is not a valid capability"),
+            CapError::SealViolation => write!(f, "seal violation: capability is sealed"),
+            CapError::PermissionViolation(p) => {
+                write!(f, "permission violation: missing {p:?}")
+            }
+            CapError::BoundsViolation { addr, len } => {
+                write!(f, "bounds violation: access of {len} bytes at {addr:#x}")
+            }
+            CapError::MonotonicityViolation => {
+                write!(f, "monotonicity violation: operation would increase rights")
+            }
+            CapError::AlignmentViolation { addr } => {
+                write!(f, "alignment violation: capability access at {addr:#x}")
+            }
+            CapError::Unrepresentable(what) => {
+                write!(f, "operation unrepresentable in this capability model: {what}")
+            }
+            CapError::ArithmeticOverflow => write!(f, "capability field arithmetic overflowed"),
+        }
+    }
+}
+
+impl Error for CapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CapError::BoundsViolation { addr: 0x1000, len: 4 };
+        let s = e.to_string();
+        assert!(s.contains("0x1000"));
+        assert!(s.contains("4 bytes"));
+        assert!(CapError::TagViolation.to_string().contains("tag"));
+        assert!(CapError::Unrepresentable("pointer subtraction")
+            .to_string()
+            .contains("pointer subtraction"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CapError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! The CHERI capability model: hardware-enforced, unforgeable references to
+//! regions of memory.
+//!
+//! This crate implements the capability semantics described in *Beyond the
+//! PDP-11: Architectural support for a memory-safe C abstract machine*
+//! (Chisnall et al., ASPLOS 2015). Two generations of the model are provided:
+//!
+//! * **CHERIv2** — capabilities are `(base, length, permissions)` triplets.
+//!   Pointer arithmetic moves `base` (via [`Capability::inc_base`]) and is
+//!   therefore *monotonic*: rights can only shrink, and pointer subtraction is
+//!   unrepresentable.
+//! * **CHERIv3** — the paper's contribution: capabilities gain an *offset*
+//!   field, `(base, length, offset, permissions)`, turning them into
+//!   hardware-integrity-protected **fat pointers**. The offset may roam
+//!   anywhere in the address space (including out of bounds); bounds and
+//!   permissions are enforced only at dereference.
+//!
+//! The in-memory representation is 256 bits (32 bytes), naturally aligned,
+//! with a single out-of-band tag bit per 32-byte granule maintained by the
+//! tagged-memory substrate (`cheri-mem`).
+//!
+//! # Example
+//!
+//! ```
+//! use cheri_cap::{Capability, Perms};
+//!
+//! // An allocator returns a capability exactly bounding a 64-byte object.
+//! let obj = Capability::new_mem(0x1000, 64, Perms::data());
+//! // CHERIv3 pointer arithmetic: move the offset, even past the end...
+//! let past = obj.inc_offset(100).unwrap();
+//! assert!(past.check_access(1, Perms::LOAD).is_err()); // ...but cannot load there
+//! // Move back in bounds and the access succeeds.
+//! let back = past.inc_offset(-40).unwrap();
+//! assert!(back.check_access(1, Perms::LOAD).is_ok());
+//! ```
+
+mod cap;
+mod compress;
+mod encoding;
+mod error;
+mod perms;
+mod ptrcmp;
+
+pub use cap::{Capability, SealedState, OTYPE_MAX};
+pub use compress::{CompressedCapability, CompressionStats};
+pub use encoding::{decode_capability, encode_capability, CAP_ALIGN, CAP_SIZE_BYTES};
+pub use error::CapError;
+pub use perms::Perms;
+pub use ptrcmp::{ptr_cmp, PtrCmpOrdering};
+
+/// Result alias for fallible capability operations.
+pub type CapResult<T> = Result<T, CapError>;

@@ -1,0 +1,225 @@
+//! Capability permission bits.
+//!
+//! Permissions make capabilities usable as *tokens granting rights* to the
+//! referenced memory (paper §4.1): a capability may, for example, permit
+//! loading data but not capabilities, which is the building block for the
+//! `__input` / `__output` qualifiers and for confining untrusted code to the
+//! transitive closure of its capability registers.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A set of capability permissions.
+///
+/// Modelled as a bit set (paper §4: "the permissions field permits additional
+/// hardware-checked constraints"). Operations on capabilities may only
+/// *clear* permission bits ([`crate::Capability::and_perms`]); there is no
+/// architectural way to add one back, which is what makes a capability an
+/// unforgeable token.
+///
+/// # Example
+///
+/// ```
+/// use cheri_cap::Perms;
+/// let p = Perms::data();
+/// assert!(p.contains(Perms::LOAD));
+/// let read_only = p & !Perms::STORE & !Perms::STORE_CAP;
+/// assert!(!read_only.contains(Perms::STORE));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u16);
+
+impl Perms {
+    /// Permission to execute instructions via this capability (PCC).
+    pub const EXECUTE: Perms = Perms(1 << 0);
+    /// Permission to load data.
+    pub const LOAD: Perms = Perms(1 << 1);
+    /// Permission to store data.
+    pub const STORE: Perms = Perms(1 << 2);
+    /// Permission to load capabilities (with their tags) through this one.
+    pub const LOAD_CAP: Perms = Perms(1 << 3);
+    /// Permission to store capabilities (with their tags) through this one.
+    pub const STORE_CAP: Perms = Perms(1 << 4);
+    /// Permission to seal other capabilities using this one's address as the
+    /// object type (extension; see paper §4.2's discussion of higher-level
+    /// security features built from permissions).
+    pub const SEAL: Perms = Perms(1 << 5);
+    /// Permission for the garbage collector to relocate the referent.
+    /// Clearing it pins the object (cf. the paper's §6 discussion of
+    /// "pinned" pointers in managed environments).
+    pub const GC_MOVABLE: Perms = Perms(1 << 6);
+
+    /// The empty permission set.
+    pub const NONE: Perms = Perms(0);
+
+    /// Every permission bit set. This is the authority of the initial default
+    /// data capability covering the whole address space.
+    pub fn all() -> Perms {
+        Perms(0x7f)
+    }
+
+    /// Permissions appropriate for ordinary data objects returned by an
+    /// allocator: load/store of both data and capabilities, movable by the
+    /// collector, but not executable.
+    pub fn data() -> Perms {
+        Perms::LOAD | Perms::STORE | Perms::LOAD_CAP | Perms::STORE_CAP | Perms::GC_MOVABLE
+    }
+
+    /// Permissions for executable code capabilities (PCC): execute + load
+    /// (for PC-relative constant pools) only.
+    pub fn code() -> Perms {
+        Perms::EXECUTE | Perms::LOAD
+    }
+
+    /// Read-only data: the hardware-enforced `__input` qualifier from the
+    /// paper (§4.1). A `__input` pointer can be passed across a
+    /// security-domain boundary with the guarantee that the callee cannot
+    /// write through it.
+    pub fn input() -> Perms {
+        Perms::LOAD | Perms::LOAD_CAP | Perms::GC_MOVABLE
+    }
+
+    /// Write-only data: the hardware-enforced `__output` qualifier (§4.1).
+    pub fn output() -> Perms {
+        Perms::STORE | Perms::STORE_CAP | Perms::GC_MOVABLE
+    }
+
+    /// Returns `true` if every bit of `other` is present in `self`.
+    pub fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if no permission bit is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bit representation, as packed into the 256-bit format.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a permission set from raw bits, masking unknown bits.
+    pub fn from_bits(bits: u16) -> Perms {
+        Perms(bits & Perms::all().0)
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl Not for Perms {
+    type Output = Perms;
+    fn not(self) -> Perms {
+        Perms(!self.0 & Perms::all().0)
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: [(Perms, &str); 7] = [
+            (Perms::EXECUTE, "X"),
+            (Perms::LOAD, "R"),
+            (Perms::STORE, "W"),
+            (Perms::LOAD_CAP, "r"),
+            (Perms::STORE_CAP, "w"),
+            (Perms::SEAL, "S"),
+            (Perms::GC_MOVABLE, "m"),
+        ];
+        write!(f, "Perms(")?;
+        for (p, n) in names {
+            if self.contains(p) {
+                write!(f, "{n}")?;
+            } else {
+                write!(f, "-")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_everything() {
+        for p in [
+            Perms::EXECUTE,
+            Perms::LOAD,
+            Perms::STORE,
+            Perms::LOAD_CAP,
+            Perms::STORE_CAP,
+            Perms::SEAL,
+            Perms::GC_MOVABLE,
+        ] {
+            assert!(Perms::all().contains(p));
+        }
+    }
+
+    #[test]
+    fn data_is_not_executable() {
+        assert!(!Perms::data().contains(Perms::EXECUTE));
+        assert!(Perms::data().contains(Perms::LOAD | Perms::STORE));
+    }
+
+    #[test]
+    fn input_removes_store() {
+        let p = Perms::input();
+        assert!(p.contains(Perms::LOAD));
+        assert!(!p.contains(Perms::STORE));
+        assert!(!p.contains(Perms::STORE_CAP));
+    }
+
+    #[test]
+    fn output_removes_load() {
+        let p = Perms::output();
+        assert!(p.contains(Perms::STORE));
+        assert!(!p.contains(Perms::LOAD));
+    }
+
+    #[test]
+    fn not_masks_to_known_bits() {
+        let p = !Perms::NONE;
+        assert_eq!(p, Perms::all());
+        assert_eq!(p.bits() & !0x7f, 0);
+    }
+
+    #[test]
+    fn from_bits_masks_unknown() {
+        let p = Perms::from_bits(0xffff);
+        assert_eq!(p, Perms::all());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Perms::NONE).is_empty());
+        assert_eq!(format!("{:?}", Perms::data()), "Perms(-RWrw-m)");
+    }
+
+    #[test]
+    fn bit_ops_behave_like_sets() {
+        let a = Perms::LOAD | Perms::STORE;
+        let b = Perms::STORE | Perms::EXECUTE;
+        assert_eq!(a & b, Perms::STORE);
+        assert!((a | b).contains(Perms::EXECUTE));
+        assert!(!(a & !Perms::STORE).contains(Perms::STORE));
+    }
+}

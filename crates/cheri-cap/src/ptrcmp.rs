@@ -1,0 +1,129 @@
+//! `CPtrCmp`: comparing capabilities *as C pointers*.
+//!
+//! The paper adds this instruction "to avoid accidentally leaking virtual
+//! addresses into integer registers" (§4.1): without it, comparing two
+//! pointers would require `CToPtr` into integer registers, exposing raw
+//! addresses. `CPtrCmp` compares `base + offset` of two capabilities as if
+//! they were pointers, ordering **all tagged capabilities after all untagged
+//! capabilities** so that integers stored in capabilities (`intcap_t`) never
+//! compare equal to any valid pointer.
+
+use crate::Capability;
+use std::cmp::Ordering;
+
+/// The result of a `CPtrCmp` comparison, wrapping [`Ordering`] with the
+/// extra bit of information of whether the operands were in different tag
+/// classes (useful to diagnostics and to the garbage collector, which must
+/// not treat an address-equal integer as an alias of a pointer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PtrCmpOrdering {
+    /// The total order used for `<`, `<=`, `==` at the C level.
+    pub ordering: Ordering,
+    /// `true` if one operand was tagged and the other untagged.
+    pub cross_tag: bool,
+}
+
+impl PtrCmpOrdering {
+    /// Convenience: equality under the pointer ordering.
+    pub fn is_eq(self) -> bool {
+        self.ordering == Ordering::Equal
+    }
+}
+
+/// Compares two capabilities as C pointers.
+///
+/// Order: untagged < tagged; within a tag class, by address
+/// (`base + offset`). Two tagged capabilities with the same address compare
+/// equal even if derived from different objects — exactly the C-level
+/// behaviour of comparing the pointers' values.
+///
+/// # Example
+///
+/// ```
+/// use cheri_cap::{ptr_cmp, Capability, Perms};
+/// use std::cmp::Ordering;
+/// let obj = Capability::new_mem(0x1000, 16, Perms::data());
+/// let int = Capability::from_int(0x1000); // same numeric address
+/// // An intcap_t never compares equal to a valid capability:
+/// assert_eq!(ptr_cmp(&int, &obj).ordering, Ordering::Less);
+/// assert!(ptr_cmp(&int, &obj).cross_tag);
+/// ```
+pub fn ptr_cmp(a: &Capability, b: &Capability) -> PtrCmpOrdering {
+    let cross_tag = a.tag() != b.tag();
+    let ordering = a.tag().cmp(&b.tag()).then(a.address().cmp(&b.address()));
+    PtrCmpOrdering { ordering, cross_tag }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Perms;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_object_orders_by_address() {
+        let c = Capability::new_mem(0x1000, 0x100, Perms::data());
+        let p = c.inc_offset(8).unwrap();
+        let q = c.inc_offset(16).unwrap();
+        assert_eq!(ptr_cmp(&p, &q).ordering, Ordering::Less);
+        assert_eq!(ptr_cmp(&q, &p).ordering, Ordering::Greater);
+        assert!(ptr_cmp(&p, &p).is_eq());
+        assert!(!ptr_cmp(&p, &q).cross_tag);
+    }
+
+    #[test]
+    fn untagged_sorts_before_tagged() {
+        let c = Capability::new_mem(0x10, 0x10, Perms::data());
+        let i = Capability::from_int(u64::MAX);
+        assert_eq!(ptr_cmp(&i, &c).ordering, Ordering::Less);
+    }
+
+    #[test]
+    fn null_compares_equal_to_null() {
+        assert!(ptr_cmp(&Capability::null(), &Capability::null()).is_eq());
+    }
+
+    #[test]
+    fn same_address_different_object_compares_equal() {
+        // C compares pointer *values*; two one-past-the-end / adjacent-object
+        // pointers with the same address are equal at the language level.
+        let a = Capability::new_mem(0x1000, 0x10, Perms::data()).inc_offset(0x10).unwrap();
+        let b = Capability::new_mem(0x1010, 0x10, Perms::data());
+        assert!(ptr_cmp(&a, &b).is_eq());
+    }
+
+    #[test]
+    fn intcap_never_equals_valid_cap() {
+        let c = Capability::new_mem(0x1000, 0x100, Perms::data());
+        let i = Capability::from_int(c.address());
+        let r = ptr_cmp(&i, &c);
+        assert!(!r.is_eq());
+        assert!(r.cross_tag);
+    }
+
+    proptest! {
+        #[test]
+        fn ordering_is_antisymmetric(a_base in 1u64..1 << 40, b_base in 1u64..1 << 40,
+                                     a_off in any::<u32>(), b_off in any::<u32>()) {
+            let a = Capability::new_mem(a_base, 64, Perms::data())
+                .set_offset(a_off as u64).unwrap();
+            let b = Capability::new_mem(b_base, 64, Perms::data())
+                .set_offset(b_off as u64).unwrap();
+            let ab = ptr_cmp(&a, &b).ordering;
+            let ba = ptr_cmp(&b, &a).ordering;
+            prop_assert_eq!(ab, ba.reverse());
+        }
+
+        #[test]
+        fn ordering_is_transitive(xs in proptest::collection::vec((1u64..1 << 30, any::<u16>()), 3)) {
+            let caps: Vec<Capability> = xs.iter()
+                .map(|&(b, o)| Capability::new_mem(b, 64, Perms::data()).set_offset(o as u64).unwrap())
+                .collect();
+            let (a, b, c) = (&caps[0], &caps[1], &caps[2]);
+            if ptr_cmp(a, b).ordering != Ordering::Greater
+                && ptr_cmp(b, c).ordering != Ordering::Greater {
+                prop_assert_ne!(ptr_cmp(a, c).ordering, Ordering::Greater);
+            }
+        }
+    }
+}

@@ -1,0 +1,2002 @@
+//! The code generator.
+
+use crate::runtime::{INTRINSICS, RUNTIME_SOURCE};
+use crate::Abi;
+use cheri_c::{BinOp, Block, Expr, ExprKind, FuncDef, Stmt, TranslationUnit, Type, UnOp};
+use cheri_interp::{align_of, field_offset, size_of, TargetInfo};
+use cheri_isa::{CmpOp, Instr, Op, Program, Symbol, A0, DDC, RA, SP, V0, ZERO};
+use cheri_vm::sys;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Capability-register conventions shared with the VM runtime.
+const CV0: u8 = 1; // capability return value / malloc result
+const CA0: u8 = 3; // first capability argument
+const CSP: u8 = 11; // stack capability
+
+const INT_TEMPS: std::ops::Range<u8> = 8..16;
+const CAP_TEMPS: std::ops::Range<u8> = 16..24;
+
+/// A code-generation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// Source line.
+    pub line: u32,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl CompileError {
+    fn new(line: u32, msg: impl Into<String>) -> CompileError {
+        CompileError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for CompileError {}
+
+/// Compiles `src` (plus the runtime library) for `abi`.
+///
+/// # Errors
+///
+/// Front-end errors, unsupported constructs, and — on [`Abi::CheriV2`] —
+/// pointer subtraction, which that ABI cannot represent.
+pub fn compile(src: &str, abi: Abi) -> Result<Program, CompileError> {
+    let full = format!("{src}\n{RUNTIME_SOURCE}");
+    let unit = cheri_c::parse(&full).map_err(|e| CompileError::new(e.line, e.msg))?;
+    compile_unit(&unit, abi)
+}
+
+/// Compiles an already-parsed unit (which must include the runtime
+/// functions it uses).
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_unit(unit: &TranslationUnit, abi: Abi) -> Result<Program, CompileError> {
+    let mut cg = Cg::new(unit, abi);
+    cg.run()?;
+    Ok(cg.finish())
+}
+
+/// An expression value held in a register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Operand {
+    Int(u8),
+    Cap(u8),
+}
+
+/// A resolved storage location.
+#[derive(Clone, Copy, Debug)]
+enum Addr {
+    /// Frame-relative (SP on MIPS, CSP on CHERI).
+    Frame(i32),
+    /// Absolute data-segment address.
+    Global(u64, u64),
+    /// Through a pointer register plus displacement.
+    Mem(Operand, i32),
+}
+
+struct Loop {
+    breaks: Vec<usize>,
+    continues: Vec<usize>,
+}
+
+struct Cg<'u> {
+    unit: &'u TranslationUnit,
+    abi: Abi,
+    ti: TargetInfo,
+    code: Vec<Instr>,
+    data: Vec<u8>,
+    data_base: u64,
+    globals: HashMap<String, (u64, u64)>,
+    strings: HashMap<String, u64>,
+    func_entry: HashMap<String, u64>,
+    call_fixups: Vec<(usize, String, u32)>,
+    symbols: Vec<Symbol>,
+    // Per-function state.
+    scopes: Vec<HashMap<String, (i32, Type)>>,
+    cursor: i32,
+    frame_max: i32,
+    frame_patches: Vec<(usize, bool)>, // (index, is_epilogue)
+    labels: Vec<Option<u64>>,
+    label_fixups: Vec<(usize, usize)>,
+    loops: Vec<Loop>,
+    epilogue: usize,
+    live: Vec<Operand>,
+    int_free: Vec<u8>,
+    cap_free: Vec<u8>,
+}
+
+impl<'u> Cg<'u> {
+    fn new(unit: &'u TranslationUnit, abi: Abi) -> Cg<'u> {
+        Cg {
+            unit,
+            abi,
+            ti: abi.target(),
+            code: Vec::new(),
+            data: Vec::new(),
+            data_base: cheri_vm::VmConfig::default().data_base,
+            globals: HashMap::new(),
+            strings: HashMap::new(),
+            func_entry: HashMap::new(),
+            call_fixups: Vec::new(),
+            symbols: Vec::new(),
+            scopes: Vec::new(),
+            cursor: 0,
+            frame_max: 0,
+            frame_patches: Vec::new(),
+            labels: Vec::new(),
+            label_fixups: Vec::new(),
+            loops: Vec::new(),
+            epilogue: 0,
+            live: Vec::new(),
+            int_free: Vec::new(),
+            cap_free: Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::new(line, msg))
+    }
+
+    fn tsize(&self, ty: &Type) -> u64 {
+        size_of(ty, &self.unit.structs, &self.ti)
+    }
+
+    fn talign(&self, ty: &Type) -> u64 {
+        align_of(ty, &self.unit.structs, &self.ti)
+    }
+
+    fn is_cap_value(&self, ty: &Type) -> bool {
+        self.abi.is_cheri()
+            && matches!(
+                ty.decay(),
+                Type::Ptr { .. } | Type::IntPtr { .. } | Type::IntCap { .. }
+            )
+    }
+
+    // --- Register pool ---
+
+    fn alloc_int(&mut self, line: u32) -> Result<Operand, CompileError> {
+        match self.int_free.pop() {
+            Some(r) => {
+                let op = Operand::Int(r);
+                self.live.push(op);
+                Ok(op)
+            }
+            None => self.err(line, "expression too complex (integer registers exhausted)"),
+        }
+    }
+
+    fn alloc_cap(&mut self, line: u32) -> Result<Operand, CompileError> {
+        match self.cap_free.pop() {
+            Some(r) => {
+                let op = Operand::Cap(r);
+                self.live.push(op);
+                Ok(op)
+            }
+            None => self.err(line, "expression too complex (capability registers exhausted)"),
+        }
+    }
+
+    fn alloc_kind(&mut self, cap: bool, line: u32) -> Result<Operand, CompileError> {
+        if cap {
+            self.alloc_cap(line)
+        } else {
+            self.alloc_int(line)
+        }
+    }
+
+    fn free_op(&mut self, op: Operand) {
+        if let Some(pos) = self.live.iter().rposition(|&o| o == op) {
+            self.live.remove(pos);
+        }
+        match op {
+            Operand::Int(r) => self.int_free.push(r),
+            Operand::Cap(r) => self.cap_free.push(r),
+        }
+    }
+
+    fn reg(op: Operand) -> u8 {
+        match op {
+            Operand::Int(r) | Operand::Cap(r) => r,
+        }
+    }
+
+    // --- Frame helpers ---
+
+    const RA_SLOT: i32 = 0;
+    fn int_spill_off(r: u8) -> i32 {
+        8 + (r as i32 - 8) * 8
+    }
+    fn cap_spill_off(r: u8) -> i32 {
+        96 + (r as i32 - 16) * 32
+    }
+    fn locals_start(&self) -> i32 {
+        if self.abi.is_cheri() {
+            352
+        } else {
+            96
+        }
+    }
+
+    fn frame_base_reg(&self) -> u8 {
+        if self.abi.is_cheri() {
+            CSP
+        } else {
+            SP
+        }
+    }
+
+    /// Emits a frame-relative scalar load/store.
+    fn frame_mem(&mut self, op: Op, val_reg: u8, off: i32) {
+        let base = self.frame_base_reg();
+        self.emit(Instr::mem(op, val_reg, base, off));
+    }
+
+    fn alloc_slot(&mut self, size: u64, align: u64) -> i32 {
+        let a = align.max(1) as i32;
+        let off = (self.cursor + a - 1) / a * a;
+        self.cursor = off + size.max(1) as i32;
+        self.frame_max = self.frame_max.max(self.cursor);
+        off
+    }
+
+    fn define_local(&mut self, name: &str, ty: &Type) -> i32 {
+        let off = self.alloc_slot(self.tsize(ty), self.talign(ty).max(8));
+        self.scopes
+            .last_mut()
+            .expect("scope")
+            .insert(name.to_string(), (off, ty.clone()));
+        off
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<(i32, Type)> {
+        for s in self.scopes.iter().rev() {
+            if let Some(v) = s.get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    // --- Labels ---
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, l: usize) {
+        self.labels[l] = Some(self.code.len() as u64);
+    }
+
+    fn emit_jump(&mut self, l: usize) {
+        let pos = self.emit(Instr::new(Op::J, 0, 0, 0, 0));
+        self.label_fixups.push((pos, l));
+    }
+
+    /// Branch to `l` when `rs == 0`.
+    fn emit_branch_if_zero(&mut self, rs: u8, l: usize) {
+        let pos = self.emit(Instr::new(Op::Beq, 0, rs, ZERO, 0));
+        self.label_fixups.push((pos, l));
+    }
+
+    fn emit_branch_if_nonzero(&mut self, rs: u8, l: usize) {
+        let pos = self.emit(Instr::new(Op::Bne, 0, rs, ZERO, 0));
+        self.label_fixups.push((pos, l));
+    }
+
+    fn patch_labels(&mut self) {
+        for &(pos, l) in &self.label_fixups {
+            let target = self.labels[l].expect("label bound") as i32;
+            self.code[pos].imm = target;
+        }
+        self.label_fixups.clear();
+        self.labels.clear();
+    }
+
+    // --- Data segment ---
+
+    fn data_alloc(&mut self, size: u64, align: u64) -> u64 {
+        let a = align.max(1);
+        while (self.data.len() as u64 + self.data_base) % a != 0 {
+            self.data.push(0);
+        }
+        let addr = self.data_base + self.data.len() as u64;
+        self.data.extend(std::iter::repeat_n(0u8, size as usize));
+        addr
+    }
+
+    fn intern_string(&mut self, s: &str) -> u64 {
+        if let Some(&a) = self.strings.get(s) {
+            return a;
+        }
+        let addr = self.data_alloc(s.len() as u64 + 1, 1);
+        let off = (addr - self.data_base) as usize;
+        self.data[off..off + s.len()].copy_from_slice(s.as_bytes());
+        self.strings.insert(s.to_string(), addr);
+        addr
+    }
+
+    // --- Top-level driver ---
+
+    fn run(&mut self) -> Result<(), CompileError> {
+        self.layout_globals()?;
+        // _start
+        let start_pos = self.emit(Instr::new(Op::Jal, 0, 0, 0, 0));
+        self.call_fixups.push((start_pos, "main".to_string(), 0));
+        self.emit(Instr::r3(Op::Addu, A0, V0, ZERO));
+        self.emit(Instr::syscall(sys::EXIT));
+        self.symbols.push(Symbol { name: "_start".into(), value: 0, size: 3, is_func: true });
+
+        for f in &self.unit.funcs {
+            self.gen_function(f)?;
+        }
+        // Patch calls.
+        for (pos, name, line) in std::mem::take(&mut self.call_fixups) {
+            let entry = *self
+                .func_entry
+                .get(&name)
+                .ok_or_else(|| CompileError::new(line, format!("undefined function `{name}`")))?;
+            self.code[pos].imm = entry as i32;
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Program {
+        Program {
+            code: self.code,
+            data: self.data,
+            data_base: self.data_base,
+            entry: 0,
+            symbols: self.symbols,
+        }
+    }
+
+    fn layout_globals(&mut self) -> Result<(), CompileError> {
+        for g in &self.unit.globals {
+            let size = self.tsize(&g.ty).max(1);
+            let align = self.talign(&g.ty).max(8);
+            let addr = self.data_alloc(size, align);
+            self.globals.insert(g.name.clone(), (addr, size));
+            self.symbols.push(Symbol {
+                name: g.name.clone(),
+                value: addr,
+                size,
+                is_func: false,
+            });
+            let off = (addr - self.data_base) as usize;
+            match (&g.init, &g.ty) {
+                (None, _) => {}
+                (Some(Expr { kind: ExprKind::StrLit(s), .. }), Type::Array { .. }) => {
+                    self.data[off..off + s.len()].copy_from_slice(s.as_bytes());
+                }
+                (Some(e), ty) if ty.is_integer() => {
+                    let v = const_eval(e, &self.ti, self.unit)
+                        .ok_or_else(|| CompileError::new(g.line, "global initializer must be a constant"))?;
+                    let w = self.tsize(ty) as usize;
+                    self.data[off..off + w].copy_from_slice(&v.to_le_bytes()[..w]);
+                }
+                (Some(Expr { kind: ExprKind::IntLit(0), .. }), Type::Ptr { .. }) => {}
+                (Some(e), _) => {
+                    return self.err(
+                        e.line,
+                        "unsupported global initializer (use a constant or init at runtime)",
+                    )
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- Functions ---
+
+    fn gen_function(&mut self, f: &FuncDef) -> Result<(), CompileError> {
+        let entry = self.code.len() as u64;
+        self.func_entry.insert(f.name.clone(), entry);
+        self.scopes = vec![HashMap::new()];
+        self.cursor = self.locals_start();
+        self.frame_max = self.cursor;
+        self.loops.clear();
+        self.live.clear();
+        self.int_free = INT_TEMPS.rev().collect();
+        self.cap_free = CAP_TEMPS.rev().collect();
+        self.frame_patches.clear();
+        self.epilogue = self.new_label();
+
+        // Prologue: grow the frame, save RA, spill parameters.
+        let grow = if self.abi.is_cheri() {
+            self.emit(Instr::new(Op::CIncOffsetImm, CSP, CSP, 0, 0))
+        } else {
+            self.emit(Instr::i2(Op::Addiu, SP, SP, 0))
+        };
+        self.frame_patches.push((grow, false));
+        let (ra_store, _) = self.frame_ops(8, true);
+        self.frame_mem(ra_store, RA, Self::RA_SLOT);
+
+        let mut int_args = 0u8;
+        let mut cap_args = 0u8;
+        for p in &f.params {
+            let off = self.define_local(&p.name, &p.ty);
+            if self.is_cap_value(&p.ty) {
+                let base = self.frame_base_reg();
+                self.emit(Instr::mem(Op::Csc, CA0 + cap_args, base, off));
+                cap_args += 1;
+            } else {
+                let (st, _) = self.frame_ops(8, true);
+                self.frame_mem(st, A0 + int_args, off);
+                int_args += 1;
+            }
+            if int_args > 4 || cap_args > 4 {
+                return self.err(f.line, "more than four arguments of one kind");
+            }
+        }
+
+        self.gen_block(&f.body)?;
+
+        // Implicit `return 0`.
+        self.emit(Instr::li(V0, 0));
+        self.bind(self.epilogue);
+        let (ra_load, _) = self.frame_ops(8, false);
+        self.frame_mem(ra_load, RA, Self::RA_SLOT);
+        let shrink = if self.abi.is_cheri() {
+            self.emit(Instr::new(Op::CIncOffsetImm, CSP, CSP, 0, 0))
+        } else {
+            self.emit(Instr::i2(Op::Addiu, SP, SP, 0))
+        };
+        self.frame_patches.push((shrink, true));
+        self.emit(Instr::new(Op::Jr, 0, RA, 0, 0));
+
+        // Patch frame size.
+        let frame = ((self.frame_max as i64 + 31) / 32 * 32) as i32;
+        for (pos, is_epi) in std::mem::take(&mut self.frame_patches) {
+            self.code[pos].imm = if is_epi { frame } else { -frame };
+        }
+        self.patch_labels();
+        self.symbols.push(Symbol {
+            name: f.name.clone(),
+            value: entry,
+            size: self.code.len() as u64 - entry,
+            is_func: true,
+        });
+        Ok(())
+    }
+
+    /// `(store op, load op)` helpers for frame scalar access: returns the
+    /// store (or load) opcode for an 8-byte slot.
+    fn frame_ops(&self, _width: u8, store: bool) -> (Op, Op) {
+        if self.abi.is_cheri() {
+            if store {
+                (Op::Csd, Op::Cld)
+            } else {
+                (Op::Cld, Op::Csd)
+            }
+        } else if store {
+            (Op::Sd, Op::Ld)
+        } else {
+            (Op::Ld, Op::Sd)
+        }
+    }
+
+    /// `(load, store)` opcodes for a scalar of `ty`.
+    fn scalar_ops(&self, ty: &Type, line: u32) -> Result<(Op, Op, u8), CompileError> {
+        let cheri = self.abi.is_cheri();
+        let (w, signed) = match ty {
+            Type::Int { width, signed } => (*width, *signed),
+            Type::IntPtr { .. } | Type::IntCap { .. } if !cheri => (8, true),
+            _ => return self.err(line, format!("not a scalar type: {ty}")),
+        };
+        let ops = match (cheri, w, signed) {
+            (false, 1, true) => (Op::Lb, Op::Sb),
+            (false, 1, false) => (Op::Lbu, Op::Sb),
+            (false, 2, true) => (Op::Lh, Op::Sh),
+            (false, 2, false) => (Op::Lhu, Op::Sh),
+            (false, 4, true) => (Op::Lw, Op::Sw),
+            (false, 4, false) => (Op::Lwu, Op::Sw),
+            (false, _, _) => (Op::Ld, Op::Sd),
+            (true, 1, true) => (Op::Clb, Op::Csb),
+            (true, 1, false) => (Op::Clbu, Op::Csb),
+            (true, 2, true) => (Op::Clh, Op::Csh),
+            (true, 2, false) => (Op::Clhu, Op::Csh),
+            (true, 4, true) => (Op::Clw, Op::Csw),
+            (true, 4, false) => (Op::Clwu, Op::Csw),
+            (true, _, _) => (Op::Cld, Op::Csd),
+        };
+        Ok((ops.0, ops.1, w))
+    }
+
+    // --- Spill machinery around calls ---
+
+    fn spill_all(&mut self) {
+        let live = self.live.clone();
+        for op in live {
+            match op {
+                Operand::Int(r) => {
+                    let (st, _) = self.frame_ops(8, true);
+                    self.frame_mem(st, r, Self::int_spill_off(r));
+                }
+                Operand::Cap(r) => {
+                    let base = self.frame_base_reg();
+                    self.emit(Instr::mem(Op::Csc, r, base, Self::cap_spill_off(r)));
+                }
+            }
+        }
+        // Reserve room for the spill area.
+        self.frame_max = self.frame_max.max(self.locals_start());
+    }
+
+    fn reload(&mut self, ops: &[Operand]) {
+        for &op in ops {
+            match op {
+                Operand::Int(r) => {
+                    let (ld, _) = self.frame_ops(8, false);
+                    self.frame_mem(ld, r, Self::int_spill_off(r));
+                }
+                Operand::Cap(r) => {
+                    let base = self.frame_base_reg();
+                    self.emit(Instr::mem(Op::Clc, r, base, Self::cap_spill_off(r)));
+                }
+            }
+        }
+    }
+
+    // --- Addresses ---
+
+    fn gen_addr(&mut self, e: &Expr) -> Result<(Addr, Type), CompileError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if let Some((off, ty)) = self.lookup_local(name) {
+                    Ok((Addr::Frame(off), ty))
+                } else if let Some(&(addr, size)) = self.globals.get(name) {
+                    let ty = self.unit.global(name).expect("checked global").ty.clone();
+                    Ok((Addr::Global(addr, size), ty))
+                } else {
+                    self.err(e.line, format!("unbound variable `{name}`"))
+                }
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                let p = self.gen_ptr(inner)?;
+                let ty = inner.ty.decay().pointee().cloned().expect("checked deref");
+                Ok((Addr::Mem(p, 0), ty))
+            }
+            ExprKind::Index(base, idx) => {
+                let elem = base.ty.decay().pointee().cloned().expect("checked index");
+                let p = self.gen_ptr(base)?;
+                let scaled = self.gen_scaled_index(idx, self.tsize(&elem))?;
+                let q = self.ptr_add_reg(p, scaled, false, e.line)?;
+                self.free_op(scaled);
+                Ok((Addr::Mem(q, 0), elem))
+            }
+            ExprKind::Member { base, field, arrow } => {
+                if *arrow {
+                    let Type::Struct(id) = base.ty.decay().pointee().cloned().expect("->") else {
+                        return self.err(e.line, "-> on non-struct");
+                    };
+                    let (off, fty) = field_offset(&self.unit.structs, id, field, &self.ti);
+                    let p = self.gen_ptr(base)?;
+                    Ok((Addr::Mem(p, off as i32), fty))
+                } else {
+                    let (addr, bty) = self.gen_addr(base)?;
+                    let Type::Struct(id) = bty else {
+                        return self.err(e.line, ". on non-struct");
+                    };
+                    let (off, fty) = field_offset(&self.unit.structs, id, field, &self.ti);
+                    let moved = match addr {
+                        Addr::Frame(f) => Addr::Frame(f + off as i32),
+                        Addr::Global(a, s) => Addr::Global(a + off, s.saturating_sub(off)),
+                        Addr::Mem(p, d) => Addr::Mem(p, d + off as i32),
+                    };
+                    Ok((moved, fty))
+                }
+            }
+            _ => self.err(e.line, "expression is not an lvalue"),
+        }
+    }
+
+    /// Materializes a pointer to `addr`.
+    fn addr_to_ptr(&mut self, addr: Addr, bounded_size: Option<u64>, line: u32) -> Result<Operand, CompileError> {
+        match addr {
+            Addr::Frame(off) => {
+                if self.abi.is_cheri() {
+                    let c = self.alloc_cap(line)?;
+                    self.emit(Instr::new(Op::CIncOffsetImm, Self::reg(c), CSP, 0, off));
+                    Ok(c)
+                } else {
+                    let r = self.alloc_int(line)?;
+                    self.emit(Instr::i2(Op::Addiu, Self::reg(r), SP, off));
+                    Ok(r)
+                }
+            }
+            Addr::Global(a, size) => {
+                if self.abi.is_cheri() {
+                    let tmp = self.alloc_int(line)?;
+                    self.emit(Instr::li(Self::reg(tmp), a as i32));
+                    let c = self.alloc_cap(line)?;
+                    self.emit(Instr::cmod(Op::CFromPtr, Self::reg(c), DDC, Self::reg(tmp)));
+                    if let Some(sz) = bounded_size.or(Some(size)) {
+                        self.emit(Instr::li(Self::reg(tmp), sz as i32));
+                        self.emit(Instr::cmod(Op::CSetBounds, Self::reg(c), Self::reg(c), Self::reg(tmp)));
+                    }
+                    self.free_op(tmp);
+                    Ok(c)
+                } else {
+                    let r = self.alloc_int(line)?;
+                    self.emit(Instr::li(Self::reg(r), a as i32));
+                    Ok(r)
+                }
+            }
+            Addr::Mem(p, 0) => Ok(p),
+            Addr::Mem(p, d) => {
+                match p {
+                    Operand::Cap(c) => {
+                        self.emit(Instr::new(Op::CIncOffsetImm, c, c, 0, d));
+                    }
+                    Operand::Int(r) => {
+                        self.emit(Instr::i2(Op::Addiu, r, r, d));
+                    }
+                }
+                Ok(p)
+            }
+        }
+    }
+
+    fn load_addr(&mut self, addr: Addr, ty: &Type, line: u32) -> Result<Operand, CompileError> {
+        if self.is_cap_value(ty) {
+            let c = self.alloc_cap(line)?;
+            match addr {
+                Addr::Frame(off) => {
+                    self.emit(Instr::mem(Op::Clc, Self::reg(c), CSP, off));
+                }
+                Addr::Mem(Operand::Cap(p), d) => {
+                    self.emit(Instr::mem(Op::Clc, Self::reg(c), p, d));
+                }
+                Addr::Global(..) => {
+                    self.free_op(c);
+                    let p = self.addr_to_ptr(addr, None, line)?;
+                    let c2 = self.alloc_cap(line)?;
+                    self.emit(Instr::mem(Op::Clc, Self::reg(c2), Self::reg(p), 0));
+                    self.free_op(p);
+                    return Ok(c2);
+                }
+                Addr::Mem(Operand::Int(_), _) => {
+                    return self.err(line, "capability load through integer pointer");
+                }
+            }
+            return Ok(c);
+        }
+        if matches!(ty, Type::Ptr { .. }) && !self.abi.is_cheri() {
+            // MIPS pointers are plain 8-byte integers.
+            return self.load_addr(addr, &Type::long(), line);
+        }
+        let (ld, _, _) = self.scalar_ops(ty, line)?;
+        let r = self.alloc_int(line)?;
+        match addr {
+            Addr::Frame(off) => {
+                let base = self.frame_base_reg();
+                self.emit(Instr::mem(ld, Self::reg(r), base, off));
+            }
+            Addr::Mem(p, d) => {
+                self.emit(Instr::mem(ld, Self::reg(r), Self::reg(p), d));
+            }
+            Addr::Global(..) => {
+                self.free_op(r);
+                let p = self.addr_to_ptr(addr, None, line)?;
+                let r2 = self.alloc_int(line)?;
+                self.emit(Instr::mem(ld, Self::reg(r2), Self::reg(p), 0));
+                self.free_op(p);
+                return Ok(r2);
+            }
+        }
+        Ok(r)
+    }
+
+    fn store_addr(&mut self, addr: Addr, ty: &Type, val: Operand, line: u32) -> Result<(), CompileError> {
+        if self.is_cap_value(ty) {
+            let Operand::Cap(v) = val else {
+                // Storing a null constant (integer 0) into a pointer slot.
+                let c = self.alloc_cap(line)?;
+                self.emit(Instr::cmod(Op::CFromPtr, Self::reg(c), DDC, Self::reg(val)));
+                self.store_addr(addr, ty, c, line)?;
+                self.free_op(c);
+                return Ok(());
+            };
+            match addr {
+                Addr::Frame(off) => {
+                    self.emit(Instr::mem(Op::Csc, v, CSP, off));
+                }
+                Addr::Mem(Operand::Cap(p), d) => {
+                    self.emit(Instr::mem(Op::Csc, v, p, d));
+                }
+                Addr::Global(..) => {
+                    let p = self.addr_to_ptr(addr, None, line)?;
+                    self.emit(Instr::mem(Op::Csc, v, Self::reg(p), 0));
+                    self.free_op(p);
+                }
+                Addr::Mem(Operand::Int(_), _) => {
+                    return self.err(line, "capability store through integer pointer");
+                }
+            }
+            return Ok(());
+        }
+        if matches!(ty, Type::Ptr { .. }) && !self.abi.is_cheri() {
+            return self.store_addr(addr, &Type::long(), val, line);
+        }
+        let (_, st, _) = self.scalar_ops(ty, line)?;
+        match addr {
+            Addr::Frame(off) => {
+                let base = self.frame_base_reg();
+                self.emit(Instr::mem(st, Self::reg(val), base, off));
+            }
+            Addr::Mem(p, d) => {
+                self.emit(Instr::mem(st, Self::reg(val), Self::reg(p), d));
+            }
+            Addr::Global(..) => {
+                let p = self.addr_to_ptr(addr, None, line)?;
+                self.emit(Instr::mem(st, Self::reg(val), Self::reg(p), 0));
+                self.free_op(p);
+            }
+        }
+        Ok(())
+    }
+
+    // --- Pointer arithmetic ---
+
+    /// Evaluates an index expression scaled by `elem_size` into an int reg.
+    fn gen_scaled_index(&mut self, idx: &Expr, elem_size: u64) -> Result<Operand, CompileError> {
+        let i = self.gen(idx)?;
+        let i = self.to_int(i, idx.line)?;
+        if elem_size != 1 {
+            let s = self.alloc_int(idx.line)?;
+            self.emit(Instr::li(Self::reg(s), elem_size as i32));
+            self.emit(Instr::r3(Op::Mul, Self::reg(i), Self::reg(i), Self::reg(s)));
+            self.free_op(s);
+        }
+        Ok(i)
+    }
+
+    /// `p + delta` (byte delta in an int register). `negate` subtracts.
+    fn ptr_add_reg(
+        &mut self,
+        p: Operand,
+        delta: Operand,
+        negate: bool,
+        line: u32,
+    ) -> Result<Operand, CompileError> {
+        match (self.abi, p) {
+            (Abi::Mips, Operand::Int(pr)) => {
+                let op = if negate { Op::Subu } else { Op::Addu };
+                self.emit(Instr::r3(op, pr, pr, Self::reg(delta)));
+                Ok(p)
+            }
+            (Abi::CheriV3, Operand::Cap(pc)) => {
+                if negate {
+                    self.emit(Instr::r3(Op::Subu, Self::reg(delta), ZERO, Self::reg(delta)));
+                }
+                self.emit(Instr::c_inc_offset(pc, pc, Self::reg(delta)));
+                Ok(p)
+            }
+            (Abi::CheriV2, Operand::Cap(pc)) => {
+                if negate {
+                    return self.err(
+                        line,
+                        "CHERIv2 cannot represent pointer subtraction (CIncBase is monotonic); \
+                         rewrite to track an index instead",
+                    );
+                }
+                self.emit(Instr::cmod(Op::CIncBase, pc, pc, Self::reg(delta)));
+                Ok(p)
+            }
+            _ => self.err(line, "pointer/ABI mismatch in pointer arithmetic"),
+        }
+    }
+
+    /// Coerces a value to an integer register (pointer → address).
+    fn to_int(&mut self, op: Operand, line: u32) -> Result<Operand, CompileError> {
+        match op {
+            Operand::Int(_) => Ok(op),
+            Operand::Cap(c) => {
+                let r = self.alloc_int(line)?;
+                self.emit(Instr::new(Op::CToPtr, Self::reg(r), c, DDC, 0));
+                self.free_op(op);
+                Ok(r)
+            }
+        }
+    }
+
+    /// Truthiness of an operand into an int register (0/1).
+    fn to_bool(&mut self, op: Operand, line: u32) -> Result<Operand, CompileError> {
+        match op {
+            Operand::Int(r) => {
+                self.emit(Instr::r3(Op::Sltu, r, ZERO, r));
+                Ok(op)
+            }
+            Operand::Cap(c) => {
+                let r = self.alloc_int(line)?;
+                self.emit(Instr::cmod(Op::CGetTag, Self::reg(r), c, 0));
+                self.free_op(op);
+                Ok(r)
+            }
+        }
+    }
+
+    // --- Expressions ---
+
+    fn gen(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                if *v < i32::MIN as i64 || *v > i32::MAX as i64 {
+                    return self.err(e.line, "integer literal exceeds 32 bits");
+                }
+                let r = self.alloc_int(e.line)?;
+                self.emit(Instr::li(Self::reg(r), *v as i32));
+                Ok(r)
+            }
+            ExprKind::StrLit(s) => {
+                let addr = self.intern_string(s);
+                let size = s.len() as u64 + 1;
+                self.addr_to_ptr(Addr::Global(addr, size), Some(size), e.line)
+            }
+            ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Member { .. } => {
+                if e.ty.is_array() {
+                    let (addr, ty) = self.gen_addr(e)?;
+                    let size = self.tsize(&ty);
+                    return self.addr_to_ptr(addr, Some(size), e.line);
+                }
+                let (addr, ty) = self.gen_addr(e)?;
+                let v = self.load_addr(addr, &ty, e.line)?;
+                if let Addr::Mem(p, _) = addr {
+                    if p != v {
+                        self.free_op(p);
+                    }
+                }
+                Ok(v)
+            }
+            ExprKind::Unary(op, inner) => self.gen_unary(*op, inner, e),
+            ExprKind::Binary(op, a, b) => self.gen_binary(*op, a, b, e),
+            ExprKind::Assign(op, lhs, rhs) => self.gen_assign(op.as_ref(), lhs, rhs, e.line),
+            ExprKind::Ternary(c, a, b) => {
+                let want_cap = self.is_cap_value(&e.ty);
+                let dest = self.alloc_kind(want_cap, e.line)?;
+                let else_l = self.new_label();
+                let end_l = self.new_label();
+                let cv = self.gen(c)?;
+                let cb = self.to_bool(cv, c.line)?;
+                self.emit_branch_if_zero(Self::reg(cb), else_l);
+                self.free_op(cb);
+                let av = self.gen(a)?;
+                self.move_into(dest, av, a.line)?;
+                self.free_op(av);
+                self.emit_jump(end_l);
+                self.bind(else_l);
+                let bv = self.gen(b)?;
+                self.move_into(dest, bv, b.line)?;
+                self.free_op(bv);
+                self.bind(end_l);
+                Ok(dest)
+            }
+            ExprKind::Call(name, args) => self.gen_call(name, args, e),
+            ExprKind::Cast(to, inner) => {
+                let v = self.gen_maybe_array(inner)?;
+                self.gen_cast(to, v, e.line)
+            }
+            ExprKind::SizeofType(ty) => {
+                let r = self.alloc_int(e.line)?;
+                self.emit(Instr::li(Self::reg(r), self.tsize(ty) as i32));
+                Ok(r)
+            }
+            ExprKind::SizeofExpr(inner) => {
+                let r = self.alloc_int(e.line)?;
+                self.emit(Instr::li(Self::reg(r), self.tsize(&inner.ty) as i32));
+                Ok(r)
+            }
+            ExprKind::Offsetof(ty, field) => {
+                let Type::Struct(id) = ty else {
+                    return self.err(e.line, "offsetof on non-struct");
+                };
+                let (off, _) = field_offset(&self.unit.structs, *id, field, &self.ti);
+                let r = self.alloc_int(e.line)?;
+                self.emit(Instr::li(Self::reg(r), off as i32));
+                Ok(r)
+            }
+            ExprKind::IncDec { pre, inc, target } => {
+                let (addr, ty) = self.gen_addr(target)?;
+                let old = self.load_addr(addr, &ty, e.line)?;
+                let step: i64 = if ty.is_pointer() {
+                    self.tsize(ty.pointee().expect("ptr")) as i64
+                } else {
+                    1
+                };
+                let new = if let Operand::Cap(_) = old {
+                    // Pointer increment/decrement on a capability.
+                    let d = self.alloc_int(e.line)?;
+                    self.emit(Instr::li(Self::reg(d), step as i32));
+                    let copy = self.alloc_cap(e.line)?;
+                    self.emit(Instr::cmod(Op::CMove, Self::reg(copy), Self::reg(old), 0));
+                    let r = self.ptr_add_reg(copy, d, !*inc, e.line)?;
+                    self.free_op(d);
+                    r
+                } else {
+                    let r = self.alloc_int(e.line)?;
+                    let delta = if *inc { step } else { -step };
+                    self.emit(Instr::i2(Op::Addiu, Self::reg(r), Self::reg(old), delta as i32));
+                    r
+                };
+                self.store_addr(addr, &ty, new, e.line)?;
+                if let Addr::Mem(p, _) = addr {
+                    self.free_op(p);
+                }
+                if *pre {
+                    self.free_op(old);
+                    Ok(new)
+                } else {
+                    self.free_op(new);
+                    Ok(old)
+                }
+            }
+        }
+    }
+
+    fn gen_maybe_array(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        if e.ty.is_array() {
+            let (addr, ty) = self.gen_addr(e)?;
+            let size = self.tsize(&ty);
+            self.addr_to_ptr(addr, Some(size), e.line)
+        } else {
+            self.gen(e)
+        }
+    }
+
+    fn move_into(&mut self, dest: Operand, src: Operand, line: u32) -> Result<(), CompileError> {
+        match (dest, src) {
+            (Operand::Int(d), Operand::Int(s)) => {
+                self.emit(Instr::r3(Op::Addu, d, s, ZERO));
+                Ok(())
+            }
+            (Operand::Cap(d), Operand::Cap(s)) => {
+                self.emit(Instr::cmod(Op::CMove, d, s, 0));
+                Ok(())
+            }
+            (Operand::Cap(d), Operand::Int(s)) => {
+                self.emit(Instr::cmod(Op::CFromPtr, d, DDC, s));
+                Ok(())
+            }
+            (Operand::Int(d), Operand::Cap(s)) => {
+                self.emit(Instr::new(Op::CToPtr, d, s, DDC, 0));
+                Ok(())
+            }
+        }
+        .map(|()| {
+            let _ = line;
+        })
+    }
+
+    fn gen_unary(&mut self, op: UnOp, inner: &Expr, e: &Expr) -> Result<Operand, CompileError> {
+        match op {
+            UnOp::Deref => {
+                if e.ty.is_array() {
+                    return self.gen_maybe_array(e);
+                }
+                let (addr, ty) = self.gen_addr(e)?;
+                let v = self.load_addr(addr, &ty, e.line)?;
+                if let Addr::Mem(p, _) = addr {
+                    if p != v {
+                        self.free_op(p);
+                    }
+                }
+                Ok(v)
+            }
+            UnOp::Addr => {
+                let (addr, ty) = self.gen_addr(inner)?;
+                let size = self.tsize(&ty);
+                self.addr_to_ptr(addr, Some(size), e.line)
+            }
+            UnOp::Not => {
+                let v = self.gen(inner)?;
+                let b = self.to_bool(v, e.line)?;
+                self.emit(Instr::i2(Op::Xori, Self::reg(b), Self::reg(b), 1));
+                Ok(b)
+            }
+            UnOp::Neg => {
+                let v = self.gen(inner)?;
+                let v = self.to_int(v, e.line)?;
+                self.emit(Instr::r3(Op::Subu, Self::reg(v), ZERO, Self::reg(v)));
+                Ok(v)
+            }
+            UnOp::BitNot => {
+                let v = self.gen(inner)?;
+                let v = self.to_int(v, e.line)?;
+                self.emit(Instr::r3(Op::Nor, Self::reg(v), Self::reg(v), ZERO));
+                Ok(v)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn gen_binary(&mut self, op: BinOp, a: &Expr, b: &Expr, e: &Expr) -> Result<Operand, CompileError> {
+        // Short-circuit logical operators.
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let result = self.alloc_int(e.line)?;
+            let short_l = self.new_label();
+            let end_l = self.new_label();
+            let va = self.gen(a)?;
+            let ba = self.to_bool(va, a.line)?;
+            self.emit(Instr::r3(Op::Addu, Self::reg(result), Self::reg(ba), ZERO));
+            if op == BinOp::LogAnd {
+                self.emit_branch_if_zero(Self::reg(ba), short_l);
+            } else {
+                self.emit_branch_if_nonzero(Self::reg(ba), short_l);
+            }
+            self.free_op(ba);
+            let vb = self.gen(b)?;
+            let bb = self.to_bool(vb, b.line)?;
+            self.emit(Instr::r3(Op::Addu, Self::reg(result), Self::reg(bb), ZERO));
+            self.free_op(bb);
+            self.emit_jump(end_l);
+            self.bind(short_l);
+            self.bind(end_l);
+            return Ok(result);
+        }
+
+        let ta = a.ty.decay();
+        let tb = b.ty.decay();
+        let a_ptr = ta.is_pointer();
+        let b_ptr = tb.is_pointer();
+
+        // Pointer - pointer.
+        if op == BinOp::Sub && a_ptr && b_ptr {
+            if self.abi == Abi::CheriV2 {
+                return self.err(e.line, "CHERIv2 does not support pointer subtraction");
+            }
+            let pa = self.gen_ptr(a)?;
+            let pb = self.gen_ptr(b)?;
+            let ia = self.to_int(pa, e.line)?;
+            let ib = self.to_int(pb, e.line)?;
+            self.emit(Instr::r3(Op::Subu, Self::reg(ia), Self::reg(ia), Self::reg(ib)));
+            self.free_op(ib);
+            let es = self.tsize(ta.pointee().expect("ptr")).max(1);
+            if es > 1 {
+                let s = self.alloc_int(e.line)?;
+                self.emit(Instr::li(Self::reg(s), es as i32));
+                self.emit(Instr::r3(Op::Div, Self::reg(ia), Self::reg(ia), Self::reg(s)));
+                self.free_op(s);
+            }
+            return Ok(ia);
+        }
+
+        // Pointer ± integer.
+        if (op == BinOp::Add || op == BinOp::Sub) && (a_ptr || b_ptr) {
+            let (pe, ie, negate) = if a_ptr {
+                (a, b, op == BinOp::Sub)
+            } else {
+                (b, a, false)
+            };
+            if negate && self.abi == Abi::CheriV2 {
+                return self.err(
+                    e.line,
+                    "CHERIv2 cannot represent pointer subtraction (CIncBase is monotonic); \
+                     rewrite to track an index instead",
+                );
+            }
+            let elem = pe.ty.decay().pointee().cloned().expect("ptr");
+            let p = self.gen_ptr(pe)?;
+            let d = self.gen_scaled_index(ie, self.tsize(&elem))?;
+            let q = self.ptr_add_reg(p, d, negate, e.line)?;
+            self.free_op(d);
+            return Ok(q);
+        }
+
+        // Pointer comparisons.
+        if op.is_comparison() && (a_ptr || b_ptr) {
+            let pa = self.gen_maybe_array(a)?;
+            let pb = self.gen_maybe_array(b)?;
+            return self.gen_compare(op, pa, pb, false, e.line);
+        }
+
+        // Integer (or intcap) arithmetic.
+        let va = self.gen(a)?;
+        let vb = self.gen(b)?;
+        let signed = int_signedness(&ta) && int_signedness(&tb);
+        if op.is_comparison() {
+            return self.gen_compare(op, va, vb, signed, e.line);
+        }
+        let ia = self.to_int(va, e.line)?;
+        let ib = self.to_int(vb, e.line)?;
+        let (ra, rb) = (Self::reg(ia), Self::reg(ib));
+        let alu = match op {
+            BinOp::Add => Op::Addu,
+            BinOp::Sub => Op::Subu,
+            BinOp::Mul => Op::Mul,
+            BinOp::Div => {
+                if signed {
+                    Op::Div
+                } else {
+                    Op::Divu
+                }
+            }
+            BinOp::Rem => {
+                if signed {
+                    Op::Rem
+                } else {
+                    Op::Remu
+                }
+            }
+            BinOp::Shl => Op::Sllv,
+            BinOp::Shr => {
+                if signed {
+                    Op::Srav
+                } else {
+                    Op::Srlv
+                }
+            }
+            BinOp::BitAnd => Op::And,
+            BinOp::BitOr => Op::Or,
+            BinOp::BitXor => Op::Xor,
+            _ => unreachable!("handled above"),
+        };
+        self.emit(Instr::r3(alu, ra, ra, rb));
+        self.free_op(ib);
+        // Narrow unsigned arithmetic wraps at the type width.
+        if let Type::Int { width, signed: false } = e.ty {
+            if width < 8 {
+                let sh = (8 - width) * 8;
+                self.emit(Instr::i2(Op::Sll, ra, ra, sh as i32));
+                self.emit(Instr::i2(Op::Srl, ra, ra, sh as i32));
+            }
+        }
+        Ok(ia)
+    }
+
+    fn gen_compare(
+        &mut self,
+        op: BinOp,
+        va: Operand,
+        vb: Operand,
+        signed: bool,
+        line: u32,
+    ) -> Result<Operand, CompileError> {
+        if let (Operand::Cap(ca), Operand::Cap(cb)) = (va, vb) {
+            let sel = match op {
+                BinOp::Eq => CmpOp::Eq,
+                BinOp::Ne => CmpOp::Ne,
+                BinOp::Lt => CmpOp::Ltu,
+                BinOp::Le => CmpOp::Leu,
+                BinOp::Gt => CmpOp::Ltu,
+                BinOp::Ge => CmpOp::Leu,
+                _ => unreachable!(),
+            };
+            let r = self.alloc_int(line)?;
+            let (x, y) = if matches!(op, BinOp::Gt | BinOp::Ge) {
+                (cb, ca)
+            } else {
+                (ca, cb)
+            };
+            self.emit(Instr::c_ptr_cmp(Self::reg(r), x, y, sel));
+            self.free_op(va);
+            self.free_op(vb);
+            return Ok(r);
+        }
+        let ia = self.to_int(va, line)?;
+        let ib = self.to_int(vb, line)?;
+        let (ra, rb) = (Self::reg(ia), Self::reg(ib));
+        let slt = if signed { Op::Slt } else { Op::Sltu };
+        match op {
+            BinOp::Eq => {
+                self.emit(Instr::r3(Op::Xor, ra, ra, rb));
+                self.emit(Instr::i2(Op::Sltiu, ra, ra, 1));
+            }
+            BinOp::Ne => {
+                self.emit(Instr::r3(Op::Xor, ra, ra, rb));
+                self.emit(Instr::r3(Op::Sltu, ra, ZERO, ra));
+            }
+            BinOp::Lt => {
+                self.emit(Instr::r3(slt, ra, ra, rb));
+            }
+            BinOp::Gt => {
+                self.emit(Instr::r3(slt, ra, rb, ra));
+            }
+            BinOp::Le => {
+                self.emit(Instr::r3(slt, ra, rb, ra));
+                self.emit(Instr::i2(Op::Xori, ra, ra, 1));
+            }
+            BinOp::Ge => {
+                self.emit(Instr::r3(slt, ra, ra, rb));
+                self.emit(Instr::i2(Op::Xori, ra, ra, 1));
+            }
+            _ => unreachable!(),
+        }
+        self.free_op(ib);
+        Ok(ia)
+    }
+
+    fn gen_assign(
+        &mut self,
+        op: Option<&BinOp>,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<Operand, CompileError> {
+        let (addr, ty) = self.gen_addr(lhs)?;
+        if matches!(ty, Type::Struct(_) | Type::Array { .. }) {
+            return self.err(line, "aggregate assignment: use memcpy");
+        }
+        let val = if let Some(op) = op {
+            // Compound assignment: synthesize `lhs op rhs` with the loaded
+            // current value.
+            let cur = self.load_addr(addr, &ty, line)?;
+            let rv = self.gen(rhs)?;
+            self.combine_compound(*op, cur, rv, &ty, rhs, line)?
+        } else {
+            self.gen_maybe_array(rhs)?
+        };
+        // Coerce for the destination kind.
+        let val = self.coerce_for_store(val, &ty, line)?;
+        self.store_addr(addr, &ty, val, line)?;
+        if let Addr::Mem(p, _) = addr {
+            if p != val {
+                self.free_op(p);
+            }
+        }
+        Ok(val)
+    }
+
+    fn combine_compound(
+        &mut self,
+        op: BinOp,
+        cur: Operand,
+        rv: Operand,
+        ty: &Type,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<Operand, CompileError> {
+        if ty.is_pointer() {
+            // p += n / p -= n.
+            let negate = op == BinOp::Sub;
+            if negate && self.abi == Abi::CheriV2 {
+                return self.err(line, "CHERIv2 cannot represent pointer subtraction");
+            }
+            let elem = ty.pointee().cloned().expect("ptr");
+            let rv = self.to_int(rv, line)?;
+            let es = self.tsize(&elem);
+            if es != 1 {
+                let s = self.alloc_int(line)?;
+                self.emit(Instr::li(Self::reg(s), es as i32));
+                self.emit(Instr::r3(Op::Mul, Self::reg(rv), Self::reg(rv), Self::reg(s)));
+                self.free_op(s);
+            }
+            let q = self.ptr_add_reg(cur, rv, negate, line)?;
+            self.free_op(rv);
+            return Ok(q);
+        }
+        let signed = int_signedness(ty);
+        let ia = self.to_int(cur, line)?;
+        let ib = self.to_int(rv, line)?;
+        let alu = match op {
+            BinOp::Add => Op::Addu,
+            BinOp::Sub => Op::Subu,
+            BinOp::Mul => Op::Mul,
+            BinOp::Div => {
+                if signed {
+                    Op::Div
+                } else {
+                    Op::Divu
+                }
+            }
+            BinOp::Rem => {
+                if signed {
+                    Op::Rem
+                } else {
+                    Op::Remu
+                }
+            }
+            BinOp::Shl => Op::Sllv,
+            BinOp::Shr => {
+                if signed {
+                    Op::Srav
+                } else {
+                    Op::Srlv
+                }
+            }
+            BinOp::BitAnd => Op::And,
+            BinOp::BitOr => Op::Or,
+            BinOp::BitXor => Op::Xor,
+            other => return self.err(rhs.line, format!("unsupported compound op {other:?}")),
+        };
+        self.emit(Instr::r3(alu, Self::reg(ia), Self::reg(ia), Self::reg(ib)));
+        self.free_op(ib);
+        Ok(ia)
+    }
+
+    fn coerce_for_store(&mut self, val: Operand, ty: &Type, line: u32) -> Result<Operand, CompileError> {
+        if self.is_cap_value(ty) {
+            return match val {
+                Operand::Cap(_) => Ok(val),
+                Operand::Int(_) => {
+                    let c = self.alloc_cap(line)?;
+                    self.emit(Instr::cmod(Op::CFromPtr, Self::reg(c), DDC, Self::reg(val)));
+                    self.free_op(val);
+                    Ok(c)
+                }
+            };
+        }
+        match val {
+            Operand::Int(_) => Ok(val),
+            Operand::Cap(_) => self.to_int(val, line),
+        }
+    }
+
+    fn gen_cast(&mut self, to: &Type, v: Operand, line: u32) -> Result<Operand, CompileError> {
+        match to {
+            Type::Void => Ok(v),
+            Type::Int { width, signed } => {
+                let r = self.to_int(v, line)?;
+                if *width < 8 {
+                    let sh = ((8 - width) * 8) as i32;
+                    self.emit(Instr::i2(Op::Sll, Self::reg(r), Self::reg(r), sh));
+                    let back = if *signed { Op::Sra } else { Op::Srl };
+                    self.emit(Instr::i2(back, Self::reg(r), Self::reg(r), sh));
+                }
+                Ok(r)
+            }
+            Type::Ptr { .. } | Type::IntPtr { .. } | Type::IntCap { .. } => {
+                if self.abi.is_cheri() {
+                    match v {
+                        Operand::Cap(_) => Ok(v),
+                        Operand::Int(_) => {
+                            let c = self.alloc_cap(line)?;
+                            self.emit(Instr::cmod(Op::CFromPtr, Self::reg(c), DDC, Self::reg(v)));
+                            self.free_op(v);
+                            Ok(c)
+                        }
+                    }
+                } else {
+                    self.to_int(v, line)
+                }
+            }
+            _ => self.err(line, format!("unsupported cast target {to}")),
+        }
+    }
+
+    fn gen_ptr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        let v = self.gen_maybe_array(e)?;
+        if self.abi.is_cheri() {
+            match v {
+                Operand::Cap(_) => Ok(v),
+                Operand::Int(_) => {
+                    let c = self.alloc_cap(e.line)?;
+                    self.emit(Instr::cmod(Op::CFromPtr, Self::reg(c), DDC, Self::reg(v)));
+                    self.free_op(v);
+                    Ok(c)
+                }
+            }
+        } else {
+            self.to_int(v, e.line)
+        }
+    }
+
+    // --- Calls ---
+
+    #[allow(clippy::too_many_lines)]
+    fn gen_call(&mut self, name: &str, args: &[Expr], e: &Expr) -> Result<Operand, CompileError> {
+        if INTRINSICS.contains(&name) && self.unit.func(name).is_none() {
+            return self.gen_intrinsic(name, args, e);
+        }
+        let f = self
+            .unit
+            .func(name)
+            .ok_or_else(|| CompileError::new(e.line, format!("unknown function `{name}`")))?;
+        let params: Vec<Type> = f.params.iter().map(|p| p.ty.clone()).collect();
+
+        // Evaluate arguments into temps (they become live stack values).
+        let mut arg_ops = Vec::with_capacity(args.len());
+        for (arg, pty) in args.iter().zip(&params) {
+            let v = self.gen_maybe_array(arg)?;
+            let v = if self.is_cap_value(pty) {
+                match v {
+                    Operand::Cap(_) => v,
+                    Operand::Int(_) => {
+                        let c = self.alloc_cap(arg.line)?;
+                        self.emit(Instr::cmod(Op::CFromPtr, Self::reg(c), DDC, Self::reg(v)));
+                        self.free_op(v);
+                        c
+                    }
+                }
+            } else {
+                self.to_int(v, arg.line)?
+            };
+            arg_ops.push(v);
+        }
+
+        // Spill every live value (arguments included), then marshal the
+        // arguments into the argument registers from their spill slots.
+        self.spill_all();
+        let mut int_idx = 0u8;
+        let mut cap_idx = 0u8;
+        for op in &arg_ops {
+            match op {
+                Operand::Int(r) => {
+                    let (ld, _) = self.frame_ops(8, false);
+                    self.frame_mem(ld, A0 + int_idx, Self::int_spill_off(*r));
+                    int_idx += 1;
+                }
+                Operand::Cap(r) => {
+                    let base = self.frame_base_reg();
+                    self.emit(Instr::mem(Op::Clc, CA0 + cap_idx, base, Self::cap_spill_off(*r)));
+                    cap_idx += 1;
+                }
+            }
+        }
+        let pos = self.emit(Instr::new(Op::Jal, 0, 0, 0, 0));
+        self.call_fixups.push((pos, name.to_string(), e.line));
+
+        // Free argument registers, reload surviving values.
+        for op in arg_ops {
+            self.free_op(op);
+        }
+        let survivors = self.live.clone();
+        self.reload(&survivors);
+
+        // Fetch the result.
+        let want_cap = self.is_cap_value(&f.ret);
+        let dest = self.alloc_kind(want_cap, e.line)?;
+        match dest {
+            Operand::Int(r) => {
+                self.emit(Instr::r3(Op::Addu, r, V0, ZERO));
+            }
+            Operand::Cap(c) => {
+                self.emit(Instr::cmod(Op::CMove, c, CV0, 0));
+            }
+        }
+        Ok(dest)
+    }
+
+    fn gen_intrinsic(&mut self, name: &str, args: &[Expr], e: &Expr) -> Result<Operand, CompileError> {
+        match name {
+            "abort" => {
+                self.emit(Instr::new(Op::Break, 0, 0, 0, 0));
+                let r = self.alloc_int(e.line)?;
+                self.emit(Instr::li(Self::reg(r), 0));
+                Ok(r)
+            }
+            "clock" => {
+                self.spill_all();
+                self.emit(Instr::syscall(sys::CLOCK));
+                let survivors = self.live.clone();
+                self.reload(&survivors);
+                let r = self.alloc_int(e.line)?;
+                self.emit(Instr::r3(Op::Addu, Self::reg(r), V0, ZERO));
+                Ok(r)
+            }
+            "putchar" | "putint" | "free" => {
+                let v = self.gen_maybe_array(&args[0])?;
+                let iv = self.to_int(v, e.line)?;
+                self.emit(Instr::r3(Op::Addu, A0, Self::reg(iv), ZERO));
+                self.free_op(iv);
+                let code = match name {
+                    "putchar" => sys::PUTCHAR,
+                    "putint" => sys::PUTINT,
+                    _ => sys::FREE,
+                };
+                self.emit(Instr::syscall(code));
+                let r = self.alloc_int(e.line)?;
+                self.emit(Instr::li(Self::reg(r), 0));
+                Ok(r)
+            }
+            "memcpy" => {
+                // Tag-preserving copy via the MEMCPY syscall: capability
+                // ABIs pass bounded capabilities in c3/c4 (checked by the
+                // VM), the MIPS ABI passes raw addresses in a0/a1.
+                let dst = self.gen_ptr(&args[0])?;
+                let src = self.gen_ptr(&args[1])?;
+                let n = self.gen(&args[2])?;
+                let n = self.to_int(n, e.line)?;
+                self.emit(Instr::r3(Op::Addu, 6, Self::reg(n), ZERO)); // a2
+                self.free_op(n);
+                match (dst, src) {
+                    (Operand::Cap(d), Operand::Cap(s)) => {
+                        self.emit(Instr::cmod(Op::CMove, CA0, d, 0));
+                        self.emit(Instr::cmod(Op::CMove, CA0 + 1, s, 0));
+                    }
+                    (d, s) => {
+                        self.emit(Instr::r3(Op::Addu, A0, Self::reg(d), ZERO));
+                        self.emit(Instr::r3(Op::Addu, A0 + 1, Self::reg(s), ZERO));
+                    }
+                }
+                self.free_op(src);
+                self.emit(Instr::syscall(sys::MEMCPY));
+                Ok(dst)
+            }
+            "malloc" => {
+                let v = self.gen(&args[0])?;
+                let iv = self.to_int(v, e.line)?;
+                self.emit(Instr::r3(Op::Addu, A0, Self::reg(iv), ZERO));
+                self.free_op(iv);
+                self.emit(Instr::syscall(sys::MALLOC));
+                if self.abi.is_cheri() {
+                    let c = self.alloc_cap(e.line)?;
+                    self.emit(Instr::cmod(Op::CMove, Self::reg(c), CV0, 0));
+                    Ok(c)
+                } else {
+                    let r = self.alloc_int(e.line)?;
+                    self.emit(Instr::r3(Op::Addu, Self::reg(r), V0, ZERO));
+                    Ok(r)
+                }
+            }
+            other => self.err(e.line, format!("unknown intrinsic `{other}`")),
+        }
+    }
+
+    // --- Statements ---
+
+    fn gen_block(&mut self, b: &Block) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.gen_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { name, ty, init, line } => {
+                let off = self.define_local(name, ty);
+                if let Some(e) = init {
+                    if let (Type::Array { elem, .. }, ExprKind::StrLit(text)) = (ty, &e.kind) {
+                        if **elem == Type::char_() {
+                            // Copy the literal into the local array.
+                            let src_addr = self.intern_string(text);
+                            let n = text.len() as u64 + 1;
+                            let tmp = self.alloc_int(*line)?;
+                            for i in 0..n {
+                                // Byte-by-byte; literals in workloads are short.
+                                let src = Addr::Global(src_addr + i, 1);
+                                let b = self.load_addr(src, &Type::char_(), *line)?;
+                                self.store_addr(Addr::Frame(off + i as i32), &Type::char_(), b, *line)?;
+                                self.free_op(b);
+                            }
+                            self.free_op(tmp);
+                            return Ok(());
+                        }
+                    }
+                    let v = self.gen_maybe_array(e)?;
+                    let v = self.coerce_for_store(v, ty, *line)?;
+                    self.store_addr(Addr::Frame(off), ty, v, *line)?;
+                    self.free_op(v);
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                let v = self.gen(e)?;
+                self.free_op(v);
+                Ok(())
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let else_l = self.new_label();
+                let end_l = self.new_label();
+                let c = self.gen(cond)?;
+                let cb = self.to_bool(c, cond.line)?;
+                self.emit_branch_if_zero(Self::reg(cb), else_l);
+                self.free_op(cb);
+                self.gen_block(then_branch)?;
+                self.emit_jump(end_l);
+                self.bind(else_l);
+                if let Some(eb) = else_branch {
+                    self.gen_block(eb)?;
+                }
+                self.bind(end_l);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.new_label();
+                let end = self.new_label();
+                self.bind(head);
+                let c = self.gen(cond)?;
+                let cb = self.to_bool(c, cond.line)?;
+                self.emit_branch_if_zero(Self::reg(cb), end);
+                self.free_op(cb);
+                self.loops.push(Loop { breaks: Vec::new(), continues: Vec::new() });
+                self.gen_block(body)?;
+                let lp = self.loops.pop().expect("loop");
+                for pos in lp.continues {
+                    self.label_fixups.push((pos, head));
+                }
+                self.emit_jump(head);
+                self.bind(end);
+                for pos in lp.breaks {
+                    self.label_fixups.push((pos, end));
+                }
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let head = self.new_label();
+                let check = self.new_label();
+                let end = self.new_label();
+                self.bind(head);
+                self.loops.push(Loop { breaks: Vec::new(), continues: Vec::new() });
+                self.gen_block(body)?;
+                let lp = self.loops.pop().expect("loop");
+                self.bind(check);
+                for pos in lp.continues {
+                    self.label_fixups.push((pos, check));
+                }
+                let c = self.gen(cond)?;
+                let cb = self.to_bool(c, cond.line)?;
+                self.emit_branch_if_nonzero(Self::reg(cb), head);
+                self.free_op(cb);
+                self.bind(end);
+                for pos in lp.breaks {
+                    self.label_fixups.push((pos, end));
+                }
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.gen_stmt(i)?;
+                }
+                let head = self.new_label();
+                let step_l = self.new_label();
+                let end = self.new_label();
+                self.bind(head);
+                if let Some(c) = cond {
+                    let v = self.gen(c)?;
+                    let cb = self.to_bool(v, c.line)?;
+                    self.emit_branch_if_zero(Self::reg(cb), end);
+                    self.free_op(cb);
+                }
+                self.loops.push(Loop { breaks: Vec::new(), continues: Vec::new() });
+                self.gen_block(body)?;
+                let lp = self.loops.pop().expect("loop");
+                self.bind(step_l);
+                for pos in lp.continues {
+                    self.label_fixups.push((pos, step_l));
+                }
+                if let Some(st) = step {
+                    let v = self.gen(st)?;
+                    self.free_op(v);
+                }
+                self.emit_jump(head);
+                self.bind(end);
+                for pos in lp.breaks {
+                    self.label_fixups.push((pos, end));
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(e, line) => {
+                if let Some(e) = e {
+                    let v = self.gen_maybe_array(e)?;
+                    match v {
+                        Operand::Int(r) => {
+                            self.emit(Instr::r3(Op::Addu, V0, r, ZERO));
+                        }
+                        Operand::Cap(c) => {
+                            self.emit(Instr::cmod(Op::CMove, CV0, c, 0));
+                            // Also expose the address for integer callers.
+                            self.emit(Instr::new(Op::CToPtr, V0, c, DDC, 0));
+                        }
+                    }
+                    self.free_op(v);
+                } else {
+                    self.emit(Instr::li(V0, 0));
+                }
+                let _ = line;
+                self.emit_jump(self.epilogue);
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let pos = self.emit(Instr::new(Op::J, 0, 0, 0, 0));
+                match self.loops.last_mut() {
+                    Some(l) => {
+                        l.breaks.push(pos);
+                        Ok(())
+                    }
+                    None => self.err(*line, "break outside loop"),
+                }
+            }
+            Stmt::Continue(line) => {
+                let pos = self.emit(Instr::new(Op::J, 0, 0, 0, 0));
+                match self.loops.last_mut() {
+                    Some(l) => {
+                        l.continues.push(pos);
+                        Ok(())
+                    }
+                    None => self.err(*line, "continue outside loop"),
+                }
+            }
+            Stmt::Block(b) => self.gen_block(b),
+        }
+    }
+}
+
+fn int_signedness(ty: &Type) -> bool {
+    match ty {
+        Type::Int { signed, .. } | Type::IntPtr { signed } | Type::IntCap { signed } => *signed,
+        _ => true,
+    }
+}
+
+fn const_eval(e: &Expr, ti: &TargetInfo, unit: &TranslationUnit) -> Option<i64> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some(*v),
+        ExprKind::Unary(UnOp::Neg, inner) => Some(-const_eval(inner, ti, unit)?),
+        ExprKind::SizeofType(ty) => Some(size_of(ty, &unit.structs, ti) as i64),
+        ExprKind::Binary(BinOp::Add, a, b) => {
+            Some(const_eval(a, ti, unit)? + const_eval(b, ti, unit)?)
+        }
+        ExprKind::Binary(BinOp::Mul, a, b) => {
+            Some(const_eval(a, ti, unit)? * const_eval(b, ti, unit)?)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_vm::{Vm, VmConfig, VmTrap};
+
+    fn run_abi(src: &str, abi: Abi) -> Result<(i64, String), VmTrap> {
+        let prog = compile(src, abi).unwrap_or_else(|e| panic!("{abi}: compile: {e}"));
+        let mut vm = Vm::new(prog, VmConfig::functional());
+        let status = vm.run(50_000_000)?;
+        Ok((status.code, vm.output_string()))
+    }
+
+    fn run_all(src: &str, expect: i64) {
+        for abi in Abi::ALL {
+            let (code, _) = run_abi(src, abi).unwrap_or_else(|e| panic!("{abi}: {e}"));
+            assert_eq!(code, expect, "abi {abi}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        run_all(
+            "int main(void) {
+                int s = 0;
+                for (int i = 1; i <= 10; i++) { s += i; }
+                return s;
+            }",
+            55,
+        );
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        run_all(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+             int main(void) { return fib(10); }",
+            55,
+        );
+    }
+
+    #[test]
+    fn arrays_and_pointer_walk() {
+        run_all(
+            "int main(void) {
+                int a[8];
+                for (int i = 0; i < 8; i++) { a[i] = i * i; }
+                int *p = a;
+                int s = 0;
+                for (int i = 0; i < 8; i++) { s += p[i]; }
+                return s;
+            }",
+            140,
+        );
+    }
+
+    #[test]
+    fn structs_and_heap() {
+        run_all(
+            "struct node { long v; struct node *next; };
+             int main(void) {
+                struct node *head = 0;
+                for (int i = 1; i <= 5; i++) {
+                    struct node *n = (struct node*)malloc(sizeof(struct node));
+                    n->v = i;
+                    n->next = head;
+                    head = n;
+                }
+                long s = 0;
+                while (head) { s += head->v; head = head->next; }
+                return (int)s;
+             }",
+            15,
+        );
+    }
+
+    #[test]
+    fn globals_and_strings() {
+        let src = "int counter = 40;
+                   char msg[] = \"ok\";
+                   int main(void) { counter += 2; puts(msg); return counter; }";
+        for abi in Abi::ALL {
+            let (code, out) = run_abi(src, abi).unwrap();
+            assert_eq!(code, 42, "{abi}");
+            assert_eq!(out, "ok\n", "{abi}");
+        }
+    }
+
+    #[test]
+    fn runtime_helpers_work() {
+        run_all(
+            r#"int main(void) {
+                char buf[16];
+                memset(buf, 0, 16);
+                memcpy(buf, "hello", 6);
+                assert(strlen(buf) == 5);
+                assert(strcmp(buf, "hello") == 0);
+                assert(strcmp(buf, "hellp") < 0);
+                return (int)strlen(buf);
+            }"#,
+            5,
+        );
+    }
+
+    #[test]
+    fn pointer_subtraction_works_on_mips_and_v3() {
+        let src = "int main(void) {
+            int a[8];
+            a[3] = 7;
+            int *p = &a[5];
+            int *q = p - 2;
+            return *q + (int)(p - q);
+        }";
+        for abi in [Abi::Mips, Abi::CheriV3] {
+            let (code, _) = run_abi(src, abi).unwrap();
+            assert_eq!(code, 9, "{abi}");
+        }
+    }
+
+    #[test]
+    fn pointer_subtraction_is_a_compile_error_on_v2() {
+        let src = "int main(void) { int a[4]; int *p = &a[2]; int *q = p - 1; return 0; }";
+        let err = compile(src, Abi::CheriV2).unwrap_err();
+        assert!(err.msg.contains("subtraction"), "{err}");
+        // But the same program compiles for the other ABIs.
+        assert!(compile(src, Abi::Mips).is_ok());
+        assert!(compile(src, Abi::CheriV3).is_ok());
+    }
+
+    #[test]
+    fn cheri_catches_overflow_mips_does_not() {
+        // The headline security property: an out-of-bounds heap write.
+        let src = "int main(void) {
+            char *p = (char*)malloc(16);
+            p[24] = 1;
+            return 0;
+        }";
+        let (code, _) = run_abi(src, Abi::Mips).expect("MIPS lets the overflow corrupt memory");
+        assert_eq!(code, 0);
+        for abi in [Abi::CheriV2, Abi::CheriV3] {
+            let prog = compile(src, abi).unwrap();
+            let mut vm = Vm::new(prog, VmConfig::functional());
+            let trap = vm.run(1_000_000).unwrap_err();
+            assert!(
+                matches!(trap.cause, cheri_vm::TrapCause::Capability(_)),
+                "{abi}: {trap}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_intermediate_across_abis() {
+        // Idiom II at the ISA level: fine on MIPS and CHERIv3, traps at the
+        // arithmetic on CHERIv2 (CIncBase past the end).
+        let src = "int main(void) {
+            int a[4];
+            a[2] = 9;
+            int *p = a;
+            p = p + 9;
+            p = p - 7;
+            return *p;
+        }";
+        assert_eq!(run_abi(src, Abi::Mips).unwrap().0, 9);
+        assert_eq!(run_abi(src, Abi::CheriV3).unwrap().0, 9);
+        assert!(compile(src, Abi::CheriV2).is_err()); // p - 7 rejected
+    }
+
+    #[test]
+    fn ternary_and_logical_ops() {
+        run_all(
+            "int main(void) {
+                int x = 5;
+                int y = x > 3 ? 10 : 20;
+                int z = (x > 0 && y == 10) || x == 99;
+                return y + z;          /* 11 */
+            }",
+            11,
+        );
+    }
+
+    #[test]
+    fn do_while_break_continue() {
+        run_all(
+            "int main(void) {
+                int s = 0;
+                int i = 0;
+                do {
+                    i++;
+                    if (i == 3) { continue; }
+                    if (i > 6) { break; }
+                    s += i;
+                } while (1);
+                return s;  /* 1+2+4+5+6 = 18 */
+            }",
+            18,
+        );
+    }
+
+    #[test]
+    fn putint_output() {
+        let (_, out) = run_abi(
+            "int main(void) { putint(123); putchar(10); return 0; }",
+            Abi::CheriV3,
+        )
+        .unwrap();
+        assert_eq!(out, "123\n");
+    }
+
+    #[test]
+    fn nested_calls_preserve_live_values() {
+        run_all(
+            "int id(int x) { return x; }
+             int main(void) { return id(1) + id(2) * id(3) + id(id(4)); }",
+            11,
+        );
+    }
+
+    #[test]
+    fn unions_via_memory() {
+        run_all(
+            "union u { unsigned int i; unsigned char b[4]; };
+             int main(void) {
+                union u v;
+                v.i = 0x01020304;
+                return v.b[0] + v.b[3];
+             }",
+            5,
+        );
+    }
+
+    #[test]
+    fn sizeof_reflects_abi() {
+        let src = "int main(void) { return (int)sizeof(int*); }";
+        assert_eq!(run_abi(src, Abi::Mips).unwrap().0, 8);
+        assert_eq!(run_abi(src, Abi::CheriV2).unwrap().0, 32);
+        assert_eq!(run_abi(src, Abi::CheriV3).unwrap().0, 32);
+    }
+
+    #[test]
+    fn cap_instruction_mix_differs() {
+        let src = "int main(void) {
+            int a[16];
+            for (int i = 0; i < 16; i++) { a[i] = i; }
+            int s = 0;
+            for (int i = 0; i < 16; i++) { s += a[i]; }
+            return s;
+        }";
+        let prog_mips = compile(src, Abi::Mips).unwrap();
+        let prog_v3 = compile(src, Abi::CheriV3).unwrap();
+        let mut vm_m = Vm::new(prog_mips, VmConfig::functional());
+        let mut vm_c = Vm::new(prog_v3, VmConfig::functional());
+        let sm = vm_m.run(10_000_000).unwrap().stats;
+        let sc = vm_c.run(10_000_000).unwrap().stats;
+        assert_eq!(sm.capability_instructions(), 0);
+        assert!(sc.capability_instructions() > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! The mini-C runtime appended to every compiled program.
+//!
+//! `putchar`, `putint`, `malloc`, `free`, `clock` and `abort` are
+//! intrinsics lowered directly to syscalls/`break`; everything else is
+//! ordinary mini-C compiled under the same ABI as the program — which is
+//! why it only uses forward pointer movement (CHERIv2-compatible).
+
+/// Runtime library source. Functions already defined by the user program
+/// are omitted at compile time.
+pub const RUNTIME_SOURCE: &str = r#"
+void assert(int cond) {
+    if (cond == 0) { abort(); }
+}
+
+void *memset(void *dst, int c, unsigned long n) {
+    char *d = (char*)dst;
+    unsigned long i = 0;
+    while (i < n) {
+        d[i] = (char)c;
+        i = i + 1;
+    }
+    return dst;
+}
+
+unsigned long strlen(const char *s) {
+    unsigned long n = 0;
+    while (s[n] != 0) {
+        n = n + 1;
+    }
+    return n;
+}
+
+int strcmp(const char *a, const char *b) {
+    unsigned long i = 0;
+    while (a[i] != 0) {
+        if (a[i] != b[i]) { break; }
+        i = i + 1;
+    }
+    return (int)a[i] - (int)b[i];
+}
+
+int puts(const char *s) {
+    unsigned long i = 0;
+    while (s[i] != 0) {
+        putchar((int)s[i]);
+        i = i + 1;
+    }
+    putchar(10);
+    return 0;
+}
+"#;
+
+/// Names lowered as intrinsics rather than calls.
+pub(crate) const INTRINSICS: &[&str] =
+    &["putchar", "putint", "malloc", "free", "clock", "abort", "memcpy"];
+
+/// Names provided by [`RUNTIME_SOURCE`].
+#[allow(dead_code)] // documented contract, exercised by tests
+pub(crate) const RUNTIME_FUNCS: &[&str] =
+    &["assert", "memset", "strlen", "strcmp", "puts"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_parses_cleanly() {
+        // `abort` is an intrinsic, so sema must know it; it does (builtin).
+        let unit = cheri_c::parse(RUNTIME_SOURCE).expect("runtime source is valid mini-C");
+        for f in RUNTIME_FUNCS {
+            assert!(unit.func(f).is_some(), "{f} missing from runtime");
+        }
+    }
+
+    #[test]
+    fn intrinsics_and_runtime_are_disjoint() {
+        for i in INTRINSICS {
+            assert!(!RUNTIME_FUNCS.contains(i));
+        }
+    }
+}

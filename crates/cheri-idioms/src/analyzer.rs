@@ -1,0 +1,392 @@
+//! The idiom static analyzer.
+//!
+//! Reimplements, over the typed mini-C AST, the analysis the paper built
+//! into Clang/LLVM (§2): "Our modified LLVM identified all instances of
+//! pointer arithmetic that survive optimization and performed some simple
+//! categorization." LLVM sees `ptrtoint`/`inttoptr` pairs; we see the
+//! equivalent typed casts, plus a light flow-insensitive taint pass that
+//! tracks which integer variables were derived from pointers.
+//!
+//! Classification precedence mirrors the paper's: a subtraction whose
+//! subtrahend is an `offsetof` is **Container**; a subtraction whose
+//! minuend is itself pointer addition is **II** ("we have predominantly
+//! classified instances as subtraction if the pointers are dereferenced
+//! immediately after", §2); everything else is **Sub**.
+
+use crate::idiom::{Idiom, IdiomCounts};
+use cheri_c::{BinOp, Block, Expr, ExprKind, Stmt, TranslationUnit, Type, UnOp};
+use std::collections::HashSet;
+
+/// Counts idiom occurrences in a whole translation unit.
+pub fn analyze(unit: &TranslationUnit) -> IdiomCounts {
+    let mut counts = IdiomCounts::new();
+    for f in &unit.funcs {
+        let mut a = FuncAnalyzer { taint: HashSet::new(), counts: &mut counts };
+        a.collect_taint(&f.body);
+        a.walk_block(&f.body);
+    }
+    counts
+}
+
+struct FuncAnalyzer<'a> {
+    taint: HashSet<String>,
+    counts: &'a mut IdiomCounts,
+}
+
+fn is_narrow_int(ty: &Type) -> bool {
+    matches!(ty, Type::Int { width, .. } if *width < 8)
+}
+
+fn is_wide_int(ty: &Type) -> bool {
+    matches!(ty, Type::Int { width: 8, .. } | Type::IntPtr { .. } | Type::IntCap { .. })
+}
+
+impl FuncAnalyzer<'_> {
+    /// `true` if `e` (an integer-typed expression) derives from a pointer.
+    fn derived(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Cast(to, inner) => {
+                (to.is_integer() && inner.ty.decay().is_pointer()) || self.derived(inner)
+            }
+            ExprKind::Ident(n) => self.taint.contains(n),
+            ExprKind::Binary(_, a, b) => self.derived(a) || self.derived(b),
+            ExprKind::Unary(UnOp::Neg | UnOp::BitNot, inner) => self.derived(inner),
+            ExprKind::Ternary(_, a, b) => self.derived(a) || self.derived(b),
+            ExprKind::Assign(_, _, rhs) => self.derived(rhs),
+            _ => false,
+        }
+    }
+
+    /// Flow-insensitive taint collection: integer variables assigned
+    /// pointer-derived values (two passes reach the fixpoint for the
+    /// assignment chains that occur in practice).
+    fn collect_taint(&mut self, b: &Block) {
+        for _ in 0..2 {
+            self.taint_block(b);
+        }
+    }
+
+    fn taint_block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.taint_stmt(s);
+        }
+    }
+
+    fn taint_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { name, ty, init: Some(e), .. } => {
+                if (is_wide_int(ty) || is_narrow_int(ty)) && self.derived(e) {
+                    self.taint.insert(name.clone());
+                }
+            }
+            Stmt::Expr(e) => self.taint_expr(e),
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.taint_expr(cond);
+                self.taint_block(then_branch);
+                if let Some(e) = else_branch {
+                    self.taint_block(e);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.taint_expr(cond);
+                self.taint_block(body);
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.taint_block(body);
+                self.taint_expr(cond);
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    self.taint_stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.taint_expr(c);
+                }
+                if let Some(st) = step {
+                    self.taint_expr(st);
+                }
+                self.taint_block(body);
+            }
+            Stmt::Return(Some(e), _) => self.taint_expr(e),
+            Stmt::Block(b) => self.taint_block(b),
+            _ => {}
+        }
+    }
+
+    fn taint_expr(&mut self, e: &Expr) {
+        if let ExprKind::Assign(_, lhs, rhs) = &e.kind {
+            if let ExprKind::Ident(n) = &lhs.kind {
+                if (is_wide_int(&lhs.ty) || is_narrow_int(&lhs.ty)) && self.derived(rhs) {
+                    self.taint.insert(n.clone());
+                }
+            }
+        }
+        self.visit_children(e, |a, c| a.taint_expr(c));
+    }
+
+    fn visit_children(&mut self, e: &Expr, mut f: impl FnMut(&mut Self, &Expr)) {
+        match &e.kind {
+            ExprKind::Unary(_, a) | ExprKind::Cast(_, a) | ExprKind::SizeofExpr(a) => f(self, a),
+            ExprKind::Binary(_, a, b)
+            | ExprKind::Assign(_, a, b)
+            | ExprKind::Index(a, b) => {
+                f(self, a);
+                f(self, b);
+            }
+            ExprKind::Ternary(a, b, c) => {
+                f(self, a);
+                f(self, b);
+                f(self, c);
+            }
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    f(self, a);
+                }
+            }
+            ExprKind::Member { base, .. } => f(self, base),
+            ExprKind::IncDec { target, .. } => f(self, target),
+            _ => {}
+        }
+    }
+
+    // --- Counting pass ---
+
+    fn walk_block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.walk_stmt(s);
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { ty, init: Some(e), .. } => {
+                self.note_int_store(ty, e);
+                self.walk_expr(e);
+            }
+            Stmt::Expr(e) => self.walk_expr(e),
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.walk_expr(cond);
+                self.walk_block(then_branch);
+                if let Some(b) = else_branch {
+                    self.walk_block(b);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.walk_expr(cond);
+                self.walk_block(body);
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.walk_block(body);
+                self.walk_expr(cond);
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    self.walk_stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.walk_expr(c);
+                }
+                if let Some(st) = step {
+                    self.walk_expr(st);
+                }
+                self.walk_block(body);
+            }
+            Stmt::Return(Some(e), _) => self.walk_expr(e),
+            Stmt::Block(b) => self.walk_block(b),
+            _ => {}
+        }
+    }
+
+    /// **Int**: a pointer cast directly stored into an integer variable.
+    fn note_int_store(&mut self, target_ty: &Type, rhs: &Expr) {
+        if !is_wide_int(target_ty) {
+            return;
+        }
+        if let ExprKind::Cast(to, inner) = &rhs.kind {
+            if to.is_integer() && inner.ty.decay().is_pointer() {
+                self.counts.bump(Idiom::Int);
+            }
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Cast(to, inner) => {
+                // Deconst: pointer cast that strips a const qualifier.
+                if let (
+                    Type::Ptr { is_const: false, .. },
+                    Type::Ptr { is_const: true, .. },
+                ) = (to, &inner.ty.decay())
+                {
+                    self.counts.bump(Idiom::Deconst);
+                }
+                // Wide: pointer (or pointer-derived wide value) squeezed
+                // into a narrower integer — the lossy truncation itself.
+                if is_narrow_int(to)
+                    && (inner.ty.decay().is_pointer()
+                        || (is_wide_int(&inner.ty) && self.derived(inner)))
+                {
+                    self.counts.bump(Idiom::Wide);
+                }
+            }
+            ExprKind::Assign(_, lhs, rhs) => {
+                self.note_int_store(&lhs.ty, rhs);
+            }
+            ExprKind::Binary(op, a, b) => {
+                let a_ptr = a.ty.decay().is_pointer();
+                let b_ptr = b.ty.decay().is_pointer();
+                match op {
+                    BinOp::Sub if a_ptr => {
+                        if matches!(b.kind, ExprKind::Offsetof(..)) {
+                            self.counts.bump(Idiom::Container);
+                        } else if matches!(
+                            a.kind,
+                            ExprKind::Binary(BinOp::Add, ref l, _) if l.ty.decay().is_pointer()
+                        ) {
+                            self.counts.bump(Idiom::II);
+                        } else {
+                            self.counts.bump(Idiom::Sub);
+                        }
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+                        if !a_ptr && !b_ptr && (self.derived(a) || self.derived(b)) =>
+                    {
+                        self.counts.bump(Idiom::IA);
+                    }
+                    BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor
+                        if self.derived(a) || self.derived(b) =>
+                    {
+                        self.counts.bump(Idiom::Mask);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        self.visit_children(e, |a, c| a.walk_expr(c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(src: &str) -> IdiomCounts {
+        analyze(&cheri_c::parse(src).unwrap())
+    }
+
+    #[test]
+    fn deconst_detected() {
+        let c = counts("char *f(const char *p) { return (char*)p; }");
+        assert_eq!(c.get(Idiom::Deconst), 1);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn const_preserving_cast_not_flagged() {
+        let c = counts("const char *f(const char *p) { return (const char*)p; }");
+        assert_eq!(c.get(Idiom::Deconst), 0);
+    }
+
+    #[test]
+    fn container_detected_and_not_double_counted() {
+        let c = counts(
+            "struct box { int tag; int member; };
+             struct box *f(int *m) {
+                 return (struct box*)((char*)m - offsetof(struct box, member));
+             }",
+        );
+        assert_eq!(c.get(Idiom::Container), 1);
+        assert_eq!(c.get(Idiom::Sub), 0);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn sub_detected() {
+        let c = counts("long f(char *a, char *b) { return a - b; }");
+        assert_eq!(c.get(Idiom::Sub), 1);
+        let c2 = counts("int *g(int *p, int n) { return p - n; }");
+        assert_eq!(c2.get(Idiom::Sub), 1);
+    }
+
+    #[test]
+    fn ii_classified_before_sub() {
+        let c = counts("int f(int *p) { return *(p + 9 - 7); }");
+        assert_eq!(c.get(Idiom::II), 1);
+        assert_eq!(c.get(Idiom::Sub), 0);
+    }
+
+    #[test]
+    fn int_detected_on_store_only() {
+        let stored = counts("long f(int *p) { long x = (long)p; return x; }");
+        assert_eq!(stored.get(Idiom::Int), 1);
+        // A pointer cast that is *not* stored in a variable is not INT.
+        let unstored = counts("long g(int *p) { return (long)p + 8; }");
+        assert_eq!(unstored.get(Idiom::Int), 0);
+        assert_eq!(unstored.get(Idiom::IA), 1);
+    }
+
+    #[test]
+    fn ia_via_tainted_variable() {
+        let c = counts(
+            "long f(int *p) {
+                long x = (long)p;
+                x = x + 16;
+                return x;
+             }",
+        );
+        assert_eq!(c.get(Idiom::Int), 1);
+        assert_eq!(c.get(Idiom::IA), 1);
+    }
+
+    #[test]
+    fn mask_detected() {
+        let c = counts("long f(char *p) { return (long)p & ~7; }");
+        assert_eq!(c.get(Idiom::Mask), 1);
+        assert_eq!(c.get(Idiom::IA), 0);
+    }
+
+    #[test]
+    fn mask_via_uintptr_variable() {
+        let c = counts(
+            "char *f(char *p) {
+                uintptr_t v = (uintptr_t)p;
+                v = v | 1;
+                v = v & ~(uintptr_t)1;
+                return (char*)v;
+             }",
+        );
+        assert_eq!(c.get(Idiom::Mask), 2);
+        assert_eq!(c.get(Idiom::Int), 1);
+    }
+
+    #[test]
+    fn wide_detected() {
+        let c = counts("int f(char *p) { return (int)(long)p; }");
+        assert_eq!(c.get(Idiom::Wide), 1);
+        let c2 = counts("int f(char *p) { unsigned int w = (unsigned int)(unsigned long)p; return (int)w; }");
+        assert_eq!(c2.get(Idiom::Wide), 1);
+    }
+
+    #[test]
+    fn clean_code_counts_nothing() {
+        let c = counts(
+            "long fill(long a, long b) {
+                long c = a * 3 + b;
+                if (c > 10) { c -= b; }
+                for (int i = 0; i < 4; i++) c += i;
+                return c;
+             }
+             int use_ptr(int *p, int n) { return p[n] + *p; }",
+        );
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn pointer_plus_int_is_not_counted() {
+        // Forward arithmetic is fine under every model in Table 3's terms;
+        // only subtraction and the int-domain idioms are "difficult".
+        let c = counts("int f(int *p) { return *(p + 3); }");
+        assert_eq!(c.total(), 0);
+    }
+}

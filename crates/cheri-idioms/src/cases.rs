@@ -1,0 +1,317 @@
+//! The extracted idiom test cases and the Table 3 support matrix.
+//!
+//! "We collected examples of these failures and produced the following
+//! taxonomy … and extracted test cases demonstrating the common patterns."
+//! (§2, §5) Each case is a self-contained mini-C program that exercises one
+//! idiom and `assert`s the result the idiom's users expect; a memory model
+//! *supports* the idiom iff the program runs to completion under it.
+//!
+//! The canonical cases use `intptr_t` where ported code would, matching the
+//! evaluation context of Table 3 ("changing the `intptr_t` typedef to refer
+//! to the `intcap_t` type", §5.1).
+
+use crate::idiom::Idiom;
+use cheri_interp::{run_main, ModelKind, RtError};
+
+/// A cell of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Support {
+    /// Plain "yes".
+    Yes,
+    /// "(yes)": works with a model-specific qualification (see
+    /// [`qualification`]).
+    QualifiedYes,
+    /// "no".
+    No,
+}
+
+impl Support {
+    /// Whether the test program is expected to run to completion.
+    pub fn works(self) -> bool {
+        !matches!(self, Support::No)
+    }
+
+    /// The cell text as printed in the paper.
+    pub fn cell(self) -> &'static str {
+        match self {
+            Support::Yes => "yes",
+            Support::QualifiedYes => "(yes)",
+            Support::No => "no",
+        }
+    }
+}
+
+/// The canonical mini-C test case for `idiom`.
+pub fn source(idiom: Idiom) -> &'static str {
+    match idiom {
+        Idiom::Deconst => {
+            r#"
+            int main(void) {
+                char buf[4];
+                buf[0] = 'a';
+                const char *p = buf;
+                char *q = (char*)p;     /* cast away const */
+                *q = 'b';
+                assert(buf[0] == 'b');
+                return 0;
+            }
+            "#
+        }
+        Idiom::Container => {
+            r#"
+            struct outer { int tag; int member; };
+            int main(void) {
+                struct outer o;
+                o.tag = 42;
+                int *m = &o.member;
+                struct outer *c =
+                    (struct outer*)((char*)m - offsetof(struct outer, member));
+                assert(c->tag == 42);
+                return 0;
+            }
+            "#
+        }
+        Idiom::Sub => {
+            r#"
+            int main(void) {
+                int a[8];
+                a[3] = 7;
+                int *p = &a[5];
+                int *q = p - 2;          /* pointer minus integer */
+                long d = p - q;          /* pointer difference */
+                assert(*q == 7);
+                assert(d == 2);
+                return 0;
+            }
+            "#
+        }
+        Idiom::II => {
+            r#"
+            int main(void) {
+                int a[4];
+                a[2] = 9;
+                int *p = a + 9;          /* invalid intermediate */
+                p = p - 7;               /* back in bounds */
+                assert(*p == 9);
+                return 0;
+            }
+            "#
+        }
+        Idiom::Int => {
+            r#"
+            int main(void) {
+                int x = 5;
+                intptr_t v = (intptr_t)&x;   /* store pointer in integer */
+                int *p = (int*)v;            /* and bring it back */
+                assert(*p == 5);
+                return 0;
+            }
+            "#
+        }
+        Idiom::IA => {
+            r#"
+            int main(void) {
+                int a[4];
+                a[2] = 9;
+                uintptr_t v = (uintptr_t)a;
+                v = v + 2 * sizeof(int);     /* arithmetic in integer space */
+                int *p = (int*)v;
+                assert(*p == 9);
+                return 0;
+            }
+            "#
+        }
+        Idiom::Mask => {
+            r#"
+            int main(void) {
+                long a[2];
+                a[0] = 11;
+                uintptr_t v = (uintptr_t)a;
+                v = v | 1;                       /* stash a flag in bit 0 */
+                assert((v & 1) == 1);
+                uintptr_t w = v & ~(uintptr_t)1; /* mask it back off */
+                long *p = (long*)w;
+                assert(*p == 11);
+                return 0;
+            }
+            "#
+        }
+        Idiom::Wide => {
+            r#"
+            int main(void) {
+                int x = 7;
+                int *p = &x;
+                unsigned int w = (unsigned int)(unsigned long)p; /* 32-bit! */
+                int *q = (int*)(unsigned long)w;
+                assert(*q == 7);
+                return 0;
+            }
+            "#
+        }
+    }
+}
+
+/// The paper's Table 3, row by row.
+pub fn paper_expected(model: ModelKind, idiom: Idiom) -> Support {
+    use Idiom::*;
+    use ModelKind::*;
+    use Support::*;
+    match (model, idiom) {
+        (_, Wide) => No,
+
+        (Pdp11, _) => Yes,
+
+        (HardBound, Int) => QualifiedYes,
+        (HardBound, IA) | (HardBound, Mask) => No,
+        (HardBound, _) => Yes,
+
+        (Mpx, Container) => No,
+        (Mpx, Int) | (Mpx, IA) | (Mpx, Mask) => QualifiedYes,
+        (Mpx, _) => Yes,
+
+        (Relaxed, _) => Yes,
+
+        (Strict, Int) => QualifiedYes,
+        (Strict, IA) | (Strict, Mask) => No,
+        (Strict, _) => Yes,
+
+        (CheriV2, Int) => QualifiedYes,
+        (CheriV2, _) => No,
+
+        (CheriV3, Int) => QualifiedYes,
+        (CheriV3, _) => Yes,
+    }
+}
+
+/// The parenthetical caveat behind each "(yes)" cell (§5.1 prose).
+pub fn qualification(model: ModelKind, idiom: Idiom) -> Option<&'static str> {
+    match (paper_expected(model, idiom), model, idiom) {
+        (Support::QualifiedYes, ModelKind::CheriV2 | ModelKind::CheriV3, Idiom::Int) => {
+            Some("only via intcap_t, not plain C integers")
+        }
+        (Support::QualifiedYes, ModelKind::Mpx, _) => {
+            Some("unchecked when the bound table desynchronizes (fails open)")
+        }
+        (Support::QualifiedYes, ModelKind::HardBound | ModelKind::Strict, Idiom::Int) => {
+            Some("only while the integer is left unmodified")
+        }
+        _ => None,
+    }
+}
+
+/// Runs the canonical case for `idiom` under `model`.
+///
+/// Returns `Ok(())` when the idiom works, or the failure.
+///
+/// # Errors
+///
+/// The [`RtError`] that stopped the program, normally a model violation.
+pub fn run_case(model: ModelKind, idiom: Idiom) -> Result<(), RtError> {
+    let unit = cheri_c::parse(source(idiom)).expect("idiom cases always parse");
+    run_main(&unit, model).map(|r| {
+        assert_eq!(r.exit_code, 0, "idiom case must exit 0 when it works");
+    })
+}
+
+/// One measured cell of Table 3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// The model (row).
+    pub model: ModelKind,
+    /// The idiom (column).
+    pub idiom: Idiom,
+    /// Whether the canonical case ran to completion.
+    pub works: bool,
+    /// The failure classification when it did not.
+    pub failure: Option<String>,
+}
+
+/// Runs the full 7×8 matrix.
+pub fn run_matrix() -> Vec<MatrixCell> {
+    let mut cells = Vec::with_capacity(56);
+    for model in ModelKind::ALL {
+        for idiom in Idiom::ALL {
+            let r = run_case(model, idiom);
+            cells.push(MatrixCell {
+                model,
+                idiom,
+                works: r.is_ok(),
+                failure: r.err().map(|e| e.to_string()),
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_parse_and_pass_on_pdp11_except_wide() {
+        for idiom in Idiom::ALL {
+            let r = run_case(ModelKind::Pdp11, idiom);
+            if idiom == Idiom::Wide {
+                assert!(r.is_err(), "Wide must fail on 64-bit PDP-11 model");
+            } else {
+                assert!(r.is_ok(), "{idiom} should work on PDP-11: {:?}", r.err());
+            }
+        }
+    }
+
+    #[test]
+    fn measured_matrix_matches_paper_table3() {
+        for cell in run_matrix() {
+            let expected = paper_expected(cell.model, cell.idiom).works();
+            assert_eq!(
+                cell.works, expected,
+                "Table 3 mismatch at ({}, {}): measured {} expected {} ({:?})",
+                cell.model,
+                cell.idiom,
+                cell.works,
+                expected,
+                cell.failure
+            );
+        }
+    }
+
+    #[test]
+    fn cheriv3_supports_everything_but_wide() {
+        for idiom in Idiom::ALL {
+            let works = run_case(ModelKind::CheriV3, idiom).is_ok();
+            assert_eq!(works, idiom != Idiom::Wide, "{idiom}");
+        }
+    }
+
+    #[test]
+    fn cheriv2_only_supports_int() {
+        for idiom in Idiom::ALL {
+            let works = run_case(ModelKind::CheriV2, idiom).is_ok();
+            assert_eq!(works, idiom == Idiom::Int, "{idiom}");
+        }
+    }
+
+    #[test]
+    fn qualifications_exist_exactly_for_qualified_cells() {
+        for model in ModelKind::ALL {
+            for idiom in Idiom::ALL {
+                let q = qualification(model, idiom);
+                match paper_expected(model, idiom) {
+                    Support::QualifiedYes => {
+                        assert!(q.is_some(), "({model}, {idiom}) needs a qualification note")
+                    }
+                    _ => assert!(q.is_none(), "({model}, {idiom}) should have no note"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_cells_render() {
+        assert_eq!(Support::Yes.cell(), "yes");
+        assert_eq!(Support::QualifiedYes.cell(), "(yes)");
+        assert_eq!(Support::No.cell(), "no");
+        assert!(Support::QualifiedYes.works());
+        assert!(!Support::No.works());
+    }
+}

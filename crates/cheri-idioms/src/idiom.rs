@@ -1,0 +1,169 @@
+//! The idiom taxonomy.
+
+use std::fmt;
+
+/// A problematic C pointer idiom from the paper's §2 survey.
+///
+/// Each goes beyond what the C11 abstract machine guarantees, relying on
+/// implementation-defined (or undefined) behaviour that the PDP-11-like
+/// memory model happens to honour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Idiom {
+    /// Removing the `const` qualifier from a pointer and writing.
+    Deconst,
+    /// `container_of`: recovering an enclosing structure from a pointer to
+    /// one of its members (Linux/BSD/Windows kernel macro).
+    Container,
+    /// Arbitrary pointer subtraction (`p - n`, `p - q`).
+    Sub,
+    /// Invalid intermediate results: arithmetic leaves the object's bounds
+    /// but the final dereferenced pointer is back inside.
+    II,
+    /// Storing a pointer in an integer variable and reconstructing it.
+    Int,
+    /// Integer arithmetic on a pointer stored in an integer.
+    IA,
+    /// Masking pointer bits (e.g. stashing flags in alignment bits).
+    Mask,
+    /// Storing a pointer in an integer *narrower* than the pointer.
+    Wide,
+}
+
+impl Idiom {
+    /// All idioms in the paper's Table 1/Table 3 column order.
+    pub const ALL: [Idiom; 8] = [
+        Idiom::Deconst,
+        Idiom::Container,
+        Idiom::Sub,
+        Idiom::II,
+        Idiom::Int,
+        Idiom::IA,
+        Idiom::Mask,
+        Idiom::Wide,
+    ];
+
+    /// The column label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Idiom::Deconst => "DECONST",
+            Idiom::Container => "CONTAINER",
+            Idiom::Sub => "SUB",
+            Idiom::II => "II",
+            Idiom::Int => "INT",
+            Idiom::IA => "IA",
+            Idiom::Mask => "MASK",
+            Idiom::Wide => "WIDE",
+        }
+    }
+
+    /// One-line description (from §2).
+    pub fn description(self) -> &'static str {
+        match self {
+            Idiom::Deconst => "removes the const qualifier from a pointer",
+            Idiom::Container => "recovers an enclosing structure from a member pointer",
+            Idiom::Sub => "arbitrary pointer subtraction",
+            Idiom::II => "invalid intermediate results during pointer arithmetic",
+            Idiom::Int => "stores a pointer in an integer variable",
+            Idiom::IA => "performs integer arithmetic on pointers",
+            Idiom::Mask => "masks pointer bits to store data in them",
+            Idiom::Wide => "stores a pointer in a narrower integer",
+        }
+    }
+
+    /// Index in [`Idiom::ALL`].
+    pub fn index(self) -> usize {
+        Idiom::ALL.iter().position(|&i| i == self).expect("idiom in ALL")
+    }
+}
+
+impl fmt::Display for Idiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Occurrence counts per idiom, as the analyzer reports for one
+/// translation unit or one package.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IdiomCounts {
+    counts: [u64; 8],
+}
+
+impl IdiomCounts {
+    /// An all-zero tally.
+    pub fn new() -> IdiomCounts {
+        IdiomCounts::default()
+    }
+
+    /// The count for `idiom`.
+    pub fn get(&self, idiom: Idiom) -> u64 {
+        self.counts[idiom.index()]
+    }
+
+    /// Increments `idiom` by one.
+    pub fn bump(&mut self, idiom: Idiom) {
+        self.counts[idiom.index()] += 1;
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &IdiomCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Sum over all idioms.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl fmt::Display for IdiomCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, idiom) in Idiom::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", idiom.label(), self.counts[i])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_idioms_distinct_labels() {
+        let mut labels: Vec<&str> = Idiom::ALL.iter().map(|i| i.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn counts_roundtrip() {
+        let mut c = IdiomCounts::new();
+        c.bump(Idiom::Sub);
+        c.bump(Idiom::Sub);
+        c.bump(Idiom::Wide);
+        assert_eq!(c.get(Idiom::Sub), 2);
+        assert_eq!(c.get(Idiom::Wide), 1);
+        assert_eq!(c.get(Idiom::Mask), 0);
+        assert_eq!(c.total(), 3);
+        let mut d = IdiomCounts::new();
+        d.bump(Idiom::Sub);
+        d.merge(&c);
+        assert_eq!(d.get(Idiom::Sub), 3);
+    }
+
+    #[test]
+    fn display_mentions_labels() {
+        let mut c = IdiomCounts::new();
+        c.bump(Idiom::Mask);
+        let s = c.to_string();
+        assert!(s.contains("MASK=1"));
+        assert!(s.contains("SUB=0"));
+    }
+}

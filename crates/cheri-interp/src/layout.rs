@@ -1,0 +1,194 @@
+//! Type layout, parameterized by the memory model's pointer representation.
+//!
+//! The same source program has *different struct layouts* under different
+//! models: a PDP-11 pointer is 8 bytes, a CHERI capability is 32 bytes and
+//! 32-byte aligned (paper §4.1 discusses exactly this cost for arrays of
+//! fat pointers). `sizeof` therefore resolves here, not in the front end.
+
+use cheri_c::{StructDef, Type};
+
+/// Pointer representation parameters supplied by a memory model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TargetInfo {
+    /// Bytes of storage for a pointer.
+    pub ptr_size: u64,
+    /// Alignment of pointer storage.
+    pub ptr_align: u64,
+    /// `true` when `intptr_t`/`intcap_t` are capability-sized (CHERI: the
+    /// `intptr_t` typedef refers to `intcap_t`, §5.1).
+    pub cap_intptr: bool,
+}
+
+impl TargetInfo {
+    /// The conventional 64-bit layout (PDP-11-like and the fat-pointer
+    /// schemes, whose metadata lives out of band).
+    pub fn lp64() -> TargetInfo {
+        TargetInfo { ptr_size: 8, ptr_align: 8, cap_intptr: false }
+    }
+
+    /// The CHERI pure-capability layout: 256-bit aligned capabilities.
+    pub fn cheri() -> TargetInfo {
+        TargetInfo { ptr_size: 32, ptr_align: 32, cap_intptr: true }
+    }
+}
+
+/// Size of `ty` in bytes under `ti`.
+///
+/// # Panics
+///
+/// Panics on `void` (like `sizeof(void)` in strict C) or an unknown struct
+/// id, both of which the front end prevents.
+pub fn size_of(ty: &Type, structs: &[StructDef], ti: &TargetInfo) -> u64 {
+    match ty {
+        Type::Void => panic!("sizeof(void)"),
+        Type::Int { width, .. } => *width as u64,
+        Type::IntPtr { .. } | Type::IntCap { .. } => {
+            if ti.cap_intptr {
+                32
+            } else {
+                8
+            }
+        }
+        Type::Ptr { .. } => ti.ptr_size,
+        Type::Array { elem, len } => size_of(elem, structs, ti) * len,
+        Type::Struct(id) => {
+            let sd = &structs[*id];
+            if sd.is_union {
+                let size = sd.fields.iter().map(|f| size_of(&f.ty, structs, ti)).max().unwrap_or(0);
+                round_up(size, align_of(ty, structs, ti))
+            } else {
+                let mut off = 0;
+                for f in &sd.fields {
+                    let a = align_of(&f.ty, structs, ti);
+                    off = round_up(off, a) + size_of(&f.ty, structs, ti);
+                }
+                round_up(off.max(1), align_of(ty, structs, ti))
+            }
+        }
+    }
+}
+
+/// Alignment of `ty` in bytes under `ti`.
+pub fn align_of(ty: &Type, structs: &[StructDef], ti: &TargetInfo) -> u64 {
+    match ty {
+        Type::Void => 1,
+        Type::Int { width, .. } => *width as u64,
+        Type::IntPtr { .. } | Type::IntCap { .. } => {
+            if ti.cap_intptr {
+                32
+            } else {
+                8
+            }
+        }
+        Type::Ptr { .. } => ti.ptr_align,
+        Type::Array { elem, .. } => align_of(elem, structs, ti),
+        Type::Struct(id) => structs[*id]
+            .fields
+            .iter()
+            .map(|f| align_of(&f.ty, structs, ti))
+            .max()
+            .unwrap_or(1),
+    }
+}
+
+/// Byte offset and type of field `name` in struct `id` (0 for all union
+/// members — the §3.2 aliasing escape hatch).
+///
+/// # Panics
+///
+/// Panics if the field does not exist (prevented by the front end).
+pub fn field_offset(structs: &[StructDef], id: usize, name: &str, ti: &TargetInfo) -> (u64, Type) {
+    let sd = &structs[id];
+    if sd.is_union {
+        let f = sd.field(name).expect("checked field");
+        return (0, f.ty.clone());
+    }
+    let mut off = 0;
+    for f in &sd.fields {
+        let a = align_of(&f.ty, structs, ti);
+        off = round_up(off, a);
+        if f.name == name {
+            return (off, f.ty.clone());
+        }
+        off += size_of(&f.ty, structs, ti);
+    }
+    panic!("field `{name}` not found (front end should have rejected)");
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    if align == 0 {
+        v
+    } else {
+        v.next_multiple_of(align)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_c::parse;
+
+    fn structs_of(src: &str) -> Vec<StructDef> {
+        parse(src).unwrap().structs
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        let ti = TargetInfo::lp64();
+        assert_eq!(size_of(&Type::char_(), &[], &ti), 1);
+        assert_eq!(size_of(&Type::int(), &[], &ti), 4);
+        assert_eq!(size_of(&Type::long(), &[], &ti), 8);
+        assert_eq!(size_of(&Type::ptr_to(Type::int()), &[], &ti), 8);
+    }
+
+    #[test]
+    fn cheri_pointers_are_4x() {
+        let ti = TargetInfo::cheri();
+        assert_eq!(size_of(&Type::ptr_to(Type::int()), &[], &ti), 32);
+        assert_eq!(align_of(&Type::ptr_to(Type::int()), &[], &ti), 32);
+        assert_eq!(size_of(&Type::IntPtr { signed: true }, &[], &ti), 32);
+        assert_eq!(size_of(&Type::IntPtr { signed: true }, &[], &TargetInfo::lp64()), 8);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        let ss = structs_of("struct s { char c; long l; int i; };");
+        let ti = TargetInfo::lp64();
+        assert_eq!(field_offset(&ss, 0, "c", &ti).0, 0);
+        assert_eq!(field_offset(&ss, 0, "l", &ti).0, 8);
+        assert_eq!(field_offset(&ss, 0, "i", &ti).0, 16);
+        assert_eq!(size_of(&Type::Struct(0), &ss, &ti), 24);
+        assert_eq!(align_of(&Type::Struct(0), &ss, &ti), 8);
+    }
+
+    #[test]
+    fn pointer_fields_blow_up_under_cheri() {
+        // The Olden effect: a list node quadruples its pointer footprint.
+        let ss = structs_of("struct node { long v; struct node *next; };");
+        assert_eq!(size_of(&Type::Struct(0), &ss, &TargetInfo::lp64()), 16);
+        assert_eq!(size_of(&Type::Struct(0), &ss, &TargetInfo::cheri()), 64);
+    }
+
+    #[test]
+    fn union_members_share_offset_zero() {
+        let ss = structs_of("union u { long l; char b[8]; int i; };");
+        let ti = TargetInfo::lp64();
+        assert_eq!(field_offset(&ss, 0, "l", &ti).0, 0);
+        assert_eq!(field_offset(&ss, 0, "b", &ti).0, 0);
+        assert_eq!(size_of(&Type::Struct(0), &ss, &ti), 8);
+    }
+
+    #[test]
+    fn arrays_multiply() {
+        let ti = TargetInfo::lp64();
+        let a = Type::Array { elem: Box::new(Type::int()), len: 10 };
+        assert_eq!(size_of(&a, &[], &ti), 40);
+        assert_eq!(align_of(&a, &[], &ti), 4);
+    }
+
+    #[test]
+    fn empty_struct_is_one_byte() {
+        let ss = structs_of("struct e { };");
+        assert_eq!(size_of(&Type::Struct(0), &ss, &TargetInfo::lp64()), 1);
+    }
+}

@@ -1,0 +1,1783 @@
+//! The abstract-machine interpreter core.
+//!
+//! Owns memory, scopes and control flow; delegates every pointer decision
+//! to the active [`MemoryModel`]. Objects live in a *virtual* address space
+//! based above 4 GiB so that truncating a pointer to 32 bits (the **Wide**
+//! idiom) is genuinely lossy, as on any modern 64-bit system.
+
+use crate::layout::{align_of, field_offset, size_of, TargetInfo};
+use crate::model::{MemoryModel, ModelCtx, ModelError, ModelKind, ShadowEntry};
+use crate::value::{IntValue, PtrVal, Value};
+use cheri_c::{BinOp, Block, Expr, ExprKind, FuncDef, Stmt, StructDef, TranslationUnit, Type, UnOp};
+use cheri_cap::Capability;
+use cheri_mem::{Allocator, TaggedMemory};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Virtual base of the interpreter's address space (above 4 GiB).
+pub const VBASE: u64 = 0x4_0000_0000;
+const RODATA_OFF: u64 = 0;
+const GLOBALS_OFF: u64 = 0x10_0000;
+const HEAP_OFF: u64 = 0x20_0000;
+const HEAP_SIZE: u64 = 0x40_0000;
+const STACK_TOP_OFF: u64 = 0x80_0000;
+const PHYS_SIZE: u64 = 0x80_0000;
+
+/// A runtime error: either a memory-model violation (the signal Table 3 is
+/// built from) or an ordinary execution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtError {
+    /// The memory model refused a pointer operation.
+    Model {
+        /// Source line.
+        line: u32,
+        /// The violation.
+        err: ModelError,
+    },
+    /// An access fell outside every mapped region (wild pointer on an
+    /// unchecked model — the "segmentation fault" analogue).
+    Unmapped {
+        /// Source line.
+        line: u32,
+        /// The faulting virtual address.
+        addr: u64,
+    },
+    /// `assert` failed.
+    AssertFailed {
+        /// Source line.
+        line: u32,
+    },
+    /// `abort()` was called.
+    Abort {
+        /// Source line.
+        line: u32,
+    },
+    /// Integer division by zero.
+    DivByZero {
+        /// Source line.
+        line: u32,
+    },
+    /// Heap misuse (double free, free of non-allocation).
+    BadFree {
+        /// Source line.
+        line: u32,
+        /// The address passed to `free`.
+        addr: u64,
+    },
+    /// The program has no `main`.
+    NoMain,
+    /// The step budget was exhausted.
+    StepLimit,
+    /// A construct the interpreter does not support.
+    Unsupported {
+        /// Source line.
+        line: u32,
+        /// Description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Model { line, err } => write!(f, "line {line}: {err}"),
+            RtError::Unmapped { line, addr } => {
+                write!(f, "line {line}: unmapped access at {addr:#x}")
+            }
+            RtError::AssertFailed { line } => write!(f, "line {line}: assertion failed"),
+            RtError::Abort { line } => write!(f, "line {line}: abort() called"),
+            RtError::DivByZero { line } => write!(f, "line {line}: division by zero"),
+            RtError::BadFree { line, addr } => write!(f, "line {line}: bad free of {addr:#x}"),
+            RtError::NoMain => write!(f, "program has no main()"),
+            RtError::StepLimit => write!(f, "interpreter step limit exceeded"),
+            RtError::Unsupported { line, msg } => write!(f, "line {line}: unsupported: {msg}"),
+        }
+    }
+}
+
+impl Error for RtError {}
+
+/// Result of running a program to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecResult {
+    /// `main`'s return value.
+    pub exit_code: i64,
+    /// Everything printed via `puts`/`putchar`/`putint`.
+    pub output: String,
+    /// Evaluation steps consumed.
+    pub steps: u64,
+}
+
+/// Parses nothing, interprets a checked [`TranslationUnit`] under `kind`.
+///
+/// # Errors
+///
+/// Any [`RtError`], most interestingly [`RtError::Model`] when the chosen
+/// interpretation of the C abstract machine rejects an idiom.
+pub fn run_main(unit: &TranslationUnit, kind: ModelKind) -> Result<ExecResult, RtError> {
+    Interp::new(unit, kind.build()).run("main")
+}
+
+#[derive(Clone, Debug)]
+struct Var {
+    addr: u64,
+    ty: Type,
+    size: u64,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<Value>),
+}
+
+#[derive(Clone, Debug)]
+enum PlacePtr {
+    /// Direct variable storage (always valid).
+    Var(u64),
+    /// Through a pointer; checked by the model at each access.
+    Indirect(PtrVal),
+}
+
+#[derive(Clone, Debug)]
+struct Place {
+    ptr: PlacePtr,
+    ty: Type,
+}
+
+/// The interpreter. See [`run_main`] for the one-shot entry point.
+pub struct Interp<'u> {
+    unit: &'u TranslationUnit,
+    model: Box<dyn MemoryModel>,
+    ti: TargetInfo,
+    mem: TaggedMemory,
+    heap: Allocator,
+    objects: BTreeMap<u64, u64>,
+    shadow: HashMap<u64, ShadowEntry>,
+    globals: HashMap<String, Var>,
+    frames: Vec<Vec<HashMap<String, Var>>>,
+    frame_bases: Vec<u64>,
+    stack_cursor: u64,
+    rodata_cursor: u64,
+    strings: HashMap<String, u64>,
+    output: String,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl<'u> Interp<'u> {
+    /// Builds an interpreter over `unit` with the given model.
+    pub fn new(unit: &'u TranslationUnit, model: Box<dyn MemoryModel>) -> Interp<'u> {
+        let ti = model.target();
+        Interp {
+            unit,
+            model,
+            ti,
+            mem: TaggedMemory::new(PHYS_SIZE),
+            heap: Allocator::new(VBASE + HEAP_OFF, HEAP_SIZE),
+            objects: BTreeMap::new(),
+            shadow: HashMap::new(),
+            globals: HashMap::new(),
+            frames: Vec::new(),
+            frame_bases: Vec::new(),
+            stack_cursor: VBASE + STACK_TOP_OFF,
+            rodata_cursor: VBASE + RODATA_OFF,
+            strings: HashMap::new(),
+            output: String::new(),
+            steps: 0,
+            step_limit: 200_000_000,
+        }
+    }
+
+    /// Overrides the default step budget.
+    pub fn with_step_limit(mut self, limit: u64) -> Interp<'u> {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Runs function `entry` (usually `main`) with no arguments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RtError`].
+    pub fn run(mut self, entry: &str) -> Result<ExecResult, RtError> {
+        self.setup_globals()?;
+        let f = self.unit.func(entry).ok_or(RtError::NoMain)?;
+        let v = self.call_function(f, Vec::new(), f.line)?;
+        let exit_code = match v {
+            Value::Int(i) => i.as_i64(),
+            Value::Ptr(p) => p.addr() as i64,
+        };
+        Ok(ExecResult { exit_code, output: self.output, steps: self.steps })
+    }
+
+    // --- Memory plumbing ---
+
+    fn phys(&self, vaddr: u64, len: u64, line: u32) -> Result<u64, RtError> {
+        if vaddr < VBASE || vaddr.wrapping_add(len) > VBASE + PHYS_SIZE || vaddr.wrapping_add(len) < vaddr {
+            return Err(RtError::Unmapped { line, addr: vaddr });
+        }
+        Ok(vaddr - VBASE)
+    }
+
+    fn read_raw(&self, vaddr: u64, width: u8, line: u32) -> Result<u64, RtError> {
+        let p = self.phys(vaddr, width as u64, line)?;
+        self.mem.read_uint(p, width).map_err(|_| RtError::Unmapped { line, addr: vaddr })
+    }
+
+    fn write_raw(&mut self, vaddr: u64, v: u64, width: u8, line: u32) -> Result<(), RtError> {
+        let p = self.phys(vaddr, width as u64, line)?;
+        self.mem
+            .write_uint(p, v, width)
+            .map_err(|_| RtError::Unmapped { line, addr: vaddr })
+    }
+
+    fn type_size(&self, ty: &Type) -> u64 {
+        size_of(ty, &self.unit.structs, &self.ti)
+    }
+
+    fn type_align(&self, ty: &Type) -> u64 {
+        align_of(ty, &self.unit.structs, &self.ti)
+    }
+
+    fn structs(&self) -> &[StructDef] {
+        &self.unit.structs
+    }
+
+    fn ctx(&self) -> ModelCtx<'_> {
+        ModelCtx { objects: &self.objects }
+    }
+
+    fn model_err(&self, line: u32, err: ModelError) -> RtError {
+        RtError::Model { line, err }
+    }
+
+    /// Loads a typed value from variable-or-checked storage.
+    fn load_typed(&mut self, vaddr: u64, ty: &Type, line: u32) -> Result<Value, RtError> {
+        match ty {
+            Type::Int { width, signed } => {
+                let raw = self.read_raw(vaddr, *width, line)?;
+                let mut iv = IntValue { v: raw, width: *width, signed: *signed, prov: None }
+                    .normalized();
+                if *width == 8 && self.model.uses_shadow() {
+                    if let Some(e) = self.shadow.get(&vaddr) {
+                        if e.bits == iv.v {
+                            iv.prov = Some(crate::value::Prov {
+                                base: e.base,
+                                len: e.len,
+                                modified: false,
+                            });
+                        }
+                    }
+                }
+                Ok(Value::Int(iv))
+            }
+            Type::IntPtr { signed } | Type::IntCap { signed } => {
+                if self.model.stores_caps() {
+                    let p = self.phys(vaddr, 32, line)?;
+                    let c = self
+                        .mem
+                        .read_cap(p)
+                        .map_err(|_| RtError::Unmapped { line, addr: vaddr })?;
+                    Ok(Value::Ptr(PtrVal::Cap(c)))
+                } else {
+                    self.load_typed(vaddr, &Type::Int { width: 8, signed: *signed }, line)
+                }
+            }
+            Type::Ptr { .. } => {
+                if self.model.stores_caps() {
+                    let p = self.phys(vaddr, 32, line)?;
+                    let c = self
+                        .mem
+                        .read_cap(p)
+                        .map_err(|_| RtError::Unmapped { line, addr: vaddr })?;
+                    Ok(Value::Ptr(PtrVal::Cap(c)))
+                } else {
+                    let bits = self.read_raw(vaddr, 8, line)?;
+                    let shadow = self.shadow.get(&vaddr).copied();
+                    Ok(Value::Ptr(self.model.load_ptr_bits(&self.ctx(), bits, shadow.as_ref())))
+                }
+            }
+            Type::Array { .. } | Type::Struct(_) | Type::Void => Err(RtError::Unsupported {
+                line,
+                msg: format!("loading aggregate of type {ty} by value"),
+            }),
+        }
+    }
+
+    /// Stores a typed value into variable-or-checked storage.
+    fn store_typed(&mut self, vaddr: u64, ty: &Type, val: Value, line: u32) -> Result<(), RtError> {
+        match ty {
+            Type::Int { width, signed } => {
+                let iv = self.coerce_int(val, *width, *signed);
+                self.write_raw(vaddr, iv.v, *width, line)?;
+                if self.model.uses_shadow() {
+                    match iv.prov {
+                        Some(p) if *width == 8 && !p.modified => {
+                            self.shadow
+                                .insert(vaddr, ShadowEntry { bits: iv.v, base: p.base, len: p.len });
+                        }
+                        _ => {
+                            self.shadow.remove(&vaddr);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Type::IntPtr { signed } | Type::IntCap { signed } => {
+                if self.model.stores_caps() {
+                    let c = match val {
+                        Value::Ptr(PtrVal::Cap(c)) => c,
+                        Value::Ptr(p) => Capability::from_int(p.addr()),
+                        Value::Int(i) => Capability::from_int(i.v),
+                    };
+                    let p = self.phys(vaddr, 32, line)?;
+                    self.mem
+                        .write_cap(p, &c)
+                        .map_err(|_| RtError::Unmapped { line, addr: vaddr })
+                } else {
+                    let as_int = match val {
+                        Value::Int(i) => Value::Int(IntValue { width: 8, signed: *signed, ..i }),
+                        other => other,
+                    };
+                    self.store_typed(vaddr, &Type::Int { width: 8, signed: *signed }, as_int, line)
+                }
+            }
+            Type::Ptr { .. } => {
+                let pv = match val {
+                    Value::Ptr(p) => self.model.adjust_for_type(p, ty),
+                    Value::Int(i) => self
+                        .model
+                        .int_to_ptr(&self.ctx(), &i, ty)
+                        .map_err(|e| self.model_err(line, e))?,
+                };
+                if self.model.stores_caps() {
+                    let c = match pv {
+                        PtrVal::Cap(c) => c,
+                        other => Capability::from_int(other.addr()),
+                    };
+                    let p = self.phys(vaddr, 32, line)?;
+                    self.mem
+                        .write_cap(p, &c)
+                        .map_err(|_| RtError::Unmapped { line, addr: vaddr })
+                } else {
+                    let bits = pv.addr();
+                    self.write_raw(vaddr, bits, 8, line)?;
+                    if self.model.uses_shadow() {
+                        match pv {
+                            PtrVal::Fat { base, len, .. } if len > 0 => {
+                                self.shadow.insert(vaddr, ShadowEntry { bits, base, len });
+                            }
+                            _ => {
+                                self.shadow.remove(&vaddr);
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+            }
+            Type::Array { .. } | Type::Struct(_) | Type::Void => Err(RtError::Unsupported {
+                line,
+                msg: format!("storing aggregate of type {ty} by value"),
+            }),
+        }
+    }
+
+    fn coerce_int(&self, val: Value, width: u8, signed: bool) -> IntValue {
+        match val {
+            Value::Int(i) => {
+                let keep_prov = width == 8;
+                let mut out = IntValue { v: i.v, width, signed, prov: None }.normalized();
+                if keep_prov {
+                    out.prov = i.prov;
+                }
+                out
+            }
+            Value::Ptr(p) => IntValue::new(p.addr() as i64, width, signed),
+        }
+    }
+
+    fn copy_bytes(&mut self, dst: u64, src: u64, len: u64, line: u32) -> Result<(), RtError> {
+        let pd = self.phys(dst, len, line)?;
+        let ps = self.phys(src, len, line)?;
+        self.mem
+            .memcpy(pd, ps, len)
+            .map_err(|_| RtError::Unmapped { line, addr: dst })?;
+        if self.model.uses_shadow() {
+            // Mirror the shadow space for aligned word copies, as
+            // HardBound's hardware copy does.
+            let moved: Vec<(u64, ShadowEntry)> = self
+                .shadow
+                .iter()
+                .filter(|(&a, _)| a >= src && a + 8 <= src + len && (a - src) % 8 == 0)
+                .map(|(&a, &e)| (dst + (a - src), e))
+                .collect();
+            for a in dst..dst + len {
+                self.shadow.remove(&a);
+            }
+            for (a, e) in moved {
+                if (a - dst) % 8 == (src % 8).wrapping_sub(dst % 8) % 8 || dst % 8 == src % 8 {
+                    self.shadow.insert(a, e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- Object/variable management ---
+
+    fn alloc_stack(&mut self, size: u64, align: u64) -> u64 {
+        let sz = size.max(1);
+        let mut a = self.stack_cursor - sz;
+        a &= !(align.max(1) - 1);
+        self.stack_cursor = a;
+        a
+    }
+
+    fn define_local(&mut self, name: &str, ty: &Type, line: u32) -> Result<Var, RtError> {
+        let size = self.type_size(ty);
+        let align = self.type_align(ty);
+        let addr = self.alloc_stack(size, align);
+        if addr < VBASE + STACK_TOP_OFF - 0x20_0000 {
+            return Err(RtError::Unsupported { line, msg: "stack overflow".into() });
+        }
+        self.objects.insert(addr, size.max(1));
+        let var = Var { addr, ty: ty.clone(), size: size.max(1) };
+        self.frames
+            .last_mut()
+            .expect("active frame")
+            .last_mut()
+            .expect("active scope")
+            .insert(name.to_string(), var.clone());
+        Ok(var)
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<Var> {
+        if let Some(scopes) = self.frames.last() {
+            for scope in scopes.iter().rev() {
+                if let Some(v) = scope.get(name) {
+                    return Some(v.clone());
+                }
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    fn setup_globals(&mut self) -> Result<(), RtError> {
+        let mut cursor = VBASE + GLOBALS_OFF;
+        for g in &self.unit.globals {
+            let size = self.type_size(&g.ty).max(1);
+            let align = self.type_align(&g.ty).max(1);
+            cursor = cursor.next_multiple_of(align);
+            let var = Var { addr: cursor, ty: g.ty.clone(), size };
+            self.objects.insert(cursor, size);
+            self.globals.insert(g.name.clone(), var);
+            cursor += size;
+        }
+        // Initializers run after all globals have addresses.
+        for g in self.unit.globals.clone() {
+            let Some(init) = &g.init else { continue };
+            let var = self.globals[&g.name].clone();
+            if let (Type::Array { elem, .. }, ExprKind::StrLit(s)) = (&g.ty, &init.kind) {
+                if **elem == Type::char_() {
+                    let bytes: Vec<u8> = s.bytes().chain(std::iter::once(0)).collect();
+                    for (i, b) in bytes.iter().enumerate() {
+                        self.write_raw(var.addr + i as u64, *b as u64, 1, g.line)?;
+                    }
+                    continue;
+                }
+            }
+            let v = self.eval(init)?;
+            self.store_typed(var.addr, &g.ty, v, g.line)?;
+        }
+        Ok(())
+    }
+
+    fn intern_string(&mut self, s: &str, line: u32) -> Result<PtrVal, RtError> {
+        let addr = if let Some(&a) = self.strings.get(s) {
+            a
+        } else {
+            let len = s.len() as u64 + 1;
+            let addr = self.rodata_cursor.next_multiple_of(32);
+            self.rodata_cursor = addr + len;
+            for (i, b) in s.bytes().chain(std::iter::once(0)).enumerate() {
+                self.write_raw(addr + i as u64, b as u64, 1, line)?;
+            }
+            self.objects.insert(addr, len);
+            self.strings.insert(s.to_string(), addr);
+            addr
+        };
+        let ty = Type::ptr_to(Type::char_());
+        Ok(self.model.make_ptr(addr, s.len() as u64 + 1, &ty))
+    }
+
+    // --- Places ---
+
+    fn eval_place(&mut self, e: &Expr) -> Result<Place, RtError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                let var = self.lookup_var(name).ok_or_else(|| RtError::Unsupported {
+                    line: e.line,
+                    msg: format!("unbound variable {name}"),
+                })?;
+                Ok(Place { ptr: PlacePtr::Var(var.addr), ty: var.ty })
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                let p = self.eval_ptr(inner)?;
+                let ty = inner.ty.decay().pointee().cloned().expect("checked deref");
+                Ok(Place { ptr: PlacePtr::Indirect(p), ty })
+            }
+            ExprKind::Index(base, idx) => {
+                let p = self.eval_ptr(base)?;
+                let iv = self.eval(idx)?;
+                let elem = base.ty.decay().pointee().cloned().expect("checked index");
+                let delta = (iv.as_u64() as i64).wrapping_mul(self.type_size(&elem) as i64);
+                let q = self
+                    .model
+                    .ptr_add(&p, delta)
+                    .map_err(|err| self.model_err(e.line, err))?;
+                Ok(Place { ptr: PlacePtr::Indirect(q), ty: elem })
+            }
+            ExprKind::Member { base, field, arrow } => {
+                if *arrow {
+                    let p = self.eval_ptr(base)?;
+                    let Type::Struct(id) = base.ty.decay().pointee().cloned().expect("checked ->")
+                    else {
+                        return Err(RtError::Unsupported {
+                            line: e.line,
+                            msg: "-> on non-struct".into(),
+                        });
+                    };
+                    let (off, fty) = field_offset(self.structs(), id, field, &self.ti);
+                    let fsize = self.type_size(&fty);
+                    let q = self
+                        .model
+                        .narrow_field(&p, off, fsize)
+                        .map_err(|err| self.model_err(e.line, err))?;
+                    Ok(Place { ptr: PlacePtr::Indirect(q), ty: fty })
+                } else {
+                    let pl = self.eval_place(base)?;
+                    let Type::Struct(id) = pl.ty else {
+                        return Err(RtError::Unsupported {
+                            line: e.line,
+                            msg: ". on non-struct".into(),
+                        });
+                    };
+                    let (off, fty) = field_offset(self.structs(), id, field, &self.ti);
+                    match pl.ptr {
+                        PlacePtr::Var(a) => Ok(Place { ptr: PlacePtr::Var(a + off), ty: fty }),
+                        PlacePtr::Indirect(p) => {
+                            let fsize = self.type_size(&fty);
+                            let q = self
+                                .model
+                                .narrow_field(&p, off, fsize)
+                                .map_err(|err| self.model_err(e.line, err))?;
+                            Ok(Place { ptr: PlacePtr::Indirect(q), ty: fty })
+                        }
+                    }
+                }
+            }
+            _ => Err(RtError::Unsupported {
+                line: e.line,
+                msg: "expression is not an lvalue".into(),
+            }),
+        }
+    }
+
+    fn place_vaddr(&mut self, pl: &Place, write: bool, line: u32) -> Result<u64, RtError> {
+        match &pl.ptr {
+            PlacePtr::Var(a) => Ok(*a),
+            PlacePtr::Indirect(p) => {
+                let size = self.type_size(&pl.ty);
+                self.model
+                    .deref(&self.ctx(), p, size, write)
+                    .map_err(|err| self.model_err(line, err))
+            }
+        }
+    }
+
+    fn load_place(&mut self, pl: &Place, line: u32) -> Result<Value, RtError> {
+        let a = self.place_vaddr(pl, false, line)?;
+        let ty = pl.ty.clone();
+        self.load_typed(a, &ty, line)
+    }
+
+    fn store_place(&mut self, pl: &Place, v: Value, line: u32) -> Result<(), RtError> {
+        let a = self.place_vaddr(pl, true, line)?;
+        let ty = pl.ty.clone();
+        self.store_typed(a, &ty, v, line)
+    }
+
+    /// `&place`: whole-object bounds for variables, model-specific
+    /// narrowing for members.
+    fn addr_of(&mut self, e: &Expr) -> Result<PtrVal, RtError> {
+        match &e.kind {
+            ExprKind::Unary(UnOp::Deref, inner) => self.eval_ptr(inner),
+            ExprKind::Index(base, idx) => {
+                let p = self.eval_ptr(base)?;
+                let iv = self.eval(idx)?;
+                let elem = base.ty.decay().pointee().cloned().expect("checked index");
+                let delta = (iv.as_u64() as i64).wrapping_mul(self.type_size(&elem) as i64);
+                self.model.ptr_add(&p, delta).map_err(|err| self.model_err(e.line, err))
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let (p, id) = if *arrow {
+                    let p = self.eval_ptr(base)?;
+                    let Type::Struct(id) = base.ty.decay().pointee().cloned().expect("checked")
+                    else {
+                        return Err(RtError::Unsupported { line: e.line, msg: "->".into() });
+                    };
+                    (p, id)
+                } else {
+                    let p = self.addr_of(base)?;
+                    let Type::Struct(id) = base.ty.clone() else {
+                        return Err(RtError::Unsupported { line: e.line, msg: ".".into() });
+                    };
+                    (p, id)
+                };
+                let (off, fty) = field_offset(self.structs(), id, field, &self.ti);
+                let fsize = self.type_size(&fty);
+                self.model
+                    .narrow_field(&p, off, fsize)
+                    .map_err(|err| self.model_err(e.line, err))
+            }
+            ExprKind::Ident(name) => {
+                let var = self.lookup_var(name).ok_or_else(|| RtError::Unsupported {
+                    line: e.line,
+                    msg: format!("unbound variable {name}"),
+                })?;
+                let ptr_ty = Type::ptr_to(var.ty.clone());
+                Ok(self.model.make_ptr(var.addr, var.size, &ptr_ty))
+            }
+            _ => Err(RtError::Unsupported { line: e.line, msg: "& of non-lvalue".into() }),
+        }
+    }
+
+    /// Evaluates an expression that must yield a pointer (decaying arrays).
+    fn eval_ptr(&mut self, e: &Expr) -> Result<PtrVal, RtError> {
+        if e.ty.is_array() {
+            return self.addr_of(e);
+        }
+        match self.eval(e)? {
+            Value::Ptr(p) => Ok(p),
+            Value::Int(i) => self
+                .model
+                .int_to_ptr(&self.ctx(), &i, &e.ty)
+                .map_err(|err| self.model_err(e.line, err)),
+        }
+    }
+
+    // --- Expression evaluation ---
+
+    fn tick(&mut self) -> Result<(), RtError> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            return Err(RtError::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value, RtError> {
+        self.tick()?;
+        let line = e.line;
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let w = if e.ty == Type::long() { 8 } else { 4 };
+                Ok(Value::Int(IntValue::new(*v, w, true)))
+            }
+            ExprKind::StrLit(s) => {
+                let s = s.clone();
+                Ok(Value::Ptr(self.intern_string(&s, line)?))
+            }
+            ExprKind::Ident(_) => {
+                if e.ty.is_array() {
+                    return Ok(Value::Ptr(self.addr_of(e)?));
+                }
+                let pl = self.eval_place(e)?;
+                self.load_place(&pl, line)
+            }
+            ExprKind::Unary(op, inner) => self.eval_unary(*op, inner, e, line),
+            ExprKind::Binary(op, a, b) => self.eval_binary(*op, a, b, e, line),
+            ExprKind::Assign(op, lhs, rhs) => {
+                let pl = self.eval_place(lhs)?;
+                let v = if let Some(op) = op {
+                    let cur = self.load_place(&pl, line)?;
+                    let rv = self.eval_owned(rhs)?;
+                    self.apply_binop(*op, cur, &lhs.ty, rv, &rhs.ty, line)?
+                } else {
+                    self.eval(rhs)?
+                };
+                let stored = self.convert_for_store(v, &pl.ty);
+                self.store_place(&pl, stored, line)?;
+                Ok(stored)
+            }
+            ExprKind::Ternary(c, a, b) => {
+                let cv = self.eval(c)?;
+                if cv.is_truthy() {
+                    self.eval(a)
+                } else {
+                    self.eval(b)
+                }
+            }
+            ExprKind::Call(name, args) => self.eval_call(name, args, line),
+            ExprKind::Index(..) | ExprKind::Member { .. } => {
+                if e.ty.is_array() {
+                    return Ok(Value::Ptr(self.addr_of(e)?));
+                }
+                let pl = self.eval_place(e)?;
+                self.load_place(&pl, line)
+            }
+            ExprKind::Cast(ty, inner) => {
+                let v = self.eval(inner)?;
+                self.eval_cast(ty, v, &inner.ty, line)
+            }
+            ExprKind::SizeofType(ty) => {
+                Ok(Value::Int(IntValue::new(self.type_size(ty) as i64, 8, false)))
+            }
+            ExprKind::SizeofExpr(inner) => {
+                Ok(Value::Int(IntValue::new(self.type_size(&inner.ty) as i64, 8, false)))
+            }
+            ExprKind::Offsetof(ty, field) => {
+                let Type::Struct(id) = ty else {
+                    return Err(RtError::Unsupported { line, msg: "offsetof".into() });
+                };
+                let (off, _) = field_offset(self.structs(), *id, field, &self.ti);
+                Ok(Value::Int(IntValue::new(off as i64, 8, false)))
+            }
+            ExprKind::IncDec { pre, inc, target } => {
+                let pl = self.eval_place(target)?;
+                let old = self.load_place(&pl, line)?;
+                let one = Value::Int(IntValue::new(if *inc { 1 } else { -1 }, 8, true));
+                let new = self.apply_binop(BinOp::Add, old, &pl.ty, one, &Type::long(), line)?;
+                let stored = self.convert_for_store(new, &pl.ty);
+                self.store_place(&pl, stored, line)?;
+                Ok(if *pre { stored } else { old })
+            }
+        }
+    }
+
+    fn eval_owned(&mut self, e: &Expr) -> Result<Value, RtError> {
+        self.eval(e)
+    }
+
+    fn convert_for_store(&self, v: Value, ty: &Type) -> Value {
+        match ty {
+            Type::Int { width, signed } => Value::Int(self.coerce_int(v, *width, *signed)),
+            _ => v,
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, inner: &Expr, e: &Expr, line: u32) -> Result<Value, RtError> {
+        match op {
+            UnOp::Deref => {
+                if e.ty.is_array() {
+                    return Ok(Value::Ptr(self.addr_of(e)?));
+                }
+                let pl = self.eval_place(e)?;
+                self.load_place(&pl, line)
+            }
+            UnOp::Addr => Ok(Value::Ptr(self.addr_of(inner)?)),
+            UnOp::Not => {
+                let v = self.eval(inner)?;
+                Ok(Value::int(i64::from(!v.is_truthy())))
+            }
+            UnOp::Neg | UnOp::BitNot => {
+                let v = self.eval(inner)?;
+                match v {
+                    Value::Int(i) => {
+                        let r = if op == UnOp::Neg {
+                            (i.as_i64()).wrapping_neg()
+                        } else {
+                            !i.as_i64()
+                        };
+                        let w = if i.width < 4 { 4 } else { i.width };
+                        Ok(Value::Int(IntValue::new(r, w, i.signed).touch_prov()))
+                    }
+                    Value::Ptr(p) => {
+                        // ~ or - on an intcap_t value.
+                        self.intcap_arith(line, p, |a| {
+                            if op == UnOp::Neg {
+                                (a as i64).wrapping_neg() as u64
+                            } else {
+                                !a
+                            }
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arithmetic on an `intcap_t`: CHERIv3 adjusts the offset so the
+    /// address becomes the arithmetic result; CHERIv2 refuses (§5.1).
+    fn intcap_arith(
+        &mut self,
+        line: u32,
+        p: PtrVal,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<Value, RtError> {
+        if !self.model.intcap_arith_allowed() {
+            return Err(self.model_err(
+                line,
+                ModelError::new("unrepresentable", "arithmetic on intcap_t values"),
+            ));
+        }
+        match p {
+            PtrVal::Cap(c) => {
+                let new_addr = f(c.address());
+                let adjusted = c
+                    .set_offset(new_addr.wrapping_sub(c.base()))
+                    .map_err(|_| self.model_err(line, ModelError::new("permission", "sealed")))?;
+                Ok(Value::Ptr(PtrVal::Cap(adjusted)))
+            }
+            other => Ok(Value::Ptr(PtrVal::Plain { addr: f(other.addr()) })),
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        _e: &Expr,
+        line: u32,
+    ) -> Result<Value, RtError> {
+        if op == BinOp::LogAnd {
+            let va = self.eval(a)?;
+            if !va.is_truthy() {
+                return Ok(Value::int(0));
+            }
+            let vb = self.eval(b)?;
+            return Ok(Value::int(i64::from(vb.is_truthy())));
+        }
+        if op == BinOp::LogOr {
+            let va = self.eval(a)?;
+            if va.is_truthy() {
+                return Ok(Value::int(1));
+            }
+            let vb = self.eval(b)?;
+            return Ok(Value::int(i64::from(vb.is_truthy())));
+        }
+        let mut va = self.eval(a)?;
+        if a.ty.is_array() {
+            va = Value::Ptr(self.addr_of(a)?);
+        }
+        let mut vb = self.eval(b)?;
+        if b.ty.is_array() {
+            vb = Value::Ptr(self.addr_of(b)?);
+        }
+        self.apply_binop(op, va, &a.ty, vb, &b.ty, line)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply_binop(
+        &mut self,
+        op: BinOp,
+        va: Value,
+        ta: &Type,
+        vb: Value,
+        tb: &Type,
+        line: u32,
+    ) -> Result<Value, RtError> {
+        let ta = ta.decay();
+        let tb = tb.decay();
+        // Pointer arithmetic / comparison.
+        let a_is_ptr = ta.is_pointer();
+        let b_is_ptr = tb.is_pointer();
+        if a_is_ptr || b_is_ptr {
+            return self.apply_ptr_binop(op, va, &ta, vb, &tb, line);
+        }
+        // intcap_t arithmetic: a capability-carried integer.
+        if let Value::Ptr(p) = va {
+            let rhs = vb.as_u64();
+            return self.intcap_binop(op, p, rhs, false, line);
+        }
+        if let Value::Ptr(p) = vb {
+            let lhs = va.as_u64();
+            return self.intcap_binop(op, p, lhs, true, line);
+        }
+        let (Value::Int(ia), Value::Int(ib)) = (va, vb) else { unreachable!() };
+        let w = ia.width.max(ib.width).max(4);
+        let signed = if ia.width == ib.width {
+            ia.signed && ib.signed
+        } else if ia.width > ib.width {
+            ia.signed
+        } else {
+            ib.signed
+        };
+        let (x, y) = (ia.v, ib.v);
+        let (sx, sy) = (ia.as_i64(), ib.as_i64());
+        let r: u64 = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => {
+                if y == 0 {
+                    return Err(RtError::DivByZero { line });
+                }
+                if signed {
+                    sx.wrapping_div(sy) as u64
+                } else {
+                    let (mx, my) = (mask_w(x, w), mask_w(y, w));
+                    mx / my
+                }
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return Err(RtError::DivByZero { line });
+                }
+                if signed {
+                    sx.wrapping_rem(sy) as u64
+                } else {
+                    let (mx, my) = (mask_w(x, w), mask_w(y, w));
+                    mx % my
+                }
+            }
+            BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+            BinOp::Shr => {
+                if signed {
+                    (sx >> (y as u32 & 63)) as u64
+                } else {
+                    mask_w(x, w) >> (y as u32 & 63)
+                }
+            }
+            BinOp::BitAnd => x & y,
+            BinOp::BitOr => x | y,
+            BinOp::BitXor => x ^ y,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                let c = if signed {
+                    sx.cmp(&sy)
+                } else {
+                    mask_w(x, w).cmp(&mask_w(y, w))
+                };
+                let r = match op {
+                    BinOp::Lt => c.is_lt(),
+                    BinOp::Gt => c.is_gt(),
+                    BinOp::Le => c.is_le(),
+                    BinOp::Ge => c.is_ge(),
+                    BinOp::Eq => c.is_eq(),
+                    BinOp::Ne => c.is_ne(),
+                    _ => unreachable!(),
+                };
+                return Ok(Value::int(i64::from(r)));
+            }
+            BinOp::LogAnd | BinOp::LogOr => unreachable!("short-circuited"),
+        };
+        let mut out = IntValue::new(r as i64, w, signed);
+        // Provenance survives arithmetic but is marked modified — the
+        // HardBound/Strict fail-closed trigger and MPX fail-open trigger.
+        out.prov = ia.prov.or(ib.prov).map(|mut p| {
+            p.modified = true;
+            p
+        });
+        Ok(Value::Int(out))
+    }
+
+    fn intcap_binop(
+        &mut self,
+        op: BinOp,
+        p: PtrVal,
+        other: u64,
+        swapped: bool,
+        line: u32,
+    ) -> Result<Value, RtError> {
+        if op.is_comparison() {
+            let a = if swapped { other } else { p.addr() };
+            let b = if swapped { p.addr() } else { other };
+            let r = match op {
+                BinOp::Lt => a < b,
+                BinOp::Gt => a > b,
+                BinOp::Le => a <= b,
+                BinOp::Ge => a >= b,
+                BinOp::Eq => a == b,
+                BinOp::Ne => a != b,
+                _ => unreachable!(),
+            };
+            return Ok(Value::int(i64::from(r)));
+        }
+        self.intcap_arith(line, p, |addr| {
+            let (a, b) = if swapped { (other, addr) } else { (addr, other) };
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a / b
+                    }
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a % b
+                    }
+                }
+                BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+                BinOp::BitAnd => a & b,
+                BinOp::BitOr => a | b,
+                BinOp::BitXor => a ^ b,
+                _ => unreachable!(),
+            }
+        })
+    }
+
+    fn apply_ptr_binop(
+        &mut self,
+        op: BinOp,
+        va: Value,
+        ta: &Type,
+        vb: Value,
+        tb: &Type,
+        line: u32,
+    ) -> Result<Value, RtError> {
+        let as_ptr = |s: &mut Self, v: Value, ty: &Type| -> Result<PtrVal, RtError> {
+            match v {
+                Value::Ptr(p) => Ok(p),
+                Value::Int(i) => s
+                    .model
+                    .int_to_ptr(&s.ctx(), &i, ty)
+                    .map_err(|err| s.model_err(line, err)),
+            }
+        };
+        match op {
+            BinOp::Add | BinOp::Sub => {
+                if ta.is_pointer() && tb.is_pointer() && op == BinOp::Sub {
+                    let pa = as_ptr(self, va, ta)?;
+                    let pb = as_ptr(self, vb, tb)?;
+                    let diff = self
+                        .model
+                        .ptr_diff(&pa, &pb)
+                        .map_err(|err| self.model_err(line, err))?;
+                    let elem = ta.pointee().cloned().expect("checked");
+                    let es = self.type_size(&elem).max(1) as i64;
+                    return Ok(Value::Int(IntValue::new(diff / es, 8, true)));
+                }
+                let (pv, ptr_ty, iv) = if ta.is_pointer() {
+                    (as_ptr(self, va, ta)?, ta, vb.as_u64() as i64)
+                } else {
+                    (as_ptr(self, vb, tb)?, tb, va.as_u64() as i64)
+                };
+                let elem = ptr_ty.pointee().cloned().expect("checked");
+                let es = self.type_size(&elem).max(1) as i64;
+                let delta = if op == BinOp::Sub { -iv } else { iv }.wrapping_mul(es);
+                let q = self
+                    .model
+                    .ptr_add(&pv, delta)
+                    .map_err(|err| self.model_err(line, err))?;
+                Ok(Value::Ptr(q))
+            }
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                let x = va.as_u64();
+                let y = vb.as_u64();
+                let r = match op {
+                    BinOp::Lt => x < y,
+                    BinOp::Gt => x > y,
+                    BinOp::Le => x <= y,
+                    BinOp::Ge => x >= y,
+                    BinOp::Eq => x == y,
+                    BinOp::Ne => x != y,
+                    _ => unreachable!(),
+                };
+                Ok(Value::int(i64::from(r)))
+            }
+            other => Err(RtError::Unsupported {
+                line,
+                msg: format!("operator {other:?} on pointers"),
+            }),
+        }
+    }
+
+    fn eval_cast(&mut self, to: &Type, v: Value, from: &Type, line: u32) -> Result<Value, RtError> {
+        let from = from.decay();
+        match to {
+            Type::Void => Ok(Value::int(0)),
+            Type::Int { width, signed } => match v {
+                Value::Int(i) => Ok(Value::Int(self.coerce_int(Value::Int(i), *width, *signed))),
+                Value::Ptr(p) => self
+                    .model
+                    .ptr_to_int(&p, *width, *signed)
+                    .map(Value::Int)
+                    .map_err(|err| self.model_err(line, err)),
+            },
+            Type::IntPtr { signed } | Type::IntCap { signed } => {
+                if self.model.stores_caps() {
+                    match v {
+                        Value::Ptr(p) => Ok(Value::Ptr(p)),
+                        Value::Int(i) => Ok(Value::Ptr(PtrVal::Cap(Capability::from_int(i.v)))),
+                    }
+                } else {
+                    match v {
+                        Value::Ptr(p) => self
+                            .model
+                            .ptr_to_int(&p, 8, *signed)
+                            .map(Value::Int)
+                            .map_err(|err| self.model_err(line, err)),
+                        Value::Int(i) => {
+                            Ok(Value::Int(self.coerce_int(Value::Int(i), 8, *signed)))
+                        }
+                    }
+                }
+            }
+            Type::Ptr { .. } => match v {
+                Value::Ptr(p) => Ok(Value::Ptr(self.model.adjust_for_type(p, to))),
+                Value::Int(i) => {
+                    let _ = from;
+                    let p = self
+                        .model
+                        .int_to_ptr(&self.ctx(), &i, to)
+                        .map_err(|err| self.model_err(line, err))?;
+                    Ok(Value::Ptr(self.model.adjust_for_type(p, to)))
+                }
+            },
+            Type::Array { .. } | Type::Struct(_) => Err(RtError::Unsupported {
+                line,
+                msg: format!("cast to {to}"),
+            }),
+        }
+    }
+
+    // --- Calls ---
+
+    fn eval_call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<Value, RtError> {
+        if let Some(v) = self.eval_builtin(name, args, line)? {
+            return Ok(v);
+        }
+        let f = self
+            .unit
+            .func(name)
+            .ok_or_else(|| RtError::Unsupported { line, msg: format!("unknown function {name}") })?;
+        let mut argv = Vec::with_capacity(args.len());
+        for (arg, param) in args.iter().zip(&f.params) {
+            let mut v = self.eval(arg)?;
+            if arg.ty.is_array() {
+                v = Value::Ptr(self.addr_of(arg)?);
+            }
+            if let (Value::Ptr(p), pty @ Type::Ptr { .. }) = (&v, &param.ty) {
+                v = Value::Ptr(self.model.adjust_for_type(*p, pty));
+            }
+            argv.push(v);
+        }
+        self.call_function(f, argv, line)
+    }
+
+    fn call_function(&mut self, f: &FuncDef, argv: Vec<Value>, line: u32) -> Result<Value, RtError> {
+        if self.frames.len() > 400 {
+            return Err(RtError::Unsupported { line, msg: "call depth exceeded".into() });
+        }
+        let saved_cursor = self.stack_cursor;
+        self.frames.push(vec![HashMap::new()]);
+        self.frame_bases.push(saved_cursor);
+        for (param, v) in f.params.iter().zip(argv) {
+            let var = self.define_local(&param.name, &param.ty, f.line)?;
+            self.store_typed(var.addr, &var.ty, v, f.line)?;
+        }
+        let flow = self.exec_block_scoped(&f.body);
+        let popped = self.frames.pop().expect("frame");
+        self.frame_bases.pop();
+        // Retire local objects and their shadow entries.
+        for scope in &popped {
+            for var in scope.values() {
+                self.objects.remove(&var.addr);
+                if self.model.uses_shadow() {
+                    let range = var.addr..var.addr + var.size;
+                    self.shadow.retain(|a, _| !range.contains(a));
+                }
+            }
+        }
+        self.stack_cursor = saved_cursor;
+        match flow? {
+            Flow::Return(Some(v)) => Ok(v),
+            _ => Ok(Value::int(0)),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn eval_builtin(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<Option<Value>, RtError> {
+        if self.unit.func(name).is_some() {
+            return Ok(None); // user definitions win
+        }
+        match name {
+            "malloc" => {
+                let n = self.eval(&args[0])?.as_u64();
+                match self.heap.alloc(n) {
+                    Ok(addr) => {
+                        self.objects.insert(addr, n.max(1));
+                        let ty = Type::ptr_to(Type::Void);
+                        Ok(Some(Value::Ptr(self.model.make_ptr(addr, n, &ty))))
+                    }
+                    Err(_) => Ok(Some(Value::Ptr(PtrVal::Plain { addr: 0 }))),
+                }
+            }
+            "free" => {
+                let v = self.eval(&args[0])?;
+                let addr = v.as_u64();
+                if addr == 0 {
+                    return Ok(Some(Value::int(0)));
+                }
+                self.heap.free(addr).map_err(|_| RtError::BadFree { line, addr })?;
+                self.objects.remove(&addr);
+                Ok(Some(Value::int(0)))
+            }
+            "memcpy" | "memset" => {
+                let d = self.eval_ptr(&args[0])?;
+                let n_expr = &args[2];
+                if name == "memcpy" {
+                    let s = self.eval_ptr(&args[1])?;
+                    let n = self.eval(n_expr)?.as_u64();
+                    if n > 0 {
+                        let da = self
+                            .model
+                            .deref(&self.ctx(), &d, n, true)
+                            .map_err(|err| self.model_err(line, err))?;
+                        let sa = self
+                            .model
+                            .deref(&self.ctx(), &s, n, false)
+                            .map_err(|err| self.model_err(line, err))?;
+                        self.copy_bytes(da, sa, n, line)?;
+                    }
+                } else {
+                    let c = self.eval(&args[1])?.as_u64() as u8;
+                    let n = self.eval(n_expr)?.as_u64();
+                    if n > 0 {
+                        let da = self
+                            .model
+                            .deref(&self.ctx(), &d, n, true)
+                            .map_err(|err| self.model_err(line, err))?;
+                        let pd = self.phys(da, n, line)?;
+                        self.mem.fill(pd, n, c).map_err(|_| RtError::Unmapped { line, addr: da })?;
+                        if self.model.uses_shadow() {
+                            for a in da..da + n {
+                                self.shadow.remove(&a);
+                            }
+                        }
+                    }
+                }
+                Ok(Some(Value::Ptr(d)))
+            }
+            "strlen" => {
+                let p = self.eval_ptr(&args[0])?;
+                let mut n = 0u64;
+                loop {
+                    let q = self.model.ptr_add(&p, n as i64).map_err(|e| self.model_err(line, e))?;
+                    let a = self
+                        .model
+                        .deref(&self.ctx(), &q, 1, false)
+                        .map_err(|err| self.model_err(line, err))?;
+                    if self.read_raw(a, 1, line)? == 0 {
+                        break;
+                    }
+                    n += 1;
+                    self.tick()?;
+                }
+                Ok(Some(Value::Int(IntValue::new(n as i64, 8, false))))
+            }
+            "strcmp" => {
+                let pa = self.eval_ptr(&args[0])?;
+                let pb = self.eval_ptr(&args[1])?;
+                let mut i = 0i64;
+                loop {
+                    let qa = self.model.ptr_add(&pa, i).map_err(|e| self.model_err(line, e))?;
+                    let qb = self.model.ptr_add(&pb, i).map_err(|e| self.model_err(line, e))?;
+                    let aa = self
+                        .model
+                        .deref(&self.ctx(), &qa, 1, false)
+                        .map_err(|err| self.model_err(line, err))?;
+                    let ab = self
+                        .model
+                        .deref(&self.ctx(), &qb, 1, false)
+                        .map_err(|err| self.model_err(line, err))?;
+                    let (ca, cb) = (self.read_raw(aa, 1, line)?, self.read_raw(ab, 1, line)?);
+                    if ca != cb {
+                        return Ok(Some(Value::int(if ca < cb { -1 } else { 1 })));
+                    }
+                    if ca == 0 {
+                        return Ok(Some(Value::int(0)));
+                    }
+                    i += 1;
+                    self.tick()?;
+                }
+            }
+            "puts" => {
+                let p = self.eval_ptr(&args[0])?;
+                let mut i = 0i64;
+                loop {
+                    let q = self.model.ptr_add(&p, i).map_err(|e| self.model_err(line, e))?;
+                    let a = self
+                        .model
+                        .deref(&self.ctx(), &q, 1, false)
+                        .map_err(|err| self.model_err(line, err))?;
+                    let c = self.read_raw(a, 1, line)?;
+                    if c == 0 {
+                        break;
+                    }
+                    self.output.push(c as u8 as char);
+                    i += 1;
+                    self.tick()?;
+                }
+                self.output.push('\n');
+                Ok(Some(Value::int(0)))
+            }
+            "putchar" => {
+                let c = self.eval(&args[0])?.as_u64();
+                self.output.push(c as u8 as char);
+                Ok(Some(Value::int(c as i64)))
+            }
+            "putint" => {
+                let v = self.eval(&args[0])?;
+                let n = match v {
+                    Value::Int(i) => i.as_i64(),
+                    Value::Ptr(p) => p.addr() as i64,
+                };
+                self.output.push_str(&n.to_string());
+                Ok(Some(Value::int(0)))
+            }
+            "assert" => {
+                let v = self.eval(&args[0])?;
+                if v.is_truthy() {
+                    Ok(Some(Value::int(0)))
+                } else {
+                    Err(RtError::AssertFailed { line })
+                }
+            }
+            "abort" => Err(RtError::Abort { line }),
+            "clock" => Ok(Some(Value::Int(IntValue::new(self.steps as i64, 8, true)))),
+            _ => Ok(None),
+        }
+    }
+
+    // --- Statements ---
+
+    fn exec_block_scoped(&mut self, b: &Block) -> Result<Flow, RtError> {
+        self.frames.last_mut().expect("frame").push(HashMap::new());
+        let r = self.exec_stmts(b);
+        let scope = self.frames.last_mut().expect("frame").pop().expect("scope");
+        for var in scope.values() {
+            self.objects.remove(&var.addr);
+            if self.model.uses_shadow() {
+                let range = var.addr..var.addr + var.size;
+                self.shadow.retain(|a, _| !range.contains(a));
+            }
+        }
+        r
+    }
+
+    fn exec_stmts(&mut self, b: &Block) -> Result<Flow, RtError> {
+        for s in &b.stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow, RtError> {
+        self.tick()?;
+        match s {
+            Stmt::Decl { name, ty, init, line } => {
+                let var = self.define_local(name, ty, *line)?;
+                if let Some(e) = init {
+                    if let (Type::Array { elem, .. }, ExprKind::StrLit(st)) = (ty, &e.kind) {
+                        if **elem == Type::char_() {
+                            let bytes: Vec<u8> = st.bytes().chain(std::iter::once(0)).collect();
+                            for (i, bb) in bytes.iter().enumerate() {
+                                self.write_raw(var.addr + i as u64, *bb as u64, 1, *line)?;
+                            }
+                            return Ok(Flow::Normal);
+                        }
+                    }
+                    let mut v = self.eval(e)?;
+                    if e.ty.is_array() {
+                        v = Value::Ptr(self.addr_of(e)?);
+                    }
+                    if let (Value::Ptr(p), pty @ Type::Ptr { .. }) = (&v, ty) {
+                        v = Value::Ptr(self.model.adjust_for_type(*p, pty));
+                    }
+                    self.store_typed(var.addr, ty, v, *line)?;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                if self.eval(cond)?.is_truthy() {
+                    self.exec_block_scoped(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.exec_block_scoped(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond)?.is_truthy() {
+                    match self.exec_block_scoped(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::DoWhile { body, cond } => {
+                loop {
+                    match self.exec_block_scoped(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    if !self.eval(cond)?.is_truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.frames.last_mut().expect("frame").push(HashMap::new());
+                let r = (|| -> Result<Flow, RtError> {
+                    if let Some(i) = init {
+                        self.exec_stmt(i)?;
+                    }
+                    loop {
+                        if let Some(c) = cond {
+                            if !self.eval(c)?.is_truthy() {
+                                break;
+                            }
+                        }
+                        match self.exec_block_scoped(body)? {
+                            Flow::Break => break,
+                            Flow::Return(v) => return Ok(Flow::Return(v)),
+                            _ => {}
+                        }
+                        if let Some(st) = step {
+                            self.eval(st)?;
+                        }
+                    }
+                    Ok(Flow::Normal)
+                })();
+                let scope = self.frames.last_mut().expect("frame").pop().expect("scope");
+                for var in scope.values() {
+                    self.objects.remove(&var.addr);
+                }
+                r
+            }
+            Stmt::Return(e, _) => {
+                let v = match e {
+                    Some(e) => {
+                        let mut v = self.eval(e)?;
+                        if e.ty.is_array() {
+                            v = Value::Ptr(self.addr_of(e)?);
+                        }
+                        Some(v)
+                    }
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break(_) => Ok(Flow::Break),
+            Stmt::Continue(_) => Ok(Flow::Continue),
+            Stmt::Block(b) => self.exec_block_scoped(b),
+        }
+    }
+}
+
+fn mask_w(v: u64, w: u8) -> u64 {
+    if w >= 8 {
+        v
+    } else {
+        v & ((1u64 << (w * 8)) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, kind: ModelKind) -> Result<ExecResult, RtError> {
+        let unit = cheri_c::parse(src).expect("front end");
+        run_main(&unit, kind)
+    }
+
+    fn run_all_ok(src: &str, expect: i64) {
+        for kind in ModelKind::ALL {
+            let r = run(src, kind).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(r.exit_code, expect, "model {kind}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        run_all_ok(
+            "int main(void) {
+                int s = 0;
+                for (int i = 1; i <= 10; i++) s += i;
+                while (s > 54) s--;
+                return s;
+            }",
+            54,
+        );
+    }
+
+    #[test]
+    fn recursion() {
+        run_all_ok(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             int main(void) { return fib(10); }",
+            55,
+        );
+    }
+
+    #[test]
+    fn arrays_and_pointers() {
+        run_all_ok(
+            "int main(void) {
+                int a[8];
+                for (int i = 0; i < 8; i++) a[i] = i * i;
+                int *p = a;
+                int s = 0;
+                for (int i = 0; i < 8; i++) s += *(p + i);
+                return s;
+            }",
+            140,
+        );
+    }
+
+    #[test]
+    fn structs_and_members() {
+        run_all_ok(
+            "struct point { int x; int y; };
+             int main(void) {
+                struct point p;
+                p.x = 3; p.y = 4;
+                struct point *q = &p;
+                return q->x * q->x + q->y * q->y;
+             }",
+            25,
+        );
+    }
+
+    #[test]
+    fn linked_list_with_malloc() {
+        run_all_ok(
+            "struct node { int v; struct node *next; };
+             int main(void) {
+                struct node *head = 0;
+                for (int i = 1; i <= 5; i++) {
+                    struct node *n = (struct node*)malloc(sizeof(struct node));
+                    n->v = i;
+                    n->next = head;
+                    head = n;
+                }
+                int s = 0;
+                while (head) { s += head->v; struct node *d = head; head = head->next; free(d); }
+                return s;
+             }",
+            15,
+        );
+    }
+
+    #[test]
+    fn unions_type_pun() {
+        run_all_ok(
+            "union u { unsigned int i; unsigned char b[4]; };
+             int main(void) {
+                union u v;
+                v.i = 0x01020304;
+                return v.b[0] + v.b[3];
+             }",
+            5, // little-endian: 0x04 + 0x01
+        );
+    }
+
+    #[test]
+    fn strings_and_output() {
+        let r = run(
+            "int main(void) { puts(\"hello\"); putint(42); return (int)strlen(\"abc\"); }",
+            ModelKind::CheriV3,
+        )
+        .unwrap();
+        assert_eq!(r.output, "hello\n42");
+        assert_eq!(r.exit_code, 3);
+    }
+
+    #[test]
+    fn globals_initialize() {
+        run_all_ok(
+            "int g = 40;
+             char msg[] = \"hi\";
+             int main(void) { return g + msg[1] - 'i' + 2; }",
+            42,
+        );
+    }
+
+    #[test]
+    fn sizeof_depends_on_model() {
+        let src = "int main(void) { return (int)sizeof(int*); }";
+        assert_eq!(run(src, ModelKind::Pdp11).unwrap().exit_code, 8);
+        assert_eq!(run(src, ModelKind::CheriV3).unwrap().exit_code, 32);
+    }
+
+    #[test]
+    fn buffer_overflow_caught_by_safe_models() {
+        let src = "int main(void) {
+            char *p = (char*)malloc(16);
+            p[20] = 1;   /* classic overflow */
+            return 0;
+        }";
+        // The PDP-11 model lets it corrupt the heap silently.
+        assert!(run(src, ModelKind::Pdp11).is_ok());
+        for kind in [
+            ModelKind::HardBound,
+            ModelKind::Mpx,
+            ModelKind::Relaxed,
+            ModelKind::Strict,
+            ModelKind::CheriV2,
+            ModelKind::CheriV3,
+        ] {
+            let e = run(src, kind).unwrap_err();
+            assert!(matches!(e, RtError::Model { .. }), "{kind} should catch overflow: {e}");
+        }
+    }
+
+    #[test]
+    fn assert_and_abort() {
+        assert!(matches!(
+            run("int main(void) { assert(0); return 0; }", ModelKind::Pdp11),
+            Err(RtError::AssertFailed { .. })
+        ));
+        assert!(matches!(
+            run("int main(void) { abort(); return 0; }", ModelKind::Pdp11),
+            Err(RtError::Abort { .. })
+        ));
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        assert!(matches!(
+            run("int main(void) { int z = 0; return 5 / z; }", ModelKind::Pdp11),
+            Err(RtError::DivByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_reported() {
+        let e = run(
+            "int main(void) { char *p = (char*)malloc(8); free(p); free(p); return 0; }",
+            ModelKind::Pdp11,
+        )
+        .unwrap_err();
+        assert!(matches!(e, RtError::BadFree { .. }));
+    }
+
+    #[test]
+    fn memcpy_copies_pointers_intact() {
+        // memcpy must move pointers without knowing they are there (§4).
+        run_all_ok(
+            "struct holder { int *p; long pad; };
+             int main(void) {
+                int x = 7;
+                struct holder a;
+                struct holder b;
+                a.p = &x;
+                a.pad = 1;
+                memcpy(&b, &a, sizeof(struct holder));
+                return *b.p;
+             }",
+            7,
+        );
+    }
+
+    #[test]
+    fn ternary_and_compound_ops() {
+        run_all_ok(
+            "int main(void) {
+                int x = 5;
+                x <<= 2;          /* 20 */
+                x |= 1;           /* 21 */
+                x %= 10;          /* 1 */
+                return x > 0 ? x + 41 : -1;
+             }",
+            42,
+        );
+    }
+
+    #[test]
+    fn pointer_comparisons() {
+        run_all_ok(
+            "int main(void) {
+                int a[4];
+                int *p = &a[1];
+                int *q = &a[3];
+                if (p < q && q > p && p != q && p == p) return 1;
+                return 0;
+             }",
+            1,
+        );
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let unit = cheri_c::parse("int main(void) { while (1) { } return 0; }").unwrap();
+        let r = Interp::new(&unit, ModelKind::Pdp11.build())
+            .with_step_limit(10_000)
+            .run("main");
+        assert!(matches!(r, Err(RtError::StepLimit)));
+    }
+
+    #[test]
+    fn out_of_bounds_intermediate_models_differ() {
+        // Idiom II, straight from the paper.
+        let src = "int main(void) {
+            int a[4];
+            a[2] = 9;
+            int *p = a + 9;   /* invalid intermediate */
+            p = p - 7;        /* back in bounds */
+            return *p;
+        }";
+        for kind in [
+            ModelKind::Pdp11,
+            ModelKind::HardBound,
+            ModelKind::Mpx,
+            ModelKind::Relaxed,
+            ModelKind::Strict,
+            ModelKind::CheriV3,
+        ] {
+            assert_eq!(run(src, kind).unwrap().exit_code, 9, "{kind}");
+        }
+        assert!(run(src, ModelKind::CheriV2).is_err());
+    }
+
+    #[test]
+    fn wide_idiom_fails_everywhere() {
+        // Idiom Wide: pointers do not fit in 32 bits on any 64-bit model.
+        let src = "int main(void) {
+            int x = 7;
+            int *p = &x;
+            unsigned int w = (unsigned int)(unsigned long)(int*)p;
+            int *q = (int*)(unsigned long)w;
+            return *q;
+        }";
+        for kind in ModelKind::ALL {
+            assert!(run(src, kind).is_err(), "{kind} should fail Wide");
+        }
+    }
+
+    #[test]
+    fn output_and_steps_are_reported() {
+        let r = run("int main(void) { putchar('x'); return 0; }", ModelKind::Pdp11).unwrap();
+        assert_eq!(r.output, "x");
+        assert!(r.steps > 0);
+    }
+}

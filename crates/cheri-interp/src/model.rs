@@ -1,0 +1,274 @@
+//! The pluggable memory-model interface.
+
+use crate::layout::TargetInfo;
+use crate::value::{IntValue, PtrVal};
+use cheri_c::Type;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Which interpretation of the C abstract machine a model implements
+/// (the rows of the paper's Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// x86/MIPS/PDP-11: pointers are integers, no checking.
+    Pdp11,
+    /// HardBound (Devietti et al.): fat pointers in a shadow space,
+    /// fails closed when provenance is lost.
+    HardBound,
+    /// Intel MPX: bounds in look-aside tables keyed by pointer location;
+    /// on mismatch the check succeeds unconditionally (fails open).
+    Mpx,
+    /// The paper's *Relaxed* interpreter: integers can become pointers as
+    /// long as the target object is still live (live-object map lookup).
+    Relaxed,
+    /// The paper's *Strict* interpreter: pointers survive integer round
+    /// trips only if the integer is never modified.
+    Strict,
+    /// CHERI ISAv2: capabilities without an offset; pointer arithmetic
+    /// monotonically consumes bounds; no subtraction.
+    CheriV2,
+    /// CHERI ISAv3 (the paper's contribution): fat capabilities with a
+    /// free-roaming offset, checked at dereference.
+    CheriV3,
+}
+
+impl ModelKind {
+    /// All models, in the paper's Table 3 row order.
+    pub const ALL: [ModelKind; 7] = [
+        ModelKind::Pdp11,
+        ModelKind::HardBound,
+        ModelKind::Mpx,
+        ModelKind::Relaxed,
+        ModelKind::Strict,
+        ModelKind::CheriV2,
+        ModelKind::CheriV3,
+    ];
+
+    /// The display name used in the Table 3 harness.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            ModelKind::Pdp11 => "x86/MIPS/PDP-11",
+            ModelKind::HardBound => "HardBound",
+            ModelKind::Mpx => "Intel MPX",
+            ModelKind::Relaxed => "Relaxed",
+            ModelKind::Strict => "Strict",
+            ModelKind::CheriV2 => "CHERIv2",
+            ModelKind::CheriV3 => "CHERIv3",
+        }
+    }
+
+    /// Builds the model implementation.
+    pub fn build(self) -> Box<dyn MemoryModel> {
+        crate::models::build(self)
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Why a model refused an operation. The `kind` string feeds the Table 3
+/// failure classification ("bounds", "tag", "permission", "provenance",
+/// "unrepresentable").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelError {
+    /// Machine-readable category.
+    pub kind: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl ModelError {
+    /// Builds an error.
+    pub fn new(kind: &'static str, msg: impl Into<String>) -> ModelError {
+        ModelError { kind, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violation: {}", self.kind, self.msg)
+    }
+}
+
+impl Error for ModelError {}
+
+/// Metadata remembered for a pointer spilled to memory: the machine keys
+/// these by storage address, modelling HardBound's shadow space and MPX's
+/// bound tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShadowEntry {
+    /// The pointer bits that were stored.
+    pub bits: u64,
+    /// Object base at store time.
+    pub base: u64,
+    /// Object length at store time.
+    pub len: u64,
+}
+
+/// Read-only machine state a model may consult.
+pub struct ModelCtx<'a> {
+    /// Live objects: base → length. Includes globals, string literals,
+    /// live heap blocks, and in-scope locals.
+    pub objects: &'a BTreeMap<u64, u64>,
+}
+
+impl ModelCtx<'_> {
+    /// The live object containing `addr`, if any.
+    pub fn object_containing(&self, addr: u64) -> Option<(u64, u64)> {
+        let (&base, &len) = self.objects.range(..=addr).next_back()?;
+        if addr < base + len {
+            Some((base, len))
+        } else {
+            None
+        }
+    }
+}
+
+/// A memory model: the set of pointer semantics under test.
+///
+/// The interpreter owns memory, scopes and control flow; every *pointer*
+/// operation — creation, arithmetic, dereference, conversion to and from
+/// integers, spilling to memory — is delegated here. Implementations are
+/// listed in [`ModelKind`].
+pub trait MemoryModel {
+    /// Which model this is.
+    fn kind(&self) -> ModelKind;
+
+    /// Layout parameters (pointer size/alignment, `intptr_t` representation).
+    fn target(&self) -> TargetInfo;
+
+    /// `true` if pointers are capabilities stored via tagged memory.
+    fn stores_caps(&self) -> bool {
+        false
+    }
+
+    /// `true` if pointer metadata spills into the machine-managed shadow
+    /// table ([`ShadowEntry`]) when a pointer is written to memory.
+    fn uses_shadow(&self) -> bool {
+        false
+    }
+
+    /// `true` if arithmetic on `intcap_t` values is representable
+    /// (CHERIv3 yes — via the offset; CHERIv2 no — store/load only, §5.1).
+    fn intcap_arith_allowed(&self) -> bool {
+        true
+    }
+
+    /// `true` if the model enforces `const` at runtime (original CHERIv2
+    /// compiler behaviour that "broke a large amount of code", §4.1).
+    fn enforces_const(&self) -> bool {
+        false
+    }
+
+    /// A fresh pointer to a new object `[base, base+len)` of type `ty`
+    /// (`ty` is the pointer type, for permission derivation).
+    fn make_ptr(&self, base: u64, len: u64, ty: &Type) -> PtrVal;
+
+    /// Re-qualifies a pointer when it is converted/assigned to type `ty`
+    /// (e.g. CHERI dropping store permission for `__input`).
+    fn adjust_for_type(&self, p: PtrVal, ty: &Type) -> PtrVal;
+
+    /// `p + delta` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Models that cannot represent the result (CHERIv2 subtraction or
+    /// out-of-bounds increment) refuse here.
+    fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError>;
+
+    /// `a - b` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// CHERIv2 cannot subtract pointers at all.
+    fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError>;
+
+    /// Derives a pointer to a field at `off` with size `size`. MPX narrows
+    /// the bounds to the field (which is what breaks **Container**); other
+    /// models treat this as plain arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryModel::ptr_add`].
+    fn narrow_field(&self, p: &PtrVal, off: u64, size: u64) -> Result<PtrVal, ModelError> {
+        let _ = size;
+        self.ptr_add(p, off as i64)
+    }
+
+    /// Validates an access of `len` bytes through `p`, returning the
+    /// virtual address to read or write.
+    ///
+    /// # Errors
+    ///
+    /// The model's bounds/tag/permission discipline.
+    fn deref(
+        &self,
+        ctx: &ModelCtx<'_>,
+        p: &PtrVal,
+        len: u64,
+        write: bool,
+    ) -> Result<u64, ModelError>;
+
+    /// Converts a pointer to a plain integer of `width` bytes (the **Int**
+    /// and **Wide** idioms). Provenance travels on the result where the
+    /// scheme supports it.
+    ///
+    /// # Errors
+    ///
+    /// None today; reserved for models that forbid the conversion.
+    fn ptr_to_int(&self, p: &PtrVal, width: u8, signed: bool) -> Result<IntValue, ModelError>;
+
+    /// Reconstructs a pointer from an integer (the reverse direction).
+    ///
+    /// # Errors
+    ///
+    /// Fail-closed models refuse lost or modified provenance.
+    fn int_to_ptr(
+        &self,
+        ctx: &ModelCtx<'_>,
+        v: &IntValue,
+        ty: &Type,
+    ) -> Result<PtrVal, ModelError>;
+
+    /// Materializes a pointer loaded from memory, given the raw bits and
+    /// the shadow entry (if any) recorded at the storage address.
+    fn load_ptr_bits(&self, ctx: &ModelCtx<'_>, bits: u64, shadow: Option<&ShadowEntry>)
+        -> PtrVal;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_build() {
+        for k in ModelKind::ALL {
+            let m = k.build();
+            assert_eq!(m.kind(), k);
+            assert!(!k.display_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn ctx_object_lookup() {
+        let mut objects = BTreeMap::new();
+        objects.insert(0x100, 0x10u64);
+        objects.insert(0x200, 0x8u64);
+        let ctx = ModelCtx { objects: &objects };
+        assert_eq!(ctx.object_containing(0x100), Some((0x100, 0x10)));
+        assert_eq!(ctx.object_containing(0x10F), Some((0x100, 0x10)));
+        assert_eq!(ctx.object_containing(0x110), None);
+        assert_eq!(ctx.object_containing(0x207), Some((0x200, 8)));
+        assert_eq!(ctx.object_containing(0x50), None);
+    }
+
+    #[test]
+    fn model_error_display() {
+        let e = ModelError::new("bounds", "access past end");
+        assert!(e.to_string().contains("bounds"));
+    }
+}

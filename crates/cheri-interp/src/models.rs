@@ -1,0 +1,800 @@
+//! The seven memory-model implementations.
+
+use crate::layout::TargetInfo;
+use crate::model::{MemoryModel, ModelCtx, ModelError, ModelKind, ShadowEntry};
+use crate::value::{IntValue, Prov, PtrVal};
+use cheri_c::{CapQual, Type};
+use cheri_cap::{CapError, Capability, Perms};
+
+/// Instantiates the model for `kind`.
+pub fn build(kind: ModelKind) -> Box<dyn MemoryModel> {
+    match kind {
+        ModelKind::Pdp11 => Box::new(Pdp11),
+        ModelKind::HardBound => Box::new(HardBound),
+        ModelKind::Mpx => Box::new(Mpx),
+        ModelKind::Relaxed => Box::new(Relaxed),
+        ModelKind::Strict => Box::new(Strict),
+        ModelKind::CheriV2 => Box::new(Cheri { v3: false }),
+        ModelKind::CheriV3 => Box::new(Cheri { v3: true }),
+    }
+}
+
+fn fat_add(p: &PtrVal, delta: i64) -> PtrVal {
+    match *p {
+        PtrVal::Plain { addr } => PtrVal::Plain { addr: addr.wrapping_add(delta as u64) },
+        PtrVal::Fat { addr, base, len } => {
+            PtrVal::Fat { addr: addr.wrapping_add(delta as u64), base, len }
+        }
+        PtrVal::Cap(_) => unreachable!("fat models never hold capabilities"),
+    }
+}
+
+fn fat_check(p: &PtrVal, len: u64, fail_open_plain: bool) -> Result<u64, ModelError> {
+    match *p {
+        PtrVal::Plain { addr } => {
+            if fail_open_plain {
+                Ok(addr) // metadata lost: MPX checks succeed unconditionally
+            } else {
+                Err(ModelError::new("provenance", format!("unbounded pointer {addr:#x}")))
+            }
+        }
+        PtrVal::Fat { addr, base, len: olen } => {
+            if olen == 0 {
+                return Err(ModelError::new(
+                    "provenance",
+                    format!("pointer {addr:#x} lost its bounds; failing closed"),
+                ));
+            }
+            if addr >= base && addr.wrapping_add(len) <= base + olen {
+                Ok(addr)
+            } else {
+                Err(ModelError::new(
+                    "bounds",
+                    format!("access of {len} at {addr:#x} outside [{base:#x}, {:#x})", base + olen),
+                ))
+            }
+        }
+        PtrVal::Cap(_) => unreachable!("fat models never hold capabilities"),
+    }
+}
+
+fn plain_int(p: &PtrVal, width: u8, signed: bool, with_prov: bool) -> IntValue {
+    let mut iv = IntValue::new(p.addr() as i64, width, signed);
+    if with_prov && width == 8 {
+        if let PtrVal::Fat { base, len, .. } = *p {
+            if len != 0 {
+                iv.prov = Some(Prov { base, len, modified: false });
+            }
+        }
+    }
+    iv
+}
+
+// --- PDP-11 -----------------------------------------------------------
+
+/// Pointers are integers; nothing is checked (beyond the machine's
+/// unmapped-page faults). The memory model of the original C target and of
+/// contemporary x86/MIPS implementations.
+struct Pdp11;
+
+impl MemoryModel for Pdp11 {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Pdp11
+    }
+
+    fn target(&self) -> TargetInfo {
+        TargetInfo::lp64()
+    }
+
+    fn make_ptr(&self, base: u64, _len: u64, _ty: &Type) -> PtrVal {
+        PtrVal::Plain { addr: base }
+    }
+
+    fn adjust_for_type(&self, p: PtrVal, _ty: &Type) -> PtrVal {
+        p
+    }
+
+    fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError> {
+        Ok(PtrVal::Plain { addr: p.addr().wrapping_add(delta as u64) })
+    }
+
+    fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError> {
+        Ok(a.addr().wrapping_sub(b.addr()) as i64)
+    }
+
+    fn deref(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        p: &PtrVal,
+        _len: u64,
+        _write: bool,
+    ) -> Result<u64, ModelError> {
+        Ok(p.addr())
+    }
+
+    fn ptr_to_int(&self, p: &PtrVal, width: u8, signed: bool) -> Result<IntValue, ModelError> {
+        Ok(plain_int(p, width, signed, false))
+    }
+
+    fn int_to_ptr(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        v: &IntValue,
+        _ty: &Type,
+    ) -> Result<PtrVal, ModelError> {
+        Ok(PtrVal::Plain { addr: v.v })
+    }
+
+    fn load_ptr_bits(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        bits: u64,
+        _shadow: Option<&ShadowEntry>,
+    ) -> PtrVal {
+        PtrVal::Plain { addr: bits }
+    }
+}
+
+// --- HardBound ---------------------------------------------------------
+
+/// Fat pointers whose metadata shadows every memory word; provenance lost
+/// through integer arithmetic makes the pointer unusable — **fail closed**.
+struct HardBound;
+
+impl MemoryModel for HardBound {
+    fn kind(&self) -> ModelKind {
+        ModelKind::HardBound
+    }
+
+    fn target(&self) -> TargetInfo {
+        TargetInfo::lp64()
+    }
+
+    fn uses_shadow(&self) -> bool {
+        true
+    }
+
+    fn make_ptr(&self, base: u64, len: u64, _ty: &Type) -> PtrVal {
+        PtrVal::Fat { addr: base, base, len }
+    }
+
+    fn adjust_for_type(&self, p: PtrVal, _ty: &Type) -> PtrVal {
+        p
+    }
+
+    fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError> {
+        Ok(fat_add(p, delta))
+    }
+
+    fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError> {
+        Ok(a.addr().wrapping_sub(b.addr()) as i64)
+    }
+
+    fn deref(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        p: &PtrVal,
+        len: u64,
+        _write: bool,
+    ) -> Result<u64, ModelError> {
+        fat_check(p, len, false)
+    }
+
+    fn ptr_to_int(&self, p: &PtrVal, width: u8, signed: bool) -> Result<IntValue, ModelError> {
+        Ok(plain_int(p, width, signed, true))
+    }
+
+    fn int_to_ptr(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        v: &IntValue,
+        _ty: &Type,
+    ) -> Result<PtrVal, ModelError> {
+        match v.prov {
+            Some(Prov { base, len, modified: false }) => {
+                Ok(PtrVal::Fat { addr: v.v, base, len })
+            }
+            _ => Ok(PtrVal::Fat { addr: v.v, base: 0, len: 0 }), // fail closed at deref
+        }
+    }
+
+    fn load_ptr_bits(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        bits: u64,
+        shadow: Option<&ShadowEntry>,
+    ) -> PtrVal {
+        match shadow {
+            Some(e) if e.bits == bits => PtrVal::Fat { addr: bits, base: e.base, len: e.len },
+            _ => PtrVal::Fat { addr: bits, base: 0, len: 0 },
+        }
+    }
+}
+
+// --- Intel MPX ---------------------------------------------------------
+
+/// Bounds in look-aside tables; a mismatch between the stored pointer and
+/// the table entry makes checks succeed unconditionally — **fail open**.
+/// Member access narrows bounds to the member's static type, which is what
+/// breaks `container_of` (§5.1).
+struct Mpx;
+
+impl MemoryModel for Mpx {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Mpx
+    }
+
+    fn target(&self) -> TargetInfo {
+        TargetInfo::lp64()
+    }
+
+    fn uses_shadow(&self) -> bool {
+        true
+    }
+
+    fn make_ptr(&self, base: u64, len: u64, _ty: &Type) -> PtrVal {
+        PtrVal::Fat { addr: base, base, len }
+    }
+
+    fn adjust_for_type(&self, p: PtrVal, _ty: &Type) -> PtrVal {
+        p
+    }
+
+    fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError> {
+        Ok(fat_add(p, delta))
+    }
+
+    fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError> {
+        Ok(a.addr().wrapping_sub(b.addr()) as i64)
+    }
+
+    fn narrow_field(&self, p: &PtrVal, off: u64, size: u64) -> Result<PtrVal, ModelError> {
+        // The compiler emits BNDMK for the member's own extent — but only
+        // after the usual BNDCL/BNDCU of the field against the pointer's
+        // *current* bounds. A field "derived" outside those bounds keeps
+        // them, so the subsequent access faults (this is what breaks
+        // container_of, §5.1).
+        let addr = p.addr().wrapping_add(off);
+        Ok(match *p {
+            PtrVal::Plain { .. } => PtrVal::Plain { addr },
+            PtrVal::Fat { base, len, .. } => {
+                if addr >= base && addr.wrapping_add(size) <= base + len {
+                    PtrVal::Fat { addr, base: addr, len: size }
+                } else {
+                    PtrVal::Fat { addr, base, len }
+                }
+            }
+            PtrVal::Cap(_) => unreachable!("fat models never hold capabilities"),
+        })
+    }
+
+    fn deref(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        p: &PtrVal,
+        len: u64,
+        _write: bool,
+    ) -> Result<u64, ModelError> {
+        fat_check(p, len, true)
+    }
+
+    fn ptr_to_int(&self, p: &PtrVal, width: u8, signed: bool) -> Result<IntValue, ModelError> {
+        Ok(plain_int(p, width, signed, true))
+    }
+
+    fn int_to_ptr(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        v: &IntValue,
+        _ty: &Type,
+    ) -> Result<PtrVal, ModelError> {
+        match v.prov {
+            Some(Prov { base, len, modified: false }) => {
+                Ok(PtrVal::Fat { addr: v.v, base, len })
+            }
+            // Metadata desynchronized: checks pass unconditionally.
+            _ => Ok(PtrVal::Plain { addr: v.v }),
+        }
+    }
+
+    fn load_ptr_bits(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        bits: u64,
+        shadow: Option<&ShadowEntry>,
+    ) -> PtrVal {
+        match shadow {
+            Some(e) if e.bits == bits => PtrVal::Fat { addr: bits, base: e.base, len: e.len },
+            _ => PtrVal::Plain { addr: bits },
+        }
+    }
+}
+
+// --- Relaxed -----------------------------------------------------------
+
+/// "Allows pointers to be constructed from integer values as long as the
+/// object is still valid" (§5): dereference looks the address up in the
+/// live-object map. Accidentally *valid but wrong* pointers are possible —
+/// the paper's criticism of this point in the design space.
+struct Relaxed;
+
+impl MemoryModel for Relaxed {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Relaxed
+    }
+
+    fn target(&self) -> TargetInfo {
+        TargetInfo::lp64()
+    }
+
+    fn make_ptr(&self, base: u64, _len: u64, _ty: &Type) -> PtrVal {
+        PtrVal::Plain { addr: base }
+    }
+
+    fn adjust_for_type(&self, p: PtrVal, _ty: &Type) -> PtrVal {
+        p
+    }
+
+    fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError> {
+        Ok(PtrVal::Plain { addr: p.addr().wrapping_add(delta as u64) })
+    }
+
+    fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError> {
+        Ok(a.addr().wrapping_sub(b.addr()) as i64)
+    }
+
+    fn deref(
+        &self,
+        ctx: &ModelCtx<'_>,
+        p: &PtrVal,
+        len: u64,
+        _write: bool,
+    ) -> Result<u64, ModelError> {
+        let addr = p.addr();
+        match ctx.object_containing(addr) {
+            Some((base, olen)) if addr.wrapping_add(len) <= base + olen => Ok(addr),
+            _ => Err(ModelError::new(
+                "bounds",
+                format!("{addr:#x} is not within any live object"),
+            )),
+        }
+    }
+
+    fn ptr_to_int(&self, p: &PtrVal, width: u8, signed: bool) -> Result<IntValue, ModelError> {
+        Ok(plain_int(p, width, signed, false))
+    }
+
+    fn int_to_ptr(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        v: &IntValue,
+        _ty: &Type,
+    ) -> Result<PtrVal, ModelError> {
+        Ok(PtrVal::Plain { addr: v.v })
+    }
+
+    fn load_ptr_bits(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        bits: u64,
+        _shadow: Option<&ShadowEntry>,
+    ) -> PtrVal {
+        PtrVal::Plain { addr: bits }
+    }
+}
+
+// --- Strict ------------------------------------------------------------
+
+/// The paper's "ideal interpretation of the C standard": pointers may round
+/// trip through integers **only if unmodified**; any arithmetic invalidates
+/// them. Fails closed.
+struct Strict;
+
+impl MemoryModel for Strict {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Strict
+    }
+
+    fn target(&self) -> TargetInfo {
+        TargetInfo::lp64()
+    }
+
+    fn uses_shadow(&self) -> bool {
+        true
+    }
+
+    fn make_ptr(&self, base: u64, len: u64, _ty: &Type) -> PtrVal {
+        PtrVal::Fat { addr: base, base, len }
+    }
+
+    fn adjust_for_type(&self, p: PtrVal, _ty: &Type) -> PtrVal {
+        p
+    }
+
+    fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError> {
+        Ok(fat_add(p, delta))
+    }
+
+    fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError> {
+        Ok(a.addr().wrapping_sub(b.addr()) as i64)
+    }
+
+    fn deref(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        p: &PtrVal,
+        len: u64,
+        _write: bool,
+    ) -> Result<u64, ModelError> {
+        fat_check(p, len, false)
+    }
+
+    fn ptr_to_int(&self, p: &PtrVal, width: u8, signed: bool) -> Result<IntValue, ModelError> {
+        Ok(plain_int(p, width, signed, true))
+    }
+
+    fn int_to_ptr(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        v: &IntValue,
+        _ty: &Type,
+    ) -> Result<PtrVal, ModelError> {
+        match v.prov {
+            Some(Prov { base, len, modified: false }) => {
+                Ok(PtrVal::Fat { addr: v.v, base, len })
+            }
+            _ => Ok(PtrVal::Fat { addr: v.v, base: 0, len: 0 }),
+        }
+    }
+
+    fn load_ptr_bits(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        bits: u64,
+        shadow: Option<&ShadowEntry>,
+    ) -> PtrVal {
+        match shadow {
+            Some(e) if e.bits == bits => PtrVal::Fat { addr: bits, base: e.base, len: e.len },
+            _ => PtrVal::Fat { addr: bits, base: 0, len: 0 },
+        }
+    }
+}
+
+// --- CHERI (v2 and v3) --------------------------------------------------
+
+/// Capabilities. `v3` adds the offset field: pointer arithmetic moves the
+/// offset and bounds are enforced only at dereference. Without it (v2),
+/// `p + n` is `CIncBase` — monotonic — and `p - n` is unrepresentable.
+struct Cheri {
+    v3: bool,
+}
+
+impl Cheri {
+    fn perms_for(&self, ty: &Type) -> Perms {
+        match ty.cap_qual() {
+            CapQual::Input => Perms::input(),
+            CapQual::Output => Perms::output(),
+            CapQual::Capability | CapQual::None => {
+                if self.enforces_const() && ty.pointee_is_const() {
+                    Perms::input()
+                } else {
+                    Perms::data()
+                }
+            }
+        }
+    }
+
+    fn cap_of(p: &PtrVal) -> Capability {
+        match p {
+            PtrVal::Cap(c) => *c,
+            // Null constants and the like reach us as plain zeros.
+            PtrVal::Plain { addr } => Capability::from_int(*addr),
+            PtrVal::Fat { addr, .. } => Capability::from_int(*addr),
+        }
+    }
+}
+
+fn cap_err(e: CapError) -> ModelError {
+    let kind = match e {
+        CapError::TagViolation => "tag",
+        CapError::SealViolation | CapError::PermissionViolation(_) => "permission",
+        CapError::BoundsViolation { .. } | CapError::MonotonicityViolation => "bounds",
+        CapError::Unrepresentable(_) => "unrepresentable",
+        _ => "capability",
+    };
+    ModelError::new(kind, e.to_string())
+}
+
+impl MemoryModel for Cheri {
+    fn kind(&self) -> ModelKind {
+        if self.v3 {
+            ModelKind::CheriV3
+        } else {
+            ModelKind::CheriV2
+        }
+    }
+
+    fn target(&self) -> TargetInfo {
+        TargetInfo::cheri()
+    }
+
+    fn stores_caps(&self) -> bool {
+        true
+    }
+
+    fn intcap_arith_allowed(&self) -> bool {
+        // "The original CHERI implementation permitted only storing and
+        // loading of these values." (§5.1)
+        self.v3
+    }
+
+    fn enforces_const(&self) -> bool {
+        // The original CHERIv2 C compiler enforced const via permissions,
+        // which "broke a large amount of code" (§4.1); CHERIv3 makes const
+        // advisory and provides __input instead.
+        !self.v3
+    }
+
+    fn make_ptr(&self, base: u64, len: u64, ty: &Type) -> PtrVal {
+        PtrVal::Cap(Capability::new_mem(base, len, self.perms_for(ty)))
+    }
+
+    fn adjust_for_type(&self, p: PtrVal, ty: &Type) -> PtrVal {
+        let PtrVal::Cap(c) = p else { return p };
+        let want = self.perms_for(ty);
+        match c.and_perms(want) {
+            Ok(adj) => PtrVal::Cap(adj),
+            Err(_) => p, // untagged/sealed values pass through unchanged
+        }
+    }
+
+    fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError> {
+        let c = Self::cap_of(p);
+        if self.v3 {
+            return Ok(PtrVal::Cap(c.inc_offset(delta).map_err(cap_err)?));
+        }
+        // CHERIv2: addition consumes bounds; subtraction is unrepresentable.
+        if delta < 0 {
+            return Err(ModelError::new(
+                "unrepresentable",
+                "CHERIv2 capabilities cannot move backwards (pointer subtraction)",
+            ));
+        }
+        if delta == 0 {
+            return Ok(PtrVal::Cap(c));
+        }
+        Ok(PtrVal::Cap(c.inc_base(delta as u64).map_err(cap_err)?))
+    }
+
+    fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError> {
+        if !self.v3 {
+            return Err(ModelError::new(
+                "unrepresentable",
+                "CHERIv2 does not support pointer subtraction",
+            ));
+        }
+        Ok(Self::cap_of(a).address().wrapping_sub(Self::cap_of(b).address()) as i64)
+    }
+
+    fn deref(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        p: &PtrVal,
+        len: u64,
+        write: bool,
+    ) -> Result<u64, ModelError> {
+        let c = Self::cap_of(p);
+        let perm = if write { Perms::STORE } else { Perms::LOAD };
+        c.check_access(len, perm).map_err(cap_err)
+    }
+
+    fn ptr_to_int(&self, p: &PtrVal, width: u8, signed: bool) -> Result<IntValue, ModelError> {
+        // The capability does not survive conversion to a *plain* integer;
+        // `intcap_t` (handled by the machine) is the supported round trip.
+        Ok(IntValue::new(Self::cap_of(p).address() as i64, width, signed))
+    }
+
+    fn int_to_ptr(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        v: &IntValue,
+        _ty: &Type,
+    ) -> Result<PtrVal, ModelError> {
+        // An integer that is not an intcap_t derives no authority: the
+        // result is an untagged capability that traps at dereference.
+        Ok(PtrVal::Cap(Capability::from_int(v.v)))
+    }
+
+    fn load_ptr_bits(
+        &self,
+        _ctx: &ModelCtx<'_>,
+        bits: u64,
+        _shadow: Option<&ShadowEntry>,
+    ) -> PtrVal {
+        // Capabilities load through tagged memory, not through raw bits;
+        // reaching here means the storage was overwritten by data.
+        PtrVal::Cap(Capability::from_int(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn ctx_with(objs: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+        objs.iter().copied().collect()
+    }
+
+    fn ty_ip() -> Type {
+        Type::ptr_to(Type::int())
+    }
+
+    #[test]
+    fn pdp11_never_checks() {
+        let m = build(ModelKind::Pdp11);
+        let p = m.make_ptr(0x1000, 16, &ty_ip());
+        let q = m.ptr_add(&p, 1 << 20).unwrap();
+        let objs = ctx_with(&[]);
+        assert!(m.deref(&ModelCtx { objects: &objs }, &q, 8, true).is_ok());
+    }
+
+    #[test]
+    fn hardbound_bounds_and_fail_closed() {
+        let m = build(ModelKind::HardBound);
+        let objs = ctx_with(&[]);
+        let ctx = ModelCtx { objects: &objs };
+        let p = m.make_ptr(0x1000, 16, &ty_ip());
+        assert!(m.deref(&ctx, &p, 16, false).is_ok());
+        let oob = m.ptr_add(&p, 16).unwrap();
+        assert_eq!(m.deref(&ctx, &oob, 1, false).unwrap_err().kind, "bounds");
+        // Round trip through modified integer: fail closed.
+        let mut iv = m.ptr_to_int(&p, 8, false).unwrap();
+        iv = iv.touch_prov();
+        let back = m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap();
+        assert_eq!(m.deref(&ctx, &back, 1, false).unwrap_err().kind, "provenance");
+    }
+
+    #[test]
+    fn hardbound_unmodified_round_trip_restores() {
+        let m = build(ModelKind::HardBound);
+        let objs = ctx_with(&[]);
+        let ctx = ModelCtx { objects: &objs };
+        let p = m.make_ptr(0x1000, 16, &ty_ip());
+        let iv = m.ptr_to_int(&p, 8, false).unwrap();
+        let back = m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap();
+        assert!(m.deref(&ctx, &back, 8, false).is_ok());
+    }
+
+    #[test]
+    fn mpx_fails_open_on_lost_metadata() {
+        let m = build(ModelKind::Mpx);
+        let objs = ctx_with(&[]);
+        let ctx = ModelCtx { objects: &objs };
+        let p = m.make_ptr(0x1000, 16, &ty_ip());
+        let mut iv = m.ptr_to_int(&p, 8, false).unwrap();
+        iv = iv.touch_prov();
+        let back = m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap();
+        // Metadata is gone, so the access is unchecked: fail open.
+        assert!(m.deref(&ctx, &back, 1 << 20, false).is_ok());
+    }
+
+    #[test]
+    fn mpx_narrowing_breaks_container() {
+        let m = build(ModelKind::Mpx);
+        let objs = ctx_with(&[]);
+        let ctx = ModelCtx { objects: &objs };
+        let outer = m.make_ptr(0x1000, 24, &ty_ip());
+        let field = m.narrow_field(&outer, 8, 4).unwrap();
+        assert!(m.deref(&ctx, &field, 4, false).is_ok());
+        // container_of: subtract back to the struct start, then use it.
+        let back = m.ptr_add(&field, -8).unwrap();
+        assert_eq!(m.deref(&ctx, &back, 24, false).unwrap_err().kind, "bounds");
+    }
+
+    #[test]
+    fn relaxed_reconstructs_from_live_objects() {
+        let m = build(ModelKind::Relaxed);
+        let objs = ctx_with(&[(0x1000, 16)]);
+        let ctx = ModelCtx { objects: &objs };
+        let iv = IntValue::new(0x1008, 8, false);
+        let p = m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap();
+        assert!(m.deref(&ctx, &p, 8, false).is_ok());
+        // Freeing the object (removing it) kills the pointer.
+        let empty = ctx_with(&[]);
+        assert_eq!(
+            m.deref(&ModelCtx { objects: &empty }, &p, 8, false).unwrap_err().kind,
+            "bounds"
+        );
+    }
+
+    #[test]
+    fn strict_rejects_modified_round_trip() {
+        let m = build(ModelKind::Strict);
+        let objs = ctx_with(&[]);
+        let ctx = ModelCtx { objects: &objs };
+        let p = m.make_ptr(0x1000, 16, &ty_ip());
+        let iv = m.ptr_to_int(&p, 8, false).unwrap();
+        assert!(m.deref(&ctx, &m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap(), 8, false).is_ok());
+        let poisoned = iv.touch_prov();
+        let bad = m.int_to_ptr(&ctx, &poisoned, &ty_ip()).unwrap();
+        assert_eq!(m.deref(&ctx, &bad, 1, false).unwrap_err().kind, "provenance");
+    }
+
+    #[test]
+    fn cheriv2_monotonicity() {
+        let m = build(ModelKind::CheriV2);
+        let p = m.make_ptr(0x1000, 16, &ty_ip());
+        assert_eq!(m.ptr_add(&p, -4).unwrap_err().kind, "unrepresentable");
+        assert_eq!(m.ptr_add(&p, 32).unwrap_err().kind, "bounds");
+        assert!(m.ptr_diff(&p, &p).is_err());
+        assert!(!m.intcap_arith_allowed());
+        assert!(m.enforces_const());
+    }
+
+    #[test]
+    fn cheriv3_roams_then_checks() {
+        let m = build(ModelKind::CheriV3);
+        let objs = ctx_with(&[]);
+        let ctx = ModelCtx { objects: &objs };
+        let p = m.make_ptr(0x1000, 16, &ty_ip());
+        let out = m.ptr_add(&p, 100).unwrap();
+        assert_eq!(m.deref(&ctx, &out, 1, false).unwrap_err().kind, "bounds");
+        let back = m.ptr_add(&out, -92).unwrap();
+        assert!(m.deref(&ctx, &back, 8, false).is_ok());
+        assert_eq!(m.ptr_diff(&back, &p).unwrap(), 8);
+        assert!(m.intcap_arith_allowed());
+        assert!(!m.enforces_const());
+    }
+
+    #[test]
+    fn cheri_plain_int_round_trip_is_untagged() {
+        for k in [ModelKind::CheriV2, ModelKind::CheriV3] {
+            let m = build(k);
+            let objs = ctx_with(&[]);
+            let ctx = ModelCtx { objects: &objs };
+            let p = m.make_ptr(0x1000, 16, &ty_ip());
+            let iv = m.ptr_to_int(&p, 8, false).unwrap();
+            let back = m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap();
+            assert_eq!(m.deref(&ctx, &back, 1, false).unwrap_err().kind, "tag");
+        }
+    }
+
+    #[test]
+    fn cheri_const_enforcement_differs() {
+        let const_ptr = Type::Ptr {
+            pointee: Box::new(Type::char_()),
+            is_const: true,
+            qual: CapQual::None,
+        };
+        let objs = ctx_with(&[]);
+        let ctx = ModelCtx { objects: &objs };
+        // v2: store permission stripped; write traps even after deconst.
+        let m2 = build(ModelKind::CheriV2);
+        let p2 = m2.make_ptr(0x1000, 16, &const_ptr);
+        assert_eq!(m2.deref(&ctx, &p2, 1, true).unwrap_err().kind, "permission");
+        // v3: const is advisory; the write is allowed.
+        let m3 = build(ModelKind::CheriV3);
+        let p3 = m3.make_ptr(0x1000, 16, &const_ptr);
+        assert!(m3.deref(&ctx, &p3, 1, true).is_ok());
+    }
+
+    #[test]
+    fn cheri_input_qualifier_enforced_in_both() {
+        let input_ptr = Type::Ptr {
+            pointee: Box::new(Type::char_()),
+            is_const: false,
+            qual: CapQual::Input,
+        };
+        let objs = ctx_with(&[]);
+        let ctx = ModelCtx { objects: &objs };
+        for k in [ModelKind::CheriV2, ModelKind::CheriV3] {
+            let m = build(k);
+            let data = Type::ptr_to(Type::char_());
+            let p = m.make_ptr(0x1000, 16, &data);
+            let narrowed = m.adjust_for_type(p, &input_ptr);
+            assert!(m.deref(&ctx, &narrowed, 1, false).is_ok());
+            assert_eq!(m.deref(&ctx, &narrowed, 1, true).unwrap_err().kind, "permission");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Runtime values.
+
+use cheri_cap::Capability;
+
+/// Pointer provenance carried by an integer value that was derived from a
+/// pointer — the runtime analogue of the metadata HardBound keeps in its
+/// shadow space, MPX in its look-aside tables, and the *Strict* model in
+/// its formal semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prov {
+    /// Bounds of the object the pointer referred to.
+    pub base: u64,
+    /// Size of that object.
+    pub len: u64,
+    /// `true` once any arithmetic has been performed on the integer.
+    /// HardBound and Strict then refuse to reconstitute the pointer
+    /// (fail closed); MPX reconstitutes an *unchecked* pointer (fail open).
+    pub modified: bool,
+}
+
+/// An integer value with width, signedness, and optional provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntValue {
+    /// The bits (low `width` bytes significant, sign-extended in `v`).
+    pub v: u64,
+    /// Width in bytes: 1, 2, 4 or 8.
+    pub width: u8,
+    /// Signedness, controlling extension and comparisons.
+    pub signed: bool,
+    /// Pointer provenance, if this integer was derived from a pointer.
+    pub prov: Option<Prov>,
+}
+
+impl IntValue {
+    /// A plain provenance-free integer.
+    pub fn new(v: i64, width: u8, signed: bool) -> IntValue {
+        IntValue { v: v as u64, width, signed, prov: None }.normalized()
+    }
+
+    /// Re-extends the value to 64 bits according to width/signedness so the
+    /// `v` field is always canonical.
+    pub fn normalized(mut self) -> IntValue {
+        let bits = self.width as u32 * 8;
+        if bits < 64 {
+            let shift = 64 - bits;
+            self.v = if self.signed {
+                (((self.v << shift) as i64) >> shift) as u64
+            } else {
+                (self.v << shift) >> shift
+            };
+        }
+        self
+    }
+
+    /// The value as signed 64-bit.
+    pub fn as_i64(&self) -> i64 {
+        self.v as i64
+    }
+
+    /// `true` when non-zero (C truthiness).
+    pub fn is_truthy(&self) -> bool {
+        self.v != 0
+    }
+
+    /// Marks the provenance as modified (after arithmetic), keeping bounds.
+    pub fn touch_prov(mut self) -> IntValue {
+        if let Some(p) = &mut self.prov {
+            p.modified = true;
+        }
+        self
+    }
+}
+
+/// A runtime pointer, in whichever representation the memory model uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtrVal {
+    /// A bare address: the PDP-11 representation (also used by Relaxed,
+    /// which re-derives bounds from the live-object map at dereference, and
+    /// by MPX for pointers whose metadata was lost — the fail-open case).
+    Plain {
+        /// The address.
+        addr: u64,
+    },
+    /// A fat pointer: address plus the bounds it must stay within when
+    /// dereferenced (HardBound, MPX with metadata, Strict).
+    Fat {
+        /// Current address.
+        addr: u64,
+        /// Object base.
+        base: u64,
+        /// Object size; `0` means "provenance lost, fail closed".
+        len: u64,
+    },
+    /// A CHERI capability (v2 or v3 semantics are chosen by the model).
+    Cap(Capability),
+}
+
+impl PtrVal {
+    /// The numeric address, regardless of representation.
+    pub fn addr(&self) -> u64 {
+        match self {
+            PtrVal::Plain { addr } | PtrVal::Fat { addr, .. } => *addr,
+            PtrVal::Cap(c) => c.address(),
+        }
+    }
+
+    /// `true` if this is a null pointer (address 0, no validity).
+    pub fn is_null(&self) -> bool {
+        match self {
+            PtrVal::Plain { addr } => *addr == 0,
+            PtrVal::Fat { addr, .. } => *addr == 0,
+            PtrVal::Cap(c) => !c.tag() && c.address() == 0,
+        }
+    }
+}
+
+/// A runtime value: integer or pointer. Aggregates live in memory and are
+/// manipulated by reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// An integer (possibly provenance-carrying).
+    Int(IntValue),
+    /// A pointer (or an `intcap_t` — an integer carried in a capability).
+    Ptr(PtrVal),
+}
+
+impl Value {
+    /// Convenience integer constructor.
+    pub fn int(v: i64) -> Value {
+        Value::Int(IntValue::new(v, 4, true))
+    }
+
+    /// Convenience `long` constructor.
+    pub fn long(v: i64) -> Value {
+        Value::Int(IntValue::new(v, 8, true))
+    }
+
+    /// C truthiness.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(i) => i.is_truthy(),
+            Value::Ptr(p) => !p.is_null(),
+        }
+    }
+
+    /// The value's numeric interpretation (pointer address or integer).
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Value::Int(i) => i.v,
+            Value::Ptr(p) => p.addr(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::Perms;
+
+    #[test]
+    fn normalization_sign_extends() {
+        let v = IntValue::new(-1, 1, true);
+        assert_eq!(v.v, u64::MAX);
+        assert_eq!(v.as_i64(), -1);
+        let u = IntValue::new(-1, 1, false);
+        assert_eq!(u.v, 0xFF);
+    }
+
+    #[test]
+    fn normalization_truncates() {
+        let v = IntValue::new(0x1_0000_0001, 4, true);
+        assert_eq!(v.v, 1);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::int(1).is_truthy());
+        assert!(!Value::int(0).is_truthy());
+        assert!(!Value::Ptr(PtrVal::Plain { addr: 0 }).is_truthy());
+        assert!(Value::Ptr(PtrVal::Plain { addr: 4 }).is_truthy());
+        let null_cap = PtrVal::Cap(Capability::null());
+        assert!(!Value::Ptr(null_cap).is_truthy());
+    }
+
+    #[test]
+    fn ptr_addr_is_uniform() {
+        assert_eq!(PtrVal::Plain { addr: 7 }.addr(), 7);
+        assert_eq!(PtrVal::Fat { addr: 9, base: 0, len: 16 }.addr(), 9);
+        let c = Capability::new_mem(0x100, 8, Perms::data()).inc_offset(4).unwrap();
+        assert_eq!(PtrVal::Cap(c).addr(), 0x104);
+    }
+
+    #[test]
+    fn touch_prov_marks_modified() {
+        let mut v = IntValue::new(5, 8, true);
+        v.prov = Some(Prov { base: 0, len: 8, modified: false });
+        let t = v.touch_prov();
+        assert!(t.prov.unwrap().modified);
+        // No provenance: no-op.
+        assert_eq!(IntValue::new(5, 8, true).touch_prov().prov, None);
+    }
+}

@@ -1,0 +1,557 @@
+//! Instructions: opcodes, operands, encoding and disassembly.
+
+use crate::regs::{cap_reg_name, reg_name};
+use std::error::Error;
+use std::fmt;
+
+/// Comparison selector for `CPtrCmp` (paper Table 2: "Compares two
+/// capabilities").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CmpOp {
+    /// Equal.
+    Eq = 0,
+    /// Not equal.
+    Ne = 1,
+    /// Signed less-than.
+    Lt = 2,
+    /// Signed less-or-equal.
+    Le = 3,
+    /// Unsigned less-than.
+    Ltu = 4,
+    /// Unsigned less-or-equal.
+    Leu = 5,
+}
+
+impl CmpOp {
+    /// Decodes the selector from its immediate encoding.
+    pub fn from_u8(v: u8) -> Option<CmpOp> {
+        Some(match v {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Ltu,
+            5 => CmpOp::Leu,
+            _ => return None,
+        })
+    }
+}
+
+/// Operand shape of an opcode, used by the disassembler and by generic
+/// tooling (e.g. the Table 2 generator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// No operands (`nop`, `break`).
+    None,
+    /// System call; `imm` is the call number.
+    Sys,
+    /// Integer three-register: `op rd, rs, rt`.
+    R3,
+    /// Integer register-immediate: `op rd, rs, imm`.
+    I2,
+    /// Register plus immediate only: `op rd, imm`.
+    I1,
+    /// Compare-and-branch: `op rs, rt, imm`.
+    B2,
+    /// Test-and-branch: `op rs, imm`.
+    B1,
+    /// Absolute jump: `op imm`.
+    J,
+    /// Jump register: `op rs`.
+    Jr,
+    /// Jump-and-link register: `op rd, rs`.
+    Jalr,
+    /// Legacy load: `op rd, imm(rs)` via the default data capability.
+    Load,
+    /// Legacy store: `op rd, imm(rs)` via the default data capability.
+    Store,
+    /// Capability-relative load: `op rd, imm(c_rs)`.
+    CLoad,
+    /// Capability-relative store: `op rd, imm(c_rs)`.
+    CStore,
+    /// Capability load/store of a capability: `op c_rd, imm(c_rs)`.
+    CMemCap,
+    /// Capability modify by register: `op c_rd, c_rs, rt`.
+    CModR,
+    /// Capability modify by immediate: `op c_rd, c_rs, imm`.
+    CModI,
+    /// Capability-to-capability move-like: `op c_rd, c_rs`.
+    CMove2,
+    /// Capability field query: `op rd, c_rs`.
+    CGet,
+    /// Pointer comparison: `op rd, c_rs, c_rt` with a [`CmpOp`] in `imm`.
+    CCmp,
+    /// Three capability registers: `op c_rd, c_rs, c_rt`.
+    C3,
+    /// `CToPtr`: `op rd, c_rs, c_rt`.
+    CToPtrK,
+    /// Capability jump: `op c_rs`.
+    CJr,
+    /// Capability jump-and-link: `op c_rd, c_rs`.
+    CJalr,
+    /// Write PCC to a capability register: `op c_rd`.
+    CGetPcc,
+}
+
+macro_rules! define_ops {
+    ($( $variant:ident = $code:literal, $name:literal, $cycles:literal, $kind:ident; )*) => {
+        /// An opcode. The `C`-prefixed opcodes are the CHERI extension; the
+        /// remainder is the MIPS-like base ISA.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Op {
+            $(
+                #[doc = $name]
+                $variant = $code,
+            )*
+        }
+
+        impl Op {
+            /// Every defined opcode, in encoding order.
+            pub const ALL: &'static [Op] = &[$(Op::$variant),*];
+
+            /// The assembler mnemonic.
+            pub fn name(self) -> &'static str {
+                match self { $(Op::$variant => $name),* }
+            }
+
+            /// Pipeline cycles charged before any cache cost.
+            pub fn base_cycles(self) -> u64 {
+                match self { $(Op::$variant => $cycles),* }
+            }
+
+            /// The operand shape.
+            pub fn kind(self) -> OpKind {
+                match self { $(Op::$variant => OpKind::$kind),* }
+            }
+
+            /// Decodes an opcode byte.
+            pub fn from_u8(b: u8) -> Option<Op> {
+                match b {
+                    $($code => Some(Op::$variant),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+define_ops! {
+    Nop      = 0x00, "nop",     1, None;
+    Syscall  = 0x01, "syscall", 4, Sys;
+    Break    = 0x02, "break",   1, None;
+
+    // Integer ALU, three-register. `add`/`sub` trap on signed overflow
+    // (MIPS precedent cited in paper §3.1.1 for cheap AIR-style trapping).
+    Add      = 0x10, "add",     1, R3;
+    Addu     = 0x11, "addu",    1, R3;
+    Sub      = 0x12, "sub",     1, R3;
+    Subu     = 0x13, "subu",    1, R3;
+    And      = 0x14, "and",     1, R3;
+    Or       = 0x15, "or",      1, R3;
+    Xor      = 0x16, "xor",     1, R3;
+    Nor      = 0x17, "nor",     1, R3;
+    Slt      = 0x18, "slt",     1, R3;
+    Sltu     = 0x19, "sltu",    1, R3;
+    Sllv     = 0x1A, "sllv",    1, R3;
+    Srlv     = 0x1B, "srlv",    1, R3;
+    Srav     = 0x1C, "srav",    1, R3;
+    Mul      = 0x1D, "mul",     3, R3;
+    Div      = 0x1E, "div",    12, R3;
+    Divu     = 0x1F, "divu",   12, R3;
+    Rem      = 0x20, "rem",    12, R3;
+    Remu     = 0x21, "remu",   12, R3;
+
+    // Integer ALU, immediate.
+    Addi     = 0x22, "addi",    1, I2;
+    Addiu    = 0x23, "addiu",   1, I2;
+    Andi     = 0x24, "andi",    1, I2;
+    Ori      = 0x25, "ori",     1, I2;
+    Xori     = 0x26, "xori",    1, I2;
+    Slti     = 0x27, "slti",    1, I2;
+    Sltiu    = 0x28, "sltiu",   1, I2;
+    Lui      = 0x29, "lui",     1, I1;
+    Li       = 0x2A, "li",      1, I1;
+    Sll      = 0x2B, "sll",     1, I2;
+    Srl      = 0x2C, "srl",     1, I2;
+    Sra      = 0x2D, "sra",     1, I2;
+
+    // Branches; `imm` is an absolute instruction index (assembler-resolved).
+    Beq      = 0x30, "beq",     1, B2;
+    Bne      = 0x31, "bne",     1, B2;
+    Blez     = 0x32, "blez",    1, B1;
+    Bgtz     = 0x33, "bgtz",    1, B1;
+    Bltz     = 0x34, "bltz",    1, B1;
+    Bgez     = 0x35, "bgez",    1, B1;
+
+    // Jumps.
+    J        = 0x38, "j",       1, J;
+    Jal      = 0x39, "jal",     1, J;
+    Jr       = 0x3A, "jr",      1, Jr;
+    Jalr     = 0x3B, "jalr",    1, Jalr;
+
+    // Legacy MIPS loads/stores, indirected via the default data capability.
+    Lb       = 0x40, "lb",      1, Load;
+    Lbu      = 0x41, "lbu",     1, Load;
+    Lh       = 0x42, "lh",      1, Load;
+    Lhu      = 0x43, "lhu",     1, Load;
+    Lw       = 0x44, "lw",      1, Load;
+    Lwu      = 0x45, "lwu",     1, Load;
+    Ld       = 0x46, "ld",      1, Load;
+    Sb       = 0x48, "sb",      1, Store;
+    Sh       = 0x49, "sh",      1, Store;
+    Sw       = 0x4A, "sw",      1, Store;
+    Sd       = 0x4B, "sd",      1, Store;
+
+    // Capability-relative loads/stores (explicit capability operand).
+    Clb      = 0x50, "clb",     1, CLoad;
+    Clbu     = 0x51, "clbu",    1, CLoad;
+    Clh      = 0x52, "clh",     1, CLoad;
+    Clhu     = 0x53, "clhu",    1, CLoad;
+    Clw      = 0x54, "clw",     1, CLoad;
+    Clwu     = 0x55, "clwu",    1, CLoad;
+    Cld      = 0x56, "cld",     1, CLoad;
+    Csb      = 0x58, "csb",     1, CStore;
+    Csh      = 0x59, "csh",     1, CStore;
+    Csw      = 0x5A, "csw",     1, CStore;
+    Csd      = 0x5B, "csd",     1, CStore;
+    Clc      = 0x5C, "clc",     1, CMemCap;
+    Csc      = 0x5D, "csc",     1, CMemCap;
+
+    // Capability manipulation. Only rights-reducing operations exist.
+    CIncBase = 0x60, "cincbase",   1, CModR;
+    CSetLen  = 0x61, "csetlen",    1, CModR;
+    CAndPerm = 0x62, "candperm",   1, CModR;
+    CIncOffset = 0x63, "cincoffset", 1, CModR;
+    CSetOffset = 0x64, "csetoffset", 1, CModR;
+    CSetBounds = 0x65, "csetbounds", 1, CModR;
+    CClearTag  = 0x66, "ccleartag",  1, CMove2;
+    CMove      = 0x67, "cmove",      1, CMove2;
+    CGetBase   = 0x68, "cgetbase",   1, CGet;
+    CGetLen    = 0x69, "cgetlen",    1, CGet;
+    CGetOffset = 0x6A, "cgetoffset", 1, CGet;
+    CGetPerm   = 0x6B, "cgetperm",   1, CGet;
+    CGetTag    = 0x6C, "cgettag",    1, CGet;
+    CPtrCmp    = 0x6D, "cptrcmp",    1, CCmp;
+    CFromPtr   = 0x6E, "cfromptr",   1, CModR;
+    CToPtr     = 0x6F, "ctoptr",     1, CToPtrK;
+    CSeal      = 0x70, "cseal",      1, C3;
+    CUnseal    = 0x71, "cunseal",    1, C3;
+    CJr        = 0x72, "cjr",        1, CJr;
+    CJalr      = 0x73, "cjalr",      1, CJalr;
+    CGetPcc    = 0x74, "cgetpcc",    1, CGetPcc;
+    CIncOffsetImm = 0x75, "cincoffsetimm", 1, CModI;
+}
+
+impl Op {
+    /// `true` for opcodes introduced by the CHERI extension.
+    pub fn is_capability_op(self) -> bool {
+        self as u8 >= 0x50
+    }
+
+    /// `true` for the six instructions the paper's Table 2 adds in CHERIv3.
+    pub fn is_cheriv3_new(self) -> bool {
+        matches!(
+            self,
+            Op::CIncOffset
+                | Op::CSetOffset
+                | Op::CGetOffset
+                | Op::CPtrCmp
+                | Op::CFromPtr
+                | Op::CToPtr
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One instruction: an opcode plus uniformly-shaped operand fields.
+///
+/// Which fields are meaningful depends on [`Op::kind`]; for capability
+/// opcodes the register fields name capability registers. The uniform shape
+/// keeps encoding trivial (`op:8 | rd:8 | rs:8 | rt:8 | imm:32`) and the
+/// emulator's dispatch a single match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The opcode.
+    pub op: Op,
+    /// Destination register (integer or capability, per [`Op::kind`]).
+    pub rd: u8,
+    /// First source register.
+    pub rs: u8,
+    /// Second source register.
+    pub rt: u8,
+    /// Immediate operand (offset, shift amount, jump target, selector…).
+    pub imm: i32,
+}
+
+impl Instr {
+    /// Builds an instruction from explicit fields.
+    pub fn new(op: Op, rd: u8, rs: u8, rt: u8, imm: i32) -> Instr {
+        Instr { op, rd, rs, rt, imm }
+    }
+
+    /// `nop`.
+    pub fn nop() -> Instr {
+        Instr::new(Op::Nop, 0, 0, 0, 0)
+    }
+
+    /// Three-register integer shape: `op rd, rs, rt`.
+    pub fn r3(op: Op, rd: u8, rs: u8, rt: u8) -> Instr {
+        Instr::new(op, rd, rs, rt, 0)
+    }
+
+    /// Register-immediate shape: `op rd, rs, imm`.
+    pub fn i2(op: Op, rd: u8, rs: u8, imm: i32) -> Instr {
+        Instr::new(op, rd, rs, 0, imm)
+    }
+
+    /// `li rd, imm` (sign-extended to 64 bits at execution).
+    pub fn li(rd: u8, imm: i32) -> Instr {
+        Instr::new(Op::Li, rd, 0, 0, imm)
+    }
+
+    /// Memory shape (legacy or capability-relative): `op rd, imm(rs)`.
+    pub fn mem(op: Op, rd: u8, base: u8, off: i32) -> Instr {
+        Instr::new(op, rd, base, 0, off)
+    }
+
+    /// Capability modify shape: `op c_rd, c_rs, rt`.
+    pub fn cmod(op: Op, cd: u8, cb: u8, rt: u8) -> Instr {
+        Instr::new(op, cd, cb, rt, 0)
+    }
+
+    /// `cincoffset cd, cb, rt` — the Table 2 workhorse.
+    pub fn c_inc_offset(cd: u8, cb: u8, rt: u8) -> Instr {
+        Instr::cmod(Op::CIncOffset, cd, cb, rt)
+    }
+
+    /// `cptrcmp rd, cb, ct` with comparison `op`.
+    pub fn c_ptr_cmp(rd: u8, cb: u8, ct: u8, op: CmpOp) -> Instr {
+        Instr::new(Op::CPtrCmp, rd, cb, ct, op as i32)
+    }
+
+    /// `syscall n`.
+    pub fn syscall(n: i32) -> Instr {
+        Instr::new(Op::Syscall, 0, 0, 0, n)
+    }
+
+    /// Disassembles to assembler syntax.
+    pub fn disasm(&self) -> String {
+        let r = reg_name;
+        let c = cap_reg_name;
+        let (rd, rs, rt, imm) = (self.rd, self.rs, self.rt, self.imm);
+        match self.op.kind() {
+            OpKind::None => self.op.name().to_string(),
+            OpKind::Sys => format!("{} {}", self.op, imm),
+            OpKind::R3 => format!("{} {}, {}, {}", self.op, r(rd), r(rs), r(rt)),
+            OpKind::I2 => format!("{} {}, {}, {}", self.op, r(rd), r(rs), imm),
+            OpKind::I1 => format!("{} {}, {}", self.op, r(rd), imm),
+            OpKind::B2 => format!("{} {}, {}, @{}", self.op, r(rs), r(rt), imm),
+            OpKind::B1 => format!("{} {}, @{}", self.op, r(rs), imm),
+            OpKind::J => format!("{} @{}", self.op, imm),
+            OpKind::Jr => format!("{} {}", self.op, r(rs)),
+            OpKind::Jalr => format!("{} {}, {}", self.op, r(rd), r(rs)),
+            OpKind::Load | OpKind::Store => {
+                format!("{} {}, {}({})", self.op, r(rd), imm, r(rs))
+            }
+            OpKind::CLoad | OpKind::CStore => {
+                format!("{} {}, {}({})", self.op, r(rd), imm, c(rs))
+            }
+            OpKind::CMemCap => format!("{} {}, {}({})", self.op, c(rd), imm, c(rs)),
+            OpKind::CModR => format!("{} {}, {}, {}", self.op, c(rd), c(rs), r(rt)),
+            OpKind::CModI => format!("{} {}, {}, {}", self.op, c(rd), c(rs), imm),
+            OpKind::CMove2 => format!("{} {}, {}", self.op, c(rd), c(rs)),
+            OpKind::CGet => format!("{} {}, {}", self.op, r(rd), c(rs)),
+            OpKind::CCmp => format!(
+                "{} {}, {}, {} ({:?})",
+                self.op,
+                r(rd),
+                c(rs),
+                c(rt),
+                CmpOp::from_u8(imm as u8).unwrap_or(CmpOp::Eq)
+            ),
+            OpKind::C3 => format!("{} {}, {}, {}", self.op, c(rd), c(rs), c(rt)),
+            OpKind::CToPtrK => format!("{} {}, {}, {}", self.op, r(rd), c(rs), c(rt)),
+            OpKind::CJr => format!("{} {}", self.op, c(rs)),
+            OpKind::CJalr => format!("{} {}, {}", self.op, c(rd), c(rs)),
+            OpKind::CGetPcc => format!("{} {}", self.op, c(rd)),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disasm())
+    }
+}
+
+/// A word failed to decode into an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is not assigned.
+    BadOpcode(u8),
+    /// A register field exceeds 31.
+    BadRegister(u8),
+    /// A `CPtrCmp` selector immediate is not a valid [`CmpOp`].
+    BadCmpSelector(i32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "unassigned opcode {b:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "register field {r} out of range"),
+            DecodeError::BadCmpSelector(s) => write!(f, "invalid cptrcmp selector {s}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Packs an instruction into its 64-bit encoding.
+pub fn encode(i: &Instr) -> u64 {
+    (i.op as u64)
+        | ((i.rd as u64) << 8)
+        | ((i.rs as u64) << 16)
+        | ((i.rt as u64) << 24)
+        | ((i.imm as u32 as u64) << 32)
+}
+
+/// Unpacks a 64-bit word into an instruction.
+///
+/// # Errors
+///
+/// [`DecodeError`] for unassigned opcodes, out-of-range register fields, or
+/// an invalid `CPtrCmp` selector.
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    let opb = word as u8;
+    let op = Op::from_u8(opb).ok_or(DecodeError::BadOpcode(opb))?;
+    let rd = (word >> 8) as u8;
+    let rs = (word >> 16) as u8;
+    let rt = (word >> 24) as u8;
+    for r in [rd, rs, rt] {
+        if r >= 32 {
+            return Err(DecodeError::BadRegister(r));
+        }
+    }
+    let imm = (word >> 32) as u32 as i32;
+    if op == Op::CPtrCmp && CmpOp::from_u8(imm as u8).is_none() {
+        return Err(DecodeError::BadCmpSelector(imm));
+    }
+    Ok(Instr { op, rd, rs, rt, imm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_opcodes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Op::ALL {
+            assert!(seen.insert(op as u8), "duplicate opcode {:?}", op);
+        }
+    }
+
+    #[test]
+    fn from_u8_round_trips() {
+        for &op in Op::ALL {
+            assert_eq!(Op::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(Op::from_u8(0xFF), None);
+    }
+
+    #[test]
+    fn table2_instructions_are_flagged() {
+        let new: Vec<&str> = Op::ALL
+            .iter()
+            .filter(|o| o.is_cheriv3_new())
+            .map(|o| o.name())
+            .collect();
+        assert_eq!(
+            new,
+            ["cincoffset", "csetoffset", "cgetoffset", "cptrcmp", "cfromptr", "ctoptr"]
+        );
+    }
+
+    #[test]
+    fn capability_ops_are_classified() {
+        assert!(Op::Clc.is_capability_op());
+        assert!(Op::CJalr.is_capability_op());
+        assert!(!Op::Addu.is_capability_op());
+        assert!(!Op::Ld.is_capability_op());
+    }
+
+    #[test]
+    fn encode_decode_round_trip_examples() {
+        let cases = [
+            Instr::nop(),
+            Instr::li(4, -7),
+            Instr::r3(Op::Addu, 2, 4, 5),
+            Instr::mem(Op::Ld, 8, 29, -16),
+            Instr::mem(Op::Clc, 3, 1, 64),
+            Instr::c_inc_offset(2, 2, 9),
+            Instr::c_ptr_cmp(2, 3, 4, CmpOp::Ltu),
+            Instr::syscall(1),
+        ];
+        for i in cases {
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(decode(0xEE), Err(DecodeError::BadOpcode(0xEE))));
+        let bad_reg = encode(&Instr::nop()) | (40 << 8) | 0x11;
+        assert!(matches!(decode(bad_reg), Err(DecodeError::BadRegister(40))));
+        let bad_sel = encode(&Instr::c_ptr_cmp(1, 2, 3, CmpOp::Eq)) | (9u64 << 32);
+        assert!(matches!(decode(bad_sel), Err(DecodeError::BadCmpSelector(9))));
+    }
+
+    #[test]
+    fn disasm_is_readable() {
+        assert_eq!(Instr::r3(Op::Addu, 2, 4, 5).disasm(), "addu v0, a0, a1");
+        assert_eq!(Instr::mem(Op::Ld, 8, 29, -16).disasm(), "ld t0, -16(sp)");
+        assert_eq!(Instr::mem(Op::Clc, 3, 0, 32).disasm(), "clc c3, 32(ddc)");
+        assert_eq!(Instr::c_inc_offset(2, 2, 9).disasm(), "cincoffset c2, c2, t1");
+        assert!(Instr::c_ptr_cmp(2, 3, 4, CmpOp::Ltu).disasm().contains("Ltu"));
+    }
+
+    #[test]
+    fn cycles_reflect_cost_classes() {
+        assert_eq!(Op::Addu.base_cycles(), 1);
+        assert!(Op::Div.base_cycles() > Op::Mul.base_cycles());
+        assert!(Op::Mul.base_cycles() > Op::Addu.base_cycles());
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trips(
+            op_idx in 0..Op::ALL.len(),
+            rd in 0u8..32, rs in 0u8..32, rt in 0u8..32,
+            imm in any::<i32>(),
+        ) {
+            let op = Op::ALL[op_idx];
+            let imm = if op == Op::CPtrCmp { imm.rem_euclid(6) } else { imm };
+            let i = Instr::new(op, rd, rs, rt, imm);
+            prop_assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+
+        #[test]
+        fn disasm_never_panics(
+            op_idx in 0..Op::ALL.len(),
+            rd in 0u8..32, rs in 0u8..32, rt in 0u8..32,
+            imm in any::<i32>(),
+        ) {
+            let i = Instr::new(Op::ALL[op_idx], rd, rs, rt, imm);
+            prop_assert!(!i.disasm().is_empty());
+        }
+    }
+}

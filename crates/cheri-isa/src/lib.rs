@@ -1,0 +1,39 @@
+//! The CHERI instruction-set architecture.
+//!
+//! A 64-bit MIPS-IV-like RISC integer ISA ("the CHERI ISA is a superset of
+//! MIPS IV ... and can run unmodified MIPS code", paper §4) supplemented
+//! with the CHERI capability instructions, including the six CHERIv3
+//! additions of the paper's Table 2 ([`table2`]).
+//!
+//! Memory is reached three ways, exactly as in the paper:
+//!
+//! 1. instruction fetches are relative to the **program counter capability**
+//!    (PCC);
+//! 2. legacy MIPS loads/stores are relative to the **default data
+//!    capability** (DDC, capability register 0 by convention);
+//! 3. explicit capability loads/stores ([`Op::Clb`] … [`Op::Csc`]) take a
+//!    capability register operand.
+//!
+//! For emulator convenience each instruction encodes into one 64-bit word
+//! (`op:8 | rd:8 | rs:8 | rt:8 | imm:32`) rather than MIPS's 32-bit format;
+//! the program counter therefore advances by 8. This changes no semantics
+//! the paper depends on.
+//!
+//! # Example
+//!
+//! ```
+//! use cheri_isa::{Instr, Op, decode, encode};
+//!
+//! let i = Instr::c_inc_offset(3, 3, 9); // c3 = c3 + r9 (CIncOffset, Table 2)
+//! assert_eq!(decode(encode(&i)).unwrap(), i);
+//! assert_eq!(i.op, Op::CIncOffset);
+//! ```
+
+mod instr;
+mod program;
+mod regs;
+pub mod table2;
+
+pub use instr::{decode, encode, CmpOp, DecodeError, Instr, Op, OpKind};
+pub use program::{Program, Symbol};
+pub use regs::{cap_reg_name, reg_name, A0, A1, A2, A3, DDC, FP, GP, RA, SP, T0, T1, T2, T3, V0, V1, ZERO};

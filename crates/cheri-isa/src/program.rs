@@ -1,0 +1,154 @@
+//! Loadable program images.
+
+use crate::instr::{decode, encode, DecodeError, Instr};
+use std::fmt;
+
+/// A named address in a program image, chiefly function entry points.
+///
+/// Function symbols carry a size so the loader can derive a per-function
+/// code capability for `CJALR` (paper §4.2: "it is possible to use a code
+/// capability for every function").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name (function or global).
+    pub name: String,
+    /// Instruction index (functions) or data-segment offset (globals).
+    pub value: u64,
+    /// Extent in instructions or bytes.
+    pub size: u64,
+    /// `true` for function symbols.
+    pub is_func: bool,
+}
+
+/// A complete program image: code, initialized data, entry point and
+/// symbols.
+///
+/// # Example
+///
+/// ```
+/// use cheri_isa::{Instr, Op, Program};
+///
+/// let mut p = Program::new();
+/// p.code.push(Instr::li(2, 42));
+/// p.code.push(Instr::syscall(0)); // exit
+/// assert_eq!(Program::from_words(&p.to_words()).unwrap().code, p.code);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Instruction stream; the program counter indexes into this.
+    pub code: Vec<Instr>,
+    /// Initialized data segment contents.
+    pub data: Vec<u8>,
+    /// Load address of the data segment.
+    pub data_base: u64,
+    /// Entry instruction index.
+    pub entry: u64,
+    /// Symbol table.
+    pub symbols: Vec<Symbol>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes the instruction stream to 64-bit words.
+    pub fn to_words(&self) -> Vec<u64> {
+        self.code.iter().map(encode).collect()
+    }
+
+    /// Rebuilds an instruction stream from 64-bit words (no data segment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DecodeError`].
+    pub fn from_words(words: &[u64]) -> Result<Program, DecodeError> {
+        let code = words.iter().map(|&w| decode(w)).collect::<Result<_, _>>()?;
+        Ok(Program { code, ..Program::default() })
+    }
+
+    /// Total size of the instruction stream in bytes (8 bytes/instruction).
+    pub fn code_bytes(&self) -> u64 {
+        self.code.len() as u64 * 8
+    }
+
+    /// A full listing with function labels, for debugging code generation.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (idx, instr) in self.code.iter().enumerate() {
+            for s in &self.symbols {
+                if s.is_func && s.value == idx as u64 {
+                    out.push_str(&format!("{}:\n", s.name));
+                }
+            }
+            out.push_str(&format!("  {idx:5}  {instr}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Op;
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        p.code = vec![
+            Instr::li(4, 10),
+            Instr::r3(Op::Addu, 2, 4, 0),
+            Instr::syscall(0),
+        ];
+        p.symbols.push(Symbol {
+            name: "main".into(),
+            value: 0,
+            size: 3,
+            is_func: true,
+        });
+        p
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let p = sample();
+        let q = Program::from_words(&p.to_words()).unwrap();
+        assert_eq!(q.code, p.code);
+    }
+
+    #[test]
+    fn bad_words_error() {
+        assert!(Program::from_words(&[0xEE]).is_err());
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let p = sample();
+        assert_eq!(p.symbol("main").unwrap().value, 0);
+        assert!(p.symbol("missing").is_none());
+    }
+
+    #[test]
+    fn disassembly_labels_functions() {
+        let text = sample().disassemble();
+        assert!(text.contains("main:"));
+        assert!(text.contains("li a0, 10"));
+        assert!(text.contains("syscall 0"));
+    }
+
+    #[test]
+    fn code_bytes_counts_words() {
+        assert_eq!(sample().code_bytes(), 24);
+    }
+}

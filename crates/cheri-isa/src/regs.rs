@@ -1,0 +1,90 @@
+//! Register naming conventions.
+//!
+//! Thirty-two 64-bit general-purpose registers with the MIPS o64 calling
+//! convention, and thirty-two capability registers. Capability register 0
+//! is the **default data capability** (DDC) through which legacy MIPS loads
+//! and stores are indirected (paper §4).
+
+/// Always-zero general-purpose register.
+pub const ZERO: u8 = 0;
+/// First integer return-value register.
+pub const V0: u8 = 2;
+/// Second integer return-value register.
+pub const V1: u8 = 3;
+/// First integer argument register.
+pub const A0: u8 = 4;
+/// Second integer argument register.
+pub const A1: u8 = 5;
+/// Third integer argument register.
+pub const A2: u8 = 6;
+/// Fourth integer argument register.
+pub const A3: u8 = 7;
+/// First caller-saved temporary.
+pub const T0: u8 = 8;
+/// Second caller-saved temporary.
+pub const T1: u8 = 9;
+/// Third caller-saved temporary.
+pub const T2: u8 = 10;
+/// Fourth caller-saved temporary.
+pub const T3: u8 = 11;
+/// Global pointer.
+pub const GP: u8 = 28;
+/// Stack pointer.
+pub const SP: u8 = 29;
+/// Frame pointer.
+pub const FP: u8 = 30;
+/// Return address.
+pub const RA: u8 = 31;
+
+/// Capability register 0: the default data capability.
+pub const DDC: u8 = 0;
+
+/// Conventional disassembly name for general-purpose register `r`.
+pub fn reg_name(r: u8) -> String {
+    match r {
+        0 => "zero".into(),
+        1 => "at".into(),
+        2 => "v0".into(),
+        3 => "v1".into(),
+        4..=7 => format!("a{}", r - 4),
+        8..=15 => format!("t{}", r - 8),
+        16..=23 => format!("s{}", r - 16),
+        24 => "t8".into(),
+        25 => "t9".into(),
+        26 | 27 => format!("k{}", r - 26),
+        28 => "gp".into(),
+        29 => "sp".into(),
+        30 => "fp".into(),
+        31 => "ra".into(),
+        _ => format!("r{r}?"),
+    }
+}
+
+/// Conventional disassembly name for capability register `c`.
+pub fn cap_reg_name(c: u8) -> String {
+    match c {
+        0 => "ddc".into(),
+        _ => format!("c{c}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_conventional() {
+        assert_eq!(reg_name(ZERO), "zero");
+        assert_eq!(reg_name(SP), "sp");
+        assert_eq!(reg_name(RA), "ra");
+        assert_eq!(reg_name(A0), "a0");
+        assert_eq!(reg_name(T0), "t0");
+        assert_eq!(cap_reg_name(DDC), "ddc");
+        assert_eq!(cap_reg_name(3), "c3");
+    }
+
+    #[test]
+    fn out_of_range_is_flagged() {
+        assert!(reg_name(40).contains('?'));
+    }
+}

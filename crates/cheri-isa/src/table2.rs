@@ -1,0 +1,106 @@
+//! Table 2 of the paper: "New CHERI instructions to better support C".
+//!
+//! The table is generated from ISA metadata rather than hard-coded prose so
+//! it can never drift from the implementation.
+
+use crate::instr::Op;
+
+/// One row of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Instruction mnemonic as printed in the paper.
+    pub instruction: &'static str,
+    /// The paper's "USE" column.
+    pub usage: &'static str,
+    /// The opcode implementing it here.
+    pub op: Op,
+}
+
+/// The six CHERIv3 instructions, in the paper's order.
+pub fn rows() -> Vec<Table2Row> {
+    let rows = vec![
+        Table2Row {
+            instruction: "CIncOffset",
+            usage: "Adds an integer to the offset",
+            op: Op::CIncOffset,
+        },
+        Table2Row {
+            instruction: "CSetOffset",
+            usage: "Sets the offset",
+            op: Op::CSetOffset,
+        },
+        Table2Row {
+            instruction: "CGetOffset",
+            usage: "Returns the current offset",
+            op: Op::CGetOffset,
+        },
+        Table2Row {
+            instruction: "CPtrCmp",
+            usage: "Compares two capabilities",
+            op: Op::CPtrCmp,
+        },
+        Table2Row {
+            instruction: "CFromPtr",
+            usage: "Converts a MIPS pointer to a capability",
+            op: Op::CFromPtr,
+        },
+        Table2Row {
+            instruction: "CToPtr",
+            usage: "Converts capability to a MIPS pointer",
+            op: Op::CToPtr,
+        },
+    ];
+    debug_assert!(rows.iter().all(|r| r.op.is_cheriv3_new()));
+    rows
+}
+
+/// Renders the table as aligned text, ready for the `table2` harness binary.
+pub fn render() -> String {
+    let mut out = String::from(format!("{:<12}  {}\n", "INSTRUCTION", "USE"));
+    for r in rows() {
+        out.push_str(&format!("{:<12}  {}\n", r.instruction, r.usage));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_the_papers_six() {
+        let rs = rows();
+        assert_eq!(rs.len(), 6);
+        let names: Vec<&str> = rs.iter().map(|r| r.instruction).collect();
+        assert_eq!(
+            names,
+            ["CIncOffset", "CSetOffset", "CGetOffset", "CPtrCmp", "CFromPtr", "CToPtr"]
+        );
+    }
+
+    #[test]
+    fn rows_match_isa_metadata() {
+        for r in rows() {
+            assert!(r.op.is_cheriv3_new(), "{} not flagged v3-new", r.instruction);
+            assert_eq!(
+                r.op.name(),
+                r.instruction.to_lowercase(),
+                "mnemonic mismatch"
+            );
+        }
+        // And conversely: every v3-new opcode appears in the table.
+        let table_ops: Vec<Op> = rows().iter().map(|r| r.op).collect();
+        for &op in Op::ALL {
+            if op.is_cheriv3_new() {
+                assert!(table_ops.contains(&op));
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_usage_text() {
+        let t = render();
+        assert!(t.contains("Adds an integer to the offset"));
+        assert!(t.contains("CToPtr"));
+    }
+}

@@ -1,0 +1,304 @@
+//! A free-list allocator that speaks capabilities.
+//!
+//! The paper observes (§2) that `malloc()` is *outside* the C abstract
+//! machine: the memory not yet returned by `malloc` is not yet part of the
+//! abstract machine, and "it is the responsibility of the allocator ... to
+//! correctly set the length on capabilities. Once set, it is impossible to
+//! use the resulting capability to gain access to memory outside the
+//! object." (§4)
+//!
+//! [`Allocator`] is a first-fit free-list allocator with coalescing over a
+//! fixed heap region. [`Allocator::alloc_cap`] returns a capability bounded
+//! to the *requested* size (byte-granularity protection) even though the
+//! underlying block is padded to the 32-byte capability granule.
+
+use crate::{MemError, MemResult};
+use cheri_cap::{Capability, Perms, CAP_ALIGN};
+use std::collections::HashMap;
+
+/// Allocation statistics, for tests and the evaluation harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated (padded block sizes).
+    pub in_use: u64,
+    /// High-water mark of `in_use`.
+    pub peak: u64,
+    /// Number of successful allocations.
+    pub allocs: u64,
+    /// Number of frees.
+    pub frees: u64,
+}
+
+/// First-fit free-list allocator with address-ordered coalescing.
+///
+/// # Example
+///
+/// ```
+/// use cheri_mem::Allocator;
+/// use cheri_cap::Perms;
+///
+/// let mut heap = Allocator::new(0x10000, 0x8000);
+/// let c = heap.alloc_cap(100, Perms::data())?;
+/// assert_eq!(c.length(), 100);
+/// assert_eq!(c.base() % 32, 0);
+/// heap.free(c.base())?;
+/// # Ok::<(), cheri_mem::MemError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Allocator {
+    /// Free blocks as (base, size), sorted by base.
+    free: Vec<(u64, u64)>,
+    /// Live allocations: base -> padded size.
+    live: HashMap<u64, u64>,
+    base: u64,
+    size: u64,
+    stats: AllocStats,
+}
+
+impl Allocator {
+    /// Creates an allocator managing `[base, base + size)`. The region is
+    /// aligned inward to the 32-byte capability granule.
+    pub fn new(base: u64, size: u64) -> Allocator {
+        let aligned_base = base.next_multiple_of(CAP_ALIGN);
+        let end = (base + size) / CAP_ALIGN * CAP_ALIGN;
+        let size = end.saturating_sub(aligned_base);
+        Allocator {
+            free: vec![(aligned_base, size)],
+            live: HashMap::new(),
+            base: aligned_base,
+            size,
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// The managed region's base address.
+    pub fn heap_base(&self) -> u64 {
+        self.base
+    }
+
+    /// The managed region's size in bytes.
+    pub fn heap_size(&self) -> u64 {
+        self.size
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// Allocates `size` bytes (32-byte aligned, padded to a whole granule),
+    /// returning the block's base address.
+    ///
+    /// Zero-byte requests consume one granule, so every allocation has a
+    /// distinct address, as C requires.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] if no free block is large enough.
+    pub fn alloc(&mut self, size: u64) -> MemResult<u64> {
+        let padded = size.max(1).next_multiple_of(CAP_ALIGN);
+        let slot = self
+            .free
+            .iter()
+            .position(|&(_, sz)| sz >= padded)
+            .ok_or(MemError::OutOfMemory { requested: size })?;
+        let (blk_base, blk_size) = self.free[slot];
+        if blk_size == padded {
+            self.free.remove(slot);
+        } else {
+            self.free[slot] = (blk_base + padded, blk_size - padded);
+        }
+        self.live.insert(blk_base, padded);
+        self.stats.allocs += 1;
+        self.stats.in_use += padded;
+        self.stats.peak = self.stats.peak.max(self.stats.in_use);
+        Ok(blk_base)
+    }
+
+    /// Allocates `size` bytes and wraps the result in a capability whose
+    /// bounds are exactly `[base, base + size)` with permissions `perms`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`].
+    pub fn alloc_cap(&mut self, size: u64, perms: Perms) -> MemResult<Capability> {
+        let base = self.alloc(size)?;
+        Ok(Capability::new_mem(base, size, perms))
+    }
+
+    /// Returns the block at `addr` to the free list, coalescing neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadFree`] if `addr` is not the base of a live allocation
+    /// (catches double frees and frees of interior pointers).
+    pub fn free(&mut self, addr: u64) -> MemResult<()> {
+        let size = self.live.remove(&addr).ok_or(MemError::BadFree { addr })?;
+        self.stats.frees += 1;
+        self.stats.in_use -= size;
+        let pos = self.free.partition_point(|&(b, _)| b < addr);
+        self.free.insert(pos, (addr, size));
+        // Coalesce with successor, then predecessor.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            self.free[pos].1 += self.free[pos + 1].1;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            self.free[pos - 1].1 += self.free[pos].1;
+            self.free.remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Whether `addr` is the base of a live allocation, and its padded size.
+    pub fn lookup(&self, addr: u64) -> Option<u64> {
+        self.live.get(&addr).copied()
+    }
+
+    /// Iterates over `(base, padded_size)` of all live allocations.
+    pub fn live_blocks(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.live.iter().map(|(&b, &s)| (b, s))
+    }
+
+    /// Finds the live allocation containing `addr`, if any. This is the
+    /// object-table lookup the *Relaxed* interpreter model performs to
+    /// rebuild a pointer from an integer (paper §5.1).
+    pub fn block_containing(&self, addr: u64) -> Option<(u64, u64)> {
+        self.live
+            .iter()
+            .find(|&(&b, &s)| addr >= b && addr < b + s)
+            .map(|(&b, &s)| (b, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alloc_is_aligned_and_bounded() {
+        let mut a = Allocator::new(0x1000, 0x1000);
+        let c = a.alloc_cap(100, Perms::data()).unwrap();
+        assert_eq!(c.base() % CAP_ALIGN, 0);
+        assert_eq!(c.length(), 100);
+        assert!(c.tag());
+    }
+
+    #[test]
+    fn zero_sized_allocations_are_distinct() {
+        let mut a = Allocator::new(0, 0x1000);
+        let x = a.alloc(0).unwrap();
+        let y = a.alloc(0).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let mut a = Allocator::new(0, 64);
+        a.alloc(64).unwrap();
+        assert!(matches!(a.alloc(1), Err(MemError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut a = Allocator::new(0, 0x100);
+        let x = a.alloc(0x100).unwrap();
+        assert!(a.alloc(1).is_err());
+        a.free(x).unwrap();
+        assert_eq!(a.alloc(0x100).unwrap(), x);
+    }
+
+    #[test]
+    fn double_free_is_caught() {
+        let mut a = Allocator::new(0, 0x1000);
+        let x = a.alloc(32).unwrap();
+        a.free(x).unwrap();
+        assert_eq!(a.free(x).unwrap_err(), MemError::BadFree { addr: x });
+    }
+
+    #[test]
+    fn free_of_interior_pointer_is_caught() {
+        let mut a = Allocator::new(0, 0x1000);
+        let x = a.alloc(64).unwrap();
+        assert!(matches!(a.free(x + 8), Err(MemError::BadFree { .. })));
+    }
+
+    #[test]
+    fn coalescing_reassembles_heap() {
+        let mut a = Allocator::new(0, 0x300);
+        let xs: Vec<u64> = (0..3).map(|_| a.alloc(0x100).unwrap()).collect();
+        // Free out of order; coalescing should rebuild one block.
+        a.free(xs[1]).unwrap();
+        a.free(xs[0]).unwrap();
+        a.free(xs[2]).unwrap();
+        assert_eq!(a.alloc(0x300).unwrap(), xs[0]);
+    }
+
+    #[test]
+    fn block_containing_finds_interior() {
+        let mut a = Allocator::new(0x40, 0x1000);
+        let x = a.alloc(100).unwrap();
+        assert_eq!(a.block_containing(x + 50), Some((x, 128)));
+        assert_eq!(a.block_containing(x + 128), None);
+    }
+
+    #[test]
+    fn stats_track_usage() {
+        let mut a = Allocator::new(0, 0x1000);
+        let x = a.alloc(33).unwrap(); // pads to 64
+        assert_eq!(a.stats().in_use, 64);
+        assert_eq!(a.stats().peak, 64);
+        a.free(x).unwrap();
+        assert_eq!(a.stats().in_use, 0);
+        assert_eq!(a.stats().peak, 64);
+        assert_eq!(a.stats().allocs, 1);
+        assert_eq!(a.stats().frees, 1);
+    }
+
+    #[test]
+    fn unaligned_region_is_trimmed() {
+        let a = Allocator::new(0x11, 0x100);
+        assert_eq!(a.heap_base() % CAP_ALIGN, 0);
+        assert!(a.heap_base() >= 0x11);
+        assert!(a.heap_base() + a.heap_size() <= 0x111);
+    }
+
+    proptest! {
+        /// Live blocks never overlap and always lie within the heap.
+        #[test]
+        fn blocks_are_disjoint(ops in proptest::collection::vec((0u64..200, any::<bool>()), 1..60)) {
+            let mut a = Allocator::new(0x100, 0x4000);
+            let mut held: Vec<u64> = Vec::new();
+            for (sz, do_free) in ops {
+                if do_free && !held.is_empty() {
+                    let x = held.swap_remove(sz as usize % held.len());
+                    a.free(x).unwrap();
+                } else if let Ok(x) = a.alloc(sz) {
+                    held.push(x);
+                }
+            }
+            let mut blocks: Vec<(u64, u64)> = a.live_blocks().collect();
+            blocks.sort_unstable();
+            for w in blocks.windows(2) {
+                prop_assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+            for &(b, s) in &blocks {
+                prop_assert!(b >= a.heap_base());
+                prop_assert!(b + s <= a.heap_base() + a.heap_size());
+            }
+        }
+
+        /// Free + coalesce always allows reallocating the whole heap.
+        #[test]
+        fn full_free_restores_capacity(sizes in proptest::collection::vec(1u64..100, 1..30)) {
+            let mut a = Allocator::new(0, 0x8000);
+            let blocks: Vec<u64> = sizes.iter().filter_map(|&s| a.alloc(s).ok()).collect();
+            for b in blocks {
+                a.free(b).unwrap();
+            }
+            prop_assert!(a.alloc(a.heap_size()).is_ok());
+        }
+    }
+}

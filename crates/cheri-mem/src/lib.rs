@@ -1,0 +1,45 @@
+//! Tagged memory: the substrate that makes capabilities unforgeable.
+//!
+//! CHERI capabilities "reside either in a dedicated register file or can be
+//! spilled to memory, where their integrity is preserved by hardware-managed
+//! tagged memory. Capabilities must be naturally aligned and there is a
+//! single tag bit per 256 bits of memory. Conventional stores to an
+//! in-memory capability cause the tag bit to be cleared, invalidating the
+//! capability." (paper §4)
+//!
+//! This crate provides:
+//!
+//! * [`TaggedMemory`] — a flat virtual memory with the out-of-band tag bits
+//!   and the store-clears-tag rule, plus a capability-oblivious
+//!   [`TaggedMemory::memcpy`] that preserves tags exactly when hardware
+//!   would (the `memcpy`/union requirement that motivated CHERIv2, §4).
+//! * [`Allocator`] — a free-list allocator that hands out capabilities
+//!   bounded to the allocation, modelling the paper's observation that
+//!   `malloc` sits *below* the C abstract machine.
+//!
+//! # Example
+//!
+//! ```
+//! use cheri_cap::{Capability, Perms};
+//! use cheri_mem::TaggedMemory;
+//!
+//! let mut mem = TaggedMemory::new(0x10000);
+//! let c = Capability::new_mem(0x40, 64, Perms::data());
+//! mem.write_cap(0x80, &c)?;
+//! assert!(mem.read_cap(0x80)?.tag());
+//! // A plain data store over the capability strips its tag: forgery fails.
+//! mem.write_u8(0x90, 0xFF)?;
+//! assert!(!mem.read_cap(0x80)?.tag());
+//! # Ok::<(), cheri_mem::MemError>(())
+//! ```
+
+mod alloc;
+mod error;
+mod tagged;
+
+pub use alloc::{AllocStats, Allocator};
+pub use error::MemError;
+pub use tagged::TaggedMemory;
+
+/// Result alias for memory operations.
+pub type MemResult<T> = Result<T, MemError>;

@@ -1,0 +1,499 @@
+//! The tagged flat memory.
+
+use crate::{MemError, MemResult};
+use cheri_cap::{decode_capability, encode_capability, Capability, CAP_ALIGN, CAP_SIZE_BYTES};
+
+/// A flat, byte-addressable virtual memory with one out-of-band tag bit per
+/// 32-byte granule.
+///
+/// Invariants maintained:
+///
+/// * a granule's tag is set **only** by [`TaggedMemory::write_cap`] storing
+///   a tagged capability at that granule;
+/// * any plain data store overlapping a granule clears its tag;
+/// * [`TaggedMemory::memcpy`] preserves a destination granule's tag exactly
+///   when the copy is granule-to-granule aligned and the source granule was
+///   tagged — the behaviour that lets `memcpy` and unions move capabilities
+///   without knowing they are there (paper §4).
+#[derive(Clone, Debug)]
+pub struct TaggedMemory {
+    bytes: Vec<u8>,
+    tags: Vec<bool>,
+}
+
+impl TaggedMemory {
+    /// Creates a zeroed memory of `size` bytes (rounded up to a whole number
+    /// of 32-byte granules), all tags clear.
+    pub fn new(size: u64) -> TaggedMemory {
+        let granules = size.div_ceil(CAP_ALIGN);
+        let size = granules * CAP_ALIGN;
+        TaggedMemory {
+            bytes: vec![0; size as usize],
+            tags: vec![false; granules as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn check(&self, addr: u64, len: u64) -> MemResult<usize> {
+        if addr.checked_add(len).map_or(true, |end| end > self.size()) {
+            return Err(MemError::OutOfRange { addr, len });
+        }
+        Ok(addr as usize)
+    }
+
+    fn clear_tags_over(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = (addr / CAP_ALIGN) as usize;
+        let last = (((addr + len - 1) / CAP_ALIGN) as usize).min(self.tags.len() - 1);
+        for t in &mut self.tags[first..=last] {
+            *t = false;
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range leaves the backing store.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> MemResult<&[u8]> {
+        let a = self.check(addr, len)?;
+        Ok(&self.bytes[a..a + len as usize])
+    }
+
+    /// Writes `data` at `addr`, clearing the tags of every granule touched.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range leaves the backing store.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> MemResult<()> {
+        let a = self.check(addr, data.len() as u64)?;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+        self.clear_tags_over(addr, data.len() as u64);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn read_u8(&self, addr: u64) -> MemResult<u8> {
+        Ok(self.read_bytes(addr, 1)?[0])
+    }
+
+    /// Reads a little-endian 16-bit value.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn read_u16(&self, addr: u64) -> MemResult<u16> {
+        let b = self.read_bytes(addr, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian 32-bit value.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn read_u32(&self, addr: u64) -> MemResult<u32> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian 64-bit value.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn read_u64(&self, addr: u64) -> MemResult<u64> {
+        let b = self.read_bytes(addr, 8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes one byte (clears the granule's tag).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn write_u8(&mut self, addr: u64, v: u8) -> MemResult<()> {
+        self.write_bytes(addr, &[v])
+    }
+
+    /// Writes a little-endian 16-bit value (clears overlapping tags).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn write_u16(&mut self, addr: u64, v: u16) -> MemResult<()> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian 32-bit value (clears overlapping tags).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> MemResult<()> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian 64-bit value (clears overlapping tags).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> MemResult<()> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian value of `width` ∈ {1, 2, 4, 8} bytes,
+    /// zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn read_uint(&self, addr: u64, width: u8) -> MemResult<u64> {
+        match width {
+            1 => self.read_u8(addr).map(u64::from),
+            2 => self.read_u16(addr).map(u64::from),
+            4 => self.read_u32(addr).map(u64::from),
+            8 => self.read_u64(addr),
+            _ => panic!("unsupported access width {width}"),
+        }
+    }
+
+    /// Writes the low `width` ∈ {1, 2, 4, 8} bytes of `v`, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write_uint(&mut self, addr: u64, v: u64, width: u8) -> MemResult<()> {
+        match width {
+            1 => self.write_u8(addr, v as u8),
+            2 => self.write_u16(addr, v as u16),
+            4 => self.write_u32(addr, v as u32),
+            8 => self.write_u64(addr, v),
+            _ => panic!("unsupported access width {width}"),
+        }
+    }
+
+    /// `CLC`: loads the capability stored at `addr` (32-byte aligned),
+    /// together with its tag.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] or [`MemError::OutOfRange`].
+    pub fn read_cap(&self, addr: u64) -> MemResult<Capability> {
+        if addr % CAP_ALIGN != 0 {
+            return Err(MemError::Misaligned { addr });
+        }
+        let a = self.check(addr, CAP_SIZE_BYTES as u64)?;
+        let mut buf = [0u8; CAP_SIZE_BYTES];
+        buf.copy_from_slice(&self.bytes[a..a + CAP_SIZE_BYTES]);
+        Ok(decode_capability(&buf, self.tags[(addr / CAP_ALIGN) as usize]))
+    }
+
+    /// `CSC`: stores `cap` at `addr` (32-byte aligned), setting the
+    /// granule's tag to the capability's tag.
+    ///
+    /// This is the **only** operation that can set a tag bit.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] or [`MemError::OutOfRange`].
+    pub fn write_cap(&mut self, addr: u64, cap: &Capability) -> MemResult<()> {
+        if addr % CAP_ALIGN != 0 {
+            return Err(MemError::Misaligned { addr });
+        }
+        let a = self.check(addr, CAP_SIZE_BYTES as u64)?;
+        self.bytes[a..a + CAP_SIZE_BYTES].copy_from_slice(&encode_capability(cap));
+        self.tags[(addr / CAP_ALIGN) as usize] = cap.tag();
+        Ok(())
+    }
+
+    /// The tag of the granule containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn tag_at(&self, addr: u64) -> MemResult<bool> {
+        self.check(addr, 1)?;
+        Ok(self.tags[(addr / CAP_ALIGN) as usize])
+    }
+
+    /// Clears the tag of the granule containing `addr` (e.g. the collector
+    /// invalidating a stale capability).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn clear_tag_at(&mut self, addr: u64) -> MemResult<()> {
+        self.check(addr, 1)?;
+        self.tags[(addr / CAP_ALIGN) as usize] = false;
+        Ok(())
+    }
+
+    /// Iterates over the addresses of all tagged granules — the precise
+    /// root/heap scan the tag-accurate garbage collector performs.
+    pub fn tagged_granules(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| i as u64 * CAP_ALIGN)
+    }
+
+    /// A capability-oblivious copy, as the hardware performs it: bytes are
+    /// copied, and a destination granule receives the source granule's tag
+    /// exactly when both are whole, mutually aligned granules within the
+    /// copy; every other touched destination granule has its tag cleared.
+    ///
+    /// This is what lets `memcpy` move structures containing pointers
+    /// without being aware of them — and what guarantees that a *misaligned*
+    /// copy of a capability yields untagged (harmless) bytes.
+    ///
+    /// Overlapping ranges behave like `memmove`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if either range leaves the backing store.
+    pub fn memcpy(&mut self, dst: u64, src: u64, len: u64) -> MemResult<()> {
+        let s = self.check(src, len)?;
+        let d = self.check(dst, len)?;
+        // Record which destination granules should inherit a set tag.
+        let mut inherit = Vec::new();
+        if dst % CAP_ALIGN == src % CAP_ALIGN {
+            let mut a = src;
+            // First whole granule inside [src, src+len).
+            if a % CAP_ALIGN != 0 {
+                a = (a / CAP_ALIGN + 1) * CAP_ALIGN;
+            }
+            while a + CAP_ALIGN <= src + len {
+                if self.tags[(a / CAP_ALIGN) as usize] {
+                    inherit.push(dst + (a - src));
+                }
+                a += CAP_ALIGN;
+            }
+        }
+        self.bytes.copy_within(s..s + len as usize, d);
+        self.clear_tags_over(dst, len);
+        for a in inherit {
+            self.tags[(a / CAP_ALIGN) as usize] = true;
+        }
+        Ok(())
+    }
+
+    /// Fills `[addr, addr+len)` with `value`, clearing tags (like `memset`).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`].
+    pub fn fill(&mut self, addr: u64, len: u64, value: u8) -> MemResult<()> {
+        let a = self.check(addr, len)?;
+        self.bytes[a..a + len as usize].fill(value);
+        self.clear_tags_over(addr, len);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::Perms;
+    use proptest::prelude::*;
+
+    fn mem() -> TaggedMemory {
+        TaggedMemory::new(0x1000)
+    }
+
+    fn a_cap() -> Capability {
+        Capability::new_mem(0x100, 0x40, Perms::data())
+    }
+
+    #[test]
+    fn size_rounds_to_granules() {
+        assert_eq!(TaggedMemory::new(33).size(), 64);
+        assert_eq!(TaggedMemory::new(0).size(), 0);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut m = mem();
+        m.write_u8(1, 0xAB).unwrap();
+        m.write_u16(2, 0xBEEF).unwrap();
+        m.write_u32(4, 0xDEADBEEF).unwrap();
+        m.write_u64(8, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.read_u8(1).unwrap(), 0xAB);
+        assert_eq!(m.read_u16(2).unwrap(), 0xBEEF);
+        assert_eq!(m.read_u32(4).unwrap(), 0xDEADBEEF);
+        assert_eq!(m.read_u64(8).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn widths_dispatch() {
+        let mut m = mem();
+        for w in [1u8, 2, 4, 8] {
+            m.write_uint(64, 0x1122_3344_5566_7788, w).unwrap();
+            let v = m.read_uint(64, w).unwrap();
+            let mask = if w == 8 { u64::MAX } else { (1u64 << (w * 8)) - 1 };
+            assert_eq!(v, 0x1122_3344_5566_7788 & mask);
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let m = mem();
+        assert!(matches!(m.read_u64(0xFFF + 1), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(m.read_u64(u64::MAX - 3), Err(MemError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn cap_round_trip_preserves_tag() {
+        let mut m = mem();
+        let c = a_cap();
+        m.write_cap(0x40, &c).unwrap();
+        assert_eq!(m.read_cap(0x40).unwrap(), c);
+        assert!(m.tag_at(0x45).unwrap());
+    }
+
+    #[test]
+    fn cap_access_requires_alignment() {
+        let mut m = mem();
+        assert!(matches!(m.read_cap(0x41), Err(MemError::Misaligned { .. })));
+        assert!(matches!(m.write_cap(0x08, &a_cap()), Err(MemError::Misaligned { .. })));
+    }
+
+    #[test]
+    fn plain_store_clears_tag() {
+        let mut m = mem();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        m.write_u8(0x50, 0).unwrap(); // anywhere in the granule
+        let c = m.read_cap(0x40).unwrap();
+        assert!(!c.tag());
+        // The data bytes are otherwise intact except the one written.
+        assert_eq!(c.base(), a_cap().base());
+    }
+
+    #[test]
+    fn straddling_store_clears_both_tags() {
+        let mut m = mem();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        m.write_cap(0x60, &a_cap()).unwrap();
+        m.write_u64(0x5C, 0).unwrap(); // straddles granules 2 and 3
+        assert!(!m.tag_at(0x40).unwrap());
+        assert!(!m.tag_at(0x60).unwrap());
+    }
+
+    #[test]
+    fn storing_untagged_cap_clears_tag() {
+        let mut m = mem();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        m.write_cap(0x40, &a_cap().clear_tag()).unwrap();
+        assert!(!m.tag_at(0x40).unwrap());
+    }
+
+    #[test]
+    fn aligned_memcpy_preserves_tags() {
+        let mut m = mem();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        m.write_u64(0x60, 77).unwrap();
+        m.memcpy(0x80, 0x40, 64).unwrap();
+        assert_eq!(m.read_cap(0x80).unwrap(), a_cap());
+        assert_eq!(m.read_u64(0xA0).unwrap(), 77);
+        assert!(!m.tag_at(0xA0).unwrap());
+    }
+
+    #[test]
+    fn misaligned_memcpy_strips_tags_but_copies_bytes() {
+        let mut m = mem();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        m.memcpy(0x81, 0x40, 32).unwrap();
+        assert!(!m.tag_at(0x81).unwrap());
+        assert_eq!(
+            m.read_bytes(0x81, 32).unwrap(),
+            encode_capability(&a_cap()).as_slice()
+        );
+    }
+
+    #[test]
+    fn partial_granule_copy_strips_tag() {
+        let mut m = mem();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        // Same alignment, but only half the granule is copied.
+        m.memcpy(0xC0, 0x40, 16).unwrap();
+        assert!(!m.tag_at(0xC0).unwrap());
+    }
+
+    #[test]
+    fn overlapping_memcpy_is_memmove() {
+        let mut m = mem();
+        for i in 0..64 {
+            m.write_u8(0x100 + i, i as u8).unwrap();
+        }
+        m.memcpy(0x108, 0x100, 56).unwrap();
+        for i in 0..56 {
+            assert_eq!(m.read_u8(0x108 + i).unwrap(), i as u8);
+        }
+    }
+
+    #[test]
+    fn fill_clears_tags() {
+        let mut m = mem();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        m.fill(0x40, 64, 0xAA).unwrap();
+        assert!(!m.tag_at(0x40).unwrap());
+        assert_eq!(m.read_u8(0x7F).unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn tagged_granules_enumerates_exactly() {
+        let mut m = mem();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        m.write_cap(0x200, &a_cap()).unwrap();
+        let got: Vec<u64> = m.tagged_granules().collect();
+        assert_eq!(got, vec![0x40, 0x200]);
+    }
+
+    proptest! {
+        /// No sequence of plain writes can ever set a tag.
+        #[test]
+        fn plain_writes_never_set_tags(writes in proptest::collection::vec((0u64..0xF00, any::<u64>()), 1..40)) {
+            let mut m = mem();
+            for (addr, v) in writes {
+                m.write_u64(addr, v).unwrap();
+            }
+            prop_assert_eq!(m.tagged_granules().count(), 0);
+        }
+
+        /// memcpy never *creates* tags that weren't in the source.
+        #[test]
+        fn memcpy_never_mints_tags(dst in 0u64..0x800, src in 0u64..0x800, len in 0u64..0x100) {
+            let mut m = mem();
+            m.write_cap(0x40, &a_cap()).unwrap();
+            m.memcpy(dst, src, len).unwrap();
+            for g in m.tagged_granules() {
+                // Every tagged granule decodes to the original capability's bytes.
+                let c = m.read_cap(g).unwrap();
+                prop_assert_eq!(c.base(), a_cap().base());
+                prop_assert_eq!(c.length(), a_cap().length());
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Machine configuration and memory layout.
+
+use cheri_cache::HierarchyConfig;
+
+/// Size of the unmapped low guard page. Legacy (DDC-relative) accesses
+/// below this address fault, modelling the page-protection behaviour that
+/// makes null-pointer dereferences crash on conventional machines.
+pub const NULL_GUARD_SIZE: u64 = 0x1000;
+
+/// Configuration for a [`crate::Vm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Bytes of physical memory (default 16 MiB).
+    pub mem_size: u64,
+    /// Data cache model; `None` charges a flat cycle per access.
+    pub cache: Option<HierarchyConfig>,
+    /// Load address of the data segment.
+    pub data_base: u64,
+    /// Bytes reserved for the stack at the top of memory.
+    pub stack_size: u64,
+    /// Bytes of heap handed to the allocator between data and stack.
+    pub heap_size: u64,
+}
+
+impl VmConfig {
+    /// The paper's softcore-like machine: 16 MiB memory, FPGA cache model.
+    pub fn fpga() -> VmConfig {
+        VmConfig {
+            mem_size: 16 << 20,
+            cache: Some(HierarchyConfig::fpga_softcore()),
+            data_base: 0x1_0000,
+            stack_size: 1 << 20,
+            heap_size: 8 << 20,
+        }
+    }
+
+    /// A fast functional-only machine (no cache model) for tests.
+    pub fn functional() -> VmConfig {
+        VmConfig { cache: None, ..VmConfig::fpga() }
+    }
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig::fpga()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_are_consistent() {
+        let c = VmConfig::default();
+        assert!(c.data_base >= NULL_GUARD_SIZE);
+        assert!(c.heap_size + c.stack_size + c.data_base <= c.mem_size);
+        assert!(VmConfig::functional().cache.is_none());
+        assert!(VmConfig::fpga().cache.is_some());
+    }
+}

@@ -1,0 +1,1013 @@
+//! The machine: register files, execution loop, syscalls.
+
+use crate::config::{VmConfig, NULL_GUARD_SIZE};
+use crate::sys;
+use crate::trap::{TrapCause, VmTrap};
+use cheri_cache::{CacheStats, Hierarchy};
+use cheri_cap::{ptr_cmp, Capability, Perms};
+#[cfg(test)]
+use cheri_cap::CapError;
+use cheri_isa::{CmpOp, Instr, Op, Program, DDC};
+use cheri_mem::{Allocator, TaggedMemory};
+use std::cmp::Ordering;
+
+/// Capability register conventions used by the compiler and runtime.
+pub mod cabi {
+    /// Capability return value / `malloc` result.
+    pub const CV0: u8 = 1;
+    /// Scratch capability register (reserved for future codegen use).
+    #[allow(dead_code)]
+    pub const CT0: u8 = 2;
+    /// First capability argument register (`ca0` = c3 … `ca3` = c6).
+    pub const CA0: u8 = 3;
+    /// The stack capability.
+    pub const CSP: u8 = 11;
+}
+
+/// Execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct VmStats {
+    /// Instructions retired.
+    pub instret: u64,
+    /// Cycles charged (pipeline + cache model).
+    pub cycles: u64,
+    /// Data-cache statistics, when a cache model is configured.
+    pub cache: Option<CacheStats>,
+    op_counts: Vec<u64>,
+}
+
+impl VmStats {
+    /// How many times `op` retired.
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.op_counts.get(op as usize).copied().unwrap_or(0)
+    }
+
+    /// Instructions retired that belong to the CHERI extension.
+    pub fn capability_instructions(&self) -> u64 {
+        Op::ALL
+            .iter()
+            .filter(|o| o.is_capability_op())
+            .map(|&o| self.op_count(o))
+            .sum()
+    }
+}
+
+/// Successful termination: the program called `exit`.
+#[derive(Clone, Debug)]
+pub struct ExitStatus {
+    /// The exit code passed in `a0`.
+    pub code: i64,
+    /// Statistics at the moment of exit.
+    pub stats: VmStats,
+}
+
+/// The CHERI machine.
+///
+/// See the crate documentation for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    code: Vec<Instr>,
+    regs: [u64; 32],
+    caps: [Capability; 32],
+    pcc: Capability,
+    pc: u64,
+    mem: TaggedMemory,
+    cache: Option<Hierarchy>,
+    heap: Allocator,
+    cycles: u64,
+    instret: u64,
+    op_counts: Vec<u64>,
+    output: Vec<u8>,
+    halted: Option<i64>,
+    cfg: VmConfig,
+}
+
+impl Vm {
+    /// Loads `program` into a fresh machine configured by `cfg`.
+    ///
+    /// Layout: data segment at `cfg.data_base`, heap after it, stack at the
+    /// top of memory. `c0` (DDC) covers all of memory with full rights;
+    /// `c11` is the stack capability; PCC covers the whole code image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data segment does not fit below the heap, which
+    /// indicates a mis-sized [`VmConfig`] rather than a guest error.
+    pub fn new(program: Program, cfg: VmConfig) -> Vm {
+        let mut mem = TaggedMemory::new(cfg.mem_size);
+        mem.write_bytes(cfg.data_base, &program.data)
+            .expect("data segment must fit in memory");
+        let heap_base = (cfg.data_base + program.data.len() as u64 + 0x100).next_multiple_of(32);
+        let stack_base = cfg.mem_size - cfg.stack_size;
+        let heap_end = (heap_base + cfg.heap_size).min(stack_base);
+        assert!(heap_base < heap_end, "no room for heap: config too small");
+        let heap = Allocator::new(heap_base, heap_end - heap_base);
+
+        let mut regs = [0u64; 32];
+        regs[cheri_isa::SP as usize] = cfg.mem_size - 64;
+        let mut caps = [Capability::null(); 32];
+        caps[DDC as usize] = Capability::new_mem(0, cfg.mem_size, Perms::all());
+        caps[cabi::CSP as usize] = Capability::new_mem(stack_base, cfg.stack_size, Perms::data())
+            .set_offset(cfg.stack_size - 64)
+            .expect("fresh stack cap is unsealed");
+        let pcc = Capability::new_mem(0, program.code.len() as u64 * 8, Perms::code());
+
+        Vm {
+            pc: program.entry,
+            code: program.code,
+            regs,
+            caps,
+            pcc,
+            mem,
+            cache: cfg.cache.map(Hierarchy::new),
+            heap,
+            cycles: 0,
+            instret: 0,
+            op_counts: vec![0; 256],
+            output: Vec::new(),
+            halted: None,
+            cfg,
+        }
+    }
+
+    // --- Introspection (used by tests, examples and the bench harness) ---
+
+    /// General-purpose register `r` (reads of `r0` return 0).
+    pub fn reg(&self, r: u8) -> u64 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    /// Sets general-purpose register `r` (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Capability register `c`.
+    pub fn cap(&self, c: u8) -> Capability {
+        self.caps[c as usize]
+    }
+
+    /// Sets capability register `c`.
+    pub fn set_cap(&mut self, c: u8, v: Capability) {
+        self.caps[c as usize] = v;
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> VmConfig {
+        self.cfg
+    }
+
+    /// The program-counter capability.
+    pub fn pcc(&self) -> Capability {
+        self.pcc
+    }
+
+    /// Current instruction index.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The memory, e.g. to inspect results or pre-load inputs.
+    pub fn mem(&self) -> &TaggedMemory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (test setup).
+    pub fn mem_mut(&mut self) -> &mut TaggedMemory {
+        &mut self.mem
+    }
+
+    /// The heap allocator state.
+    pub fn heap(&self) -> &Allocator {
+        &self.heap
+    }
+
+    /// Console output so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Console output as (lossy) UTF-8.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> VmStats {
+        VmStats {
+            instret: self.instret,
+            cycles: self.cycles,
+            cache: self.cache.as_ref().map(|c| c.stats()),
+            op_counts: self.op_counts.clone(),
+        }
+    }
+
+    /// Runs until `exit`, a trap, or `fuel` retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// The trap that stopped execution, including [`TrapCause::OutOfFuel`]
+    /// when the budget is exhausted.
+    pub fn run(&mut self, fuel: u64) -> Result<ExitStatus, VmTrap> {
+        for _ in 0..fuel {
+            if let Some(code) = self.halted {
+                return Ok(ExitStatus { code, stats: self.stats() });
+            }
+            self.step()?;
+        }
+        if let Some(code) = self.halted {
+            return Ok(ExitStatus { code, stats: self.stats() });
+        }
+        Err(VmTrap { pc: self.pc, cause: TrapCause::OutOfFuel })
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmTrap`] the instruction raises.
+    pub fn step(&mut self) -> Result<(), VmTrap> {
+        let pc = self.pc;
+        let instr = self.fetch(pc)?;
+        self.cycles += instr.op.base_cycles();
+        self.instret += 1;
+        self.op_counts[instr.op as usize] += 1;
+        match self.execute(instr) {
+            Ok(next) => {
+                self.pc = next;
+                self.regs[0] = 0;
+                Ok(())
+            }
+            Err(cause) => Err(VmTrap { pc, cause }),
+        }
+    }
+
+    fn fetch(&self, pc: u64) -> Result<Instr, VmTrap> {
+        let byte_addr = pc.wrapping_mul(8);
+        let fetch_cap = self
+            .pcc
+            .set_offset(byte_addr.wrapping_sub(self.pcc.base()))
+            .map_err(|e| VmTrap { pc, cause: e.into() })?;
+        if fetch_cap.check_access(8, Perms::EXECUTE).is_err() {
+            return Err(VmTrap { pc, cause: TrapCause::PccBounds { pc } });
+        }
+        self.code
+            .get(pc as usize)
+            .copied()
+            .ok_or(VmTrap { pc, cause: TrapCause::PccBounds { pc } })
+    }
+
+    fn charge_mem(&mut self, addr: u64, len: u64, write: bool) {
+        match &mut self.cache {
+            Some(h) => {
+                self.cycles += h.access(addr, len, write);
+            }
+            None => self.cycles += 1,
+        }
+    }
+
+    /// Resolves a legacy (DDC-relative) access.
+    fn legacy_addr(&self, rs: u8, imm: i32, len: u64, perm: Perms) -> Result<u64, TrapCause> {
+        let ptr = self.reg(rs).wrapping_add(imm as i64 as u64);
+        if ptr < NULL_GUARD_SIZE {
+            return Err(TrapCause::NullGuard { addr: ptr });
+        }
+        let ddc = self.caps[DDC as usize];
+        let c = ddc.set_offset(ptr)?;
+        Ok(c.check_access(len, perm)?)
+    }
+
+    /// Resolves a capability-relative access.
+    fn cap_addr(&self, cb: u8, imm: i32, len: u64, perm: Perms) -> Result<u64, TrapCause> {
+        let c = self.caps[cb as usize].inc_offset(imm as i64)?;
+        Ok(c.check_access(len, perm)?)
+    }
+
+    fn load(&mut self, addr: u64, width: u8, signed: bool) -> Result<u64, TrapCause> {
+        let raw = self.mem.read_uint(addr, width)?;
+        self.charge_mem(addr, width as u64, false);
+        Ok(if signed {
+            match width {
+                1 => raw as u8 as i8 as i64 as u64,
+                2 => raw as u16 as i16 as i64 as u64,
+                4 => raw as u32 as i32 as i64 as u64,
+                _ => raw,
+            }
+        } else {
+            raw
+        })
+    }
+
+    fn store(&mut self, addr: u64, width: u8, v: u64) -> Result<(), TrapCause> {
+        self.mem.write_uint(addr, v, width)?;
+        self.charge_mem(addr, width as u64, true);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, i: Instr) -> Result<u64, TrapCause> {
+        let next = self.pc + 1;
+        let (rd, rs, rt) = (i.rd, i.rs, i.rt);
+        let imm = i.imm;
+        let simm = imm as i64;
+        macro_rules! alu {
+            ($v:expr) => {{
+                let v = $v;
+                self.set_reg(rd, v);
+                Ok(next)
+            }};
+        }
+        match i.op {
+            Op::Nop => Ok(next),
+            Op::Break => Err(TrapCause::Breakpoint),
+            Op::Syscall => self.syscall(imm).map(|()| next),
+
+            // Trapping signed arithmetic (§3.1.1).
+            Op::Add => {
+                let v = (self.reg(rs) as i64)
+                    .checked_add(self.reg(rt) as i64)
+                    .ok_or(TrapCause::IntegerOverflow)?;
+                alu!(v as u64)
+            }
+            Op::Sub => {
+                let v = (self.reg(rs) as i64)
+                    .checked_sub(self.reg(rt) as i64)
+                    .ok_or(TrapCause::IntegerOverflow)?;
+                alu!(v as u64)
+            }
+            Op::Addi => {
+                let v = (self.reg(rs) as i64)
+                    .checked_add(simm)
+                    .ok_or(TrapCause::IntegerOverflow)?;
+                alu!(v as u64)
+            }
+
+            Op::Addu => alu!(self.reg(rs).wrapping_add(self.reg(rt))),
+            Op::Subu => alu!(self.reg(rs).wrapping_sub(self.reg(rt))),
+            Op::And => alu!(self.reg(rs) & self.reg(rt)),
+            Op::Or => alu!(self.reg(rs) | self.reg(rt)),
+            Op::Xor => alu!(self.reg(rs) ^ self.reg(rt)),
+            Op::Nor => alu!(!(self.reg(rs) | self.reg(rt))),
+            Op::Slt => alu!(u64::from((self.reg(rs) as i64) < (self.reg(rt) as i64))),
+            Op::Sltu => alu!(u64::from(self.reg(rs) < self.reg(rt))),
+            Op::Sllv => alu!(self.reg(rs) << (self.reg(rt) & 63)),
+            Op::Srlv => alu!(self.reg(rs) >> (self.reg(rt) & 63)),
+            Op::Srav => alu!(((self.reg(rs) as i64) >> (self.reg(rt) & 63)) as u64),
+            Op::Mul => alu!(self.reg(rs).wrapping_mul(self.reg(rt))),
+            Op::Div => {
+                let (a, b) = (self.reg(rs) as i64, self.reg(rt) as i64);
+                if b == 0 {
+                    return Err(TrapCause::DivideByZero);
+                }
+                let v = a.checked_div(b).ok_or(TrapCause::IntegerOverflow)?;
+                alu!(v as u64)
+            }
+            Op::Divu => {
+                let b = self.reg(rt);
+                if b == 0 {
+                    return Err(TrapCause::DivideByZero);
+                }
+                alu!(self.reg(rs) / b)
+            }
+            Op::Rem => {
+                let (a, b) = (self.reg(rs) as i64, self.reg(rt) as i64);
+                if b == 0 {
+                    return Err(TrapCause::DivideByZero);
+                }
+                let v = a.checked_rem(b).ok_or(TrapCause::IntegerOverflow)?;
+                alu!(v as u64)
+            }
+            Op::Remu => {
+                let b = self.reg(rt);
+                if b == 0 {
+                    return Err(TrapCause::DivideByZero);
+                }
+                alu!(self.reg(rs) % b)
+            }
+
+            Op::Addiu => alu!(self.reg(rs).wrapping_add(simm as u64)),
+            Op::Andi => alu!(self.reg(rs) & (imm as u32 as u64)),
+            Op::Ori => alu!(self.reg(rs) | (imm as u32 as u64)),
+            Op::Xori => alu!(self.reg(rs) ^ (imm as u32 as u64)),
+            Op::Slti => alu!(u64::from((self.reg(rs) as i64) < simm)),
+            Op::Sltiu => alu!(u64::from(self.reg(rs) < simm as u64)),
+            Op::Lui => alu!((simm << 16) as u64),
+            Op::Li => alu!(simm as u64),
+            Op::Sll => alu!(self.reg(rs) << (imm as u32 & 63)),
+            Op::Srl => alu!(self.reg(rs) >> (imm as u32 & 63)),
+            Op::Sra => alu!(((self.reg(rs) as i64) >> (imm as u32 & 63)) as u64),
+
+            Op::Beq => Ok(if self.reg(rs) == self.reg(rt) { imm as u64 } else { next }),
+            Op::Bne => Ok(if self.reg(rs) != self.reg(rt) { imm as u64 } else { next }),
+            Op::Blez => Ok(if self.reg(rs) as i64 <= 0 { imm as u64 } else { next }),
+            Op::Bgtz => Ok(if self.reg(rs) as i64 > 0 { imm as u64 } else { next }),
+            Op::Bltz => Ok(if (self.reg(rs) as i64) < 0 { imm as u64 } else { next }),
+            Op::Bgez => Ok(if self.reg(rs) as i64 >= 0 { imm as u64 } else { next }),
+
+            Op::J => Ok(imm as u64),
+            Op::Jal => {
+                self.set_reg(cheri_isa::RA, next);
+                Ok(imm as u64)
+            }
+            Op::Jr => Ok(self.reg(rs)),
+            Op::Jalr => {
+                self.set_reg(rd, next);
+                Ok(self.reg(rs))
+            }
+
+            Op::Lb => self.exec_load(rd, rs, imm, 1, true, false).map(|_| next),
+            Op::Lbu => self.exec_load(rd, rs, imm, 1, false, false).map(|_| next),
+            Op::Lh => self.exec_load(rd, rs, imm, 2, true, false).map(|_| next),
+            Op::Lhu => self.exec_load(rd, rs, imm, 2, false, false).map(|_| next),
+            Op::Lw => self.exec_load(rd, rs, imm, 4, true, false).map(|_| next),
+            Op::Lwu => self.exec_load(rd, rs, imm, 4, false, false).map(|_| next),
+            Op::Ld => self.exec_load(rd, rs, imm, 8, false, false).map(|_| next),
+            Op::Sb => self.exec_store(rd, rs, imm, 1, false).map(|_| next),
+            Op::Sh => self.exec_store(rd, rs, imm, 2, false).map(|_| next),
+            Op::Sw => self.exec_store(rd, rs, imm, 4, false).map(|_| next),
+            Op::Sd => self.exec_store(rd, rs, imm, 8, false).map(|_| next),
+
+            Op::Clb => self.exec_load(rd, rs, imm, 1, true, true).map(|_| next),
+            Op::Clbu => self.exec_load(rd, rs, imm, 1, false, true).map(|_| next),
+            Op::Clh => self.exec_load(rd, rs, imm, 2, true, true).map(|_| next),
+            Op::Clhu => self.exec_load(rd, rs, imm, 2, false, true).map(|_| next),
+            Op::Clw => self.exec_load(rd, rs, imm, 4, true, true).map(|_| next),
+            Op::Clwu => self.exec_load(rd, rs, imm, 4, false, true).map(|_| next),
+            Op::Cld => self.exec_load(rd, rs, imm, 8, false, true).map(|_| next),
+            Op::Csb => self.exec_store(rd, rs, imm, 1, true).map(|_| next),
+            Op::Csh => self.exec_store(rd, rs, imm, 2, true).map(|_| next),
+            Op::Csw => self.exec_store(rd, rs, imm, 4, true).map(|_| next),
+            Op::Csd => self.exec_store(rd, rs, imm, 8, true).map(|_| next),
+
+            Op::Clc => {
+                let addr = self.cap_addr(rs, imm, 32, Perms::LOAD | Perms::LOAD_CAP)?;
+                let c = self.mem.read_cap(addr)?;
+                self.charge_mem(addr, 32, false);
+                self.caps[rd as usize] = c;
+                Ok(next)
+            }
+            Op::Csc => {
+                let addr = self.cap_addr(rs, imm, 32, Perms::STORE | Perms::STORE_CAP)?;
+                let c = self.caps[rd as usize];
+                self.mem.write_cap(addr, &c)?;
+                self.charge_mem(addr, 32, true);
+                Ok(next)
+            }
+
+            Op::CIncBase => {
+                self.caps[rd as usize] = self.caps[rs as usize].inc_base(self.reg(rt))?;
+                Ok(next)
+            }
+            Op::CSetLen => {
+                self.caps[rd as usize] = self.caps[rs as usize].set_length(self.reg(rt))?;
+                Ok(next)
+            }
+            Op::CAndPerm => {
+                self.caps[rd as usize] =
+                    self.caps[rs as usize].and_perms(Perms::from_bits(self.reg(rt) as u16))?;
+                Ok(next)
+            }
+            Op::CIncOffset => {
+                self.caps[rd as usize] =
+                    self.caps[rs as usize].inc_offset(self.reg(rt) as i64)?;
+                Ok(next)
+            }
+            Op::CIncOffsetImm => {
+                self.caps[rd as usize] = self.caps[rs as usize].inc_offset(simm)?;
+                Ok(next)
+            }
+            Op::CSetOffset => {
+                self.caps[rd as usize] = self.caps[rs as usize].set_offset(self.reg(rt))?;
+                Ok(next)
+            }
+            Op::CSetBounds => {
+                self.caps[rd as usize] = self.caps[rs as usize].set_bounds(self.reg(rt))?;
+                Ok(next)
+            }
+            Op::CClearTag => {
+                self.caps[rd as usize] = self.caps[rs as usize].clear_tag();
+                Ok(next)
+            }
+            Op::CMove => {
+                self.caps[rd as usize] = self.caps[rs as usize];
+                Ok(next)
+            }
+            Op::CGetBase => alu!(self.caps[rs as usize].base()),
+            Op::CGetLen => alu!(self.caps[rs as usize].length()),
+            Op::CGetOffset => alu!(self.caps[rs as usize].offset()),
+            Op::CGetPerm => alu!(self.caps[rs as usize].perms().bits() as u64),
+            Op::CGetTag => alu!(u64::from(self.caps[rs as usize].tag())),
+            Op::CPtrCmp => {
+                let r = ptr_cmp(&self.caps[rs as usize], &self.caps[rt as usize]);
+                let sel = CmpOp::from_u8(imm as u8).expect("validated at decode");
+                let v = match sel {
+                    CmpOp::Eq => r.ordering == Ordering::Equal,
+                    CmpOp::Ne => r.ordering != Ordering::Equal,
+                    CmpOp::Lt | CmpOp::Ltu => r.ordering == Ordering::Less,
+                    CmpOp::Le | CmpOp::Leu => r.ordering != Ordering::Greater,
+                };
+                alu!(u64::from(v))
+            }
+            Op::CFromPtr => {
+                self.caps[rd as usize] =
+                    Capability::from_ptr(&self.caps[rs as usize], self.reg(rt))?;
+                Ok(next)
+            }
+            Op::CToPtr => {
+                alu!(self.caps[rs as usize].to_ptr(&self.caps[rt as usize]))
+            }
+            Op::CSeal => {
+                self.caps[rd as usize] =
+                    self.caps[rs as usize].seal(&self.caps[rt as usize])?;
+                Ok(next)
+            }
+            Op::CUnseal => {
+                self.caps[rd as usize] =
+                    self.caps[rs as usize].unseal(&self.caps[rt as usize])?;
+                Ok(next)
+            }
+            Op::CJr => {
+                let target = self.caps[rs as usize];
+                target.check_access(8, Perms::EXECUTE)?;
+                self.pcc = target;
+                Ok(target.address() / 8)
+            }
+            Op::CJalr => {
+                let target = self.caps[rs as usize];
+                target.check_access(8, Perms::EXECUTE)?;
+                let link = self.pcc.set_offset(next * 8 - self.pcc.base())?;
+                self.caps[rd as usize] = link;
+                self.pcc = target;
+                Ok(target.address() / 8)
+            }
+            Op::CGetPcc => {
+                self.caps[rd as usize] = self.pcc;
+                Ok(next)
+            }
+        }
+    }
+
+    fn exec_load(
+        &mut self,
+        rd: u8,
+        base: u8,
+        imm: i32,
+        width: u8,
+        signed: bool,
+        via_cap: bool,
+    ) -> Result<(), TrapCause> {
+        let addr = if via_cap {
+            self.cap_addr(base, imm, width as u64, Perms::LOAD)?
+        } else {
+            self.legacy_addr(base, imm, width as u64, Perms::LOAD)?
+        };
+        let v = self.load(addr, width, signed)?;
+        self.set_reg(rd, v);
+        Ok(())
+    }
+
+    fn exec_store(
+        &mut self,
+        rv: u8,
+        base: u8,
+        imm: i32,
+        width: u8,
+        via_cap: bool,
+    ) -> Result<(), TrapCause> {
+        let addr = if via_cap {
+            self.cap_addr(base, imm, width as u64, Perms::STORE)?
+        } else {
+            self.legacy_addr(base, imm, width as u64, Perms::STORE)?
+        };
+        self.store(addr, width, self.reg(rv))
+    }
+
+    fn syscall(&mut self, n: i32) -> Result<(), TrapCause> {
+        let a0 = self.reg(cheri_isa::A0);
+        match n {
+            sys::EXIT => {
+                self.halted = Some(a0 as i64);
+                Ok(())
+            }
+            sys::PUTCHAR => {
+                self.output.push(a0 as u8);
+                Ok(())
+            }
+            sys::PUTINT => {
+                self.output.extend_from_slice((a0 as i64).to_string().as_bytes());
+                Ok(())
+            }
+            sys::MALLOC => {
+                match self.heap.alloc(a0) {
+                    Ok(addr) => {
+                        self.set_reg(cheri_isa::V0, addr);
+                        self.caps[cabi::CV0 as usize] =
+                            Capability::new_mem(addr, a0, Perms::data());
+                    }
+                    Err(_) => {
+                        self.set_reg(cheri_isa::V0, 0);
+                        self.caps[cabi::CV0 as usize] = Capability::null();
+                    }
+                }
+                Ok(())
+            }
+            sys::FREE => {
+                self.heap.free(a0)?;
+                Ok(())
+            }
+            sys::CLOCK => {
+                self.set_reg(cheri_isa::V0, self.cycles);
+                Ok(())
+            }
+            sys::MEMCPY => {
+                let len = self.reg(cheri_isa::A2);
+                let (dst, src) = if self.caps[cabi::CA0 as usize].tag() {
+                    let d = self.caps[cabi::CA0 as usize].check_access(len, Perms::STORE)?;
+                    let s = self.caps[(cabi::CA0 + 1) as usize].check_access(len, Perms::LOAD)?;
+                    (d, s)
+                } else {
+                    let d = self.reg(cheri_isa::A0);
+                    let s = self.reg(cheri_isa::A1);
+                    if d < NULL_GUARD_SIZE || s < NULL_GUARD_SIZE {
+                        return Err(TrapCause::NullGuard { addr: d.min(s) });
+                    }
+                    (d, s)
+                };
+                if len > 0 {
+                    self.mem.memcpy(dst, src, len)?;
+                    // A software copy loop costs ~4 cycles/byte on the
+                    // scalar in-order softcore (load, store, index, branch)
+                    // on top of the cache traffic charged below.
+                    self.cycles += len * 4;
+                    let mut a = 0;
+                    while a < len {
+                        let chunk = (len - a).min(32);
+                        self.charge_mem(src + a, chunk, false);
+                        self.charge_mem(dst + a, chunk, true);
+                        a += 32;
+                    }
+                }
+                Ok(())
+            }
+            other => Err(TrapCause::BadSyscall(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{A0, V0};
+
+    fn run_prog(code: Vec<Instr>) -> Result<(ExitStatus, Vm), VmTrap> {
+        let mut p = Program::new();
+        p.code = code;
+        let mut vm = Vm::new(p, VmConfig::functional());
+        let status = vm.run(1_000_000)?;
+        Ok((status, vm))
+    }
+
+    #[test]
+    fn exit_code_flows_through() {
+        let (s, _) = run_prog(vec![Instr::li(A0, 7), Instr::syscall(sys::EXIT)]).unwrap();
+        assert_eq!(s.code, 7);
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        // Sum 1..=10 with a loop.
+        let code = vec![
+            Instr::li(8, 0),                       // t0 = 0 (sum)
+            Instr::li(9, 1),                       // t1 = 1 (i)
+            Instr::li(10, 10),                     // t2 = 10
+            // loop:
+            Instr::r3(Op::Addu, 8, 8, 9),          // 3: sum += i
+            Instr::i2(Op::Addiu, 9, 9, 1),         // 4: i += 1
+            Instr::r3(Op::Slt, 11, 10, 9),         // 5: t3 = 10 < i
+            Instr::new(Op::Beq, 0, 11, 0, 3),      // 6: if t3 == 0 goto 3
+            Instr::r3(Op::Addu, A0, 8, 0),         // a0 = sum
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 55);
+    }
+
+    #[test]
+    fn trapping_add_overflows() {
+        let code = vec![
+            Instr::li(8, i32::MAX),
+            Instr::i2(Op::Sll, 8, 8, 32),          // t0 = huge
+            Instr::r3(Op::Add, 8, 8, 8),           // overflow
+            Instr::syscall(sys::EXIT),
+        ];
+        let err = run_prog(code).unwrap_err();
+        assert_eq!(err.cause, TrapCause::IntegerOverflow);
+        assert_eq!(err.pc, 2);
+    }
+
+    #[test]
+    fn wrapping_addu_does_not_trap() {
+        let code = vec![
+            Instr::li(8, i32::MAX),
+            Instr::i2(Op::Sll, 8, 8, 32),
+            Instr::r3(Op::Addu, 8, 8, 8),
+            Instr::li(A0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        assert!(run_prog(code).is_ok());
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let code = vec![
+            Instr::li(8, 1),
+            Instr::li(9, 0),
+            Instr::r3(Op::Div, 8, 8, 9),
+            Instr::syscall(sys::EXIT),
+        ];
+        assert_eq!(run_prog(code).unwrap_err().cause, TrapCause::DivideByZero);
+    }
+
+    #[test]
+    fn null_dereference_hits_guard_page() {
+        let code = vec![
+            Instr::li(8, 0),
+            Instr::mem(Op::Ld, 9, 8, 16), // load 16(0)
+            Instr::syscall(sys::EXIT),
+        ];
+        let err = run_prog(code).unwrap_err();
+        assert_eq!(err.cause, TrapCause::NullGuard { addr: 16 });
+    }
+
+    #[test]
+    fn legacy_load_store_round_trip() {
+        let code = vec![
+            Instr::li(8, 0x8000),
+            Instr::li(9, 1234),
+            Instr::mem(Op::Sd, 9, 8, 8),
+            Instr::mem(Op::Ld, 10, 8, 8),
+            Instr::r3(Op::Addu, A0, 10, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 1234);
+    }
+
+    #[test]
+    fn signed_loads_sign_extend() {
+        let code = vec![
+            Instr::li(8, 0x8000),
+            Instr::li(9, -1),
+            Instr::mem(Op::Sb, 9, 8, 0),
+            Instr::mem(Op::Lb, 10, 8, 0),   // -1
+            Instr::mem(Op::Lbu, 11, 8, 0),  // 255
+            Instr::r3(Op::Addu, A0, 10, 11),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 254);
+    }
+
+    #[test]
+    fn malloc_returns_bounded_capability() {
+        let code = vec![
+            Instr::li(A0, 100),
+            Instr::syscall(sys::MALLOC),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (_, vm) = run_prog(code).unwrap();
+        let c = vm.cap(cabi::CV0);
+        assert!(c.tag());
+        assert_eq!(c.length(), 100);
+        assert_eq!(c.base(), vm.reg(V0));
+    }
+
+    #[test]
+    fn capability_load_respects_bounds() {
+        // malloc(8); then try cld at offset 8 (out of bounds).
+        let code = vec![
+            Instr::li(A0, 8),
+            Instr::syscall(sys::MALLOC),
+            Instr::mem(Op::Cld, 9, cabi::CV0, 8),
+            Instr::syscall(sys::EXIT),
+        ];
+        let err = run_prog(code).unwrap_err();
+        assert!(matches!(
+            err.cause,
+            TrapCause::Capability(CapError::BoundsViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn capability_store_and_load_data() {
+        let code = vec![
+            Instr::li(A0, 64),
+            Instr::syscall(sys::MALLOC),
+            Instr::li(9, 4242),
+            Instr::mem(Op::Csd, 9, cabi::CV0, 16),
+            Instr::mem(Op::Cld, 10, cabi::CV0, 16),
+            Instr::r3(Op::Addu, A0, 10, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 4242);
+    }
+
+    #[test]
+    fn clc_csc_move_capabilities_with_tags() {
+        // Store the malloc cap to the stack, reload into c5, use it.
+        let code = vec![
+            Instr::li(A0, 64),
+            Instr::syscall(sys::MALLOC),
+            Instr::mem(Op::Csc, cabi::CV0, cabi::CSP, -64),
+            Instr::mem(Op::Clc, 5, cabi::CSP, -64),
+            Instr::li(9, 9),
+            Instr::mem(Op::Csd, 9, 5, 0),
+            Instr::mem(Op::Cld, 10, 5, 0),
+            Instr::r3(Op::Addu, A0, 10, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 9);
+    }
+
+    #[test]
+    fn plain_store_forges_nothing() {
+        // Overwrite the spilled capability with integer stores, then try to
+        // load and dereference it: tag violation.
+        let code = vec![
+            Instr::li(A0, 64),
+            Instr::syscall(sys::MALLOC),
+            Instr::mem(Op::Csc, cabi::CV0, cabi::CSP, -64),
+            // Scribble over the spilled capability via the stack cap.
+            Instr::li(9, 0x4141),
+            Instr::mem(Op::Csd, 9, cabi::CSP, -64),
+            Instr::mem(Op::Clc, 5, cabi::CSP, -64),
+            Instr::mem(Op::Cld, 10, 5, 0), // deref forged cap
+            Instr::syscall(sys::EXIT),
+        ];
+        let err = run_prog(code).unwrap_err();
+        assert_eq!(err.cause, TrapCause::Capability(CapError::TagViolation));
+    }
+
+    #[test]
+    fn cincoffset_and_bounds_check() {
+        // p = malloc(16); p += 32 (fine); *p traps.
+        let code = vec![
+            Instr::li(A0, 16),
+            Instr::syscall(sys::MALLOC),
+            Instr::li(9, 32),
+            Instr::c_inc_offset(cabi::CV0, cabi::CV0, 9),
+            Instr::mem(Op::Cld, 10, cabi::CV0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let err = run_prog(code).unwrap_err();
+        assert!(matches!(
+            err.cause,
+            TrapCause::Capability(CapError::BoundsViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn candperm_enforces_input_qualifier() {
+        // Derive a read-only view, writing through it traps.
+        let code = vec![
+            Instr::li(A0, 16),
+            Instr::syscall(sys::MALLOC),
+            Instr::li(9, Perms::input().bits() as i32),
+            Instr::cmod(Op::CAndPerm, 5, cabi::CV0, 9),
+            Instr::li(10, 1),
+            Instr::mem(Op::Csd, 10, 5, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let err = run_prog(code).unwrap_err();
+        assert_eq!(
+            err.cause,
+            TrapCause::Capability(CapError::PermissionViolation(Perms::STORE))
+        );
+    }
+
+    #[test]
+    fn cptrcmp_orders_null_before_valid() {
+        let code = vec![
+            Instr::li(A0, 16),
+            Instr::syscall(sys::MALLOC),
+            // c5 = null
+            Instr::cmod(Op::CClearTag, 5, 5, 0),
+            Instr::c_ptr_cmp(A0, 5, cabi::CV0, CmpOp::Ltu),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 1);
+    }
+
+    #[test]
+    fn cfromptr_ctoptr_round_trip() {
+        let code = vec![
+            Instr::li(8, 0x9000),
+            Instr::cmod(Op::CFromPtr, 5, DDC, 8),
+            Instr::new(Op::CToPtr, A0, 5, DDC, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 0x9000);
+    }
+
+    #[test]
+    fn cjalr_confines_execution_to_function() {
+        // Build a code capability for instructions [4, 6) and jump to it.
+        // The callee returns via cjr on the link cap; then exit.
+        let code = vec![
+            Instr::new(Op::CGetPcc, 5, 0, 0, 0),          // c5 = pcc
+            Instr::li(8, 5 * 8),
+            Instr::cmod(Op::CSetOffset, 5, 5, 8),          // offset = callee
+            Instr::new(Op::CJalr, 6, 5, 0, 0),             // call; link in c6
+            Instr::new(Op::J, 0, 0, 0, 7),                 // pc 4: resume -> exit
+            // callee (pc 5): a0 = 77; return
+            Instr::li(A0, 77),
+            Instr::new(Op::CJr, 0, 6, 0, 0),               // pc 6: return to pc 4
+            Instr::syscall(sys::EXIT),                     // pc 7
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 77);
+    }
+
+    #[test]
+    fn output_collects_text() {
+        let code = vec![
+            Instr::li(A0, 'h' as i32),
+            Instr::syscall(sys::PUTCHAR),
+            Instr::li(A0, 'i' as i32),
+            Instr::syscall(sys::PUTCHAR),
+            Instr::li(A0, 42),
+            Instr::syscall(sys::PUTINT),
+            Instr::li(A0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (_, vm) = run_prog(code).unwrap();
+        assert_eq!(vm.output_string(), "hi42");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_trap() {
+        let mut p = Program::new();
+        p.code = vec![Instr::new(Op::J, 0, 0, 0, 0)]; // spin
+        let mut vm = Vm::new(p, VmConfig::functional());
+        let err = vm.run(100).unwrap_err();
+        assert_eq!(err.cause, TrapCause::OutOfFuel);
+    }
+
+    #[test]
+    fn pc_escape_is_caught() {
+        let code = vec![Instr::new(Op::J, 0, 0, 0, 1000)];
+        let err = run_prog(code).unwrap_err();
+        assert!(matches!(err.cause, TrapCause::PccBounds { .. }));
+    }
+
+    #[test]
+    fn free_of_garbage_traps() {
+        let code = vec![
+            Instr::li(A0, 0x1234),
+            Instr::syscall(sys::FREE),
+            Instr::syscall(sys::EXIT),
+        ];
+        let err = run_prog(code).unwrap_err();
+        assert!(matches!(err.cause, TrapCause::Memory(_)));
+    }
+
+    #[test]
+    fn stats_count_ops_and_cycles() {
+        let (s, _) = run_prog(vec![
+            Instr::li(A0, 1),
+            Instr::li(A0, 2),
+            Instr::syscall(sys::EXIT),
+        ])
+        .unwrap();
+        assert_eq!(s.stats.instret, 3);
+        assert_eq!(s.stats.op_count(Op::Li), 2);
+        assert!(s.stats.cycles >= 3);
+        assert_eq!(s.stats.capability_instructions(), 0);
+    }
+
+    #[test]
+    fn cache_model_charges_more_for_cold_misses() {
+        let mut p = Program::new();
+        p.code = vec![
+            Instr::li(8, 0x8000),
+            Instr::mem(Op::Ld, 9, 8, 0),
+            Instr::li(A0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let mut cold = Vm::new(p.clone(), VmConfig::fpga());
+        let cold_cycles = cold.run(100).unwrap().stats.cycles;
+        let mut flat = Vm::new(p, VmConfig::functional());
+        let flat_cycles = flat.run(100).unwrap().stats.cycles;
+        assert!(cold_cycles > flat_cycles);
+    }
+}

@@ -1,0 +1,113 @@
+//! Trap causes and reporting.
+
+use cheri_cap::CapError;
+use cheri_isa::DecodeError;
+use cheri_mem::MemError;
+use std::error::Error;
+use std::fmt;
+
+/// Why the machine trapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrapCause {
+    /// A capability check failed (tag, seal, permission, bounds…).
+    Capability(CapError),
+    /// The physical memory access failed (out of backing store,
+    /// misalignment).
+    Memory(MemError),
+    /// A legacy access hit the unmapped low guard page — the page-protection
+    /// "segmentation fault" of conventional implementations.
+    NullGuard {
+        /// The faulting virtual address.
+        addr: u64,
+    },
+    /// Trapping signed arithmetic (`add`/`sub`/`addi`) overflowed (§3.1.1).
+    IntegerOverflow,
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// The program counter left the PCC's bounds.
+    PccBounds {
+        /// The faulting instruction index.
+        pc: u64,
+    },
+    /// An undefined instruction word was fetched.
+    BadInstruction(DecodeError),
+    /// An unknown syscall number.
+    BadSyscall(i32),
+    /// `break` executed.
+    Breakpoint,
+    /// The fuel budget given to [`crate::Vm::run`] ran out.
+    OutOfFuel,
+}
+
+impl fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapCause::Capability(e) => write!(f, "capability exception: {e}"),
+            TrapCause::Memory(e) => write!(f, "memory exception: {e}"),
+            TrapCause::NullGuard { addr } => {
+                write!(f, "segmentation fault: access at {addr:#x} in the null guard page")
+            }
+            TrapCause::IntegerOverflow => write!(f, "trapped signed integer overflow"),
+            TrapCause::DivideByZero => write!(f, "integer division by zero"),
+            TrapCause::PccBounds { pc } => write!(f, "pc {pc} left the PCC bounds"),
+            TrapCause::BadInstruction(e) => write!(f, "illegal instruction: {e}"),
+            TrapCause::BadSyscall(n) => write!(f, "unknown syscall {n}"),
+            TrapCause::Breakpoint => write!(f, "breakpoint"),
+            TrapCause::OutOfFuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+/// A trap, located at the instruction that raised it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmTrap {
+    /// Instruction index at which the trap was raised.
+    pub pc: u64,
+    /// The cause.
+    pub cause: TrapCause,
+}
+
+impl fmt::Display for VmTrap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trap at pc {}: {}", self.pc, self.cause)
+    }
+}
+
+impl Error for VmTrap {}
+
+impl From<CapError> for TrapCause {
+    fn from(e: CapError) -> TrapCause {
+        TrapCause::Capability(e)
+    }
+}
+
+impl From<MemError> for TrapCause {
+    fn from(e: MemError) -> TrapCause {
+        TrapCause::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let t = VmTrap {
+            pc: 12,
+            cause: TrapCause::Capability(CapError::TagViolation),
+        };
+        let s = t.to_string();
+        assert!(s.contains("pc 12"));
+        assert!(s.contains("tag"));
+        assert!(TrapCause::NullGuard { addr: 0 }.to_string().contains("segmentation"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let c: TrapCause = CapError::TagViolation.into();
+        assert_eq!(c, TrapCause::Capability(CapError::TagViolation));
+        let m: TrapCause = MemError::Misaligned { addr: 1 }.into();
+        assert!(matches!(m, TrapCause::Memory(_)));
+    }
+}

@@ -1,0 +1,26 @@
+//! The paper's evaluation workloads, §5.2, as mini-C programs:
+//!
+//! * **Olden** kernels (`bisort`, `mst`, `treeadd`, `perimeter`) — "heavy
+//!   in pointer use and so demonstrates a worst case for CHERI".
+//! * **Dhrystone** — "a less pointer-intensive benchmark".
+//! * **tcpdump-lite** — an Ethernet/IPv4/TCP/UDP/ICMP dissector written in
+//!   the hand-rolled bounds-checking style of the real tcpdump, with
+//!   baseline, CHERIv2-port and CHERIv3-port variants (Table 4's subject).
+//! * **zlib-lite** — an LZ77-style compressor behind a `zstream` library
+//!   boundary, in plain and boundary-copying configurations (Figure 4).
+//!
+//! Plus the machinery around them:
+//!
+//! * [`runner`] — compile-and-execute on the [`cheri_vm`] emulator with
+//!   input poking by symbol.
+//! * [`inputs`] — deterministic packet-trace and file generators standing
+//!   in for the OSDI'06 CRAWDAD trace and the paper's test files.
+//! * [`porting`] — the Table 4 line-diff classifier separating
+//!   `__capability` annotations from semantic changes.
+
+pub mod inputs;
+pub mod porting;
+pub mod runner;
+pub mod sources;
+
+pub use runner::{run_workload, RunOutcome, WorkloadError};

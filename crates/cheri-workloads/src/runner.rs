@@ -1,0 +1,253 @@
+//! Compile-and-run plumbing for the workloads.
+
+use cheri_cache::CacheStats;
+use cheri_compile::{compile, Abi, CompileError};
+use cheri_vm::{Vm, VmConfig, VmTrap};
+use std::error::Error;
+use std::fmt;
+
+/// A workload execution failed.
+#[derive(Clone, Debug)]
+pub enum WorkloadError {
+    /// Compilation failed (e.g. pointer subtraction under CHERIv2).
+    Compile(CompileError),
+    /// The machine trapped.
+    Trap(VmTrap),
+    /// An input symbol was not found in the program image.
+    MissingSymbol(String),
+    /// An input did not fit its buffer.
+    InputTooLarge {
+        /// The symbol being filled.
+        symbol: String,
+        /// Bytes provided.
+        provided: u64,
+        /// Buffer capacity.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Compile(e) => write!(f, "compile error: {e}"),
+            WorkloadError::Trap(t) => write!(f, "vm trap: {t}"),
+            WorkloadError::MissingSymbol(s) => write!(f, "no such symbol: {s}"),
+            WorkloadError::InputTooLarge { symbol, provided, capacity } => write!(
+                f,
+                "input for {symbol} is {provided} bytes but the buffer holds {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+impl From<CompileError> for WorkloadError {
+    fn from(e: CompileError) -> WorkloadError {
+        WorkloadError::Compile(e)
+    }
+}
+
+impl From<VmTrap> for WorkloadError {
+    fn from(e: VmTrap) -> WorkloadError {
+        WorkloadError::Trap(e)
+    }
+}
+
+/// The result of one workload run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Exit code (0 on success).
+    pub exit: i64,
+    /// Console output — compared across ABIs for correctness.
+    pub output: String,
+    /// Cycles charged by the machine (pipeline + cache model).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instret: u64,
+    /// Cache statistics, when the cache model is enabled.
+    pub cache: Option<CacheStats>,
+    /// CHERI-extension instructions retired.
+    pub cap_instructions: u64,
+}
+
+impl RunOutcome {
+    /// Seconds at the paper's 100 MHz softcore clock.
+    pub fn seconds_at_100mhz(&self) -> f64 {
+        self.cycles as f64 / 100.0e6
+    }
+}
+
+/// Compiles `source` for `abi`, pokes `inputs` into the named global
+/// buffers, and runs to completion.
+///
+/// # Errors
+///
+/// [`WorkloadError`] on compile failure, missing symbols, or traps.
+pub fn run_workload(
+    source: &str,
+    abi: Abi,
+    cfg: VmConfig,
+    inputs: &[(&str, &[u8])],
+    fuel: u64,
+) -> Result<RunOutcome, WorkloadError> {
+    let prog = compile(source, abi)?;
+    let symbols = prog.symbols.clone();
+    let mut vm = Vm::new(prog, cfg);
+    for (name, bytes) in inputs {
+        let sym = symbols
+            .iter()
+            .find(|s| !s.is_func && s.name == *name)
+            .ok_or_else(|| WorkloadError::MissingSymbol((*name).to_string()))?;
+        if bytes.len() as u64 > sym.size {
+            return Err(WorkloadError::InputTooLarge {
+                symbol: (*name).to_string(),
+                provided: bytes.len() as u64,
+                capacity: sym.size,
+            });
+        }
+        vm.mem_mut()
+            .write_bytes(sym.value, bytes)
+            .expect("symbol points into the data segment");
+    }
+    let status = vm.run(fuel)?;
+    let stats = status.stats;
+    Ok(RunOutcome {
+        exit: status.code,
+        output: vm.output_string(),
+        cycles: stats.cycles,
+        instret: stats.instret,
+        cache: stats.cache,
+        cap_instructions: stats.capability_instructions(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{inputs, sources};
+
+    const FUEL: u64 = 2_000_000_000;
+
+    fn run_fast(src: &str, abi: Abi, inputs: &[(&str, &[u8])]) -> RunOutcome {
+        run_workload(src, abi, VmConfig::functional(), inputs, FUEL)
+            .unwrap_or_else(|e| panic!("{abi}: {e}"))
+    }
+
+    fn identical_across_abis(src: &str, ins: &[(&str, &[u8])]) -> RunOutcome {
+        let base = run_fast(src, Abi::Mips, ins);
+        assert_eq!(base.exit, 0, "MIPS run failed: {}", base.output);
+        for abi in [Abi::CheriV2, Abi::CheriV3] {
+            let r = run_fast(src, abi, ins);
+            assert_eq!(r.output, base.output, "{abi} output differs");
+            assert_eq!(r.exit, 0);
+            assert!(r.cap_instructions > 0, "{abi} should execute capability ops");
+        }
+        base
+    }
+
+    #[test]
+    fn treeadd_matches_across_abis() {
+        let r = identical_across_abis(&sources::treeadd(6, 3), &[]);
+        // 2^6 - 1 = 63 nodes, 3 passes.
+        assert_eq!(r.output.trim(), "189");
+    }
+
+    #[test]
+    fn bisort_sorts_and_matches() {
+        identical_across_abis(&sources::bisort(64), &[]);
+    }
+
+    #[test]
+    fn perimeter_matches() {
+        identical_across_abis(&sources::perimeter(4), &[]);
+    }
+
+    #[test]
+    fn mst_matches() {
+        identical_across_abis(&sources::mst(16), &[]);
+    }
+
+    #[test]
+    fn dhrystone_matches() {
+        identical_across_abis(&sources::dhrystone(50), &[]);
+    }
+
+    #[test]
+    fn tcpdump_baseline_runs_on_mips_and_v3() {
+        let trace = inputs::packet_trace(200, 42);
+        let src = sources::tcpdump_baseline();
+        let a = run_fast(&src, Abi::Mips, &[("trace", &trace)]);
+        let b = run_fast(&src, Abi::CheriV3, &[("trace", &trace)]);
+        assert_eq!(a.output, b.output);
+        // The counters should show a realistic mix.
+        let fields: Vec<i64> = a
+            .output
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert_eq!(fields.len(), 6);
+        assert!(fields[0] > fields[1], "more TCP than UDP");
+        assert!(fields[0] + fields[1] + fields[2] + fields[3] + fields[4] == 200);
+    }
+
+    #[test]
+    fn tcpdump_baseline_cannot_compile_for_v2() {
+        let err = cheri_compile::compile(&sources::tcpdump_baseline(), Abi::CheriV2).unwrap_err();
+        assert!(err.msg.contains("subtraction"));
+    }
+
+    #[test]
+    fn tcpdump_v2_port_runs_everywhere_with_same_output() {
+        let trace = inputs::packet_trace(150, 11);
+        let ported = sources::tcpdump_cheriv2();
+        let base = run_fast(&sources::tcpdump_baseline(), Abi::Mips, &[("trace", &trace)]);
+        for abi in Abi::ALL {
+            let r = run_fast(&ported, abi, &[("trace", &trace)]);
+            assert_eq!(r.output, base.output, "{abi}");
+        }
+    }
+
+    #[test]
+    fn tcpdump_v3_port_matches_baseline() {
+        let trace = inputs::packet_trace(100, 5);
+        let base = run_fast(&sources::tcpdump_baseline(), Abi::CheriV3, &[("trace", &trace)]);
+        let v3 = run_fast(&sources::tcpdump_cheriv3(), Abi::CheriV3, &[("trace", &trace)]);
+        assert_eq!(v3.output, base.output);
+    }
+
+    #[test]
+    fn zlib_compresses_and_matches() {
+        let file = inputs::compressible_file(8192, 9);
+        let plain = sources::zlib(8192, false);
+        let base = identical_across_abis(&plain, &[("input", &file)]);
+        let total_out: i64 = base.output.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(total_out > 0);
+        assert!(
+            (total_out as usize) < 8192,
+            "compressible input should shrink: {total_out}"
+        );
+    }
+
+    #[test]
+    fn zlib_copying_produces_identical_stream() {
+        let file = inputs::compressible_file(8192, 9);
+        let plain = run_fast(&sources::zlib(8192, false), Abi::CheriV3, &[("input", &file)]);
+        let copy = run_fast(&sources::zlib(8192, true), Abi::CheriV3, &[("input", &file)]);
+        assert_eq!(plain.output, copy.output, "copying must not change the stream");
+        assert!(copy.instret > plain.instret, "copying costs work");
+    }
+
+    #[test]
+    fn missing_symbol_is_reported() {
+        let e = run_workload(
+            "int main(void) { return 0; }",
+            Abi::Mips,
+            cheri_vm::VmConfig::functional(),
+            &[("nope", &[1, 2, 3])],
+            1000,
+        )
+        .unwrap_err();
+        assert!(matches!(e, WorkloadError::MissingSymbol(_)));
+    }
+}

@@ -1,0 +1,604 @@
+//! Mini-C sources for every workload.
+//!
+//! Each generator takes its scale parameters so the bench harness can sweep
+//! them; defaults mirror the paper's setup scaled to emulator speeds.
+
+/// Olden `treeadd`: build a binary tree on the heap, sum it repeatedly.
+pub fn treeadd(depth: u32, passes: u32) -> String {
+    format!(
+        r#"
+struct tree {{ long val; struct tree *left; struct tree *right; }};
+
+struct tree *build(int depth) {{
+    struct tree *t = (struct tree*)malloc(sizeof(struct tree));
+    t->val = 1;
+    t->left = 0;
+    t->right = 0;
+    if (depth > 1) {{
+        t->left = build(depth - 1);
+        t->right = build(depth - 1);
+    }}
+    return t;
+}}
+
+long sum(struct tree *t) {{
+    if (!t) {{ return 0; }}
+    return t->val + sum(t->left) + sum(t->right);
+}}
+
+int main(void) {{
+    struct tree *t = build({depth});
+    long s = 0;
+    for (int i = 0; i < {passes}; i++) {{
+        s = s + sum(t);
+    }}
+    putint(s);
+    putchar(10);
+    return 0;
+}}
+"#
+    )
+}
+
+/// Olden `bisort` (simplified to a linked-list merge sort — the pointer
+/// behaviour, allocation pattern and traversal are what matter).
+pub fn bisort(n: u32) -> String {
+    format!(
+        r#"
+struct node {{ long v; struct node *next; }};
+
+unsigned long seed = 12345;
+
+long rnd(void) {{
+    seed = seed * 1103515245 + 12345;
+    return (long)((seed >> 16) & 32767);
+}}
+
+struct node *mklist(int n) {{
+    struct node *head = 0;
+    for (int i = 0; i < n; i++) {{
+        struct node *x = (struct node*)malloc(sizeof(struct node));
+        x->v = rnd();
+        x->next = head;
+        head = x;
+    }}
+    return head;
+}}
+
+struct node *merge(struct node *a, struct node *b) {{
+    struct node dummy;
+    struct node *tail = &dummy;
+    dummy.next = 0;
+    while (a && b) {{
+        if (a->v <= b->v) {{ tail->next = a; a = a->next; }}
+        else {{ tail->next = b; b = b->next; }}
+        tail = tail->next;
+    }}
+    tail->next = a ? a : b;
+    return dummy.next;
+}}
+
+struct node *msort(struct node *head) {{
+    if (!head) {{ return 0; }}
+    if (!head->next) {{ return head; }}
+    struct node *slow = head;
+    struct node *fast = head->next;
+    while (fast && fast->next) {{
+        slow = slow->next;
+        fast = fast->next->next;
+    }}
+    struct node *mid = slow->next;
+    slow->next = 0;
+    return merge(msort(head), msort(mid));
+}}
+
+int main(void) {{
+    struct node *l = mklist({n});
+    l = msort(l);
+    long check = 0;
+    long i = 0;
+    long sorted = 1;
+    struct node *p = l;
+    while (p) {{
+        check = check + p->v * (i % 7 + 1);
+        if (p->next && p->next->v < p->v) {{ sorted = 0; }}
+        p = p->next;
+        i = i + 1;
+    }}
+    assert(sorted == 1);
+    putint(check);
+    putchar(10);
+    return 0;
+}}
+"#
+    )
+}
+
+/// Olden `perimeter` (quadtree build + recursive traversal).
+pub fn perimeter(depth: u32) -> String {
+    format!(
+        r#"
+struct quad {{ int color; struct quad *nw; struct quad *ne; struct quad *sw; struct quad *se; }};
+
+struct quad *build(int depth, unsigned long path) {{
+    struct quad *q = (struct quad*)malloc(sizeof(struct quad));
+    q->nw = 0;
+    q->ne = 0;
+    q->sw = 0;
+    q->se = 0;
+    if (depth == 0) {{
+        q->color = (int)(path % 3 == 0);
+        return q;
+    }}
+    q->color = 2;
+    q->nw = build(depth - 1, path * 2 + 1);
+    q->ne = build(depth - 1, path * 3 + 1);
+    q->sw = build(depth - 1, path * 5 + 1);
+    q->se = build(depth - 1, path * 7 + 1);
+    return q;
+}}
+
+long perim(struct quad *q, long size) {{
+    if (q->color != 2) {{
+        if (q->color == 1) {{ return 4 * size; }}
+        return 0;
+    }}
+    return perim(q->nw, size / 2) + perim(q->ne, size / 2)
+         + perim(q->sw, size / 2) + perim(q->se, size / 2);
+}}
+
+int main(void) {{
+    struct quad *q = build({depth}, 1);
+    long p = perim(q, 4096);
+    putint(p);
+    putchar(10);
+    return 0;
+}}
+"#
+    )
+}
+
+/// Olden `mst` (adjacency lists on the heap, Prim's algorithm).
+pub fn mst(nv: u32) -> String {
+    format!(
+        r#"
+struct edge {{ int to; long w; struct edge *next; }};
+struct vert {{ struct edge *adj; long key; int done; }};
+
+struct vert verts[{nv}];
+unsigned long seed = 99;
+
+long rnd(void) {{
+    seed = seed * 1103515245 + 12345;
+    return (long)((seed >> 16) & xFFFF);
+}}
+
+void addedge(int a, int b, long w) {{
+    struct edge *e = (struct edge*)malloc(sizeof(struct edge));
+    e->to = b;
+    e->w = w;
+    e->next = verts[a].adj;
+    verts[a].adj = e;
+}}
+
+int main(void) {{
+    for (int i = 0; i < {nv}; i++) {{
+        verts[i].adj = 0;
+        verts[i].key = 1000000;
+        verts[i].done = 0;
+    }}
+    for (int i = 0; i < {nv}; i++) {{
+        for (int j = 1; j <= 3; j++) {{
+            int b = (i * 7 + j * 11) % {nv};
+            if (b != i) {{
+                long w = rnd() % 100 + 1;
+                addedge(i, b, w);
+                addedge(b, i, w);
+            }}
+        }}
+    }}
+    verts[0].key = 0;
+    long total = 0;
+    for (int it = 0; it < {nv}; it++) {{
+        int best = 0 - 1;
+        for (int i = 0; i < {nv}; i++) {{
+            if (!verts[i].done && (best < 0 || verts[i].key < verts[best].key)) {{
+                best = i;
+            }}
+        }}
+        verts[best].done = 1;
+        total = total + verts[best].key;
+        struct edge *e = verts[best].adj;
+        while (e) {{
+            if (!verts[e->to].done && e->w < verts[e->to].key) {{
+                verts[e->to].key = e->w;
+            }}
+            e = e->next;
+        }}
+    }}
+    putint(total);
+    putchar(10);
+    return 0;
+}}
+"#
+    )
+    .replace("xFFFF", "65535")
+}
+
+/// Dhrystone-like synthetic integer/string benchmark (scalar-heavy, few
+/// pointers — the case where CHERI is expected to cost nothing).
+pub fn dhrystone(runs: u32) -> String {
+    format!(
+        r#"
+struct record {{
+    int discr;
+    int enum_comp;
+    int int_comp;
+    char str_comp[32];
+    struct record *ptr_comp;
+}};
+
+struct record glob_a;
+struct record glob_b;
+int int_glob = 0;
+char str_1[32];
+char str_2[32];
+
+int func_1(int ch1, int ch2) {{
+    int ch1_loc = ch1;
+    if (ch1_loc != ch2) {{ return 0; }}
+    return 1;
+}}
+
+int func_2(char *s1, char *s2) {{
+    if (strcmp(s1, s2) > 0) {{
+        int_glob = int_glob + 7;
+        return 1;
+    }}
+    return 0;
+}}
+
+void proc_3(struct record *p) {{
+    p->int_comp = 5;
+    if (p->ptr_comp) {{
+        p->ptr_comp->int_comp = p->int_comp + 10;
+    }}
+}}
+
+void proc_2(struct record *p) {{
+    memcpy(&glob_b, p, sizeof(struct record));
+    glob_b.int_comp = p->int_comp * 2;
+    proc_3(&glob_b);
+}}
+
+int proc_1(int iter) {{
+    int sum = 0;
+    glob_a.discr = 0;
+    glob_a.enum_comp = iter % 3;
+    glob_a.int_comp = iter;
+    glob_a.ptr_comp = &glob_b;
+    proc_2(&glob_a);
+    sum = sum + glob_b.int_comp;
+    for (int i = 0; i < 8; i++) {{
+        sum = sum + i * iter;
+        if (func_1((int)str_1[i % 5], (int)str_2[i % 5])) {{
+            sum = sum + 1;
+        }}
+    }}
+    if (func_2(str_1, str_2)) {{ sum = sum - 3; }}
+    return sum;
+}}
+
+int main(void) {{
+    memcpy(str_1, "DHRYSTONE PROGRAM, 1'ST", 24);
+    memcpy(str_2, "DHRYSTONE PROGRAM, 2'ND", 24);
+    long total = 0;
+    for (int run = 0; run < {runs}; run++) {{
+        total = total + proc_1(run);
+    }}
+    putint(total);
+    putchar(10);
+    return 0;
+}}
+"#
+    )
+}
+
+/// Size of the tcpdump trace buffer (bytes).
+pub const TRACE_CAP: u32 = 262_144;
+
+fn tcpdump_common(parse_fn: &str) -> String {
+    format!(
+        r#"
+unsigned char trace[{TRACE_CAP}];
+long n_tcp = 0;
+long n_udp = 0;
+long n_icmp = 0;
+long n_other = 0;
+long n_malformed = 0;
+long port_sum = 0;
+
+{parse_fn}
+
+int main(void) {{
+    long count = ((long)trace[0] << 24) | ((long)trace[1] << 16)
+               | ((long)trace[2] << 8) | (long)trace[3];
+    long off = 4;
+    for (long i = 0; i < count; i++) {{
+        long caplen = ((long)trace[off] << 8) | (long)trace[off + 1];
+        off = off + 2;
+        long r = parse_packet(trace + off, caplen);
+        if (r < 0) {{ n_malformed = n_malformed + 1; }}
+        off = off + caplen;
+    }}
+    putint(n_tcp); putchar(32);
+    putint(n_udp); putchar(32);
+    putint(n_icmp); putchar(32);
+    putint(n_other); putchar(32);
+    putint(n_malformed); putchar(32);
+    putint(port_sum); putchar(10);
+    return 0;
+}}
+"#
+    )
+}
+
+/// tcpdump-lite, baseline: the classic pointer-arithmetic dissector style
+/// ("packet dissection involves substantial pointer arithmetic —
+/// ironically, frequently in service of hand-crafted software bounds
+/// checking", §5.2).
+pub fn tcpdump_baseline() -> String {
+    tcpdump_common(
+        r#"long parse_packet(const unsigned char *p, long caplen) {
+    const unsigned char *end = p + caplen;
+    if (p + 14 > end) { return -1; }
+    int ethertype = ((int)p[12] << 8) | (int)p[13];
+    if (ethertype != 2048) { n_other = n_other + 1; return 0; }
+    const unsigned char *ip = p + 14;
+    if (ip + 20 > end) { return -1; }
+    int ihl = ((int)ip[0] & 15) * 4;
+    if (ihl < 20) { return -1; }
+    if (ip + ihl > end) { return -1; }
+    int proto = (int)ip[9];
+    const unsigned char *l4 = ip + ihl;
+    long remain = end - l4;
+    if (proto == 6) {
+        if (remain < 20) { return -1; }
+        int sport = ((int)l4[0] << 8) | (int)l4[1];
+        int dport = ((int)l4[2] << 8) | (int)l4[3];
+        n_tcp = n_tcp + 1;
+        port_sum = port_sum + sport + dport;
+    } else if (proto == 17) {
+        if (remain < 8) { return -1; }
+        int sport = ((int)l4[0] << 8) | (int)l4[1];
+        int dport = ((int)l4[2] << 8) | (int)l4[3];
+        n_udp = n_udp + 1;
+        port_sum = port_sum + sport + dport;
+    } else if (proto == 1) {
+        if (remain < 4) { return -1; }
+        n_icmp = n_icmp + 1;
+    } else {
+        n_other = n_other + 1;
+    }
+    return 0;
+}"#,
+    )
+}
+
+/// tcpdump-lite ported to CHERIv2: every pointer subtraction and
+/// backward-looking comparison rewritten in terms of indices — the ~2.5%
+/// semantic rewrite the paper reports (Table 4).
+pub fn tcpdump_cheriv2() -> String {
+    tcpdump_common(
+        r#"long parse_packet(const unsigned char *p, long caplen) {
+    long limit = caplen;
+    if (14 > limit) { return -1; }
+    int ethertype = ((int)p[12] << 8) | (int)p[13];
+    if (ethertype != 2048) { n_other = n_other + 1; return 0; }
+    long ip = 14;
+    if (ip + 20 > limit) { return -1; }
+    int ihl = ((int)p[ip] & 15) * 4;
+    if (ihl < 20) { return -1; }
+    if (ip + ihl > limit) { return -1; }
+    int proto = (int)p[ip + 9];
+    long l4 = ip + ihl;
+    long remain = limit - l4;
+    if (proto == 6) {
+        if (remain < 20) { return -1; }
+        int sport = ((int)p[l4] << 8) | (int)p[l4 + 1];
+        int dport = ((int)p[l4 + 2] << 8) | (int)p[l4 + 3];
+        n_tcp = n_tcp + 1;
+        port_sum = port_sum + sport + dport;
+    } else if (proto == 17) {
+        if (remain < 8) { return -1; }
+        int sport = ((int)p[l4] << 8) | (int)p[l4 + 1];
+        int dport = ((int)p[l4 + 2] << 8) | (int)p[l4 + 3];
+        n_udp = n_udp + 1;
+        port_sum = port_sum + sport + dport;
+    } else if (proto == 1) {
+        if (remain < 4) { return -1; }
+        n_icmp = n_icmp + 1;
+    } else {
+        n_other = n_other + 1;
+    }
+    return 0;
+}"#,
+    )
+}
+
+/// tcpdump-lite ported to CHERIv3: identical to the baseline except two
+/// lines granting the parser read-only (`__input`) access to the packet —
+/// "this change was not strictly required, but provided stronger and
+/// finer-grained protection" (§5.2).
+pub fn tcpdump_cheriv3() -> String {
+    let base = tcpdump_baseline();
+    base.replace(
+        "long parse_packet(const unsigned char *p, long caplen) {\n    const unsigned char *end = p + caplen;",
+        "long parse_packet(const unsigned char * __input p, long caplen) {\n    const unsigned char * __input end = p + caplen;",
+    )
+}
+
+/// Capacity of the zlib input buffer.
+pub const ZLIB_IN_CAP: u32 = 262_144;
+/// Capacity of the zlib output buffer.
+pub const ZLIB_OUT_CAP: u32 = 393_216;
+
+/// zlib-lite: LZ77-ish compressor behind a `zstream` boundary.
+///
+/// `copying` selects the binary-compatibility configuration that bounces
+///每 chunk through boundary buffers ("copying structures … whenever they
+/// are passed across the library boundary", §5.2, Figure 4's
+/// "CHERI (copying)" series).
+pub fn zlib(file_size: u32, copying: bool) -> String {
+    let driver = if copying { "deflate_boundary" } else { "deflate_chunk" };
+    format!(
+        r#"
+unsigned char input[{ZLIB_IN_CAP}];
+unsigned char output[{ZLIB_OUT_CAP}];
+unsigned char in_bounce[4096];
+unsigned char out_bounce[4640];
+long prev_pos[4096];
+
+struct zstream {{
+    const unsigned char *next_in;
+    long avail_in;
+    unsigned char *next_out;
+    long avail_out;
+    long total_out;
+    unsigned long adler;
+}};
+
+long deflate_chunk(struct zstream *s) {{
+    long n = s->avail_in;
+    if (n > 4096) {{ n = 4096; }}
+    const unsigned char *src = s->next_in;
+    unsigned char *dst = s->next_out;
+    for (long h = 0; h < 4096; h++) {{ prev_pos[h] = 0; }}
+    long out = 0;
+    long i = 0;
+    while (i < n) {{
+        long len = 0;
+        long dist = 0;
+        if (i + 2 < n) {{
+            long hash = ((long)src[i] * 31 + (long)src[i + 1] * 7 + (long)src[i + 2]) & 4095;
+            long cand = prev_pos[hash] - 1;
+            prev_pos[hash] = i + 1;
+            if (cand >= 0 && cand < i) {{
+                while (len < 60 && i + len < n && src[cand + len] == src[i + len]) {{
+                    len = len + 1;
+                }}
+                dist = i - cand;
+            }}
+        }}
+        if (len >= 4 && dist < 65536) {{
+            dst[out] = 255;
+            dst[out + 1] = (unsigned char)len;
+            dst[out + 2] = (unsigned char)(dist >> 8);
+            dst[out + 3] = (unsigned char)(dist & 255);
+            out = out + 4;
+            long j = 0;
+            while (j < len) {{
+                s->adler = (s->adler + (unsigned long)src[i + j]) % 65521;
+                j = j + 1;
+            }}
+            i = i + len;
+        }} else {{
+            unsigned char c = src[i];
+            if (c == 255) {{
+                dst[out] = 255;
+                dst[out + 1] = 0;
+                out = out + 2;
+            }} else {{
+                dst[out] = c;
+                out = out + 1;
+            }}
+            s->adler = (s->adler + (unsigned long)c) % 65521;
+            i = i + 1;
+        }}
+    }}
+    s->next_in = src + n;
+    s->avail_in = s->avail_in - n;
+    s->next_out = dst + out;
+    s->avail_out = s->avail_out - out;
+    s->total_out = s->total_out + out;
+    return n;
+}}
+
+long deflate_boundary(struct zstream *s) {{
+    struct zstream tmp;
+    long n = s->avail_in;
+    if (n > 4096) {{ n = 4096; }}
+    memcpy(in_bounce, s->next_in, (unsigned long)n);
+    tmp.next_in = in_bounce;
+    tmp.avail_in = n;
+    tmp.next_out = out_bounce;
+    tmp.avail_out = 4640;
+    tmp.total_out = 0;
+    tmp.adler = s->adler;
+    deflate_chunk(&tmp);
+    memcpy(s->next_out, out_bounce, (unsigned long)tmp.total_out);
+    s->next_in = s->next_in + n;
+    s->avail_in = s->avail_in - n;
+    s->next_out = s->next_out + tmp.total_out;
+    s->avail_out = s->avail_out - tmp.total_out;
+    s->total_out = s->total_out + tmp.total_out;
+    s->adler = tmp.adler;
+    return n;
+}}
+
+int main(void) {{
+    struct zstream s;
+    s.next_in = input;
+    s.avail_in = {file_size};
+    s.next_out = output;
+    s.avail_out = {ZLIB_OUT_CAP};
+    s.total_out = 0;
+    s.adler = 1;
+    while (s.avail_in > 0) {{
+        {driver}(&s);
+    }}
+    putint(s.total_out);
+    putchar(32);
+    putint((long)s.adler);
+    putchar(10);
+    return 0;
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_parse() {
+        for (name, src) in [
+            ("treeadd", treeadd(4, 2)),
+            ("bisort", bisort(32)),
+            ("perimeter", perimeter(3)),
+            ("mst", mst(16)),
+            ("dhrystone", dhrystone(5)),
+            ("tcpdump baseline", tcpdump_baseline()),
+            ("tcpdump v2", tcpdump_cheriv2()),
+            ("tcpdump v3", tcpdump_cheriv3()),
+            ("zlib", zlib(4096, false)),
+            ("zlib copying", zlib(4096, true)),
+        ] {
+            cheri_c::parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tcpdump_v3_differs_in_two_lines() {
+        let base = tcpdump_baseline();
+        let v3 = tcpdump_cheriv3();
+        let diff: Vec<(&str, &str)> = base
+            .lines()
+            .zip(v3.lines())
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert_eq!(diff.len(), 2, "exactly the paper's two changed lines");
+        assert!(diff.iter().all(|(_, b)| b.contains("__input")));
+    }
+}

@@ -1,0 +1,50 @@
+//! # `cheri` — a memory-safe C abstract machine on the CHERI capability model
+//!
+//! This is the facade crate of a full reproduction of *Beyond the PDP-11:
+//! Architectural support for a memory-safe C abstract machine* (Chisnall et
+//! al., ASPLOS 2015). It re-exports every subsystem:
+//!
+//! * [`cap`] — the CHERIv2/CHERIv3 capability model (fat capabilities with
+//!   base, length, offset, permissions; tagged; sealable).
+//! * [`mem`] — the tagged-memory substrate (1 tag bit per 32-byte granule)
+//!   and a bounds-handing allocator.
+//! * [`cache`] — a set-associative cache-hierarchy simulator used for the
+//!   performance evaluation (16 KB L1 / 64 KB L2, as on the paper's FPGA).
+//! * [`isa`] — the MIPS-like 64-bit ISA plus the CHERI extension
+//!   instructions of the paper's Table 2.
+//! * [`vm`] — a cycle-approximate CPU emulator executing that ISA.
+//! * [`c`] — a mini-C frontend (lexer, parser, typed AST).
+//! * [`interp`] — the paper's "simple abstract machine interpreter" with
+//!   seven pluggable memory models (PDP-11, HardBound, Intel MPX, Relaxed,
+//!   Strict, CHERIv2, CHERIv3).
+//! * [`idioms`] — the pointer-idiom taxonomy, test cases, static analyzer
+//!   and synthetic corpus generator behind Tables 1 and 3.
+//! * [`compile`] — a mini-C → ISA code generator with MIPS, CHERIv2 and
+//!   CHERIv3 ABIs.
+//! * [`gc`] — the tag-accurate copying/generational collector sketched in
+//!   the paper's §4.2.
+//! * [`workloads`] — Olden, Dhrystone, tcpdump-lite and zlib-lite sources
+//!   plus the porting-effort tooling behind Table 4 and Figures 1–4.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cheri::cap::{Capability, Perms};
+//!
+//! // An allocation is a capability: bounds travel with the pointer.
+//! let buf = Capability::new_mem(0x1_0000, 128, Perms::data());
+//! let p = buf.inc_offset(200).unwrap();      // arithmetic may roam...
+//! assert!(p.check_access(1, Perms::LOAD).is_err()); // ...dereference may not
+//! ```
+
+pub use cheri_cap as cap;
+pub use cheri_mem as mem;
+pub use cheri_cache as cache;
+pub use cheri_isa as isa;
+pub use cheri_vm as vm;
+pub use cheri_c as c;
+pub use cheri_interp as interp;
+pub use cheri_idioms as idioms;
+pub use cheri_compile as compile;
+pub use cheri_gc as gc;
+pub use cheri_workloads as workloads;

@@ -1,0 +1,108 @@
+//! Differential testing: generated programs must behave identically on all
+//! ten substrates — the seven interpreter memory models and the three
+//! compiled ABIs. Any divergence is a bug in a model, the code generator,
+//! or the emulator.
+
+use cheri::compile::{compile, Abi};
+use cheri::interp::{run_main, ModelKind};
+use cheri::vm::{Vm, VmConfig};
+use proptest::prelude::*;
+
+/// A tiny expression grammar: integer arithmetic, comparisons and array
+/// reads with in-bounds indices, rendered as mini-C.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Var(usize),
+    Arr(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+}
+
+const NVARS: usize = 3;
+const ARR_LEN: usize = 5;
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(E::Lit),
+        (0..NVARS).prop_map(E::Var),
+        (0..ARR_LEN).prop_map(E::Arr),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| E::Ternary(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Lit(v) => format!("({v})"),
+        E::Var(i) => format!("v{i}"),
+        E::Arr(i) => format!("a[{i}]"),
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        // Guard division by zero at the source level, as C programmers do.
+        E::Div(a, b) => format!("({} / ({} | 1))", render(a), render(b)),
+        E::Lt(a, b) => format!("({} < {})", render(a), render(b)),
+        E::Ternary(c, a, b) => format!("({} ? {} : {})", render(c), render(a), render(b)),
+    }
+}
+
+fn program(exprs: &[E], inits: &[i32; NVARS]) -> String {
+    let mut body = String::new();
+    for (i, v) in inits.iter().enumerate() {
+        body.push_str(&format!("    long v{i} = {v};\n"));
+    }
+    body.push_str(&format!("    long a[{ARR_LEN}];\n"));
+    body.push_str(&format!(
+        "    for (int i = 0; i < {ARR_LEN}; i++) {{ a[i] = i * 3 - 4; }}\n"
+    ));
+    for (i, e) in exprs.iter().enumerate() {
+        body.push_str(&format!("    v{} = {};\n", i % NVARS, render(e)));
+    }
+    body.push_str("    long r = (v0 + v1 + v2) % 100000;\n");
+    body.push_str("    return (int)(r < 0 ? -r : r);\n");
+    format!("int main(void) {{\n{body}}}\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ten substrates, one answer.
+    #[test]
+    fn all_substrates_agree(
+        exprs in proptest::collection::vec(arb_expr(), 1..5),
+        inits in proptest::array::uniform3(-50i32..50),
+    ) {
+        let src = program(&exprs, &inits);
+        let unit = cheri::c::parse(&src).expect("generated program parses");
+        let mut answers: Vec<(String, i64)> = Vec::new();
+        for model in ModelKind::ALL {
+            let r = run_main(&unit, model)
+                .unwrap_or_else(|e| panic!("{model}: {e}\n{src}"));
+            answers.push((model.to_string(), r.exit_code));
+        }
+        for abi in Abi::ALL {
+            let prog = compile(&src, abi).unwrap_or_else(|e| panic!("{abi}: {e}\n{src}"));
+            let mut vm = Vm::new(prog, VmConfig::functional());
+            let exit = vm.run(50_000_000).unwrap_or_else(|e| panic!("{abi}: {e}\n{src}"));
+            answers.push((abi.to_string(), exit.code));
+        }
+        let expect = answers[0].1;
+        for (name, got) in &answers {
+            prop_assert_eq!(*got, expect, "{} disagrees on:\n{}", name, &src);
+        }
+    }
+}
