@@ -68,14 +68,16 @@ pub fn table1_report(seed: u64) -> String {
     let mut total_loc = 0;
     for r in &rows {
         out.push_str(&format!("{:<14}", r.name));
-        for k in 0..8 {
-            let cell = if r.measured[k] == r.expected[k] {
-                format!("{}", r.measured[k])
+        for (total, (&measured, &expected)) in
+            totals.iter_mut().zip(r.measured.iter().zip(r.expected.iter()))
+        {
+            let cell = if measured == expected {
+                format!("{measured}")
             } else {
-                format!("{}({})", r.measured[k], r.expected[k])
+                format!("{measured}({expected})")
             };
             out.push_str(&format!("{cell:>11}"));
-            totals[k] += r.measured[k];
+            *total += measured;
         }
         out.push_str(&format!("{:>10}\n", r.loc));
         total_loc += r.loc;

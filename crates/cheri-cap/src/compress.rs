@@ -104,8 +104,8 @@ impl CompressedCapability {
         let top = ((a_top.wrapping_add(ct) << MANTISSA_BITS) | t) << e;
         let length = top.wrapping_sub(base);
         let offset = a.wrapping_sub(base);
-        let c = Capability::from_raw_parts(tag, base, length, offset, perms, u32::MAX);
-        c
+
+        Capability::from_raw_parts(tag, base, length, offset, perms, u32::MAX)
     }
 
     /// The stored 64-bit address.

@@ -757,7 +757,7 @@ impl<'u> Cg<'u> {
     /// Evaluates an index expression scaled by `elem_size` into an int reg.
     fn gen_scaled_index(&mut self, idx: &Expr, elem_size: u64) -> Result<Operand, CompileError> {
         let i = self.gen(idx)?;
-        let i = self.to_int(i, idx.line)?;
+        let i = self.coerce_int(i, idx.line)?;
         if elem_size != 1 {
             let s = self.alloc_int(idx.line)?;
             self.emit(Instr::li(Self::reg(s), elem_size as i32));
@@ -804,7 +804,7 @@ impl<'u> Cg<'u> {
     }
 
     /// Coerces a value to an integer register (pointer → address).
-    fn to_int(&mut self, op: Operand, line: u32) -> Result<Operand, CompileError> {
+    fn coerce_int(&mut self, op: Operand, line: u32) -> Result<Operand, CompileError> {
         match op {
             Operand::Int(_) => Ok(op),
             Operand::Cap(c) => {
@@ -817,7 +817,7 @@ impl<'u> Cg<'u> {
     }
 
     /// Truthiness of an operand into an int register (0/1).
-    fn to_bool(&mut self, op: Operand, line: u32) -> Result<Operand, CompileError> {
+    fn coerce_bool(&mut self, op: Operand, line: u32) -> Result<Operand, CompileError> {
         match op {
             Operand::Int(r) => {
                 self.emit(Instr::r3(Op::Sltu, r, ZERO, r));
@@ -873,7 +873,7 @@ impl<'u> Cg<'u> {
                 let else_l = self.new_label();
                 let end_l = self.new_label();
                 let cv = self.gen(c)?;
-                let cb = self.to_bool(cv, c.line)?;
+                let cb = self.coerce_bool(cv, c.line)?;
                 self.emit_branch_if_zero(Self::reg(cb), else_l);
                 self.free_op(cb);
                 let av = self.gen(a)?;
@@ -1005,19 +1005,19 @@ impl<'u> Cg<'u> {
             }
             UnOp::Not => {
                 let v = self.gen(inner)?;
-                let b = self.to_bool(v, e.line)?;
+                let b = self.coerce_bool(v, e.line)?;
                 self.emit(Instr::i2(Op::Xori, Self::reg(b), Self::reg(b), 1));
                 Ok(b)
             }
             UnOp::Neg => {
                 let v = self.gen(inner)?;
-                let v = self.to_int(v, e.line)?;
+                let v = self.coerce_int(v, e.line)?;
                 self.emit(Instr::r3(Op::Subu, Self::reg(v), ZERO, Self::reg(v)));
                 Ok(v)
             }
             UnOp::BitNot => {
                 let v = self.gen(inner)?;
-                let v = self.to_int(v, e.line)?;
+                let v = self.coerce_int(v, e.line)?;
                 self.emit(Instr::r3(Op::Nor, Self::reg(v), Self::reg(v), ZERO));
                 Ok(v)
             }
@@ -1032,7 +1032,7 @@ impl<'u> Cg<'u> {
             let short_l = self.new_label();
             let end_l = self.new_label();
             let va = self.gen(a)?;
-            let ba = self.to_bool(va, a.line)?;
+            let ba = self.coerce_bool(va, a.line)?;
             self.emit(Instr::r3(Op::Addu, Self::reg(result), Self::reg(ba), ZERO));
             if op == BinOp::LogAnd {
                 self.emit_branch_if_zero(Self::reg(ba), short_l);
@@ -1041,7 +1041,7 @@ impl<'u> Cg<'u> {
             }
             self.free_op(ba);
             let vb = self.gen(b)?;
-            let bb = self.to_bool(vb, b.line)?;
+            let bb = self.coerce_bool(vb, b.line)?;
             self.emit(Instr::r3(Op::Addu, Self::reg(result), Self::reg(bb), ZERO));
             self.free_op(bb);
             self.emit_jump(end_l);
@@ -1062,8 +1062,8 @@ impl<'u> Cg<'u> {
             }
             let pa = self.gen_ptr(a)?;
             let pb = self.gen_ptr(b)?;
-            let ia = self.to_int(pa, e.line)?;
-            let ib = self.to_int(pb, e.line)?;
+            let ia = self.coerce_int(pa, e.line)?;
+            let ib = self.coerce_int(pb, e.line)?;
             self.emit(Instr::r3(Op::Subu, Self::reg(ia), Self::reg(ia), Self::reg(ib)));
             self.free_op(ib);
             let es = self.tsize(ta.pointee().expect("ptr")).max(1);
@@ -1112,8 +1112,8 @@ impl<'u> Cg<'u> {
         if op.is_comparison() {
             return self.gen_compare(op, va, vb, signed, e.line);
         }
-        let ia = self.to_int(va, e.line)?;
-        let ib = self.to_int(vb, e.line)?;
+        let ia = self.coerce_int(va, e.line)?;
+        let ib = self.coerce_int(vb, e.line)?;
         let (ra, rb) = (Self::reg(ia), Self::reg(ib));
         let alu = match op {
             BinOp::Add => Op::Addu,
@@ -1188,8 +1188,8 @@ impl<'u> Cg<'u> {
             self.free_op(vb);
             return Ok(r);
         }
-        let ia = self.to_int(va, line)?;
-        let ib = self.to_int(vb, line)?;
+        let ia = self.coerce_int(va, line)?;
+        let ib = self.coerce_int(vb, line)?;
         let (ra, rb) = (Self::reg(ia), Self::reg(ib));
         let slt = if signed { Op::Slt } else { Op::Sltu };
         match op {
@@ -1268,7 +1268,7 @@ impl<'u> Cg<'u> {
                 return self.err(line, "CHERIv2 cannot represent pointer subtraction");
             }
             let elem = ty.pointee().cloned().expect("ptr");
-            let rv = self.to_int(rv, line)?;
+            let rv = self.coerce_int(rv, line)?;
             let es = self.tsize(&elem);
             if es != 1 {
                 let s = self.alloc_int(line)?;
@@ -1281,8 +1281,8 @@ impl<'u> Cg<'u> {
             return Ok(q);
         }
         let signed = int_signedness(ty);
-        let ia = self.to_int(cur, line)?;
-        let ib = self.to_int(rv, line)?;
+        let ia = self.coerce_int(cur, line)?;
+        let ib = self.coerce_int(rv, line)?;
         let alu = match op {
             BinOp::Add => Op::Addu,
             BinOp::Sub => Op::Subu,
@@ -1333,7 +1333,7 @@ impl<'u> Cg<'u> {
         }
         match val {
             Operand::Int(_) => Ok(val),
-            Operand::Cap(_) => self.to_int(val, line),
+            Operand::Cap(_) => self.coerce_int(val, line),
         }
     }
 
@@ -1341,7 +1341,7 @@ impl<'u> Cg<'u> {
         match to {
             Type::Void => Ok(v),
             Type::Int { width, signed } => {
-                let r = self.to_int(v, line)?;
+                let r = self.coerce_int(v, line)?;
                 if *width < 8 {
                     let sh = ((8 - width) * 8) as i32;
                     self.emit(Instr::i2(Op::Sll, Self::reg(r), Self::reg(r), sh));
@@ -1362,7 +1362,7 @@ impl<'u> Cg<'u> {
                         }
                     }
                 } else {
-                    self.to_int(v, line)
+                    self.coerce_int(v, line)
                 }
             }
             _ => self.err(line, format!("unsupported cast target {to}")),
@@ -1382,7 +1382,7 @@ impl<'u> Cg<'u> {
                 }
             }
         } else {
-            self.to_int(v, e.line)
+            self.coerce_int(v, e.line)
         }
     }
 
@@ -1414,7 +1414,7 @@ impl<'u> Cg<'u> {
                     }
                 }
             } else {
-                self.to_int(v, arg.line)?
+                self.coerce_int(v, arg.line)?
             };
             arg_ops.push(v);
         }
@@ -1481,7 +1481,7 @@ impl<'u> Cg<'u> {
             }
             "putchar" | "putint" | "free" => {
                 let v = self.gen_maybe_array(&args[0])?;
-                let iv = self.to_int(v, e.line)?;
+                let iv = self.coerce_int(v, e.line)?;
                 self.emit(Instr::r3(Op::Addu, A0, Self::reg(iv), ZERO));
                 self.free_op(iv);
                 let code = match name {
@@ -1501,7 +1501,7 @@ impl<'u> Cg<'u> {
                 let dst = self.gen_ptr(&args[0])?;
                 let src = self.gen_ptr(&args[1])?;
                 let n = self.gen(&args[2])?;
-                let n = self.to_int(n, e.line)?;
+                let n = self.coerce_int(n, e.line)?;
                 self.emit(Instr::r3(Op::Addu, 6, Self::reg(n), ZERO)); // a2
                 self.free_op(n);
                 match (dst, src) {
@@ -1520,7 +1520,7 @@ impl<'u> Cg<'u> {
             }
             "malloc" => {
                 let v = self.gen(&args[0])?;
-                let iv = self.to_int(v, e.line)?;
+                let iv = self.coerce_int(v, e.line)?;
                 self.emit(Instr::r3(Op::Addu, A0, Self::reg(iv), ZERO));
                 self.free_op(iv);
                 self.emit(Instr::syscall(sys::MALLOC));
@@ -1587,7 +1587,7 @@ impl<'u> Cg<'u> {
                 let else_l = self.new_label();
                 let end_l = self.new_label();
                 let c = self.gen(cond)?;
-                let cb = self.to_bool(c, cond.line)?;
+                let cb = self.coerce_bool(c, cond.line)?;
                 self.emit_branch_if_zero(Self::reg(cb), else_l);
                 self.free_op(cb);
                 self.gen_block(then_branch)?;
@@ -1604,7 +1604,7 @@ impl<'u> Cg<'u> {
                 let end = self.new_label();
                 self.bind(head);
                 let c = self.gen(cond)?;
-                let cb = self.to_bool(c, cond.line)?;
+                let cb = self.coerce_bool(c, cond.line)?;
                 self.emit_branch_if_zero(Self::reg(cb), end);
                 self.free_op(cb);
                 self.loops.push(Loop { breaks: Vec::new(), continues: Vec::new() });
@@ -1633,7 +1633,7 @@ impl<'u> Cg<'u> {
                     self.label_fixups.push((pos, check));
                 }
                 let c = self.gen(cond)?;
-                let cb = self.to_bool(c, cond.line)?;
+                let cb = self.coerce_bool(c, cond.line)?;
                 self.emit_branch_if_nonzero(Self::reg(cb), head);
                 self.free_op(cb);
                 self.bind(end);
@@ -1653,7 +1653,7 @@ impl<'u> Cg<'u> {
                 self.bind(head);
                 if let Some(c) = cond {
                     let v = self.gen(c)?;
-                    let cb = self.to_bool(v, c.line)?;
+                    let cb = self.coerce_bool(v, c.line)?;
                     self.emit_branch_if_zero(Self::reg(cb), end);
                     self.free_op(cb);
                 }

@@ -74,11 +74,10 @@ impl FuncAnalyzer<'_> {
 
     fn taint_stmt(&mut self, s: &Stmt) {
         match s {
-            Stmt::Decl { name, ty, init: Some(e), .. } => {
-                if (is_wide_int(ty) || is_narrow_int(ty)) && self.derived(e) {
+            Stmt::Decl { name, ty, init: Some(e), .. }
+                if (is_wide_int(ty) || is_narrow_int(ty)) && self.derived(e) => {
                     self.taint.insert(name.clone());
                 }
-            }
             Stmt::Expr(e) => self.taint_expr(e),
             Stmt::If { cond, then_branch, else_branch } => {
                 self.taint_expr(cond);

@@ -1003,20 +1003,8 @@ impl<'u> Interp<'u> {
                 BinOp::Add => a.wrapping_add(b),
                 BinOp::Sub => a.wrapping_sub(b),
                 BinOp::Mul => a.wrapping_mul(b),
-                BinOp::Div => {
-                    if b == 0 {
-                        0
-                    } else {
-                        a / b
-                    }
-                }
-                BinOp::Rem => {
-                    if b == 0 {
-                        0
-                    } else {
-                        a % b
-                    }
-                }
+                BinOp::Div => a.checked_div(b).unwrap_or(0),
+                BinOp::Rem => a.checked_rem(b).unwrap_or(0),
                 BinOp::Shl => a.wrapping_shl(b as u32 & 63),
                 BinOp::Shr => a.wrapping_shr(b as u32 & 63),
                 BinOp::BitAnd => a & b,

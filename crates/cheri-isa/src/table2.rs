@@ -56,7 +56,7 @@ pub fn rows() -> Vec<Table2Row> {
 
 /// Renders the table as aligned text, ready for the `table2` harness binary.
 pub fn render() -> String {
-    let mut out = String::from(format!("{:<12}  {}\n", "INSTRUCTION", "USE"));
+    let mut out = format!("{:<12}  {}\n", "INSTRUCTION", "USE");
     for r in rows() {
         out.push_str(&format!("{:<12}  {}\n", r.instruction, r.usage));
     }

@@ -39,7 +39,7 @@ impl TaggedMemory {
     }
 
     fn check(&self, addr: u64, len: u64) -> MemResult<usize> {
-        if addr.checked_add(len).map_or(true, |end| end > self.size()) {
+        if addr.checked_add(len).is_none_or(|end| end > self.size()) {
             return Err(MemError::OutOfRange { addr, len });
         }
         Ok(addr as usize)

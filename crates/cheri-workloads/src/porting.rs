@@ -58,11 +58,10 @@ fn collect_ptr_decl_lines(unit: &TranslationUnit, lines: &mut BTreeSet<u32>) {
 fn walk_block(b: &Block, lines: &mut BTreeSet<u32>) {
     for s in &b.stmts {
         match s {
-            Stmt::Decl { ty, line, .. } => {
-                if ty.is_pointer() {
+            Stmt::Decl { ty, line, .. }
+                if ty.is_pointer() => {
                     lines.insert(*line);
                 }
-            }
             Stmt::If { then_branch, else_branch, .. } => {
                 walk_block(then_branch, lines);
                 if let Some(e) = else_branch {

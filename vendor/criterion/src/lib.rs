@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the API surface the workspace's seven bench targets use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a straightforward wall-clock loop: a short warm-up sizes
+//! the per-sample iteration count to ~5 ms, then `sample_size` samples are
+//! taken and the mean/min/max per-iteration times reported. Results go to
+//! stdout, and — when the `CRITERION_JSON` environment variable names a file
+//! — are appended there as JSON lines so baselines can be checked in.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+
+impl Criterion {
+    /// Reads the CLI arguments cargo-bench forwards (`--bench`, an optional
+    /// name filter); flags are ignored, the first free argument filters by
+    /// substring, exactly like real criterion's basic usage.
+    pub fn configure_from_args() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size the per-sample iteration count to ~TARGET_SAMPLE.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(total / iters as f64);
+        }
+    }
+
+    fn report(&self, full_id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{full_id:<48} (no samples collected)");
+            return;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{full_id:<48} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{{\"id\":\"{full_id}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{}}}",
+                self.samples_ns.len()
+            );
+            line.push('\n');
+            use std::io::Write as _;
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_filters() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+        };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("keep_me", |b| {
+                ran.push("keep");
+                b.iter(|| black_box(1u64 + 1));
+            });
+            g.bench_function("skip_me", |b| {
+                ran.push("skip");
+                b.iter(|| black_box(2u64 + 2));
+            });
+            g.finish();
+        }
+        assert_eq!(ran, vec!["keep"]);
+    }
+}

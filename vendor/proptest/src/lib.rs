@@ -1,0 +1,477 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the property-testing surface the workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, [`arbitrary::any`], integer-range and tuple strategies,
+//! [`collection::vec`], [`array::uniform3`], `prop_oneof!`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the assertion message; the RNG is deterministic (seeded from the test
+//!   name, overridable with `PROPTEST_SEED`), so failures reproduce exactly.
+//! * **Uniform choice in `prop_oneof!`** rather than weighted.
+//! * `prop_recursive(depth, ..)` unrolls the recursion `depth` levels with a
+//!   50/50 leaf/recurse split per level instead of size-budgeted growth.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator used by all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        /// Seeds from the test name (FNV-1a), so each property gets an
+        /// independent but reproducible stream. `PROPTEST_SEED` overrides.
+        pub fn deterministic(name: &str) -> Self {
+            if let Some(seed) = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                return TestRng::from_seed(seed);
+            }
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; modulo bias is irrelevant here.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot draw below 0");
+            self.next_u64() % bound
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree and no shrinking:
+    /// `generate` draws a value directly from the RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Unrolls `depth` recursion levels; each level is a 50/50 choice
+        /// between the leaf strategy and one application of `recurse`.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            strat
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives; backs `prop_oneof!`.
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = rng.next_u64() as u128 % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = rng.next_u64() as u128 % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Accepted size arguments for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    pub trait IntoSizeRange {
+        /// Returns `(min, max)` inclusive.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length lies in `size` and whose elements come from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`uniform3`].
+    pub struct Uniform3<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+
+    /// An array of three values drawn independently from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+        Uniform3(element)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Declares property tests. Each `name in strategy` argument is drawn
+/// freshly per case; the body runs `config.cases` times. Attributes
+/// (including `#[test]` and doc comments) pass through unchanged.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_bounded(a in 0u64..100, b in -5i32..5, c in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..5).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            xs in crate::collection::vec((0u64..10, any::<bool>()), 1..6),
+            trio in crate::array::uniform3(-3i32..3),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() <= 5);
+            for (v, _) in &xs {
+                prop_assert!(*v < 10);
+            }
+            prop_assert_eq!(trio.len(), 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Recursive strategies terminate and map correctly.
+        #[test]
+        fn recursion_and_oneof(n in recursive_depth_strategy()) {
+            prop_assert!(n <= 3);
+        }
+    }
+
+    fn recursive_depth_strategy() -> BoxedStrategy<u32> {
+        let leaf = (0u32..1).prop_map(|z| z);
+        leaf.prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![inner.clone().prop_map(|d| d + 1), inner.prop_map(|d| d)]
+        })
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
