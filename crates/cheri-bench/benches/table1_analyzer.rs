@@ -11,7 +11,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("generate_zlib_package", |b| {
         b.iter(|| corpus::generate_package(&spec, 7))
     });
-    g.bench_function("analyze_zlib_package", |b| b.iter(|| analyzer::analyze(&unit)));
+    g.bench_function("analyze_zlib_package", |b| {
+        b.iter(|| analyzer::analyze(&unit))
+    });
+    g.bench_function("table1_rows_corpus", |b| {
+        b.iter(|| cheri_bench::table1_rows(2026))
+    });
     g.finish();
 }
 

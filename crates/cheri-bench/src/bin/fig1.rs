@@ -5,5 +5,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
     let pts = cheri_bench::fig1_points(scale);
-    print!("{}", cheri_bench::render_abi_points("Figure 1: Olden results (smaller is better)", &pts));
+    print!(
+        "{}",
+        cheri_bench::render_abi_points("Figure 1: Olden results (smaller is better)", &pts)
+    );
 }

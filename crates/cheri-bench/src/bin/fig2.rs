@@ -5,7 +5,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
     let pts = cheri_bench::fig2_points(runs);
-    print!("{}", cheri_bench::render_abi_points("Figure 2: Dhrystone results (bigger is better)", &pts));
+    print!(
+        "{}",
+        cheri_bench::render_abi_points("Figure 2: Dhrystone results (bigger is better)", &pts)
+    );
     for p in &pts {
         let per_sec = runs as f64 / p.outcome.seconds_at_100mhz();
         println!("{:<10} {:>12.0} dhrystones/second", p.abi.name(), per_sec);

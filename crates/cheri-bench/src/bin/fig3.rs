@@ -5,5 +5,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000);
     let pts = cheri_bench::fig3_points(packets, 61106);
-    print!("{}", cheri_bench::render_abi_points("Figure 3: tcpdump results (smaller is better)", &pts));
+    print!(
+        "{}",
+        cheri_bench::render_abi_points("Figure 3: tcpdump results (smaller is better)", &pts)
+    );
 }

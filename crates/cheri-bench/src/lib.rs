@@ -36,21 +36,25 @@ pub struct Table1Row {
 }
 
 /// Generates the synthetic corpus and runs the analyzer over it.
+///
+/// Packages are independent, so each one's generate→parse→analyze pipeline
+/// runs on its own scoped thread (inline on single-core hosts); rows come
+/// back in corpus order either way.
 pub fn table1_rows(seed: u64) -> Vec<Table1Row> {
-    corpus::generate_corpus(seed)
-        .into_iter()
-        .map(|g| {
-            let unit = cheri_c::parse(&g.source).expect("generated corpus parses");
-            let counts = analyzer::analyze(&unit);
-            let measured: Vec<u64> = Idiom::ALL.iter().map(|&i| counts.get(i)).collect();
-            Table1Row {
-                name: g.spec.name.to_string(),
-                expected: g.spec.counts,
-                measured: measured.try_into().expect("eight idioms"),
-                loc: g.loc,
-            }
-        })
-        .collect()
+    let specs = corpus::paper_packages();
+    let one_row = |spec: &corpus::PackageSpec| {
+        let g = corpus::generate_package(spec, seed);
+        let unit = cheri_c::parse(&g.source).expect("generated corpus parses");
+        let counts = analyzer::analyze(&unit);
+        let measured: Vec<u64> = Idiom::ALL.iter().map(|&i| counts.get(i)).collect();
+        Table1Row {
+            name: g.spec.name.to_string(),
+            expected: g.spec.counts,
+            measured: measured.try_into().expect("eight idioms"),
+            loc: g.loc,
+        }
+    };
+    cheri_interp::fan_out_ordered(&specs, one_row)
 }
 
 /// Renders the Table 1 report.
@@ -68,8 +72,9 @@ pub fn table1_report(seed: u64) -> String {
     let mut total_loc = 0;
     for r in &rows {
         out.push_str(&format!("{:<14}", r.name));
-        for (total, (&measured, &expected)) in
-            totals.iter_mut().zip(r.measured.iter().zip(r.expected.iter()))
+        for (total, (&measured, &expected)) in totals
+            .iter_mut()
+            .zip(r.measured.iter().zip(r.expected.iter()))
         {
             let cell = if measured == expected {
                 format!("{measured}")
@@ -128,7 +133,11 @@ pub fn table3_report() -> String {
                 .expect("full matrix");
             let expected = cases::paper_expected(model, idiom);
             let text = if cell.works { expected.cell() } else { "no" };
-            let marker = if cell.works == expected.works() { "" } else { "!" };
+            let marker = if cell.works == expected.works() {
+                ""
+            } else {
+                "!"
+            };
             out.push_str(&format!("{:>11}", format!("{text}{marker}")));
         }
         out.push('\n');
@@ -190,7 +199,11 @@ pub fn run_or_panic(name: &str, src: &str, abi: Abi, ins: &[(&str, &[u8])]) -> A
     let outcome = run_workload(src, abi, VmConfig::fpga(), ins, FUEL)
         .unwrap_or_else(|e| panic!("{name}/{abi}: {e}"));
     assert_eq!(outcome.exit, 0, "{name}/{abi} failed: {}", outcome.output);
-    AbiPoint { name: name.to_string(), abi, outcome }
+    AbiPoint {
+        name: name.to_string(),
+        abi,
+        outcome,
+    }
 }
 
 /// Figure 1 (Olden): cycles per benchmark per ABI. `scale` grows the
@@ -326,9 +339,15 @@ pub fn render_fig4(points: &[Fig4Point]) -> String {
     let mut out = String::from(
         "Figure 4: overhead of CHERI-zlib normalized against zlib compiled for MIPS\n\n",
     );
-    out.push_str(&format!("{:>10}{:>14}{:>20}\n", "SIZE", "CHERI %", "CHERI(copying) %"));
+    out.push_str(&format!(
+        "{:>10}{:>14}{:>20}\n",
+        "SIZE", "CHERI %", "CHERI(copying) %"
+    ));
     for p in points {
-        out.push_str(&format!("{:>10}{:>14.2}{:>20.2}\n", p.size, p.cheri_pct, p.copying_pct));
+        out.push_str(&format!(
+            "{:>10}{:>14.2}{:>20.2}\n",
+            p.size, p.cheri_pct, p.copying_pct
+        ));
     }
     out
 }
@@ -372,10 +391,23 @@ mod tests {
     #[test]
     fn fig2_shape_dhrystone_cheri_close_to_mips() {
         let pts = fig2_points(200);
-        let mips = pts.iter().find(|p| p.abi == Abi::Mips).unwrap().outcome.cycles as f64;
-        let v3 = pts.iter().find(|p| p.abi == Abi::CheriV3).unwrap().outcome.cycles as f64;
+        let mips = pts
+            .iter()
+            .find(|p| p.abi == Abi::Mips)
+            .unwrap()
+            .outcome
+            .cycles as f64;
+        let v3 = pts
+            .iter()
+            .find(|p| p.abi == Abi::CheriV3)
+            .unwrap()
+            .outcome
+            .cycles as f64;
         let delta = (v3 / mips - 1.0).abs();
-        assert!(delta < 0.2, "Dhrystone CHERI should be near MIPS, got {delta:+.3}");
+        assert!(
+            delta < 0.2,
+            "Dhrystone CHERI should be near MIPS, got {delta:+.3}"
+        );
     }
 
     #[test]

@@ -70,27 +70,43 @@ pub enum Type {
 impl Type {
     /// `int`.
     pub fn int() -> Type {
-        Type::Int { width: 4, signed: true }
+        Type::Int {
+            width: 4,
+            signed: true,
+        }
     }
 
     /// `long`.
     pub fn long() -> Type {
-        Type::Int { width: 8, signed: true }
+        Type::Int {
+            width: 8,
+            signed: true,
+        }
     }
 
     /// `char`.
     pub fn char_() -> Type {
-        Type::Int { width: 1, signed: true }
+        Type::Int {
+            width: 1,
+            signed: true,
+        }
     }
 
     /// A plain (unqualified, mutable) pointer to `t`.
     pub fn ptr_to(t: Type) -> Type {
-        Type::Ptr { pointee: Box::new(t), is_const: false, qual: CapQual::None }
+        Type::Ptr {
+            pointee: Box::new(t),
+            is_const: false,
+            qual: CapQual::None,
+        }
     }
 
     /// `true` for any integer-ish type, including `intptr_t`/`intcap_t`.
     pub fn is_integer(&self) -> bool {
-        matches!(self, Type::Int { .. } | Type::IntPtr { .. } | Type::IntCap { .. })
+        matches!(
+            self,
+            Type::Int { .. } | Type::IntPtr { .. } | Type::IntCap { .. }
+        )
     }
 
     /// `true` for pointer types.
@@ -165,7 +181,11 @@ impl fmt::Display for Type {
             Type::IntPtr { signed: false } => write!(f, "uintptr_t"),
             Type::IntCap { signed: true } => write!(f, "intcap_t"),
             Type::IntCap { signed: false } => write!(f, "uintcap_t"),
-            Type::Ptr { pointee, is_const, qual } => {
+            Type::Ptr {
+                pointee,
+                is_const,
+                qual,
+            } => {
                 if *is_const {
                     write!(f, "const ")?;
                 }
@@ -243,7 +263,10 @@ pub enum BinOp {
 impl BinOp {
     /// `true` for the comparison operators, whose result is `int`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 }
 
@@ -261,7 +284,11 @@ pub struct Expr {
 impl Expr {
     /// An expression with type to-be-determined.
     pub fn new(kind: ExprKind, line: u32) -> Expr {
-        Expr { kind, ty: Type::Void, line }
+        Expr {
+            kind,
+            ty: Type::Void,
+            line,
+        }
     }
 }
 
@@ -490,7 +517,10 @@ mod tests {
 
     #[test]
     fn arrays_decay() {
-        let a = Type::Array { elem: Box::new(Type::char_()), len: 10 };
+        let a = Type::Array {
+            elem: Box::new(Type::char_()),
+            len: 10,
+        };
         assert_eq!(a.decay(), Type::ptr_to(Type::char_()));
         assert_eq!(Type::int().decay(), Type::int());
     }
@@ -509,7 +539,14 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(Type::int().to_string(), "int");
-        assert_eq!(Type::Int { width: 1, signed: false }.to_string(), "unsigned char");
+        assert_eq!(
+            Type::Int {
+                width: 1,
+                signed: false
+            }
+            .to_string(),
+            "unsigned char"
+        );
         assert_eq!(Type::ptr_to(Type::int()).to_string(), "int*");
         let q = Type::Ptr {
             pointee: Box::new(Type::char_()),
@@ -525,8 +562,14 @@ mod tests {
             name: "pair".into(),
             is_union: false,
             fields: vec![
-                Field { name: "a".into(), ty: Type::int() },
-                Field { name: "b".into(), ty: Type::long() },
+                Field {
+                    name: "a".into(),
+                    ty: Type::int(),
+                },
+                Field {
+                    name: "b".into(),
+                    ty: Type::long(),
+                },
             ],
         };
         assert_eq!(s.field("b").unwrap().ty, Type::long());

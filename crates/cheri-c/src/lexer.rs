@@ -125,7 +125,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                         .map(|u| u as i64)
                         .map_err(|_| CError::new(line, format!("bad integer literal {text}")))?
                 };
-                toks.push(Token { kind: TokenKind::Int(v), line });
+                toks.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
             }
             '\'' => {
                 at_line_start = false;
@@ -136,7 +139,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                     return Err(CError::new(line, "unterminated char literal"));
                 }
                 i += 1;
-                toks.push(Token { kind: TokenKind::Int(ch as i64), line });
+                toks.push(Token {
+                    kind: TokenKind::Int(ch as i64),
+                    line,
+                });
             }
             '"' => {
                 at_line_start = false;
@@ -151,7 +157,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                     return Err(CError::new(line, "unterminated string literal"));
                 }
                 i += 1;
-                toks.push(Token { kind: TokenKind::Str(s), line });
+                toks.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             _ => {
                 at_line_start = false;
@@ -160,12 +169,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                     .iter()
                     .find(|p| rest.starts_with(**p))
                     .ok_or_else(|| CError::new(line, format!("unexpected character {c:?}")))?;
-                toks.push(Token { kind: TokenKind::Punct(p), line });
+                toks.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
                 i += p.len();
             }
         }
     }
-    toks.push(Token { kind: TokenKind::Eof, line });
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(toks)
 }
 
@@ -189,7 +204,12 @@ fn unescape_char(bytes: &[u8], i: usize, line: u32) -> Result<(u8, usize), CErro
         b'\\' => b'\\',
         b'\'' => b'\'',
         b'"' => b'"',
-        other => return Err(CError::new(line, format!("unknown escape \\{}", other as char))),
+        other => {
+            return Err(CError::new(
+                line,
+                format!("unknown escape \\{}", other as char),
+            ))
+        }
     };
     Ok((c, 2))
 }

@@ -61,7 +61,10 @@ pub struct CError {
 
 impl CError {
     pub(crate) fn new(line: u32, msg: impl Into<String>) -> CError {
-        CError { line, msg: msg.into() }
+        CError {
+            line,
+            msg: msg.into(),
+        }
     }
 }
 

@@ -10,14 +10,32 @@ use crate::CError;
 ///
 /// The first syntax error, with its source line.
 pub fn parse_tokens(tokens: &[Token]) -> Result<TranslationUnit, CError> {
-    let mut p = Parser { toks: tokens, pos: 0, unit: TranslationUnit::default() };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        unit: TranslationUnit::default(),
+    };
     p.translation_unit()?;
     Ok(p.unit)
 }
 
 const TYPE_KEYWORDS: &[&str] = &[
-    "void", "char", "short", "int", "long", "unsigned", "signed", "const", "struct", "union",
-    "intptr_t", "uintptr_t", "intcap_t", "uintcap_t", "size_t", "ptrdiff_t",
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "unsigned",
+    "signed",
+    "const",
+    "struct",
+    "union",
+    "intptr_t",
+    "uintptr_t",
+    "intcap_t",
+    "uintcap_t",
+    "size_t",
+    "ptrdiff_t",
 ];
 
 struct Parser<'a> {
@@ -60,7 +78,10 @@ impl<'a> Parser<'a> {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(CError::new(self.line(), format!("expected `{p}`, found {:?}", self.peek())))
+            Err(CError::new(
+                self.line(),
+                format!("expected `{p}`, found {:?}", self.peek()),
+            ))
         }
     }
 
@@ -77,7 +98,10 @@ impl<'a> Parser<'a> {
         let line = self.line();
         match self.bump() {
             TokenKind::Ident(s) => Ok(s.clone()),
-            other => Err(CError::new(line, format!("expected identifier, found {other:?}"))),
+            other => Err(CError::new(
+                line,
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -112,7 +136,10 @@ impl<'a> Parser<'a> {
             Type::char_()
         } else if self.eat_kw("short") {
             self.eat_kw("int");
-            Type::Int { width: 2, signed: true }
+            Type::Int {
+                width: 2,
+                signed: true,
+            }
         } else if self.eat_kw("int") {
             Type::int()
         } else if self.eat_kw("long") {
@@ -128,11 +155,20 @@ impl<'a> Parser<'a> {
         } else if self.eat_kw("uintcap_t") {
             Type::IntCap { signed: false }
         } else if self.eat_kw("size_t") {
-            Type::Int { width: 8, signed: false }
+            Type::Int {
+                width: 8,
+                signed: false,
+            }
         } else if self.eat_kw("ptrdiff_t") {
-            Type::Int { width: 8, signed: true }
+            Type::Int {
+                width: 8,
+                signed: true,
+            }
         } else {
-            return Err(CError::new(line, format!("expected type, found {:?}", self.peek())));
+            return Err(CError::new(
+                line,
+                format!("expected type, found {:?}", self.peek()),
+            ));
         };
         while self.eat_kw("const") {
             is_const = true;
@@ -156,16 +192,27 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn struct_or_union_tail(&mut self, is_union: bool, is_const: bool) -> Result<(Type, bool), CError> {
+    fn struct_or_union_tail(
+        &mut self,
+        is_union: bool,
+        is_const: bool,
+    ) -> Result<(Type, bool), CError> {
         let line = self.line();
         let name = self.expect_ident()?;
         if self.eat_punct("{") {
             // Definition. Register the name first for self-references.
             if self.unit.struct_by_name(&name).is_some() {
-                return Err(CError::new(line, format!("duplicate struct/union `{name}`")));
+                return Err(CError::new(
+                    line,
+                    format!("duplicate struct/union `{name}`"),
+                ));
             }
             let id = self.unit.structs.len();
-            self.unit.structs.push(StructDef { name: name.clone(), is_union, fields: Vec::new() });
+            self.unit.structs.push(StructDef {
+                name: name.clone(),
+                is_union,
+                fields: Vec::new(),
+            });
             let mut fields = Vec::new();
             while !self.eat_punct("}") {
                 let (base, _) = self.type_specifier()?;
@@ -210,7 +257,11 @@ impl<'a> Parser<'a> {
                         break;
                     }
                 }
-                base = Type::Ptr { pointee: Box::new(base), is_const: pointee_const, qual };
+                base = Type::Ptr {
+                    pointee: Box::new(base),
+                    is_const: pointee_const,
+                    qual,
+                };
                 pointee_const = this_const;
             } else {
                 break;
@@ -225,16 +276,25 @@ impl<'a> Parser<'a> {
             let line = self.line();
             if self.eat_punct("]") {
                 // Unsized array (parameter or string-initialized global).
-                ty = Type::Array { elem: Box::new(ty), len: 0 };
+                ty = Type::Array {
+                    elem: Box::new(ty),
+                    len: 0,
+                };
             } else {
                 let len = match self.bump() {
                     TokenKind::Int(n) if *n >= 0 => *n as u64,
                     other => {
-                        return Err(CError::new(line, format!("expected array length, found {other:?}")))
+                        return Err(CError::new(
+                            line,
+                            format!("expected array length, found {other:?}"),
+                        ))
                     }
                 };
                 self.expect_punct("]")?;
-                ty = Type::Array { elem: Box::new(ty), len };
+                ty = Type::Array {
+                    elem: Box::new(ty),
+                    len,
+                };
             }
         }
         Ok((ty, name))
@@ -317,7 +377,10 @@ impl<'a> Parser<'a> {
                 } else {
                     loop {
                         let (pty, pname) = self.full_type()?;
-                        params.push(Param { name: pname, ty: pty.decay() });
+                        params.push(Param {
+                            name: pname,
+                            ty: pty.decay(),
+                        });
                         if !self.eat_punct(",") {
                             break;
                         }
@@ -332,12 +395,27 @@ impl<'a> Parser<'a> {
             }
             self.expect_punct("{")?;
             let body = self.block_tail()?;
-            self.unit.funcs.push(FuncDef { name, ret: ty, params, body, line });
+            self.unit.funcs.push(FuncDef {
+                name,
+                ret: ty,
+                params,
+                body,
+                line,
+            });
             Ok(())
         } else {
-            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
-            self.unit.globals.push(GlobalDef { name, ty, init, line });
+            self.unit.globals.push(GlobalDef {
+                name,
+                ty,
+                init,
+                line,
+            });
             Ok(())
         }
     }
@@ -357,7 +435,9 @@ impl<'a> Parser<'a> {
         if self.eat_punct("{") {
             self.block_tail()
         } else {
-            Ok(Block { stmts: vec![self.stmt()?] })
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
         }
     }
 
@@ -365,9 +445,18 @@ impl<'a> Parser<'a> {
         let line = self.line();
         if self.at_type_start() {
             let (ty, name) = self.full_type()?;
-            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
-            return Ok(Stmt::Decl { name, ty, init, line });
+            return Ok(Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            });
         }
         if self.eat_punct("{") {
             return Ok(Stmt::Block(self.block_tail()?));
@@ -382,7 +471,11 @@ impl<'a> Parser<'a> {
             } else {
                 None
             };
-            return Ok(Stmt::If { cond, then_branch, else_branch });
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.eat_kw("while") {
             self.expect_punct("(")?;
@@ -408,9 +501,18 @@ impl<'a> Parser<'a> {
                 None
             } else if self.at_type_start() {
                 let (ty, name) = self.full_type()?;
-                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect_punct(";")?;
-                Some(Box::new(Stmt::Decl { name, ty, init, line }))
+                Some(Box::new(Stmt::Decl {
+                    name,
+                    ty,
+                    init,
+                    line,
+                }))
             } else {
                 let e = self.expr()?;
                 self.expect_punct(";")?;
@@ -429,7 +531,12 @@ impl<'a> Parser<'a> {
             };
             self.expect_punct(")")?;
             let body = self.block_or_single()?;
-            return Ok(Stmt::For { init, cond, step, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
         }
         if self.eat_kw("return") {
             let e = if matches!(self.peek(), TokenKind::Punct(";")) {
@@ -488,7 +595,10 @@ impl<'a> Parser<'a> {
             return Ok(lhs);
         };
         let rhs = self.assignment()?;
-        Ok(Expr::new(ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)), line))
+        Ok(Expr::new(
+            ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)),
+            line,
+        ))
     }
 
     fn ternary(&mut self) -> Result<Expr, CError> {
@@ -498,7 +608,10 @@ impl<'a> Parser<'a> {
             let a = self.expr()?;
             self.expect_punct(":")?;
             let b = self.ternary()?;
-            Ok(Expr::new(ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)), line))
+            Ok(Expr::new(
+                ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)),
+                line,
+            ))
         } else {
             Ok(cond)
         }
@@ -542,28 +655,54 @@ impl<'a> Parser<'a> {
     fn unary(&mut self) -> Result<Expr, CError> {
         let line = self.line();
         if self.eat_punct("-") {
-            return Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(self.unary()?)), line));
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Neg, Box::new(self.unary()?)),
+                line,
+            ));
         }
         if self.eat_punct("!") {
-            return Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(self.unary()?)), line));
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Not, Box::new(self.unary()?)),
+                line,
+            ));
         }
         if self.eat_punct("~") {
-            return Ok(Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(self.unary()?)), line));
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::BitNot, Box::new(self.unary()?)),
+                line,
+            ));
         }
         if self.eat_punct("*") {
-            return Ok(Expr::new(ExprKind::Unary(UnOp::Deref, Box::new(self.unary()?)), line));
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Deref, Box::new(self.unary()?)),
+                line,
+            ));
         }
         if self.eat_punct("&") {
-            return Ok(Expr::new(ExprKind::Unary(UnOp::Addr, Box::new(self.unary()?)), line));
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Addr, Box::new(self.unary()?)),
+                line,
+            ));
         }
         if self.eat_punct("++") {
             let t = self.unary()?;
-            return Ok(Expr::new(ExprKind::IncDec { pre: true, inc: true, target: Box::new(t) }, line));
+            return Ok(Expr::new(
+                ExprKind::IncDec {
+                    pre: true,
+                    inc: true,
+                    target: Box::new(t),
+                },
+                line,
+            ));
         }
         if self.eat_punct("--") {
             let t = self.unary()?;
             return Ok(Expr::new(
-                ExprKind::IncDec { pre: true, inc: false, target: Box::new(t) },
+                ExprKind::IncDec {
+                    pre: true,
+                    inc: false,
+                    target: Box::new(t),
+                },
                 line,
             ));
         }
@@ -593,7 +732,8 @@ impl<'a> Parser<'a> {
         }
         // Cast?
         if matches!(self.peek(), TokenKind::Punct("(")) {
-            let is_type = matches!(self.peek2(), TokenKind::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()));
+            let is_type =
+                matches!(self.peek2(), TokenKind::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()));
             if is_type {
                 self.expect_punct("(")?;
                 let ty = self.abstract_type()?;
@@ -615,14 +755,42 @@ impl<'a> Parser<'a> {
                 e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), line);
             } else if self.eat_punct(".") {
                 let f = self.expect_ident()?;
-                e = Expr::new(ExprKind::Member { base: Box::new(e), field: f, arrow: false }, line);
+                e = Expr::new(
+                    ExprKind::Member {
+                        base: Box::new(e),
+                        field: f,
+                        arrow: false,
+                    },
+                    line,
+                );
             } else if self.eat_punct("->") {
                 let f = self.expect_ident()?;
-                e = Expr::new(ExprKind::Member { base: Box::new(e), field: f, arrow: true }, line);
+                e = Expr::new(
+                    ExprKind::Member {
+                        base: Box::new(e),
+                        field: f,
+                        arrow: true,
+                    },
+                    line,
+                );
             } else if self.eat_punct("++") {
-                e = Expr::new(ExprKind::IncDec { pre: false, inc: true, target: Box::new(e) }, line);
+                e = Expr::new(
+                    ExprKind::IncDec {
+                        pre: false,
+                        inc: true,
+                        target: Box::new(e),
+                    },
+                    line,
+                );
             } else if self.eat_punct("--") {
-                e = Expr::new(ExprKind::IncDec { pre: false, inc: false, target: Box::new(e) }, line);
+                e = Expr::new(
+                    ExprKind::IncDec {
+                        pre: false,
+                        inc: false,
+                        target: Box::new(e),
+                    },
+                    line,
+                );
             } else {
                 break;
             }
@@ -657,7 +825,10 @@ impl<'a> Parser<'a> {
                     Ok(Expr::new(ExprKind::Ident(name), line))
                 }
             }
-            other => Err(CError::new(line, format!("expected expression, found {other:?}"))),
+            other => Err(CError::new(
+                line,
+                format!("expected expression, found {other:?}"),
+            )),
         }
     }
 }
@@ -668,12 +839,24 @@ fn apply_spec_const(ty: Type, spec_const: bool) -> Type {
     }
     // `const char *p`: const applies to the innermost pointee.
     match ty {
-        Type::Ptr { pointee, is_const, qual } => {
+        Type::Ptr {
+            pointee,
+            is_const,
+            qual,
+        } => {
             let inner = apply_spec_const(*pointee, spec_const);
             if inner.is_pointer() {
-                Type::Ptr { pointee: Box::new(inner), is_const, qual }
+                Type::Ptr {
+                    pointee: Box::new(inner),
+                    is_const,
+                    qual,
+                }
             } else {
-                Type::Ptr { pointee: Box::new(inner), is_const: true, qual }
+                Type::Ptr {
+                    pointee: Box::new(inner),
+                    is_const: true,
+                    qual,
+                }
             }
         }
         other => other,
@@ -734,7 +917,13 @@ mod tests {
     #[test]
     fn arrays_and_indexing() {
         let u = parse("int a[10]; int get(int i) { return a[i]; }");
-        assert_eq!(u.globals[0].ty, Type::Array { elem: Box::new(Type::int()), len: 10 });
+        assert_eq!(
+            u.globals[0].ty,
+            Type::Array {
+                elem: Box::new(Type::int()),
+                len: 10
+            }
+        );
     }
 
     #[test]
@@ -781,7 +970,9 @@ mod tests {
     fn precedence_is_c_like() {
         let u = parse("int f(void) { return 1 + 2 * 3 == 7 && 4 < 5; }");
         // ((1 + (2*3)) == 7) && (4 < 5)
-        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else { panic!() };
+        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else {
+            panic!()
+        };
         assert!(matches!(&e.kind, ExprKind::Binary(BinOp::LogAnd, _, _)));
     }
 
@@ -824,6 +1015,12 @@ mod tests {
     #[test]
     fn unsized_array_global() {
         let u = parse("char buf[];");
-        assert_eq!(u.globals[0].ty, Type::Array { elem: Box::new(Type::char_()), len: 0 });
+        assert_eq!(
+            u.globals[0].ty,
+            Type::Array {
+                elem: Box::new(Type::char_()),
+                len: 0
+            }
+        );
     }
 }

@@ -23,14 +23,31 @@ use std::collections::HashMap;
 /// the slice of libc the workloads need.
 pub(crate) fn builtins() -> HashMap<&'static str, (Type, Vec<Type>)> {
     let vp = Type::ptr_to(Type::Void);
-    let cvp = Type::Ptr { pointee: Box::new(Type::Void), is_const: true, qual: CapQual::None };
-    let ccp = Type::Ptr { pointee: Box::new(Type::char_()), is_const: true, qual: CapQual::None };
-    let ul = Type::Int { width: 8, signed: false };
+    let cvp = Type::Ptr {
+        pointee: Box::new(Type::Void),
+        is_const: true,
+        qual: CapQual::None,
+    };
+    let ccp = Type::Ptr {
+        pointee: Box::new(Type::char_()),
+        is_const: true,
+        qual: CapQual::None,
+    };
+    let ul = Type::Int {
+        width: 8,
+        signed: false,
+    };
     HashMap::from([
         ("malloc", (vp.clone(), vec![ul.clone()])),
         ("free", (Type::Void, vec![vp.clone()])),
-        ("memcpy", (vp.clone(), vec![vp.clone(), cvp.clone(), ul.clone()])),
-        ("memset", (vp.clone(), vec![vp.clone(), Type::int(), ul.clone()])),
+        (
+            "memcpy",
+            (vp.clone(), vec![vp.clone(), cvp.clone(), ul.clone()]),
+        ),
+        (
+            "memset",
+            (vp.clone(), vec![vp.clone(), Type::int(), ul.clone()]),
+        ),
         ("strlen", (ul.clone(), vec![ccp.clone()])),
         ("strcmp", (Type::int(), vec![ccp.clone(), ccp.clone()])),
         ("puts", (Type::int(), vec![ccp])),
@@ -55,18 +72,30 @@ pub fn check(unit: &mut TranslationUnit) -> Result<(), CError> {
     }
     for f in &unit.funcs {
         if funcs_sig
-            .insert(f.name.clone(), (f.ret.clone(), f.params.iter().map(|p| p.ty.clone()).collect()))
+            .insert(
+                f.name.clone(),
+                (
+                    f.ret.clone(),
+                    f.params.iter().map(|p| p.ty.clone()).collect(),
+                ),
+            )
             .is_some()
             && unit.funcs.iter().filter(|g| g.name == f.name).count() > 1
         {
-            return Err(CError::new(f.line, format!("duplicate function `{}`", f.name)));
+            return Err(CError::new(
+                f.line,
+                format!("duplicate function `{}`", f.name),
+            ));
         }
     }
     let mut globals: HashMap<String, Type> = HashMap::new();
     for g in &mut unit.globals {
         infer_string_array_len(&mut g.ty, g.init.as_ref(), g.line)?;
         if globals.insert(g.name.clone(), g.ty.clone()).is_some() {
-            return Err(CError::new(g.line, format!("duplicate global `{}`", g.name)));
+            return Err(CError::new(
+                g.line,
+                format!("duplicate global `{}`", g.name),
+            ));
         }
     }
     // Check global initializers in a pure-global scope.
@@ -106,13 +135,20 @@ pub fn check(unit: &mut TranslationUnit) -> Result<(), CError> {
 fn infer_string_array_len(ty: &mut Type, init: Option<&Expr>, line: u32) -> Result<(), CError> {
     if let Type::Array { elem, len } = ty {
         if *len == 0 {
-            if let Some(Expr { kind: ExprKind::StrLit(s), .. }) = init {
+            if let Some(Expr {
+                kind: ExprKind::StrLit(s),
+                ..
+            }) = init
+            {
                 if **elem == Type::char_() {
                     *len = s.len() as u64 + 1;
                     return Ok(());
                 }
             }
-            return Err(CError::new(line, "unsized array needs a string initializer"));
+            return Err(CError::new(
+                line,
+                "unsized array needs a string initializer",
+            ));
         }
     }
     Ok(())
@@ -148,7 +184,12 @@ impl<'a> Checker<'a> {
 
     fn stmt(&mut self, s: &mut Stmt) -> Result<(), CError> {
         match s {
-            Stmt::Decl { name, ty, init, line } => {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
                 infer_string_array_len(ty, init.as_ref(), *line)?;
                 if let Some(e) = init {
                     self.expr(e)?;
@@ -161,7 +202,11 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Stmt::Expr(e) => self.expr(e).map(|_| ()),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.scalar_cond(cond)?;
                 self.block(then_branch)?;
                 if let Some(e) = else_branch {
@@ -182,7 +227,12 @@ impl<'a> Checker<'a> {
                 self.loop_depth -= 1;
                 self.scalar_cond(cond)
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.stmt(i)?;
@@ -199,18 +249,16 @@ impl<'a> Checker<'a> {
                 self.scopes.pop();
                 Ok(())
             }
-            Stmt::Return(e, line) => {
-                match (e, self.ret.is_void()) {
-                    (None, true) => Ok(()),
-                    (None, false) => Err(CError::new(*line, "missing return value")),
-                    (Some(e), false) => {
-                        self.expr(e)?;
-                        let ret = self.ret.clone();
-                        self.check_assignable(&ret, e, *line)
-                    }
-                    (Some(_), true) => Err(CError::new(*line, "returning a value from void function")),
+            Stmt::Return(e, line) => match (e, self.ret.is_void()) {
+                (None, true) => Ok(()),
+                (None, false) => Err(CError::new(*line, "missing return value")),
+                (Some(e), false) => {
+                    self.expr(e)?;
+                    let ret = self.ret.clone();
+                    self.check_assignable(&ret, e, *line)
                 }
-            }
+                (Some(_), true) => Err(CError::new(*line, "returning a value from void function")),
+            },
             Stmt::Break(line) | Stmt::Continue(line) => {
                 if self.loop_depth == 0 {
                     Err(CError::new(*line, "break/continue outside a loop"))
@@ -227,7 +275,10 @@ impl<'a> Checker<'a> {
         if t.decay().is_pointer() || t.is_arith() {
             Ok(())
         } else {
-            Err(CError::new(e.line, format!("condition has non-scalar type {t}")))
+            Err(CError::new(
+                e.line,
+                format!("condition has non-scalar type {t}"),
+            ))
         }
     }
 
@@ -254,8 +305,12 @@ impl<'a> Checker<'a> {
         match &e.kind {
             ExprKind::Unary(UnOp::Deref, p) => p.ty.decay().pointee_is_const(),
             ExprKind::Index(base, _) => base.ty.decay().pointee_is_const(),
-            ExprKind::Member { base, arrow: true, .. } => base.ty.decay().pointee_is_const(),
-            ExprKind::Member { base, arrow: false, .. } => self.is_const_lvalue(base),
+            ExprKind::Member {
+                base, arrow: true, ..
+            } => base.ty.decay().pointee_is_const(),
+            ExprKind::Member {
+                base, arrow: false, ..
+            } => self.is_const_lvalue(base),
             _ => false,
         }
     }
@@ -375,7 +430,11 @@ impl<'a> Checker<'a> {
                 if args.len() != params.len() {
                     return Err(CError::new(
                         line,
-                        format!("`{name}` expects {} arguments, got {}", params.len(), args.len()),
+                        format!(
+                            "`{name}` expects {} arguments, got {}",
+                            params.len(),
+                            args.len()
+                        ),
                     ));
                 }
                 for (arg, pty) in args.iter_mut().zip(&params) {
@@ -407,11 +466,9 @@ impl<'a> Checker<'a> {
                     bt
                 };
                 let sd = self.struct_of(&sty, line)?;
-                sd.field(field)
-                    .map(|f| f.ty.clone())
-                    .ok_or_else(|| {
-                        CError::new(line, format!("no field `{field}` in `{}`", sd.name))
-                    })?
+                sd.field(field).map(|f| f.ty.clone()).ok_or_else(|| {
+                    CError::new(line, format!("no field `{field}` in `{}`", sd.name))
+                })?
             }
             ExprKind::Cast(ty, inner) => {
                 let it = self.expr(inner)?.decay();
@@ -427,14 +484,23 @@ impl<'a> Checker<'a> {
                 if let ExprKind::SizeofExpr(inner) = &mut e.kind {
                     self.expr(inner)?;
                 }
-                Type::Int { width: 8, signed: false }
+                Type::Int {
+                    width: 8,
+                    signed: false,
+                }
             }
             ExprKind::Offsetof(sty, field) => {
                 let sd = self.struct_of(sty, line)?;
                 if sd.field(field).is_none() {
-                    return Err(CError::new(line, format!("no field `{field}` in `{}`", sd.name)));
+                    return Err(CError::new(
+                        line,
+                        format!("no field `{field}` in `{}`", sd.name),
+                    ));
                 }
-                Type::Int { width: 8, signed: false }
+                Type::Int {
+                    width: 8,
+                    signed: false,
+                }
             }
             ExprKind::IncDec { target, .. } => {
                 let tt = self.expr(target)?;
@@ -461,19 +527,28 @@ impl<'a> Checker<'a> {
                 (true, false) if tb.is_arith() => Ok(ta.clone()),
                 (false, true) if ta.is_arith() => Ok(tb.clone()),
                 (false, false) if ta.is_arith() && tb.is_arith() => Ok(common_type(ta, tb)),
-                _ => Err(CError::new(line, format!("invalid operands to +: {ta}, {tb}"))),
+                _ => Err(CError::new(
+                    line,
+                    format!("invalid operands to +: {ta}, {tb}"),
+                )),
             },
             Sub => match (ta.is_pointer(), tb.is_pointer()) {
                 (true, true) => Ok(Type::long()), // ptrdiff_t
                 (true, false) if tb.is_arith() => Ok(ta.clone()),
                 (false, false) if ta.is_arith() && tb.is_arith() => Ok(common_type(ta, tb)),
-                _ => Err(CError::new(line, format!("invalid operands to -: {ta}, {tb}"))),
+                _ => Err(CError::new(
+                    line,
+                    format!("invalid operands to -: {ta}, {tb}"),
+                )),
             },
             Mul | Div | Rem | Shl | Shr | BitAnd | BitXor | BitOr => {
                 if ta.is_arith() && tb.is_arith() {
                     Ok(common_type(ta, tb))
                 } else {
-                    Err(CError::new(line, format!("invalid operands to {op:?}: {ta}, {tb}")))
+                    Err(CError::new(
+                        line,
+                        format!("invalid operands to {op:?}: {ta}, {tb}"),
+                    ))
                 }
             }
             Lt | Gt | Le | Ge | Eq | Ne => {
@@ -492,7 +567,10 @@ impl<'a> Checker<'a> {
                 if scalar(ta) && scalar(tb) {
                     Ok(Type::int())
                 } else {
-                    Err(CError::new(line, format!("invalid operands to &&/||: {ta}, {tb}")))
+                    Err(CError::new(
+                        line,
+                        format!("invalid operands to &&/||: {ta}, {tb}"),
+                    ))
                 }
             }
         }
@@ -502,7 +580,10 @@ impl<'a> Checker<'a> {
 /// Integer promotion: anything narrower than `int` computes as `int`.
 fn promote(t: &Type) -> Type {
     match t {
-        Type::Int { width, signed } if *width < 4 => Type::Int { width: 4, signed: *signed },
+        Type::Int { width, signed } if *width < 4 => Type::Int {
+            width: 4,
+            signed: *signed,
+        },
         other => other.clone(),
     }
 }
@@ -523,9 +604,24 @@ fn common_type(a: &Type, b: &Type) -> Type {
         }
         (Type::IntPtr { .. }, _) => a.clone(),
         (_, Type::IntPtr { .. }) => b.clone(),
-        (Type::Int { width: wa, signed: sa }, Type::Int { width: wb, signed: sb }) => {
+        (
+            Type::Int {
+                width: wa,
+                signed: sa,
+            },
+            Type::Int {
+                width: wb,
+                signed: sb,
+            },
+        ) => {
             let w = (*wa).max(*wb).max(4);
-            let signed = if wa == wb { *sa && *sb } else if wa > wb { *sa } else { *sb };
+            let signed = if wa == wb {
+                *sa && *sb
+            } else if wa > wb {
+                *sa
+            } else {
+                *sb
+            };
             Type::Int { width: w, signed }
         }
         _ => a.clone(),
@@ -563,32 +659,42 @@ mod tests {
 
     #[test]
     fn arity_checked() {
-        assert!(err("int f(int a) { return f(1, 2); }").msg.contains("arguments"));
+        assert!(err("int f(int a) { return f(1, 2); }")
+            .msg
+            .contains("arguments"));
     }
 
     #[test]
     fn pointer_arithmetic_types() {
         let u = ok("long f(int *p, int *q) { return q - p; }");
-        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else { panic!() };
+        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else {
+            panic!()
+        };
         assert_eq!(e.ty, Type::long());
     }
 
     #[test]
     fn ptr_plus_int_is_ptr() {
         let u = ok("int *f(int *p) { return p + 3; }");
-        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else { panic!() };
+        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else {
+            panic!()
+        };
         assert!(e.ty.is_pointer());
     }
 
     #[test]
     fn ptr_to_int_requires_cast() {
-        assert!(err("long f(int *p) { long x = p; return x; }").msg.contains("cast"));
+        assert!(err("long f(int *p) { long x = p; return x; }")
+            .msg
+            .contains("cast"));
         ok("long f(int *p) { long x = (long)p; return x; }");
     }
 
     #[test]
     fn int_to_ptr_requires_cast_except_null() {
-        assert!(err("int *f(long x) { int *p = x; return p; }").msg.contains("cast"));
+        assert!(err("int *f(long x) { int *p = x; return p; }")
+            .msg
+            .contains("cast"));
         ok("int *f(long x) { int *p = 0; return (int*)x; }");
     }
 
@@ -602,15 +708,11 @@ mod tests {
 
     #[test]
     fn member_access_types() {
-        let u = ok(
-            "struct pair { int a; long b; };
-             long f(struct pair *p) { return p->b + p->a; }",
-        );
+        let u = ok("struct pair { int a; long b; };
+             long f(struct pair *p) { return p->b + p->a; }");
         assert_eq!(u.funcs[0].ret, Type::long());
-        assert!(err(
-            "struct pair { int a; };
-             int f(struct pair *p) { return p->zz; }"
-        )
+        assert!(err("struct pair { int a; };
+             int f(struct pair *p) { return p->zz; }")
         .msg
         .contains("zz"));
     }
@@ -618,7 +720,9 @@ mod tests {
     #[test]
     fn intcap_arithmetic_is_sticky() {
         let u = ok("intcap_t f(intcap_t x) { return x + 1; }");
-        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else { panic!() };
+        let Stmt::Return(Some(e), _) = &u.funcs[0].body.stmts[0] else {
+            panic!()
+        };
         assert_eq!(e.ty, Type::IntCap { signed: true });
     }
 
@@ -630,15 +734,23 @@ mod tests {
     #[test]
     fn sizeof_is_unsigned_long() {
         let u = ok("unsigned long f(void) { return sizeof(long) + sizeof(int*); }");
-        assert_eq!(u.funcs[0].ret, Type::Int { width: 8, signed: false });
+        assert_eq!(
+            u.funcs[0].ret,
+            Type::Int {
+                width: 8,
+                signed: false
+            }
+        );
     }
 
     #[test]
     fn offsetof_requires_field() {
         ok("struct s { int a; long b; }; long f(void) { return offsetof(struct s, b); }");
-        assert!(err("struct s { int a; }; long f(void) { return offsetof(struct s, q); }")
-            .msg
-            .contains("q"));
+        assert!(
+            err("struct s { int a; }; long f(void) { return offsetof(struct s, q); }")
+                .msg
+                .contains("q")
+        );
     }
 
     #[test]
@@ -663,7 +775,13 @@ mod tests {
     fn string_array_len_inferred() {
         let mut u = ok("char msg[] = \"hello\";");
         let g = u.globals.remove(0);
-        assert_eq!(g.ty, Type::Array { elem: Box::new(Type::char_()), len: 6 });
+        assert_eq!(
+            g.ty,
+            Type::Array {
+                elem: Box::new(Type::char_()),
+                len: 6
+            }
+        );
     }
 
     #[test]

@@ -72,8 +72,16 @@ impl HierarchyConfig {
     /// 4-way, with DRAM "less costly than on most modern processors".
     pub fn fpga_softcore() -> HierarchyConfig {
         HierarchyConfig {
-            l1: CacheConfig { size_bytes: 16 * 1024, line_bytes: 64, ways: 4 },
-            l2: CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, ways: 8 },
+            l1: CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 64,
+                ways: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
             l1_hit_cycles: 1,
             l2_hit_cycles: 9,
             dram_cycles: 30,
@@ -84,8 +92,16 @@ impl HierarchyConfig {
     /// (bigger caches, relatively slower DRAM).
     pub fn desktop() -> HierarchyConfig {
         HierarchyConfig {
-            l1: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
-            l2: CacheConfig { size_bytes: 512 * 1024, line_bytes: 64, ways: 8 },
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
             l1_hit_cycles: 1,
             l2_hit_cycles: 12,
             dram_cycles: 200,
@@ -196,7 +212,11 @@ impl Level {
             evicted_dirty = set[lru].dirty;
             set.remove(lru);
         }
-        set.push(Line { tag, dirty: write, stamp: self.clock });
+        set.push(Line {
+            tag,
+            dirty: write,
+            stamp: self.clock,
+        });
         if evicted_dirty {
             Lookup::MissEvictedDirty
         } else {

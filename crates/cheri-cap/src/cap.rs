@@ -320,7 +320,9 @@ impl Capability {
     pub fn set_bounds(&self, length: u64) -> CapResult<Capability> {
         self.require_unsealed_tagged()?;
         let addr = self.address();
-        let new_top = addr.checked_add(length).ok_or(CapError::ArithmeticOverflow)?;
+        let new_top = addr
+            .checked_add(length)
+            .ok_or(CapError::ArithmeticOverflow)?;
         if addr < self.base || new_top > self.top() {
             return Err(CapError::BoundsViolation { addr, len: length });
         }
@@ -359,7 +361,10 @@ impl Capability {
         }
         let otype = authority.address();
         if otype > OTYPE_MAX as u64 {
-            return Err(CapError::BoundsViolation { addr: otype, len: 1 });
+            return Err(CapError::BoundsViolation {
+                addr: otype,
+                len: 1,
+            });
         }
         let mut c = *self;
         c.otype = otype as u32;
@@ -586,7 +591,10 @@ mod tests {
     fn set_length_cannot_grow() {
         let c = cap().set_length(0x10).unwrap();
         assert_eq!(c.length(), 0x10);
-        assert_eq!(c.set_length(0x11).unwrap_err(), CapError::MonotonicityViolation);
+        assert_eq!(
+            c.set_length(0x11).unwrap_err(),
+            CapError::MonotonicityViolation
+        );
     }
 
     #[test]
@@ -605,7 +613,11 @@ mod tests {
         assert_eq!(c.length(), 0x20);
         assert_eq!(c.offset(), 0);
         // Cannot exceed parent region.
-        let err = cap().inc_offset(0xF0).unwrap().set_bounds(0x20).unwrap_err();
+        let err = cap()
+            .inc_offset(0xF0)
+            .unwrap()
+            .set_bounds(0x20)
+            .unwrap_err();
         assert!(matches!(err, CapError::BoundsViolation { .. }));
     }
 
@@ -636,7 +648,10 @@ mod tests {
     #[test]
     fn untagged_never_dereferences() {
         let c = cap().clear_tag();
-        assert_eq!(c.check_access(1, Perms::LOAD).unwrap_err(), CapError::TagViolation);
+        assert_eq!(
+            c.check_access(1, Perms::LOAD).unwrap_err(),
+            CapError::TagViolation
+        );
     }
 
     #[test]
@@ -683,7 +698,10 @@ mod tests {
         let c = cap().seal(&sealer).unwrap();
         assert!(c.is_sealed());
         assert_eq!(c.sealed_state(), SealedState::Sealed(0x42));
-        assert_eq!(c.check_access(1, Perms::LOAD).unwrap_err(), CapError::SealViolation);
+        assert_eq!(
+            c.check_access(1, Perms::LOAD).unwrap_err(),
+            CapError::SealViolation
+        );
         assert_eq!(c.inc_offset(1).unwrap_err(), CapError::SealViolation);
         let u = c.unseal(&sealer).unwrap();
         assert!(!u.is_sealed());

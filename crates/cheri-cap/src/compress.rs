@@ -178,7 +178,9 @@ mod tests {
     #[test]
     fn sealed_is_unrepresentable() {
         let sealer = Capability::new_mem(7, 1, Perms::all());
-        let c = Capability::new_mem(0x1000, 64, Perms::data()).seal(&sealer).unwrap();
+        let c = Capability::new_mem(0x1000, 64, Perms::data())
+            .seal(&sealer)
+            .unwrap();
         assert_eq!(CompressedCapability::compress(&c), None);
     }
 

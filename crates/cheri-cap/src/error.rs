@@ -63,7 +63,10 @@ impl fmt::Display for CapError {
                 write!(f, "alignment violation: capability access at {addr:#x}")
             }
             CapError::Unrepresentable(what) => {
-                write!(f, "operation unrepresentable in this capability model: {what}")
+                write!(
+                    f,
+                    "operation unrepresentable in this capability model: {what}"
+                )
             }
             CapError::ArithmeticOverflow => write!(f, "capability field arithmetic overflowed"),
         }
@@ -78,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = CapError::BoundsViolation { addr: 0x1000, len: 4 };
+        let e = CapError::BoundsViolation {
+            addr: 0x1000,
+            len: 4,
+        };
         let s = e.to_string();
         assert!(s.contains("0x1000"));
         assert!(s.contains("4 bytes"));

@@ -51,7 +51,10 @@ impl PtrCmpOrdering {
 pub fn ptr_cmp(a: &Capability, b: &Capability) -> PtrCmpOrdering {
     let cross_tag = a.tag() != b.tag();
     let ordering = a.tag().cmp(&b.tag()).then(a.address().cmp(&b.address()));
-    PtrCmpOrdering { ordering, cross_tag }
+    PtrCmpOrdering {
+        ordering,
+        cross_tag,
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +90,9 @@ mod tests {
     fn same_address_different_object_compares_equal() {
         // C compares pointer *values*; two one-past-the-end / adjacent-object
         // pointers with the same address are equal at the language level.
-        let a = Capability::new_mem(0x1000, 0x10, Perms::data()).inc_offset(0x10).unwrap();
+        let a = Capability::new_mem(0x1000, 0x10, Perms::data())
+            .inc_offset(0x10)
+            .unwrap();
         let b = Capability::new_mem(0x1010, 0x10, Perms::data());
         assert!(ptr_cmp(&a, &b).is_eq());
     }

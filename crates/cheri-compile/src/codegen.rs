@@ -29,7 +29,10 @@ pub struct CompileError {
 
 impl CompileError {
     fn new(line: u32, msg: impl Into<String>) -> CompileError {
-        CompileError { line, msg: msg.into() }
+        CompileError {
+            line,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -187,7 +190,10 @@ impl<'u> Cg<'u> {
                 self.live.push(op);
                 Ok(op)
             }
-            None => self.err(line, "expression too complex (capability registers exhausted)"),
+            None => self.err(
+                line,
+                "expression too complex (capability registers exhausted)",
+            ),
         }
     }
 
@@ -340,7 +346,12 @@ impl<'u> Cg<'u> {
         self.call_fixups.push((start_pos, "main".to_string(), 0));
         self.emit(Instr::r3(Op::Addu, A0, V0, ZERO));
         self.emit(Instr::syscall(sys::EXIT));
-        self.symbols.push(Symbol { name: "_start".into(), value: 0, size: 3, is_func: true });
+        self.symbols.push(Symbol {
+            name: "_start".into(),
+            value: 0,
+            size: 3,
+            is_func: true,
+        });
 
         for f in &self.unit.funcs {
             self.gen_function(f)?;
@@ -381,16 +392,29 @@ impl<'u> Cg<'u> {
             let off = (addr - self.data_base) as usize;
             match (&g.init, &g.ty) {
                 (None, _) => {}
-                (Some(Expr { kind: ExprKind::StrLit(s), .. }), Type::Array { .. }) => {
+                (
+                    Some(Expr {
+                        kind: ExprKind::StrLit(s),
+                        ..
+                    }),
+                    Type::Array { .. },
+                ) => {
                     self.data[off..off + s.len()].copy_from_slice(s.as_bytes());
                 }
                 (Some(e), ty) if ty.is_integer() => {
-                    let v = const_eval(e, &self.ti, self.unit)
-                        .ok_or_else(|| CompileError::new(g.line, "global initializer must be a constant"))?;
+                    let v = const_eval(e, &self.ti, self.unit).ok_or_else(|| {
+                        CompileError::new(g.line, "global initializer must be a constant")
+                    })?;
                     let w = self.tsize(ty) as usize;
                     self.data[off..off + w].copy_from_slice(&v.to_le_bytes()[..w]);
                 }
-                (Some(Expr { kind: ExprKind::IntLit(0), .. }), Type::Ptr { .. }) => {}
+                (
+                    Some(Expr {
+                        kind: ExprKind::IntLit(0),
+                        ..
+                    }),
+                    Type::Ptr { .. },
+                ) => {}
                 (Some(e), _) => {
                     return self.err(
                         e.line,
@@ -607,7 +631,12 @@ impl<'u> Cg<'u> {
     }
 
     /// Materializes a pointer to `addr`.
-    fn addr_to_ptr(&mut self, addr: Addr, bounded_size: Option<u64>, line: u32) -> Result<Operand, CompileError> {
+    fn addr_to_ptr(
+        &mut self,
+        addr: Addr,
+        bounded_size: Option<u64>,
+        line: u32,
+    ) -> Result<Operand, CompileError> {
         match addr {
             Addr::Frame(off) => {
                 if self.abi.is_cheri() {
@@ -628,7 +657,12 @@ impl<'u> Cg<'u> {
                     self.emit(Instr::cmod(Op::CFromPtr, Self::reg(c), DDC, Self::reg(tmp)));
                     if let Some(sz) = bounded_size.or(Some(size)) {
                         self.emit(Instr::li(Self::reg(tmp), sz as i32));
-                        self.emit(Instr::cmod(Op::CSetBounds, Self::reg(c), Self::reg(c), Self::reg(tmp)));
+                        self.emit(Instr::cmod(
+                            Op::CSetBounds,
+                            Self::reg(c),
+                            Self::reg(c),
+                            Self::reg(tmp),
+                        ));
                     }
                     self.free_op(tmp);
                     Ok(c)
@@ -703,7 +737,13 @@ impl<'u> Cg<'u> {
         Ok(r)
     }
 
-    fn store_addr(&mut self, addr: Addr, ty: &Type, val: Operand, line: u32) -> Result<(), CompileError> {
+    fn store_addr(
+        &mut self,
+        addr: Addr,
+        ty: &Type,
+        val: Operand,
+        line: u32,
+    ) -> Result<(), CompileError> {
         if self.is_cap_value(ty) {
             let Operand::Cap(v) = val else {
                 // Storing a null constant (integer 0) into a pointer slot.
@@ -783,7 +823,12 @@ impl<'u> Cg<'u> {
             }
             (Abi::CheriV3, Operand::Cap(pc)) => {
                 if negate {
-                    self.emit(Instr::r3(Op::Subu, Self::reg(delta), ZERO, Self::reg(delta)));
+                    self.emit(Instr::r3(
+                        Op::Subu,
+                        Self::reg(delta),
+                        ZERO,
+                        Self::reg(delta),
+                    ));
                 }
                 self.emit(Instr::c_inc_offset(pc, pc, Self::reg(delta)));
                 Ok(p)
@@ -931,7 +976,12 @@ impl<'u> Cg<'u> {
                 } else {
                     let r = self.alloc_int(e.line)?;
                     let delta = if *inc { step } else { -step };
-                    self.emit(Instr::i2(Op::Addiu, Self::reg(r), Self::reg(old), delta as i32));
+                    self.emit(Instr::i2(
+                        Op::Addiu,
+                        Self::reg(r),
+                        Self::reg(old),
+                        delta as i32,
+                    ));
                     r
                 };
                 self.store_addr(addr, &ty, new, e.line)?;
@@ -1025,7 +1075,13 @@ impl<'u> Cg<'u> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn gen_binary(&mut self, op: BinOp, a: &Expr, b: &Expr, e: &Expr) -> Result<Operand, CompileError> {
+    fn gen_binary(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        e: &Expr,
+    ) -> Result<Operand, CompileError> {
         // Short-circuit logical operators.
         if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
             let result = self.alloc_int(e.line)?;
@@ -1064,13 +1120,23 @@ impl<'u> Cg<'u> {
             let pb = self.gen_ptr(b)?;
             let ia = self.coerce_int(pa, e.line)?;
             let ib = self.coerce_int(pb, e.line)?;
-            self.emit(Instr::r3(Op::Subu, Self::reg(ia), Self::reg(ia), Self::reg(ib)));
+            self.emit(Instr::r3(
+                Op::Subu,
+                Self::reg(ia),
+                Self::reg(ia),
+                Self::reg(ib),
+            ));
             self.free_op(ib);
             let es = self.tsize(ta.pointee().expect("ptr")).max(1);
             if es > 1 {
                 let s = self.alloc_int(e.line)?;
                 self.emit(Instr::li(Self::reg(s), es as i32));
-                self.emit(Instr::r3(Op::Div, Self::reg(ia), Self::reg(ia), Self::reg(s)));
+                self.emit(Instr::r3(
+                    Op::Div,
+                    Self::reg(ia),
+                    Self::reg(ia),
+                    Self::reg(s),
+                ));
                 self.free_op(s);
             }
             return Ok(ia);
@@ -1149,7 +1215,11 @@ impl<'u> Cg<'u> {
         self.emit(Instr::r3(alu, ra, ra, rb));
         self.free_op(ib);
         // Narrow unsigned arithmetic wraps at the type width.
-        if let Type::Int { width, signed: false } = e.ty {
+        if let Type::Int {
+            width,
+            signed: false,
+        } = e.ty
+        {
             if width < 8 {
                 let sh = (8 - width) * 8;
                 self.emit(Instr::i2(Op::Sll, ra, ra, sh as i32));
@@ -1273,7 +1343,12 @@ impl<'u> Cg<'u> {
             if es != 1 {
                 let s = self.alloc_int(line)?;
                 self.emit(Instr::li(Self::reg(s), es as i32));
-                self.emit(Instr::r3(Op::Mul, Self::reg(rv), Self::reg(rv), Self::reg(s)));
+                self.emit(Instr::r3(
+                    Op::Mul,
+                    Self::reg(rv),
+                    Self::reg(rv),
+                    Self::reg(s),
+                ));
                 self.free_op(s);
             }
             let q = self.ptr_add_reg(cur, rv, negate, line)?;
@@ -1319,7 +1394,12 @@ impl<'u> Cg<'u> {
         Ok(ia)
     }
 
-    fn coerce_for_store(&mut self, val: Operand, ty: &Type, line: u32) -> Result<Operand, CompileError> {
+    fn coerce_for_store(
+        &mut self,
+        val: Operand,
+        ty: &Type,
+        line: u32,
+    ) -> Result<Operand, CompileError> {
         if self.is_cap_value(ty) {
             return match val {
                 Operand::Cap(_) => Ok(val),
@@ -1433,7 +1513,12 @@ impl<'u> Cg<'u> {
                 }
                 Operand::Cap(r) => {
                     let base = self.frame_base_reg();
-                    self.emit(Instr::mem(Op::Clc, CA0 + cap_idx, base, Self::cap_spill_off(*r)));
+                    self.emit(Instr::mem(
+                        Op::Clc,
+                        CA0 + cap_idx,
+                        base,
+                        Self::cap_spill_off(*r),
+                    ));
                     cap_idx += 1;
                 }
             }
@@ -1462,7 +1547,12 @@ impl<'u> Cg<'u> {
         Ok(dest)
     }
 
-    fn gen_intrinsic(&mut self, name: &str, args: &[Expr], e: &Expr) -> Result<Operand, CompileError> {
+    fn gen_intrinsic(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        e: &Expr,
+    ) -> Result<Operand, CompileError> {
         match name {
             "abort" => {
                 self.emit(Instr::new(Op::Break, 0, 0, 0, 0));
@@ -1551,7 +1641,12 @@ impl<'u> Cg<'u> {
 
     fn gen_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
         match s {
-            Stmt::Decl { name, ty, init, line } => {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
                 let off = self.define_local(name, ty);
                 if let Some(e) = init {
                     if let (Type::Array { elem, .. }, ExprKind::StrLit(text)) = (ty, &e.kind) {
@@ -1564,7 +1659,12 @@ impl<'u> Cg<'u> {
                                 // Byte-by-byte; literals in workloads are short.
                                 let src = Addr::Global(src_addr + i, 1);
                                 let b = self.load_addr(src, &Type::char_(), *line)?;
-                                self.store_addr(Addr::Frame(off + i as i32), &Type::char_(), b, *line)?;
+                                self.store_addr(
+                                    Addr::Frame(off + i as i32),
+                                    &Type::char_(),
+                                    b,
+                                    *line,
+                                )?;
                                 self.free_op(b);
                             }
                             self.free_op(tmp);
@@ -1583,7 +1683,11 @@ impl<'u> Cg<'u> {
                 self.free_op(v);
                 Ok(())
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let else_l = self.new_label();
                 let end_l = self.new_label();
                 let c = self.gen(cond)?;
@@ -1607,7 +1711,10 @@ impl<'u> Cg<'u> {
                 let cb = self.coerce_bool(c, cond.line)?;
                 self.emit_branch_if_zero(Self::reg(cb), end);
                 self.free_op(cb);
-                self.loops.push(Loop { breaks: Vec::new(), continues: Vec::new() });
+                self.loops.push(Loop {
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
                 self.gen_block(body)?;
                 let lp = self.loops.pop().expect("loop");
                 for pos in lp.continues {
@@ -1625,7 +1732,10 @@ impl<'u> Cg<'u> {
                 let check = self.new_label();
                 let end = self.new_label();
                 self.bind(head);
-                self.loops.push(Loop { breaks: Vec::new(), continues: Vec::new() });
+                self.loops.push(Loop {
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
                 self.gen_block(body)?;
                 let lp = self.loops.pop().expect("loop");
                 self.bind(check);
@@ -1642,7 +1752,12 @@ impl<'u> Cg<'u> {
                 }
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.gen_stmt(i)?;
@@ -1657,7 +1772,10 @@ impl<'u> Cg<'u> {
                     self.emit_branch_if_zero(Self::reg(cb), end);
                     self.free_op(cb);
                 }
-                self.loops.push(Loop { breaks: Vec::new(), continues: Vec::new() });
+                self.loops.push(Loop {
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
                 self.gen_block(body)?;
                 let lp = self.loops.pop().expect("loop");
                 self.bind(step_l);

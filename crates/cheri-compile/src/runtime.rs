@@ -51,13 +51,13 @@ int puts(const char *s) {
 "#;
 
 /// Names lowered as intrinsics rather than calls.
-pub(crate) const INTRINSICS: &[&str] =
-    &["putchar", "putint", "malloc", "free", "clock", "abort", "memcpy"];
+pub(crate) const INTRINSICS: &[&str] = &[
+    "putchar", "putint", "malloc", "free", "clock", "abort", "memcpy",
+];
 
 /// Names provided by [`RUNTIME_SOURCE`].
 #[allow(dead_code)] // documented contract, exercised by tests
-pub(crate) const RUNTIME_FUNCS: &[&str] =
-    &["assert", "memset", "strlen", "strcmp", "puts"];
+pub(crate) const RUNTIME_FUNCS: &[&str] = &["assert", "memset", "strlen", "strcmp", "puts"];
 
 #[cfg(test)]
 mod tests {

@@ -124,7 +124,8 @@ impl Collector {
         let base = hdr + HEADER;
         self.cursor += need;
         mem.write_u64(hdr, len).expect("heap within memory");
-        mem.fill(base, need - HEADER, 0).expect("heap within memory");
+        mem.fill(base, need - HEADER, 0)
+            .expect("heap within memory");
         self.objects.insert(base, len);
         Some(Capability::new_mem(base, len, Perms::data()))
     }
@@ -148,13 +149,15 @@ impl Collector {
         // Evacuate the transitive closure, breadth-first.
         let mut queue: Vec<u64> = Vec::new();
         let enqueue = |c: &Capability,
-                           forwarding: &mut HashMap<u64, u64>,
-                           queue: &mut Vec<u64>,
-                           to_cursor: &mut u64,
-                           stats: &mut GcStats,
-                           mem: &mut TaggedMemory| {
+                       forwarding: &mut HashMap<u64, u64>,
+                       queue: &mut Vec<u64>,
+                       to_cursor: &mut u64,
+                       stats: &mut GcStats,
+                       mem: &mut TaggedMemory| {
             let base = c.base();
-            let Some(&len) = from_objects.get(&base) else { return };
+            let Some(&len) = from_objects.get(&base) else {
+                return;
+            };
             if forwarding.contains_key(&base) {
                 return;
             }
@@ -181,7 +184,14 @@ impl Collector {
 
         for root in roots.iter() {
             if self.is_heap_object_in(&from_objects, root) {
-                enqueue(root, &mut forwarding, &mut queue, &mut to_cursor, &mut stats, mem);
+                enqueue(
+                    root,
+                    &mut forwarding,
+                    &mut queue,
+                    &mut to_cursor,
+                    &mut stats,
+                    mem,
+                );
             }
         }
         // Scan evacuated objects for interior capabilities (tag-accurate:
@@ -196,7 +206,14 @@ impl Collector {
                 if mem.tag_at(g).expect("in range") {
                     let c = mem.read_cap(g).expect("aligned tagged granule");
                     if from_objects.contains_key(&c.base()) {
-                        enqueue(&c, &mut forwarding, &mut queue, &mut to_cursor, &mut stats, mem);
+                        enqueue(
+                            &c,
+                            &mut forwarding,
+                            &mut queue,
+                            &mut to_cursor,
+                            &mut stats,
+                            mem,
+                        );
                     }
                 }
                 g += CAP_ALIGN;

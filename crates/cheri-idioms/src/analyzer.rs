@@ -17,11 +17,39 @@ use crate::idiom::{Idiom, IdiomCounts};
 use cheri_c::{BinOp, Block, Expr, ExprKind, Stmt, TranslationUnit, Type, UnOp};
 use std::collections::HashSet;
 
+/// Functions below this count are analyzed sequentially; thread spawn
+/// overhead would dominate otherwise.
+const PAR_THRESHOLD: usize = 64;
+
 /// Counts idiom occurrences in a whole translation unit.
+///
+/// Functions are analyzed independently (taint never crosses function
+/// boundaries), so corpus-sized units fan the per-function passes out
+/// across scoped threads and merge the tallies — the counts are additive,
+/// making the result identical to the sequential walk. On single-core
+/// hosts (or small units) the same walk runs inline.
 pub fn analyze(unit: &TranslationUnit) -> IdiomCounts {
+    let workers = cheri_interp::fan_out_workers();
+    if unit.funcs.len() < PAR_THRESHOLD || workers == 1 {
+        return analyze_funcs(&unit.funcs);
+    }
+    let chunk = unit.funcs.len().div_ceil(workers);
+    let chunks: Vec<&[cheri_c::FuncDef]> = unit.funcs.chunks(chunk).collect();
+    let partials = cheri_interp::fan_out_ordered(&chunks, |funcs| analyze_funcs(funcs));
     let mut counts = IdiomCounts::new();
-    for f in &unit.funcs {
-        let mut a = FuncAnalyzer { taint: HashSet::new(), counts: &mut counts };
+    for p in &partials {
+        counts.merge(p);
+    }
+    counts
+}
+
+fn analyze_funcs(funcs: &[cheri_c::FuncDef]) -> IdiomCounts {
+    let mut counts = IdiomCounts::new();
+    for f in funcs {
+        let mut a = FuncAnalyzer {
+            taint: HashSet::new(),
+            counts: &mut counts,
+        };
         a.collect_taint(&f.body);
         a.walk_block(&f.body);
     }
@@ -38,7 +66,10 @@ fn is_narrow_int(ty: &Type) -> bool {
 }
 
 fn is_wide_int(ty: &Type) -> bool {
-    matches!(ty, Type::Int { width: 8, .. } | Type::IntPtr { .. } | Type::IntCap { .. })
+    matches!(
+        ty,
+        Type::Int { width: 8, .. } | Type::IntPtr { .. } | Type::IntCap { .. }
+    )
 }
 
 impl FuncAnalyzer<'_> {
@@ -74,12 +105,20 @@ impl FuncAnalyzer<'_> {
 
     fn taint_stmt(&mut self, s: &Stmt) {
         match s {
-            Stmt::Decl { name, ty, init: Some(e), .. }
-                if (is_wide_int(ty) || is_narrow_int(ty)) && self.derived(e) => {
-                    self.taint.insert(name.clone());
-                }
+            Stmt::Decl {
+                name,
+                ty,
+                init: Some(e),
+                ..
+            } if (is_wide_int(ty) || is_narrow_int(ty)) && self.derived(e) => {
+                self.taint.insert(name.clone());
+            }
             Stmt::Expr(e) => self.taint_expr(e),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.taint_expr(cond);
                 self.taint_block(then_branch);
                 if let Some(e) = else_branch {
@@ -94,7 +133,12 @@ impl FuncAnalyzer<'_> {
                 self.taint_block(body);
                 self.taint_expr(cond);
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.taint_stmt(i);
                 }
@@ -126,9 +170,7 @@ impl FuncAnalyzer<'_> {
     fn visit_children(&mut self, e: &Expr, mut f: impl FnMut(&mut Self, &Expr)) {
         match &e.kind {
             ExprKind::Unary(_, a) | ExprKind::Cast(_, a) | ExprKind::SizeofExpr(a) => f(self, a),
-            ExprKind::Binary(_, a, b)
-            | ExprKind::Assign(_, a, b)
-            | ExprKind::Index(a, b) => {
+            ExprKind::Binary(_, a, b) | ExprKind::Assign(_, a, b) | ExprKind::Index(a, b) => {
                 f(self, a);
                 f(self, b);
             }
@@ -158,12 +200,18 @@ impl FuncAnalyzer<'_> {
 
     fn walk_stmt(&mut self, s: &Stmt) {
         match s {
-            Stmt::Decl { ty, init: Some(e), .. } => {
+            Stmt::Decl {
+                ty, init: Some(e), ..
+            } => {
                 self.note_int_store(ty, e);
                 self.walk_expr(e);
             }
             Stmt::Expr(e) => self.walk_expr(e),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.walk_expr(cond);
                 self.walk_block(then_branch);
                 if let Some(b) = else_branch {
@@ -178,7 +226,12 @@ impl FuncAnalyzer<'_> {
                 self.walk_block(body);
                 self.walk_expr(cond);
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.walk_stmt(i);
                 }
@@ -213,7 +266,9 @@ impl FuncAnalyzer<'_> {
             ExprKind::Cast(to, inner) => {
                 // Deconst: pointer cast that strips a const qualifier.
                 if let (
-                    Type::Ptr { is_const: false, .. },
+                    Type::Ptr {
+                        is_const: false, ..
+                    },
                     Type::Ptr { is_const: true, .. },
                 ) = (to, &inner.ty.decay())
                 {
@@ -363,7 +418,9 @@ mod tests {
     fn wide_detected() {
         let c = counts("int f(char *p) { return (int)(long)p; }");
         assert_eq!(c.get(Idiom::Wide), 1);
-        let c2 = counts("int f(char *p) { unsigned int w = (unsigned int)(unsigned long)p; return (int)w; }");
+        let c2 = counts(
+            "int f(char *p) { unsigned int w = (unsigned int)(unsigned long)p; return (int)w; }",
+        );
         assert_eq!(c2.get(Idiom::Wide), 1);
     }
 

@@ -11,7 +11,7 @@
 //! to the `intcap_t` type", §5.1).
 
 use crate::idiom::Idiom;
-use cheri_interp::{run_main, ModelKind, RtError};
+use cheri_interp::{run_main, LoweredUnit, ModelKind, RtError};
 
 /// A cell of Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -227,20 +227,38 @@ pub struct MatrixCell {
 }
 
 /// Runs the full 7×8 matrix.
+///
+/// Each idiom case is parsed and lowered **once** (the lowering is shared
+/// by every model with that target layout), and the seven models — which
+/// are fully independent — run on one scoped thread each. Cells come back
+/// in the same deterministic (model-major, [`ModelKind::ALL`] ×
+/// [`Idiom::ALL`]) order the sequential harness produced.
 pub fn run_matrix() -> Vec<MatrixCell> {
-    let mut cells = Vec::with_capacity(56);
-    for model in ModelKind::ALL {
-        for idiom in Idiom::ALL {
-            let r = run_case(model, idiom);
-            cells.push(MatrixCell {
-                model,
-                idiom,
-                works: r.is_ok(),
-                failure: r.err().map(|e| e.to_string()),
-            });
-        }
-    }
-    cells
+    let lowered: Vec<(Idiom, LoweredUnit)> = Idiom::ALL
+        .iter()
+        .map(|&idiom| {
+            let unit = cheri_c::parse(source(idiom)).expect("idiom cases always parse");
+            (idiom, LoweredUnit::new(&unit))
+        })
+        .collect();
+    let row = |model: ModelKind| -> Vec<MatrixCell> {
+        lowered
+            .iter()
+            .map(|(idiom, lu)| {
+                let r = lu.run(model).map(|res| {
+                    assert_eq!(res.exit_code, 0, "idiom case must exit 0 when it works");
+                });
+                MatrixCell {
+                    model,
+                    idiom: *idiom,
+                    works: r.is_ok(),
+                    failure: r.err().map(|e| e.to_string()),
+                }
+            })
+            .collect()
+    };
+    let per_model = cheri_interp::fan_out_ordered(&ModelKind::ALL, |&model| row(model));
+    per_model.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -266,11 +284,7 @@ mod tests {
             assert_eq!(
                 cell.works, expected,
                 "Table 3 mismatch at ({}, {}): measured {} expected {} ({:?})",
-                cell.model,
-                cell.idiom,
-                cell.works,
-                expected,
-                cell.failure
+                cell.model, cell.idiom, cell.works, expected, cell.failure
             );
         }
     }

@@ -51,19 +51,71 @@ impl PackageSpec {
 /// `[DECONST, CONTAINER, SUB, II, INT, IA, MASK, WIDE]`.
 pub fn paper_packages() -> Vec<PackageSpec> {
     vec![
-        PackageSpec { name: "ffmpeg", loc: 693_010, counts: [150, 0, 800, 4, 0, 0, 4, 0] },
-        PackageSpec { name: "libX11", loc: 120_386, counts: [117, 0, 19, 9, 1, 0, 0, 5] },
-        PackageSpec { name: "FreeBSD libc", loc: 136_717, counts: [288, 0, 216, 2, 13, 50, 184, 17] },
-        PackageSpec { name: "bash", loc: 109_250, counts: [43, 0, 207, 11, 0, 0, 15, 4] },
-        PackageSpec { name: "libpng", loc: 50_071, counts: [20, 0, 175, 1, 0, 0, 0, 0] },
-        PackageSpec { name: "tcpdump", loc: 66_555, counts: [579, 0, 9, 1299, 0, 0, 0, 0] },
-        PackageSpec { name: "perf", loc: 52_033, counts: [575, 151, 46, 0, 53, 151, 31, 4] },
-        PackageSpec { name: "pmc", loc: 8_886, counts: [2, 0, 0, 0, 18, 0, 0, 0] },
-        PackageSpec { name: "pcre", loc: 70_447, counts: [98, 0, 52, 0, 0, 0, 0, 0] },
-        PackageSpec { name: "python", loc: 383_813, counts: [494, 0, 358, 1, 109, 0, 131, 8] },
-        PackageSpec { name: "wget", loc: 91_710, counts: [55, 0, 61, 0, 3, 0, 1, 10] },
-        PackageSpec { name: "zlib", loc: 21_090, counts: [4, 0, 24, 0, 0, 0, 0, 0] },
-        PackageSpec { name: "zsh", loc: 98_664, counts: [29, 0, 267, 0, 0, 0, 5, 5] },
+        PackageSpec {
+            name: "ffmpeg",
+            loc: 693_010,
+            counts: [150, 0, 800, 4, 0, 0, 4, 0],
+        },
+        PackageSpec {
+            name: "libX11",
+            loc: 120_386,
+            counts: [117, 0, 19, 9, 1, 0, 0, 5],
+        },
+        PackageSpec {
+            name: "FreeBSD libc",
+            loc: 136_717,
+            counts: [288, 0, 216, 2, 13, 50, 184, 17],
+        },
+        PackageSpec {
+            name: "bash",
+            loc: 109_250,
+            counts: [43, 0, 207, 11, 0, 0, 15, 4],
+        },
+        PackageSpec {
+            name: "libpng",
+            loc: 50_071,
+            counts: [20, 0, 175, 1, 0, 0, 0, 0],
+        },
+        PackageSpec {
+            name: "tcpdump",
+            loc: 66_555,
+            counts: [579, 0, 9, 1299, 0, 0, 0, 0],
+        },
+        PackageSpec {
+            name: "perf",
+            loc: 52_033,
+            counts: [575, 151, 46, 0, 53, 151, 31, 4],
+        },
+        PackageSpec {
+            name: "pmc",
+            loc: 8_886,
+            counts: [2, 0, 0, 0, 18, 0, 0, 0],
+        },
+        PackageSpec {
+            name: "pcre",
+            loc: 70_447,
+            counts: [98, 0, 52, 0, 0, 0, 0, 0],
+        },
+        PackageSpec {
+            name: "python",
+            loc: 383_813,
+            counts: [494, 0, 358, 1, 109, 0, 131, 8],
+        },
+        PackageSpec {
+            name: "wget",
+            loc: 91_710,
+            counts: [55, 0, 61, 0, 3, 0, 1, 10],
+        },
+        PackageSpec {
+            name: "zlib",
+            loc: 21_090,
+            counts: [4, 0, 24, 0, 0, 0, 0, 0],
+        },
+        PackageSpec {
+            name: "zsh",
+            loc: 98_664,
+            counts: [29, 0, 267, 0, 0, 0, 5, 5],
+        },
     ]
 }
 
@@ -99,32 +151,22 @@ pub struct GeneratedPackage {
 
 fn idiom_template(idiom: Idiom, k: u64) -> String {
     match idiom {
-        Idiom::Deconst => format!(
-            "char *deconst_{k}(const char *p) {{\n    return (char*)p;\n}}\n"
-        ),
+        Idiom::Deconst => {
+            format!("char *deconst_{k}(const char *p) {{\n    return (char*)p;\n}}\n")
+        }
         Idiom::Container => format!(
             "struct box_{k} {{ int tag_{k}; int member_{k}; }};\n\
              struct box_{k} *container_{k}(int *m) {{\n    \
              return (struct box_{k}*)((char*)m - offsetof(struct box_{k}, member_{k}));\n}}\n"
         ),
-        Idiom::Sub => format!(
-            "long sub_{k}(char *a, char *b) {{\n    return a - b;\n}}\n"
-        ),
-        Idiom::II => format!(
-            "int ii_{k}(int *p) {{\n    return *(p + 9 - 7);\n}}\n"
-        ),
-        Idiom::Int => format!(
-            "long int_{k}(int *p) {{\n    long x = (long)p;\n    return x;\n}}\n"
-        ),
-        Idiom::IA => format!(
-            "long ia_{k}(char *p) {{\n    return (long)p + 8;\n}}\n"
-        ),
-        Idiom::Mask => format!(
-            "long mask_{k}(char *p) {{\n    return (long)p & ~7;\n}}\n"
-        ),
-        Idiom::Wide => format!(
-            "int wide_{k}(char *p) {{\n    return (int)(long)p;\n}}\n"
-        ),
+        Idiom::Sub => format!("long sub_{k}(char *a, char *b) {{\n    return a - b;\n}}\n"),
+        Idiom::II => format!("int ii_{k}(int *p) {{\n    return *(p + 9 - 7);\n}}\n"),
+        Idiom::Int => {
+            format!("long int_{k}(int *p) {{\n    long x = (long)p;\n    return x;\n}}\n")
+        }
+        Idiom::IA => format!("long ia_{k}(char *p) {{\n    return (long)p + 8;\n}}\n"),
+        Idiom::Mask => format!("long mask_{k}(char *p) {{\n    return (long)p & ~7;\n}}\n"),
+        Idiom::Wide => format!("int wide_{k}(char *p) {{\n    return (int)(long)p;\n}}\n"),
     }
 }
 
@@ -163,12 +205,19 @@ pub fn generate_package(spec: &PackageSpec, seed: u64) -> GeneratedPackage {
     chunks.shuffle(&mut rng);
     let source = chunks.concat();
     let loc = source.lines().count() as u64;
-    GeneratedPackage { spec: spec.clone(), source, loc }
+    GeneratedPackage {
+        spec: spec.clone(),
+        source,
+        loc,
+    }
 }
 
 /// Generates the full 13-package corpus.
 pub fn generate_corpus(seed: u64) -> Vec<GeneratedPackage> {
-    paper_packages().iter().map(|p| generate_package(p, seed)).collect()
+    paper_packages()
+        .iter()
+        .map(|p| generate_package(p, seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -182,7 +231,10 @@ mod tests {
         // they differ in DECONST/SUB/II, a known inconsistency in the
         // paper's own table.
         assert_eq!(paper_totals(), [2454, 151, 2234, 1327, 197, 201, 371, 53]);
-        assert_eq!(PAPER_PRINTED_TOTALS, [2491, 151, 2236, 1557, 197, 201, 371, 53]);
+        assert_eq!(
+            PAPER_PRINTED_TOTALS,
+            [2491, 151, 2236, 1557, 197, 201, 371, 53]
+        );
         let total: u64 = paper_packages().iter().map(|p| p.loc).sum();
         assert_eq!(total, 1_902_632);
     }
@@ -193,8 +245,7 @@ mod tests {
         // corpus runs in the table1 harness and bench.
         for spec in paper_packages().iter().filter(|p| p.loc < 60_000) {
             let g = generate_package(spec, 42);
-            let unit = cheri_c::parse(&g.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let unit = cheri_c::parse(&g.source).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             let measured = analyze(&unit);
             assert_eq!(
                 measured,

@@ -72,7 +72,10 @@ impl Idiom {
 
     /// Index in [`Idiom::ALL`].
     pub fn index(self) -> usize {
-        Idiom::ALL.iter().position(|&i| i == self).expect("idiom in ALL")
+        Idiom::ALL
+            .iter()
+            .position(|&i| i == self)
+            .expect("idiom in ALL")
     }
 }
 

@@ -23,12 +23,20 @@ impl TargetInfo {
     /// The conventional 64-bit layout (PDP-11-like and the fat-pointer
     /// schemes, whose metadata lives out of band).
     pub fn lp64() -> TargetInfo {
-        TargetInfo { ptr_size: 8, ptr_align: 8, cap_intptr: false }
+        TargetInfo {
+            ptr_size: 8,
+            ptr_align: 8,
+            cap_intptr: false,
+        }
     }
 
     /// The CHERI pure-capability layout: 256-bit aligned capabilities.
     pub fn cheri() -> TargetInfo {
-        TargetInfo { ptr_size: 32, ptr_align: 32, cap_intptr: true }
+        TargetInfo {
+            ptr_size: 32,
+            ptr_align: 32,
+            cap_intptr: true,
+        }
     }
 }
 
@@ -54,7 +62,12 @@ pub fn size_of(ty: &Type, structs: &[StructDef], ti: &TargetInfo) -> u64 {
         Type::Struct(id) => {
             let sd = &structs[*id];
             if sd.is_union {
-                let size = sd.fields.iter().map(|f| size_of(&f.ty, structs, ti)).max().unwrap_or(0);
+                let size = sd
+                    .fields
+                    .iter()
+                    .map(|f| size_of(&f.ty, structs, ti))
+                    .max()
+                    .unwrap_or(0);
                 round_up(size, align_of(ty, structs, ti))
             } else {
                 let mut off = 0;
@@ -147,7 +160,10 @@ mod tests {
         assert_eq!(size_of(&Type::ptr_to(Type::int()), &[], &ti), 32);
         assert_eq!(align_of(&Type::ptr_to(Type::int()), &[], &ti), 32);
         assert_eq!(size_of(&Type::IntPtr { signed: true }, &[], &ti), 32);
-        assert_eq!(size_of(&Type::IntPtr { signed: true }, &[], &TargetInfo::lp64()), 8);
+        assert_eq!(
+            size_of(&Type::IntPtr { signed: true }, &[], &TargetInfo::lp64()),
+            8
+        );
     }
 
     #[test]
@@ -181,7 +197,10 @@ mod tests {
     #[test]
     fn arrays_multiply() {
         let ti = TargetInfo::lp64();
-        let a = Type::Array { elem: Box::new(Type::int()), len: 10 };
+        let a = Type::Array {
+            elem: Box::new(Type::int()),
+            len: 10,
+        };
         assert_eq!(size_of(&a, &[], &ti), 40);
         assert_eq!(align_of(&a, &[], &ti), 4);
     }

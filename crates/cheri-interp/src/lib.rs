@@ -7,6 +7,13 @@
 //! but allows us to quickly modify the abstract machine and run the test
 //! cases extracted from the idioms to see which fail." — §5
 //!
+//! The interpreter compiles the typed AST **once per target layout** into a
+//! flat execution IR ([`lower`] → [`IrProgram`]) and dispatches over that in
+//! its hot loop; all seven models share the lowering for their layout (see
+//! [`LoweredUnit`] and [`run_main_all`], which also fans the independent
+//! model runs out across threads). Every pointer decision still goes
+//! through the active [`MemoryModel`].
+//!
 //! Seven interpretations of the C abstract machine are provided, matching
 //! Table 3:
 //!
@@ -34,13 +41,19 @@
 //! assert!(run_main(&unit, ModelKind::CheriV2).is_err());
 //! ```
 
+mod ir;
 mod layout;
+mod lower;
 mod machine;
 mod model;
 mod models;
+mod par;
 mod value;
 
+pub use ir::{BinMeta, Builtin, IrFunc, IrGlobal, IrProgram, Op, SlotDef, TyId};
 pub use layout::{align_of, field_offset, size_of, TargetInfo};
-pub use machine::{run_main, ExecResult, Interp, RtError};
+pub use lower::lower;
+pub use machine::{run_main, run_main_all, ExecResult, Interp, LoweredUnit, RtError};
 pub use model::{MemoryModel, ModelCtx, ModelError, ModelKind, ShadowEntry};
+pub use par::{fan_out_ordered, fan_out_workers};
 pub use value::{IntValue, Prov, PtrVal, Value};

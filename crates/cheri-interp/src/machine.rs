@@ -1,24 +1,32 @@
 //! The abstract-machine interpreter core.
 //!
-//! Owns memory, scopes and control flow; delegates every pointer decision
+//! Owns memory, frames and control flow; delegates every pointer decision
 //! to the active [`MemoryModel`]. Objects live in a *virtual* address space
 //! based above 4 GiB so that truncating a pointer to 32 bits (the **Wide**
 //! idiom) is genuinely lossy, as on any modern 64-bit system.
+//!
+//! Since the IR refactor the hot loop dispatches over the flattened
+//! [`IrProgram`] produced by [`crate::lower`] instead of re-walking the
+//! AST: variables are frame slots, layouts are pre-computed, and control
+//! flow is branch targets. One lowering per target layout is shared by all
+//! models with that layout — see [`LoweredUnit`] and [`run_main_all`].
 
-use crate::layout::{align_of, field_offset, size_of, TargetInfo};
+use crate::ir::{BinMeta, Builtin, IrProgram, Op, ELEM_POISON};
+use crate::lower::lower;
 use crate::model::{MemoryModel, ModelCtx, ModelError, ModelKind, ShadowEntry};
 use crate::value::{IntValue, PtrVal, Value};
-use cheri_c::{BinOp, Block, Expr, ExprKind, FuncDef, Stmt, StructDef, TranslationUnit, Type, UnOp};
+use cheri_c::{BinOp, TranslationUnit, Type, UnOp};
 use cheri_cap::Capability;
 use cheri_mem::{Allocator, TaggedMemory};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Virtual base of the interpreter's address space (above 4 GiB).
 pub const VBASE: u64 = 0x4_0000_0000;
 const RODATA_OFF: u64 = 0;
-const GLOBALS_OFF: u64 = 0x10_0000;
+pub(crate) const GLOBALS_OFF: u64 = 0x10_0000;
 const HEAP_OFF: u64 = 0x20_0000;
 const HEAP_SIZE: u64 = 0x40_0000;
 const STACK_TOP_OFF: u64 = 0x80_0000;
@@ -119,81 +127,153 @@ pub fn run_main(unit: &TranslationUnit, kind: ModelKind) -> Result<ExecResult, R
     Interp::new(unit, kind.build()).run("main")
 }
 
-#[derive(Clone, Debug)]
-struct Var {
-    addr: u64,
-    ty: Type,
-    size: u64,
+/// Runs `main` under **all seven** models, sharing one lowering per target
+/// layout and fanning the independent model runs out across scoped
+/// threads. Results come back in [`ModelKind::ALL`] order regardless of
+/// which thread finishes first.
+pub fn run_main_all(unit: &TranslationUnit) -> Vec<(ModelKind, Result<ExecResult, RtError>)> {
+    LoweredUnit::new(unit).run_all()
 }
 
-enum Flow {
-    Normal,
-    Break,
-    Continue,
-    Return(Option<Value>),
+/// A translation unit lowered once per target layout (LP64 and CHERI),
+/// ready to run under any model — the compile cost is amortized across the
+/// seven-model differential harness instead of being paid per run.
+pub struct LoweredUnit {
+    lp64: IrProgram,
+    cheri: IrProgram,
 }
 
-#[derive(Clone, Debug)]
-enum PlacePtr {
-    /// Direct variable storage (always valid).
-    Var(u64),
-    /// Through a pointer; checked by the model at each access.
-    Indirect(PtrVal),
+impl LoweredUnit {
+    /// Lowers `unit` for both target layouts.
+    pub fn new(unit: &TranslationUnit) -> LoweredUnit {
+        LoweredUnit {
+            lp64: lower(unit, crate::layout::TargetInfo::lp64()),
+            cheri: lower(unit, crate::layout::TargetInfo::cheri()),
+        }
+    }
+
+    /// The lowering matching `ti`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a target layout other than the two the built-in models
+    /// use (LP64 and CHERI).
+    pub fn for_target(&self, ti: &crate::layout::TargetInfo) -> &IrProgram {
+        if *ti == self.cheri.target {
+            &self.cheri
+        } else {
+            assert_eq!(*ti, self.lp64.target, "unknown target layout {ti:?}");
+            &self.lp64
+        }
+    }
+
+    /// Runs `main` under `kind` using the shared lowering.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RtError`].
+    pub fn run(&self, kind: ModelKind) -> Result<ExecResult, RtError> {
+        let model = kind.build();
+        let ir = self.for_target(&model.target());
+        Interp::with_ir(ir, model).run("main")
+    }
+
+    /// Runs `main` under every model, one scoped thread per model (inline
+    /// on single-core hosts), with deterministic [`ModelKind::ALL`] result
+    /// ordering regardless of completion order.
+    pub fn run_all(&self) -> Vec<(ModelKind, Result<ExecResult, RtError>)> {
+        let results = crate::par::fan_out_ordered(&ModelKind::ALL, |&k| self.run(k));
+        ModelKind::ALL.into_iter().zip(results).collect()
+    }
 }
 
-#[derive(Clone, Debug)]
-struct Place {
-    ptr: PlacePtr,
-    ty: Type,
+// --- Memory pooling -----------------------------------------------------
+
+// A fresh 8 MiB zeroed TaggedMemory costs more than interpreting a typical
+// idiom case; runs only touch a few 64 KiB chunks of it. Pool memories
+// globally — the fan-out paths retire runs on short-lived scoped threads,
+// so a thread-local pool would never be rehit there — and re-zero just the
+// dirty chunks between runs. When the pool is full the memory is dropped
+// without paying for a reset.
+static MEM_POOL: Mutex<Vec<TaggedMemory>> = Mutex::new(Vec::new());
+const MEM_POOL_CAP: usize = 8;
+
+fn pool_take() -> TaggedMemory {
+    MEM_POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop()
+        .unwrap_or_else(|| TaggedMemory::new(PHYS_SIZE))
 }
 
-/// The interpreter. See [`run_main`] for the one-shot entry point.
-pub struct Interp<'u> {
-    unit: &'u TranslationUnit,
-    model: Box<dyn MemoryModel>,
-    ti: TargetInfo,
-    mem: TaggedMemory,
-    heap: Allocator,
-    objects: BTreeMap<u64, u64>,
-    shadow: HashMap<u64, ShadowEntry>,
-    globals: HashMap<String, Var>,
-    frames: Vec<Vec<HashMap<String, Var>>>,
-    frame_bases: Vec<u64>,
-    stack_cursor: u64,
-    rodata_cursor: u64,
-    strings: HashMap<String, u64>,
-    output: String,
-    steps: u64,
-    step_limit: u64,
+fn pool_put(mut m: TaggedMemory) {
+    let mut pool = MEM_POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if pool.len() < MEM_POOL_CAP {
+        m.reset(); // proportional to the run's footprint, not the 8 MiB
+        pool.push(m);
+    }
 }
 
-impl<'u> Interp<'u> {
-    /// Builds an interpreter over `unit` with the given model.
-    pub fn new(unit: &'u TranslationUnit, model: Box<dyn MemoryModel>) -> Interp<'u> {
-        let ti = model.target();
+// --- The interpreter ----------------------------------------------------
+
+enum IrRef<'p> {
+    Owned(Box<IrProgram>),
+    Borrowed(&'p IrProgram),
+}
+
+impl IrRef<'_> {
+    fn get(&self) -> &IrProgram {
+        match self {
+            IrRef::Owned(p) => p,
+            IrRef::Borrowed(p) => p,
+        }
+    }
+}
+
+/// The interpreter. See [`run_main`] for the one-shot entry point and
+/// [`Interp::with_ir`] for running a pre-lowered program.
+pub struct Interp<'p> {
+    ir: IrRef<'p>,
+    st: State,
+}
+
+impl Interp<'static> {
+    /// Builds an interpreter over `unit` with the given model, lowering the
+    /// unit for the model's target layout.
+    pub fn new(unit: &TranslationUnit, model: Box<dyn MemoryModel>) -> Interp<'static> {
+        let ir = lower(unit, model.target());
         Interp {
-            unit,
-            model,
-            ti,
-            mem: TaggedMemory::new(PHYS_SIZE),
-            heap: Allocator::new(VBASE + HEAP_OFF, HEAP_SIZE),
-            objects: BTreeMap::new(),
-            shadow: HashMap::new(),
-            globals: HashMap::new(),
-            frames: Vec::new(),
-            frame_bases: Vec::new(),
-            stack_cursor: VBASE + STACK_TOP_OFF,
-            rodata_cursor: VBASE + RODATA_OFF,
-            strings: HashMap::new(),
-            output: String::new(),
-            steps: 0,
-            step_limit: 200_000_000,
+            ir: IrRef::Owned(Box::new(ir)),
+            st: State::new(model),
+        }
+    }
+}
+
+impl<'p> Interp<'p> {
+    /// Builds an interpreter over a pre-lowered program (shared, e.g.,
+    /// across the differential harness's threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ir` was lowered for a different target layout than the
+    /// model's.
+    pub fn with_ir(ir: &'p IrProgram, model: Box<dyn MemoryModel>) -> Interp<'p> {
+        assert_eq!(
+            ir.target,
+            model.target(),
+            "IR was lowered for a different target layout than the model's"
+        );
+        Interp {
+            ir: IrRef::Borrowed(ir),
+            st: State::new(model),
         }
     }
 
     /// Overrides the default step budget.
-    pub fn with_step_limit(mut self, limit: u64) -> Interp<'u> {
-        self.step_limit = limit;
+    pub fn with_step_limit(mut self, limit: u64) -> Interp<'p> {
+        self.st.step_limit = limit;
         self
     }
 
@@ -202,21 +282,97 @@ impl<'u> Interp<'u> {
     /// # Errors
     ///
     /// Any [`RtError`].
-    pub fn run(mut self, entry: &str) -> Result<ExecResult, RtError> {
-        self.setup_globals()?;
-        let f = self.unit.func(entry).ok_or(RtError::NoMain)?;
-        let v = self.call_function(f, Vec::new(), f.line)?;
+    pub fn run(self, entry: &str) -> Result<ExecResult, RtError> {
+        let Interp { ir, mut st } = self;
+        st.run(ir.get(), entry)
+    }
+}
+
+struct Frame {
+    fid: u32,
+    ret_pc: usize,
+    base: u64,
+    saved_cursor: u64,
+    vstack_base: usize,
+}
+
+struct State {
+    model: Box<dyn MemoryModel>,
+    mem: Option<TaggedMemory>,
+    heap: Allocator,
+    objects: BTreeMap<u64, u64>,
+    shadow: HashMap<u64, ShadowEntry>,
+    stack_cursor: u64,
+    rodata_cursor: u64,
+    str_addrs: Vec<Option<u64>>,
+    output: String,
+    steps: u64,
+    step_limit: u64,
+    vstack: Vec<Value>,
+    frames: Vec<Frame>,
+}
+
+impl Drop for State {
+    fn drop(&mut self) {
+        if let Some(m) = self.mem.take() {
+            pool_put(m);
+        }
+    }
+}
+
+impl State {
+    fn new(model: Box<dyn MemoryModel>) -> State {
+        State {
+            model,
+            mem: Some(pool_take()),
+            heap: Allocator::new(VBASE + HEAP_OFF, HEAP_SIZE),
+            objects: BTreeMap::new(),
+            shadow: HashMap::new(),
+            stack_cursor: VBASE + STACK_TOP_OFF,
+            rodata_cursor: VBASE + RODATA_OFF,
+            str_addrs: Vec::new(),
+            output: String::new(),
+            steps: 0,
+            step_limit: 200_000_000,
+            vstack: Vec::with_capacity(64),
+            frames: Vec::with_capacity(16),
+        }
+    }
+
+    fn run(&mut self, prog: &IrProgram, entry: &str) -> Result<ExecResult, RtError> {
+        self.str_addrs = vec![None; prog.strings.len()];
+        for g in &prog.globals {
+            self.objects.insert(g.addr, g.size);
+        }
+        self.exec_call(prog, prog.init_fid)?;
+        let fid = prog.func_by_name(entry).ok_or(RtError::NoMain)?;
+        let v = self.exec_call(prog, fid)?;
         let exit_code = match v {
             Value::Int(i) => i.as_i64(),
             Value::Ptr(p) => p.addr() as i64,
         };
-        Ok(ExecResult { exit_code, output: self.output, steps: self.steps })
+        Ok(ExecResult {
+            exit_code,
+            output: std::mem::take(&mut self.output),
+            steps: self.steps,
+        })
     }
 
     // --- Memory plumbing ---
 
+    fn mem(&self) -> &TaggedMemory {
+        self.mem.as_ref().expect("memory present while running")
+    }
+
+    fn mem_mut(&mut self) -> &mut TaggedMemory {
+        self.mem.as_mut().expect("memory present while running")
+    }
+
     fn phys(&self, vaddr: u64, len: u64, line: u32) -> Result<u64, RtError> {
-        if vaddr < VBASE || vaddr.wrapping_add(len) > VBASE + PHYS_SIZE || vaddr.wrapping_add(len) < vaddr {
+        if vaddr < VBASE
+            || vaddr.wrapping_add(len) > VBASE + PHYS_SIZE
+            || vaddr.wrapping_add(len) < vaddr
+        {
             return Err(RtError::Unmapped { line, addr: vaddr });
         }
         Ok(vaddr - VBASE)
@@ -224,30 +380,22 @@ impl<'u> Interp<'u> {
 
     fn read_raw(&self, vaddr: u64, width: u8, line: u32) -> Result<u64, RtError> {
         let p = self.phys(vaddr, width as u64, line)?;
-        self.mem.read_uint(p, width).map_err(|_| RtError::Unmapped { line, addr: vaddr })
+        self.mem()
+            .read_uint(p, width)
+            .map_err(|_| RtError::Unmapped { line, addr: vaddr })
     }
 
     fn write_raw(&mut self, vaddr: u64, v: u64, width: u8, line: u32) -> Result<(), RtError> {
         let p = self.phys(vaddr, width as u64, line)?;
-        self.mem
+        self.mem_mut()
             .write_uint(p, v, width)
             .map_err(|_| RtError::Unmapped { line, addr: vaddr })
     }
 
-    fn type_size(&self, ty: &Type) -> u64 {
-        size_of(ty, &self.unit.structs, &self.ti)
-    }
-
-    fn type_align(&self, ty: &Type) -> u64 {
-        align_of(ty, &self.unit.structs, &self.ti)
-    }
-
-    fn structs(&self) -> &[StructDef] {
-        &self.unit.structs
-    }
-
     fn ctx(&self) -> ModelCtx<'_> {
-        ModelCtx { objects: &self.objects }
+        ModelCtx {
+            objects: &self.objects,
+        }
     }
 
     fn model_err(&self, line: u32, err: ModelError) -> RtError {
@@ -259,8 +407,13 @@ impl<'u> Interp<'u> {
         match ty {
             Type::Int { width, signed } => {
                 let raw = self.read_raw(vaddr, *width, line)?;
-                let mut iv = IntValue { v: raw, width: *width, signed: *signed, prov: None }
-                    .normalized();
+                let mut iv = IntValue {
+                    v: raw,
+                    width: *width,
+                    signed: *signed,
+                    prov: None,
+                }
+                .normalized();
                 if *width == 8 && self.model.uses_shadow() {
                     if let Some(e) = self.shadow.get(&vaddr) {
                         if e.bits == iv.v {
@@ -278,26 +431,37 @@ impl<'u> Interp<'u> {
                 if self.model.stores_caps() {
                     let p = self.phys(vaddr, 32, line)?;
                     let c = self
-                        .mem
+                        .mem()
                         .read_cap(p)
                         .map_err(|_| RtError::Unmapped { line, addr: vaddr })?;
                     Ok(Value::Ptr(PtrVal::Cap(c)))
                 } else {
-                    self.load_typed(vaddr, &Type::Int { width: 8, signed: *signed }, line)
+                    self.load_typed(
+                        vaddr,
+                        &Type::Int {
+                            width: 8,
+                            signed: *signed,
+                        },
+                        line,
+                    )
                 }
             }
             Type::Ptr { .. } => {
                 if self.model.stores_caps() {
                     let p = self.phys(vaddr, 32, line)?;
                     let c = self
-                        .mem
+                        .mem()
                         .read_cap(p)
                         .map_err(|_| RtError::Unmapped { line, addr: vaddr })?;
                     Ok(Value::Ptr(PtrVal::Cap(c)))
                 } else {
                     let bits = self.read_raw(vaddr, 8, line)?;
                     let shadow = self.shadow.get(&vaddr).copied();
-                    Ok(Value::Ptr(self.model.load_ptr_bits(&self.ctx(), bits, shadow.as_ref())))
+                    Ok(Value::Ptr(self.model.load_ptr_bits(
+                        &self.ctx(),
+                        bits,
+                        shadow.as_ref(),
+                    )))
                 }
             }
             Type::Array { .. } | Type::Struct(_) | Type::Void => Err(RtError::Unsupported {
@@ -316,8 +480,14 @@ impl<'u> Interp<'u> {
                 if self.model.uses_shadow() {
                     match iv.prov {
                         Some(p) if *width == 8 && !p.modified => {
-                            self.shadow
-                                .insert(vaddr, ShadowEntry { bits: iv.v, base: p.base, len: p.len });
+                            self.shadow.insert(
+                                vaddr,
+                                ShadowEntry {
+                                    bits: iv.v,
+                                    base: p.base,
+                                    len: p.len,
+                                },
+                            );
                         }
                         _ => {
                             self.shadow.remove(&vaddr);
@@ -334,15 +504,27 @@ impl<'u> Interp<'u> {
                         Value::Int(i) => Capability::from_int(i.v),
                     };
                     let p = self.phys(vaddr, 32, line)?;
-                    self.mem
+                    self.mem_mut()
                         .write_cap(p, &c)
                         .map_err(|_| RtError::Unmapped { line, addr: vaddr })
                 } else {
                     let as_int = match val {
-                        Value::Int(i) => Value::Int(IntValue { width: 8, signed: *signed, ..i }),
+                        Value::Int(i) => Value::Int(IntValue {
+                            width: 8,
+                            signed: *signed,
+                            ..i
+                        }),
                         other => other,
                     };
-                    self.store_typed(vaddr, &Type::Int { width: 8, signed: *signed }, as_int, line)
+                    self.store_typed(
+                        vaddr,
+                        &Type::Int {
+                            width: 8,
+                            signed: *signed,
+                        },
+                        as_int,
+                        line,
+                    )
                 }
             }
             Type::Ptr { .. } => {
@@ -359,7 +541,7 @@ impl<'u> Interp<'u> {
                         other => Capability::from_int(other.addr()),
                     };
                     let p = self.phys(vaddr, 32, line)?;
-                    self.mem
+                    self.mem_mut()
                         .write_cap(p, &c)
                         .map_err(|_| RtError::Unmapped { line, addr: vaddr })
                 } else {
@@ -389,7 +571,13 @@ impl<'u> Interp<'u> {
         match val {
             Value::Int(i) => {
                 let keep_prov = width == 8;
-                let mut out = IntValue { v: i.v, width, signed, prov: None }.normalized();
+                let mut out = IntValue {
+                    v: i.v,
+                    width,
+                    signed,
+                    prov: None,
+                }
+                .normalized();
                 if keep_prov {
                     out.prov = i.prov;
                 }
@@ -402,7 +590,7 @@ impl<'u> Interp<'u> {
     fn copy_bytes(&mut self, dst: u64, src: u64, len: u64, line: u32) -> Result<(), RtError> {
         let pd = self.phys(dst, len, line)?;
         let ps = self.phys(src, len, line)?;
-        self.mem
+        self.mem_mut()
             .memcpy(pd, ps, len)
             .map_err(|_| RtError::Unmapped { line, addr: dst })?;
         if self.model.uses_shadow() {
@@ -426,250 +614,24 @@ impl<'u> Interp<'u> {
         Ok(())
     }
 
-    // --- Object/variable management ---
+    // --- Value-stack helpers ---
 
-    fn alloc_stack(&mut self, size: u64, align: u64) -> u64 {
-        let sz = size.max(1);
-        let mut a = self.stack_cursor - sz;
-        a &= !(align.max(1) - 1);
-        self.stack_cursor = a;
-        a
+    fn pop(&mut self) -> Value {
+        self.vstack
+            .pop()
+            .expect("value on stack (lowering invariant)")
     }
 
-    fn define_local(&mut self, name: &str, ty: &Type, line: u32) -> Result<Var, RtError> {
-        let size = self.type_size(ty);
-        let align = self.type_align(ty);
-        let addr = self.alloc_stack(size, align);
-        if addr < VBASE + STACK_TOP_OFF - 0x20_0000 {
-            return Err(RtError::Unsupported { line, msg: "stack overflow".into() });
-        }
-        self.objects.insert(addr, size.max(1));
-        let var = Var { addr, ty: ty.clone(), size: size.max(1) };
-        self.frames
-            .last_mut()
-            .expect("active frame")
-            .last_mut()
-            .expect("active scope")
-            .insert(name.to_string(), var.clone());
-        Ok(var)
-    }
-
-    fn lookup_var(&self, name: &str) -> Option<Var> {
-        if let Some(scopes) = self.frames.last() {
-            for scope in scopes.iter().rev() {
-                if let Some(v) = scope.get(name) {
-                    return Some(v.clone());
-                }
-            }
-        }
-        self.globals.get(name).cloned()
-    }
-
-    fn setup_globals(&mut self) -> Result<(), RtError> {
-        let mut cursor = VBASE + GLOBALS_OFF;
-        for g in &self.unit.globals {
-            let size = self.type_size(&g.ty).max(1);
-            let align = self.type_align(&g.ty).max(1);
-            cursor = cursor.next_multiple_of(align);
-            let var = Var { addr: cursor, ty: g.ty.clone(), size };
-            self.objects.insert(cursor, size);
-            self.globals.insert(g.name.clone(), var);
-            cursor += size;
-        }
-        // Initializers run after all globals have addresses.
-        for g in self.unit.globals.clone() {
-            let Some(init) = &g.init else { continue };
-            let var = self.globals[&g.name].clone();
-            if let (Type::Array { elem, .. }, ExprKind::StrLit(s)) = (&g.ty, &init.kind) {
-                if **elem == Type::char_() {
-                    let bytes: Vec<u8> = s.bytes().chain(std::iter::once(0)).collect();
-                    for (i, b) in bytes.iter().enumerate() {
-                        self.write_raw(var.addr + i as u64, *b as u64, 1, g.line)?;
-                    }
-                    continue;
-                }
-            }
-            let v = self.eval(init)?;
-            self.store_typed(var.addr, &g.ty, v, g.line)?;
-        }
-        Ok(())
-    }
-
-    fn intern_string(&mut self, s: &str, line: u32) -> Result<PtrVal, RtError> {
-        let addr = if let Some(&a) = self.strings.get(s) {
-            a
-        } else {
-            let len = s.len() as u64 + 1;
-            let addr = self.rodata_cursor.next_multiple_of(32);
-            self.rodata_cursor = addr + len;
-            for (i, b) in s.bytes().chain(std::iter::once(0)).enumerate() {
-                self.write_raw(addr + i as u64, b as u64, 1, line)?;
-            }
-            self.objects.insert(addr, len);
-            self.strings.insert(s.to_string(), addr);
-            addr
-        };
-        let ty = Type::ptr_to(Type::char_());
-        Ok(self.model.make_ptr(addr, s.len() as u64 + 1, &ty))
-    }
-
-    // --- Places ---
-
-    fn eval_place(&mut self, e: &Expr) -> Result<Place, RtError> {
-        match &e.kind {
-            ExprKind::Ident(name) => {
-                let var = self.lookup_var(name).ok_or_else(|| RtError::Unsupported {
-                    line: e.line,
-                    msg: format!("unbound variable {name}"),
-                })?;
-                Ok(Place { ptr: PlacePtr::Var(var.addr), ty: var.ty })
-            }
-            ExprKind::Unary(UnOp::Deref, inner) => {
-                let p = self.eval_ptr(inner)?;
-                let ty = inner.ty.decay().pointee().cloned().expect("checked deref");
-                Ok(Place { ptr: PlacePtr::Indirect(p), ty })
-            }
-            ExprKind::Index(base, idx) => {
-                let p = self.eval_ptr(base)?;
-                let iv = self.eval(idx)?;
-                let elem = base.ty.decay().pointee().cloned().expect("checked index");
-                let delta = (iv.as_u64() as i64).wrapping_mul(self.type_size(&elem) as i64);
-                let q = self
-                    .model
-                    .ptr_add(&p, delta)
-                    .map_err(|err| self.model_err(e.line, err))?;
-                Ok(Place { ptr: PlacePtr::Indirect(q), ty: elem })
-            }
-            ExprKind::Member { base, field, arrow } => {
-                if *arrow {
-                    let p = self.eval_ptr(base)?;
-                    let Type::Struct(id) = base.ty.decay().pointee().cloned().expect("checked ->")
-                    else {
-                        return Err(RtError::Unsupported {
-                            line: e.line,
-                            msg: "-> on non-struct".into(),
-                        });
-                    };
-                    let (off, fty) = field_offset(self.structs(), id, field, &self.ti);
-                    let fsize = self.type_size(&fty);
-                    let q = self
-                        .model
-                        .narrow_field(&p, off, fsize)
-                        .map_err(|err| self.model_err(e.line, err))?;
-                    Ok(Place { ptr: PlacePtr::Indirect(q), ty: fty })
-                } else {
-                    let pl = self.eval_place(base)?;
-                    let Type::Struct(id) = pl.ty else {
-                        return Err(RtError::Unsupported {
-                            line: e.line,
-                            msg: ". on non-struct".into(),
-                        });
-                    };
-                    let (off, fty) = field_offset(self.structs(), id, field, &self.ti);
-                    match pl.ptr {
-                        PlacePtr::Var(a) => Ok(Place { ptr: PlacePtr::Var(a + off), ty: fty }),
-                        PlacePtr::Indirect(p) => {
-                            let fsize = self.type_size(&fty);
-                            let q = self
-                                .model
-                                .narrow_field(&p, off, fsize)
-                                .map_err(|err| self.model_err(e.line, err))?;
-                            Ok(Place { ptr: PlacePtr::Indirect(q), ty: fty })
-                        }
-                    }
-                }
-            }
-            _ => Err(RtError::Unsupported {
-                line: e.line,
-                msg: "expression is not an lvalue".into(),
-            }),
+    fn pop_ptr(&mut self) -> PtrVal {
+        match self.pop() {
+            Value::Ptr(p) => p,
+            Value::Int(_) => unreachable!("lowering routes pointers through ToPtr"),
         }
     }
 
-    fn place_vaddr(&mut self, pl: &Place, write: bool, line: u32) -> Result<u64, RtError> {
-        match &pl.ptr {
-            PlacePtr::Var(a) => Ok(*a),
-            PlacePtr::Indirect(p) => {
-                let size = self.type_size(&pl.ty);
-                self.model
-                    .deref(&self.ctx(), p, size, write)
-                    .map_err(|err| self.model_err(line, err))
-            }
-        }
+    fn frame_base(&self) -> u64 {
+        self.frames.last().expect("active frame").base
     }
-
-    fn load_place(&mut self, pl: &Place, line: u32) -> Result<Value, RtError> {
-        let a = self.place_vaddr(pl, false, line)?;
-        let ty = pl.ty.clone();
-        self.load_typed(a, &ty, line)
-    }
-
-    fn store_place(&mut self, pl: &Place, v: Value, line: u32) -> Result<(), RtError> {
-        let a = self.place_vaddr(pl, true, line)?;
-        let ty = pl.ty.clone();
-        self.store_typed(a, &ty, v, line)
-    }
-
-    /// `&place`: whole-object bounds for variables, model-specific
-    /// narrowing for members.
-    fn addr_of(&mut self, e: &Expr) -> Result<PtrVal, RtError> {
-        match &e.kind {
-            ExprKind::Unary(UnOp::Deref, inner) => self.eval_ptr(inner),
-            ExprKind::Index(base, idx) => {
-                let p = self.eval_ptr(base)?;
-                let iv = self.eval(idx)?;
-                let elem = base.ty.decay().pointee().cloned().expect("checked index");
-                let delta = (iv.as_u64() as i64).wrapping_mul(self.type_size(&elem) as i64);
-                self.model.ptr_add(&p, delta).map_err(|err| self.model_err(e.line, err))
-            }
-            ExprKind::Member { base, field, arrow } => {
-                let (p, id) = if *arrow {
-                    let p = self.eval_ptr(base)?;
-                    let Type::Struct(id) = base.ty.decay().pointee().cloned().expect("checked")
-                    else {
-                        return Err(RtError::Unsupported { line: e.line, msg: "->".into() });
-                    };
-                    (p, id)
-                } else {
-                    let p = self.addr_of(base)?;
-                    let Type::Struct(id) = base.ty.clone() else {
-                        return Err(RtError::Unsupported { line: e.line, msg: ".".into() });
-                    };
-                    (p, id)
-                };
-                let (off, fty) = field_offset(self.structs(), id, field, &self.ti);
-                let fsize = self.type_size(&fty);
-                self.model
-                    .narrow_field(&p, off, fsize)
-                    .map_err(|err| self.model_err(e.line, err))
-            }
-            ExprKind::Ident(name) => {
-                let var = self.lookup_var(name).ok_or_else(|| RtError::Unsupported {
-                    line: e.line,
-                    msg: format!("unbound variable {name}"),
-                })?;
-                let ptr_ty = Type::ptr_to(var.ty.clone());
-                Ok(self.model.make_ptr(var.addr, var.size, &ptr_ty))
-            }
-            _ => Err(RtError::Unsupported { line: e.line, msg: "& of non-lvalue".into() }),
-        }
-    }
-
-    /// Evaluates an expression that must yield a pointer (decaying arrays).
-    fn eval_ptr(&mut self, e: &Expr) -> Result<PtrVal, RtError> {
-        if e.ty.is_array() {
-            return self.addr_of(e);
-        }
-        match self.eval(e)? {
-            Value::Ptr(p) => Ok(p),
-            Value::Int(i) => self
-                .model
-                .int_to_ptr(&self.ctx(), &i, &e.ty)
-                .map_err(|err| self.model_err(e.line, err)),
-        }
-    }
-
-    // --- Expression evaluation ---
 
     fn tick(&mut self) -> Result<(), RtError> {
         self.steps += 1;
@@ -679,87 +641,356 @@ impl<'u> Interp<'u> {
         Ok(())
     }
 
-    fn eval(&mut self, e: &Expr) -> Result<Value, RtError> {
-        self.tick()?;
-        let line = e.line;
-        match &e.kind {
-            ExprKind::IntLit(v) => {
-                let w = if e.ty == Type::long() { 8 } else { 4 };
-                Ok(Value::Int(IntValue::new(*v, w, true)))
-            }
-            ExprKind::StrLit(s) => {
-                let s = s.clone();
-                Ok(Value::Ptr(self.intern_string(&s, line)?))
-            }
-            ExprKind::Ident(_) => {
-                if e.ty.is_array() {
-                    return Ok(Value::Ptr(self.addr_of(e)?));
+    /// The access size for an indirect load/store; `void` places fault like
+    /// the AST walker's `sizeof(void)` did.
+    fn checked_size(size: u64) -> u64 {
+        assert!(size != ELEM_POISON, "sizeof(void)");
+        size
+    }
+
+    // --- Frames ---
+
+    fn push_frame(
+        &mut self,
+        prog: &IrProgram,
+        fid: u32,
+        argc: usize,
+        ret_pc: usize,
+        call_line: u32,
+    ) -> Result<usize, RtError> {
+        let f = &prog.funcs[fid as usize];
+        if self.frames.len() > 400 {
+            return Err(RtError::Unsupported {
+                line: call_line,
+                msg: "call depth exceeded".into(),
+            });
+        }
+        // Internal calls are arity-checked by sema; only the entry
+        // invocation (zero arguments) can under-supply. A parameter with
+        // no argument would otherwise read silently-zeroed frame memory.
+        if argc < f.params.len() {
+            return Err(RtError::Unsupported {
+                line: f.line,
+                msg: format!("unbound variable {}", f.params[argc].name),
+            });
+        }
+        let saved = self.stack_cursor;
+        let base = (saved - f.frame_size) & !31;
+        if f.frame_size > 0 && base < VBASE + STACK_TOP_OFF - 0x20_0000 {
+            return Err(RtError::Unsupported {
+                line: f.line,
+                msg: "stack overflow".into(),
+            });
+        }
+        self.stack_cursor = base;
+        let argv: Vec<Value> = self.vstack.split_off(self.vstack.len() - argc);
+        let vstack_base = self.vstack.len();
+        self.frames.push(Frame {
+            fid,
+            ret_pc,
+            base,
+            saved_cursor: saved,
+            vstack_base,
+        });
+        for (slot, v) in f.params.iter().zip(argv) {
+            let addr = base + slot.off as u64;
+            self.objects.insert(addr, slot.size);
+            let ty = prog.types[slot.ty as usize].clone();
+            self.store_typed(addr, &ty, v, f.line)?;
+        }
+        Ok(f.entry)
+    }
+
+    // --- The dispatch loop ---
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_call(&mut self, prog: &IrProgram, fid: u32) -> Result<Value, RtError> {
+        let f = &prog.funcs[fid as usize];
+        let mut pc = self.push_frame(prog, fid, 0, usize::MAX, f.line)?;
+        loop {
+            self.tick()?;
+            match &prog.code[pc] {
+                Op::ConstInt { v, width, signed } => {
+                    self.vstack
+                        .push(Value::Int(IntValue::new(*v, *width, *signed)));
                 }
-                let pl = self.eval_place(e)?;
-                self.load_place(&pl, line)
-            }
-            ExprKind::Unary(op, inner) => self.eval_unary(*op, inner, e, line),
-            ExprKind::Binary(op, a, b) => self.eval_binary(*op, a, b, e, line),
-            ExprKind::Assign(op, lhs, rhs) => {
-                let pl = self.eval_place(lhs)?;
-                let v = if let Some(op) = op {
-                    let cur = self.load_place(&pl, line)?;
-                    let rv = self.eval_owned(rhs)?;
-                    self.apply_binop(*op, cur, &lhs.ty, rv, &rhs.ty, line)?
-                } else {
-                    self.eval(rhs)?
-                };
-                let stored = self.convert_for_store(v, &pl.ty);
-                self.store_place(&pl, stored, line)?;
-                Ok(stored)
-            }
-            ExprKind::Ternary(c, a, b) => {
-                let cv = self.eval(c)?;
-                if cv.is_truthy() {
-                    self.eval(a)
-                } else {
-                    self.eval(b)
+                Op::ConstStr { sid, line } => {
+                    let addr = self.intern(prog, *sid, *line)?;
+                    let len = prog.strings[*sid as usize].len() as u64 + 1;
+                    let ty = &prog.types[prog.str_ty as usize];
+                    self.vstack
+                        .push(Value::Ptr(self.model.make_ptr(addr, len, ty)));
+                }
+                Op::LoadLocal { off, ty, line } => {
+                    let addr = self.frame_base() + *off as u64;
+                    let ty = &prog.types[*ty as usize];
+                    let v = self.load_typed(addr, &ty.clone(), *line)?;
+                    self.vstack.push(v);
+                }
+                Op::LoadGlobal { addr, ty, line } => {
+                    let ty = prog.types[*ty as usize].clone();
+                    let v = self.load_typed(*addr, &ty, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::StoreLocal { off, ty, line } => {
+                    let addr = self.frame_base() + *off as u64;
+                    let ty = prog.types[*ty as usize].clone();
+                    let v = self.pop();
+                    self.store_typed(addr, &ty, v, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::StoreGlobal { addr, ty, line } => {
+                    let ty = prog.types[*ty as usize].clone();
+                    let v = self.pop();
+                    self.store_typed(*addr, &ty, v, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::AddrLocal { off, size, ty } => {
+                    let addr = self.frame_base() + *off as u64;
+                    let ty = &prog.types[*ty as usize];
+                    self.vstack
+                        .push(Value::Ptr(self.model.make_ptr(addr, *size, ty)));
+                }
+                Op::AddrGlobal { addr, size, ty } => {
+                    let ty = &prog.types[*ty as usize];
+                    self.vstack
+                        .push(Value::Ptr(self.model.make_ptr(*addr, *size, ty)));
+                }
+                Op::LoadInd { ty, size, line } => {
+                    let size = Self::checked_size(*size);
+                    let p = self.pop_ptr();
+                    let a = self
+                        .model
+                        .deref(&self.ctx(), &p, size, false)
+                        .map_err(|e| self.model_err(*line, e))?;
+                    let ty = prog.types[*ty as usize].clone();
+                    let v = self.load_typed(a, &ty, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::StoreInd { ty, size, line } => {
+                    let size = Self::checked_size(*size);
+                    let v = self.pop();
+                    let p = self.pop_ptr();
+                    let a = self
+                        .model
+                        .deref(&self.ctx(), &p, size, true)
+                        .map_err(|e| self.model_err(*line, e))?;
+                    let ty = prog.types[*ty as usize].clone();
+                    self.store_typed(a, &ty, v, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::Dup => {
+                    let v = *self.vstack.last().expect("value to duplicate");
+                    self.vstack.push(v);
+                }
+                Op::Pop => {
+                    self.pop();
+                }
+                Op::PtrIndex { elem, line } => {
+                    let elem = Self::checked_size(*elem);
+                    let idx = self.pop();
+                    let p = self.pop_ptr();
+                    let delta = (idx.as_u64() as i64).wrapping_mul(elem as i64);
+                    let q = self
+                        .model
+                        .ptr_add(&p, delta)
+                        .map_err(|e| self.model_err(*line, e))?;
+                    self.vstack.push(Value::Ptr(q));
+                }
+                Op::NarrowField { off, size, line } => {
+                    let p = self.pop_ptr();
+                    let q = self
+                        .model
+                        .narrow_field(&p, *off, *size)
+                        .map_err(|e| self.model_err(*line, e))?;
+                    self.vstack.push(Value::Ptr(q));
+                }
+                Op::ToPtr { ty, line } => match self.pop() {
+                    Value::Ptr(p) => self.vstack.push(Value::Ptr(p)),
+                    Value::Int(i) => {
+                        let ty = &prog.types[*ty as usize];
+                        let p = self
+                            .model
+                            .int_to_ptr(&self.ctx(), &i, ty)
+                            .map_err(|e| self.model_err(*line, e))?;
+                        self.vstack.push(Value::Ptr(p));
+                    }
+                },
+                Op::AdjustPtr { ty } => {
+                    if let Value::Ptr(p) = *self.vstack.last().expect("value") {
+                        let ty = &prog.types[*ty as usize];
+                        let adj = self.model.adjust_for_type(p, ty);
+                        *self.vstack.last_mut().expect("value") = Value::Ptr(adj);
+                    }
+                }
+                Op::Unary { op, line } => {
+                    let v = self.exec_unary(*op, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::Binary { op, meta, line } => {
+                    let vb = self.pop();
+                    let va = self.pop();
+                    let v = self.apply_binop(prog, *op, va, vb, *meta, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::Cast { to, line } => {
+                    let v = self.pop();
+                    let to = prog.types[*to as usize].clone();
+                    let v = self.eval_cast(&to, v, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::ConvertStore { width, signed } => {
+                    let v = self.pop();
+                    let iv = self.coerce_int(v, *width, *signed);
+                    self.vstack.push(Value::Int(iv));
+                }
+                Op::Truthy => {
+                    let v = self.pop();
+                    self.vstack.push(Value::int(i64::from(v.is_truthy())));
+                }
+                Op::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Op::JumpIfZero { target } => {
+                    if !self.pop().is_truthy() {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfNonZero { target } => {
+                    if self.pop().is_truthy() {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::Call { f, line } => {
+                    let argc = prog.funcs[*f as usize].params.len();
+                    pc = self.push_frame(prog, *f, argc, pc + 1, *line)?;
+                    continue;
+                }
+                Op::Builtin { b, line } => self.exec_builtin(*b, *line)?,
+                Op::Ret { has_value } => {
+                    let v = if *has_value {
+                        self.pop()
+                    } else {
+                        Value::int(0)
+                    };
+                    let fr = self.frames.pop().expect("active frame");
+                    let f = &prog.funcs[fr.fid as usize];
+                    for &(off, _) in &f.vars {
+                        self.objects.remove(&(fr.base + off as u64));
+                    }
+                    if self.model.uses_shadow() && !f.vars.is_empty() {
+                        let range = fr.base..fr.base + f.frame_size;
+                        self.shadow.retain(|a, _| !range.contains(a));
+                    }
+                    self.stack_cursor = fr.saved_cursor;
+                    self.vstack.truncate(fr.vstack_base);
+                    if fr.ret_pc == usize::MAX {
+                        return Ok(v);
+                    }
+                    self.vstack.push(v);
+                    pc = fr.ret_pc;
+                    continue;
+                }
+                Op::Define { off, size } => {
+                    let addr = self.frame_base() + *off as u64;
+                    self.objects.insert(addr, *size);
+                }
+                Op::Kill { off, size } => {
+                    let addr = self.frame_base() + *off as u64;
+                    self.objects.remove(&addr);
+                    if self.model.uses_shadow() {
+                        let range = addr..addr + size;
+                        self.shadow.retain(|a, _| !range.contains(a));
+                    }
+                }
+                Op::InitStrLocal { off, sid, line } => {
+                    let addr = self.frame_base() + *off as u64;
+                    self.write_str_bytes(prog, addr, *sid, *line)?;
+                }
+                Op::InitStrGlobal { addr, sid, line } => {
+                    self.write_str_bytes(prog, *addr, *sid, *line)?;
+                }
+                Op::IncDecGlobal {
+                    addr,
+                    ty,
+                    meta,
+                    pre,
+                    inc,
+                    line,
+                } => {
+                    let v = self.exec_incdec_direct(prog, *addr, *ty, *meta, *pre, *inc, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::IncDecLocal {
+                    off,
+                    ty,
+                    meta,
+                    pre,
+                    inc,
+                    line,
+                } => {
+                    let addr = self.frame_base() + *off as u64;
+                    let v = self.exec_incdec_direct(prog, addr, *ty, *meta, *pre, *inc, *line)?;
+                    self.vstack.push(v);
+                }
+                Op::IncDecInd {
+                    ty,
+                    size,
+                    meta,
+                    pre,
+                    inc,
+                    line,
+                } => {
+                    let size = Self::checked_size(*size);
+                    let p = self.pop_ptr();
+                    let ty = prog.types[*ty as usize].clone();
+                    let a = self
+                        .model
+                        .deref(&self.ctx(), &p, size, false)
+                        .map_err(|e| self.model_err(*line, e))?;
+                    let old = self.load_typed(a, &ty, *line)?;
+                    let one = Value::Int(IntValue::new(if *inc { 1 } else { -1 }, 8, true));
+                    let new = self.apply_binop(prog, BinOp::Add, old, one, *meta, *line)?;
+                    let stored = self.convert_for_store(new, &ty);
+                    let aw = self
+                        .model
+                        .deref(&self.ctx(), &p, size, true)
+                        .map_err(|e| self.model_err(*line, e))?;
+                    self.store_typed(aw, &ty, stored, *line)?;
+                    self.vstack.push(if *pre { stored } else { old });
+                }
+                Op::Unsupported { msg, line } => {
+                    return Err(RtError::Unsupported {
+                        line: *line,
+                        msg: msg.to_string(),
+                    });
                 }
             }
-            ExprKind::Call(name, args) => self.eval_call(name, args, line),
-            ExprKind::Index(..) | ExprKind::Member { .. } => {
-                if e.ty.is_array() {
-                    return Ok(Value::Ptr(self.addr_of(e)?));
-                }
-                let pl = self.eval_place(e)?;
-                self.load_place(&pl, line)
-            }
-            ExprKind::Cast(ty, inner) => {
-                let v = self.eval(inner)?;
-                self.eval_cast(ty, v, &inner.ty, line)
-            }
-            ExprKind::SizeofType(ty) => {
-                Ok(Value::Int(IntValue::new(self.type_size(ty) as i64, 8, false)))
-            }
-            ExprKind::SizeofExpr(inner) => {
-                Ok(Value::Int(IntValue::new(self.type_size(&inner.ty) as i64, 8, false)))
-            }
-            ExprKind::Offsetof(ty, field) => {
-                let Type::Struct(id) = ty else {
-                    return Err(RtError::Unsupported { line, msg: "offsetof".into() });
-                };
-                let (off, _) = field_offset(self.structs(), *id, field, &self.ti);
-                Ok(Value::Int(IntValue::new(off as i64, 8, false)))
-            }
-            ExprKind::IncDec { pre, inc, target } => {
-                let pl = self.eval_place(target)?;
-                let old = self.load_place(&pl, line)?;
-                let one = Value::Int(IntValue::new(if *inc { 1 } else { -1 }, 8, true));
-                let new = self.apply_binop(BinOp::Add, old, &pl.ty, one, &Type::long(), line)?;
-                let stored = self.convert_for_store(new, &pl.ty);
-                self.store_place(&pl, stored, line)?;
-                Ok(if *pre { stored } else { old })
-            }
+            pc += 1;
         }
     }
 
-    fn eval_owned(&mut self, e: &Expr) -> Result<Value, RtError> {
-        self.eval(e)
+    #[allow(clippy::too_many_arguments)]
+    fn exec_incdec_direct(
+        &mut self,
+        prog: &IrProgram,
+        addr: u64,
+        ty: u32,
+        meta: BinMeta,
+        pre: bool,
+        inc: bool,
+        line: u32,
+    ) -> Result<Value, RtError> {
+        let ty = prog.types[ty as usize].clone();
+        let old = self.load_typed(addr, &ty, line)?;
+        let one = Value::Int(IntValue::new(if inc { 1 } else { -1 }, 8, true));
+        let new = self.apply_binop(prog, BinOp::Add, old, one, meta, line)?;
+        let stored = self.convert_for_store(new, &ty);
+        self.store_typed(addr, &ty, stored, line)?;
+        Ok(if pre { stored } else { old })
     }
 
     fn convert_for_store(&self, v: Value, ty: &Type) -> Value {
@@ -769,22 +1000,50 @@ impl<'u> Interp<'u> {
         }
     }
 
-    fn eval_unary(&mut self, op: UnOp, inner: &Expr, e: &Expr, line: u32) -> Result<Value, RtError> {
+    fn write_str_bytes(
+        &mut self,
+        prog: &IrProgram,
+        addr: u64,
+        sid: u32,
+        line: u32,
+    ) -> Result<(), RtError> {
+        let bytes: Vec<u8> = prog.strings[sid as usize]
+            .bytes()
+            .chain(std::iter::once(0))
+            .collect();
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_raw(addr + i as u64, *b as u64, 1, line)?;
+        }
+        Ok(())
+    }
+
+    fn intern(&mut self, prog: &IrProgram, sid: u32, line: u32) -> Result<u64, RtError> {
+        if let Some(addr) = self.str_addrs[sid as usize] {
+            return Ok(addr);
+        }
+        let s = &prog.strings[sid as usize];
+        let len = s.len() as u64 + 1;
+        let addr = self.rodata_cursor.next_multiple_of(32);
+        self.rodata_cursor = addr + len;
+        let bytes: Vec<u8> = s.bytes().chain(std::iter::once(0)).collect();
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_raw(addr + i as u64, *b as u64, 1, line)?;
+        }
+        self.objects.insert(addr, len);
+        self.str_addrs[sid as usize] = Some(addr);
+        Ok(addr)
+    }
+
+    // --- Operators ---
+
+    fn exec_unary(&mut self, op: UnOp, line: u32) -> Result<Value, RtError> {
         match op {
-            UnOp::Deref => {
-                if e.ty.is_array() {
-                    return Ok(Value::Ptr(self.addr_of(e)?));
-                }
-                let pl = self.eval_place(e)?;
-                self.load_place(&pl, line)
-            }
-            UnOp::Addr => Ok(Value::Ptr(self.addr_of(inner)?)),
             UnOp::Not => {
-                let v = self.eval(inner)?;
+                let v = self.pop();
                 Ok(Value::int(i64::from(!v.is_truthy())))
             }
             UnOp::Neg | UnOp::BitNot => {
-                let v = self.eval(inner)?;
+                let v = self.pop();
                 match v {
                     Value::Int(i) => {
                         let r = if op == UnOp::Neg {
@@ -807,6 +1066,7 @@ impl<'u> Interp<'u> {
                     }
                 }
             }
+            UnOp::Deref | UnOp::Addr => unreachable!("lowered to place ops"),
         }
     }
 
@@ -832,62 +1092,25 @@ impl<'u> Interp<'u> {
                     .map_err(|_| self.model_err(line, ModelError::new("permission", "sealed")))?;
                 Ok(Value::Ptr(PtrVal::Cap(adjusted)))
             }
-            other => Ok(Value::Ptr(PtrVal::Plain { addr: f(other.addr()) })),
+            other => Ok(Value::Ptr(PtrVal::Plain {
+                addr: f(other.addr()),
+            })),
         }
-    }
-
-    fn eval_binary(
-        &mut self,
-        op: BinOp,
-        a: &Expr,
-        b: &Expr,
-        _e: &Expr,
-        line: u32,
-    ) -> Result<Value, RtError> {
-        if op == BinOp::LogAnd {
-            let va = self.eval(a)?;
-            if !va.is_truthy() {
-                return Ok(Value::int(0));
-            }
-            let vb = self.eval(b)?;
-            return Ok(Value::int(i64::from(vb.is_truthy())));
-        }
-        if op == BinOp::LogOr {
-            let va = self.eval(a)?;
-            if va.is_truthy() {
-                return Ok(Value::int(1));
-            }
-            let vb = self.eval(b)?;
-            return Ok(Value::int(i64::from(vb.is_truthy())));
-        }
-        let mut va = self.eval(a)?;
-        if a.ty.is_array() {
-            va = Value::Ptr(self.addr_of(a)?);
-        }
-        let mut vb = self.eval(b)?;
-        if b.ty.is_array() {
-            vb = Value::Ptr(self.addr_of(b)?);
-        }
-        self.apply_binop(op, va, &a.ty, vb, &b.ty, line)
     }
 
     #[allow(clippy::too_many_lines)]
     fn apply_binop(
         &mut self,
+        prog: &IrProgram,
         op: BinOp,
         va: Value,
-        ta: &Type,
         vb: Value,
-        tb: &Type,
+        meta: BinMeta,
         line: u32,
     ) -> Result<Value, RtError> {
-        let ta = ta.decay();
-        let tb = tb.decay();
-        // Pointer arithmetic / comparison.
-        let a_is_ptr = ta.is_pointer();
-        let b_is_ptr = tb.is_pointer();
-        if a_is_ptr || b_is_ptr {
-            return self.apply_ptr_binop(op, va, &ta, vb, &tb, line);
+        // Pointer arithmetic / comparison (decided by the static types).
+        if meta.a_ptr || meta.b_ptr {
+            return self.apply_ptr_binop(prog, op, va, vb, meta, line);
         }
         // intcap_t arithmetic: a capability-carried integer.
         if let Value::Ptr(p) = va {
@@ -898,7 +1121,9 @@ impl<'u> Interp<'u> {
             let lhs = va.as_u64();
             return self.intcap_binop(op, p, lhs, true, line);
         }
-        let (Value::Int(ia), Value::Int(ib)) = (va, vb) else { unreachable!() };
+        let (Value::Int(ia), Value::Int(ib)) = (va, vb) else {
+            unreachable!()
+        };
         let w = ia.width.max(ib.width).max(4);
         let signed = if ia.width == ib.width {
             ia.signed && ib.signed
@@ -963,7 +1188,7 @@ impl<'u> Interp<'u> {
                 };
                 return Ok(Value::int(i64::from(r)));
             }
-            BinOp::LogAnd | BinOp::LogOr => unreachable!("short-circuited"),
+            BinOp::LogAnd | BinOp::LogOr => unreachable!("lowered to branches"),
         };
         let mut out = IntValue::new(r as i64, w, signed);
         // Provenance survives arithmetic but is marked modified — the
@@ -998,7 +1223,11 @@ impl<'u> Interp<'u> {
             return Ok(Value::int(i64::from(r)));
         }
         self.intcap_arith(line, p, |addr| {
-            let (a, b) = if swapped { (other, addr) } else { (addr, other) };
+            let (a, b) = if swapped {
+                (other, addr)
+            } else {
+                (addr, other)
+            };
             match op {
                 BinOp::Add => a.wrapping_add(b),
                 BinOp::Sub => a.wrapping_sub(b),
@@ -1017,42 +1246,42 @@ impl<'u> Interp<'u> {
 
     fn apply_ptr_binop(
         &mut self,
+        prog: &IrProgram,
         op: BinOp,
         va: Value,
-        ta: &Type,
         vb: Value,
-        tb: &Type,
+        meta: BinMeta,
         line: u32,
     ) -> Result<Value, RtError> {
-        let as_ptr = |s: &mut Self, v: Value, ty: &Type| -> Result<PtrVal, RtError> {
+        let as_ptr = |s: &mut Self, v: Value, ty: u32| -> Result<PtrVal, RtError> {
             match v {
                 Value::Ptr(p) => Ok(p),
-                Value::Int(i) => s
-                    .model
-                    .int_to_ptr(&s.ctx(), &i, ty)
-                    .map_err(|err| s.model_err(line, err)),
+                Value::Int(i) => {
+                    let ty = &prog.types[ty as usize];
+                    s.model
+                        .int_to_ptr(&s.ctx(), &i, ty)
+                        .map_err(|err| s.model_err(line, err))
+                }
             }
         };
         match op {
             BinOp::Add | BinOp::Sub => {
-                if ta.is_pointer() && tb.is_pointer() && op == BinOp::Sub {
-                    let pa = as_ptr(self, va, ta)?;
-                    let pb = as_ptr(self, vb, tb)?;
+                if meta.a_ptr && meta.b_ptr && op == BinOp::Sub {
+                    let pa = as_ptr(self, va, meta.ta)?;
+                    let pb = as_ptr(self, vb, meta.tb)?;
                     let diff = self
                         .model
                         .ptr_diff(&pa, &pb)
                         .map_err(|err| self.model_err(line, err))?;
-                    let elem = ta.pointee().cloned().expect("checked");
-                    let es = self.type_size(&elem).max(1) as i64;
+                    let es = Self::checked_size(meta.a_elem).max(1) as i64;
                     return Ok(Value::Int(IntValue::new(diff / es, 8, true)));
                 }
-                let (pv, ptr_ty, iv) = if ta.is_pointer() {
-                    (as_ptr(self, va, ta)?, ta, vb.as_u64() as i64)
+                let (pv, elem, iv) = if meta.a_ptr {
+                    (as_ptr(self, va, meta.ta)?, meta.a_elem, vb.as_u64() as i64)
                 } else {
-                    (as_ptr(self, vb, tb)?, tb, va.as_u64() as i64)
+                    (as_ptr(self, vb, meta.tb)?, meta.b_elem, va.as_u64() as i64)
                 };
-                let elem = ptr_ty.pointee().cloned().expect("checked");
-                let es = self.type_size(&elem).max(1) as i64;
+                let es = Self::checked_size(elem).max(1) as i64;
                 let delta = if op == BinOp::Sub { -iv } else { iv }.wrapping_mul(es);
                 let q = self
                     .model
@@ -1081,8 +1310,7 @@ impl<'u> Interp<'u> {
         }
     }
 
-    fn eval_cast(&mut self, to: &Type, v: Value, from: &Type, line: u32) -> Result<Value, RtError> {
-        let from = from.decay();
+    fn eval_cast(&mut self, to: &Type, v: Value, line: u32) -> Result<Value, RtError> {
         match to {
             Type::Void => Ok(Value::int(0)),
             Type::Int { width, signed } => match v {
@@ -1106,16 +1334,13 @@ impl<'u> Interp<'u> {
                             .ptr_to_int(&p, 8, *signed)
                             .map(Value::Int)
                             .map_err(|err| self.model_err(line, err)),
-                        Value::Int(i) => {
-                            Ok(Value::Int(self.coerce_int(Value::Int(i), 8, *signed)))
-                        }
+                        Value::Int(i) => Ok(Value::Int(self.coerce_int(Value::Int(i), 8, *signed))),
                     }
                 }
             }
             Type::Ptr { .. } => match v {
                 Value::Ptr(p) => Ok(Value::Ptr(self.model.adjust_for_type(p, to))),
                 Value::Int(i) => {
-                    let _ = from;
                     let p = self
                         .model
                         .int_to_ptr(&self.ctx(), &i, to)
@@ -1130,134 +1355,81 @@ impl<'u> Interp<'u> {
         }
     }
 
-    // --- Calls ---
-
-    fn eval_call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<Value, RtError> {
-        if let Some(v) = self.eval_builtin(name, args, line)? {
-            return Ok(v);
-        }
-        let f = self
-            .unit
-            .func(name)
-            .ok_or_else(|| RtError::Unsupported { line, msg: format!("unknown function {name}") })?;
-        let mut argv = Vec::with_capacity(args.len());
-        for (arg, param) in args.iter().zip(&f.params) {
-            let mut v = self.eval(arg)?;
-            if arg.ty.is_array() {
-                v = Value::Ptr(self.addr_of(arg)?);
-            }
-            if let (Value::Ptr(p), pty @ Type::Ptr { .. }) = (&v, &param.ty) {
-                v = Value::Ptr(self.model.adjust_for_type(*p, pty));
-            }
-            argv.push(v);
-        }
-        self.call_function(f, argv, line)
-    }
-
-    fn call_function(&mut self, f: &FuncDef, argv: Vec<Value>, line: u32) -> Result<Value, RtError> {
-        if self.frames.len() > 400 {
-            return Err(RtError::Unsupported { line, msg: "call depth exceeded".into() });
-        }
-        let saved_cursor = self.stack_cursor;
-        self.frames.push(vec![HashMap::new()]);
-        self.frame_bases.push(saved_cursor);
-        for (param, v) in f.params.iter().zip(argv) {
-            let var = self.define_local(&param.name, &param.ty, f.line)?;
-            self.store_typed(var.addr, &var.ty, v, f.line)?;
-        }
-        let flow = self.exec_block_scoped(&f.body);
-        let popped = self.frames.pop().expect("frame");
-        self.frame_bases.pop();
-        // Retire local objects and their shadow entries.
-        for scope in &popped {
-            for var in scope.values() {
-                self.objects.remove(&var.addr);
-                if self.model.uses_shadow() {
-                    let range = var.addr..var.addr + var.size;
-                    self.shadow.retain(|a, _| !range.contains(a));
-                }
-            }
-        }
-        self.stack_cursor = saved_cursor;
-        match flow? {
-            Flow::Return(Some(v)) => Ok(v),
-            _ => Ok(Value::int(0)),
-        }
-    }
+    // --- Builtins ---
 
     #[allow(clippy::too_many_lines)]
-    fn eval_builtin(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        line: u32,
-    ) -> Result<Option<Value>, RtError> {
-        if self.unit.func(name).is_some() {
-            return Ok(None); // user definitions win
-        }
-        match name {
-            "malloc" => {
-                let n = self.eval(&args[0])?.as_u64();
+    fn exec_builtin(&mut self, b: Builtin, line: u32) -> Result<(), RtError> {
+        match b {
+            Builtin::Malloc => {
+                let n = self.pop().as_u64();
                 match self.heap.alloc(n) {
                     Ok(addr) => {
                         self.objects.insert(addr, n.max(1));
                         let ty = Type::ptr_to(Type::Void);
-                        Ok(Some(Value::Ptr(self.model.make_ptr(addr, n, &ty))))
+                        self.vstack
+                            .push(Value::Ptr(self.model.make_ptr(addr, n, &ty)));
                     }
-                    Err(_) => Ok(Some(Value::Ptr(PtrVal::Plain { addr: 0 }))),
+                    Err(_) => self.vstack.push(Value::Ptr(PtrVal::Plain { addr: 0 })),
                 }
             }
-            "free" => {
-                let v = self.eval(&args[0])?;
-                let addr = v.as_u64();
+            Builtin::Free => {
+                let addr = self.pop().as_u64();
                 if addr == 0 {
-                    return Ok(Some(Value::int(0)));
+                    self.vstack.push(Value::int(0));
+                    return Ok(());
                 }
-                self.heap.free(addr).map_err(|_| RtError::BadFree { line, addr })?;
+                self.heap
+                    .free(addr)
+                    .map_err(|_| RtError::BadFree { line, addr })?;
                 self.objects.remove(&addr);
-                Ok(Some(Value::int(0)))
+                self.vstack.push(Value::int(0));
             }
-            "memcpy" | "memset" => {
-                let d = self.eval_ptr(&args[0])?;
-                let n_expr = &args[2];
-                if name == "memcpy" {
-                    let s = self.eval_ptr(&args[1])?;
-                    let n = self.eval(n_expr)?.as_u64();
-                    if n > 0 {
-                        let da = self
-                            .model
-                            .deref(&self.ctx(), &d, n, true)
-                            .map_err(|err| self.model_err(line, err))?;
-                        let sa = self
-                            .model
-                            .deref(&self.ctx(), &s, n, false)
-                            .map_err(|err| self.model_err(line, err))?;
-                        self.copy_bytes(da, sa, n, line)?;
-                    }
-                } else {
-                    let c = self.eval(&args[1])?.as_u64() as u8;
-                    let n = self.eval(n_expr)?.as_u64();
-                    if n > 0 {
-                        let da = self
-                            .model
-                            .deref(&self.ctx(), &d, n, true)
-                            .map_err(|err| self.model_err(line, err))?;
-                        let pd = self.phys(da, n, line)?;
-                        self.mem.fill(pd, n, c).map_err(|_| RtError::Unmapped { line, addr: da })?;
-                        if self.model.uses_shadow() {
-                            for a in da..da + n {
-                                self.shadow.remove(&a);
-                            }
+            Builtin::Memcpy => {
+                let n = self.pop().as_u64();
+                let s = self.pop_ptr();
+                let d = self.pop_ptr();
+                if n > 0 {
+                    let da = self
+                        .model
+                        .deref(&self.ctx(), &d, n, true)
+                        .map_err(|err| self.model_err(line, err))?;
+                    let sa = self
+                        .model
+                        .deref(&self.ctx(), &s, n, false)
+                        .map_err(|err| self.model_err(line, err))?;
+                    self.copy_bytes(da, sa, n, line)?;
+                }
+                self.vstack.push(Value::Ptr(d));
+            }
+            Builtin::Memset => {
+                let n = self.pop().as_u64();
+                let c = self.pop().as_u64() as u8;
+                let d = self.pop_ptr();
+                if n > 0 {
+                    let da = self
+                        .model
+                        .deref(&self.ctx(), &d, n, true)
+                        .map_err(|err| self.model_err(line, err))?;
+                    let pd = self.phys(da, n, line)?;
+                    self.mem_mut()
+                        .fill(pd, n, c)
+                        .map_err(|_| RtError::Unmapped { line, addr: da })?;
+                    if self.model.uses_shadow() {
+                        for a in da..da + n {
+                            self.shadow.remove(&a);
                         }
                     }
                 }
-                Ok(Some(Value::Ptr(d)))
+                self.vstack.push(Value::Ptr(d));
             }
-            "strlen" => {
-                let p = self.eval_ptr(&args[0])?;
+            Builtin::Strlen => {
+                let p = self.pop_ptr();
                 let mut n = 0u64;
                 loop {
-                    let q = self.model.ptr_add(&p, n as i64).map_err(|e| self.model_err(line, e))?;
+                    let q = self
+                        .model
+                        .ptr_add(&p, n as i64)
+                        .map_err(|e| self.model_err(line, e))?;
                     let a = self
                         .model
                         .deref(&self.ctx(), &q, 1, false)
@@ -1268,15 +1440,22 @@ impl<'u> Interp<'u> {
                     n += 1;
                     self.tick()?;
                 }
-                Ok(Some(Value::Int(IntValue::new(n as i64, 8, false))))
+                self.vstack
+                    .push(Value::Int(IntValue::new(n as i64, 8, false)));
             }
-            "strcmp" => {
-                let pa = self.eval_ptr(&args[0])?;
-                let pb = self.eval_ptr(&args[1])?;
+            Builtin::Strcmp => {
+                let pb = self.pop_ptr();
+                let pa = self.pop_ptr();
                 let mut i = 0i64;
                 loop {
-                    let qa = self.model.ptr_add(&pa, i).map_err(|e| self.model_err(line, e))?;
-                    let qb = self.model.ptr_add(&pb, i).map_err(|e| self.model_err(line, e))?;
+                    let qa = self
+                        .model
+                        .ptr_add(&pa, i)
+                        .map_err(|e| self.model_err(line, e))?;
+                    let qb = self
+                        .model
+                        .ptr_add(&pb, i)
+                        .map_err(|e| self.model_err(line, e))?;
                     let aa = self
                         .model
                         .deref(&self.ctx(), &qa, 1, false)
@@ -1287,20 +1466,25 @@ impl<'u> Interp<'u> {
                         .map_err(|err| self.model_err(line, err))?;
                     let (ca, cb) = (self.read_raw(aa, 1, line)?, self.read_raw(ab, 1, line)?);
                     if ca != cb {
-                        return Ok(Some(Value::int(if ca < cb { -1 } else { 1 })));
+                        self.vstack.push(Value::int(if ca < cb { -1 } else { 1 }));
+                        return Ok(());
                     }
                     if ca == 0 {
-                        return Ok(Some(Value::int(0)));
+                        self.vstack.push(Value::int(0));
+                        return Ok(());
                     }
                     i += 1;
                     self.tick()?;
                 }
             }
-            "puts" => {
-                let p = self.eval_ptr(&args[0])?;
+            Builtin::Puts => {
+                let p = self.pop_ptr();
                 let mut i = 0i64;
                 loop {
-                    let q = self.model.ptr_add(&p, i).map_err(|e| self.model_err(line, e))?;
+                    let q = self
+                        .model
+                        .ptr_add(&p, i)
+                        .map_err(|e| self.model_err(line, e))?;
                     let a = self
                         .model
                         .deref(&self.ctx(), &q, 1, false)
@@ -1314,170 +1498,37 @@ impl<'u> Interp<'u> {
                     self.tick()?;
                 }
                 self.output.push('\n');
-                Ok(Some(Value::int(0)))
+                self.vstack.push(Value::int(0));
             }
-            "putchar" => {
-                let c = self.eval(&args[0])?.as_u64();
+            Builtin::Putchar => {
+                let c = self.pop().as_u64();
                 self.output.push(c as u8 as char);
-                Ok(Some(Value::int(c as i64)))
+                self.vstack.push(Value::int(c as i64));
             }
-            "putint" => {
-                let v = self.eval(&args[0])?;
+            Builtin::Putint => {
+                let v = self.pop();
                 let n = match v {
                     Value::Int(i) => i.as_i64(),
                     Value::Ptr(p) => p.addr() as i64,
                 };
                 self.output.push_str(&n.to_string());
-                Ok(Some(Value::int(0)))
+                self.vstack.push(Value::int(0));
             }
-            "assert" => {
-                let v = self.eval(&args[0])?;
+            Builtin::Assert => {
+                let v = self.pop();
                 if v.is_truthy() {
-                    Ok(Some(Value::int(0)))
+                    self.vstack.push(Value::int(0));
                 } else {
-                    Err(RtError::AssertFailed { line })
+                    return Err(RtError::AssertFailed { line });
                 }
             }
-            "abort" => Err(RtError::Abort { line }),
-            "clock" => Ok(Some(Value::Int(IntValue::new(self.steps as i64, 8, true)))),
-            _ => Ok(None),
-        }
-    }
-
-    // --- Statements ---
-
-    fn exec_block_scoped(&mut self, b: &Block) -> Result<Flow, RtError> {
-        self.frames.last_mut().expect("frame").push(HashMap::new());
-        let r = self.exec_stmts(b);
-        let scope = self.frames.last_mut().expect("frame").pop().expect("scope");
-        for var in scope.values() {
-            self.objects.remove(&var.addr);
-            if self.model.uses_shadow() {
-                let range = var.addr..var.addr + var.size;
-                self.shadow.retain(|a, _| !range.contains(a));
+            Builtin::Abort => return Err(RtError::Abort { line }),
+            Builtin::Clock => {
+                self.vstack
+                    .push(Value::Int(IntValue::new(self.steps as i64, 8, true)));
             }
         }
-        r
-    }
-
-    fn exec_stmts(&mut self, b: &Block) -> Result<Flow, RtError> {
-        for s in &b.stmts {
-            match self.exec_stmt(s)? {
-                Flow::Normal => {}
-                other => return Ok(other),
-            }
-        }
-        Ok(Flow::Normal)
-    }
-
-    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow, RtError> {
-        self.tick()?;
-        match s {
-            Stmt::Decl { name, ty, init, line } => {
-                let var = self.define_local(name, ty, *line)?;
-                if let Some(e) = init {
-                    if let (Type::Array { elem, .. }, ExprKind::StrLit(st)) = (ty, &e.kind) {
-                        if **elem == Type::char_() {
-                            let bytes: Vec<u8> = st.bytes().chain(std::iter::once(0)).collect();
-                            for (i, bb) in bytes.iter().enumerate() {
-                                self.write_raw(var.addr + i as u64, *bb as u64, 1, *line)?;
-                            }
-                            return Ok(Flow::Normal);
-                        }
-                    }
-                    let mut v = self.eval(e)?;
-                    if e.ty.is_array() {
-                        v = Value::Ptr(self.addr_of(e)?);
-                    }
-                    if let (Value::Ptr(p), pty @ Type::Ptr { .. }) = (&v, ty) {
-                        v = Value::Ptr(self.model.adjust_for_type(*p, pty));
-                    }
-                    self.store_typed(var.addr, ty, v, *line)?;
-                }
-                Ok(Flow::Normal)
-            }
-            Stmt::Expr(e) => {
-                self.eval(e)?;
-                Ok(Flow::Normal)
-            }
-            Stmt::If { cond, then_branch, else_branch } => {
-                if self.eval(cond)?.is_truthy() {
-                    self.exec_block_scoped(then_branch)
-                } else if let Some(e) = else_branch {
-                    self.exec_block_scoped(e)
-                } else {
-                    Ok(Flow::Normal)
-                }
-            }
-            Stmt::While { cond, body } => {
-                while self.eval(cond)?.is_truthy() {
-                    match self.exec_block_scoped(body)? {
-                        Flow::Break => break,
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                        _ => {}
-                    }
-                }
-                Ok(Flow::Normal)
-            }
-            Stmt::DoWhile { body, cond } => {
-                loop {
-                    match self.exec_block_scoped(body)? {
-                        Flow::Break => break,
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                        _ => {}
-                    }
-                    if !self.eval(cond)?.is_truthy() {
-                        break;
-                    }
-                }
-                Ok(Flow::Normal)
-            }
-            Stmt::For { init, cond, step, body } => {
-                self.frames.last_mut().expect("frame").push(HashMap::new());
-                let r = (|| -> Result<Flow, RtError> {
-                    if let Some(i) = init {
-                        self.exec_stmt(i)?;
-                    }
-                    loop {
-                        if let Some(c) = cond {
-                            if !self.eval(c)?.is_truthy() {
-                                break;
-                            }
-                        }
-                        match self.exec_block_scoped(body)? {
-                            Flow::Break => break,
-                            Flow::Return(v) => return Ok(Flow::Return(v)),
-                            _ => {}
-                        }
-                        if let Some(st) = step {
-                            self.eval(st)?;
-                        }
-                    }
-                    Ok(Flow::Normal)
-                })();
-                let scope = self.frames.last_mut().expect("frame").pop().expect("scope");
-                for var in scope.values() {
-                    self.objects.remove(&var.addr);
-                }
-                r
-            }
-            Stmt::Return(e, _) => {
-                let v = match e {
-                    Some(e) => {
-                        let mut v = self.eval(e)?;
-                        if e.ty.is_array() {
-                            v = Value::Ptr(self.addr_of(e)?);
-                        }
-                        Some(v)
-                    }
-                    None => None,
-                };
-                Ok(Flow::Return(v))
-            }
-            Stmt::Break(_) => Ok(Flow::Break),
-            Stmt::Continue(_) => Ok(Flow::Continue),
-            Stmt::Block(b) => self.exec_block_scoped(b),
-        }
+        Ok(())
     }
 }
 
@@ -1635,7 +1686,10 @@ mod tests {
             ModelKind::CheriV3,
         ] {
             let e = run(src, kind).unwrap_err();
-            assert!(matches!(e, RtError::Model { .. }), "{kind} should catch overflow: {e}");
+            assert!(
+                matches!(e, RtError::Model { .. }),
+                "{kind} should catch overflow: {e}"
+            );
         }
     }
 
@@ -1654,7 +1708,10 @@ mod tests {
     #[test]
     fn div_by_zero_reported() {
         assert!(matches!(
-            run("int main(void) { int z = 0; return 5 / z; }", ModelKind::Pdp11),
+            run(
+                "int main(void) { int z = 0; return 5 / z; }",
+                ModelKind::Pdp11
+            ),
             Err(RtError::DivByZero { .. })
         ));
     }
@@ -1764,8 +1821,166 @@ mod tests {
 
     #[test]
     fn output_and_steps_are_reported() {
-        let r = run("int main(void) { putchar('x'); return 0; }", ModelKind::Pdp11).unwrap();
+        let r = run(
+            "int main(void) { putchar('x'); return 0; }",
+            ModelKind::Pdp11,
+        )
+        .unwrap();
         assert_eq!(r.output, "x");
         assert!(r.steps > 0);
+    }
+
+    // --- IR-specific coverage ---
+
+    #[test]
+    fn do_while_break_continue() {
+        run_all_ok(
+            "int main(void) {
+                int s = 0;
+                int i = 0;
+                do {
+                    i++;
+                    if (i == 3) continue;
+                    if (i > 6) break;
+                    s += i;
+                } while (i < 100);
+                return s;   /* 1+2+4+5+6 = 18 */
+             }",
+            18,
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_side_effects() {
+        run_all_ok(
+            "int hit = 0;
+             int touch(void) { hit = 1; return 1; }
+             int main(void) {
+                int a = 0 && touch();
+                int b = 1 || touch();
+                return hit * 100 + a * 10 + b;
+             }",
+            1,
+        );
+    }
+
+    #[test]
+    fn global_incdec_and_compound_assign() {
+        run_all_ok(
+            "int g = 10;
+             int main(void) {
+                g++;
+                ++g;
+                g -= 2;      /* 10 */
+                g *= 4;      /* 40 */
+                int pre = ++g;   /* 41 */
+                int post = g++;  /* 41, g = 42 */
+                return g + (pre == 41) + (post == 41) - 2;
+             }",
+            42,
+        );
+    }
+
+    #[test]
+    fn pointer_incdec_through_deref() {
+        run_all_ok(
+            "int main(void) {
+                int a[4];
+                a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+                int *p = a;
+                int first = (*p)++;   /* a[0] = 2 */
+                p++;
+                int second = *p;      /* 2 */
+                return first * 10 + second + a[0];  /* 10 + 2 + 2 */
+             }",
+            14,
+        );
+    }
+
+    #[test]
+    fn entry_function_with_params_reports_unbound() {
+        // Nothing supplies main's arguments; reading one must fail loudly
+        // (the AST walker errored at first use), never read zeroed memory.
+        let e = run("int main(int argc) { return argc; }", ModelKind::Pdp11).unwrap_err();
+        assert!(e.to_string().contains("unbound variable argc"), "{e}");
+    }
+
+    #[test]
+    fn string_literals_are_interned_once() {
+        // The same literal must intern to the same rodata address.
+        let r = run(
+            "int main(void) { return \"abc\" == \"abc\"; }",
+            ModelKind::Pdp11,
+        )
+        .unwrap();
+        assert_eq!(r.exit_code, 1);
+    }
+
+    #[test]
+    fn run_main_all_matches_sequential_runs() {
+        let unit = cheri_c::parse(
+            "int main(void) {
+                char *p = (char*)malloc(16);
+                p[20] = 1;
+                return 0;
+             }",
+        )
+        .unwrap();
+        let parallel = run_main_all(&unit);
+        assert_eq!(parallel.len(), 7);
+        for ((k, got), expect_kind) in parallel.iter().zip(ModelKind::ALL) {
+            assert_eq!(*k, expect_kind, "deterministic ModelKind::ALL ordering");
+            let seq = run_main(&unit, *k);
+            match (got, &seq) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.exit_code, b.exit_code, "{k}");
+                    assert_eq!(a.output, b.output, "{k}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{k}"),
+                _ => panic!("{k}: parallel {got:?} vs sequential {seq:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_unit_shares_ir_across_models() {
+        let unit = cheri_c::parse(
+            "int sq(int v) { return v * v; }
+             int main(void) { return sq(3) + sq(4); }",
+        )
+        .unwrap();
+        let lowered = LoweredUnit::new(&unit);
+        for kind in ModelKind::ALL {
+            assert_eq!(lowered.run(kind).unwrap().exit_code, 25, "{kind}");
+        }
+    }
+
+    #[test]
+    fn scope_exit_retires_objects_for_relaxed() {
+        // A pointer into a dead scope's local must not dereference under
+        // Relaxed (live-object lookup) once the scope has exited.
+        let src = "int main(void) {
+            int *p = 0;
+            if (1) { int x = 5; p = &x; }
+            return *p;
+        }";
+        assert!(run(src, ModelKind::Relaxed).is_err());
+        assert!(run(src, ModelKind::Pdp11).is_ok());
+    }
+
+    #[test]
+    fn nested_break_kills_inner_scopes() {
+        run_all_ok(
+            "int main(void) {
+                int s = 0;
+                for (int i = 0; i < 10; i++) {
+                    int doubled = i * 2;
+                    if (i == 3) { int tmp = 100; s += tmp; break; }
+                    s += doubled;
+                }
+                return s;   /* 0+2+4 + 100 */
+             }",
+            106,
+        );
     }
 }

@@ -84,7 +84,10 @@ pub struct ModelError {
 impl ModelError {
     /// Builds an error.
     pub fn new(kind: &'static str, msg: impl Into<String>) -> ModelError {
-        ModelError { kind, msg: msg.into() }
+        ModelError {
+            kind,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -227,17 +230,12 @@ pub trait MemoryModel {
     /// # Errors
     ///
     /// Fail-closed models refuse lost or modified provenance.
-    fn int_to_ptr(
-        &self,
-        ctx: &ModelCtx<'_>,
-        v: &IntValue,
-        ty: &Type,
-    ) -> Result<PtrVal, ModelError>;
+    fn int_to_ptr(&self, ctx: &ModelCtx<'_>, v: &IntValue, ty: &Type)
+        -> Result<PtrVal, ModelError>;
 
     /// Materializes a pointer loaded from memory, given the raw bits and
     /// the shadow entry (if any) recorded at the storage address.
-    fn load_ptr_bits(&self, ctx: &ModelCtx<'_>, bits: u64, shadow: Option<&ShadowEntry>)
-        -> PtrVal;
+    fn load_ptr_bits(&self, ctx: &ModelCtx<'_>, bits: u64, shadow: Option<&ShadowEntry>) -> PtrVal;
 }
 
 #[cfg(test)]

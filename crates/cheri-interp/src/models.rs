@@ -21,10 +21,14 @@ pub fn build(kind: ModelKind) -> Box<dyn MemoryModel> {
 
 fn fat_add(p: &PtrVal, delta: i64) -> PtrVal {
     match *p {
-        PtrVal::Plain { addr } => PtrVal::Plain { addr: addr.wrapping_add(delta as u64) },
-        PtrVal::Fat { addr, base, len } => {
-            PtrVal::Fat { addr: addr.wrapping_add(delta as u64), base, len }
-        }
+        PtrVal::Plain { addr } => PtrVal::Plain {
+            addr: addr.wrapping_add(delta as u64),
+        },
+        PtrVal::Fat { addr, base, len } => PtrVal::Fat {
+            addr: addr.wrapping_add(delta as u64),
+            base,
+            len,
+        },
         PtrVal::Cap(_) => unreachable!("fat models never hold capabilities"),
     }
 }
@@ -35,10 +39,17 @@ fn fat_check(p: &PtrVal, len: u64, fail_open_plain: bool) -> Result<u64, ModelEr
             if fail_open_plain {
                 Ok(addr) // metadata lost: MPX checks succeed unconditionally
             } else {
-                Err(ModelError::new("provenance", format!("unbounded pointer {addr:#x}")))
+                Err(ModelError::new(
+                    "provenance",
+                    format!("unbounded pointer {addr:#x}"),
+                ))
             }
         }
-        PtrVal::Fat { addr, base, len: olen } => {
+        PtrVal::Fat {
+            addr,
+            base,
+            len: olen,
+        } => {
             if olen == 0 {
                 return Err(ModelError::new(
                     "provenance",
@@ -50,7 +61,10 @@ fn fat_check(p: &PtrVal, len: u64, fail_open_plain: bool) -> Result<u64, ModelEr
             } else {
                 Err(ModelError::new(
                     "bounds",
-                    format!("access of {len} at {addr:#x} outside [{base:#x}, {:#x})", base + olen),
+                    format!(
+                        "access of {len} at {addr:#x} outside [{base:#x}, {:#x})",
+                        base + olen
+                    ),
                 ))
             }
         }
@@ -63,7 +77,11 @@ fn plain_int(p: &PtrVal, width: u8, signed: bool, with_prov: bool) -> IntValue {
     if with_prov && width == 8 {
         if let PtrVal::Fat { base, len, .. } = *p {
             if len != 0 {
-                iv.prov = Some(Prov { base, len, modified: false });
+                iv.prov = Some(Prov {
+                    base,
+                    len,
+                    modified: false,
+                });
             }
         }
     }
@@ -95,7 +113,9 @@ impl MemoryModel for Pdp11 {
     }
 
     fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError> {
-        Ok(PtrVal::Plain { addr: p.addr().wrapping_add(delta as u64) })
+        Ok(PtrVal::Plain {
+            addr: p.addr().wrapping_add(delta as u64),
+        })
     }
 
     fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError> {
@@ -155,7 +175,11 @@ impl MemoryModel for HardBound {
     }
 
     fn make_ptr(&self, base: u64, len: u64, _ty: &Type) -> PtrVal {
-        PtrVal::Fat { addr: base, base, len }
+        PtrVal::Fat {
+            addr: base,
+            base,
+            len,
+        }
     }
 
     fn adjust_for_type(&self, p: PtrVal, _ty: &Type) -> PtrVal {
@@ -191,10 +215,20 @@ impl MemoryModel for HardBound {
         _ty: &Type,
     ) -> Result<PtrVal, ModelError> {
         match v.prov {
-            Some(Prov { base, len, modified: false }) => {
-                Ok(PtrVal::Fat { addr: v.v, base, len })
-            }
-            _ => Ok(PtrVal::Fat { addr: v.v, base: 0, len: 0 }), // fail closed at deref
+            Some(Prov {
+                base,
+                len,
+                modified: false,
+            }) => Ok(PtrVal::Fat {
+                addr: v.v,
+                base,
+                len,
+            }),
+            _ => Ok(PtrVal::Fat {
+                addr: v.v,
+                base: 0,
+                len: 0,
+            }), // fail closed at deref
         }
     }
 
@@ -205,8 +239,16 @@ impl MemoryModel for HardBound {
         shadow: Option<&ShadowEntry>,
     ) -> PtrVal {
         match shadow {
-            Some(e) if e.bits == bits => PtrVal::Fat { addr: bits, base: e.base, len: e.len },
-            _ => PtrVal::Fat { addr: bits, base: 0, len: 0 },
+            Some(e) if e.bits == bits => PtrVal::Fat {
+                addr: bits,
+                base: e.base,
+                len: e.len,
+            },
+            _ => PtrVal::Fat {
+                addr: bits,
+                base: 0,
+                len: 0,
+            },
         }
     }
 }
@@ -233,7 +275,11 @@ impl MemoryModel for Mpx {
     }
 
     fn make_ptr(&self, base: u64, len: u64, _ty: &Type) -> PtrVal {
-        PtrVal::Fat { addr: base, base, len }
+        PtrVal::Fat {
+            addr: base,
+            base,
+            len,
+        }
     }
 
     fn adjust_for_type(&self, p: PtrVal, _ty: &Type) -> PtrVal {
@@ -259,7 +305,11 @@ impl MemoryModel for Mpx {
             PtrVal::Plain { .. } => PtrVal::Plain { addr },
             PtrVal::Fat { base, len, .. } => {
                 if addr >= base && addr.wrapping_add(size) <= base + len {
-                    PtrVal::Fat { addr, base: addr, len: size }
+                    PtrVal::Fat {
+                        addr,
+                        base: addr,
+                        len: size,
+                    }
                 } else {
                     PtrVal::Fat { addr, base, len }
                 }
@@ -289,9 +339,15 @@ impl MemoryModel for Mpx {
         _ty: &Type,
     ) -> Result<PtrVal, ModelError> {
         match v.prov {
-            Some(Prov { base, len, modified: false }) => {
-                Ok(PtrVal::Fat { addr: v.v, base, len })
-            }
+            Some(Prov {
+                base,
+                len,
+                modified: false,
+            }) => Ok(PtrVal::Fat {
+                addr: v.v,
+                base,
+                len,
+            }),
             // Metadata desynchronized: checks pass unconditionally.
             _ => Ok(PtrVal::Plain { addr: v.v }),
         }
@@ -304,7 +360,11 @@ impl MemoryModel for Mpx {
         shadow: Option<&ShadowEntry>,
     ) -> PtrVal {
         match shadow {
-            Some(e) if e.bits == bits => PtrVal::Fat { addr: bits, base: e.base, len: e.len },
+            Some(e) if e.bits == bits => PtrVal::Fat {
+                addr: bits,
+                base: e.base,
+                len: e.len,
+            },
             _ => PtrVal::Plain { addr: bits },
         }
     }
@@ -336,7 +396,9 @@ impl MemoryModel for Relaxed {
     }
 
     fn ptr_add(&self, p: &PtrVal, delta: i64) -> Result<PtrVal, ModelError> {
-        Ok(PtrVal::Plain { addr: p.addr().wrapping_add(delta as u64) })
+        Ok(PtrVal::Plain {
+            addr: p.addr().wrapping_add(delta as u64),
+        })
     }
 
     fn ptr_diff(&self, a: &PtrVal, b: &PtrVal) -> Result<i64, ModelError> {
@@ -404,7 +466,11 @@ impl MemoryModel for Strict {
     }
 
     fn make_ptr(&self, base: u64, len: u64, _ty: &Type) -> PtrVal {
-        PtrVal::Fat { addr: base, base, len }
+        PtrVal::Fat {
+            addr: base,
+            base,
+            len,
+        }
     }
 
     fn adjust_for_type(&self, p: PtrVal, _ty: &Type) -> PtrVal {
@@ -440,10 +506,20 @@ impl MemoryModel for Strict {
         _ty: &Type,
     ) -> Result<PtrVal, ModelError> {
         match v.prov {
-            Some(Prov { base, len, modified: false }) => {
-                Ok(PtrVal::Fat { addr: v.v, base, len })
-            }
-            _ => Ok(PtrVal::Fat { addr: v.v, base: 0, len: 0 }),
+            Some(Prov {
+                base,
+                len,
+                modified: false,
+            }) => Ok(PtrVal::Fat {
+                addr: v.v,
+                base,
+                len,
+            }),
+            _ => Ok(PtrVal::Fat {
+                addr: v.v,
+                base: 0,
+                len: 0,
+            }),
         }
     }
 
@@ -454,8 +530,16 @@ impl MemoryModel for Strict {
         shadow: Option<&ShadowEntry>,
     ) -> PtrVal {
         match shadow {
-            Some(e) if e.bits == bits => PtrVal::Fat { addr: bits, base: e.base, len: e.len },
-            _ => PtrVal::Fat { addr: bits, base: 0, len: 0 },
+            Some(e) if e.bits == bits => PtrVal::Fat {
+                addr: bits,
+                base: e.base,
+                len: e.len,
+            },
+            _ => PtrVal::Fat {
+                addr: bits,
+                base: 0,
+                len: 0,
+            },
         }
     }
 }
@@ -573,7 +657,9 @@ impl MemoryModel for Cheri {
                 "CHERIv2 does not support pointer subtraction",
             ));
         }
-        Ok(Self::cap_of(a).address().wrapping_sub(Self::cap_of(b).address()) as i64)
+        Ok(Self::cap_of(a)
+            .address()
+            .wrapping_sub(Self::cap_of(b).address()) as i64)
     }
 
     fn deref(
@@ -591,7 +677,11 @@ impl MemoryModel for Cheri {
     fn ptr_to_int(&self, p: &PtrVal, width: u8, signed: bool) -> Result<IntValue, ModelError> {
         // The capability does not survive conversion to a *plain* integer;
         // `intcap_t` (handled by the machine) is the supported round trip.
-        Ok(IntValue::new(Self::cap_of(p).address() as i64, width, signed))
+        Ok(IntValue::new(
+            Self::cap_of(p).address() as i64,
+            width,
+            signed,
+        ))
     }
 
     fn int_to_ptr(
@@ -652,7 +742,10 @@ mod tests {
         let mut iv = m.ptr_to_int(&p, 8, false).unwrap();
         iv = iv.touch_prov();
         let back = m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap();
-        assert_eq!(m.deref(&ctx, &back, 1, false).unwrap_err().kind, "provenance");
+        assert_eq!(
+            m.deref(&ctx, &back, 1, false).unwrap_err().kind,
+            "provenance"
+        );
     }
 
     #[test]
@@ -703,7 +796,9 @@ mod tests {
         // Freeing the object (removing it) kills the pointer.
         let empty = ctx_with(&[]);
         assert_eq!(
-            m.deref(&ModelCtx { objects: &empty }, &p, 8, false).unwrap_err().kind,
+            m.deref(&ModelCtx { objects: &empty }, &p, 8, false)
+                .unwrap_err()
+                .kind,
             "bounds"
         );
     }
@@ -715,10 +810,15 @@ mod tests {
         let ctx = ModelCtx { objects: &objs };
         let p = m.make_ptr(0x1000, 16, &ty_ip());
         let iv = m.ptr_to_int(&p, 8, false).unwrap();
-        assert!(m.deref(&ctx, &m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap(), 8, false).is_ok());
+        assert!(m
+            .deref(&ctx, &m.int_to_ptr(&ctx, &iv, &ty_ip()).unwrap(), 8, false)
+            .is_ok());
         let poisoned = iv.touch_prov();
         let bad = m.int_to_ptr(&ctx, &poisoned, &ty_ip()).unwrap();
-        assert_eq!(m.deref(&ctx, &bad, 1, false).unwrap_err().kind, "provenance");
+        assert_eq!(
+            m.deref(&ctx, &bad, 1, false).unwrap_err().kind,
+            "provenance"
+        );
     }
 
     #[test]
@@ -794,7 +894,10 @@ mod tests {
             let p = m.make_ptr(0x1000, 16, &data);
             let narrowed = m.adjust_for_type(p, &input_ptr);
             assert!(m.deref(&ctx, &narrowed, 1, false).is_ok());
-            assert_eq!(m.deref(&ctx, &narrowed, 1, true).unwrap_err().kind, "permission");
+            assert_eq!(
+                m.deref(&ctx, &narrowed, 1, true).unwrap_err().kind,
+                "permission"
+            );
         }
     }
 }

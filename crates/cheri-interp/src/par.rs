@@ -1,0 +1,84 @@
+//! Scoped-thread fan-out shared by the differential-harness drivers
+//! (`run_main_all`, the Table 3 matrix, the Table 1 corpus sweep and the
+//! idiom analyzer's per-function pass).
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    static IN_FAN_OUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Worker count, probed once — the `available_parallelism` syscall is not
+/// free relative to small work items — and capped at 8.
+pub fn fan_out_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(8)
+    })
+}
+
+/// Applies `f` to each item on its own scoped thread when multiple cores
+/// are available, inline otherwise. Results come back in input order
+/// regardless of completion order, and worker panics propagate to the
+/// caller.
+///
+/// A fan-out nested inside another fan-out's worker runs inline: the outer
+/// layer already saturates the cores, and stacking a second layer of
+/// threads per worker would only add scheduler overhead.
+pub fn fan_out_ordered<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let nested = IN_FAN_OUT.with(Cell::get);
+    if fan_out_workers() == 1 || nested || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .iter()
+            .map(|item| {
+                s.spawn(move || {
+                    IN_FAN_OUT.with(|c| c.set(true));
+                    f(item)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = fan_out_ordered(&items, |&v| v * 2);
+        assert_eq!(out, (0..20).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline() {
+        let outer: Vec<u32> = (0..4).collect();
+        let results = fan_out_ordered(&outer, |&o| {
+            let inner: Vec<u32> = (0..3).collect();
+            fan_out_ordered(&inner, |&i| o * 10 + i)
+        });
+        assert_eq!(results[2], vec![20, 21, 22]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items = [1u8, 2];
+        let _ = fan_out_ordered(&items, |&v| {
+            assert!(v != 2, "boom");
+            v
+        });
+    }
+}

@@ -34,7 +34,13 @@ pub struct IntValue {
 impl IntValue {
     /// A plain provenance-free integer.
     pub fn new(v: i64, width: u8, signed: bool) -> IntValue {
-        IntValue { v: v as u64, width, signed, prov: None }.normalized()
+        IntValue {
+            v: v as u64,
+            width,
+            signed,
+            prov: None,
+        }
+        .normalized()
     }
 
     /// Re-extends the value to 64 bits according to width/signedness so the
@@ -185,15 +191,29 @@ mod tests {
     #[test]
     fn ptr_addr_is_uniform() {
         assert_eq!(PtrVal::Plain { addr: 7 }.addr(), 7);
-        assert_eq!(PtrVal::Fat { addr: 9, base: 0, len: 16 }.addr(), 9);
-        let c = Capability::new_mem(0x100, 8, Perms::data()).inc_offset(4).unwrap();
+        assert_eq!(
+            PtrVal::Fat {
+                addr: 9,
+                base: 0,
+                len: 16
+            }
+            .addr(),
+            9
+        );
+        let c = Capability::new_mem(0x100, 8, Perms::data())
+            .inc_offset(4)
+            .unwrap();
         assert_eq!(PtrVal::Cap(c).addr(), 0x104);
     }
 
     #[test]
     fn touch_prov_marks_modified() {
         let mut v = IntValue::new(5, 8, true);
-        v.prov = Some(Prov { base: 0, len: 8, modified: false });
+        v.prov = Some(Prov {
+            base: 0,
+            len: 8,
+            modified: false,
+        });
         let t = v.touch_prov();
         assert!(t.prov.unwrap().modified);
         // No provenance: no-op.

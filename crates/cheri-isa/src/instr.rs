@@ -293,7 +293,13 @@ pub struct Instr {
 impl Instr {
     /// Builds an instruction from explicit fields.
     pub fn new(op: Op, rd: u8, rs: u8, rt: u8, imm: i32) -> Instr {
-        Instr { op, rd, rs, rt, imm }
+        Instr {
+            op,
+            rd,
+            rs,
+            rt,
+            imm,
+        }
     }
 
     /// `nop`.
@@ -444,7 +450,13 @@ pub fn decode(word: u64) -> Result<Instr, DecodeError> {
     if op == Op::CPtrCmp && CmpOp::from_u8(imm as u8).is_none() {
         return Err(DecodeError::BadCmpSelector(imm));
     }
-    Ok(Instr { op, rd, rs, rt, imm })
+    Ok(Instr {
+        op,
+        rd,
+        rs,
+        rt,
+        imm,
+    })
 }
 
 #[cfg(test)]
@@ -477,7 +489,14 @@ mod tests {
             .collect();
         assert_eq!(
             new,
-            ["cincoffset", "csetoffset", "cgetoffset", "cptrcmp", "cfromptr", "ctoptr"]
+            [
+                "cincoffset",
+                "csetoffset",
+                "cgetoffset",
+                "cptrcmp",
+                "cfromptr",
+                "ctoptr"
+            ]
         );
     }
 
@@ -512,7 +531,10 @@ mod tests {
         let bad_reg = encode(&Instr::nop()) | (40 << 8) | 0x11;
         assert!(matches!(decode(bad_reg), Err(DecodeError::BadRegister(40))));
         let bad_sel = encode(&Instr::c_ptr_cmp(1, 2, 3, CmpOp::Eq)) | (9u64 << 32);
-        assert!(matches!(decode(bad_sel), Err(DecodeError::BadCmpSelector(9))));
+        assert!(matches!(
+            decode(bad_sel),
+            Err(DecodeError::BadCmpSelector(9))
+        ));
     }
 
     #[test]
@@ -520,8 +542,13 @@ mod tests {
         assert_eq!(Instr::r3(Op::Addu, 2, 4, 5).disasm(), "addu v0, a0, a1");
         assert_eq!(Instr::mem(Op::Ld, 8, 29, -16).disasm(), "ld t0, -16(sp)");
         assert_eq!(Instr::mem(Op::Clc, 3, 0, 32).disasm(), "clc c3, 32(ddc)");
-        assert_eq!(Instr::c_inc_offset(2, 2, 9).disasm(), "cincoffset c2, c2, t1");
-        assert!(Instr::c_ptr_cmp(2, 3, 4, CmpOp::Ltu).disasm().contains("Ltu"));
+        assert_eq!(
+            Instr::c_inc_offset(2, 2, 9).disasm(),
+            "cincoffset c2, c2, t1"
+        );
+        assert!(Instr::c_ptr_cmp(2, 3, 4, CmpOp::Ltu)
+            .disasm()
+            .contains("Ltu"));
     }
 
     #[test]

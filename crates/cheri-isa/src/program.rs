@@ -70,7 +70,10 @@ impl Program {
     /// Propagates the first [`DecodeError`].
     pub fn from_words(words: &[u64]) -> Result<Program, DecodeError> {
         let code = words.iter().map(|&w| decode(w)).collect::<Result<_, _>>()?;
-        Ok(Program { code, ..Program::default() })
+        Ok(Program {
+            code,
+            ..Program::default()
+        })
     }
 
     /// Total size of the instruction stream in bytes (8 bytes/instruction).
@@ -79,12 +82,23 @@ impl Program {
     }
 
     /// A full listing with function labels, for debugging code generation.
+    ///
+    /// Function symbols are pre-indexed by entry address, so the listing is
+    /// O(code + symbols) instead of rescanning the whole symbol table for
+    /// every instruction.
     pub fn disassemble(&self) -> String {
+        let mut by_addr: std::collections::HashMap<u64, Vec<&str>> =
+            std::collections::HashMap::new();
+        for s in &self.symbols {
+            if s.is_func {
+                by_addr.entry(s.value).or_default().push(&s.name);
+            }
+        }
         let mut out = String::new();
         for (idx, instr) in self.code.iter().enumerate() {
-            for s in &self.symbols {
-                if s.is_func && s.value == idx as u64 {
-                    out.push_str(&format!("{}:\n", s.name));
+            if let Some(names) = by_addr.get(&(idx as u64)) {
+                for name in names {
+                    out.push_str(&format!("{name}:\n"));
                 }
             }
             out.push_str(&format!("  {idx:5}  {instr}\n"));
@@ -150,5 +164,30 @@ mod tests {
     #[test]
     fn code_bytes_counts_words() {
         assert_eq!(sample().code_bytes(), 24);
+    }
+
+    #[test]
+    fn disassembly_labels_every_function_at_its_entry() {
+        let mut p = sample();
+        p.symbols.push(Symbol {
+            name: "tail".into(),
+            value: 2,
+            size: 1,
+            is_func: true,
+        });
+        // Data symbols must not produce labels even when their offset
+        // collides with an instruction index.
+        p.symbols.push(Symbol {
+            name: "blob".into(),
+            value: 1,
+            size: 8,
+            is_func: false,
+        });
+        let text = p.disassemble();
+        let main_at = text.find("main:").unwrap();
+        let tail_at = text.find("tail:").unwrap();
+        assert!(main_at < tail_at);
+        assert!(!text.contains("blob:"));
+        assert_eq!(text.lines().filter(|l| l.ends_with(':')).count(), 2);
     }
 }

@@ -74,14 +74,25 @@ mod tests {
         let names: Vec<&str> = rs.iter().map(|r| r.instruction).collect();
         assert_eq!(
             names,
-            ["CIncOffset", "CSetOffset", "CGetOffset", "CPtrCmp", "CFromPtr", "CToPtr"]
+            [
+                "CIncOffset",
+                "CSetOffset",
+                "CGetOffset",
+                "CPtrCmp",
+                "CFromPtr",
+                "CToPtr"
+            ]
         );
     }
 
     #[test]
     fn rows_match_isa_metadata() {
         for r in rows() {
-            assert!(r.op.is_cheriv3_new(), "{} not flagged v3-new", r.instruction);
+            assert!(
+                r.op.is_cheriv3_new(),
+                "{} not flagged v3-new",
+                r.instruction
+            );
             assert_eq!(
                 r.op.name(),
                 r.instruction.to_lowercase(),

@@ -56,9 +56,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(MemError::OutOfRange { addr: 0x10, len: 8 }.to_string().contains("0x10"));
-        assert!(MemError::Misaligned { addr: 3 }.to_string().contains("aligned"));
+        assert!(MemError::OutOfRange { addr: 0x10, len: 8 }
+            .to_string()
+            .contains("0x10"));
+        assert!(MemError::Misaligned { addr: 3 }
+            .to_string()
+            .contains("aligned"));
         assert!(MemError::BadFree { addr: 1 }.to_string().contains("free"));
-        assert!(MemError::OutOfMemory { requested: 9 }.to_string().contains('9'));
+        assert!(MemError::OutOfMemory { requested: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

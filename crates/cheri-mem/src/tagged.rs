@@ -19,7 +19,15 @@ use cheri_cap::{decode_capability, encode_capability, Capability, CAP_ALIGN, CAP
 pub struct TaggedMemory {
     bytes: Vec<u8>,
     tags: Vec<bool>,
+    /// One bit per [`DIRTY_CHUNK`]-byte chunk that has been written since
+    /// construction or the last [`TaggedMemory::reset`]. Lets `reset` re-zero
+    /// only the touched chunks instead of the whole backing store, which is
+    /// what makes pooling memories across interpreter runs cheap.
+    dirty: Vec<u64>,
 }
+
+/// Dirty-tracking granularity: 64 KiB chunks (a multiple of [`CAP_ALIGN`]).
+const DIRTY_CHUNK: u64 = 64 * 1024;
 
 impl TaggedMemory {
     /// Creates a zeroed memory of `size` bytes (rounded up to a whole number
@@ -27,9 +35,44 @@ impl TaggedMemory {
     pub fn new(size: u64) -> TaggedMemory {
         let granules = size.div_ceil(CAP_ALIGN);
         let size = granules * CAP_ALIGN;
+        let chunks = size.div_ceil(DIRTY_CHUNK);
         TaggedMemory {
             bytes: vec![0; size as usize],
             tags: vec![false; granules as usize],
+            dirty: vec![0; chunks.div_ceil(64) as usize],
+        }
+    }
+
+    /// Marks `[addr, addr+len)` dirty. Callers have already bounds-checked.
+    fn mark_dirty(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / DIRTY_CHUNK;
+        let last = (addr + len - 1) / DIRTY_CHUNK;
+        for c in first..=last {
+            self.dirty[(c / 64) as usize] |= 1 << (c % 64);
+        }
+    }
+
+    /// Restores the memory to its freshly-constructed state — all bytes
+    /// zero, all tags clear — touching only the chunks dirtied since the
+    /// last reset. Cost is proportional to the footprint actually written,
+    /// not to the memory's size.
+    pub fn reset(&mut self) {
+        for w in 0..self.dirty.len() {
+            let mut bits = self.dirty[w];
+            self.dirty[w] = 0;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                let start = (w as u64 * 64 + b) * DIRTY_CHUNK;
+                let end = (start + DIRTY_CHUNK).min(self.size());
+                self.bytes[start as usize..end as usize].fill(0);
+                let g0 = (start / CAP_ALIGN) as usize;
+                let g1 = (end.div_ceil(CAP_ALIGN) as usize).min(self.tags.len());
+                self.tags[g0..g1].fill(false);
+            }
         }
     }
 
@@ -75,6 +118,7 @@ impl TaggedMemory {
         let a = self.check(addr, data.len() as u64)?;
         self.bytes[a..a + data.len()].copy_from_slice(data);
         self.clear_tags_over(addr, data.len() as u64);
+        self.mark_dirty(addr, data.len() as u64);
         Ok(())
     }
 
@@ -207,7 +251,10 @@ impl TaggedMemory {
         let a = self.check(addr, CAP_SIZE_BYTES as u64)?;
         let mut buf = [0u8; CAP_SIZE_BYTES];
         buf.copy_from_slice(&self.bytes[a..a + CAP_SIZE_BYTES]);
-        Ok(decode_capability(&buf, self.tags[(addr / CAP_ALIGN) as usize]))
+        Ok(decode_capability(
+            &buf,
+            self.tags[(addr / CAP_ALIGN) as usize],
+        ))
     }
 
     /// `CSC`: stores `cap` at `addr` (32-byte aligned), setting the
@@ -225,6 +272,7 @@ impl TaggedMemory {
         let a = self.check(addr, CAP_SIZE_BYTES as u64)?;
         self.bytes[a..a + CAP_SIZE_BYTES].copy_from_slice(&encode_capability(cap));
         self.tags[(addr / CAP_ALIGN) as usize] = cap.tag();
+        self.mark_dirty(addr, CAP_SIZE_BYTES as u64);
         Ok(())
     }
 
@@ -297,6 +345,7 @@ impl TaggedMemory {
         for a in inherit {
             self.tags[(a / CAP_ALIGN) as usize] = true;
         }
+        self.mark_dirty(dst, len);
         Ok(())
     }
 
@@ -309,6 +358,7 @@ impl TaggedMemory {
         let a = self.check(addr, len)?;
         self.bytes[a..a + len as usize].fill(value);
         self.clear_tags_over(addr, len);
+        self.mark_dirty(addr, len);
         Ok(())
     }
 }
@@ -352,7 +402,11 @@ mod tests {
         for w in [1u8, 2, 4, 8] {
             m.write_uint(64, 0x1122_3344_5566_7788, w).unwrap();
             let v = m.read_uint(64, w).unwrap();
-            let mask = if w == 8 { u64::MAX } else { (1u64 << (w * 8)) - 1 };
+            let mask = if w == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (w * 8)) - 1
+            };
             assert_eq!(v, 0x1122_3344_5566_7788 & mask);
         }
     }
@@ -360,8 +414,14 @@ mod tests {
     #[test]
     fn out_of_range_is_reported() {
         let m = mem();
-        assert!(matches!(m.read_u64(0xFFF + 1), Err(MemError::OutOfRange { .. })));
-        assert!(matches!(m.read_u64(u64::MAX - 3), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(
+            m.read_u64(0xFFF + 1),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.read_u64(u64::MAX - 3),
+            Err(MemError::OutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -377,7 +437,10 @@ mod tests {
     fn cap_access_requires_alignment() {
         let mut m = mem();
         assert!(matches!(m.read_cap(0x41), Err(MemError::Misaligned { .. })));
-        assert!(matches!(m.write_cap(0x08, &a_cap()), Err(MemError::Misaligned { .. })));
+        assert!(matches!(
+            m.write_cap(0x08, &a_cap()),
+            Err(MemError::Misaligned { .. })
+        ));
     }
 
     #[test]
@@ -389,6 +452,29 @@ mod tests {
         assert!(!c.tag());
         // The data bytes are otherwise intact except the one written.
         assert_eq!(c.base(), a_cap().base());
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh() {
+        // Dirty several distinct chunks through every mutation path, then
+        // reset and compare against a freshly constructed memory.
+        let size = 8 * 64 * 1024;
+        let mut m = TaggedMemory::new(size);
+        m.write_u64(8, 0xDEAD_BEEF).unwrap();
+        m.write_bytes(64 * 1024 + 3, b"hello").unwrap();
+        m.write_cap(2 * 64 * 1024, &a_cap()).unwrap();
+        m.fill(5 * 64 * 1024 - 16, 64, 0xAA).unwrap(); // straddles chunks
+        m.memcpy(7 * 64 * 1024, 0, 128).unwrap();
+        m.reset();
+        let fresh = TaggedMemory::new(size);
+        assert_eq!(
+            m.read_bytes(0, size).unwrap(),
+            fresh.read_bytes(0, size).unwrap()
+        );
+        assert_eq!(m.tagged_granules().count(), 0);
+        // The memory is fully reusable afterwards.
+        m.write_cap(2 * 64 * 1024, &a_cap()).unwrap();
+        assert!(m.read_cap(2 * 64 * 1024).unwrap().tag());
     }
 
     #[test]

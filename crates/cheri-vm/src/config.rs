@@ -36,7 +36,10 @@ impl VmConfig {
 
     /// A fast functional-only machine (no cache model) for tests.
     pub fn functional() -> VmConfig {
-        VmConfig { cache: None, ..VmConfig::fpga() }
+        VmConfig {
+            cache: None,
+            ..VmConfig::fpga()
+        }
     }
 }
 

@@ -4,9 +4,9 @@ use crate::config::{VmConfig, NULL_GUARD_SIZE};
 use crate::sys;
 use crate::trap::{TrapCause, VmTrap};
 use cheri_cache::{CacheStats, Hierarchy};
-use cheri_cap::{ptr_cmp, Capability, Perms};
 #[cfg(test)]
 use cheri_cap::CapError;
+use cheri_cap::{ptr_cmp, Capability, Perms};
 use cheri_isa::{CmpOp, Instr, Op, Program, DDC};
 use cheri_mem::{Allocator, TaggedMemory};
 use std::cmp::Ordering;
@@ -217,14 +217,23 @@ impl Vm {
     pub fn run(&mut self, fuel: u64) -> Result<ExitStatus, VmTrap> {
         for _ in 0..fuel {
             if let Some(code) = self.halted {
-                return Ok(ExitStatus { code, stats: self.stats() });
+                return Ok(ExitStatus {
+                    code,
+                    stats: self.stats(),
+                });
             }
             self.step()?;
         }
         if let Some(code) = self.halted {
-            return Ok(ExitStatus { code, stats: self.stats() });
+            return Ok(ExitStatus {
+                code,
+                stats: self.stats(),
+            });
         }
-        Err(VmTrap { pc: self.pc, cause: TrapCause::OutOfFuel })
+        Err(VmTrap {
+            pc: self.pc,
+            cause: TrapCause::OutOfFuel,
+        })
     }
 
     /// Executes one instruction.
@@ -253,14 +262,20 @@ impl Vm {
         let fetch_cap = self
             .pcc
             .set_offset(byte_addr.wrapping_sub(self.pcc.base()))
-            .map_err(|e| VmTrap { pc, cause: e.into() })?;
+            .map_err(|e| VmTrap {
+                pc,
+                cause: e.into(),
+            })?;
         if fetch_cap.check_access(8, Perms::EXECUTE).is_err() {
-            return Err(VmTrap { pc, cause: TrapCause::PccBounds { pc } });
+            return Err(VmTrap {
+                pc,
+                cause: TrapCause::PccBounds { pc },
+            });
         }
-        self.code
-            .get(pc as usize)
-            .copied()
-            .ok_or(VmTrap { pc, cause: TrapCause::PccBounds { pc } })
+        self.code.get(pc as usize).copied().ok_or(VmTrap {
+            pc,
+            cause: TrapCause::PccBounds { pc },
+        })
     }
 
     fn charge_mem(&mut self, addr: u64, len: u64, write: bool) {
@@ -403,12 +418,36 @@ impl Vm {
             Op::Srl => alu!(self.reg(rs) >> (imm as u32 & 63)),
             Op::Sra => alu!(((self.reg(rs) as i64) >> (imm as u32 & 63)) as u64),
 
-            Op::Beq => Ok(if self.reg(rs) == self.reg(rt) { imm as u64 } else { next }),
-            Op::Bne => Ok(if self.reg(rs) != self.reg(rt) { imm as u64 } else { next }),
-            Op::Blez => Ok(if self.reg(rs) as i64 <= 0 { imm as u64 } else { next }),
-            Op::Bgtz => Ok(if self.reg(rs) as i64 > 0 { imm as u64 } else { next }),
-            Op::Bltz => Ok(if (self.reg(rs) as i64) < 0 { imm as u64 } else { next }),
-            Op::Bgez => Ok(if self.reg(rs) as i64 >= 0 { imm as u64 } else { next }),
+            Op::Beq => Ok(if self.reg(rs) == self.reg(rt) {
+                imm as u64
+            } else {
+                next
+            }),
+            Op::Bne => Ok(if self.reg(rs) != self.reg(rt) {
+                imm as u64
+            } else {
+                next
+            }),
+            Op::Blez => Ok(if self.reg(rs) as i64 <= 0 {
+                imm as u64
+            } else {
+                next
+            }),
+            Op::Bgtz => Ok(if self.reg(rs) as i64 > 0 {
+                imm as u64
+            } else {
+                next
+            }),
+            Op::Bltz => Ok(if (self.reg(rs) as i64) < 0 {
+                imm as u64
+            } else {
+                next
+            }),
+            Op::Bgez => Ok(if self.reg(rs) as i64 >= 0 {
+                imm as u64
+            } else {
+                next
+            }),
 
             Op::J => Ok(imm as u64),
             Op::Jal => {
@@ -474,8 +513,7 @@ impl Vm {
                 Ok(next)
             }
             Op::CIncOffset => {
-                self.caps[rd as usize] =
-                    self.caps[rs as usize].inc_offset(self.reg(rt) as i64)?;
+                self.caps[rd as usize] = self.caps[rs as usize].inc_offset(self.reg(rt) as i64)?;
                 Ok(next)
             }
             Op::CIncOffsetImm => {
@@ -523,13 +561,11 @@ impl Vm {
                 alu!(self.caps[rs as usize].to_ptr(&self.caps[rt as usize]))
             }
             Op::CSeal => {
-                self.caps[rd as usize] =
-                    self.caps[rs as usize].seal(&self.caps[rt as usize])?;
+                self.caps[rd as usize] = self.caps[rs as usize].seal(&self.caps[rt as usize])?;
                 Ok(next)
             }
             Op::CUnseal => {
-                self.caps[rd as usize] =
-                    self.caps[rs as usize].unseal(&self.caps[rt as usize])?;
+                self.caps[rd as usize] = self.caps[rs as usize].unseal(&self.caps[rt as usize])?;
                 Ok(next)
             }
             Op::CJr => {
@@ -600,7 +636,8 @@ impl Vm {
                 Ok(())
             }
             sys::PUTINT => {
-                self.output.extend_from_slice((a0 as i64).to_string().as_bytes());
+                self.output
+                    .extend_from_slice((a0 as i64).to_string().as_bytes());
                 Ok(())
             }
             sys::MALLOC => {
@@ -683,15 +720,15 @@ mod tests {
     fn arithmetic_and_branches() {
         // Sum 1..=10 with a loop.
         let code = vec![
-            Instr::li(8, 0),                       // t0 = 0 (sum)
-            Instr::li(9, 1),                       // t1 = 1 (i)
-            Instr::li(10, 10),                     // t2 = 10
+            Instr::li(8, 0),   // t0 = 0 (sum)
+            Instr::li(9, 1),   // t1 = 1 (i)
+            Instr::li(10, 10), // t2 = 10
             // loop:
-            Instr::r3(Op::Addu, 8, 8, 9),          // 3: sum += i
-            Instr::i2(Op::Addiu, 9, 9, 1),         // 4: i += 1
-            Instr::r3(Op::Slt, 11, 10, 9),         // 5: t3 = 10 < i
-            Instr::new(Op::Beq, 0, 11, 0, 3),      // 6: if t3 == 0 goto 3
-            Instr::r3(Op::Addu, A0, 8, 0),         // a0 = sum
+            Instr::r3(Op::Addu, 8, 8, 9),     // 3: sum += i
+            Instr::i2(Op::Addiu, 9, 9, 1),    // 4: i += 1
+            Instr::r3(Op::Slt, 11, 10, 9),    // 5: t3 = 10 < i
+            Instr::new(Op::Beq, 0, 11, 0, 3), // 6: if t3 == 0 goto 3
+            Instr::r3(Op::Addu, A0, 8, 0),    // a0 = sum
             Instr::syscall(sys::EXIT),
         ];
         let (s, _) = run_prog(code).unwrap();
@@ -702,8 +739,8 @@ mod tests {
     fn trapping_add_overflows() {
         let code = vec![
             Instr::li(8, i32::MAX),
-            Instr::i2(Op::Sll, 8, 8, 32),          // t0 = huge
-            Instr::r3(Op::Add, 8, 8, 8),           // overflow
+            Instr::i2(Op::Sll, 8, 8, 32), // t0 = huge
+            Instr::r3(Op::Add, 8, 8, 8),  // overflow
             Instr::syscall(sys::EXIT),
         ];
         let err = run_prog(code).unwrap_err();
@@ -765,8 +802,8 @@ mod tests {
             Instr::li(8, 0x8000),
             Instr::li(9, -1),
             Instr::mem(Op::Sb, 9, 8, 0),
-            Instr::mem(Op::Lb, 10, 8, 0),   // -1
-            Instr::mem(Op::Lbu, 11, 8, 0),  // 255
+            Instr::mem(Op::Lb, 10, 8, 0),  // -1
+            Instr::mem(Op::Lbu, 11, 8, 0), // 255
             Instr::r3(Op::Addu, A0, 10, 11),
             Instr::syscall(sys::EXIT),
         ];
@@ -924,15 +961,15 @@ mod tests {
         // Build a code capability for instructions [4, 6) and jump to it.
         // The callee returns via cjr on the link cap; then exit.
         let code = vec![
-            Instr::new(Op::CGetPcc, 5, 0, 0, 0),          // c5 = pcc
+            Instr::new(Op::CGetPcc, 5, 0, 0, 0), // c5 = pcc
             Instr::li(8, 5 * 8),
-            Instr::cmod(Op::CSetOffset, 5, 5, 8),          // offset = callee
-            Instr::new(Op::CJalr, 6, 5, 0, 0),             // call; link in c6
-            Instr::new(Op::J, 0, 0, 0, 7),                 // pc 4: resume -> exit
+            Instr::cmod(Op::CSetOffset, 5, 5, 8), // offset = callee
+            Instr::new(Op::CJalr, 6, 5, 0, 0),    // call; link in c6
+            Instr::new(Op::J, 0, 0, 0, 7),        // pc 4: resume -> exit
             // callee (pc 5): a0 = 77; return
             Instr::li(A0, 77),
-            Instr::new(Op::CJr, 0, 6, 0, 0),               // pc 6: return to pc 4
-            Instr::syscall(sys::EXIT),                     // pc 7
+            Instr::new(Op::CJr, 0, 6, 0, 0), // pc 6: return to pc 4
+            Instr::syscall(sys::EXIT),       // pc 7
         ];
         let (s, _) = run_prog(code).unwrap();
         assert_eq!(s.code, 77);

@@ -45,7 +45,10 @@ impl fmt::Display for TrapCause {
             TrapCause::Capability(e) => write!(f, "capability exception: {e}"),
             TrapCause::Memory(e) => write!(f, "memory exception: {e}"),
             TrapCause::NullGuard { addr } => {
-                write!(f, "segmentation fault: access at {addr:#x} in the null guard page")
+                write!(
+                    f,
+                    "segmentation fault: access at {addr:#x} in the null guard page"
+                )
             }
             TrapCause::IntegerOverflow => write!(f, "trapped signed integer overflow"),
             TrapCause::DivideByZero => write!(f, "integer division by zero"),
@@ -100,7 +103,9 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("pc 12"));
         assert!(s.contains("tag"));
-        assert!(TrapCause::NullGuard { addr: 0 }.to_string().contains("segmentation"));
+        assert!(TrapCause::NullGuard { addr: 0 }
+            .to_string()
+            .contains("segmentation"));
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub fn packet_trace(packets: u32, seed: u64) -> Vec<u8> {
             }
             pkt.extend_from_slice(&ip);
             let sport: u16 = rng.gen_range(1024..60000);
-            let dport: u16 = *[80u16, 443, 53, 22, 8080].get(rng.gen_range(0..5usize)).unwrap();
+            let dport: u16 = *[80u16, 443, 53, 22, 8080]
+                .get(rng.gen_range(0..5usize))
+                .unwrap();
             pkt.extend_from_slice(&sport.to_be_bytes());
             pkt.extend_from_slice(&dport.to_be_bytes());
             for _ in 4..l4 + payload {

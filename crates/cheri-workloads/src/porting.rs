@@ -22,7 +22,9 @@ use std::collections::BTreeSet;
 /// Number of source lines (1-based) declaring at least one pointer — the
 /// annotation burden of a hybrid `__capability` port.
 pub fn annotation_lines(src: &str) -> u64 {
-    let Ok(unit) = cheri_c::parse(src) else { return 0 };
+    let Ok(unit) = cheri_c::parse(src) else {
+        return 0;
+    };
     let mut lines: BTreeSet<u32> = BTreeSet::new();
     collect_ptr_decl_lines(&unit, &mut lines);
     lines.len() as u64
@@ -58,11 +60,14 @@ fn collect_ptr_decl_lines(unit: &TranslationUnit, lines: &mut BTreeSet<u32>) {
 fn walk_block(b: &Block, lines: &mut BTreeSet<u32>) {
     for s in &b.stmts {
         match s {
-            Stmt::Decl { ty, line, .. }
-                if ty.is_pointer() => {
-                    lines.insert(*line);
-                }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::Decl { ty, line, .. } if ty.is_pointer() => {
+                lines.insert(*line);
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 walk_block(then_branch, lines);
                 if let Some(e) = else_branch {
                     walk_block(e, lines);
@@ -188,10 +193,22 @@ pub struct Table4Row {
 pub fn table4() -> Vec<Table4Row> {
     use crate::sources;
     let olden: Vec<(String, String, String)> = vec![
-        (sources::bisort(64), sources::bisort(64), sources::bisort(64)),
+        (
+            sources::bisort(64),
+            sources::bisort(64),
+            sources::bisort(64),
+        ),
         (sources::mst(16), sources::mst(16), sources::mst(16)),
-        (sources::treeadd(6, 3), sources::treeadd(6, 3), sources::treeadd(6, 3)),
-        (sources::perimeter(4), sources::perimeter(4), sources::perimeter(4)),
+        (
+            sources::treeadd(6, 3),
+            sources::treeadd(6, 3),
+            sources::treeadd(6, 3),
+        ),
+        (
+            sources::perimeter(4),
+            sources::perimeter(4),
+            sources::perimeter(4),
+        ),
     ];
     let mut olden_row = Table4Row {
         program: "Olden".into(),

@@ -32,7 +32,11 @@ impl fmt::Display for WorkloadError {
             WorkloadError::Compile(e) => write!(f, "compile error: {e}"),
             WorkloadError::Trap(t) => write!(f, "vm trap: {t}"),
             WorkloadError::MissingSymbol(s) => write!(f, "no such symbol: {s}"),
-            WorkloadError::InputTooLarge { symbol, provided, capacity } => write!(
+            WorkloadError::InputTooLarge {
+                symbol,
+                provided,
+                capacity,
+            } => write!(
                 f,
                 "input for {symbol} is {provided} bytes but the buffer holds {capacity}"
             ),
@@ -141,7 +145,10 @@ mod tests {
             let r = run_fast(src, abi, ins);
             assert_eq!(r.output, base.output, "{abi} output differs");
             assert_eq!(r.exit, 0);
-            assert!(r.cap_instructions > 0, "{abi} should execute capability ops");
+            assert!(
+                r.cap_instructions > 0,
+                "{abi} should execute capability ops"
+            );
         }
         base
     }
@@ -201,7 +208,11 @@ mod tests {
     fn tcpdump_v2_port_runs_everywhere_with_same_output() {
         let trace = inputs::packet_trace(150, 11);
         let ported = sources::tcpdump_cheriv2();
-        let base = run_fast(&sources::tcpdump_baseline(), Abi::Mips, &[("trace", &trace)]);
+        let base = run_fast(
+            &sources::tcpdump_baseline(),
+            Abi::Mips,
+            &[("trace", &trace)],
+        );
         for abi in Abi::ALL {
             let r = run_fast(&ported, abi, &[("trace", &trace)]);
             assert_eq!(r.output, base.output, "{abi}");
@@ -211,8 +222,16 @@ mod tests {
     #[test]
     fn tcpdump_v3_port_matches_baseline() {
         let trace = inputs::packet_trace(100, 5);
-        let base = run_fast(&sources::tcpdump_baseline(), Abi::CheriV3, &[("trace", &trace)]);
-        let v3 = run_fast(&sources::tcpdump_cheriv3(), Abi::CheriV3, &[("trace", &trace)]);
+        let base = run_fast(
+            &sources::tcpdump_baseline(),
+            Abi::CheriV3,
+            &[("trace", &trace)],
+        );
+        let v3 = run_fast(
+            &sources::tcpdump_cheriv3(),
+            Abi::CheriV3,
+            &[("trace", &trace)],
+        );
         assert_eq!(v3.output, base.output);
     }
 
@@ -221,7 +240,13 @@ mod tests {
         let file = inputs::compressible_file(8192, 9);
         let plain = sources::zlib(8192, false);
         let base = identical_across_abis(&plain, &[("input", &file)]);
-        let total_out: i64 = base.output.split_whitespace().next().unwrap().parse().unwrap();
+        let total_out: i64 = base
+            .output
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(total_out > 0);
         assert!(
             (total_out as usize) < 8192,
@@ -232,9 +257,20 @@ mod tests {
     #[test]
     fn zlib_copying_produces_identical_stream() {
         let file = inputs::compressible_file(8192, 9);
-        let plain = run_fast(&sources::zlib(8192, false), Abi::CheriV3, &[("input", &file)]);
-        let copy = run_fast(&sources::zlib(8192, true), Abi::CheriV3, &[("input", &file)]);
-        assert_eq!(plain.output, copy.output, "copying must not change the stream");
+        let plain = run_fast(
+            &sources::zlib(8192, false),
+            Abi::CheriV3,
+            &[("input", &file)],
+        );
+        let copy = run_fast(
+            &sources::zlib(8192, true),
+            Abi::CheriV3,
+            &[("input", &file)],
+        );
+        assert_eq!(
+            plain.output, copy.output,
+            "copying must not change the stream"
+        );
         assert!(copy.instret > plain.instret, "copying costs work");
     }
 

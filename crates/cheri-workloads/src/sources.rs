@@ -450,7 +450,11 @@ pub const ZLIB_OUT_CAP: u32 = 393_216;
 /// are passed across the library boundary", §5.2, Figure 4's
 /// "CHERI (copying)" series).
 pub fn zlib(file_size: u32, copying: bool) -> String {
-    let driver = if copying { "deflate_boundary" } else { "deflate_chunk" };
+    let driver = if copying {
+        "deflate_boundary"
+    } else {
+        "deflate_chunk"
+    };
     format!(
         r#"
 unsigned char input[{ZLIB_IN_CAP}];

@@ -58,13 +58,14 @@ fn main() {
         let mut vm = Vm::new(prog, VmConfig::fpga());
         vm.mem_mut().write_bytes(addr, &packet).expect("fits");
         // Plant a "secret" just past the buffer so the leak is visible.
-        vm.mem_mut().write_bytes(addr + 64, b"SECRET-KEY").expect("fits");
+        vm.mem_mut()
+            .write_bytes(addr + 64, b"SECRET-KEY")
+            .expect("fits");
         match vm.run(1_000_000) {
             Ok(exit) => {
                 println!(
                     "parser ran to completion (exit {}), summed {} bytes INCLUDING adjacent memory",
-                    exit.code,
-                    200
+                    exit.code, 200
                 );
                 println!("output: {}", vm.output_string().trim());
                 println!("-> information leak: the secret was readable.\n");

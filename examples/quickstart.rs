@@ -17,9 +17,16 @@ fn main() {
     let obj = Capability::new_mem(0x1000, 64, Perms::data());
     let p = obj.inc_offset(100).expect("CHERIv3 arithmetic may roam");
     println!("p = {p}");
-    println!("deref out of bounds: {:?}", p.check_access(1, Perms::LOAD).unwrap_err());
+    println!(
+        "deref out of bounds: {:?}",
+        p.check_access(1, Perms::LOAD).unwrap_err()
+    );
     let back = p.inc_offset(-60).expect("and roam back");
-    println!("back in bounds at {:#x}: ok={}", back.address(), back.check_access(1, Perms::LOAD).is_ok());
+    println!(
+        "back in bounds at {:#x}: ok={}",
+        back.address(),
+        back.check_access(1, Perms::LOAD).is_ok()
+    );
 
     // --- 2. One program, seven interpretations of the C abstract machine -
     println!("\n== abstract machine interpreter ==");
@@ -33,7 +40,11 @@ fn main() {
     let unit = cheri::c::parse(src).expect("parses");
     for model in ModelKind::ALL {
         match run_main(&unit, model) {
-            Ok(r) => println!("{:<18} overflow undetected (exit {})", model.to_string(), r.exit_code),
+            Ok(r) => println!(
+                "{:<18} overflow undetected (exit {})",
+                model.to_string(),
+                r.exit_code
+            ),
             Err(e) => println!("{:<18} caught: {e}", model.to_string()),
         }
     }
@@ -58,5 +69,8 @@ fn main() {
     let mut vm = Vm::new(prog, VmConfig::fpga());
     let exit = vm.run(1_000_000).expect("runs");
     print!("output: {}", vm.output_string());
-    println!("exit {} in {} cycles ({} instructions)", exit.code, exit.stats.cycles, exit.stats.instret);
+    println!(
+        "exit {} in {} cycles ({} instructions)",
+        exit.code, exit.stats.cycles, exit.stats.instret
+    );
 }

@@ -33,7 +33,8 @@ fn main() {
     let secret_base = 0x1000;
     let public_base = 0x2000;
     mem.write_bytes(secret_base, b"top secret").unwrap();
-    mem.write_bytes(public_base, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+    mem.write_bytes(public_base, &[1, 2, 3, 4, 5, 6, 7, 8])
+        .unwrap();
 
     // Full authority over the public buffer...
     let public = Capability::new_mem(public_base, 8, Perms::data());
@@ -45,7 +46,10 @@ fn main() {
         .unwrap();
 
     println!("sandbox view: {view}");
-    println!("sum of visible bytes: {}", untrusted_sum(&mem, view).unwrap());
+    println!(
+        "sum of visible bytes: {}",
+        untrusted_sum(&mem, view).unwrap()
+    );
 
     // Writing through the view is a permission violation.
     match untrusted_scribble(&mut mem, view) {
@@ -55,7 +59,9 @@ fn main() {
 
     // Escaping the bounds is a bounds violation — even though the secret
     // is right there in the same address space.
-    let escape = view.set_offset(secret_base.wrapping_sub(public_base)).unwrap();
+    let escape = view
+        .set_offset(secret_base.wrapping_sub(public_base))
+        .unwrap();
     match escape.check_access(1, Perms::LOAD) {
         Err(e) => println!("escape blocked: {e}"),
         Ok(_) => unreachable!("bounds must hold"),

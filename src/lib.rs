@@ -37,14 +37,14 @@
 //! assert!(p.check_access(1, Perms::LOAD).is_err()); // ...dereference may not
 //! ```
 
-pub use cheri_cap as cap;
-pub use cheri_mem as mem;
-pub use cheri_cache as cache;
-pub use cheri_isa as isa;
-pub use cheri_vm as vm;
 pub use cheri_c as c;
-pub use cheri_interp as interp;
-pub use cheri_idioms as idioms;
+pub use cheri_cache as cache;
+pub use cheri_cap as cap;
 pub use cheri_compile as compile;
 pub use cheri_gc as gc;
+pub use cheri_idioms as idioms;
+pub use cheri_interp as interp;
+pub use cheri_isa as isa;
+pub use cheri_mem as mem;
+pub use cheri_vm as vm;
 pub use cheri_workloads as workloads;

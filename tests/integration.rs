@@ -141,9 +141,10 @@ fn tcpdump_porting_story_end_to_end() {
     let ported = sources::tcpdump_cheriv2();
     // Baseline cannot target CHERIv2 at all.
     assert!(compile(&baseline, Abi::CheriV2).is_err());
-    let reference = runner::run_workload(&baseline, Abi::Mips, VmConfig::functional(), ins, 1 << 32)
-        .unwrap()
-        .output;
+    let reference =
+        runner::run_workload(&baseline, Abi::Mips, VmConfig::functional(), ins, 1 << 32)
+            .unwrap()
+            .output;
     for abi in Abi::ALL {
         let out = runner::run_workload(&ported, abi, VmConfig::functional(), ins, 1 << 32)
             .unwrap_or_else(|e| panic!("{abi}: {e}"))

@@ -26,7 +26,6 @@ pub struct Criterion {
     filter: Option<String>,
 }
 
-
 impl Criterion {
     /// Reads the CLI arguments cargo-bench forwards (`--bench`, an optional
     /// name filter); flags are ignored, the first free argument filters by
@@ -119,7 +118,11 @@ impl Bencher {
         }
         let n = self.samples_ns.len() as f64;
         let mean = self.samples_ns.iter().sum::<f64>() / n;
-        let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = self.samples_ns.iter().cloned().fold(0.0, f64::max);
         println!(
             "{full_id:<48} time: [{} {} {}]",
@@ -136,7 +139,11 @@ impl Bencher {
             );
             line.push('\n');
             use std::io::Write as _;
-            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
                 let _ = file.write_all(line.as_bytes());
             }
         }

@@ -175,6 +175,9 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, sorted, "seed 9 should not yield the identity permutation");
+        assert_ne!(
+            v, sorted,
+            "seed 9 should not yield the identity permutation"
+        );
     }
 }
