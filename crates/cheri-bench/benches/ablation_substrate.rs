@@ -2,15 +2,40 @@
 //! * capability operation microcosts (inc_offset vs inc_base vs checks);
 //! * tagged-memory store-clears-tag bookkeeping;
 //! * cache-hierarchy geometry (FPGA-like vs desktop-like);
-//! * 128-bit compressed capabilities (low-fat) compress/decompress and
-//!   the representability rate over allocator outputs.
+//! * 128-bit compressed capabilities (low-fat) compress/decompress, the
+//!   representability rate over allocator outputs, and 128-bit vs 256-bit
+//!   capability stores through tagged memory;
+//! * the VM fetch path: straight-line execution rides the cached PCC
+//!   window, so this measures the per-instruction dispatch floor.
 use cheri_cache::{Hierarchy, HierarchyConfig};
-use cheri_cap::{Capability, CompressedCapability, CompressionStats, Perms};
-use cheri_mem::{Allocator, TaggedMemory};
+use cheri_cap::{CapFormat, Capability, CompressedCapability, CompressionStats, Perms};
+use cheri_isa::{Instr, Op, Program};
+use cheri_mem::{Allocator, TaggedMemory, UnrepresentablePolicy};
+use cheri_vm::{Vm, VmConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A straight-line program: `n` add-immediates, then exit — nothing but
+/// fetch + dispatch, the floor the PCC run cache lowers.
+fn straight_line(n: usize) -> Program {
+    let mut p = Program::new();
+    p.code = vec![Instr::i2(Op::Addiu, 8, 8, 1); n];
+    p.code.push(Instr::li(4, 0));
+    p.code.push(Instr::syscall(0));
+    p
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_substrate");
+
+    let prog = straight_line(4096);
+    g.bench_function("vm_fetch_straight_line_4k", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(prog.clone(), VmConfig::functional());
+            let status = vm.run(1 << 20).unwrap();
+            assert_eq!(status.stats.fetch_checks, 1);
+            status.stats.instret
+        })
+    });
 
     let cap = Capability::new_mem(0x1000, 0x1000, Perms::data());
     g.bench_function("cap_inc_offset", |b| {
@@ -48,6 +73,20 @@ fn bench(c: &mut Criterion) {
             mem.tag_at(0x40).unwrap()
         })
     });
+
+    for (name, format) in [
+        ("cap_store_load_256", CapFormat::Cap256),
+        ("cap_store_load_128", CapFormat::Cap128),
+    ] {
+        g.bench_function(name, |b| {
+            let mut mem =
+                TaggedMemory::with_format(1 << 16, format, UnrepresentablePolicy::SideTable);
+            b.iter(|| {
+                mem.write_cap(0x40, &cap).unwrap();
+                mem.read_cap(0x40).unwrap()
+            })
+        });
+    }
 
     for (name, cfg) in [
         ("cache_fpga", HierarchyConfig::fpga_softcore()),

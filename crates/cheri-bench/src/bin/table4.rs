@@ -1,4 +1,7 @@
-//! Regenerates Table 4: porting effort (annotation vs semantic lines).
+//! Regenerates Table 4: porting effort (annotation vs semantic lines),
+//! plus the capability-memory ablation (256-bit vs 128-bit in-memory
+//! capabilities: footprint, representability, simulated cycles).
 fn main() {
     print!("{}", cheri_bench::table4_report());
+    print!("{}", cheri_bench::cap_memory_report());
 }

@@ -10,10 +10,12 @@
 //! need to). All comparisons are therefore reported as MIPS-relative
 //! ratios, which is also how the paper's conclusions are stated.
 
-use cheri_compile::Abi;
+use cheri_cap::{CapFormat, CompressionStats, Perms};
+use cheri_compile::{compile, Abi};
 use cheri_idioms::{analyzer, cases, corpus, Idiom};
 use cheri_interp::ModelKind;
-use cheri_vm::VmConfig;
+use cheri_mem::Allocator;
+use cheri_vm::{Vm, VmConfig};
 use cheri_workloads::runner::{run_workload, RunOutcome};
 use cheri_workloads::{inputs, porting, sources};
 
@@ -177,6 +179,116 @@ pub fn table4_report() -> String {
             pct(r.v3_semantic),
         ));
     }
+    out
+}
+
+// ------------------------------------------------ Capability memory (§5)
+
+/// One measured point of the capability-memory ablation: a workload run
+/// with one in-memory capability format.
+#[derive(Clone, Debug)]
+pub struct CapMemoryRow {
+    /// Workload name.
+    pub name: String,
+    /// The format the machine stored capabilities in.
+    pub format: CapFormat,
+    /// Simulated cycles (FPGA cache model — Cap128 moves half the bytes
+    /// per capability store/load).
+    pub cycles: u64,
+    /// Peak resident capability storage at exit, in bytes.
+    pub cap_footprint_bytes: u64,
+    /// Escape-table entries at exit (capabilities the 128-bit format could
+    /// not represent).
+    pub side_entries: usize,
+    /// Compression statistics (Cap128 runs only).
+    pub compression: Option<CompressionStats>,
+}
+
+/// Runs capability-heavy workloads under CHERIv3 with 256-bit and 128-bit
+/// capability storage and measures footprint, representability and cycles.
+pub fn cap_memory_rows() -> Vec<CapMemoryRow> {
+    let workloads = [
+        ("Treeadd", sources::treeadd(8, 2)),
+        ("Bisort", sources::bisort(128)),
+    ];
+    let mut rows = Vec::new();
+    for (name, src) in &workloads {
+        let prog = compile(src, Abi::CheriV3).expect("workload compiles");
+        for format in [CapFormat::Cap256, CapFormat::Cap128] {
+            let mut vm = Vm::new(prog.clone(), VmConfig::fpga().with_cap_format(format));
+            let status = vm.run(FUEL).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(status.code, 0, "{name}/{format:?} failed");
+            rows.push(CapMemoryRow {
+                name: (*name).to_string(),
+                format,
+                cycles: status.stats.cycles,
+                cap_footprint_bytes: vm.mem().cap_footprint_bytes(),
+                side_entries: vm.mem().side_table_len(),
+                compression: status.stats.compression,
+            });
+        }
+    }
+    rows
+}
+
+/// Representability of allocator outputs: the fraction of `alloc_cap`
+/// capabilities that compress exactly, for a naive (granule-padded)
+/// allocator versus the low-fat-aware one that pads to `2^E` bounds.
+/// Sizes sweep well past the 16-bit mantissa so the padding matters.
+pub fn allocator_representability() -> (f64, f64) {
+    let rate = |format: CapFormat| {
+        let mut heap = Allocator::with_format(0x4_0000, 48 << 20, format);
+        let mut stats = CompressionStats::default();
+        for i in 1..400u64 {
+            // A mix of small objects and >64 KiB buffers at odd sizes.
+            let size = if i % 7 == 0 {
+                (i * 37) % (1 << 20) + (1 << 16)
+            } else {
+                (i * 13) % 512 + 1
+            };
+            if let Ok(c) = heap.alloc_cap(size, Perms::data()) {
+                stats.try_compress(&c);
+            }
+        }
+        stats.success_rate()
+    };
+    (rate(CapFormat::Cap256), rate(CapFormat::Cap128))
+}
+
+/// Renders the capability-memory report printed by the `table4` binary:
+/// the paper's "128-bit capabilities halve the pointer footprint" claim,
+/// measured.
+pub fn cap_memory_report() -> String {
+    let mut out =
+        String::from("\nCapability memory: 256-bit vs low-fat 128-bit in-memory capabilities\n\n");
+    out.push_str(&format!(
+        "{:<10}{:<8}{:>14}{:>16}{:>8}{:>14}\n",
+        "PROGRAM", "FORMAT", "CYCLES", "CAP BYTES", "ESCAPES", "REPRESENTABLE"
+    ));
+    for r in cap_memory_rows() {
+        let repr = r
+            .compression
+            .map(|c| format!("{:.1}%", 100.0 * c.success_rate()))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:<10}{:<8}{:>14}{:>16}{:>8}{:>14}\n",
+            r.name,
+            match r.format {
+                CapFormat::Cap256 => "256",
+                CapFormat::Cap128 => "128",
+            },
+            r.cycles,
+            r.cap_footprint_bytes,
+            r.side_entries,
+            repr,
+        ));
+    }
+    let (naive, padded) = allocator_representability();
+    out.push_str(&format!(
+        "\nallocator representability (odd sizes up to 1 MiB): naive {:.1}% -> 2^E-padded {:.1}%\n",
+        100.0 * naive,
+        100.0 * padded
+    ));
     out
 }
 
@@ -386,6 +498,52 @@ mod tests {
         for (k, idiom) in Idiom::ALL.iter().enumerate() {
             assert_eq!(counts.get(*idiom), spec.counts[k], "{idiom}");
         }
+    }
+
+    #[test]
+    fn cap_memory_rows_show_halved_footprint() {
+        let rows = cap_memory_rows();
+        for pair in rows.chunks(2) {
+            let (full, compressed) = (&pair[0], &pair[1]);
+            assert_eq!(full.format, CapFormat::Cap256);
+            assert_eq!(compressed.format, CapFormat::Cap128);
+            assert!(full.cap_footprint_bytes > 0, "{}", full.name);
+            assert!(
+                compressed.cap_footprint_bytes * 2
+                    <= full.cap_footprint_bytes + 32 * compressed.side_entries as u64 * 2,
+                "{}: {} vs {}",
+                full.name,
+                compressed.cap_footprint_bytes,
+                full.cap_footprint_bytes
+            );
+            assert!(
+                compressed.cycles <= full.cycles,
+                "{}: half-width capability traffic must not cost cycles",
+                full.name
+            );
+            let comp = compressed.compression.expect("Cap128 stats");
+            assert!(comp.attempts > 0);
+        }
+    }
+
+    #[test]
+    fn padded_allocator_fixes_representability() {
+        let (naive, padded) = allocator_representability();
+        assert!(
+            padded >= 1.0 - 1e-9,
+            "2^E padding must make every allocation representable, got {padded}"
+        );
+        assert!(
+            naive < 1.0,
+            "the odd-size sweep must defeat the naive allocator"
+        );
+    }
+
+    #[test]
+    fn cap_memory_report_renders() {
+        let r = cap_memory_report();
+        assert!(r.contains("Treeadd"));
+        assert!(r.contains("allocator representability"));
     }
 
     #[test]

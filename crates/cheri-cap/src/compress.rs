@@ -20,6 +20,39 @@
 
 use crate::{Capability, Perms};
 
+/// Width of the in-memory capability representation.
+///
+/// [`CapFormat::Cap256`] is the paper's loosely-packed 256-bit format
+/// (`cheri_cap::encode_capability`); [`CapFormat::Cap128`] is the low-fat
+/// 128-bit format implemented by [`CompressedCapability`], halving the
+/// memory and cache footprint of every stored capability at the cost of
+/// `2^E`-representable bounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CapFormat {
+    /// Full 256-bit capabilities: every `(base, length, offset)` triple is
+    /// representable exactly.
+    #[default]
+    Cap256,
+    /// Compressed 128-bit capabilities: bounds must be `2^E`-aligned for
+    /// the exponent the length demands.
+    Cap128,
+}
+
+impl CapFormat {
+    /// Bytes one stored capability occupies in this format (the granule
+    /// reservation stays [`crate::CAP_SIZE_BYTES`]; this is the footprint
+    /// that actually travels through the cache hierarchy).
+    pub fn stored_bytes(self) -> u64 {
+        match self {
+            CapFormat::Cap256 => crate::CAP_SIZE_BYTES as u64,
+            CapFormat::Cap128 => CAP128_SIZE_BYTES as u64,
+        }
+    }
+}
+
+/// Size of the compressed in-memory capability representation in bytes.
+pub const CAP128_SIZE_BYTES: usize = 16;
+
 /// A capability packed into 128 bits.
 ///
 /// # Example
@@ -53,11 +86,7 @@ impl CompressedCapability {
         let base = cap.base();
         let top = cap.top();
         let length = cap.length();
-        // Smallest exponent such that the length's mantissa fits.
-        let mut e = 0u32;
-        while (length >> e) > MANTISSA_MASK {
-            e += 1;
-        }
+        let e = exponent_for_length(length);
         if e > 47 {
             return None;
         }
@@ -108,10 +137,74 @@ impl CompressedCapability {
         Capability::from_raw_parts(tag, base, length, offset, perms, u32::MAX)
     }
 
+    /// Expands back to the full representation, overriding the encoded tag
+    /// bit with `tag` — the out-of-band tag maintained by tagged memory is
+    /// authoritative over whatever bits happen to sit in the slot.
+    pub fn decompress_with_tag(&self, tag: bool) -> Capability {
+        let c = self.decompress();
+        Capability::from_raw_parts(
+            tag,
+            c.base(),
+            c.length(),
+            c.offset(),
+            c.perms(),
+            c.otype_raw(),
+        )
+    }
+
+    /// The 16-byte little-endian in-memory form: address word then
+    /// metadata word.
+    pub fn to_bytes(&self) -> [u8; CAP128_SIZE_BYTES] {
+        let mut out = [0u8; CAP128_SIZE_BYTES];
+        out[0..8].copy_from_slice(&self.address.to_le_bytes());
+        out[8..16].copy_from_slice(&self.meta.to_le_bytes());
+        out
+    }
+
+    /// Reconstructs the packed form from its 16 in-memory bytes. Never
+    /// fails: untagged bit patterns are legal data, exactly as for the
+    /// 256-bit decoder.
+    pub fn from_bytes(bytes: &[u8; CAP128_SIZE_BYTES]) -> CompressedCapability {
+        let mut a = [0u8; 8];
+        let mut m = [0u8; 8];
+        a.copy_from_slice(&bytes[0..8]);
+        m.copy_from_slice(&bytes[8..16]);
+        CompressedCapability {
+            address: u64::from_le_bytes(a),
+            meta: u64::from_le_bytes(m),
+        }
+    }
+
     /// The stored 64-bit address.
     pub fn address(&self) -> u64 {
         self.address
     }
+}
+
+/// The smallest exponent `E` whose 16-bit mantissa can express `length`.
+fn exponent_for_length(length: u64) -> u32 {
+    let mut e = 0u32;
+    while (length >> e) > MANTISSA_MASK {
+        e += 1;
+    }
+    e
+}
+
+/// The `2^E` bound alignment the 128-bit format demands of a region of
+/// `length` bytes. A low-fat-aware allocator pads every block so its base
+/// and size are multiples of this; the resulting capability (and every
+/// in-bounds cursor derived from it) is then guaranteed representable —
+/// see the `aligned_allocations_always_compress` property below.
+///
+/// Beware the mantissa boundaries: for lengths in
+/// `(0xFFFF << E, 0x10000 << E]`, rounding up to the next multiple of
+/// `2^E` can itself raise the exponent (e.g. `0x3FFFE0` has `E = 6`, but
+/// padding to 64 yields `0x40_0000`, which needs `E = 7`). Callers padding
+/// for representability must iterate align→pad to a fixpoint; it
+/// converges quickly because a length of the form `m << E` with
+/// `m <= 0xFFFF` is stable.
+pub fn representable_align(length: u64) -> u64 {
+    1u64 << exponent_for_length(length)
 }
 
 /// Running tally of compression attempts, for the representability ablation.
@@ -189,6 +282,58 @@ mod tests {
         let c = Capability::new_mem(0x10000, 0x100, Perms::data());
         let far = c.set_offset(1 << 40).unwrap();
         assert_eq!(CompressedCapability::compress(&far), None);
+    }
+
+    #[test]
+    fn byte_form_round_trips() {
+        let c = Capability::new_mem(0x2000, 0x800, Perms::data())
+            .set_offset(0x123)
+            .unwrap();
+        let z = CompressedCapability::compress(&c).unwrap();
+        let back = CompressedCapability::from_bytes(&z.to_bytes());
+        assert_eq!(back, z);
+        assert_eq!(back.decompress(), c);
+    }
+
+    #[test]
+    fn out_of_band_tag_overrides_encoded_bit() {
+        let c = Capability::new_mem(0x2000, 0x800, Perms::data());
+        let z = CompressedCapability::compress(&c).unwrap();
+        let stripped = z.decompress_with_tag(false);
+        assert!(!stripped.tag());
+        assert_eq!(stripped.base(), c.base());
+        assert_eq!(stripped.length(), c.length());
+    }
+
+    #[test]
+    fn representable_align_tracks_length() {
+        assert_eq!(representable_align(0), 1);
+        assert_eq!(representable_align(0xFFFF), 1);
+        assert_eq!(representable_align(0x1_0000), 2);
+        assert_eq!(representable_align(8 << 20), 256);
+    }
+
+    #[test]
+    fn padding_at_mantissa_boundaries_raises_the_exponent() {
+        // The trap the doc comment warns about: lengths just under
+        // 0x10000 << E pad up across the boundary and need E + 1.
+        for e in [1u32, 6, 10] {
+            let len = (0xFFFFu64 << e) + 1;
+            let a = representable_align(len);
+            assert_eq!(a, 1 << e);
+            let padded = len.next_multiple_of(a);
+            assert_eq!(padded, 0x1_0000u64 << e);
+            assert_eq!(representable_align(padded), 2 << e, "E must rise");
+            // One more align→pad round reaches the fixpoint.
+            assert_eq!(padded.next_multiple_of(2 << e), padded);
+        }
+    }
+
+    #[test]
+    fn format_reports_stored_bytes() {
+        assert_eq!(CapFormat::Cap256.stored_bytes(), 32);
+        assert_eq!(CapFormat::Cap128.stored_bytes(), 16);
+        assert_eq!(CapFormat::default(), CapFormat::Cap256);
     }
 
     #[test]

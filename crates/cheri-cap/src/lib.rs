@@ -42,7 +42,9 @@ mod perms;
 mod ptrcmp;
 
 pub use cap::{Capability, SealedState, OTYPE_MAX};
-pub use compress::{CompressedCapability, CompressionStats};
+pub use compress::{
+    representable_align, CapFormat, CompressedCapability, CompressionStats, CAP128_SIZE_BYTES,
+};
 pub use encoding::{decode_capability, encode_capability, CAP_ALIGN, CAP_SIZE_BYTES};
 pub use error::CapError;
 pub use perms::Perms;

@@ -695,8 +695,8 @@ impl State {
         for (slot, v) in f.params.iter().zip(argv) {
             let addr = base + slot.off as u64;
             self.objects.insert(addr, slot.size);
-            let ty = prog.types[slot.ty as usize].clone();
-            self.store_typed(addr, &ty, v, f.line)?;
+            let ty = &prog.types[slot.ty as usize];
+            self.store_typed(addr, ty, v, f.line)?;
         }
         Ok(f.entry)
     }
@@ -724,25 +724,25 @@ impl State {
                 Op::LoadLocal { off, ty, line } => {
                     let addr = self.frame_base() + *off as u64;
                     let ty = &prog.types[*ty as usize];
-                    let v = self.load_typed(addr, &ty.clone(), *line)?;
+                    let v = self.load_typed(addr, ty, *line)?;
                     self.vstack.push(v);
                 }
                 Op::LoadGlobal { addr, ty, line } => {
-                    let ty = prog.types[*ty as usize].clone();
-                    let v = self.load_typed(*addr, &ty, *line)?;
+                    let ty = &prog.types[*ty as usize];
+                    let v = self.load_typed(*addr, ty, *line)?;
                     self.vstack.push(v);
                 }
                 Op::StoreLocal { off, ty, line } => {
                     let addr = self.frame_base() + *off as u64;
-                    let ty = prog.types[*ty as usize].clone();
+                    let ty = &prog.types[*ty as usize];
                     let v = self.pop();
-                    self.store_typed(addr, &ty, v, *line)?;
+                    self.store_typed(addr, ty, v, *line)?;
                     self.vstack.push(v);
                 }
                 Op::StoreGlobal { addr, ty, line } => {
-                    let ty = prog.types[*ty as usize].clone();
+                    let ty = &prog.types[*ty as usize];
                     let v = self.pop();
-                    self.store_typed(*addr, &ty, v, *line)?;
+                    self.store_typed(*addr, ty, v, *line)?;
                     self.vstack.push(v);
                 }
                 Op::AddrLocal { off, size, ty } => {
@@ -763,8 +763,8 @@ impl State {
                         .model
                         .deref(&self.ctx(), &p, size, false)
                         .map_err(|e| self.model_err(*line, e))?;
-                    let ty = prog.types[*ty as usize].clone();
-                    let v = self.load_typed(a, &ty, *line)?;
+                    let ty = &prog.types[*ty as usize];
+                    let v = self.load_typed(a, ty, *line)?;
                     self.vstack.push(v);
                 }
                 Op::StoreInd { ty, size, line } => {
@@ -775,8 +775,8 @@ impl State {
                         .model
                         .deref(&self.ctx(), &p, size, true)
                         .map_err(|e| self.model_err(*line, e))?;
-                    let ty = prog.types[*ty as usize].clone();
-                    self.store_typed(a, &ty, v, *line)?;
+                    let ty = &prog.types[*ty as usize];
+                    self.store_typed(a, ty, v, *line)?;
                     self.vstack.push(v);
                 }
                 Op::Dup => {
@@ -835,8 +835,8 @@ impl State {
                 }
                 Op::Cast { to, line } => {
                     let v = self.pop();
-                    let to = prog.types[*to as usize].clone();
-                    let v = self.eval_cast(&to, v, *line)?;
+                    let to = &prog.types[*to as usize];
+                    let v = self.eval_cast(to, v, *line)?;
                     self.vstack.push(v);
                 }
                 Op::ConvertStore { width, signed } => {
@@ -946,20 +946,20 @@ impl State {
                 } => {
                     let size = Self::checked_size(*size);
                     let p = self.pop_ptr();
-                    let ty = prog.types[*ty as usize].clone();
+                    let ty = &prog.types[*ty as usize];
                     let a = self
                         .model
                         .deref(&self.ctx(), &p, size, false)
                         .map_err(|e| self.model_err(*line, e))?;
-                    let old = self.load_typed(a, &ty, *line)?;
+                    let old = self.load_typed(a, ty, *line)?;
                     let one = Value::Int(IntValue::new(if *inc { 1 } else { -1 }, 8, true));
                     let new = self.apply_binop(prog, BinOp::Add, old, one, *meta, *line)?;
-                    let stored = self.convert_for_store(new, &ty);
+                    let stored = self.convert_for_store(new, ty);
                     let aw = self
                         .model
                         .deref(&self.ctx(), &p, size, true)
                         .map_err(|e| self.model_err(*line, e))?;
-                    self.store_typed(aw, &ty, stored, *line)?;
+                    self.store_typed(aw, ty, stored, *line)?;
                     self.vstack.push(if *pre { stored } else { old });
                 }
                 Op::Unsupported { msg, line } => {
@@ -984,12 +984,12 @@ impl State {
         inc: bool,
         line: u32,
     ) -> Result<Value, RtError> {
-        let ty = prog.types[ty as usize].clone();
-        let old = self.load_typed(addr, &ty, line)?;
+        let ty = &prog.types[ty as usize];
+        let old = self.load_typed(addr, ty, line)?;
         let one = Value::Int(IntValue::new(if inc { 1 } else { -1 }, 8, true));
         let new = self.apply_binop(prog, BinOp::Add, old, one, meta, line)?;
-        let stored = self.convert_for_store(new, &ty);
-        self.store_typed(addr, &ty, stored, line)?;
+        let stored = self.convert_for_store(new, ty);
+        self.store_typed(addr, ty, stored, line)?;
         Ok(if pre { stored } else { old })
     }
 

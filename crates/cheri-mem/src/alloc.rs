@@ -13,7 +13,9 @@
 //! underlying block is padded to the 32-byte capability granule.
 
 use crate::{MemError, MemResult};
-use cheri_cap::{Capability, Perms, CAP_ALIGN};
+use cheri_cap::{
+    representable_align, CapFormat, Capability, CompressedCapability, Perms, CAP_ALIGN,
+};
 use std::collections::HashMap;
 
 /// Allocation statistics, for tests and the evaluation harness.
@@ -52,13 +54,28 @@ pub struct Allocator {
     live: HashMap<u64, u64>,
     base: u64,
     size: u64,
+    format: CapFormat,
     stats: AllocStats,
 }
 
 impl Allocator {
     /// Creates an allocator managing `[base, base + size)`. The region is
-    /// aligned inward to the 32-byte capability granule.
+    /// aligned inward to the 32-byte capability granule. Allocations are
+    /// shaped for full 256-bit capabilities (no representability padding).
     pub fn new(base: u64, size: u64) -> Allocator {
+        Allocator::with_format(base, size, CapFormat::Cap256)
+    }
+
+    /// Creates an allocator whose blocks are shaped for `format`.
+    ///
+    /// In [`CapFormat::Cap128`] mode every block's base and padded size are
+    /// aligned to the `2^E` the block's size demands
+    /// ([`cheri_cap::representable_align`]), so the capability handed out
+    /// by [`Allocator::alloc_cap`] — and any in-bounds cursor derived from
+    /// it — is always representable in the low-fat 128-bit format. This is
+    /// the allocator-side half of the paper's compressed-capability story:
+    /// "a real allocator pads allocations to make them representable".
+    pub fn with_format(base: u64, size: u64, format: CapFormat) -> Allocator {
         let aligned_base = base.next_multiple_of(CAP_ALIGN);
         let end = (base + size) / CAP_ALIGN * CAP_ALIGN;
         let size = end.saturating_sub(aligned_base);
@@ -67,8 +84,14 @@ impl Allocator {
             live: HashMap::new(),
             base: aligned_base,
             size,
+            format,
             stats: AllocStats::default(),
         }
+    }
+
+    /// The capability format this allocator shapes blocks for.
+    pub fn format(&self) -> CapFormat {
+        self.format
     }
 
     /// The managed region's base address.
@@ -96,34 +119,78 @@ impl Allocator {
     ///
     /// [`MemError::OutOfMemory`] if no free block is large enough.
     pub fn alloc(&mut self, size: u64) -> MemResult<u64> {
-        let padded = size.max(1).next_multiple_of(CAP_ALIGN);
+        // Guest-controlled sizes reach this via the MALLOC syscall: padding
+        // near-u64::MAX requests must report exhaustion, not overflow.
+        let oom = MemError::OutOfMemory { requested: size };
+        let mut padded = size.max(1).checked_next_multiple_of(CAP_ALIGN).ok_or(oom)?;
+        let align = match self.format {
+            CapFormat::Cap256 => CAP_ALIGN,
+            // Low-fat mode: base and size must be multiples of the 2^E the
+            // size demands, or the resulting capability's bounds are not
+            // encodable. Padding can itself raise E at the mantissa
+            // boundaries (lengths in (0xFFFF << E, 0x10000 << E]), so
+            // iterate align→pad to a fixpoint; m << E with m <= 0xFFFF is
+            // stable, so this terminates after at most a few rounds.
+            CapFormat::Cap128 => loop {
+                let a = representable_align(padded).max(CAP_ALIGN);
+                let p = padded.checked_next_multiple_of(a).ok_or(oom)?;
+                if p == padded {
+                    break a;
+                }
+                padded = p;
+            },
+        };
+        // First fit at the required alignment: the gap between the block's
+        // base and the aligned base stays on the free list.
         let slot = self
             .free
             .iter()
-            .position(|&(_, sz)| sz >= padded)
+            .position(|&(b, sz)| {
+                let start = b.next_multiple_of(align);
+                start - b <= sz && sz - (start - b) >= padded
+            })
             .ok_or(MemError::OutOfMemory { requested: size })?;
         let (blk_base, blk_size) = self.free[slot];
-        if blk_size == padded {
-            self.free.remove(slot);
-        } else {
-            self.free[slot] = (blk_base + padded, blk_size - padded);
+        let start = blk_base.next_multiple_of(align);
+        let lead = start - blk_base;
+        let tail = blk_size - lead - padded;
+        match (lead > 0, tail > 0) {
+            (false, false) => {
+                self.free.remove(slot);
+            }
+            (false, true) => self.free[slot] = (start + padded, tail),
+            (true, false) => self.free[slot] = (blk_base, lead),
+            (true, true) => {
+                self.free[slot] = (blk_base, lead);
+                self.free.insert(slot + 1, (start + padded, tail));
+            }
         }
-        self.live.insert(blk_base, padded);
+        self.live.insert(start, padded);
         self.stats.allocs += 1;
         self.stats.in_use += padded;
         self.stats.peak = self.stats.peak.max(self.stats.in_use);
-        Ok(blk_base)
+        Ok(start)
     }
 
     /// Allocates `size` bytes and wraps the result in a capability whose
-    /// bounds are exactly `[base, base + size)` with permissions `perms`.
+    /// bounds are exactly `[base, base + size)` with permissions `perms` —
+    /// byte-granularity protection. In [`CapFormat::Cap128`] mode, a `size`
+    /// whose exact bounds the compressed format cannot encode (only
+    /// possible beyond the 16-bit mantissa, i.e. > 64 KiB) is widened to
+    /// the block's padded, representable bounds instead: the low-fat
+    /// trade-off the paper describes.
     ///
     /// # Errors
     ///
     /// [`MemError::OutOfMemory`].
     pub fn alloc_cap(&mut self, size: u64, perms: Perms) -> MemResult<Capability> {
         let base = self.alloc(size)?;
-        Ok(Capability::new_mem(base, size, perms))
+        let exact = Capability::new_mem(base, size, perms);
+        if self.format == CapFormat::Cap128 && CompressedCapability::compress(&exact).is_none() {
+            let padded = self.live[&base];
+            return Ok(Capability::new_mem(base, padded, perms));
+        }
+        Ok(exact)
     }
 
     /// Returns the block at `addr` to the free list, coalescing neighbours.
@@ -202,6 +269,22 @@ mod tests {
     }
 
     #[test]
+    fn near_max_sizes_report_oom_not_overflow() {
+        // malloc(-1) from a guest: padding must not wrap (release) or
+        // panic (debug) — it must report exhaustion.
+        for format in [CapFormat::Cap256, CapFormat::Cap128] {
+            let mut a = Allocator::with_format(0, 0x1000, format);
+            for size in [u64::MAX, u64::MAX - 30, 0xFFFF_FFFF_FFFF_FFE0] {
+                assert!(
+                    matches!(a.alloc(size), Err(MemError::OutOfMemory { .. })),
+                    "{format:?}/{size:#x}"
+                );
+            }
+            assert!(a.alloc(32).is_ok(), "heap still usable");
+        }
+    }
+
+    #[test]
     fn free_and_reuse() {
         let mut a = Allocator::new(0, 0x100);
         let x = a.alloc(0x100).unwrap();
@@ -265,7 +348,90 @@ mod tests {
         assert!(a.heap_base() + a.heap_size() <= 0x111);
     }
 
+    #[test]
+    fn cap128_small_allocations_keep_byte_granularity() {
+        let mut a = Allocator::with_format(0x1000, 0x10000, CapFormat::Cap128);
+        let c = a.alloc_cap(100, Perms::data()).unwrap();
+        assert_eq!(c.length(), 100, "byte-granular bounds below the mantissa");
+        assert!(CompressedCapability::compress(&c).is_some());
+    }
+
+    #[test]
+    fn cap128_large_allocations_get_representable_bounds() {
+        let mut a = Allocator::with_format(0x20, 4 << 20, CapFormat::Cap128);
+        // 0x12345 > 64 KiB needs E = 2: base and bounds must be 4-aligned.
+        let c = a.alloc_cap(0x12345, Perms::data()).unwrap();
+        assert!(c.length() >= 0x12345);
+        assert_eq!(c.length() % 4, 0);
+        assert!(CompressedCapability::compress(&c).is_some());
+        // Every in-bounds cursor stays representable.
+        for off in [0u64, 1, 0x12345, c.length()] {
+            let p = c.set_offset(off).unwrap();
+            assert!(
+                CompressedCapability::compress(&p).is_some(),
+                "offset {off:#x}"
+            );
+        }
+        // free() still accepts the block base.
+        a.free(c.base()).unwrap();
+    }
+
+    #[test]
+    fn cap128_mantissa_boundary_sizes_stay_representable() {
+        // Sizes just under 0x10000 << E pad up ACROSS the boundary, so the
+        // exponent (and with it the required alignment) rises: the
+        // align→pad fixpoint must catch that. 0x3FFFD0 pads to 0x40_0000,
+        // which needs E = 7, not the E = 6 its pre-padding size suggests.
+        let mut a = Allocator::with_format(0x40, 16 << 20, CapFormat::Cap128);
+        for size in [0x3FFFD0u64, (0xFFFFu64 << 1) + 1, (0xFFFFu64 << 6) + 33] {
+            let c = a.alloc_cap(size, Perms::data()).unwrap();
+            assert!(
+                CompressedCapability::compress(&c).is_some(),
+                "size {size:#x} -> {c}"
+            );
+            a.free(c.base()).unwrap();
+        }
+    }
+
+    #[test]
+    fn cap256_allocator_is_unchanged_by_the_knob() {
+        let mut a = Allocator::new(0, 0x1000);
+        assert_eq!(a.format(), CapFormat::Cap256);
+        let x = a.alloc(33).unwrap();
+        assert_eq!(a.stats().in_use, 64);
+        a.free(x).unwrap();
+    }
+
     proptest! {
+        /// Cap128 allocations always yield representable capabilities, and
+        /// the heap survives alloc/free churn at mixed alignments. The
+        /// size strategy deliberately hugs the mantissa boundaries
+        /// (0x10000 << E), where padding interacts with the exponent.
+        #[test]
+        fn cap128_blocks_always_compress(
+            sizes in proptest::collection::vec(
+                prop_oneof![
+                    1u64..200_000,
+                    (0u32..8, -64i64..64).prop_map(|(e, d)| {
+                        (0x1_0000u64 << e).saturating_add_signed(d).max(1)
+                    }),
+                ],
+                1..12,
+            )
+        ) {
+            let mut a = Allocator::with_format(0x40, 64 << 20, CapFormat::Cap128);
+            let mut held = Vec::new();
+            for s in sizes {
+                let c = a.alloc_cap(s, Perms::data()).unwrap();
+                prop_assert!(CompressedCapability::compress(&c).is_some(), "size {s:#x}");
+                held.push(c.base());
+            }
+            for b in held {
+                a.free(b).unwrap();
+            }
+            prop_assert_eq!(a.stats().in_use, 0);
+        }
+
         /// Live blocks never overlap and always lie within the heap.
         #[test]
         fn blocks_are_disjoint(ops in proptest::collection::vec((0u64..200, any::<bool>()), 1..60)) {

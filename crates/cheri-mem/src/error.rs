@@ -29,6 +29,13 @@ pub enum MemError {
         /// Bytes requested.
         requested: u64,
     },
+    /// A tagged capability could not be stored because it is not
+    /// representable in the configured 128-bit compressed format and the
+    /// memory's policy is to trap rather than escape to the side table.
+    Unrepresentable {
+        /// The store's target address.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -43,6 +50,12 @@ impl fmt::Display for MemError {
             MemError::BadFree { addr } => write!(f, "free of {addr:#x} which is not allocated"),
             MemError::OutOfMemory { requested } => {
                 write!(f, "allocator cannot satisfy request for {requested} bytes")
+            }
+            MemError::Unrepresentable { addr } => {
+                write!(
+                    f,
+                    "capability stored at {addr:#x} is not representable in 128 bits"
+                )
             }
         }
     }

@@ -39,7 +39,10 @@ mod tagged;
 
 pub use alloc::{AllocStats, Allocator};
 pub use error::MemError;
-pub use tagged::TaggedMemory;
+pub use tagged::{TaggedMemory, UnrepresentablePolicy};
+
+// Re-exported so memory-format configuration needs only this crate.
+pub use cheri_cap::CapFormat;
 
 /// Result alias for memory operations.
 pub type MemResult<T> = Result<T, MemError>;

@@ -1,7 +1,37 @@
 //! The tagged flat memory.
 
 use crate::{MemError, MemResult};
-use cheri_cap::{decode_capability, encode_capability, Capability, CAP_ALIGN, CAP_SIZE_BYTES};
+use cheri_cap::{
+    decode_capability, encode_capability, CapFormat, Capability, CompressedCapability,
+    CompressionStats, CAP128_SIZE_BYTES, CAP_ALIGN, CAP_SIZE_BYTES,
+};
+use std::collections::HashMap;
+
+/// What [`TaggedMemory::write_cap`] does in [`CapFormat::Cap128`] mode with
+/// a capability the low-fat format cannot represent exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum UnrepresentablePolicy {
+    /// Store the full 256-bit form in a side table and mark the granule
+    /// with an escape pattern — semantics stay identical to
+    /// [`CapFormat::Cap256`] at the cost of one side-table entry. This
+    /// models an implementation that reserves a small region of full-width
+    /// capability storage for the (rare) irregular capabilities.
+    #[default]
+    SideTable,
+    /// Refuse the store of a *tagged* unrepresentable capability with
+    /// [`MemError::Unrepresentable`] — the strict-hardware behaviour.
+    /// Untagged unrepresentable bit patterns are plain data and still
+    /// escape to the side table so their bytes survive.
+    Trap,
+}
+
+/// Escape pattern marking a Cap128 slot whose real content lives in the
+/// side table. The metadata word's top bit is never produced by
+/// [`CompressedCapability::compress`] (it uses bits 0..55), so a genuine
+/// compressed capability can never collide with the marker.
+const CAP128_ESCAPE: [u8; CAP128_SIZE_BYTES] = [
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x80,
+];
 
 /// A flat, byte-addressable virtual memory with one out-of-band tag bit per
 /// 32-byte granule.
@@ -24,6 +54,12 @@ pub struct TaggedMemory {
     /// only the touched chunks instead of the whole backing store, which is
     /// what makes pooling memories across interpreter runs cheap.
     dirty: Vec<u64>,
+    format: CapFormat,
+    policy: UnrepresentablePolicy,
+    /// Full 256-bit escape storage for Cap128 granules whose capability the
+    /// low-fat format cannot represent, keyed by granule base address.
+    side: HashMap<u64, [u8; CAP_SIZE_BYTES]>,
+    comp_stats: CompressionStats,
 }
 
 /// Dirty-tracking granularity: 64 KiB chunks (a multiple of [`CAP_ALIGN`]).
@@ -31,8 +67,23 @@ const DIRTY_CHUNK: u64 = 64 * 1024;
 
 impl TaggedMemory {
     /// Creates a zeroed memory of `size` bytes (rounded up to a whole number
-    /// of 32-byte granules), all tags clear.
+    /// of 32-byte granules), all tags clear, storing full 256-bit
+    /// capabilities.
     pub fn new(size: u64) -> TaggedMemory {
+        TaggedMemory::with_format(size, CapFormat::Cap256, UnrepresentablePolicy::SideTable)
+    }
+
+    /// Creates a zeroed memory whose capability stores use `format`.
+    ///
+    /// In [`CapFormat::Cap128`] mode every [`TaggedMemory::write_cap`]
+    /// compresses the capability to the low-fat 16-byte form; `policy`
+    /// decides what happens to the capabilities that format cannot
+    /// represent. `policy` is irrelevant in [`CapFormat::Cap256`] mode.
+    pub fn with_format(
+        size: u64,
+        format: CapFormat,
+        policy: UnrepresentablePolicy,
+    ) -> TaggedMemory {
         let granules = size.div_ceil(CAP_ALIGN);
         let size = granules * CAP_ALIGN;
         let chunks = size.div_ceil(DIRTY_CHUNK);
@@ -40,7 +91,39 @@ impl TaggedMemory {
             bytes: vec![0; size as usize],
             tags: vec![false; granules as usize],
             dirty: vec![0; chunks.div_ceil(64) as usize],
+            format,
+            policy,
+            side: HashMap::new(),
+            comp_stats: CompressionStats::default(),
         }
+    }
+
+    /// The capability storage format this memory was built with.
+    pub fn format(&self) -> CapFormat {
+        self.format
+    }
+
+    /// Compression statistics accumulated by Cap128 capability stores:
+    /// attempts count tagged capabilities offered to the compressor,
+    /// successes those that fit the 128-bit format exactly. Always zero in
+    /// [`CapFormat::Cap256`] mode.
+    pub fn compression_stats(&self) -> CompressionStats {
+        self.comp_stats
+    }
+
+    /// Live escape-table entries (Cap128 granules storing their full
+    /// 256-bit form out of line).
+    pub fn side_table_len(&self) -> usize {
+        self.side.len()
+    }
+
+    /// Bytes of capability storage currently in use: one slot of
+    /// [`CapFormat::stored_bytes`] per tagged granule, plus the full-width
+    /// side-table entries. This is the number behind the paper's
+    /// memory-footprint claim for 128-bit capabilities.
+    pub fn cap_footprint_bytes(&self) -> u64 {
+        let tagged = self.tags.iter().filter(|&&t| t).count() as u64;
+        tagged * self.format.stored_bytes() + self.side.len() as u64 * CAP_SIZE_BYTES as u64
     }
 
     /// Marks `[addr, addr+len)` dirty. Callers have already bounds-checked.
@@ -60,6 +143,8 @@ impl TaggedMemory {
     /// last reset. Cost is proportional to the footprint actually written,
     /// not to the memory's size.
     pub fn reset(&mut self) {
+        self.side.clear();
+        self.comp_stats = CompressionStats::default();
         for w in 0..self.dirty.len() {
             let mut bits = self.dirty[w];
             self.dirty[w] = 0;
@@ -99,6 +184,29 @@ impl TaggedMemory {
         }
     }
 
+    /// Forgets the side-table entries of every granule `[addr, addr+len)`
+    /// touches — a plain data write has scribbled over the escape slot, so
+    /// the out-of-line full-width copy no longer describes the bytes.
+    fn drop_side_over(&mut self, addr: u64, len: u64) {
+        if self.side.is_empty() || len == 0 {
+            return;
+        }
+        let first = addr / CAP_ALIGN * CAP_ALIGN;
+        let last = (addr + len - 1) / CAP_ALIGN * CAP_ALIGN;
+        // Walk whichever is smaller: the written range or the (typically
+        // tiny) side table — a heap-sized memset must not do a HashMap
+        // probe per granule.
+        if ((last - first) / CAP_ALIGN + 1) as usize <= self.side.len() {
+            let mut g = first;
+            while g <= last {
+                self.side.remove(&g);
+                g += CAP_ALIGN;
+            }
+        } else {
+            self.side.retain(|&g, _| g < first || g > last);
+        }
+    }
+
     /// Reads `len` bytes starting at `addr`.
     ///
     /// # Errors
@@ -118,6 +226,7 @@ impl TaggedMemory {
         let a = self.check(addr, data.len() as u64)?;
         self.bytes[a..a + data.len()].copy_from_slice(data);
         self.clear_tags_over(addr, data.len() as u64);
+        self.drop_side_over(addr, data.len() as u64);
         self.mark_dirty(addr, data.len() as u64);
         Ok(())
     }
@@ -249,12 +358,27 @@ impl TaggedMemory {
             return Err(MemError::Misaligned { addr });
         }
         let a = self.check(addr, CAP_SIZE_BYTES as u64)?;
-        let mut buf = [0u8; CAP_SIZE_BYTES];
-        buf.copy_from_slice(&self.bytes[a..a + CAP_SIZE_BYTES]);
-        Ok(decode_capability(
-            &buf,
-            self.tags[(addr / CAP_ALIGN) as usize],
-        ))
+        let tag = self.tags[(addr / CAP_ALIGN) as usize];
+        match self.format {
+            CapFormat::Cap256 => {
+                let mut buf = [0u8; CAP_SIZE_BYTES];
+                buf.copy_from_slice(&self.bytes[a..a + CAP_SIZE_BYTES]);
+                Ok(decode_capability(&buf, tag))
+            }
+            CapFormat::Cap128 => {
+                let mut buf = [0u8; CAP128_SIZE_BYTES];
+                buf.copy_from_slice(&self.bytes[a..a + CAP128_SIZE_BYTES]);
+                if buf == CAP128_ESCAPE {
+                    if let Some(full) = self.side.get(&addr) {
+                        return Ok(decode_capability(full, tag));
+                    }
+                    // Plain data that happens to spell the escape pattern:
+                    // fall through and decode it as a (necessarily
+                    // untagged) compressed slot.
+                }
+                Ok(CompressedCapability::from_bytes(&buf).decompress_with_tag(tag))
+            }
+        }
     }
 
     /// `CSC`: stores `cap` at `addr` (32-byte aligned), setting the
@@ -270,7 +394,35 @@ impl TaggedMemory {
             return Err(MemError::Misaligned { addr });
         }
         let a = self.check(addr, CAP_SIZE_BYTES as u64)?;
-        self.bytes[a..a + CAP_SIZE_BYTES].copy_from_slice(&encode_capability(cap));
+        match self.format {
+            CapFormat::Cap256 => {
+                self.bytes[a..a + CAP_SIZE_BYTES].copy_from_slice(&encode_capability(cap));
+            }
+            CapFormat::Cap128 => {
+                let z = if cap.tag() {
+                    self.comp_stats.try_compress(cap)
+                } else {
+                    CompressedCapability::compress(cap)
+                };
+                let slot = match z {
+                    Some(z) => {
+                        self.side.remove(&addr);
+                        z.to_bytes()
+                    }
+                    None if cap.tag() && self.policy == UnrepresentablePolicy::Trap => {
+                        return Err(MemError::Unrepresentable { addr });
+                    }
+                    None => {
+                        self.side.insert(addr, encode_capability(cap));
+                        CAP128_ESCAPE
+                    }
+                };
+                self.bytes[a..a + CAP128_SIZE_BYTES].copy_from_slice(&slot);
+                // The rest of the reserved granule is architectural zero —
+                // the 128-bit store only moves half the bytes.
+                self.bytes[a + CAP128_SIZE_BYTES..a + CAP_SIZE_BYTES].fill(0);
+            }
+        }
         self.tags[(addr / CAP_ALIGN) as usize] = cap.tag();
         self.mark_dirty(addr, CAP_SIZE_BYTES as u64);
         Ok(())
@@ -325,8 +477,12 @@ impl TaggedMemory {
     pub fn memcpy(&mut self, dst: u64, src: u64, len: u64) -> MemResult<()> {
         let s = self.check(src, len)?;
         let d = self.check(dst, len)?;
-        // Record which destination granules should inherit a set tag.
+        // Record which destination granules should inherit a set tag, and
+        // (Cap128) which should inherit a side-table escape entry — the
+        // escape slot is only meaningful together with its out-of-line
+        // bytes, so the two travel as one.
         let mut inherit = Vec::new();
+        let mut side_moves = Vec::new();
         if dst % CAP_ALIGN == src % CAP_ALIGN {
             let mut a = src;
             // First whole granule inside [src, src+len).
@@ -337,13 +493,22 @@ impl TaggedMemory {
                 if self.tags[(a / CAP_ALIGN) as usize] {
                     inherit.push(dst + (a - src));
                 }
+                if !self.side.is_empty() {
+                    if let Some(full) = self.side.get(&a) {
+                        side_moves.push((dst + (a - src), *full));
+                    }
+                }
                 a += CAP_ALIGN;
             }
         }
         self.bytes.copy_within(s..s + len as usize, d);
         self.clear_tags_over(dst, len);
+        self.drop_side_over(dst, len);
         for a in inherit {
             self.tags[(a / CAP_ALIGN) as usize] = true;
+        }
+        for (a, full) in side_moves {
+            self.side.insert(a, full);
         }
         self.mark_dirty(dst, len);
         Ok(())
@@ -358,6 +523,7 @@ impl TaggedMemory {
         let a = self.check(addr, len)?;
         self.bytes[a..a + len as usize].fill(value);
         self.clear_tags_over(addr, len);
+        self.drop_side_over(addr, len);
         self.mark_dirty(addr, len);
         Ok(())
     }
@@ -557,7 +723,152 @@ mod tests {
         assert_eq!(got, vec![0x40, 0x200]);
     }
 
+    fn mem128() -> TaggedMemory {
+        TaggedMemory::with_format(0x1000, CapFormat::Cap128, UnrepresentablePolicy::SideTable)
+    }
+
+    /// A capability the 128-bit format cannot represent: the length demands
+    /// E >= 1 but the base is odd.
+    fn unrep_cap() -> Capability {
+        Capability::new_mem(0x10001, 0x2_0000, Perms::data())
+    }
+
+    #[test]
+    fn cap128_representable_round_trip() {
+        let mut m = mem128();
+        let c = a_cap().set_offset(0x13).unwrap();
+        m.write_cap(0x40, &c).unwrap();
+        assert_eq!(m.read_cap(0x40).unwrap(), c);
+        assert!(m.tag_at(0x40).unwrap());
+        assert_eq!(m.side_table_len(), 0);
+        let stats = m.compression_stats();
+        assert_eq!((stats.attempts, stats.successes), (1, 1));
+    }
+
+    #[test]
+    fn cap128_unrepresentable_escapes_to_side_table() {
+        let mut m = TaggedMemory::with_format(
+            0x10_0000,
+            CapFormat::Cap128,
+            UnrepresentablePolicy::SideTable,
+        );
+        let c = unrep_cap();
+        m.write_cap(0x40, &c).unwrap();
+        assert_eq!(m.side_table_len(), 1);
+        assert_eq!(m.read_cap(0x40).unwrap(), c);
+        let stats = m.compression_stats();
+        assert_eq!((stats.attempts, stats.successes), (1, 0));
+        // A representable overwrite retires the escape entry.
+        m.write_cap(0x40, &a_cap()).unwrap();
+        assert_eq!(m.side_table_len(), 0);
+        assert_eq!(m.read_cap(0x40).unwrap(), a_cap());
+    }
+
+    #[test]
+    fn cap128_trap_policy_refuses_tagged_unrepresentable() {
+        let mut m =
+            TaggedMemory::with_format(0x10_0000, CapFormat::Cap128, UnrepresentablePolicy::Trap);
+        assert_eq!(
+            m.write_cap(0x40, &unrep_cap()),
+            Err(MemError::Unrepresentable { addr: 0x40 })
+        );
+        assert!(!m.tag_at(0x40).unwrap());
+        // Untagged unrepresentable bytes are plain data: still stored.
+        let data = unrep_cap().clear_tag();
+        m.write_cap(0x40, &data).unwrap();
+        assert_eq!(m.read_cap(0x40).unwrap(), data);
+    }
+
+    #[test]
+    fn cap128_plain_store_clears_tag_and_side_entry() {
+        let mut m = TaggedMemory::with_format(
+            0x10_0000,
+            CapFormat::Cap128,
+            UnrepresentablePolicy::SideTable,
+        );
+        m.write_cap(0x40, &unrep_cap()).unwrap();
+        m.write_u8(0x50, 0xAA).unwrap();
+        assert!(!m.tag_at(0x40).unwrap());
+        assert_eq!(m.side_table_len(), 0);
+        // In-format caps behave like Cap256: scribble clears the tag only.
+        m.write_cap(0x80, &a_cap()).unwrap();
+        m.write_u8(0x90, 0).unwrap();
+        assert!(!m.read_cap(0x80).unwrap().tag());
+    }
+
+    #[test]
+    fn cap128_memcpy_moves_escaped_capabilities() {
+        let mut m = TaggedMemory::with_format(
+            0x10_0000,
+            CapFormat::Cap128,
+            UnrepresentablePolicy::SideTable,
+        );
+        let c = unrep_cap();
+        m.write_cap(0x40, &c).unwrap();
+        m.memcpy(0x100, 0x40, 32).unwrap();
+        assert_eq!(m.read_cap(0x100).unwrap(), c);
+        assert_eq!(m.side_table_len(), 2);
+        // A misaligned copy of the escape slot must not resurrect the
+        // capability: no tag, and the stale side entry is gone.
+        m.memcpy(0x201, 0x40, 32).unwrap();
+        assert!(!m.tag_at(0x201).unwrap());
+    }
+
+    #[test]
+    fn cap128_footprint_is_half_of_cap256() {
+        let mut m256 = mem();
+        let mut m128 = mem128();
+        for g in 0..4u64 {
+            m256.write_cap(0x40 + g * 32, &a_cap()).unwrap();
+            m128.write_cap(0x40 + g * 32, &a_cap()).unwrap();
+        }
+        assert_eq!(m256.cap_footprint_bytes(), 4 * 32);
+        assert_eq!(m128.cap_footprint_bytes(), 4 * 16);
+    }
+
+    #[test]
+    fn cap128_reset_clears_side_table_and_stats() {
+        let mut m = TaggedMemory::with_format(
+            0x10_0000,
+            CapFormat::Cap128,
+            UnrepresentablePolicy::SideTable,
+        );
+        m.write_cap(0x40, &unrep_cap()).unwrap();
+        m.reset();
+        assert_eq!(m.side_table_len(), 0);
+        assert_eq!(m.compression_stats(), CompressionStats::default());
+        assert_eq!(m.cap_footprint_bytes(), 0);
+        assert!(!m.read_cap(0x40).unwrap().tag());
+    }
+
     proptest! {
+        /// Capability store→load round-trips byte- and tag-identically in
+        /// BOTH formats (SideTable policy), for representable and
+        /// unrepresentable shapes alike.
+        #[test]
+        fn cap_round_trip_identical_in_both_formats(
+            base in 0u64..1 << 40,
+            len in 0u64..1 << 30,
+            off in any::<u64>(),
+            tag in any::<bool>(),
+            seal in any::<bool>(),
+        ) {
+            let c = Capability::new_mem(base, len, Perms::data())
+                .set_offset(off).unwrap();
+            let c = if seal {
+                let sealer = Capability::new_mem(7, 1, Perms::all());
+                c.seal(&sealer).unwrap()
+            } else {
+                c
+            };
+            let c = if tag { c } else { c.clear_tag() };
+            for mut m in [TaggedMemory::new(0x1000), mem128()] {
+                m.write_cap(0x40, &c).unwrap();
+                prop_assert_eq!(m.read_cap(0x40).unwrap(), c);
+                prop_assert_eq!(m.tag_at(0x40).unwrap(), c.tag());
+            }
+        }
+
         /// No sequence of plain writes can ever set a tag.
         #[test]
         fn plain_writes_never_set_tags(writes in proptest::collection::vec((0u64..0xF00, any::<u64>()), 1..40)) {

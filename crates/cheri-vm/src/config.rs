@@ -1,6 +1,8 @@
 //! Machine configuration and memory layout.
 
 use cheri_cache::HierarchyConfig;
+use cheri_cap::CapFormat;
+use cheri_mem::UnrepresentablePolicy;
 
 /// Size of the unmapped low guard page. Legacy (DDC-relative) accesses
 /// below this address fault, modelling the page-protection behaviour that
@@ -20,10 +22,18 @@ pub struct VmConfig {
     pub stack_size: u64,
     /// Bytes of heap handed to the allocator between data and stack.
     pub heap_size: u64,
+    /// In-memory capability representation: full 256-bit or low-fat
+    /// 128-bit compressed. Affects `TaggedMemory` stores, the allocator's
+    /// block shaping and the cache bytes charged by `CLC`/`CSC`.
+    pub cap_format: CapFormat,
+    /// What a Cap128 capability store does when the capability is not
+    /// representable (ignored under [`CapFormat::Cap256`]).
+    pub cap128_policy: UnrepresentablePolicy,
 }
 
 impl VmConfig {
-    /// The paper's softcore-like machine: 16 MiB memory, FPGA cache model.
+    /// The paper's softcore-like machine: 16 MiB memory, FPGA cache model,
+    /// full 256-bit capabilities.
     pub fn fpga() -> VmConfig {
         VmConfig {
             mem_size: 16 << 20,
@@ -31,6 +41,8 @@ impl VmConfig {
             data_base: 0x1_0000,
             stack_size: 1 << 20,
             heap_size: 8 << 20,
+            cap_format: CapFormat::Cap256,
+            cap128_policy: UnrepresentablePolicy::SideTable,
         }
     }
 
@@ -40,6 +52,18 @@ impl VmConfig {
             cache: None,
             ..VmConfig::fpga()
         }
+    }
+
+    /// The same machine with `format` capability storage.
+    pub fn with_cap_format(mut self, format: CapFormat) -> VmConfig {
+        self.cap_format = format;
+        self
+    }
+
+    /// The same machine with `policy` for unrepresentable Cap128 stores.
+    pub fn with_cap128_policy(mut self, policy: UnrepresentablePolicy) -> VmConfig {
+        self.cap128_policy = policy;
+        self
     }
 }
 
@@ -60,5 +84,15 @@ mod tests {
         assert!(c.heap_size + c.stack_size + c.data_base <= c.mem_size);
         assert!(VmConfig::functional().cache.is_none());
         assert!(VmConfig::fpga().cache.is_some());
+    }
+
+    #[test]
+    fn builders_set_capability_format() {
+        let c = VmConfig::functional()
+            .with_cap_format(CapFormat::Cap128)
+            .with_cap128_policy(UnrepresentablePolicy::Trap);
+        assert_eq!(c.cap_format, CapFormat::Cap128);
+        assert_eq!(c.cap128_policy, UnrepresentablePolicy::Trap);
+        assert_eq!(VmConfig::default().cap_format, CapFormat::Cap256);
     }
 }

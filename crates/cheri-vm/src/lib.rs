@@ -43,6 +43,10 @@ pub use config::{VmConfig, NULL_GUARD_SIZE};
 pub use machine::{ExitStatus, Vm, VmStats};
 pub use trap::{TrapCause, VmTrap};
 
+// Re-exported so a VM can be configured without naming cheri-cap/cheri-mem.
+pub use cheri_cap::CapFormat;
+pub use cheri_mem::UnrepresentablePolicy;
+
 /// Syscall numbers understood by the emulator's tiny runtime.
 pub mod sys {
     /// `exit(a0)` — halt with exit code.

@@ -6,7 +6,7 @@ use crate::trap::{TrapCause, VmTrap};
 use cheri_cache::{CacheStats, Hierarchy};
 #[cfg(test)]
 use cheri_cap::CapError;
-use cheri_cap::{ptr_cmp, Capability, Perms};
+use cheri_cap::{ptr_cmp, CapFormat, Capability, CompressionStats, Perms};
 use cheri_isa::{CmpOp, Instr, Op, Program, DDC};
 use cheri_mem::{Allocator, TaggedMemory};
 use std::cmp::Ordering;
@@ -33,6 +33,13 @@ pub struct VmStats {
     pub cycles: u64,
     /// Data-cache statistics, when a cache model is configured.
     pub cache: Option<CacheStats>,
+    /// Full PCC validations (`set_offset` + `check_access`) the fetch path
+    /// performed. With run caching this counts one per control-flow
+    /// transfer out of the validated window, not one per instruction.
+    pub fetch_checks: u64,
+    /// Capability-compression statistics from tagged memory, present when
+    /// the machine stores 128-bit compressed capabilities.
+    pub compression: Option<CompressionStats>,
     op_counts: Vec<u64>,
 }
 
@@ -80,6 +87,15 @@ pub struct Vm {
     output: Vec<u8>,
     halted: Option<i64>,
     cfg: VmConfig,
+    /// Cached straight-line fetch window: instruction indices in
+    /// `[run_start, run_end)` are known to pass the PCC execute check, so
+    /// the hot fetch path is a single range compare. Invalidated (set
+    /// empty) whenever the PCC is written. One successful full check
+    /// validates the whole window because tag, seal, permissions and
+    /// bounds are properties of the PCC, not of the individual pc.
+    run_start: u64,
+    run_end: u64,
+    fetch_checks: u64,
 }
 
 impl Vm {
@@ -94,14 +110,14 @@ impl Vm {
     /// Panics if the data segment does not fit below the heap, which
     /// indicates a mis-sized [`VmConfig`] rather than a guest error.
     pub fn new(program: Program, cfg: VmConfig) -> Vm {
-        let mut mem = TaggedMemory::new(cfg.mem_size);
+        let mut mem = TaggedMemory::with_format(cfg.mem_size, cfg.cap_format, cfg.cap128_policy);
         mem.write_bytes(cfg.data_base, &program.data)
             .expect("data segment must fit in memory");
         let heap_base = (cfg.data_base + program.data.len() as u64 + 0x100).next_multiple_of(32);
         let stack_base = cfg.mem_size - cfg.stack_size;
         let heap_end = (heap_base + cfg.heap_size).min(stack_base);
         assert!(heap_base < heap_end, "no room for heap: config too small");
-        let heap = Allocator::new(heap_base, heap_end - heap_base);
+        let heap = Allocator::with_format(heap_base, heap_end - heap_base, cfg.cap_format);
 
         let mut regs = [0u64; 32];
         regs[cheri_isa::SP as usize] = cfg.mem_size - 64;
@@ -127,6 +143,9 @@ impl Vm {
             output: Vec::new(),
             halted: None,
             cfg,
+            run_start: 0,
+            run_end: 0,
+            fetch_checks: 0,
         }
     }
 
@@ -204,6 +223,9 @@ impl Vm {
             instret: self.instret,
             cycles: self.cycles,
             cache: self.cache.as_ref().map(|c| c.stats()),
+            fetch_checks: self.fetch_checks,
+            compression: (self.cfg.cap_format == CapFormat::Cap128)
+                .then(|| self.mem.compression_stats()),
             op_counts: self.op_counts.clone(),
         }
     }
@@ -257,7 +279,20 @@ impl Vm {
         }
     }
 
-    fn fetch(&self, pc: u64) -> Result<Instr, VmTrap> {
+    fn fetch(&mut self, pc: u64) -> Result<Instr, VmTrap> {
+        // Hot path: the pc is inside the window already validated against
+        // the current PCC — no capability work at all.
+        if pc >= self.run_start && pc < self.run_end {
+            return Ok(self.code[pc as usize]);
+        }
+        self.fetch_slow(pc)
+    }
+
+    /// Full PCC validation, then caching of the straight-line window it
+    /// implies: every index whose 8-byte fetch the current PCC authorises
+    /// and that has a decoded instruction behind it.
+    fn fetch_slow(&mut self, pc: u64) -> Result<Instr, VmTrap> {
+        self.fetch_checks += 1;
         let byte_addr = pc.wrapping_mul(8);
         let fetch_cap = self
             .pcc
@@ -272,10 +307,22 @@ impl Vm {
                 cause: TrapCause::PccBounds { pc },
             });
         }
-        self.code.get(pc as usize).copied().ok_or(VmTrap {
+        let instr = self.code.get(pc as usize).copied().ok_or(VmTrap {
             pc,
             cause: TrapCause::PccBounds { pc },
-        })
+        })?;
+        // p is in the window iff p*8 >= base and p*8 + 8 <= top, i.e.
+        // ceil(base/8) <= p < floor(top/8).
+        self.run_start = self.pcc.base().div_ceil(8);
+        self.run_end = (self.pcc.top() / 8).min(self.code.len() as u64);
+        Ok(instr)
+    }
+
+    /// Writes the PCC and invalidates the cached fetch window.
+    fn set_pcc(&mut self, cap: Capability) {
+        self.pcc = cap;
+        self.run_start = 0;
+        self.run_end = 0;
     }
 
     fn charge_mem(&mut self, addr: u64, len: u64, write: bool) {
@@ -456,8 +503,11 @@ impl Vm {
             }
             Op::Jr => Ok(self.reg(rs)),
             Op::Jalr => {
+                // Read the target before writing the link: `jalr r, r`
+                // must jump to the register's old value.
+                let target = self.reg(rs);
                 self.set_reg(rd, next);
-                Ok(self.reg(rs))
+                Ok(target)
             }
 
             Op::Lb => self.exec_load(rd, rs, imm, 1, true, false).map(|_| next),
@@ -485,9 +535,12 @@ impl Vm {
             Op::Csd => self.exec_store(rd, rs, imm, 8, true).map(|_| next),
 
             Op::Clc => {
+                // The full 32-byte granule stays reserved in either format
+                // (bounds check); only the stored bytes travel through the
+                // cache — half as many in Cap128 mode.
                 let addr = self.cap_addr(rs, imm, 32, Perms::LOAD | Perms::LOAD_CAP)?;
                 let c = self.mem.read_cap(addr)?;
-                self.charge_mem(addr, 32, false);
+                self.charge_mem(addr, self.cfg.cap_format.stored_bytes(), false);
                 self.caps[rd as usize] = c;
                 Ok(next)
             }
@@ -495,7 +548,7 @@ impl Vm {
                 let addr = self.cap_addr(rs, imm, 32, Perms::STORE | Perms::STORE_CAP)?;
                 let c = self.caps[rd as usize];
                 self.mem.write_cap(addr, &c)?;
-                self.charge_mem(addr, 32, true);
+                self.charge_mem(addr, self.cfg.cap_format.stored_bytes(), true);
                 Ok(next)
             }
 
@@ -570,17 +623,31 @@ impl Vm {
             }
             Op::CJr => {
                 let target = self.caps[rs as usize];
-                target.check_access(8, Perms::EXECUTE)?;
-                self.pcc = target;
-                Ok(target.address() / 8)
+                let addr = target.check_access(8, Perms::EXECUTE)?;
+                if addr % 8 != 0 {
+                    return Err(TrapCause::PccMisaligned { addr });
+                }
+                self.set_pcc(target);
+                Ok(addr / 8)
             }
             Op::CJalr => {
                 let target = self.caps[rs as usize];
-                target.check_access(8, Perms::EXECUTE)?;
-                let link = self.pcc.set_offset(next * 8 - self.pcc.base())?;
-                self.caps[rd as usize] = link;
-                self.pcc = target;
-                Ok(target.address() / 8)
+                let addr = target.check_access(8, Perms::EXECUTE)?;
+                if addr % 8 != 0 {
+                    return Err(TrapCause::PccMisaligned { addr });
+                }
+                // The link capability is the current PCC pointed at the
+                // return address. A return address below the PCC's base is
+                // unrepresentable (the offset is unsigned), e.g. when a
+                // trampoline's PCC starts above the caller: trap rather
+                // than underflow.
+                let ret = next * 8;
+                let Some(link_off) = ret.checked_sub(self.pcc.base()) else {
+                    return Err(TrapCause::PccBounds { pc: next });
+                };
+                self.caps[rd as usize] = self.pcc.set_offset(link_off)?;
+                self.set_pcc(target);
+                Ok(addr / 8)
             }
             Op::CGetPcc => {
                 self.caps[rd as usize] = self.pcc;
@@ -641,11 +708,13 @@ impl Vm {
                 Ok(())
             }
             sys::MALLOC => {
-                match self.heap.alloc(a0) {
-                    Ok(addr) => {
-                        self.set_reg(cheri_isa::V0, addr);
-                        self.caps[cabi::CV0 as usize] =
-                            Capability::new_mem(addr, a0, Perms::data());
+                // alloc_cap keeps byte-granular bounds where the format
+                // allows and widens to the padded representable block in
+                // Cap128 mode (> 64 KiB objects only).
+                match self.heap.alloc_cap(a0, Perms::data()) {
+                    Ok(cap) => {
+                        self.set_reg(cheri_isa::V0, cap.base());
+                        self.caps[cabi::CV0 as usize] = cap;
                     }
                     Err(_) => {
                         self.set_reg(cheri_isa::V0, 0);
@@ -702,12 +771,16 @@ mod tests {
     use super::*;
     use cheri_isa::{A0, V0};
 
-    fn run_prog(code: Vec<Instr>) -> Result<(ExitStatus, Vm), VmTrap> {
+    fn run_prog_with(code: Vec<Instr>, cfg: VmConfig) -> Result<(ExitStatus, Vm), VmTrap> {
         let mut p = Program::new();
         p.code = code;
-        let mut vm = Vm::new(p, VmConfig::functional());
+        let mut vm = Vm::new(p, cfg);
         let status = vm.run(1_000_000)?;
         Ok((status, vm))
+    }
+
+    fn run_prog(code: Vec<Instr>) -> Result<(ExitStatus, Vm), VmTrap> {
+        run_prog_with(code, VmConfig::functional())
     }
 
     #[test]
@@ -976,6 +1049,252 @@ mod tests {
     }
 
     #[test]
+    fn jalr_same_register_jumps_to_old_value() {
+        // jalr r8, r8: the jump target is r8's OLD value; the link (pc 2)
+        // is written afterwards. The callee returns the link so we can see
+        // both effects.
+        let code = vec![
+            Instr::li(8, 5),                  // r8 = 5 (callee)
+            Instr::new(Op::Jalr, 8, 8, 0, 0), // call r8; link in r8
+            Instr::li(A0, 99),                // pc 2: must be skipped
+            Instr::syscall(sys::EXIT),        // pc 3
+            Instr::new(Op::Nop, 0, 0, 0, 0),  // pc 4
+            Instr::r3(Op::Addu, A0, 8, 0),    // pc 5: a0 = link = 2
+            Instr::syscall(sys::EXIT),        // pc 6
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 2, "jalr must use the pre-link register value");
+    }
+
+    #[test]
+    fn cjalr_link_underflow_traps_cleanly() {
+        // A sandbox PCC whose base exceeds the return address: the link
+        // capability cannot represent a negative offset, so CJALR must
+        // trap instead of underflowing (which panicked in debug builds).
+        let mut p = Program::new();
+        p.code = vec![Instr::new(Op::Nop, 0, 0, 0, 0)];
+        let mut vm = Vm::new(p, VmConfig::functional());
+        vm.pcc = Capability::new_mem(0x100, 0x100, Perms::code());
+        vm.caps[5] = Capability::new_mem(0, 64, Perms::code());
+        let err = vm.execute(Instr::new(Op::CJalr, 6, 5, 0, 0)).unwrap_err();
+        assert_eq!(err, TrapCause::PccBounds { pc: 1 });
+    }
+
+    #[test]
+    fn cjr_misaligned_target_traps() {
+        // Offset 4 into the code: silently truncating to addr/8 would land
+        // on the PREVIOUS instruction. It must trap instead.
+        let code = vec![
+            Instr::new(Op::CGetPcc, 5, 0, 0, 0),
+            Instr::li(8, 4),
+            Instr::cmod(Op::CSetOffset, 5, 5, 8),
+            Instr::new(Op::CJr, 0, 5, 0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let err = run_prog(code).unwrap_err();
+        assert_eq!(err.cause, TrapCause::PccMisaligned { addr: 4 });
+        assert_eq!(err.pc, 3);
+    }
+
+    #[test]
+    fn cjalr_misaligned_target_traps() {
+        let mut p = Program::new();
+        p.code = vec![Instr::new(Op::Nop, 0, 0, 0, 0)];
+        let mut vm = Vm::new(p, VmConfig::functional());
+        vm.caps[5] = Capability::new_mem(0, 64, Perms::code())
+            .set_offset(12)
+            .unwrap();
+        let err = vm.execute(Instr::new(Op::CJalr, 6, 5, 0, 0)).unwrap_err();
+        assert_eq!(err, TrapCause::PccMisaligned { addr: 12 });
+    }
+
+    #[test]
+    fn straight_line_code_validates_pcc_once() {
+        // The sum-1..=10 loop retires dozens of instructions, branches
+        // included, but never leaves the PCC's validated window: exactly
+        // one full set_offset/check_access, at the first fetch.
+        let code = vec![
+            Instr::li(8, 0),
+            Instr::li(9, 1),
+            Instr::li(10, 10),
+            Instr::r3(Op::Addu, 8, 8, 9),
+            Instr::i2(Op::Addiu, 9, 9, 1),
+            Instr::r3(Op::Slt, 11, 10, 9),
+            Instr::new(Op::Beq, 0, 11, 0, 3),
+            Instr::r3(Op::Addu, A0, 8, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 55);
+        assert!(s.stats.instret > 40);
+        assert_eq!(
+            s.stats.fetch_checks, 1,
+            "straight-line fetches must be range compares, not PCC checks"
+        );
+    }
+
+    #[test]
+    fn pcc_writes_invalidate_the_fetch_window() {
+        // The cjalr call/return example: initial fetch + one revalidation
+        // after CJALR + one after the returning CJR = 3 full checks.
+        let code = vec![
+            Instr::new(Op::CGetPcc, 5, 0, 0, 0),
+            Instr::li(8, 5 * 8),
+            Instr::cmod(Op::CSetOffset, 5, 5, 8),
+            Instr::new(Op::CJalr, 6, 5, 0, 0),
+            Instr::new(Op::J, 0, 0, 0, 7),
+            Instr::li(A0, 77),
+            Instr::new(Op::CJr, 0, 6, 0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog(code).unwrap();
+        assert_eq!(s.code, 77);
+        assert_eq!(s.stats.fetch_checks, 3);
+    }
+
+    #[test]
+    fn narrowed_pcc_window_still_confines_execution() {
+        // Jump into a PCC restricted to instructions [4, 6): the run cache
+        // must not let the pc walk past the window's end.
+        let code = vec![
+            Instr::new(Op::CGetPcc, 5, 0, 0, 0),
+            Instr::li(8, 4 * 8),
+            Instr::cmod(Op::CSetOffset, 5, 5, 8), // offset = 4*8
+            Instr::new(Op::CJr, 0, 5, 0, 0),      // enter narrowed window
+            Instr::li(A0, 1),                     // pc 4
+            Instr::i2(Op::Addiu, A0, A0, 1),      // pc 5; pc 6 is out
+            Instr::syscall(sys::EXIT),            // pc 6: never reached...
+            Instr::syscall(sys::EXIT),
+        ];
+        // Narrow the capability in c5 before the jump: base 4*8, len 16.
+        let mut p = Program::new();
+        p.code = code;
+        let mut vm = Vm::new(p, VmConfig::functional());
+        // Run to just before the CJr, then narrow c5 by hand.
+        for _ in 0..3 {
+            vm.step().unwrap();
+        }
+        let narrowed = vm.cap(5).set_bounds(16).unwrap();
+        vm.set_cap(5, narrowed);
+        let err = vm.run(100).unwrap_err();
+        assert!(
+            matches!(err.cause, TrapCause::PccBounds { pc: 6 }),
+            "got {:?}",
+            err.cause
+        );
+        assert_eq!(vm.reg(cheri_isa::A0), 2, "both in-window instrs ran");
+    }
+
+    /// Representative programs (successful and trapping) behave identically
+    /// under 256-bit and 128-bit capability storage.
+    #[test]
+    fn cap128_vm_matches_cap256_on_core_programs() {
+        let programs: Vec<(&str, Vec<Instr>)> = vec![
+            ("exit", vec![Instr::li(A0, 7), Instr::syscall(sys::EXIT)]),
+            (
+                "malloc_oob_load",
+                vec![
+                    Instr::li(A0, 8),
+                    Instr::syscall(sys::MALLOC),
+                    Instr::mem(Op::Cld, 9, cabi::CV0, 8),
+                    Instr::syscall(sys::EXIT),
+                ],
+            ),
+            (
+                "cap_store_load",
+                vec![
+                    Instr::li(A0, 64),
+                    Instr::syscall(sys::MALLOC),
+                    Instr::li(9, 4242),
+                    Instr::mem(Op::Csd, 9, cabi::CV0, 16),
+                    Instr::mem(Op::Cld, 10, cabi::CV0, 16),
+                    Instr::r3(Op::Addu, A0, 10, 0),
+                    Instr::syscall(sys::EXIT),
+                ],
+            ),
+            (
+                "clc_csc_round_trip",
+                vec![
+                    Instr::li(A0, 64),
+                    Instr::syscall(sys::MALLOC),
+                    Instr::mem(Op::Csc, cabi::CV0, cabi::CSP, -64),
+                    Instr::mem(Op::Clc, 5, cabi::CSP, -64),
+                    Instr::li(9, 9),
+                    Instr::mem(Op::Csd, 9, 5, 0),
+                    Instr::mem(Op::Cld, 10, 5, 0),
+                    Instr::r3(Op::Addu, A0, 10, 0),
+                    Instr::syscall(sys::EXIT),
+                ],
+            ),
+            (
+                "forged_cap_traps",
+                vec![
+                    Instr::li(A0, 64),
+                    Instr::syscall(sys::MALLOC),
+                    Instr::mem(Op::Csc, cabi::CV0, cabi::CSP, -64),
+                    Instr::li(9, 0x4141),
+                    Instr::mem(Op::Csd, 9, cabi::CSP, -64),
+                    Instr::mem(Op::Clc, 5, cabi::CSP, -64),
+                    Instr::mem(Op::Cld, 10, 5, 0),
+                    Instr::syscall(sys::EXIT),
+                ],
+            ),
+            (
+                "cjalr_call_return",
+                vec![
+                    Instr::new(Op::CGetPcc, 5, 0, 0, 0),
+                    Instr::li(8, 5 * 8),
+                    Instr::cmod(Op::CSetOffset, 5, 5, 8),
+                    Instr::new(Op::CJalr, 6, 5, 0, 0),
+                    Instr::new(Op::J, 0, 0, 0, 7),
+                    Instr::li(A0, 77),
+                    Instr::new(Op::CJr, 0, 6, 0, 0),
+                    Instr::syscall(sys::EXIT),
+                ],
+            ),
+            (
+                "null_guard",
+                vec![
+                    Instr::li(8, 0),
+                    Instr::mem(Op::Ld, 9, 8, 16),
+                    Instr::syscall(sys::EXIT),
+                ],
+            ),
+            (
+                "bad_free",
+                vec![
+                    Instr::li(A0, 0x1234),
+                    Instr::syscall(sys::FREE),
+                    Instr::syscall(sys::EXIT),
+                ],
+            ),
+        ];
+        let cap128 = VmConfig::functional().with_cap_format(CapFormat::Cap128);
+        for (name, code) in programs {
+            let a = run_prog(code.clone()).map(|(s, vm)| (s.code, vm.output_string()));
+            let b = run_prog_with(code, cap128).map(|(s, vm)| (s.code, vm.output_string()));
+            assert_eq!(a, b, "{name}: Cap128 diverged from Cap256");
+        }
+    }
+
+    #[test]
+    fn cap128_vm_tracks_compression_stats() {
+        let code = vec![
+            Instr::li(A0, 64),
+            Instr::syscall(sys::MALLOC),
+            Instr::mem(Op::Csc, cabi::CV0, cabi::CSP, -64),
+            Instr::li(A0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let cap128 = VmConfig::functional().with_cap_format(CapFormat::Cap128);
+        let (s, _) = run_prog_with(code.clone(), cap128).unwrap();
+        let comp = s.stats.compression.expect("Cap128 machines report stats");
+        assert_eq!((comp.attempts, comp.successes), (1, 1));
+        let (s, _) = run_prog(code).unwrap();
+        assert!(s.stats.compression.is_none(), "Cap256 machines do not");
+    }
+
+    #[test]
     fn output_collects_text() {
         let code = vec![
             Instr::li(A0, 'h' as i32),
@@ -1005,6 +1324,26 @@ mod tests {
         let code = vec![Instr::new(Op::J, 0, 0, 0, 1000)];
         let err = run_prog(code).unwrap_err();
         assert!(matches!(err.cause, TrapCause::PccBounds { .. }));
+    }
+
+    #[test]
+    fn malloc_of_minus_one_returns_null() {
+        // malloc((size_t)-1) must fail cleanly, not panic the host while
+        // padding the request.
+        for cfg in [
+            VmConfig::functional(),
+            VmConfig::functional().with_cap_format(CapFormat::Cap128),
+        ] {
+            let code = vec![
+                Instr::li(A0, -1),
+                Instr::syscall(sys::MALLOC),
+                Instr::r3(Op::Addu, A0, V0, 0),
+                Instr::syscall(sys::EXIT),
+            ];
+            let (s, vm) = run_prog_with(code, cfg).unwrap();
+            assert_eq!(s.code, 0);
+            assert!(vm.cap(cabi::CV0).is_null());
+        }
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub enum TrapCause {
         /// The faulting instruction index.
         pc: u64,
     },
+    /// A capability jump (`CJR`/`CJALR`) targeted a byte address that is
+    /// not aligned to the 8-byte instruction word — silently truncating it
+    /// would land control on the previous instruction.
+    PccMisaligned {
+        /// The misaligned target byte address.
+        addr: u64,
+    },
     /// An undefined instruction word was fetched.
     BadInstruction(DecodeError),
     /// An unknown syscall number.
@@ -53,6 +60,9 @@ impl fmt::Display for TrapCause {
             TrapCause::IntegerOverflow => write!(f, "trapped signed integer overflow"),
             TrapCause::DivideByZero => write!(f, "integer division by zero"),
             TrapCause::PccBounds { pc } => write!(f, "pc {pc} left the PCC bounds"),
+            TrapCause::PccMisaligned { addr } => {
+                write!(f, "jump target {addr:#x} is not instruction-aligned")
+            }
             TrapCause::BadInstruction(e) => write!(f, "illegal instruction: {e}"),
             TrapCause::BadSyscall(n) => write!(f, "unknown syscall {n}"),
             TrapCause::Breakpoint => write!(f, "breakpoint"),

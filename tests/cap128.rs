@@ -1,0 +1,211 @@
+//! Capability-format differential tests: everything the compiled pipeline
+//! does on 256-bit capability storage it must also do, byte-for-byte in
+//! outputs and trap-for-trap in failures, on the low-fat 128-bit format —
+//! while actually halving the capability memory footprint.
+
+use cheri::cap::{CapFormat, Capability, CompressedCapability, Perms};
+use cheri::compile::{compile, Abi};
+use cheri::mem::{TaggedMemory, UnrepresentablePolicy};
+use cheri::vm::{Vm, VmConfig, VmTrap};
+use cheri::workloads::{runner, sources};
+use proptest::prelude::*;
+
+fn run_with(src: &str, abi: Abi, cfg: VmConfig) -> Result<(i64, String), VmTrap> {
+    let prog = compile(src, abi).unwrap_or_else(|e| panic!("{abi}: {e}"));
+    let mut vm = Vm::new(prog, cfg);
+    let status = vm.run(50_000_000)?;
+    Ok((status.code, vm.output_string()))
+}
+
+/// C programs covering the capability-heavy paths: heap graphs, spills,
+/// memcpy tag transport, and deliberate overflows that must trap.
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "linked_list",
+        r#"
+        struct node { long v; struct node *next; };
+        int main(void) {
+            struct node *head = 0;
+            long sum = 0;
+            for (int i = 1; i <= 12; i++) {
+                struct node *n = (struct node*)malloc(sizeof(struct node));
+                n->v = i * i;
+                n->next = head;
+                head = n;
+            }
+            while (head) {
+                sum = sum + head->v;
+                head = head->next;
+            }
+            return (int)(sum % 251);
+        }
+    "#,
+    ),
+    (
+        "memcpy_tag_transport",
+        r#"
+        struct holder { int *p; };
+        int main(void) {
+            int x = 7;
+            struct holder h;
+            struct holder copy;
+            h.p = &x;
+            memcpy(&copy, &h, sizeof(struct holder));
+            return *copy.p;
+        }
+    "#,
+    ),
+    (
+        "overflow_trap",
+        r#"
+        int main(void) {
+            char *a = (char*)malloc(32);
+            char *b = (char*)malloc(32);
+            b[0] = 42;
+            for (int i = 0; i < 200; i++) {
+                a[i] = 0;
+            }
+            return (int)b[0];
+        }
+    "#,
+    ),
+    (
+        "free_and_reuse",
+        r#"
+        int main(void) {
+            long *a = (long*)malloc(64);
+            a[0] = 5;
+            free(a);
+            long *b = (long*)malloc(64);
+            b[1] = 6;
+            return (int)b[1];
+        }
+    "#,
+    ),
+];
+
+/// Every program, every ABI: identical exit codes, outputs and traps on
+/// both capability formats and both unrepresentable-store policies.
+#[test]
+fn compiled_suite_identical_across_formats() {
+    let configs = [
+        VmConfig::functional().with_cap_format(CapFormat::Cap128),
+        VmConfig::functional()
+            .with_cap_format(CapFormat::Cap128)
+            .with_cap128_policy(UnrepresentablePolicy::Trap),
+    ];
+    for (name, src) in PROGRAMS {
+        for abi in Abi::ALL {
+            let reference = run_with(src, abi, VmConfig::functional());
+            for cfg in configs {
+                let got = run_with(src, abi, cfg);
+                assert_eq!(got, reference, "{name}/{abi}: Cap128 diverged");
+            }
+        }
+    }
+}
+
+/// The Olden/Dhrystone workload runner agrees across formats: same output,
+/// same exit, same instruction count (the instruction stream is identical;
+/// only the simulated cache traffic shrinks).
+#[test]
+fn workloads_identical_across_formats() {
+    for (name, src) in [
+        ("treeadd", sources::treeadd(6, 2)),
+        ("dhrystone", sources::dhrystone(30)),
+    ] {
+        let base = runner::run_workload(&src, Abi::CheriV3, VmConfig::functional(), &[], 1 << 30)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cfg = VmConfig::functional().with_cap_format(CapFormat::Cap128);
+        let z = runner::run_workload(&src, Abi::CheriV3, cfg, &[], 1 << 30)
+            .unwrap_or_else(|e| panic!("{name}/cap128: {e}"));
+        assert_eq!(z.exit, base.exit, "{name}");
+        assert_eq!(z.output, base.output, "{name}");
+        assert_eq!(z.instret, base.instret, "{name}");
+    }
+}
+
+/// A capability-heavy run on Cap128 actually halves the resident
+/// capability footprint.
+#[test]
+fn cap128_footprint_shrinks() {
+    let src = r#"
+        struct node { long v; struct node *next; };
+        int main(void) {
+            struct node *head = 0;
+            for (int i = 0; i < 40; i++) {
+                struct node *n = (struct node*)malloc(sizeof(struct node));
+                n->next = head;
+                head = n;
+            }
+            return 0;
+        }
+    "#;
+    let mut footprints = Vec::new();
+    for format in [CapFormat::Cap256, CapFormat::Cap128] {
+        let prog = compile(src, Abi::CheriV3).unwrap();
+        let mut vm = Vm::new(prog, VmConfig::functional().with_cap_format(format));
+        assert_eq!(vm.run(10_000_000).unwrap().code, 0);
+        footprints.push(vm.mem().cap_footprint_bytes());
+    }
+    assert!(footprints[0] > 0);
+    assert_eq!(
+        footprints[1] * 2,
+        footprints[0],
+        "128-bit storage must halve the tagged footprint (no escapes here)"
+    );
+}
+
+proptest! {
+    /// Store→load round-trips byte- and tag-identically in both formats,
+    /// whatever capability shape the machine produces — including offsets
+    /// far out of bounds and sealed capabilities, which escape to the
+    /// side table in Cap128 mode.
+    #[test]
+    fn store_load_round_trips_in_both_formats(
+        base in 0u64..1 << 42,
+        len in 0u64..1 << 32,
+        off in any::<u64>(),
+        perm_bits in any::<u16>(),
+        tag in any::<bool>(),
+        sealed in any::<bool>(),
+    ) {
+        let c = Capability::new_mem(base, len, Perms::from_bits(perm_bits))
+            .set_offset(off)
+            .unwrap();
+        let c = if sealed {
+            let sealer = Capability::new_mem(0x42, 1, Perms::all());
+            c.seal(&sealer).unwrap()
+        } else {
+            c
+        };
+        let c = if tag { c } else { c.clear_tag() };
+        for format in [CapFormat::Cap256, CapFormat::Cap128] {
+            let mut m = TaggedMemory::with_format(
+                0x1000,
+                format,
+                UnrepresentablePolicy::SideTable,
+            );
+            m.write_cap(0x40, &c).unwrap();
+            prop_assert_eq!(m.read_cap(0x40).unwrap(), c, "{:?}", format);
+            prop_assert_eq!(m.tag_at(0x40).unwrap(), c.tag());
+        }
+    }
+
+    /// The compressor itself never lies: when Cap128 storage avoids the
+    /// side table, the slot alone reconstructs the capability.
+    #[test]
+    fn in_format_slots_reconstruct_exactly(
+        base in 0u64..1 << 30,
+        len in 1u64..0x1_0000,
+        off in 0u64..0x1_0000,
+    ) {
+        let c = Capability::new_mem(base, len, Perms::data())
+            .set_offset(off % (len + 1))
+            .unwrap();
+        if let Some(z) = CompressedCapability::compress(&c) {
+            let back = CompressedCapability::from_bytes(&z.to_bytes());
+            prop_assert_eq!(back.decompress(), c);
+        }
+    }
+}

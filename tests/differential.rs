@@ -1,11 +1,12 @@
 //! Differential testing: generated programs must behave identically on all
-//! ten substrates — the seven interpreter memory models and the three
-//! compiled ABIs. Any divergence is a bug in a model, the code generator,
-//! or the emulator.
+//! eleven substrates — the seven interpreter memory models, the three
+//! compiled ABIs, and CHERIv3 re-run on 128-bit compressed capability
+//! storage. Any divergence is a bug in a model, the code generator, the
+//! emulator, or the capability compression.
 
 use cheri::compile::{compile, Abi};
 use cheri::interp::{run_main, ModelKind};
-use cheri::vm::{Vm, VmConfig};
+use cheri::vm::{CapFormat, Vm, VmConfig};
 use proptest::prelude::*;
 
 /// A tiny expression grammar: integer arithmetic, comparisons and array
@@ -97,11 +98,25 @@ proptest! {
                 .unwrap_or_else(|e| panic!("{model}: {e}\n{src}"));
             answers.push((model.to_string(), r.exit_code));
         }
+        let mut v3_prog = None;
         for abi in Abi::ALL {
             let prog = compile(&src, abi).unwrap_or_else(|e| panic!("{abi}: {e}\n{src}"));
+            if abi == Abi::CheriV3 {
+                v3_prog = Some(prog.clone());
+            }
             let mut vm = Vm::new(prog, VmConfig::functional());
             let exit = vm.run(50_000_000).unwrap_or_else(|e| panic!("{abi}: {e}\n{src}"));
             answers.push((abi.to_string(), exit.code));
+        }
+        // Eleventh substrate: CHERIv3 with 128-bit compressed capability
+        // storage — the verdict must not depend on the in-memory format.
+        {
+            let cfg = VmConfig::functional().with_cap_format(CapFormat::Cap128);
+            let mut vm = Vm::new(v3_prog.expect("Abi::ALL contains CheriV3"), cfg);
+            let exit = vm
+                .run(50_000_000)
+                .unwrap_or_else(|e| panic!("CHERIv3+Cap128: {e}\n{src}"));
+            answers.push(("CHERIv3+Cap128".to_string(), exit.code));
         }
         let expect = answers[0].1;
         for (name, got) in &answers {
