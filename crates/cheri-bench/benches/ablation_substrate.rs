@@ -15,12 +15,31 @@ use cheri_vm::{Vm, VmConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 /// A straight-line program: `n` add-immediates, then exit — nothing but
-/// fetch + dispatch, the floor the PCC run cache lowers.
+/// fetch + dispatch, the floor the PCC run cache lowers. Under block
+/// dispatch this is one giant superinstruction.
 fn straight_line(n: usize) -> Program {
     let mut p = Program::new();
     p.code = vec![Instr::i2(Op::Addiu, 8, 8, 1); n];
     p.code.push(Instr::li(4, 0));
     p.code.push(Instr::syscall(0));
+    p
+}
+
+/// A counted loop entered ~`n` times: each iteration re-dispatches one
+/// small cached block (addiu / slt / bne), so this measures the
+/// superinstruction layer's per-block-entry overhead rather than the
+/// per-op floor.
+fn counted_loop(n: i32) -> Program {
+    let mut p = Program::new();
+    p.code = vec![
+        Instr::li(8, 0),
+        Instr::li(9, n),
+        Instr::i2(Op::Addiu, 8, 8, 1),    // 2: i += 1
+        Instr::r3(Op::Slt, 10, 8, 9),     // 3: t = i < n
+        Instr::new(Op::Bne, 0, 10, 0, 2), // 4: loop while t
+        Instr::li(4, 0),
+        Instr::syscall(0),
+    ];
     p
 }
 
@@ -31,6 +50,16 @@ fn bench(c: &mut Criterion) {
     g.bench_function("vm_fetch_straight_line_4k", |b| {
         b.iter(|| {
             let mut vm = Vm::new(prog.clone(), VmConfig::functional());
+            let status = vm.run(1 << 20).unwrap();
+            assert_eq!(status.stats.fetch_checks, 1);
+            status.stats.instret
+        })
+    });
+
+    let loop_prog = counted_loop(4096);
+    g.bench_function("vm_superinstruction_4k", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(loop_prog.clone(), VmConfig::functional());
             let status = vm.run(1 << 20).unwrap();
             assert_eq!(status.stats.fetch_checks, 1);
             status.stats.instret

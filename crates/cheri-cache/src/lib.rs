@@ -8,9 +8,13 @@
 //! versus 64-bit integer pointers ("the performance difference ... is
 //! primarily due to the larger pointers causing more cache misses").
 //!
-//! This crate reproduces that cost model: [`Hierarchy`] simulates an
-//! inclusive two-level write-back, write-allocate, LRU cache in front of a
-//! flat DRAM, charging configurable latencies per level.
+//! This crate reproduces that cost model: [`Hierarchy`] simulates a
+//! two-level write-back, write-allocate, LRU cache in front of a flat
+//! DRAM, charging configurable latencies per level. Dirty victims are
+//! really written back: an L1 eviction installs the victim line into L2
+//! (charging the L2 transfer), and a dirty L2 eviction drains to DRAM
+//! (charging the DRAM penalty) — so simulated DRAM traffic reflects the
+//! write-back stream, not just demand fills.
 //!
 //! # Example
 //!
@@ -163,72 +167,123 @@ impl fmt::Display for CacheStats {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Line {
     tag: u64,
+    valid: bool,
     dirty: bool,
     stamp: u64,
 }
 
+const EMPTY_LINE: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    stamp: 0,
+};
+
 #[derive(Clone, Debug)]
 struct Level {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// `nsets × ways` fixed line slots: `lines[set * ways .. +ways]`.
+    lines: Box<[Line]>,
     clock: u64,
+    /// Number of sets, precomputed.
+    nsets: u64,
+    /// Shift/mask fast path when line size and set count are powers of
+    /// two (true for every shipped geometry); falls back to div/mod
+    /// otherwise. Index math only — the cycle model is unaffected.
+    line_shift: Option<u32>,
+    set_shift: Option<u32>,
 }
 
 enum Lookup {
     Hit,
-    /// Miss; the filled-in line evicted a dirty victim.
-    MissEvictedDirty,
+    /// Miss; the filled-in line evicted a dirty victim at this line
+    /// address (reconstructed from the victim's tag and set).
+    MissEvictedDirty(u64),
     Miss,
 }
 
 impl Level {
     fn new(cfg: CacheConfig) -> Level {
+        let nsets = cfg.sets();
         Level {
             cfg,
-            sets: vec![Vec::new(); cfg.sets() as usize],
+            lines: vec![EMPTY_LINE; (nsets * cfg.ways) as usize].into_boxed_slice(),
             clock: 0,
+            nsets,
+            line_shift: cfg
+                .line_bytes
+                .is_power_of_two()
+                .then(|| cfg.line_bytes.trailing_zeros()),
+            set_shift: nsets.is_power_of_two().then(|| nsets.trailing_zeros()),
         }
     }
 
-    /// Looks up the line containing `line_addr`, filling on miss.
+    /// `line_addr / line_bytes`, by shift when the geometry allows.
+    fn line_index(&self, line_addr: u64) -> u64 {
+        match self.line_shift {
+            Some(s) => line_addr >> s,
+            None => line_addr / self.cfg.line_bytes,
+        }
+    }
+
+    /// Splits a line index into (set index, tag).
+    fn set_and_tag(&self, line_idx: u64) -> (usize, u64) {
+        match self.set_shift {
+            Some(s) => ((line_idx & (self.nsets - 1)) as usize, line_idx >> s),
+            None => ((line_idx % self.nsets) as usize, line_idx / self.nsets),
+        }
+    }
+
+    /// Looks up the line containing `line_addr`, filling on miss (into a
+    /// free way if one exists, else over the least-recently-used line).
     fn access(&mut self, line_addr: u64, write: bool) -> Lookup {
         self.clock += 1;
-        let set_idx = ((line_addr / self.cfg.line_bytes) % self.cfg.sets()) as usize;
-        let tag = line_addr / self.cfg.line_bytes / self.cfg.sets();
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.stamp = self.clock;
-            line.dirty |= write;
-            return Lookup::Hit;
+        let sets = self.nsets;
+        let (set_idx, tag) = self.set_and_tag(self.line_index(line_addr));
+        let ways = self.cfg.ways as usize;
+        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
+        let mut free = None;
+        let mut lru = 0;
+        let mut lru_stamp = u64::MAX;
+        for (i, l) in set.iter_mut().enumerate() {
+            if l.valid {
+                if l.tag == tag {
+                    l.stamp = self.clock;
+                    l.dirty |= write;
+                    return Lookup::Hit;
+                }
+                if l.stamp < lru_stamp {
+                    lru_stamp = l.stamp;
+                    lru = i;
+                }
+            } else if free.is_none() {
+                free = Some(i);
+            }
         }
-        let mut evicted_dirty = false;
-        if set.len() as u64 >= self.cfg.ways {
-            let lru = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.stamp)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            evicted_dirty = set[lru].dirty;
-            set.remove(lru);
+        let slot = free.unwrap_or(lru);
+        let mut victim = None;
+        if set[slot].valid && set[slot].dirty {
+            // tag = addr / line / sets and set = (addr / line) % sets,
+            // so the victim's line address reconstructs exactly.
+            victim = Some((set[slot].tag * sets + set_idx as u64) * self.cfg.line_bytes);
         }
-        set.push(Line {
+        set[slot] = Line {
             tag,
+            valid: true,
             dirty: write,
             stamp: self.clock,
-        });
-        if evicted_dirty {
-            Lookup::MissEvictedDirty
-        } else {
-            Lookup::Miss
+        };
+        match victim {
+            Some(addr) => Lookup::MissEvictedDirty(addr),
+            None => Lookup::Miss,
         }
     }
 
     fn flush(&mut self) -> u64 {
         let mut dirty = 0;
-        for set in &mut self.sets {
-            dirty += set.iter().filter(|l| l.dirty).count() as u64;
-            set.clear();
+        for l in self.lines.iter_mut() {
+            dirty += u64::from(l.valid && l.dirty);
+            *l = EMPTY_LINE;
         }
         dirty
     }
@@ -261,16 +316,30 @@ impl Hierarchy {
     }
 
     /// Simulates an access of `len` bytes at `addr` (split across lines as
-    /// the hardware would), returning the cycles charged.
+    /// the hardware would), returning the cycles charged. Zero-length
+    /// accesses (e.g. `memcpy(d, s, 0)`) touch no line and cost nothing.
     pub fn access(&mut self, addr: u64, len: u64, write: bool) -> u64 {
+        if len == 0 {
+            return 0;
+        }
         let line = self.cfg.l1.line_bytes;
+        let pow2 = line.is_power_of_two();
         let mut cycles = 0;
         let mut a = addr;
-        let end = addr.saturating_add(len.max(1));
+        let end = addr.saturating_add(len);
         while a < end {
-            let line_addr = a / line * line;
+            let line_addr = if pow2 {
+                a & !(line - 1)
+            } else {
+                a / line * line
+            };
             cycles += self.access_line(line_addr, write);
-            a = line_addr + line;
+            // The last line of the address space has no successor; stepping
+            // past it would wrap and walk the whole space again.
+            match line_addr.checked_add(line) {
+                Some(next) => a = next,
+                None => break,
+            }
         }
         self.stats.cycles += cycles;
         cycles
@@ -284,22 +353,38 @@ impl Hierarchy {
             }
             miss => {
                 self.stats.l1_misses += 1;
-                if matches!(miss, Lookup::MissEvictedDirty) {
-                    self.stats.writebacks += 1;
-                }
-                match self.l2.access(line_addr, write) {
+                // Service the demand miss first, then drain the victim.
+                let mut cycles = match self.l2.access(line_addr, write) {
                     Lookup::Hit => {
                         self.stats.l2_hits += 1;
                         self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles
                     }
                     l2miss => {
-                        if matches!(l2miss, Lookup::MissEvictedDirty) {
-                            self.stats.writebacks += 1;
-                        }
                         self.stats.l2_misses += 1;
-                        self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles + self.cfg.dram_cycles
+                        let mut c =
+                            self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles + self.cfg.dram_cycles;
+                        if matches!(l2miss, Lookup::MissEvictedDirty(_)) {
+                            // The demand fill displaced a dirty L2 line;
+                            // its data goes back to DRAM.
+                            self.stats.writebacks += 1;
+                            c += self.cfg.dram_cycles;
+                        }
+                        c
+                    }
+                };
+                if let Lookup::MissEvictedDirty(victim) = miss {
+                    // Write the dirty L1 victim back into L2 (allocating
+                    // its line there — no DRAM fetch is needed, the whole
+                    // line travels down). If that install itself displaces
+                    // a dirty L2 line, that one drains to DRAM.
+                    self.stats.writebacks += 1;
+                    cycles += self.cfg.l2_hit_cycles;
+                    if let Lookup::MissEvictedDirty(_) = self.l2.access(victim, true) {
+                        self.stats.writebacks += 1;
+                        cycles += self.cfg.dram_cycles;
                     }
                 }
+                cycles
             }
         }
     }
@@ -396,6 +481,67 @@ mod tests {
     }
 
     #[test]
+    fn dirty_l1_victim_is_written_back_to_l2() {
+        // Line A is written (dirty) and then displaced from its 4-way L1
+        // set while eight younger lines also crowd its 8-way L2 set. The
+        // L1 eviction must *install* A into L2 — refreshing its LRU stamp
+        // — so the revisit hits L2. Dropping the victim (the old bug)
+        // instead lets L2 age A out, sending the revisit to DRAM.
+        let mut h = Hierarchy::default();
+        let cfg = h.config();
+        // Same set in both levels: L2 sets are a multiple of L1 sets.
+        let stride = cfg.l2.line_bytes * cfg.l2.sets();
+        h.access(0, 8, true);
+        for i in 1..=cfg.l2.ways {
+            h.access(i * stride, 1, false);
+        }
+        h.reset_stats();
+        h.access(0, 1, false);
+        assert_eq!(h.stats().l1_misses, 1);
+        assert_eq!(
+            h.stats().l2_hits,
+            1,
+            "dirty L1 victim must be written back into L2, not dropped"
+        );
+        assert_eq!(h.stats().l2_misses, 0);
+    }
+
+    #[test]
+    fn dirty_writeback_charges_cycles() {
+        // Evicting a dirty line must cost more than evicting the same
+        // line clean: the write-back transfer into L2 is charged.
+        let cfg = HierarchyConfig::fpga_softcore();
+        let stride = cfg.l1.line_bytes * cfg.l1.sets();
+        let run = |dirty: bool| {
+            let mut h = Hierarchy::new(cfg);
+            h.access(0, 8, dirty);
+            (1..=cfg.l1.ways)
+                .map(|i| h.access(i * stride, 1, false))
+                .sum::<u64>()
+        };
+        assert_eq!(run(true) - run(false), cfg.l2_hit_cycles);
+    }
+
+    #[test]
+    fn zero_length_access_is_free() {
+        let mut h = Hierarchy::default();
+        assert_eq!(h.access(0x40, 0, true), 0);
+        assert_eq!(h.access(0x40, 0, false), 0);
+        let s = h.stats();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.l1_hits + s.l1_misses, 0);
+    }
+
+    #[test]
+    fn access_at_the_top_of_the_address_space_terminates() {
+        // The last line has no successor address; the walk must stop
+        // rather than wrap to 0 and tour the whole space.
+        let mut h = Hierarchy::default();
+        h.access(u64::MAX - 4, 8, false);
+        assert_eq!(h.stats().l1_misses, 1);
+    }
+
+    #[test]
     fn working_set_larger_than_l1_thrashes() {
         // The mechanism behind the Olden results: a pointer-chasing working
         // set that fits in L1 with 8-byte pointers but not with 32-byte
@@ -455,7 +601,12 @@ mod tests {
                 let c = h.access(addr, len, w);
                 total += c;
                 prop_assert!(c >= lines * cfg.l1_hit_cycles);
-                prop_assert!(c <= lines * (cfg.l1_hit_cycles + cfg.l2_hit_cycles + cfg.dram_cycles));
+                // Worst case per line: full demand miss, plus a dirty L2
+                // victim of the demand fill (DRAM), plus the dirty L1
+                // victim's write-back into L2 whose install displaces
+                // another dirty L2 line (L2 transfer + DRAM).
+                let worst = cfg.l1_hit_cycles + 2 * cfg.l2_hit_cycles + 3 * cfg.dram_cycles;
+                prop_assert!(c <= lines * worst);
             }
             prop_assert_eq!(h.stats().cycles, total);
             prop_assert_eq!(h.stats().l1_hits + h.stats().l1_misses,

@@ -122,7 +122,11 @@ impl CompressedCapability {
         let t = (self.meta >> 38) & MANTISSA_MASK;
         let tag = (self.meta >> 54) & 1 == 1;
         let a = self.address;
-        let a_top = a >> (e + MANTISSA_BITS);
+        // `compress` never emits e > 47, but `decompress` also runs on
+        // arbitrary *untagged* memory bytes (a `CLC` of plain data), whose
+        // exponent field can spell anything up to 63 — the shift must not
+        // overflow the host on garbage encodings.
+        let a_top = a.checked_shr(e + MANTISSA_BITS).unwrap_or(0);
         let a_mid = (a >> e) & MANTISSA_MASK;
         // Window correction: if the pointer's mid bits are below the base
         // mantissa, the base lives in the previous 2^(E+16) window; if the
@@ -241,6 +245,25 @@ impl CompressionStats {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn decompress_of_garbage_bytes_never_panics() {
+        // An untagged Cap128 granule can hold any bit pattern and `CLC`
+        // still decodes it. Exponent fields of 48..=63 (unreachable via
+        // `compress`, trivially reachable via plain data stores) used to
+        // overflow the host's shift in debug builds.
+        for fill in [0x00u8, 0x03, 0x7F, 0xFF] {
+            let bytes = [fill; CAP128_SIZE_BYTES];
+            let c = CompressedCapability::from_bytes(&bytes).decompress_with_tag(false);
+            assert!(!c.tag());
+        }
+        // Directly exercise the maximal exponent field.
+        let z = CompressedCapability {
+            address: u64::MAX,
+            meta: 0x3F << 16,
+        };
+        let _ = z.decompress();
+    }
 
     #[test]
     fn small_aligned_regions_round_trip() {

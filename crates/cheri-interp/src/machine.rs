@@ -21,7 +21,6 @@ use cheri_mem::{Allocator, TaggedMemory};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
-use std::sync::Mutex;
 
 /// Virtual base of the interpreter's address space (above 4 GiB).
 pub const VBASE: u64 = 0x4_0000_0000;
@@ -187,34 +186,12 @@ impl LoweredUnit {
     }
 }
 
-// --- Memory pooling -----------------------------------------------------
-
 // A fresh 8 MiB zeroed TaggedMemory costs more than interpreting a typical
-// idiom case; runs only touch a few 64 KiB chunks of it. Pool memories
-// globally — the fan-out paths retire runs on short-lived scoped threads,
-// so a thread-local pool would never be rehit there — and re-zero just the
-// dirty chunks between runs. When the pool is full the memory is dropped
-// without paying for a reset.
-static MEM_POOL: Mutex<Vec<TaggedMemory>> = Mutex::new(Vec::new());
-const MEM_POOL_CAP: usize = 8;
-
-fn pool_take() -> TaggedMemory {
-    MEM_POOL
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .pop()
-        .unwrap_or_else(|| TaggedMemory::new(PHYS_SIZE))
-}
-
-fn pool_put(mut m: TaggedMemory) {
-    let mut pool = MEM_POOL
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if pool.len() < MEM_POOL_CAP {
-        m.reset(); // proportional to the run's footprint, not the 8 MiB
-        pool.push(m);
-    }
-}
+// idiom case; runs only touch a few 64 KiB chunks of it. `TaggedMemory`
+// itself recycles retired backing stores through a global pool (dirty
+// chunks re-zeroed on reuse), so dropping a `State` and constructing the
+// next one rehits warm memory — including across the fan-out paths'
+// short-lived scoped threads.
 
 // --- The interpreter ----------------------------------------------------
 
@@ -298,7 +275,7 @@ struct Frame {
 
 struct State {
     model: Box<dyn MemoryModel>,
-    mem: Option<TaggedMemory>,
+    mem: TaggedMemory,
     heap: Allocator,
     objects: BTreeMap<u64, u64>,
     shadow: HashMap<u64, ShadowEntry>,
@@ -312,19 +289,11 @@ struct State {
     frames: Vec<Frame>,
 }
 
-impl Drop for State {
-    fn drop(&mut self) {
-        if let Some(m) = self.mem.take() {
-            pool_put(m);
-        }
-    }
-}
-
 impl State {
     fn new(model: Box<dyn MemoryModel>) -> State {
         State {
             model,
-            mem: Some(pool_take()),
+            mem: TaggedMemory::new(PHYS_SIZE),
             heap: Allocator::new(VBASE + HEAP_OFF, HEAP_SIZE),
             objects: BTreeMap::new(),
             shadow: HashMap::new(),
@@ -361,11 +330,11 @@ impl State {
     // --- Memory plumbing ---
 
     fn mem(&self) -> &TaggedMemory {
-        self.mem.as_ref().expect("memory present while running")
+        &self.mem
     }
 
     fn mem_mut(&mut self) -> &mut TaggedMemory {
-        self.mem.as_mut().expect("memory present while running")
+        &mut self.mem
     }
 
     fn phys(&self, vaddr: u64, len: u64, line: u32) -> Result<u64, RtError> {

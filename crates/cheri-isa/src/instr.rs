@@ -250,6 +250,32 @@ impl Op {
         self as u8 >= 0x50
     }
 
+    /// `true` for opcodes that end a basic block: everything that can
+    /// transfer control away from the fall-through path (branches, jumps,
+    /// capability jumps), plus `syscall` (which can halt the machine or
+    /// mutate state the dispatch loop must observe before the next
+    /// instruction) and `break` (which always traps). The emulator's
+    /// superinstruction builder cuts straight-line blocks at these.
+    pub fn ends_block(self) -> bool {
+        matches!(
+            self,
+            Op::Beq
+                | Op::Bne
+                | Op::Blez
+                | Op::Bgtz
+                | Op::Bltz
+                | Op::Bgez
+                | Op::J
+                | Op::Jal
+                | Op::Jr
+                | Op::Jalr
+                | Op::CJr
+                | Op::CJalr
+                | Op::Syscall
+                | Op::Break
+        )
+    }
+
     /// `true` for the six instructions the paper's Table 2 adds in CHERIv3.
     pub fn is_cheriv3_new(self) -> bool {
         matches!(
@@ -506,6 +532,26 @@ mod tests {
         assert!(Op::CJalr.is_capability_op());
         assert!(!Op::Addu.is_capability_op());
         assert!(!Op::Ld.is_capability_op());
+    }
+
+    #[test]
+    fn block_enders_match_operand_shapes() {
+        // The classification must agree with the operand shapes: every
+        // branch/jump shape ends a block, plus syscall and break; nothing
+        // that merely computes or accesses memory does.
+        use OpKind::*;
+        for &op in Op::ALL {
+            let control = matches!(op.kind(), B1 | B2 | J | Jr | Jalr | CJr | CJalr | Sys);
+            let expected = control || op == Op::Break;
+            assert_eq!(op.ends_block(), expected, "{op:?}");
+        }
+        assert!(Op::Beq.ends_block());
+        assert!(Op::CJalr.ends_block());
+        assert!(Op::Syscall.ends_block());
+        assert!(!Op::Addu.ends_block());
+        assert!(!Op::Cld.ends_block());
+        assert!(!Op::Csc.ends_block());
+        assert!(!Op::CSetBounds.ends_block());
     }
 
     #[test]

@@ -6,6 +6,21 @@ use cheri_cap::{
     CompressionStats, CAP128_SIZE_BYTES, CAP_ALIGN, CAP_SIZE_BYTES,
 };
 use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Retired backing stores, reused by [`TaggedMemory::with_format`] so a
+/// hot loop constructing machines (the fig benches build a fresh 16 MiB
+/// memory per run) re-zeroes only the chunks the previous run dirtied
+/// instead of memsetting the whole store. Only memories of at least
+/// [`POOL_MIN_BYTES`] are pooled, bounded by [`POOL_MAX_ENTRIES`] *and*
+/// [`POOL_MAX_BYTES`] of total resident capacity (so one giant or many
+/// odd-sized memories cannot pin unbounded host memory);
+/// [`TaggedMemory::reset`] guarantees a reused store is indistinguishable
+/// from a fresh one.
+static POOL: Mutex<Vec<TaggedMemory>> = Mutex::new(Vec::new());
+const POOL_MIN_BYTES: u64 = 1 << 20;
+const POOL_MAX_ENTRIES: usize = 8;
+const POOL_MAX_BYTES: u64 = 256 << 20;
 
 /// What [`TaggedMemory::write_cap`] does in [`CapFormat::Cap128`] mode with
 /// a capability the low-fat format cannot represent exactly.
@@ -86,6 +101,20 @@ impl TaggedMemory {
     ) -> TaggedMemory {
         let granules = size.div_ceil(CAP_ALIGN);
         let size = granules * CAP_ALIGN;
+        if size >= POOL_MIN_BYTES {
+            let reused = {
+                let mut pool = POOL.lock().expect("memory pool poisoned");
+                pool.iter()
+                    .position(|m| m.size() == size)
+                    .map(|i| pool.swap_remove(i))
+            };
+            if let Some(mut m) = reused {
+                m.reset();
+                m.format = format;
+                m.policy = policy;
+                return m;
+            }
+        }
         let chunks = size.div_ceil(DIRTY_CHUNK);
         TaggedMemory {
             bytes: vec![0; size as usize],
@@ -529,6 +558,32 @@ impl TaggedMemory {
     }
 }
 
+impl Drop for TaggedMemory {
+    /// Retires a large backing store into the reuse pool (dirty bits kept,
+    /// so the next [`TaggedMemory::with_format`] of the same size pays
+    /// only a dirty-chunk re-zero).
+    fn drop(&mut self) {
+        if self.size() < POOL_MIN_BYTES {
+            return;
+        }
+        let Ok(mut pool) = POOL.lock() else { return };
+        let resident: u64 = pool.iter().map(TaggedMemory::size).sum();
+        if pool.len() >= POOL_MAX_ENTRIES || resident + self.size() > POOL_MAX_BYTES {
+            return;
+        }
+        let retired = TaggedMemory {
+            bytes: std::mem::take(&mut self.bytes),
+            tags: std::mem::take(&mut self.tags),
+            dirty: std::mem::take(&mut self.dirty),
+            format: self.format,
+            policy: self.policy,
+            side: std::mem::take(&mut self.side),
+            comp_stats: self.comp_stats,
+        };
+        pool.push(retired);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,6 +696,24 @@ mod tests {
         // The memory is fully reusable afterwards.
         m.write_cap(2 * 64 * 1024, &a_cap()).unwrap();
         assert!(m.read_cap(2 * 64 * 1024).unwrap().tag());
+    }
+
+    #[test]
+    fn pooled_backing_store_comes_back_fresh() {
+        // Large memories are recycled through the drop pool; a reused
+        // store must be indistinguishable from a freshly zeroed one.
+        let size = 2 * POOL_MIN_BYTES;
+        let mut m = TaggedMemory::new(size);
+        m.write_bytes(0x100, b"leftovers").unwrap();
+        m.write_cap(0x40, &a_cap()).unwrap();
+        m.fill(size - 64, 64, 0xEE).unwrap();
+        drop(m);
+        let m = TaggedMemory::new(size);
+        assert_eq!(m.read_bytes(0x100, 16).unwrap(), &[0u8; 16]);
+        assert_eq!(m.read_u8(size - 1).unwrap(), 0);
+        assert_eq!(m.tagged_granules().count(), 0);
+        assert_eq!(m.side_table_len(), 0);
+        assert_eq!(m.compression_stats(), CompressionStats::default());
     }
 
     #[test]
@@ -890,6 +963,69 @@ mod tests {
                 let c = m.read_cap(g).unwrap();
                 prop_assert_eq!(c.base(), a_cap().base());
                 prop_assert_eq!(c.length(), a_cap().length());
+            }
+        }
+
+        /// Overlapping copies behave like `memmove`: bytes, tags and (in
+        /// Cap128 mode) side-table entries end up exactly where a copy
+        /// through a disjoint scratch region would put them, in both copy
+        /// directions, with no tag duplication or loss at the overlap seam.
+        #[test]
+        fn overlapping_memcpy_matches_memmove(
+            fwd in any::<bool>(),        // dst > src (backward-overlapping) or dst < src
+            shift in 1u64..96,           // overlap distance, crosses granule seams
+            len in 64u64..256,
+            cap128 in any::<bool>(),
+            seed_caps in proptest::collection::vec(0u64..6, 1..4),
+        ) {
+            let total = 0x1000u64;
+            let make = |cap128: bool| if cap128 {
+                TaggedMemory::with_format(total, CapFormat::Cap128, UnrepresentablePolicy::SideTable)
+            } else {
+                TaggedMemory::new(total)
+            };
+            let region = 0x400u64;
+            let (src, dst) = if fwd { (region + shift, region) } else { (region, region + shift) };
+            // Seed the source range with data, in-format capabilities and
+            // (Cap128) an unrepresentable escape capability.
+            let mut seeded = make(cap128);
+            for i in 0..(len + shift) {
+                seeded.write_u8(region + i, (i * 7 + 3) as u8).unwrap();
+            }
+            for &g in &seed_caps {
+                let addr = region / CAP_ALIGN * CAP_ALIGN + g * CAP_ALIGN;
+                seeded.write_cap(addr, &a_cap()).unwrap();
+            }
+            if cap128 {
+                let addr = region / CAP_ALIGN * CAP_ALIGN + 6 * CAP_ALIGN;
+                seeded.write_cap(addr, &unrep_cap()).unwrap();
+            }
+            // Reference: the same copy through a disjoint scratch region.
+            let mut reference = seeded.clone();
+            let scratch = 0x900u64;
+            reference.memcpy(scratch, src, len).unwrap();
+            reference.memcpy(dst, scratch, len).unwrap();
+            // Overlapping copy under test.
+            let mut m = seeded;
+            m.memcpy(dst, src, len).unwrap();
+            prop_assert_eq!(
+                m.read_bytes(dst, len).unwrap(),
+                reference.read_bytes(dst, len).unwrap(),
+                "bytes diverge from memmove semantics"
+            );
+            let mut a = dst / CAP_ALIGN * CAP_ALIGN;
+            while a < dst + len {
+                prop_assert_eq!(
+                    m.tag_at(a).unwrap(),
+                    reference.tag_at(a).unwrap(),
+                    "tag at granule {:#x} diverges", a
+                );
+                prop_assert_eq!(
+                    m.read_cap(a).unwrap(),
+                    reference.read_cap(a).unwrap(),
+                    "capability at granule {:#x} diverges", a
+                );
+                a += CAP_ALIGN;
             }
         }
     }

@@ -37,6 +37,7 @@
 
 mod config;
 mod machine;
+mod trace;
 mod trap;
 
 pub use config::{VmConfig, NULL_GUARD_SIZE};

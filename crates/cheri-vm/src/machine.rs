@@ -2,6 +2,7 @@
 
 use crate::config::{VmConfig, NULL_GUARD_SIZE};
 use crate::sys;
+use crate::trace::{Block, FlatOp, TraceCache};
 use crate::trap::{TrapCause, VmTrap};
 use cheri_cache::{CacheStats, Hierarchy};
 #[cfg(test)]
@@ -96,6 +97,10 @@ pub struct Vm {
     run_start: u64,
     run_end: u64,
     fetch_checks: u64,
+    /// Basic-block superinstruction cache: `run` dispatches whole
+    /// straight-line blocks through it, hoisting the per-instruction
+    /// fetch compare and stat bookkeeping to one update per block.
+    trace: TraceCache,
 }
 
 impl Vm {
@@ -130,6 +135,7 @@ impl Vm {
 
         Vm {
             pc: program.entry,
+            trace: TraceCache::new(program.code.len()),
             code: program.code,
             regs,
             caps,
@@ -217,8 +223,11 @@ impl Vm {
         String::from_utf8_lossy(&self.output).into_owned()
     }
 
-    /// Statistics so far.
+    /// Statistics so far. Per-opcode retirement counts are reconstructed
+    /// from the block execution counters plus the single-step residual.
     pub fn stats(&self) -> VmStats {
+        let mut op_counts = self.op_counts.clone();
+        self.trace.add_op_counts(&mut op_counts);
         VmStats {
             instret: self.instret,
             cycles: self.cycles,
@@ -226,36 +235,105 @@ impl Vm {
             fetch_checks: self.fetch_checks,
             compression: (self.cfg.cap_format == CapFormat::Cap128)
                 .then(|| self.mem.compression_stats()),
-            op_counts: self.op_counts.clone(),
+            op_counts,
         }
     }
 
     /// Runs until `exit`, a trap, or `fuel` retired instructions.
+    ///
+    /// The hot loop dispatches whole basic-block superinstructions (see
+    /// [`crate::trace`]): traps, statistics and simulated cycles are
+    /// bit-identical to single-stepping, which remains available as
+    /// [`Vm::step`] and is what the loop falls back to near the fuel
+    /// limit or when the PCC window is narrower than a cached block.
     ///
     /// # Errors
     ///
     /// The trap that stopped execution, including [`TrapCause::OutOfFuel`]
     /// when the budget is exhausted.
     pub fn run(&mut self, fuel: u64) -> Result<ExitStatus, VmTrap> {
-        for _ in 0..fuel {
+        let mut remaining = fuel;
+        loop {
             if let Some(code) = self.halted {
                 return Ok(ExitStatus {
                     code,
                     stats: self.stats(),
                 });
             }
-            self.step()?;
-        }
-        if let Some(code) = self.halted {
-            return Ok(ExitStatus {
-                code,
-                stats: self.stats(),
-            });
+            if remaining == 0 {
+                break;
+            }
+            remaining -= self.run_block(remaining)?;
         }
         Err(VmTrap {
             pc: self.pc,
             cause: TrapCause::OutOfFuel,
         })
+    }
+
+    /// Executes the basic block entered at the current pc (at most
+    /// `remaining` instructions), returning how many retired.
+    fn run_block(&mut self, remaining: u64) -> Result<u64, VmTrap> {
+        let pc = self.pc;
+        // Block entry performs exactly the window validation the
+        // per-instruction fetch would: a full PCC check only when the pc
+        // left the cached window (i.e. after a PCC write or a jump out).
+        if pc < self.run_start || pc >= self.run_end {
+            self.fetch_slow(pc)?;
+        }
+        // Decide from the (memoized, allocation-free) block length alone
+        // whether the block is runnable — building and caching a flattened
+        // block that the fuel budget or a narrowed PCC window would refuse
+        // anyway turns a single-stepped walk over long straight-line code
+        // quadratic.
+        let len = self.trace.block_len_at(pc, &self.code);
+        if len > remaining || pc + len > self.run_end {
+            // Not enough fuel to retire the whole block, or the (narrowed)
+            // PCC window cuts it short: single-step, which re-checks the
+            // window per instruction and traps exactly where the
+            // interpreter would.
+            self.step()?;
+            return Ok(1);
+        }
+        let (id, block) = self.trace.block_at(pc, &self.code);
+        debug_assert_eq!(block.start, pc, "block cache keyed by entry pc");
+        debug_assert_eq!(block.ops.len() as u64, len);
+        // Base cycles are hoisted to one add, *before* the block body so a
+        // terminal `clock()` syscall reads the same cycle count the
+        // per-instruction loop (which charges before executing) shows.
+        self.cycles += block.base_cycles;
+        let mut cur = pc;
+        for op in block.ops.iter() {
+            match self.exec_flat(op, cur) {
+                Ok(next) => cur = next,
+                Err(cause) => {
+                    let executed = (cur - pc) as usize + 1;
+                    self.unwind_block_stats(&block, executed);
+                    // Like `step`, leave the pc at the trapping instruction.
+                    self.pc = cur;
+                    return Err(VmTrap { pc: cur, cause });
+                }
+            }
+        }
+        self.instret += len;
+        self.trace.retire(id);
+        self.regs[0] = 0;
+        self.pc = cur;
+        Ok(len)
+    }
+
+    /// Reconciles the statistics of a block that trapped after `executed`
+    /// instructions: refund the un-retired suffix's hoisted base cycles
+    /// and account the executed prefix into the residual counters, so the
+    /// totals match single-stepping instruction for instruction.
+    fn unwind_block_stats(&mut self, block: &Block, executed: usize) {
+        let mut prefix_cycles = 0;
+        for &op in &block.raw[..executed] {
+            prefix_cycles += op.base_cycles();
+            self.op_counts[op as usize] += 1;
+        }
+        self.cycles -= block.base_cycles - prefix_cycles;
+        self.instret += executed as u64;
     }
 
     /// Executes one instruction.
@@ -269,7 +347,7 @@ impl Vm {
         self.cycles += instr.op.base_cycles();
         self.instret += 1;
         self.op_counts[instr.op as usize] += 1;
-        match self.execute(instr) {
+        match self.execute_at(instr, pc) {
             Ok(next) => {
                 self.pc = next;
                 self.regs[0] = 0;
@@ -373,8 +451,8 @@ impl Vm {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn execute(&mut self, i: Instr) -> Result<u64, TrapCause> {
-        let next = self.pc + 1;
+    fn execute_at(&mut self, i: Instr, pc: u64) -> Result<u64, TrapCause> {
+        let next = pc + 1;
         let (rd, rs, rt) = (i.rd, i.rs, i.rt);
         let imm = i.imm;
         let simm = imm as i64;
@@ -653,6 +731,203 @@ impl Vm {
                 self.caps[rd as usize] = self.pcc;
                 Ok(next)
             }
+        }
+    }
+
+    /// Executes one flattened block micro-op (see [`crate::trace`]).
+    /// Mirrors [`Vm::execute_at`] arm for arm with operand decoding
+    /// already done; the `Other` fallback *is* `execute_at`.
+    #[allow(clippy::too_many_lines)]
+    fn exec_flat(&mut self, op: &FlatOp, pc: u64) -> Result<u64, TrapCause> {
+        let next = pc + 1;
+        macro_rules! alu {
+            ($rd:expr, $v:expr) => {{
+                let v = $v;
+                self.set_reg($rd, v);
+                Ok(next)
+            }};
+        }
+        macro_rules! branch {
+            ($cond:expr, $target:expr) => {
+                Ok(if $cond { $target } else { next })
+            };
+        }
+        match *op {
+            FlatOp::Nop => Ok(next),
+            FlatOp::Add { rd, rs, rt } => {
+                let v = (self.reg(rs) as i64)
+                    .checked_add(self.reg(rt) as i64)
+                    .ok_or(TrapCause::IntegerOverflow)?;
+                alu!(rd, v as u64)
+            }
+            FlatOp::Sub { rd, rs, rt } => {
+                let v = (self.reg(rs) as i64)
+                    .checked_sub(self.reg(rt) as i64)
+                    .ok_or(TrapCause::IntegerOverflow)?;
+                alu!(rd, v as u64)
+            }
+            FlatOp::Addi { rd, rs, imm } => {
+                let v = (self.reg(rs) as i64)
+                    .checked_add(imm)
+                    .ok_or(TrapCause::IntegerOverflow)?;
+                alu!(rd, v as u64)
+            }
+            FlatOp::Addu { rd, rs, rt } => alu!(rd, self.reg(rs).wrapping_add(self.reg(rt))),
+            FlatOp::Subu { rd, rs, rt } => alu!(rd, self.reg(rs).wrapping_sub(self.reg(rt))),
+            FlatOp::And { rd, rs, rt } => alu!(rd, self.reg(rs) & self.reg(rt)),
+            FlatOp::Or { rd, rs, rt } => alu!(rd, self.reg(rs) | self.reg(rt)),
+            FlatOp::Xor { rd, rs, rt } => alu!(rd, self.reg(rs) ^ self.reg(rt)),
+            FlatOp::Nor { rd, rs, rt } => alu!(rd, !(self.reg(rs) | self.reg(rt))),
+            FlatOp::Slt { rd, rs, rt } => {
+                alu!(rd, u64::from((self.reg(rs) as i64) < (self.reg(rt) as i64)))
+            }
+            FlatOp::Sltu { rd, rs, rt } => alu!(rd, u64::from(self.reg(rs) < self.reg(rt))),
+            FlatOp::Sllv { rd, rs, rt } => alu!(rd, self.reg(rs) << (self.reg(rt) & 63)),
+            FlatOp::Srlv { rd, rs, rt } => alu!(rd, self.reg(rs) >> (self.reg(rt) & 63)),
+            FlatOp::Srav { rd, rs, rt } => {
+                alu!(rd, ((self.reg(rs) as i64) >> (self.reg(rt) & 63)) as u64)
+            }
+            FlatOp::Mul { rd, rs, rt } => alu!(rd, self.reg(rs).wrapping_mul(self.reg(rt))),
+            FlatOp::Div { rd, rs, rt } => {
+                let (a, b) = (self.reg(rs) as i64, self.reg(rt) as i64);
+                if b == 0 {
+                    return Err(TrapCause::DivideByZero);
+                }
+                let v = a.checked_div(b).ok_or(TrapCause::IntegerOverflow)?;
+                alu!(rd, v as u64)
+            }
+            FlatOp::Divu { rd, rs, rt } => {
+                let b = self.reg(rt);
+                if b == 0 {
+                    return Err(TrapCause::DivideByZero);
+                }
+                alu!(rd, self.reg(rs) / b)
+            }
+            FlatOp::Rem { rd, rs, rt } => {
+                let (a, b) = (self.reg(rs) as i64, self.reg(rt) as i64);
+                if b == 0 {
+                    return Err(TrapCause::DivideByZero);
+                }
+                let v = a.checked_rem(b).ok_or(TrapCause::IntegerOverflow)?;
+                alu!(rd, v as u64)
+            }
+            FlatOp::Remu { rd, rs, rt } => {
+                let b = self.reg(rt);
+                if b == 0 {
+                    return Err(TrapCause::DivideByZero);
+                }
+                alu!(rd, self.reg(rs) % b)
+            }
+            FlatOp::Addiu { rd, rs, imm } => alu!(rd, self.reg(rs).wrapping_add(imm)),
+            FlatOp::Andi { rd, rs, imm } => alu!(rd, self.reg(rs) & imm),
+            FlatOp::Ori { rd, rs, imm } => alu!(rd, self.reg(rs) | imm),
+            FlatOp::Xori { rd, rs, imm } => alu!(rd, self.reg(rs) ^ imm),
+            FlatOp::Slti { rd, rs, imm } => alu!(rd, u64::from((self.reg(rs) as i64) < imm)),
+            FlatOp::Sltiu { rd, rs, imm } => alu!(rd, u64::from(self.reg(rs) < imm)),
+            FlatOp::Li { rd, v } => alu!(rd, v),
+            FlatOp::Sll { rd, rs, sh } => alu!(rd, self.reg(rs) << sh),
+            FlatOp::Srl { rd, rs, sh } => alu!(rd, self.reg(rs) >> sh),
+            FlatOp::Sra { rd, rs, sh } => alu!(rd, ((self.reg(rs) as i64) >> sh) as u64),
+            FlatOp::Beq { rs, rt, target } => branch!(self.reg(rs) == self.reg(rt), target),
+            FlatOp::Bne { rs, rt, target } => branch!(self.reg(rs) != self.reg(rt), target),
+            FlatOp::Blez { rs, target } => branch!(self.reg(rs) as i64 <= 0, target),
+            FlatOp::Bgtz { rs, target } => branch!(self.reg(rs) as i64 > 0, target),
+            FlatOp::Bltz { rs, target } => branch!((self.reg(rs) as i64) < 0, target),
+            FlatOp::Bgez { rs, target } => branch!(self.reg(rs) as i64 >= 0, target),
+            FlatOp::J { target } => Ok(target),
+            FlatOp::Jal { target } => {
+                self.set_reg(cheri_isa::RA, next);
+                Ok(target)
+            }
+            FlatOp::Jr { rs } => Ok(self.reg(rs)),
+            FlatOp::Jalr { rd, rs } => {
+                // Read the target before writing the link: `jalr r, r`
+                // must jump to the register's old value.
+                let target = self.reg(rs);
+                self.set_reg(rd, next);
+                Ok(target)
+            }
+            FlatOp::Load {
+                rd,
+                base,
+                off,
+                width,
+                signed,
+                via_cap,
+            } => self
+                .exec_load(rd, base, off, width, signed, via_cap)
+                .map(|()| next),
+            FlatOp::Store {
+                rv,
+                base,
+                off,
+                width,
+                via_cap,
+            } => self
+                .exec_store(rv, base, off, width, via_cap)
+                .map(|()| next),
+            FlatOp::Clc { cd, cb, off } => {
+                let addr = self.cap_addr(cb, off, 32, Perms::LOAD | Perms::LOAD_CAP)?;
+                let c = self.mem.read_cap(addr)?;
+                self.charge_mem(addr, self.cfg.cap_format.stored_bytes(), false);
+                self.caps[cd as usize] = c;
+                Ok(next)
+            }
+            FlatOp::Csc { cs, cb, off } => {
+                let addr = self.cap_addr(cb, off, 32, Perms::STORE | Perms::STORE_CAP)?;
+                let c = self.caps[cs as usize];
+                self.mem.write_cap(addr, &c)?;
+                self.charge_mem(addr, self.cfg.cap_format.stored_bytes(), true);
+                Ok(next)
+            }
+            FlatOp::CIncOffset { cd, cb, rt } => {
+                self.caps[cd as usize] = self.caps[cb as usize].inc_offset(self.reg(rt) as i64)?;
+                Ok(next)
+            }
+            FlatOp::CIncOffsetImm { cd, cb, imm } => {
+                self.caps[cd as usize] = self.caps[cb as usize].inc_offset(imm)?;
+                Ok(next)
+            }
+            FlatOp::CSetOffset { cd, cb, rt } => {
+                self.caps[cd as usize] = self.caps[cb as usize].set_offset(self.reg(rt))?;
+                Ok(next)
+            }
+            FlatOp::CSetBounds { cd, cb, rt } => {
+                self.caps[cd as usize] = self.caps[cb as usize].set_bounds(self.reg(rt))?;
+                Ok(next)
+            }
+            FlatOp::CAndPerm { cd, cb, rt } => {
+                self.caps[cd as usize] =
+                    self.caps[cb as usize].and_perms(Perms::from_bits(self.reg(rt) as u16))?;
+                Ok(next)
+            }
+            FlatOp::CClearTag { cd, cb } => {
+                self.caps[cd as usize] = self.caps[cb as usize].clear_tag();
+                Ok(next)
+            }
+            FlatOp::CMove { cd, cb } => {
+                self.caps[cd as usize] = self.caps[cb as usize];
+                Ok(next)
+            }
+            FlatOp::CGetBase { rd, cb } => alu!(rd, self.caps[cb as usize].base()),
+            FlatOp::CGetLen { rd, cb } => alu!(rd, self.caps[cb as usize].length()),
+            FlatOp::CGetOffset { rd, cb } => alu!(rd, self.caps[cb as usize].offset()),
+            FlatOp::CGetPerm { rd, cb } => alu!(rd, self.caps[cb as usize].perms().bits() as u64),
+            FlatOp::CGetTag { rd, cb } => alu!(rd, u64::from(self.caps[cb as usize].tag())),
+            FlatOp::CPtrCmp { rd, cb, ct, sel } => {
+                let r = ptr_cmp(&self.caps[cb as usize], &self.caps[ct as usize]);
+                let v = match sel {
+                    CmpOp::Eq => r.ordering == Ordering::Equal,
+                    CmpOp::Ne => r.ordering != Ordering::Equal,
+                    CmpOp::Lt | CmpOp::Ltu => r.ordering == Ordering::Less,
+                    CmpOp::Le | CmpOp::Leu => r.ordering != Ordering::Greater,
+                };
+                alu!(rd, u64::from(v))
+            }
+            FlatOp::CToPtr { rd, cb, ct } => {
+                alu!(rd, self.caps[cb as usize].to_ptr(&self.caps[ct as usize]))
+            }
+            FlatOp::Other(i) => self.execute_at(i, pc),
         }
     }
 
@@ -1076,7 +1351,9 @@ mod tests {
         let mut vm = Vm::new(p, VmConfig::functional());
         vm.pcc = Capability::new_mem(0x100, 0x100, Perms::code());
         vm.caps[5] = Capability::new_mem(0, 64, Perms::code());
-        let err = vm.execute(Instr::new(Op::CJalr, 6, 5, 0, 0)).unwrap_err();
+        let err = vm
+            .execute_at(Instr::new(Op::CJalr, 6, 5, 0, 0), 0)
+            .unwrap_err();
         assert_eq!(err, TrapCause::PccBounds { pc: 1 });
     }
 
@@ -1104,7 +1381,9 @@ mod tests {
         vm.caps[5] = Capability::new_mem(0, 64, Perms::code())
             .set_offset(12)
             .unwrap();
-        let err = vm.execute(Instr::new(Op::CJalr, 6, 5, 0, 0)).unwrap_err();
+        let err = vm
+            .execute_at(Instr::new(Op::CJalr, 6, 5, 0, 0), 0)
+            .unwrap_err();
         assert_eq!(err, TrapCause::PccMisaligned { addr: 12 });
     }
 
@@ -1369,6 +1648,179 @@ mod tests {
         assert_eq!(s.stats.op_count(Op::Li), 2);
         assert!(s.stats.cycles >= 3);
         assert_eq!(s.stats.capability_instructions(), 0);
+    }
+
+    /// Everything observable about a finished machine, for comparing the
+    /// block dispatcher against single-stepping.
+    fn fingerprint(vm: &Vm) -> (u64, u64, u64, Vec<u64>, Vec<u64>, String) {
+        let s = vm.stats();
+        let ops: Vec<u64> = Op::ALL.iter().map(|&o| s.op_count(o)).collect();
+        let regs: Vec<u64> = (0..32).map(|r| vm.reg(r)).collect();
+        (
+            s.instret,
+            s.cycles,
+            s.fetch_checks,
+            ops,
+            regs,
+            vm.output_string(),
+        )
+    }
+
+    /// Replicates the pre-superinstruction `run` loop exactly.
+    fn run_by_stepping(vm: &mut Vm, fuel: u64) -> Result<i64, VmTrap> {
+        for _ in 0..fuel {
+            if let Some(code) = vm.halted {
+                return Ok(code);
+            }
+            vm.step()?;
+        }
+        if let Some(code) = vm.halted {
+            return Ok(code);
+        }
+        Err(VmTrap {
+            pc: vm.pc,
+            cause: TrapCause::OutOfFuel,
+        })
+    }
+
+    /// The tentpole warranty: block dispatch retires the same
+    /// instructions, charges the same cycles, takes the same traps and
+    /// counts the same per-op statistics as the per-instruction
+    /// interpreter — including fuel exhaustion mid-block and traps
+    /// mid-block, with and without the cache model.
+    #[test]
+    fn block_dispatch_is_bit_identical_to_single_stepping() {
+        let sum_loop = vec![
+            Instr::li(8, 0),
+            Instr::li(9, 1),
+            Instr::li(10, 1000),
+            Instr::r3(Op::Addu, 8, 8, 9),
+            Instr::i2(Op::Addiu, 9, 9, 1),
+            Instr::r3(Op::Slt, 11, 10, 9),
+            Instr::new(Op::Beq, 0, 11, 0, 3),
+            Instr::r3(Op::Addu, A0, 8, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let call_return = vec![
+            Instr::new(Op::CGetPcc, 5, 0, 0, 0),
+            Instr::li(8, 5 * 8),
+            Instr::cmod(Op::CSetOffset, 5, 5, 8),
+            Instr::new(Op::CJalr, 6, 5, 0, 0),
+            Instr::new(Op::J, 0, 0, 0, 7),
+            Instr::li(A0, 77),
+            Instr::new(Op::CJr, 0, 6, 0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let trap_mid_block = vec![
+            Instr::li(8, i32::MAX),
+            Instr::i2(Op::Sll, 8, 8, 32),
+            Instr::i2(Op::Addiu, 9, 9, 3),
+            Instr::r3(Op::Add, 8, 8, 8), // overflows
+            Instr::syscall(sys::EXIT),
+        ];
+        let memory_and_caps = vec![
+            Instr::li(A0, 64),
+            Instr::syscall(sys::MALLOC),
+            Instr::li(9, 4242),
+            Instr::mem(Op::Csd, 9, cabi::CV0, 16),
+            Instr::mem(Op::Cld, 10, cabi::CV0, 16),
+            Instr::mem(Op::Csc, cabi::CV0, cabi::CSP, -64),
+            Instr::mem(Op::Clc, 5, cabi::CSP, -64),
+            Instr::li(8, 0x8000),
+            Instr::mem(Op::Sd, 10, 8, 0),
+            Instr::mem(Op::Ld, 11, 8, 0),
+            Instr::r3(Op::Addu, A0, 11, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let div_by_zero = vec![
+            Instr::li(8, 1),
+            Instr::li(9, 0),
+            Instr::r3(Op::Div, 8, 8, 9),
+            Instr::syscall(sys::EXIT),
+        ];
+        let spin = vec![Instr::i2(Op::Addiu, 8, 8, 1), Instr::new(Op::J, 0, 0, 0, 0)];
+        let straight = {
+            let mut v = vec![Instr::i2(Op::Addiu, 8, 8, 1); 100];
+            v.push(Instr::syscall(sys::EXIT));
+            v
+        };
+        let cases: Vec<(&str, Vec<Instr>, VmConfig, u64)> = vec![
+            (
+                "sum_loop",
+                sum_loop.clone(),
+                VmConfig::functional(),
+                100_000,
+            ),
+            ("sum_loop_fpga", sum_loop, VmConfig::fpga(), 100_000),
+            ("call_return", call_return, VmConfig::functional(), 100_000),
+            (
+                "trap_mid_block",
+                trap_mid_block.clone(),
+                VmConfig::functional(),
+                100_000,
+            ),
+            (
+                "trap_mid_block_fpga",
+                trap_mid_block,
+                VmConfig::fpga(),
+                100_000,
+            ),
+            (
+                "memory_and_caps",
+                memory_and_caps.clone(),
+                VmConfig::fpga(),
+                100_000,
+            ),
+            (
+                "memory_and_caps_128",
+                memory_and_caps,
+                VmConfig::fpga().with_cap_format(CapFormat::Cap128),
+                100_000,
+            ),
+            ("div_by_zero", div_by_zero, VmConfig::functional(), 100_000),
+            ("fuel_exhaustion", spin.clone(), VmConfig::functional(), 17),
+            ("fuel_mid_block", straight, VmConfig::functional(), 50),
+            ("fuel_zero", spin, VmConfig::functional(), 0),
+        ];
+        for (name, code, cfg, fuel) in cases {
+            let mut p = Program::new();
+            p.code = code;
+            let mut blocked = Vm::new(p.clone(), cfg);
+            let ra = blocked.run(fuel).map(|s| s.code);
+            let mut stepped = Vm::new(p, cfg);
+            let rb = run_by_stepping(&mut stepped, fuel);
+            assert_eq!(ra, rb, "{name}: outcome diverged");
+            assert_eq!(blocked.pc, stepped.pc, "{name}: final pc diverged");
+            assert_eq!(
+                fingerprint(&blocked),
+                fingerprint(&stepped),
+                "{name}: stats diverged"
+            );
+            if let Some(h) = &blocked.cache {
+                assert_eq!(
+                    h.stats(),
+                    stepped.cache.as_ref().unwrap().stats(),
+                    "{name}: cache stats diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_memcpy_charges_no_cache_access() {
+        // memcpy(dst, src, 0) must not touch the cache model at all.
+        let code = vec![
+            Instr::li(cheri_isa::A0, 0x8000),
+            Instr::li(cheri_isa::A1, 0x9000),
+            Instr::li(cheri_isa::A2, 0),
+            Instr::syscall(sys::MEMCPY),
+            Instr::li(cheri_isa::A0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog_with(code, VmConfig::fpga()).unwrap();
+        let cache = s.stats.cache.expect("fpga config has a cache model");
+        assert_eq!(cache.l1_hits + cache.l1_misses, 0);
+        assert_eq!(cache.cycles, 0);
     }
 
     #[test]

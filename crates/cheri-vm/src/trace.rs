@@ -1,0 +1,795 @@
+//! Basic-block superinstructions: the VM's block-level dispatch layer.
+//!
+//! At first execution of an entry pc the predecoded `Vec<Instr>` is grouped
+//! into a straight-line **block** — the maximal run of instructions ending
+//! at the first control transfer ([`Op::ends_block`]) or at the end of the
+//! code image. Each instruction is *flattened* into a [`FlatOp`]: register
+//! indices and immediates pre-resolved (sign/zero extension done once,
+//! shift amounts masked, load/store width/signedness/addressing unified,
+//! the `CPtrCmp` selector decoded), so the hot loop in
+//! `machine::Vm::run_block` executes the whole block without per-step
+//! fetch-window compares or per-op statistics.
+//!
+//! Statistics are hoisted to per-block counters: a completed block bumps
+//! one execution counter and adds one precomputed base-cycle sum; the
+//! per-opcode retirement counts that `VmStats` reports are reconstructed
+//! from each block's opcode histogram times its execution count (plus the
+//! residual counts accumulated by single-stepping and partial blocks).
+//!
+//! Blocks hold only instruction *indices* and immutable code, so a PCC
+//! write never makes a cached block wrong — it makes it *unreachable*
+//! until revalidated. Validation rides the machine's cached fetch window:
+//! writing the PCC empties the window, and the next block entry performs
+//! the same one full `set_offset` + `check_access` the per-instruction
+//! interpreter would, keeping `VmStats::fetch_checks` identical. A block
+//! that no longer fits the (narrowed) window is not executed as a block;
+//! the machine falls back to single-stepping, which traps at exactly the
+//! pc the interpreter would.
+
+use cheri_isa::{CmpOp, Instr, Op};
+use std::sync::Arc;
+
+/// One flattened micro-op. Field meanings mirror `machine::Vm::execute_at`
+/// arm for arm; the flattening only moves operand decoding to build time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FlatOp {
+    Nop,
+    // Trapping signed arithmetic (§3.1.1).
+    Add {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Sub {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Addi {
+        rd: u8,
+        rs: u8,
+        imm: i64,
+    },
+    // Wrapping / logical ALU.
+    Addu {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Subu {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    And {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Or {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Xor {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Nor {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Slt {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Sltu {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Sllv {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Srlv {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Srav {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Mul {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Div {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Divu {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Rem {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Remu {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    // Immediate ALU, extension pre-applied.
+    Addiu {
+        rd: u8,
+        rs: u8,
+        imm: u64,
+    },
+    Andi {
+        rd: u8,
+        rs: u8,
+        imm: u64,
+    },
+    Ori {
+        rd: u8,
+        rs: u8,
+        imm: u64,
+    },
+    Xori {
+        rd: u8,
+        rs: u8,
+        imm: u64,
+    },
+    Slti {
+        rd: u8,
+        rs: u8,
+        imm: i64,
+    },
+    Sltiu {
+        rd: u8,
+        rs: u8,
+        imm: u64,
+    },
+    /// `li` and `lui` collapse to a pre-computed constant load.
+    Li {
+        rd: u8,
+        v: u64,
+    },
+    Sll {
+        rd: u8,
+        rs: u8,
+        sh: u32,
+    },
+    Srl {
+        rd: u8,
+        rs: u8,
+        sh: u32,
+    },
+    Sra {
+        rd: u8,
+        rs: u8,
+        sh: u32,
+    },
+    // Branches and jumps: absolute targets pre-cast to instruction
+    // indices. These are always a block's terminal op.
+    Beq {
+        rs: u8,
+        rt: u8,
+        target: u64,
+    },
+    Bne {
+        rs: u8,
+        rt: u8,
+        target: u64,
+    },
+    Blez {
+        rs: u8,
+        target: u64,
+    },
+    Bgtz {
+        rs: u8,
+        target: u64,
+    },
+    Bltz {
+        rs: u8,
+        target: u64,
+    },
+    Bgez {
+        rs: u8,
+        target: u64,
+    },
+    J {
+        target: u64,
+    },
+    Jal {
+        target: u64,
+    },
+    Jr {
+        rs: u8,
+    },
+    Jalr {
+        rd: u8,
+        rs: u8,
+    },
+    /// All eleven legacy and seven capability-relative scalar loads,
+    /// unified: width, signedness and addressing mode pre-resolved.
+    Load {
+        rd: u8,
+        base: u8,
+        off: i32,
+        width: u8,
+        signed: bool,
+        via_cap: bool,
+    },
+    /// All legacy and capability-relative scalar stores, unified.
+    Store {
+        rv: u8,
+        base: u8,
+        off: i32,
+        width: u8,
+        via_cap: bool,
+    },
+    Clc {
+        cd: u8,
+        cb: u8,
+        off: i32,
+    },
+    Csc {
+        cs: u8,
+        cb: u8,
+        off: i32,
+    },
+    // The capability-manipulation core the compiled ABIs lean on.
+    CIncOffset {
+        cd: u8,
+        cb: u8,
+        rt: u8,
+    },
+    CIncOffsetImm {
+        cd: u8,
+        cb: u8,
+        imm: i64,
+    },
+    CSetOffset {
+        cd: u8,
+        cb: u8,
+        rt: u8,
+    },
+    CSetBounds {
+        cd: u8,
+        cb: u8,
+        rt: u8,
+    },
+    CAndPerm {
+        cd: u8,
+        cb: u8,
+        rt: u8,
+    },
+    CClearTag {
+        cd: u8,
+        cb: u8,
+    },
+    CMove {
+        cd: u8,
+        cb: u8,
+    },
+    CGetBase {
+        rd: u8,
+        cb: u8,
+    },
+    CGetLen {
+        rd: u8,
+        cb: u8,
+    },
+    CGetOffset {
+        rd: u8,
+        cb: u8,
+    },
+    CGetPerm {
+        rd: u8,
+        cb: u8,
+    },
+    CGetTag {
+        rd: u8,
+        cb: u8,
+    },
+    /// Pointer comparison with the selector decoded at build time.
+    CPtrCmp {
+        rd: u8,
+        cb: u8,
+        ct: u8,
+        sel: CmpOp,
+    },
+    CToPtr {
+        rd: u8,
+        cb: u8,
+        ct: u8,
+    },
+    /// The long tail (syscall, break, sealing, capability jumps, …)
+    /// falls back to the interpreter's `execute_at`.
+    Other(Instr),
+}
+
+/// Flattens one predecoded instruction. The extensions/masks here must
+/// match `execute_at` exactly — the differential and bit-identity tests
+/// hold the two dispatchers to the same answers.
+fn flatten(i: Instr) -> FlatOp {
+    let (rd, rs, rt, imm) = (i.rd, i.rs, i.rt, i.imm);
+    let simm = imm as i64;
+    match i.op {
+        Op::Nop => FlatOp::Nop,
+        Op::Add => FlatOp::Add { rd, rs, rt },
+        Op::Sub => FlatOp::Sub { rd, rs, rt },
+        Op::Addi => FlatOp::Addi { rd, rs, imm: simm },
+        Op::Addu => FlatOp::Addu { rd, rs, rt },
+        Op::Subu => FlatOp::Subu { rd, rs, rt },
+        Op::And => FlatOp::And { rd, rs, rt },
+        Op::Or => FlatOp::Or { rd, rs, rt },
+        Op::Xor => FlatOp::Xor { rd, rs, rt },
+        Op::Nor => FlatOp::Nor { rd, rs, rt },
+        Op::Slt => FlatOp::Slt { rd, rs, rt },
+        Op::Sltu => FlatOp::Sltu { rd, rs, rt },
+        Op::Sllv => FlatOp::Sllv { rd, rs, rt },
+        Op::Srlv => FlatOp::Srlv { rd, rs, rt },
+        Op::Srav => FlatOp::Srav { rd, rs, rt },
+        Op::Mul => FlatOp::Mul { rd, rs, rt },
+        Op::Div => FlatOp::Div { rd, rs, rt },
+        Op::Divu => FlatOp::Divu { rd, rs, rt },
+        Op::Rem => FlatOp::Rem { rd, rs, rt },
+        Op::Remu => FlatOp::Remu { rd, rs, rt },
+        Op::Addiu => FlatOp::Addiu {
+            rd,
+            rs,
+            imm: simm as u64,
+        },
+        Op::Andi => FlatOp::Andi {
+            rd,
+            rs,
+            imm: imm as u32 as u64,
+        },
+        Op::Ori => FlatOp::Ori {
+            rd,
+            rs,
+            imm: imm as u32 as u64,
+        },
+        Op::Xori => FlatOp::Xori {
+            rd,
+            rs,
+            imm: imm as u32 as u64,
+        },
+        Op::Slti => FlatOp::Slti { rd, rs, imm: simm },
+        Op::Sltiu => FlatOp::Sltiu {
+            rd,
+            rs,
+            imm: simm as u64,
+        },
+        Op::Lui => FlatOp::Li {
+            rd,
+            v: (simm << 16) as u64,
+        },
+        Op::Li => FlatOp::Li { rd, v: simm as u64 },
+        Op::Sll => FlatOp::Sll {
+            rd,
+            rs,
+            sh: imm as u32 & 63,
+        },
+        Op::Srl => FlatOp::Srl {
+            rd,
+            rs,
+            sh: imm as u32 & 63,
+        },
+        Op::Sra => FlatOp::Sra {
+            rd,
+            rs,
+            sh: imm as u32 & 63,
+        },
+        Op::Beq => FlatOp::Beq {
+            rs,
+            rt,
+            target: imm as u64,
+        },
+        Op::Bne => FlatOp::Bne {
+            rs,
+            rt,
+            target: imm as u64,
+        },
+        Op::Blez => FlatOp::Blez {
+            rs,
+            target: imm as u64,
+        },
+        Op::Bgtz => FlatOp::Bgtz {
+            rs,
+            target: imm as u64,
+        },
+        Op::Bltz => FlatOp::Bltz {
+            rs,
+            target: imm as u64,
+        },
+        Op::Bgez => FlatOp::Bgez {
+            rs,
+            target: imm as u64,
+        },
+        Op::J => FlatOp::J { target: imm as u64 },
+        Op::Jal => FlatOp::Jal { target: imm as u64 },
+        Op::Jr => FlatOp::Jr { rs },
+        Op::Jalr => FlatOp::Jalr { rd, rs },
+        Op::Lb => load(i, 1, true, false),
+        Op::Lbu => load(i, 1, false, false),
+        Op::Lh => load(i, 2, true, false),
+        Op::Lhu => load(i, 2, false, false),
+        Op::Lw => load(i, 4, true, false),
+        Op::Lwu => load(i, 4, false, false),
+        Op::Ld => load(i, 8, false, false),
+        Op::Sb => store(i, 1, false),
+        Op::Sh => store(i, 2, false),
+        Op::Sw => store(i, 4, false),
+        Op::Sd => store(i, 8, false),
+        Op::Clb => load(i, 1, true, true),
+        Op::Clbu => load(i, 1, false, true),
+        Op::Clh => load(i, 2, true, true),
+        Op::Clhu => load(i, 2, false, true),
+        Op::Clw => load(i, 4, true, true),
+        Op::Clwu => load(i, 4, false, true),
+        Op::Cld => load(i, 8, false, true),
+        Op::Csb => store(i, 1, true),
+        Op::Csh => store(i, 2, true),
+        Op::Csw => store(i, 4, true),
+        Op::Csd => store(i, 8, true),
+        Op::Clc => FlatOp::Clc {
+            cd: rd,
+            cb: rs,
+            off: imm,
+        },
+        Op::Csc => FlatOp::Csc {
+            cs: rd,
+            cb: rs,
+            off: imm,
+        },
+        Op::CIncOffset => FlatOp::CIncOffset { cd: rd, cb: rs, rt },
+        Op::CIncOffsetImm => FlatOp::CIncOffsetImm {
+            cd: rd,
+            cb: rs,
+            imm: simm,
+        },
+        Op::CSetOffset => FlatOp::CSetOffset { cd: rd, cb: rs, rt },
+        Op::CSetBounds => FlatOp::CSetBounds { cd: rd, cb: rs, rt },
+        Op::CAndPerm => FlatOp::CAndPerm { cd: rd, cb: rs, rt },
+        Op::CClearTag => FlatOp::CClearTag { cd: rd, cb: rs },
+        Op::CMove => FlatOp::CMove { cd: rd, cb: rs },
+        Op::CGetBase => FlatOp::CGetBase { rd, cb: rs },
+        Op::CGetLen => FlatOp::CGetLen { rd, cb: rs },
+        Op::CGetOffset => FlatOp::CGetOffset { rd, cb: rs },
+        Op::CGetPerm => FlatOp::CGetPerm { rd, cb: rs },
+        Op::CGetTag => FlatOp::CGetTag { rd, cb: rs },
+        Op::CPtrCmp => FlatOp::CPtrCmp {
+            rd,
+            cb: rs,
+            ct: rt,
+            sel: CmpOp::from_u8(imm as u8).expect("validated at decode"),
+        },
+        Op::CToPtr => FlatOp::CToPtr { rd, cb: rs, ct: rt },
+        Op::Syscall
+        | Op::Break
+        | Op::CIncBase
+        | Op::CSetLen
+        | Op::CFromPtr
+        | Op::CSeal
+        | Op::CUnseal
+        | Op::CJr
+        | Op::CJalr
+        | Op::CGetPcc => FlatOp::Other(i),
+    }
+}
+
+fn load(i: Instr, width: u8, signed: bool, via_cap: bool) -> FlatOp {
+    FlatOp::Load {
+        rd: i.rd,
+        base: i.rs,
+        off: i.imm,
+        width,
+        signed,
+        via_cap,
+    }
+}
+
+fn store(i: Instr, width: u8, via_cap: bool) -> FlatOp {
+    FlatOp::Store {
+        rv: i.rd,
+        base: i.rs,
+        off: i.imm,
+        width,
+        via_cap,
+    }
+}
+
+/// One straight-line block: flattened ops plus everything needed to hoist
+/// (and, on a mid-block trap, to reconstruct) per-instruction statistics.
+#[derive(Debug)]
+pub(crate) struct Block {
+    /// Entry pc (instruction index).
+    pub start: u64,
+    /// The flattened instructions, terminal included.
+    pub ops: Box<[FlatOp]>,
+    /// The raw opcodes, for partial-execution stat accounting.
+    pub raw: Box<[Op]>,
+    /// Σ `base_cycles` over the whole block, charged in one add.
+    pub base_cycles: u64,
+    /// Opcode histogram; `VmStats` reconstructs per-op retirement counts
+    /// as `Σ hist × execs` plus the single-step residual.
+    pub hist: Box<[(Op, u32)]>,
+}
+
+/// One past the last instruction of the block entered at `pc`: the first
+/// block-ender inclusive, clipped to the end of the code image. The single
+/// source of truth for block extent — `Block::build` and the dispatch
+/// loop's length precheck must never disagree.
+fn block_end(pc: u64, code: &[Instr]) -> usize {
+    let mut end = pc as usize;
+    while end < code.len() {
+        let ends = code[end].op.ends_block();
+        end += 1;
+        if ends {
+            break;
+        }
+    }
+    end
+}
+
+impl Block {
+    /// Builds the block entered at `pc`: instructions up to and including
+    /// the first block-ender, clipped to the end of the code image.
+    fn build(pc: u64, code: &[Instr]) -> Block {
+        let start = pc as usize;
+        let end = block_end(pc, code);
+        let raw: Box<[Op]> = code[start..end].iter().map(|i| i.op).collect();
+        let ops: Box<[FlatOp]> = code[start..end].iter().map(|&i| flatten(i)).collect();
+        let base_cycles = raw.iter().map(|o| o.base_cycles()).sum();
+        let mut hist: Vec<(Op, u32)> = Vec::new();
+        for &op in raw.iter() {
+            match hist.iter_mut().find(|(o, _)| *o == op) {
+                Some((_, n)) => *n += 1,
+                None => hist.push((op, 1)),
+            }
+        }
+        Block {
+            start: pc,
+            ops,
+            raw,
+            base_cycles,
+            hist: hist.into_boxed_slice(),
+        }
+    }
+}
+
+/// The per-machine block cache: blocks are built lazily, keyed by entry
+/// pc, shared immutably (so cloning a [`crate::Vm`] shares them), with a
+/// per-block completed-execution counter for the stat hoisting.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TraceCache {
+    /// `index[pc]` is the block built at entry `pc`, or `u32::MAX`.
+    index: Vec<u32>,
+    blocks: Vec<Arc<Block>>,
+    /// Completed executions per block (partial executions account their
+    /// prefix into the machine's residual counters instead).
+    execs: Vec<u64>,
+    /// Memo of the last terminal scan: every entry pc in
+    /// `[scan_start, scan_end)` has its block end exactly at `scan_end`
+    /// (no block-ender in between). Lets the dispatch loop ask for block
+    /// *lengths* without building anything — one O(block) scan serves a
+    /// whole single-stepped walk across a long straight-line region.
+    scan_start: u64,
+    scan_end: u64,
+}
+
+impl TraceCache {
+    pub fn new(code_len: usize) -> TraceCache {
+        TraceCache {
+            index: vec![u32::MAX; code_len],
+            blocks: Vec::new(),
+            execs: Vec::new(),
+            scan_start: 0,
+            scan_end: 0,
+        }
+    }
+
+    /// Length of the block entered at `pc`, without building it: cached
+    /// block if one exists, memoized terminal scan otherwise.
+    pub fn block_len_at(&mut self, pc: u64, code: &[Instr]) -> u64 {
+        let id = self.index[pc as usize];
+        if id != u32::MAX {
+            return self.blocks[id as usize].ops.len() as u64;
+        }
+        if pc >= self.scan_start && pc < self.scan_end {
+            return self.scan_end - pc;
+        }
+        let end = block_end(pc, code);
+        self.scan_start = pc;
+        self.scan_end = end as u64;
+        end as u64 - pc
+    }
+
+    /// The block entered at `pc`, building (and caching) it on first use.
+    pub fn block_at(&mut self, pc: u64, code: &[Instr]) -> (usize, Arc<Block>) {
+        let slot = pc as usize;
+        let id = self.index[slot];
+        if id != u32::MAX {
+            return (id as usize, self.blocks[id as usize].clone());
+        }
+        let block = Arc::new(Block::build(pc, code));
+        let id = self.blocks.len();
+        self.index[slot] = id as u32;
+        self.blocks.push(block.clone());
+        self.execs.push(0);
+        (id, block)
+    }
+
+    /// Records one completed execution of block `id`.
+    pub fn retire(&mut self, id: usize) {
+        self.execs[id] += 1;
+    }
+
+    /// Folds every block's opcode histogram, weighted by its completed
+    /// executions, into `counts`.
+    pub fn add_op_counts(&self, counts: &mut [u64]) {
+        for (block, &n) in self.blocks.iter().zip(&self.execs) {
+            if n == 0 {
+                continue;
+            }
+            for &(op, c) in block.hist.iter() {
+                counts[op as usize] += u64::from(c) * n;
+            }
+        }
+    }
+
+    /// Blocks built so far (test introspection).
+    #[cfg(test)]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code() -> Vec<Instr> {
+        vec![
+            Instr::li(8, 0),                 // 0
+            Instr::li(9, 1),                 // 1
+            Instr::r3(Op::Addu, 8, 8, 9),    // 2
+            Instr::new(Op::Beq, 0, 8, 0, 2), // 3: terminal
+            Instr::li(4, 0),                 // 4
+            Instr::syscall(0),               // 5: terminal
+        ]
+    }
+
+    #[test]
+    fn blocks_end_at_control_transfers() {
+        let code = code();
+        let mut t = TraceCache::new(code.len());
+        let (_, b) = t.block_at(0, &code);
+        assert_eq!(b.start, 0);
+        assert_eq!(b.ops.len(), 4, "block runs through the beq inclusive");
+        assert_eq!(b.raw.last(), Some(&Op::Beq));
+        let (_, b2) = t.block_at(4, &code);
+        assert_eq!(b2.ops.len(), 2);
+        assert_eq!(b2.raw.last(), Some(&Op::Syscall));
+        assert_eq!(t.block_count(), 2);
+    }
+
+    #[test]
+    fn mid_block_entry_builds_an_overlapping_block() {
+        let code = code();
+        let mut t = TraceCache::new(code.len());
+        t.block_at(0, &code);
+        let (_, b) = t.block_at(2, &code);
+        assert_eq!(b.start, 2);
+        assert_eq!(b.ops.len(), 2);
+        assert_eq!(t.block_count(), 2);
+        // Re-entry reuses the cached block.
+        let before = t.block_count();
+        t.block_at(2, &code);
+        assert_eq!(t.block_count(), before);
+    }
+
+    #[test]
+    fn block_without_terminal_clips_at_code_end() {
+        let code = vec![Instr::nop(), Instr::nop()];
+        let mut t = TraceCache::new(code.len());
+        let (_, b) = t.block_at(0, &code);
+        assert_eq!(b.ops.len(), 2);
+    }
+
+    #[test]
+    fn block_len_at_agrees_with_built_blocks_and_builds_nothing() {
+        // A long straight-line region: asking for lengths at every pc must
+        // not build (or cache) any block, and each answer must match what
+        // Block::build would produce. Sequential queries ride one memoized
+        // scan.
+        let mut code = vec![Instr::i2(Op::Addiu, 8, 8, 1); 64];
+        code.push(Instr::syscall(0)); // 64: terminal
+        code.push(Instr::li(4, 0)); // 65
+        code.push(Instr::new(Op::J, 0, 0, 0, 0)); // 66: terminal
+        let mut t = TraceCache::new(code.len());
+        for pc in 0..code.len() as u64 {
+            let len = t.block_len_at(pc, &code);
+            let expect = {
+                let mut end = pc as usize;
+                while end < code.len() {
+                    let ends = code[end].op.ends_block();
+                    end += 1;
+                    if ends {
+                        break;
+                    }
+                }
+                end as u64 - pc
+            };
+            assert_eq!(len, expect, "length at pc {pc}");
+        }
+        assert_eq!(t.block_count(), 0, "length queries must not build blocks");
+        // Once a block is built, its cached length is served from it.
+        let (_, b) = t.block_at(3, &code);
+        assert_eq!(t.block_len_at(3, &code), b.ops.len() as u64);
+    }
+
+    #[test]
+    fn histogram_and_cycles_sum_the_block() {
+        let code = code();
+        let mut t = TraceCache::new(code.len());
+        let (id, b) = t.block_at(0, &code);
+        assert_eq!(
+            b.base_cycles,
+            b.raw.iter().map(|o| o.base_cycles()).sum::<u64>()
+        );
+        let li = b.hist.iter().find(|(o, _)| *o == Op::Li).unwrap().1;
+        assert_eq!(li, 2);
+        t.retire(id);
+        t.retire(id);
+        let mut counts = vec![0u64; 256];
+        t.add_op_counts(&mut counts);
+        assert_eq!(counts[Op::Li as usize], 4);
+        assert_eq!(counts[Op::Beq as usize], 2);
+    }
+
+    #[test]
+    fn flatten_preresolves_immediates() {
+        assert!(matches!(
+            flatten(Instr::new(Op::Lui, 4, 0, 0, -1)),
+            FlatOp::Li { rd: 4, v } if v == (-65536i64) as u64
+        ));
+        assert!(matches!(
+            flatten(Instr::i2(Op::Sll, 4, 5, 200)),
+            FlatOp::Sll { sh: 8, .. }
+        ));
+        assert!(matches!(
+            flatten(Instr::c_ptr_cmp(2, 3, 4, CmpOp::Ltu)),
+            FlatOp::CPtrCmp {
+                sel: CmpOp::Ltu,
+                ..
+            }
+        ));
+        assert!(matches!(
+            flatten(Instr::mem(Op::Clhu, 9, 3, -2)),
+            FlatOp::Load {
+                width: 2,
+                signed: false,
+                via_cap: true,
+                off: -2,
+                ..
+            }
+        ));
+        assert!(matches!(flatten(Instr::syscall(3)), FlatOp::Other(_)));
+    }
+}

@@ -125,6 +125,50 @@ fn workloads_identical_across_formats() {
     }
 }
 
+/// The compiled pipeline through the superinstruction dispatcher agrees
+/// with single-stepping, instruction for instruction, on both capability
+/// formats: same exit/trap, output, instret, cycles and per-op counts.
+#[test]
+fn block_dispatch_matches_stepping_on_compiled_programs() {
+    use cheri::isa::Op;
+    for (name, src) in PROGRAMS {
+        for format in [CapFormat::Cap256, CapFormat::Cap128] {
+            let cfg = VmConfig::fpga().with_cap_format(format);
+            let prog = compile(src, Abi::CheriV3).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut blocked = Vm::new(prog.clone(), cfg);
+            let ra = blocked.run(50_000_000).map(|s| s.code);
+            let mut stepped = Vm::new(prog, cfg);
+            let rb = loop {
+                // `run(0)` returns Ok exactly when the machine has halted.
+                if let Ok(status) = stepped.run(0) {
+                    break Ok(status.code);
+                }
+                match stepped.step() {
+                    Ok(()) => {}
+                    Err(t) => break Err(t),
+                }
+            };
+            assert_eq!(ra, rb, "{name}/{format:?}: outcome diverged");
+            let (a, b) = (blocked.stats(), stepped.stats());
+            assert_eq!(a.instret, b.instret, "{name}/{format:?}");
+            assert_eq!(a.cycles, b.cycles, "{name}/{format:?}");
+            assert_eq!(a.fetch_checks, b.fetch_checks, "{name}/{format:?}");
+            for &op in Op::ALL {
+                assert_eq!(
+                    a.op_count(op),
+                    b.op_count(op),
+                    "{name}/{format:?}: op count for {op} diverged"
+                );
+            }
+            assert_eq!(
+                blocked.output_string(),
+                stepped.output_string(),
+                "{name}/{format:?}"
+            );
+        }
+    }
+}
+
 /// A capability-heavy run on Cap128 actually halves the resident
 /// capability footprint.
 #[test]

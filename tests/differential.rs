@@ -6,7 +6,7 @@
 
 use cheri::compile::{compile, Abi};
 use cheri::interp::{run_main, ModelKind};
-use cheri::vm::{CapFormat, Vm, VmConfig};
+use cheri::vm::{CapFormat, TrapCause, Vm, VmConfig};
 use proptest::prelude::*;
 
 /// A tiny expression grammar: integer arithmetic, comparisons and array
@@ -79,6 +79,99 @@ fn program(exprs: &[E], inits: &[i32; NVARS]) -> String {
     body.push_str("    long r = (v0 + v1 + v2) % 100000;\n");
     body.push_str("    return (int)(r < 0 ? -r : r);\n");
     format!("int main(void) {{\n{body}}}\n")
+}
+
+/// Per-substrate VM outcome: exit code or the trap that stopped the run.
+type VmVerdict = (String, Result<i64, TrapCause>);
+
+/// Runs `src` on every interpreter model (expecting one agreed exit code)
+/// and on every VM substrate (the three ABIs plus CHERIv3 on Cap128),
+/// returning the VM outcomes for per-substrate verdict checks.
+fn run_everywhere(src: &str) -> (Vec<i64>, Vec<VmVerdict>) {
+    let unit = cheri::c::parse(src).expect("edge-case program parses");
+    let interp: Vec<i64> = ModelKind::ALL
+        .iter()
+        .map(|&m| {
+            run_main(&unit, m)
+                .unwrap_or_else(|e| panic!("{m}: {e}\n{src}"))
+                .exit_code
+        })
+        .collect();
+    let mut vms = Vec::new();
+    let mut v3 = None;
+    for abi in Abi::ALL {
+        let prog = compile(src, abi).unwrap_or_else(|e| panic!("{abi}: {e}\n{src}"));
+        if abi == Abi::CheriV3 {
+            v3 = Some(prog.clone());
+        }
+        let mut vm = Vm::new(prog, VmConfig::functional());
+        let r = vm.run(50_000_000).map(|s| s.code).map_err(|t| t.cause);
+        vms.push((abi.to_string(), r));
+    }
+    let cfg = VmConfig::functional().with_cap_format(CapFormat::Cap128);
+    let mut vm = Vm::new(v3.expect("Abi::ALL contains CheriV3"), cfg);
+    let r = vm.run(50_000_000).map(|s| s.code).map_err(|t| t.cause);
+    vms.push(("CHERIv3+Cap128".to_string(), r));
+    (interp, vms)
+}
+
+/// `i64::MIN / -1` and `i64::MIN % -1`: the seven interpreter models use
+/// two's-complement wrapping (`MIN / -1 == MIN`, `MIN % -1 == 0`), while
+/// the VM's trapping `div`/`rem` (§3.1.1 hardware-assisted AIR) raise
+/// `IntegerOverflow` on every substrate. Both verdicts are the harness's
+/// expected behaviour — what this test pins down is that no substrate
+/// silently disagrees with its family.
+#[test]
+fn i64_min_division_edge_cases_have_expected_verdicts() {
+    let cases = [
+        // q == MIN proves the interpreters wrapped rather than saturated.
+        ("div", "long q = min / m1; return (int)(q == min);", 1),
+        ("rem", "long q = min % m1; return (int)(q == 0);", 1),
+    ];
+    for (name, stmt, expected) in cases {
+        let src = format!(
+            "int main(void) {{\n    long min = 1;\n    long m1 = 1;\n    \
+             min = min << 63;\n    m1 = m1 - 2;\n    {stmt}\n}}\n"
+        );
+        let (interp, vms) = run_everywhere(&src);
+        for (m, code) in ModelKind::ALL.iter().zip(&interp) {
+            assert_eq!(*code, expected, "{name}: model {m} did not wrap");
+        }
+        for (abi, r) in &vms {
+            assert_eq!(
+                *r,
+                Err(TrapCause::IntegerOverflow),
+                "{name}: VM substrate {abi} must trap IntegerOverflow"
+            );
+        }
+    }
+}
+
+/// Shift amounts ≥ 64: every substrate masks the amount to six bits
+/// (MIPS/RISC-style), so `x << 64 == x` and `x >> 65 == x >> 1` — one
+/// agreed answer across all seven models and all four VM substrates.
+#[test]
+fn oversized_shift_amounts_agree_everywhere() {
+    let cases = [
+        ("shl64", "return (int)(one << s64);", 1),
+        ("shl65", "return (int)(one << (s64 + 1));", 2),
+        ("shr65", "return (int)(four >> (s64 + 1));", 2),
+        // 127 & 63 == 63, so the four is shifted out entirely.
+        ("shr127", "return (int)(four >> (s64 + 63));", 0),
+    ];
+    for (name, stmt, expected) in cases {
+        let src = format!(
+            "int main(void) {{\n    long one = 1;\n    long four = 4;\n    \
+             long s64 = 64;\n    {stmt}\n}}\n"
+        );
+        let (interp, vms) = run_everywhere(&src);
+        for (m, code) in ModelKind::ALL.iter().zip(&interp) {
+            assert_eq!(*code, expected, "{name}: model {m} disagrees");
+        }
+        for (abi, r) in &vms {
+            assert_eq!(*r, Ok(expected), "{name}: VM substrate {abi} disagrees");
+        }
+    }
 }
 
 proptest! {
