@@ -119,6 +119,10 @@ fn bench(c: &mut Criterion) {
 
     for (name, cfg) in [
         ("cache_fpga", HierarchyConfig::fpga_softcore()),
+        (
+            "cache_fpga_16b_line",
+            HierarchyConfig::fpga_softcore().with_l1_line_bytes(16),
+        ),
         ("cache_desktop", HierarchyConfig::desktop()),
     ] {
         g.bench_function(name, |b| {

@@ -1,7 +1,10 @@
 //! Regenerates Table 4: porting effort (annotation vs semantic lines),
 //! plus the capability-memory ablation (256-bit vs 128-bit in-memory
-//! capabilities: footprint, representability, simulated cycles).
+//! capabilities: footprint, representability, simulated cycles) and the
+//! DRAM-traffic report (per-edge bytes under the bandwidth-aware cache
+//! model, both formats, 64B and 16B L1 lines).
 fn main() {
     print!("{}", cheri_bench::table4_report());
     print!("{}", cheri_bench::cap_memory_report());
+    print!("{}", cheri_bench::cap_traffic_report());
 }

@@ -1,4 +1,4 @@
-//! A set-associative cache-hierarchy simulator.
+//! A set-associative, bandwidth-aware cache-hierarchy simulator.
 //!
 //! The paper's performance evaluation runs on a 100 MHz FPGA softcore with a
 //! **16 KB L1 data cache and a 64 KB L2**, noting that "the DDR DRAM is
@@ -8,13 +8,27 @@
 //! versus 64-bit integer pointers ("the performance difference ... is
 //! primarily due to the larger pointers causing more cache misses").
 //!
-//! This crate reproduces that cost model: [`Hierarchy`] simulates a
-//! two-level write-back, write-allocate, LRU cache in front of a flat
-//! DRAM, charging configurable latencies per level. Dirty victims are
-//! really written back: an L1 eviction installs the victim line into L2
-//! (charging the L2 transfer), and a dirty L2 eviction drains to DRAM
-//! (charging the DRAM penalty) — so simulated DRAM traffic reflects the
-//! write-back stream, not just demand fills.
+//! This crate reproduces that cost model as a *traffic* model: every level
+//! is a [`LevelSpec`] with a latency **and** a bandwidth, every line that
+//! moves between levels charges `latency + ceil(bytes / bytes_per_cycle)`
+//! for its edge, and a [`TrafficStats`] ledger records the bytes moved per
+//! edge (L1↔L2 and L2↔DRAM, fills and write-backs separately). That is the
+//! metric behind the paper's 128-bit-capability argument: halving the
+//! stored capability width halves the bytes a pointer-dense working set
+//! drags across the DRAM edge, which line-granularity cycle models round
+//! away.
+//!
+//! The hierarchy is two-level, write-back, write-allocate, LRU, and
+//! **inclusive**: evicting an L2 line back-invalidates its L1 sub-lines
+//! (merging their dirty data into the drain), which is what makes the
+//! per-edge byte ledger conserve — every line written back was once
+//! filled. L1 lines may be narrower than L2 lines (e.g. a 16-byte L1 over
+//! a 64-byte L2), in which case an L1 fill moves only the sub-line and
+//! the L2 is **sub-blocked**: dirtiness is tracked per L1-line-sized
+//! sector, and a dirty L2 eviction drains only its dirty sectors to DRAM
+//! (demand fills still move whole L2 lines). With the classic 64-byte
+//! geometry sector and line coincide and the model charges exactly the
+//! flat per-level constants the presets derive.
 //!
 //! # Example
 //!
@@ -26,90 +40,279 @@
 //! let warm = h.access(0x1000, 8, false);
 //! assert!(cold > warm); // second access hits in L1
 //! assert_eq!(warm, 1);
+//! let t = h.stats().traffic;
+//! assert_eq!(t.l2_dram.fill_bytes, 64); // one line came from DRAM
 //! ```
 
 use std::fmt;
 
-/// Geometry of one cache level.
+/// Geometry and timing of one cache level.
+///
+/// `bytes_per_cycle` is the bandwidth of the edge this level *serves*:
+/// for L1 that is the CPU load/store port (each access charges
+/// `latency_cycles + ceil(bytes / bytes_per_cycle)`), for L2 it is the
+/// L1↔L2 edge over which L1 lines fill and write back.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct CacheConfig {
+pub struct LevelSpec {
     /// Total capacity in bytes.
     pub size_bytes: u64,
-    /// Line size in bytes.
+    /// Line size in bytes (power of two).
     pub line_bytes: u64,
     /// Associativity (ways per set).
     pub ways: u64,
+    /// Fixed cycles per transfer served by this level.
+    pub latency_cycles: u64,
+    /// Bandwidth of this level's service port, in bytes per cycle.
+    pub bytes_per_cycle: u64,
 }
 
-impl CacheConfig {
-    /// Number of sets implied by the geometry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry is degenerate (zero or non-dividing sizes).
-    pub fn sets(&self) -> u64 {
-        assert!(self.line_bytes > 0 && self.ways > 0);
-        let lines = self.size_bytes / self.line_bytes;
-        assert!(lines >= self.ways, "cache smaller than one set");
-        lines / self.ways
+/// Timing of the DRAM edge (L2↔DRAM): every L2-line fill or drain charges
+/// `latency_cycles + ceil(l2.line_bytes / bytes_per_cycle)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramSpec {
+    /// Fixed cycles per DRAM transfer (row activation, controller).
+    pub latency_cycles: u64,
+    /// DRAM burst bandwidth in bytes per cycle.
+    pub bytes_per_cycle: u64,
+}
+
+/// A [`LevelSpec`] or [`HierarchyConfig`] that cannot be simulated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// A size, line size, way count or bandwidth is zero.
+    ZeroField(&'static str),
+    /// `line_bytes` is not a power of two.
+    LineNotPowerOfTwo(u64),
+    /// The capacity does not split into a power-of-two number of sets of
+    /// `ways` lines.
+    BadGeometry {
+        /// Capacity in bytes.
+        size_bytes: u64,
+        /// Line size in bytes.
+        line_bytes: u64,
+        /// Ways per set.
+        ways: u64,
+    },
+    /// The L1 line is wider than the L2 line (an L1 fill could not come
+    /// from a single L2 line).
+    L1LineWiderThanL2 {
+        /// L1 line size in bytes.
+        l1: u64,
+        /// L2 line size in bytes.
+        l2: u64,
+    },
+    /// More than 64 L1-line-sized sectors fit in an L2 line (the
+    /// per-sector dirty mask is 64 bits wide).
+    TooManySectors {
+        /// L1 line size in bytes.
+        l1: u64,
+        /// L2 line size in bytes.
+        l2: u64,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::ZeroField(which) => write!(f, "{which} must be non-zero"),
+            CacheConfigError::LineNotPowerOfTwo(n) => {
+                write!(f, "line_bytes must be a power of two, got {n}")
+            }
+            CacheConfigError::BadGeometry {
+                size_bytes,
+                line_bytes,
+                ways,
+            } => write!(
+                f,
+                "{size_bytes} bytes of {line_bytes}-byte lines do not form a \
+                 power-of-two number of {ways}-way sets"
+            ),
+            CacheConfigError::L1LineWiderThanL2 { l1, l2 } => {
+                write!(f, "L1 line ({l1} bytes) wider than L2 line ({l2} bytes)")
+            }
+            CacheConfigError::TooManySectors { l1, l2 } => write!(
+                f,
+                "L2 line ({l2} bytes) holds more than 64 L1-line ({l1} bytes) \
+                 sectors; the dirty mask is 64 bits"
+            ),
+        }
     }
 }
 
-/// Configuration of the full hierarchy, including per-level hit latencies
-/// (in cycles) and the DRAM access penalty.
+impl std::error::Error for CacheConfigError {}
+
+impl LevelSpec {
+    /// Checks the level in isolation: non-zero fields, power-of-two line,
+    /// and a power-of-two number of whole sets.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CacheConfigError`] found.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.size_bytes == 0 {
+            return Err(CacheConfigError::ZeroField("size_bytes"));
+        }
+        if self.line_bytes == 0 {
+            return Err(CacheConfigError::ZeroField("line_bytes"));
+        }
+        if self.ways == 0 {
+            return Err(CacheConfigError::ZeroField("ways"));
+        }
+        if self.bytes_per_cycle == 0 {
+            return Err(CacheConfigError::ZeroField("bytes_per_cycle"));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::LineNotPowerOfTwo(self.line_bytes));
+        }
+        let bad = CacheConfigError::BadGeometry {
+            size_bytes: self.size_bytes,
+            line_bytes: self.line_bytes,
+            ways: self.ways,
+        };
+        if self.size_bytes % self.line_bytes != 0 {
+            return Err(bad);
+        }
+        let lines = self.size_bytes / self.line_bytes;
+        if lines % self.ways != 0 || !(lines / self.ways).is_power_of_two() {
+            return Err(bad);
+        }
+        Ok(())
+    }
+
+    /// Number of sets implied by the geometry. Meaningful only after
+    /// [`LevelSpec::validate`] has passed.
+    pub fn sets(&self) -> u64 {
+        (self.size_bytes / self.line_bytes) / self.ways
+    }
+}
+
+/// Configuration of the full hierarchy: two cache levels plus the DRAM
+/// edge. The flat per-level cycle constants of the old model survive only
+/// as values derived from `latency + ceil(line / bandwidth)` inside the
+/// presets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HierarchyConfig {
-    /// L1 data cache geometry.
-    pub l1: CacheConfig,
-    /// L2 cache geometry.
-    pub l2: CacheConfig,
-    /// Cycles for an L1 hit.
-    pub l1_hit_cycles: u64,
-    /// Additional cycles for an access served by L2.
-    pub l2_hit_cycles: u64,
-    /// Additional cycles for an access served by DRAM.
-    pub dram_cycles: u64,
+    /// L1 data cache.
+    pub l1: LevelSpec,
+    /// L2 cache.
+    pub l2: LevelSpec,
+    /// The DRAM edge below L2.
+    pub dram: DramSpec,
 }
 
 impl HierarchyConfig {
-    /// The paper's FPGA softcore: 16 KB L1, 64 KB L2, 64-byte lines,
-    /// 4-way, with DRAM "less costly than on most modern processors".
+    /// The paper's FPGA softcore: 16 KB L1, 64 KB L2, 64-byte lines.
+    /// The derived per-line costs reproduce the pre-bandwidth model
+    /// exactly: an L1 hit is 1 cycle (port), an L1 fill from L2 adds
+    /// `5 + 64/16 = 9`, a DRAM transfer adds `22 + 64/8 = 30` — DRAM
+    /// "less costly than on most modern processors".
     pub fn fpga_softcore() -> HierarchyConfig {
         HierarchyConfig {
-            l1: CacheConfig {
+            l1: LevelSpec {
                 size_bytes: 16 * 1024,
                 line_bytes: 64,
                 ways: 4,
+                latency_cycles: 0,
+                bytes_per_cycle: 64,
             },
-            l2: CacheConfig {
+            l2: LevelSpec {
                 size_bytes: 64 * 1024,
                 line_bytes: 64,
                 ways: 8,
+                latency_cycles: 5,
+                bytes_per_cycle: 16,
             },
-            l1_hit_cycles: 1,
-            l2_hit_cycles: 9,
-            dram_cycles: 30,
+            dram: DramSpec {
+                latency_cycles: 22,
+                bytes_per_cycle: 8,
+            },
         }
     }
 
     /// A modern-desktop-like hierarchy for the substrate ablation bench
-    /// (bigger caches, relatively slower DRAM).
+    /// (bigger caches, relatively slower DRAM): L2 serves a line in
+    /// `4 + 64/8 = 12` cycles, DRAM in `184 + 64/4 = 200`.
     pub fn desktop() -> HierarchyConfig {
         HierarchyConfig {
-            l1: CacheConfig {
+            l1: LevelSpec {
                 size_bytes: 32 * 1024,
                 line_bytes: 64,
                 ways: 8,
+                latency_cycles: 0,
+                bytes_per_cycle: 64,
             },
-            l2: CacheConfig {
+            l2: LevelSpec {
                 size_bytes: 512 * 1024,
                 line_bytes: 64,
                 ways: 8,
+                latency_cycles: 4,
+                bytes_per_cycle: 8,
             },
-            l1_hit_cycles: 1,
-            l2_hit_cycles: 12,
-            dram_cycles: 200,
+            dram: DramSpec {
+                latency_cycles: 184,
+                bytes_per_cycle: 4,
+            },
         }
+    }
+
+    /// The same hierarchy with a narrower L1 line (16 or 32 bytes): the
+    /// geometry that lets half-width capability stores touch half the
+    /// bytes instead of rounding up to a 64-byte line.
+    pub fn with_l1_line_bytes(mut self, line_bytes: u64) -> HierarchyConfig {
+        self.l1.line_bytes = line_bytes;
+        self
+    }
+
+    /// Checks both levels and their relationship (the L1 line must divide
+    /// into the L2 line so a fill comes from one L2 line).
+    ///
+    /// # Errors
+    ///
+    /// The first [`CacheConfigError`] found.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        self.l1.validate()?;
+        self.l2.validate()?;
+        if self.dram.bytes_per_cycle == 0 {
+            return Err(CacheConfigError::ZeroField("dram.bytes_per_cycle"));
+        }
+        if self.l1.line_bytes > self.l2.line_bytes {
+            return Err(CacheConfigError::L1LineWiderThanL2 {
+                l1: self.l1.line_bytes,
+                l2: self.l2.line_bytes,
+            });
+        }
+        if self.l2.line_bytes / self.l1.line_bytes > 64 {
+            return Err(CacheConfigError::TooManySectors {
+                l1: self.l1.line_bytes,
+                l2: self.l2.line_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Cycles the CPU port charges for `bytes` within one L1 line.
+    pub fn port_cycles(&self, bytes: u64) -> u64 {
+        self.l1.latency_cycles + bytes.div_ceil(self.l1.bytes_per_cycle)
+    }
+
+    /// Cycles one L1-line transfer on the L1↔L2 edge costs (fill or
+    /// write-back).
+    pub fn l1_l2_transfer_cycles(&self) -> u64 {
+        self.l2.latency_cycles + self.l1.line_bytes.div_ceil(self.l2.bytes_per_cycle)
+    }
+
+    /// Cycles one full-L2-line transfer on the L2↔DRAM edge costs (a
+    /// demand fill, or a drain whose every sector is dirty).
+    pub fn l2_dram_transfer_cycles(&self) -> u64 {
+        self.dram.latency_cycles + self.l2.line_bytes.div_ceil(self.dram.bytes_per_cycle)
+    }
+
+    /// Cycles a sub-blocked drain of `sectors` dirty L1-line-sized
+    /// sectors costs on the L2↔DRAM edge (one DRAM latency, then the
+    /// burst).
+    pub fn l2_drain_cycles(&self, sectors: u64) -> u64 {
+        self.dram.latency_cycles
+            + (sectors * self.l1.line_bytes).div_ceil(self.dram.bytes_per_cycle)
     }
 }
 
@@ -119,7 +322,49 @@ impl Default for HierarchyConfig {
     }
 }
 
-/// Hit/miss counters for the whole hierarchy.
+/// Bytes and transfers moved across one inter-level edge, fills (toward
+/// the CPU) and write-backs (away from it) separated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeTraffic {
+    /// Lines moved toward the CPU (demand fills) — L1 lines on the L1↔L2
+    /// edge, L2 lines on the L2↔DRAM edge.
+    pub fill_lines: u64,
+    /// Bytes those fills moved.
+    pub fill_bytes: u64,
+    /// Transfers moved away from the CPU (dirty write-backs): L1 lines on
+    /// the L1↔L2 edge; on the L2↔DRAM edge, dirty *sectors* (L1-line
+    /// sized) of drained L2 lines.
+    pub writeback_lines: u64,
+    /// Bytes those write-backs moved.
+    pub writeback_bytes: u64,
+}
+
+impl EdgeTraffic {
+    /// Total bytes moved on the edge in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.fill_bytes + self.writeback_bytes
+    }
+}
+
+/// The per-edge traffic ledger: every byte the hierarchy moves is
+/// attributed to exactly one edge and one direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// The L1↔L2 edge: L1-line fills and dirty-L1 write-backs.
+    pub l1_l2: EdgeTraffic,
+    /// The L2↔DRAM edge: L2-line fills and dirty-L2 drains.
+    pub l2_dram: EdgeTraffic,
+}
+
+impl TrafficStats {
+    /// Total bytes moved on the DRAM edge — the paper's headline metric
+    /// for capability-width cost.
+    pub fn dram_bytes(&self) -> u64 {
+        self.l2_dram.total_bytes()
+    }
+}
+
+/// Hit/miss counters and the traffic ledger for the whole hierarchy.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses served by L1.
@@ -130,10 +375,13 @@ pub struct CacheStats {
     pub l2_hits: u64,
     /// Accesses that went all the way to DRAM.
     pub l2_misses: u64,
-    /// Dirty lines written back on eviction.
+    /// Dirty lines written back on eviction (both edges; also counts lines
+    /// dropped by [`Hierarchy::flush`], which moves no modelled traffic).
     pub writebacks: u64,
     /// Total cycles charged by the hierarchy.
     pub cycles: u64,
+    /// Bytes moved per edge.
+    pub traffic: TrafficStats,
 }
 
 impl CacheStats {
@@ -152,14 +400,17 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "L1 {}/{} hits ({:.1}%), L2 {} hits, {} DRAM, {} writebacks, {} cycles",
+            "L1 {}/{} hits ({:.1}%), L2 {} hits, {} DRAM, {} writebacks, {} cycles, \
+             {} B L1<->L2, {} B L2<->DRAM",
             self.l1_hits,
             self.l1_hits + self.l1_misses,
             100.0 * self.l1_hit_rate(),
             self.l2_hits,
             self.l2_misses,
             self.writebacks,
-            self.cycles
+            self.cycles,
+            self.traffic.l1_l2.total_bytes(),
+            self.traffic.l2_dram.total_bytes(),
         )
     }
 }
@@ -168,79 +419,86 @@ impl fmt::Display for CacheStats {
 struct Line {
     tag: u64,
     valid: bool,
-    dirty: bool,
+    /// Dirty mask, one bit per L1-line-sized sector. For L1 (and for an
+    /// L2 whose line equals the L1 line) this is a single bit.
+    dirty: u64,
     stamp: u64,
 }
 
 const EMPTY_LINE: Line = Line {
     tag: 0,
     valid: false,
-    dirty: false,
+    dirty: 0,
     stamp: 0,
 };
 
+/// The line displaced by a fill.
+#[derive(Clone, Copy, Debug)]
+struct Victim {
+    line_addr: u64,
+    /// Per-sector dirty mask; 0 means clean.
+    dirty: u64,
+}
+
 #[derive(Clone, Debug)]
 struct Level {
-    cfg: CacheConfig,
+    spec: LevelSpec,
     /// `nsets × ways` fixed line slots: `lines[set * ways .. +ways]`.
     lines: Box<[Line]>,
     clock: u64,
-    /// Number of sets, precomputed.
-    nsets: u64,
-    /// Shift/mask fast path when line size and set count are powers of
-    /// two (true for every shipped geometry); falls back to div/mod
-    /// otherwise. Index math only — the cycle model is unaffected.
-    line_shift: Option<u32>,
-    set_shift: Option<u32>,
+    /// Shift/mask index math; validation guarantees power-of-two line
+    /// size and set count.
+    line_shift: u32,
+    set_mask: u64,
+    set_shift: u32,
+    /// Dirty granularity: log2 of the sector size (the hierarchy's L1
+    /// line) and the sectors-per-line mask.
+    sector_shift: u32,
+    sector_mask: u64,
 }
 
 enum Lookup {
     Hit,
-    /// Miss; the filled-in line evicted a dirty victim at this line
-    /// address (reconstructed from the victim's tag and set).
-    MissEvictedDirty(u64),
-    Miss,
+    /// Miss; the fill may have displaced a victim line.
+    Miss(Option<Victim>),
 }
 
 impl Level {
-    fn new(cfg: CacheConfig) -> Level {
-        let nsets = cfg.sets();
+    /// Builds the level; `sector_bytes` (the hierarchy's L1 line size)
+    /// sets the dirty-tracking granularity.
+    fn new(spec: LevelSpec, sector_bytes: u64) -> Level {
+        let nsets = spec.sets();
         Level {
-            cfg,
-            lines: vec![EMPTY_LINE; (nsets * cfg.ways) as usize].into_boxed_slice(),
+            spec,
+            lines: vec![EMPTY_LINE; (nsets * spec.ways) as usize].into_boxed_slice(),
             clock: 0,
-            nsets,
-            line_shift: cfg
-                .line_bytes
-                .is_power_of_two()
-                .then(|| cfg.line_bytes.trailing_zeros()),
-            set_shift: nsets.is_power_of_two().then(|| nsets.trailing_zeros()),
+            line_shift: spec.line_bytes.trailing_zeros(),
+            set_mask: nsets - 1,
+            set_shift: nsets.trailing_zeros(),
+            sector_shift: sector_bytes.trailing_zeros(),
+            sector_mask: spec.line_bytes / sector_bytes - 1,
         }
     }
 
-    /// `line_addr / line_bytes`, by shift when the geometry allows.
-    fn line_index(&self, line_addr: u64) -> u64 {
-        match self.line_shift {
-            Some(s) => line_addr >> s,
-            None => line_addr / self.cfg.line_bytes,
-        }
+    /// Splits `line_addr` into (set index, tag).
+    fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
+        let idx = line_addr >> self.line_shift;
+        ((idx & self.set_mask) as usize, idx >> self.set_shift)
     }
 
-    /// Splits a line index into (set index, tag).
-    fn set_and_tag(&self, line_idx: u64) -> (usize, u64) {
-        match self.set_shift {
-            Some(s) => ((line_idx & (self.nsets - 1)) as usize, line_idx >> s),
-            None => ((line_idx % self.nsets) as usize, line_idx / self.nsets),
-        }
+    /// The dirty-mask bit for the sector containing `addr`.
+    fn sector_bit(&self, addr: u64) -> u64 {
+        1 << ((addr >> self.sector_shift) & self.sector_mask)
     }
 
     /// Looks up the line containing `line_addr`, filling on miss (into a
     /// free way if one exists, else over the least-recently-used line).
+    /// A write dirties the sector containing `line_addr`.
     fn access(&mut self, line_addr: u64, write: bool) -> Lookup {
         self.clock += 1;
-        let sets = self.nsets;
-        let (set_idx, tag) = self.set_and_tag(self.line_index(line_addr));
-        let ways = self.cfg.ways as usize;
+        let (set_idx, tag) = self.set_and_tag(line_addr);
+        let wmask = if write { self.sector_bit(line_addr) } else { 0 };
+        let ways = self.spec.ways as usize;
         let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
         let mut free = None;
         let mut lru = 0;
@@ -249,7 +507,7 @@ impl Level {
             if l.valid {
                 if l.tag == tag {
                     l.stamp = self.clock;
-                    l.dirty |= write;
+                    l.dirty |= wmask;
                     return Lookup::Hit;
                 }
                 if l.stamp < lru_stamp {
@@ -261,53 +519,113 @@ impl Level {
             }
         }
         let slot = free.unwrap_or(lru);
-        let mut victim = None;
-        if set[slot].valid && set[slot].dirty {
-            // tag = addr / line / sets and set = (addr / line) % sets,
-            // so the victim's line address reconstructs exactly.
-            victim = Some((set[slot].tag * sets + set_idx as u64) * self.cfg.line_bytes);
-        }
+        let victim = set[slot].valid.then(|| Victim {
+            // tag = idx / sets and set = idx % sets, so the victim's line
+            // address reconstructs exactly.
+            line_addr: ((set[slot].tag << self.set_shift) | set_idx as u64) << self.line_shift,
+            dirty: set[slot].dirty,
+        });
         set[slot] = Line {
             tag,
             valid: true,
-            dirty: write,
+            dirty: wmask,
             stamp: self.clock,
         };
-        match victim {
-            Some(addr) => Lookup::MissEvictedDirty(addr),
-            None => Lookup::Miss,
+        Lookup::Miss(victim)
+    }
+
+    /// Marks the sector containing `addr` dirty in its resident line and
+    /// refreshes it (a write-back install), without allocating. Returns
+    /// whether the line was present.
+    fn touch_dirty(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let bit = self.sector_bit(addr);
+        let ways = self.spec.ways as usize;
+        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
+        for l in set.iter_mut() {
+            if l.valid && l.tag == tag {
+                l.dirty |= bit;
+                l.stamp = self.clock;
+                return true;
+            }
         }
+        false
+    }
+
+    /// Removes the line containing `line_addr` if resident, returning its
+    /// dirty mask (inclusion back-invalidation).
+    fn invalidate(&mut self, line_addr: u64) -> Option<u64> {
+        let (set_idx, tag) = self.set_and_tag(line_addr);
+        let ways = self.spec.ways as usize;
+        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
+        for l in set.iter_mut() {
+            if l.valid && l.tag == tag {
+                let dirty = l.dirty;
+                *l = EMPTY_LINE;
+                return Some(dirty);
+            }
+        }
+        None
     }
 
     fn flush(&mut self) -> u64 {
         let mut dirty = 0;
         for l in self.lines.iter_mut() {
-            dirty += u64::from(l.valid && l.dirty);
+            dirty += u64::from(l.valid && l.dirty != 0);
             *l = EMPTY_LINE;
         }
         dirty
     }
 }
 
-/// A two-level write-back, write-allocate cache hierarchy with LRU
-/// replacement, charging cycles per access.
+/// A two-level write-back, write-allocate, inclusive cache hierarchy with
+/// LRU replacement, charging latency + bandwidth cycles per transfer and
+/// keeping a per-edge byte ledger.
 #[derive(Clone, Debug)]
 pub struct Hierarchy {
     cfg: HierarchyConfig,
     l1: Level,
     l2: Level,
     stats: CacheStats,
+    /// Port cycles when one transfer covers any in-line access
+    /// (`bytes_per_cycle >= line_bytes`, true of every preset), so the
+    /// hot hit path does no division.
+    port_flat: Option<u64>,
+    /// Precomputed `l1_l2_transfer_cycles` / `l2_dram_transfer_cycles`.
+    l1_fill_cycles: u64,
+    l2_fill_cycles: u64,
 }
 
 impl Hierarchy {
     /// Builds the hierarchy for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`HierarchyConfig::validate`]; use
+    /// [`Hierarchy::try_new`] to get the error instead.
     pub fn new(cfg: HierarchyConfig) -> Hierarchy {
-        Hierarchy {
-            cfg,
-            l1: Level::new(cfg.l1),
-            l2: Level::new(cfg.l2),
+        Hierarchy::try_new(cfg).unwrap_or_else(|e| panic!("invalid cache config: {e}"))
+    }
+
+    /// Builds the hierarchy for `cfg`, reporting invalid geometry as an
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The [`CacheConfigError`] from [`HierarchyConfig::validate`].
+    pub fn try_new(cfg: HierarchyConfig) -> Result<Hierarchy, CacheConfigError> {
+        cfg.validate()?;
+        Ok(Hierarchy {
+            l1: Level::new(cfg.l1, cfg.l1.line_bytes),
+            l2: Level::new(cfg.l2, cfg.l1.line_bytes),
             stats: CacheStats::default(),
-        }
+            port_flat: (cfg.l1.bytes_per_cycle >= cfg.l1.line_bytes)
+                .then(|| cfg.l1.latency_cycles + 1),
+            l1_fill_cycles: cfg.l1_l2_transfer_cycles(),
+            l2_fill_cycles: cfg.l2_dram_transfer_cycles(),
+            cfg,
+        })
     }
 
     /// The configuration in force.
@@ -315,29 +633,26 @@ impl Hierarchy {
         self.cfg
     }
 
-    /// Simulates an access of `len` bytes at `addr` (split across lines as
-    /// the hardware would), returning the cycles charged. Zero-length
+    /// Simulates an access of `len` bytes at `addr` (split across L1 lines
+    /// as the hardware would), returning the cycles charged. Zero-length
     /// accesses (e.g. `memcpy(d, s, 0)`) touch no line and cost nothing.
     pub fn access(&mut self, addr: u64, len: u64, write: bool) -> u64 {
         if len == 0 {
             return 0;
         }
         let line = self.cfg.l1.line_bytes;
-        let pow2 = line.is_power_of_two();
         let mut cycles = 0;
         let mut a = addr;
         let end = addr.saturating_add(len);
         while a < end {
-            let line_addr = if pow2 {
-                a & !(line - 1)
-            } else {
-                a / line * line
-            };
-            cycles += self.access_line(line_addr, write);
+            let line_addr = a & !(line - 1);
             // The last line of the address space has no successor; stepping
             // past it would wrap and walk the whole space again.
-            match line_addr.checked_add(line) {
-                Some(next) => a = next,
+            let next = line_addr.checked_add(line);
+            let piece = next.map_or(end, |n| n.min(end)) - a;
+            cycles += self.access_line(line_addr, piece, write);
+            match next {
+                Some(n) => a = n,
                 None => break,
             }
         }
@@ -345,48 +660,91 @@ impl Hierarchy {
         cycles
     }
 
-    fn access_line(&mut self, line_addr: u64, write: bool) -> u64 {
+    fn access_line(&mut self, line_addr: u64, bytes: u64, write: bool) -> u64 {
+        // The CPU port is charged for every access, hit or miss.
+        let port = match self.port_flat {
+            Some(p) => p,
+            None => self.cfg.port_cycles(bytes),
+        };
         match self.l1.access(line_addr, write) {
             Lookup::Hit => {
                 self.stats.l1_hits += 1;
-                self.cfg.l1_hit_cycles
+                port
             }
-            miss => {
+            Lookup::Miss(victim) => {
                 self.stats.l1_misses += 1;
-                // Service the demand miss first, then drain the victim.
-                let mut cycles = match self.l2.access(line_addr, write) {
-                    Lookup::Hit => {
-                        self.stats.l2_hits += 1;
-                        self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles
-                    }
-                    l2miss => {
-                        self.stats.l2_misses += 1;
-                        let mut c =
-                            self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles + self.cfg.dram_cycles;
-                        if matches!(l2miss, Lookup::MissEvictedDirty(_)) {
-                            // The demand fill displaced a dirty L2 line;
-                            // its data goes back to DRAM.
-                            self.stats.writebacks += 1;
-                            c += self.cfg.dram_cycles;
-                        }
-                        c
-                    }
-                };
-                if let Lookup::MissEvictedDirty(victim) = miss {
-                    // Write the dirty L1 victim back into L2 (allocating
-                    // its line there — no DRAM fetch is needed, the whole
-                    // line travels down). If that install itself displaces
-                    // a dirty L2 line, that one drains to DRAM.
-                    self.stats.writebacks += 1;
-                    cycles += self.cfg.l2_hit_cycles;
-                    if let Lookup::MissEvictedDirty(_) = self.l2.access(victim, true) {
-                        self.stats.writebacks += 1;
-                        cycles += self.cfg.dram_cycles;
+                let mut cycles = port;
+                // Drain the dirty L1 victim first: inclusion guarantees its
+                // containing L2 line is still resident *before* the demand
+                // fill below may evict it.
+                if let Some(v) = victim {
+                    if v.dirty != 0 {
+                        cycles += self.writeback_l1_line(v.line_addr);
                     }
                 }
+                // Demand path: the containing L2 line, from L2 or DRAM.
+                match self.l2.access(line_addr, write) {
+                    Lookup::Hit => self.stats.l2_hits += 1,
+                    Lookup::Miss(l2_victim) => {
+                        self.stats.l2_misses += 1;
+                        self.stats.traffic.l2_dram.fill_lines += 1;
+                        self.stats.traffic.l2_dram.fill_bytes += self.cfg.l2.line_bytes;
+                        cycles += self.l2_fill_cycles;
+                        if let Some(v) = l2_victim {
+                            cycles += self.evict_l2_line(v);
+                        }
+                    }
+                }
+                // The L1 fill itself: one L1 line over the L1<->L2 edge.
+                self.stats.traffic.l1_l2.fill_lines += 1;
+                self.stats.traffic.l1_l2.fill_bytes += self.cfg.l1.line_bytes;
+                cycles += self.l1_fill_cycles;
                 cycles
             }
         }
+    }
+
+    /// Writes a dirty L1 line back into its containing L2 line. Inclusion
+    /// means the L2 line is resident (every L1 line filled through L2 and
+    /// L2 evictions back-invalidate), so this never allocates.
+    fn writeback_l1_line(&mut self, line_addr: u64) -> u64 {
+        self.stats.writebacks += 1;
+        self.stats.traffic.l1_l2.writeback_lines += 1;
+        self.stats.traffic.l1_l2.writeback_bytes += self.cfg.l1.line_bytes;
+        let hit = self.l2.touch_dirty(line_addr);
+        debug_assert!(hit, "inclusion: a dirty L1 line's L2 container is resident");
+        self.l1_fill_cycles
+    }
+
+    /// Handles an L2 eviction: back-invalidates the victim's L1 sub-lines
+    /// (merging dirty data across the L1↔L2 edge), then drains the dirty
+    /// sectors to DRAM. Sub-blocking is what lets a half-width capability
+    /// store put half the bytes on the DRAM write-back stream when the L1
+    /// line is narrower than the L2 line.
+    fn evict_l2_line(&mut self, v: Victim) -> u64 {
+        let mut cycles = 0;
+        let mut dirty = v.dirty;
+        let sub = self.cfg.l1.line_bytes;
+        let mut a = v.line_addr;
+        let end = v.line_addr + self.cfg.l2.line_bytes;
+        while a < end {
+            if self.l1.invalidate(a).is_some_and(|m| m != 0) {
+                self.stats.writebacks += 1;
+                self.stats.traffic.l1_l2.writeback_lines += 1;
+                self.stats.traffic.l1_l2.writeback_bytes += sub;
+                cycles += self.l1_fill_cycles;
+                dirty |= self.l2.sector_bit(a);
+            }
+            a += sub;
+        }
+        if dirty != 0 {
+            let sectors = u64::from(dirty.count_ones());
+            self.stats.writebacks += 1;
+            self.stats.traffic.l2_dram.writeback_lines += sectors;
+            self.stats.traffic.l2_dram.writeback_bytes += sectors * sub;
+            cycles += self.cfg.l2_drain_cycles(sectors);
+        }
+        cycles
     }
 
     /// Accumulated statistics.
@@ -394,8 +752,9 @@ impl Hierarchy {
         self.stats
     }
 
-    /// Empties both levels (counting dirty lines as writebacks) and keeps
-    /// statistics. Used between benchmark phases.
+    /// Empties both levels (counting dirty lines in
+    /// [`CacheStats::writebacks`] but moving no modelled traffic) and
+    /// keeps statistics. Used between benchmark phases.
     pub fn flush(&mut self) {
         self.stats.writebacks += self.l1.flush() + self.l2.flush();
     }
@@ -417,23 +776,104 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// The fpga preset with a 16-byte L1 line (sub-block fills).
+    fn narrow_l1() -> HierarchyConfig {
+        HierarchyConfig::fpga_softcore().with_l1_line_bytes(16)
+    }
+
     #[test]
     fn geometry_is_sane() {
         let cfg = HierarchyConfig::fpga_softcore();
         assert_eq!(cfg.l1.sets(), 64);
         assert_eq!(cfg.l2.sets(), 128);
+        assert!(cfg.validate().is_ok());
+        assert!(HierarchyConfig::desktop().validate().is_ok());
+        assert!(narrow_l1().validate().is_ok());
+    }
+
+    #[test]
+    fn presets_derive_the_legacy_constants() {
+        // The flat constants of the pre-bandwidth model survive as derived
+        // values: hit 1, L2 fill +9, DRAM +30 on the fpga preset.
+        let cfg = HierarchyConfig::fpga_softcore();
+        assert_eq!(cfg.port_cycles(8), 1);
+        assert_eq!(cfg.port_cycles(64), 1);
+        assert_eq!(cfg.l1_l2_transfer_cycles(), 9);
+        assert_eq!(cfg.l2_dram_transfer_cycles(), 30);
+        let d = HierarchyConfig::desktop();
+        assert_eq!(d.l1_l2_transfer_cycles(), 12);
+        assert_eq!(d.l2_dram_transfer_cycles(), 200);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let good = HierarchyConfig::fpga_softcore();
+        let mut zero_bw = good;
+        zero_bw.l2.bytes_per_cycle = 0;
+        assert_eq!(
+            zero_bw.validate(),
+            Err(CacheConfigError::ZeroField("bytes_per_cycle"))
+        );
+        let mut zero_dram = good;
+        zero_dram.dram.bytes_per_cycle = 0;
+        assert_eq!(
+            zero_dram.validate(),
+            Err(CacheConfigError::ZeroField("dram.bytes_per_cycle"))
+        );
+        let mut odd_line = good;
+        odd_line.l1.line_bytes = 48;
+        assert_eq!(
+            odd_line.validate(),
+            Err(CacheConfigError::LineNotPowerOfTwo(48))
+        );
+        let mut wide_l1 = good;
+        wide_l1.l1.line_bytes = 128;
+        assert!(matches!(
+            wide_l1.validate(),
+            Err(CacheConfigError::L1LineWiderThanL2 { l1: 128, l2: 64 })
+        ));
+        let mut ragged = good;
+        ragged.l1.ways = 3;
+        assert!(matches!(
+            ragged.validate(),
+            Err(CacheConfigError::BadGeometry { .. })
+        ));
+        let mut sectored = good;
+        sectored.l1.line_bytes = 16;
+        sectored.l2.line_bytes = 2048; // 128 sectors > the 64-bit mask
+        assert!(matches!(
+            sectored.validate(),
+            Err(CacheConfigError::TooManySectors { l1: 16, l2: 2048 })
+        ));
+        assert!(sectored
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("sectors"));
+        assert!(Hierarchy::try_new(zero_bw).is_err());
+        let msg = zero_bw.validate().unwrap_err().to_string();
+        assert!(msg.contains("bytes_per_cycle"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache config")]
+    fn new_panics_with_the_validation_message() {
+        let mut cfg = HierarchyConfig::fpga_softcore();
+        cfg.l1.size_bytes = 100;
+        let _ = Hierarchy::new(cfg);
     }
 
     #[test]
     fn second_access_hits_l1() {
         let mut h = Hierarchy::default();
+        let cfg = h.config();
         let miss = h.access(0x40, 8, false);
         let hit = h.access(0x40, 8, false);
         assert_eq!(
             miss,
-            h.config().l1_hit_cycles + h.config().l2_hit_cycles + h.config().dram_cycles
+            cfg.port_cycles(8) + cfg.l1_l2_transfer_cycles() + cfg.l2_dram_transfer_cycles()
         );
-        assert_eq!(hit, h.config().l1_hit_cycles);
+        assert_eq!(hit, cfg.port_cycles(8));
         assert_eq!(h.stats().l1_hits, 1);
         assert_eq!(h.stats().l2_misses, 1);
     }
@@ -478,6 +918,11 @@ mod tests {
             h.access(i * stride, 1, false);
         }
         assert!(h.stats().writebacks >= 1);
+        assert_eq!(
+            h.stats().traffic.l1_l2.writeback_bytes,
+            cfg.l1.line_bytes,
+            "the dirty victim moved one L1 line down the L1<->L2 edge"
+        );
     }
 
     #[test]
@@ -519,7 +964,53 @@ mod tests {
                 .map(|i| h.access(i * stride, 1, false))
                 .sum::<u64>()
         };
-        assert_eq!(run(true) - run(false), cfg.l2_hit_cycles);
+        assert_eq!(run(true) - run(false), cfg.l1_l2_transfer_cycles());
+    }
+
+    #[test]
+    fn l2_eviction_back_invalidates_l1_sublines() {
+        // Narrow-line geometry: dirty a 16-byte L1 sub-line, then force
+        // its containing 64-byte L2 line out. Inclusion must pull the
+        // sub-line out of L1 (merging its bytes into the drain), so the
+        // revisit goes to DRAM, not to a stale L1 hit.
+        let mut h = Hierarchy::new(narrow_l1());
+        let cfg = h.config();
+        let l2_stride = cfg.l2.line_bytes * cfg.l2.sets();
+        h.access(0, 8, true);
+        for i in 1..=cfg.l2.ways {
+            // Touch only the aliasing L2 set, not address 0's L1 set: use
+            // a different 16-byte sub-line of each aliasing L2 line.
+            h.access(i * l2_stride + 16, 1, false);
+        }
+        // Address 0's L2 line was evicted; its dirty L1 sub-line must have
+        // been merged (one l1_l2 write-back) and drained sub-blocked: only
+        // the one dirty 16-byte sector travels to DRAM, not the 64-byte
+        // line.
+        let t = h.stats().traffic;
+        assert_eq!(t.l1_l2.writeback_bytes, cfg.l1.line_bytes);
+        assert_eq!(t.l2_dram.writeback_bytes, cfg.l1.line_bytes);
+        assert_eq!(t.l2_dram.writeback_lines, 1, "one dirty sector");
+        h.reset_stats();
+        h.access(0, 1, false);
+        assert_eq!(h.stats().l1_misses, 1, "back-invalidation emptied L1");
+        assert_eq!(h.stats().l2_misses, 1, "the line is gone from L2 too");
+    }
+
+    #[test]
+    fn narrow_l1_line_fills_move_fewer_bytes() {
+        // The Cap128 mechanism: a 16-byte store on a cold line moves a
+        // 16-byte L1 line on the L1<->L2 edge instead of a 64-byte one
+        // (the DRAM edge still moves whole L2 lines).
+        let run = |cfg: HierarchyConfig| {
+            let mut h = Hierarchy::new(cfg);
+            h.access(0x1000, 16, true);
+            h.stats().traffic
+        };
+        let wide = run(HierarchyConfig::fpga_softcore());
+        let narrow = run(narrow_l1());
+        assert_eq!(wide.l1_l2.fill_bytes, 64);
+        assert_eq!(narrow.l1_l2.fill_bytes, 16);
+        assert_eq!(wide.l2_dram.fill_bytes, narrow.l2_dram.fill_bytes);
     }
 
     #[test]
@@ -575,22 +1066,73 @@ mod tests {
     }
 
     #[test]
-    fn stats_display_mentions_hits() {
+    fn stats_display_mentions_hits_and_traffic() {
         let mut h = Hierarchy::default();
         h.access(0, 1, false);
         h.access(0, 1, false);
         let s = h.stats().to_string();
         assert!(s.contains("L1"));
         assert!(s.contains("cycles"));
+        assert!(s.contains("DRAM"));
+    }
+
+    /// Every traffic invariant the ledger promises, checked after an
+    /// arbitrary access sequence on `cfg`.
+    fn assert_traffic_conserves(h: &Hierarchy) {
+        let cfg = h.config();
+        let s = h.stats();
+        let t = s.traffic;
+        // Bytes are exactly lines × the edge's line size.
+        assert_eq!(t.l1_l2.fill_bytes, t.l1_l2.fill_lines * cfg.l1.line_bytes);
+        assert_eq!(
+            t.l1_l2.writeback_bytes,
+            t.l1_l2.writeback_lines * cfg.l1.line_bytes
+        );
+        assert_eq!(
+            t.l2_dram.fill_bytes,
+            t.l2_dram.fill_lines * cfg.l2.line_bytes
+        );
+        // DRAM write-backs are sub-blocked: they move dirty sectors of the
+        // L1 line size.
+        assert_eq!(
+            t.l2_dram.writeback_bytes,
+            t.l2_dram.writeback_lines * cfg.l1.line_bytes
+        );
+        // Demand accounting: every L1 miss is one L1 fill, every L2 miss
+        // one DRAM fill.
+        assert_eq!(t.l1_l2.fill_lines, s.l1_misses);
+        assert_eq!(t.l2_dram.fill_lines, s.l2_misses);
+        // A line must be filled before it can be written back (inclusion
+        // makes this hold per edge, not just globally).
+        assert!(t.l1_l2.writeback_bytes <= t.l1_l2.fill_bytes);
+        assert!(t.l2_dram.writeback_bytes <= t.l2_dram.fill_bytes);
+        // Cycles are bounded below by the bandwidth term of every edge.
+        let bw_floor = t.l1_l2.total_bytes() / cfg.l2.bytes_per_cycle
+            + t.l2_dram.total_bytes() / cfg.dram.bytes_per_cycle;
+        assert!(
+            s.cycles >= bw_floor,
+            "cycles {} below bandwidth floor {}",
+            s.cycles,
+            bw_floor
+        );
+        // The legacy counter brackets the ledger: one event per L1
+        // write-back plus one per drain (a drain moves >= 1 sector).
+        assert!(s.writebacks >= t.l1_l2.writeback_lines);
+        assert!(s.writebacks <= t.l1_l2.writeback_lines + t.l2_dram.writeback_lines);
     }
 
     proptest! {
-        /// The hierarchy never charges less than an L1 hit or more than a
-        /// full miss per line touched, and cycle accounting matches stats.
+        /// The hierarchy never charges less than a port access or more
+        /// than a full miss per line touched, and cycle accounting matches
+        /// stats — on the legacy 64-byte geometry and on the narrow-L1
+        /// geometry alike.
         #[test]
-        fn cycle_bounds(accesses in proptest::collection::vec((0u64..1 << 20, 1u64..64, any::<bool>()), 1..200)) {
-            let mut h = Hierarchy::default();
-            let cfg = h.config();
+        fn cycle_bounds(
+            accesses in proptest::collection::vec((0u64..1 << 20, 1u64..64, any::<bool>()), 1..200),
+            narrow in any::<bool>(),
+        ) {
+            let cfg = if narrow { narrow_l1() } else { HierarchyConfig::fpga_softcore() };
+            let mut h = Hierarchy::new(cfg);
             let mut total = 0;
             for (addr, len, w) in accesses {
                 let lines = {
@@ -600,17 +1142,34 @@ mod tests {
                 };
                 let c = h.access(addr, len, w);
                 total += c;
-                prop_assert!(c >= lines * cfg.l1_hit_cycles);
-                // Worst case per line: full demand miss, plus a dirty L2
-                // victim of the demand fill (DRAM), plus the dirty L1
-                // victim's write-back into L2 whose install displaces
-                // another dirty L2 line (L2 transfer + DRAM).
-                let worst = cfg.l1_hit_cycles + 2 * cfg.l2_hit_cycles + 3 * cfg.dram_cycles;
-                prop_assert!(c <= lines * worst);
+                prop_assert!(c >= lines * cfg.port_cycles(1));
+                // Worst case per line: port + demand DRAM fill + L1 fill,
+                // plus a dirty L1 victim write-back, plus an L2 eviction
+                // that merges every dirty sub-line and drains.
+                let sub = cfg.l2.line_bytes / cfg.l1.line_bytes;
+                let worst = cfg.port_cycles(cfg.l1.line_bytes)
+                    + (2 + sub) * cfg.l1_l2_transfer_cycles()
+                    + 2 * cfg.l2_dram_transfer_cycles();
+                prop_assert!(c <= lines * worst, "{c} > {lines} * {worst}");
             }
             prop_assert_eq!(h.stats().cycles, total);
-            prop_assert_eq!(h.stats().l1_hits + h.stats().l1_misses,
-                            h.stats().l1_hits + h.stats().l2_hits + h.stats().l2_misses);
+            prop_assert_eq!(h.stats().l1_misses, h.stats().l2_hits + h.stats().l2_misses);
+        }
+
+        /// The per-edge ledger conserves: bytes = lines × line size, fills
+        /// match demand misses, write-backs never exceed fills, and the
+        /// bandwidth term lower-bounds the charged cycles.
+        #[test]
+        fn traffic_conserves(
+            accesses in proptest::collection::vec((0u64..1 << 18, 1u64..64, any::<bool>()), 1..300),
+            narrow in any::<bool>(),
+        ) {
+            let cfg = if narrow { narrow_l1() } else { HierarchyConfig::fpga_softcore() };
+            let mut h = Hierarchy::new(cfg);
+            for (addr, len, w) in accesses {
+                h.access(addr, len, w);
+            }
+            assert_traffic_conserves(&h);
         }
 
         /// Repeating the same small working set converges to all-hits.

@@ -60,6 +60,20 @@ impl VmConfig {
         self
     }
 
+    /// The same machine with `cache` as its cache/traffic model.
+    pub fn with_cache(mut self, cache: HierarchyConfig) -> VmConfig {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The same machine with the L1 line narrowed to `bytes` (the 16- or
+    /// 32-byte sub-block geometry that stops line rounding from absorbing
+    /// the half-width Cap128 stores). No-op on cache-less configs.
+    pub fn with_l1_line_bytes(mut self, bytes: u64) -> VmConfig {
+        self.cache = self.cache.map(|c| c.with_l1_line_bytes(bytes));
+        self
+    }
+
     /// The same machine with `policy` for unrepresentable Cap128 stores.
     pub fn with_cap128_policy(mut self, policy: UnrepresentablePolicy) -> VmConfig {
         self.cap128_policy = policy;
@@ -84,6 +98,20 @@ mod tests {
         assert!(c.heap_size + c.stack_size + c.data_base <= c.mem_size);
         assert!(VmConfig::functional().cache.is_none());
         assert!(VmConfig::fpga().cache.is_some());
+    }
+
+    #[test]
+    fn builders_set_cache_geometry() {
+        let c = VmConfig::fpga().with_l1_line_bytes(16);
+        let cache = c.cache.expect("fpga config has a cache model");
+        assert_eq!(cache.l1.line_bytes, 16);
+        assert!(cache.validate().is_ok());
+        assert!(VmConfig::functional()
+            .with_l1_line_bytes(16)
+            .cache
+            .is_none());
+        let again = VmConfig::functional().with_cache(HierarchyConfig::desktop());
+        assert_eq!(again.cache, Some(HierarchyConfig::desktop()));
     }
 
     #[test]

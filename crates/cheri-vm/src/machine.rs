@@ -1773,8 +1773,22 @@ mod tests {
             ),
             (
                 "memory_and_caps_128",
-                memory_and_caps,
+                memory_and_caps.clone(),
                 VmConfig::fpga().with_cap_format(CapFormat::Cap128),
+                100_000,
+            ),
+            (
+                "memory_and_caps_16b_line",
+                memory_and_caps.clone(),
+                VmConfig::fpga().with_l1_line_bytes(16),
+                100_000,
+            ),
+            (
+                "memory_and_caps_128_16b_line",
+                memory_and_caps,
+                VmConfig::fpga()
+                    .with_cap_format(CapFormat::Cap128)
+                    .with_l1_line_bytes(16),
                 100_000,
             ),
             ("div_by_zero", div_by_zero, VmConfig::functional(), 100_000),
@@ -1797,6 +1811,7 @@ mod tests {
                 "{name}: stats diverged"
             );
             if let Some(h) = &blocked.cache {
+                // CacheStats equality covers the per-edge traffic ledger.
                 assert_eq!(
                     h.stats(),
                     stepped.cache.as_ref().unwrap().stats(),
@@ -1821,6 +1836,46 @@ mod tests {
         let cache = s.stats.cache.expect("fpga config has a cache model");
         assert_eq!(cache.l1_hits + cache.l1_misses, 0);
         assert_eq!(cache.cycles, 0);
+    }
+
+    #[test]
+    fn traffic_ledger_reaches_vm_stats() {
+        // A cold load drags one L2 line from DRAM and one L1 line from L2;
+        // the per-edge ledger must surface through VmStats.
+        let code = vec![
+            Instr::li(8, 0x8000),
+            Instr::mem(Op::Ld, 9, 8, 0),
+            Instr::li(A0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let (s, _) = run_prog_with(code, VmConfig::fpga()).unwrap();
+        let cache = s.stats.cache.expect("fpga config has a cache model");
+        let cfg = VmConfig::fpga().cache.unwrap();
+        assert_eq!(cache.traffic.l2_dram.fill_bytes, cfg.l2.line_bytes);
+        assert_eq!(cache.traffic.l1_l2.fill_bytes, cfg.l1.line_bytes);
+        assert_eq!(cache.traffic.l2_dram.writeback_bytes, 0);
+    }
+
+    #[test]
+    fn narrow_l1_line_halves_cap128_store_traffic() {
+        // One CSC on a cold line: with 16-byte L1 lines a 16-byte Cap128
+        // store fills one line where the 32-byte Cap256 store fills two —
+        // the line-granularity rounding the bandwidth model removes.
+        let code = vec![
+            Instr::mem(Op::Csc, cabi::CSP, cabi::CSP, -64),
+            Instr::li(A0, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let fills = |format: CapFormat| {
+            let cfg = VmConfig::fpga()
+                .with_cap_format(format)
+                .with_l1_line_bytes(16);
+            let (s, _) = run_prog_with(code.clone(), cfg).unwrap();
+            s.stats.cache.unwrap().traffic.l1_l2.fill_bytes
+        };
+        let wide = fills(CapFormat::Cap256);
+        let narrow = fills(CapFormat::Cap128);
+        assert_eq!(wide - narrow, 16, "Cap128 spills one fewer 16-byte line");
     }
 
     #[test]

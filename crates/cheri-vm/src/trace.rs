@@ -15,6 +15,13 @@
 //! per-opcode retirement counts that `VmStats` reports are reconstructed
 //! from each block's opcode histogram times its execution count (plus the
 //! residual counts accumulated by single-stepping and partial blocks).
+//! Only *base* cycles are hoisted: cache-model costs — per-edge
+//! latency + bandwidth charges and the `TrafficStats` byte ledger under
+//! the bandwidth-aware hierarchy — are data-dependent and stay inside the
+//! per-op memory helpers, so block dispatch drives the identical access
+//! sequence through the identical model and the identity suites can pin
+//! cycles, cache stats and the traffic ledger bit-for-bit against
+//! single-stepping.
 //!
 //! Blocks hold only instruction *indices* and immutable code, so a PCC
 //! write never makes a cached block wrong — it makes it *unreachable*

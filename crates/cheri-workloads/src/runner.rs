@@ -176,6 +176,36 @@ mod tests {
     }
 
     #[test]
+    fn malloc_stress_matches_and_churns() {
+        let r = identical_across_abis(&sources::malloc_stress(24, 4), &[]);
+        let fields: Vec<i64> = r
+            .output
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        let (allocs, frees, live) = (fields[1], fields[2], fields[3]);
+        assert_eq!(allocs, 24 * 4);
+        assert!(frees > 0, "the churn must actually free nodes");
+        assert_eq!(live, allocs - frees);
+    }
+
+    #[test]
+    fn malloc_stress_oob_matches_on_idiom_ii_abis() {
+        // The far-out-of-bounds probe is Idiom II: fine on MIPS and
+        // CHERIv3, impossible under CHERIv2's base-moving arithmetic.
+        let src = sources::malloc_stress_oob(24, 4);
+        let base = run_fast(&src, Abi::Mips, &[]);
+        assert_eq!(base.exit, 0, "MIPS run failed: {}", base.output);
+        let v3 = run_fast(&src, Abi::CheriV3, &[]);
+        assert_eq!(v3.output, base.output);
+        let v2 = run_workload(&src, Abi::CheriV2, VmConfig::functional(), &[], FUEL);
+        assert!(
+            matches!(v2, Err(WorkloadError::Trap(_))),
+            "CHERIv2 must reject the out-of-bounds intermediate"
+        );
+    }
+
+    #[test]
     fn dhrystone_matches() {
         identical_across_abis(&sources::dhrystone(50), &[]);
     }

@@ -225,6 +225,94 @@ int main(void) {{
     .replace("xFFFF", "65535")
 }
 
+/// Malloc-heavy stress: churning allocate/free of mixed-size,
+/// pointer-rich nodes across four size classes. Every node carries two
+/// node capabilities plus a `probe` cursor `probe_delta` bytes past its
+/// base; rounds free roughly a third of the live nodes, fragmenting the
+/// heap the way the paper's allocator discussion assumes.
+fn malloc_stress_src(nodes_per_round: u32, rounds: u32, probe_delta: u32) -> String {
+    format!(
+        r#"
+struct node {{ long v; struct node *next; struct node *buddy; char *probe; }};
+
+struct node *heads[4];
+unsigned long seed = 7;
+
+long rnd(void) {{
+    seed = seed * 1103515245 + 12345;
+    return (long)((seed >> 16) & 32767);
+}}
+
+int main(void) {{
+    long allocs = 0;
+    long frees = 0;
+    long checksum = 0;
+    for (int c = 0; c < 4; c++) {{ heads[c] = 0; }}
+    for (int round = 0; round < {rounds}; round++) {{
+        for (int i = 0; i < {nodes_per_round}; i++) {{
+            int cls = (int)(rnd() % 4);
+            struct node *n = (struct node*)malloc(sizeof(struct node) + (unsigned long)cls * 40);
+            n->v = rnd() % 1000;
+            n->buddy = heads[(cls + 1) % 4];
+            n->probe = (char*)n + {probe_delta};
+            n->next = heads[cls];
+            heads[cls] = n;
+            allocs = allocs + 1;
+        }}
+        for (int c = 0; c < 4; c++) {{
+            struct node *p = heads[c];
+            struct node *kept = 0;
+            while (p) {{
+                struct node *nx = p->next;
+                if (p->v % 3 == round % 3) {{
+                    checksum = checksum + p->v;
+                    free(p);
+                    frees = frees + 1;
+                }} else {{
+                    p->next = kept;
+                    kept = p;
+                }}
+                p = nx;
+            }}
+            heads[c] = kept;
+        }}
+    }}
+    long live = 0;
+    for (int c = 0; c < 4; c++) {{
+        struct node *p = heads[c];
+        while (p) {{
+            checksum = checksum + p->v * (live % 5 + 1);
+            live = live + 1;
+            p = p->next;
+        }}
+    }}
+    putint(checksum); putchar(32);
+    putint(allocs); putchar(32);
+    putint(frees); putchar(32);
+    putint(live); putchar(10);
+    return 0;
+}}
+"#
+    )
+}
+
+/// The malloc stress with every `probe` cursor in bounds: runs under all
+/// three ABIs (CHERIv2's base-moving pointer arithmetic cannot leave the
+/// object), which is what the Figure 1 driver and the cross-ABI identity
+/// suites need.
+pub fn malloc_stress(nodes_per_round: u32, rounds: u32) -> String {
+    malloc_stress_src(nodes_per_round, rounds, 8)
+}
+
+/// The malloc stress with every `probe` cursor pushed ~250 KB past its
+/// node — an out-of-bounds intermediate the C abstract machine must
+/// preserve (Idiom II, MIPS and CHERIv3 only) but that no 128-bit low-fat
+/// encoding can represent: every allocation round-trips the Cap128
+/// unrepresentable side table.
+pub fn malloc_stress_oob(nodes_per_round: u32, rounds: u32) -> String {
+    malloc_stress_src(nodes_per_round, rounds, 250_000)
+}
+
 /// Dhrystone-like synthetic integer/string benchmark (scalar-heavy, few
 /// pointers — the case where CHERI is expected to cost nothing).
 pub fn dhrystone(runs: u32) -> String {
@@ -582,6 +670,8 @@ mod tests {
             ("bisort", bisort(32)),
             ("perimeter", perimeter(3)),
             ("mst", mst(16)),
+            ("malloc stress", malloc_stress(8, 2)),
+            ("malloc stress oob", malloc_stress_oob(8, 2)),
             ("dhrystone", dhrystone(5)),
             ("tcpdump baseline", tcpdump_baseline()),
             ("tcpdump v2", tcpdump_cheriv2()),

@@ -113,6 +113,10 @@ fn workloads_identical_across_formats() {
     for (name, src) in [
         ("treeadd", sources::treeadd(6, 2)),
         ("dhrystone", sources::dhrystone(30)),
+        // The malloc churn, including the far-out-of-bounds probes that
+        // escape to the Cap128 side table: the escape path must be
+        // semantically invisible.
+        ("malloc_stress_oob", sources::malloc_stress_oob(24, 4)),
     ] {
         let base = runner::run_workload(&src, Abi::CheriV3, VmConfig::functional(), &[], 1 << 30)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -167,6 +171,44 @@ fn block_dispatch_matches_stepping_on_compiled_programs() {
             );
         }
     }
+}
+
+/// The malloc stress's far-out-of-bounds probes populate the Cap128 side
+/// table — and the block dispatcher agrees with single-stepping on the
+/// escape-heavy run, traffic ledger included, on the narrow-line geometry.
+#[test]
+fn malloc_stress_oob_escapes_match_across_dispatchers() {
+    let src = sources::malloc_stress_oob(24, 3);
+    let prog = compile(&src, Abi::CheriV3).unwrap();
+    let cfg = VmConfig::fpga()
+        .with_cap_format(CapFormat::Cap128)
+        .with_l1_line_bytes(16);
+    let mut blocked = Vm::new(prog.clone(), cfg);
+    let ra = blocked.run(50_000_000).map(|s| s.code);
+    let mut stepped = Vm::new(prog, cfg);
+    let rb = loop {
+        if let Ok(status) = stepped.run(0) {
+            break Ok(status.code);
+        }
+        match stepped.step() {
+            Ok(()) => {}
+            Err(t) => break Err(t),
+        }
+    };
+    assert_eq!(ra, rb);
+    assert!(
+        blocked.mem().side_table_len() > 0,
+        "the probes must escape to the side table"
+    );
+    assert_eq!(
+        blocked.mem().side_table_len(),
+        stepped.mem().side_table_len()
+    );
+    let (a, b) = (blocked.stats(), stepped.stats());
+    assert_eq!(a.cycles, b.cycles);
+    // CacheStats equality covers the per-edge traffic ledger.
+    assert_eq!(a.cache, b.cache, "cache stats diverged");
+    assert_eq!(a.compression, b.compression);
 }
 
 /// A capability-heavy run on Cap128 actually halves the resident
