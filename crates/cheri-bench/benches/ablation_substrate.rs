@@ -11,7 +11,7 @@ use cheri_cache::{Hierarchy, HierarchyConfig};
 use cheri_cap::{CapFormat, Capability, CompressedCapability, CompressionStats, Perms};
 use cheri_isa::{Instr, Op, Program};
 use cheri_mem::{Allocator, TaggedMemory, UnrepresentablePolicy};
-use cheri_vm::{Vm, VmConfig};
+use cheri_vm::{BackendKind, OptLevel, Vm, VmConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 /// A straight-line program: `n` add-immediates, then exit — nothing but
@@ -46,10 +46,16 @@ fn counted_loop(n: i32) -> Program {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_substrate");
 
+    // The two legacy dispatch benches stay pinned to the reference
+    // backend with the optimizer off, so their numbers remain comparable
+    // across PRs; the backend ladder is measured separately below.
+    let reference = VmConfig::functional()
+        .with_backend(BackendKind::Reference)
+        .with_opt_level(OptLevel::None);
     let prog = straight_line(4096);
     g.bench_function("vm_fetch_straight_line_4k", |b| {
         b.iter(|| {
-            let mut vm = Vm::new(prog.clone(), VmConfig::functional());
+            let mut vm = Vm::new(prog.clone(), reference);
             let status = vm.run(1 << 20).unwrap();
             assert_eq!(status.stats.fetch_checks, 1);
             status.stats.instret
@@ -59,12 +65,33 @@ fn bench(c: &mut Criterion) {
     let loop_prog = counted_loop(4096);
     g.bench_function("vm_superinstruction_4k", |b| {
         b.iter(|| {
-            let mut vm = Vm::new(loop_prog.clone(), VmConfig::functional());
+            let mut vm = Vm::new(loop_prog.clone(), reference);
             let status = vm.run(1 << 20).unwrap();
             assert_eq!(status.stats.fetch_checks, 1);
             status.stats.instret
         })
     });
+
+    // The backend ladder on the same counted loop: chaining removes the
+    // per-iteration dispatch lookup, the template tier removes the
+    // per-op decode match. Both run the peephole pass (the default), so
+    // the loop body is also compare-and-branch fused.
+    for (name, backend) in [
+        ("vm_block_chained_4k", BackendKind::Chained),
+        ("vm_template_backend_4k", BackendKind::Template),
+    ] {
+        let cfg = VmConfig::functional()
+            .with_backend(backend)
+            .with_opt_level(OptLevel::Peephole);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(loop_prog.clone(), cfg);
+                let status = vm.run(1 << 20).unwrap();
+                assert_eq!(status.stats.fetch_checks, 1);
+                status.stats.instret
+            })
+        });
+    }
 
     let cap = Capability::new_mem(0x1000, 0x1000, Perms::data());
     g.bench_function("cap_inc_offset", |b| {

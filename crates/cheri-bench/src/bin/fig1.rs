@@ -1,9 +1,17 @@
 //! Regenerates Figure 1: Olden runtimes under the three ABIs.
+//!
+//! Usage: `fig1 [scale] [backend]` where `backend` is `reference`,
+//! `chained` or `template` (default: the machine default, template).
+//! Simulated cycles are backend-invariant; the choice only changes host
+//! wall-clock time.
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let mut args = std::env::args().skip(1);
+    let scale = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    if let Some(name) = args.next() {
+        let kind = cheri_vm::BackendKind::from_name(&name)
+            .unwrap_or_else(|| panic!("unknown backend {name:?} (reference|chained|template)"));
+        cheri_bench::select_backend(kind);
+    }
     let pts = cheri_bench::fig1_points(scale);
     print!(
         "{}",

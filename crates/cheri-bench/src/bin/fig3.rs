@@ -1,9 +1,15 @@
 //! Regenerates Figure 3: tcpdump trace-processing time under the three ABIs.
+//!
+//! Usage: `fig3 [packets] [backend]` where `backend` is `reference`,
+//! `chained` or `template` (default: the machine default, template).
 fn main() {
-    let packets: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000);
+    let mut args = std::env::args().skip(1);
+    let packets: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    if let Some(name) = args.next() {
+        let kind = cheri_vm::BackendKind::from_name(&name)
+            .unwrap_or_else(|| panic!("unknown backend {name:?} (reference|chained|template)"));
+        cheri_bench::select_backend(kind);
+    }
     let pts = cheri_bench::fig3_points(packets, 61106);
     print!(
         "{}",

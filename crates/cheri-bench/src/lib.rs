@@ -15,12 +15,33 @@ use cheri_compile::{compile, Abi};
 use cheri_idioms::{analyzer, cases, corpus, Idiom};
 use cheri_interp::ModelKind;
 use cheri_mem::Allocator;
-use cheri_vm::{Vm, VmConfig};
+use cheri_vm::{BackendKind, Vm, VmConfig};
 use cheri_workloads::runner::{run_workload, RunOutcome};
 use cheri_workloads::{inputs, porting, sources};
+use std::sync::OnceLock;
 
 /// Fuel budget for harness runs.
 pub const FUEL: u64 = 20_000_000_000;
+
+static BACKEND: OnceLock<BackendKind> = OnceLock::new();
+
+/// Selects the execution backend every figure/table driver runs on; the
+/// figure binaries call this with their optional trailing argument
+/// (`fig1 2 reference`). First call wins; the default is the machine
+/// default (the template tier). Simulated results are backend-invariant —
+/// this only changes how long the harness takes on the host.
+pub fn select_backend(kind: BackendKind) {
+    let _ = BACKEND.set(kind);
+}
+
+/// The FPGA-like machine every driver measures on, under the selected
+/// execution backend.
+pub fn machine_config() -> VmConfig {
+    match BACKEND.get() {
+        Some(&k) => VmConfig::fpga().with_backend(k),
+        None => VmConfig::fpga(),
+    }
+}
 
 // ---------------------------------------------------------------- Table 1
 
@@ -216,7 +237,7 @@ pub fn cap_memory_rows() -> Vec<CapMemoryRow> {
     for (name, src) in &workloads {
         let prog = compile(src, Abi::CheriV3).expect("workload compiles");
         for format in [CapFormat::Cap256, CapFormat::Cap128] {
-            let mut vm = Vm::new(prog.clone(), VmConfig::fpga().with_cap_format(format));
+            let mut vm = Vm::new(prog.clone(), machine_config().with_cap_format(format));
             let status = vm.run(FUEL).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(status.code, 0, "{name}/{format:?} failed");
             rows.push(CapMemoryRow {
@@ -342,7 +363,7 @@ pub fn cap_traffic_rows() -> Vec<TrafficRow> {
         let prog = compile(src, Abi::CheriV3).expect("workload compiles");
         for l1_line in [64u64, 16] {
             for format in [CapFormat::Cap256, CapFormat::Cap128] {
-                let cfg = VmConfig::fpga()
+                let cfg = machine_config()
                     .with_cap_format(format)
                     .with_l1_line_bytes(l1_line);
                 let mut vm = Vm::new(prog.clone(), cfg);
@@ -445,7 +466,7 @@ pub struct AbiPoint {
 /// Runs one workload under one ABI on the FPGA-like machine, asserting
 /// success.
 pub fn run_or_panic(name: &str, src: &str, abi: Abi, ins: &[(&str, &[u8])]) -> AbiPoint {
-    let outcome = run_workload(src, abi, VmConfig::fpga(), ins, FUEL)
+    let outcome = run_workload(src, abi, machine_config(), ins, FUEL)
         .unwrap_or_else(|e| panic!("{name}/{abi}: {e}"));
     assert_eq!(outcome.exit, 0, "{name}/{abi} failed: {}", outcome.output);
     AbiPoint {

@@ -244,10 +244,46 @@ define_ops! {
     CIncOffsetImm = 0x75, "cincoffsetimm", 1, CModI;
 }
 
+/// How an opcode transfers control, from the perspective of a basic-block
+/// builder: the shape of the successor set, not the condition itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Falls through to `pc + 1`; never ends a block.
+    None,
+    /// Conditional branch: two static successors, the encoded target and
+    /// the fall-through.
+    Branch,
+    /// Unconditional direct jump (`j`/`jal`): one static successor.
+    Jump,
+    /// Indirect jump through an integer register (`jr`/`jalr`): the
+    /// successor is dynamic but stays under the current PCC.
+    IndirectJump,
+    /// Capability jump (`cjr`/`cjalr`): rewrites the PCC itself, so any
+    /// cached fetch window is invalidated.
+    CapJump,
+    /// `syscall`/`break`: may halt the machine, trap, or mutate state the
+    /// dispatch loop must observe before the next instruction.
+    Effect,
+}
+
 impl Op {
     /// `true` for opcodes introduced by the CHERI extension.
     pub fn is_capability_op(self) -> bool {
         self as u8 >= 0x50
+    }
+
+    /// The control-flow shape of this opcode. The emulator's block IR uses
+    /// this both to cut blocks and to record each block's static successor
+    /// targets for chained dispatch.
+    pub fn control_kind(self) -> ControlKind {
+        match self {
+            Op::Beq | Op::Bne | Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => ControlKind::Branch,
+            Op::J | Op::Jal => ControlKind::Jump,
+            Op::Jr | Op::Jalr => ControlKind::IndirectJump,
+            Op::CJr | Op::CJalr => ControlKind::CapJump,
+            Op::Syscall | Op::Break => ControlKind::Effect,
+            _ => ControlKind::None,
+        }
     }
 
     /// `true` for opcodes that end a basic block: everything that can
@@ -257,23 +293,7 @@ impl Op {
     /// instruction) and `break` (which always traps). The emulator's
     /// superinstruction builder cuts straight-line blocks at these.
     pub fn ends_block(self) -> bool {
-        matches!(
-            self,
-            Op::Beq
-                | Op::Bne
-                | Op::Blez
-                | Op::Bgtz
-                | Op::Bltz
-                | Op::Bgez
-                | Op::J
-                | Op::Jal
-                | Op::Jr
-                | Op::Jalr
-                | Op::CJr
-                | Op::CJalr
-                | Op::Syscall
-                | Op::Break
-        )
+        self.control_kind() != ControlKind::None
     }
 
     /// `true` for the six instructions the paper's Table 2 adds in CHERIv3.
@@ -552,6 +572,27 @@ mod tests {
         assert!(!Op::Cld.ends_block());
         assert!(!Op::Csc.ends_block());
         assert!(!Op::CSetBounds.ends_block());
+    }
+
+    #[test]
+    fn control_kinds_partition_the_block_enders() {
+        // `control_kind` refines `ends_block`: `None` exactly on the ops
+        // that fall through, and the successor shapes sort by opcode family.
+        for &op in Op::ALL {
+            assert_eq!(
+                op.control_kind() == ControlKind::None,
+                !op.ends_block(),
+                "{op:?}"
+            );
+        }
+        assert_eq!(Op::Bne.control_kind(), ControlKind::Branch);
+        assert_eq!(Op::J.control_kind(), ControlKind::Jump);
+        assert_eq!(Op::Jal.control_kind(), ControlKind::Jump);
+        assert_eq!(Op::Jalr.control_kind(), ControlKind::IndirectJump);
+        assert_eq!(Op::CJr.control_kind(), ControlKind::CapJump);
+        assert_eq!(Op::Syscall.control_kind(), ControlKind::Effect);
+        assert_eq!(Op::Break.control_kind(), ControlKind::Effect);
+        assert_eq!(Op::Addu.control_kind(), ControlKind::None);
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod program;
 mod regs;
 pub mod table2;
 
-pub use instr::{decode, encode, CmpOp, DecodeError, Instr, Op, OpKind};
+pub use instr::{decode, encode, CmpOp, ControlKind, DecodeError, Instr, Op, OpKind};
 pub use program::{Program, Symbol};
 pub use regs::{
     cap_reg_name, reg_name, A0, A1, A2, A3, DDC, FP, GP, RA, SP, T0, T1, T2, T3, V0, V1, ZERO,

@@ -1,0 +1,735 @@
+//! Pluggable execution backends over the block IR.
+//!
+//! A backend owns the compiled-block cache and the dispatch loop; the
+//! [`crate::Vm`] owns the architectural state (registers, memory, PCC,
+//! statistics) and hands itself to the backend for the duration of
+//! [`crate::Vm::run`]. All backends are instances of one generic
+//! [`Engine`] parameterised by a [`BlockRepr`] — what a compiled block
+//! *is* — plus a chaining switch:
+//!
+//! * [`BackendKind::Reference`] — `Engine<InterpBody>`, no chaining: the
+//!   superinstruction interpreter exactly as before this refactor, and
+//!   the semantics every other backend is differenced against.
+//! * [`BackendKind::Chained`] — the same body, but a block whose terminal
+//!   is a direct branch or jump transfers straight to the already-compiled
+//!   successor (a memoized slot on the block) without re-entering the
+//!   outer dispatch loop.
+//! * [`BackendKind::Template`] — `Engine<TemplateBody>` with chaining:
+//!   each micro-op is pre-bound at compile time to a monomorphized
+//!   handler function, so the per-op dispatch is an indirect call on
+//!   pre-extracted operands instead of a match over [`FlatOp`].
+//!
+//! Chaining preserves bit-identity because the chain loop re-applies the
+//! outer loop's policy before every hop: the successor must lie inside
+//! the validated fetch window (so `fetch_checks` cannot diverge — the
+//! reference loop would not have revalidated either) and must fit in the
+//! remaining fuel (so `OutOfFuel` falls back to single-stepping at the
+//! same pc). Within a chain the window is invariant: the only ops that
+//! write the PCC (`cjr`/`cjalr`) are block terminals classified
+//! [`BlockExit::CapJump`], which never chain; [`BlockExit::Effect`]
+//! (syscall/break) never chains either, so the `halted` flag is always
+//! seen by the outer loop.
+
+use crate::config::{BackendKind, OptLevel, VmConfig};
+use crate::ir::{Block, BlockExit, FlatOp};
+use crate::machine::{ExitStatus, Vm};
+use crate::opt;
+use crate::trap::{TrapCause, VmTrap};
+use cheri_isa::{Instr, Op};
+use std::fmt;
+
+/// An execution backend: compiles blocks on demand and runs the machine
+/// until exit, trap, or fuel exhaustion. Exactly the contract
+/// [`crate::Vm::run`] had before backends were pluggable.
+pub(crate) trait ExecBackend: fmt::Debug + Send + Sync {
+    /// Which backend this is (bench/driver labelling).
+    fn kind(&self) -> BackendKind;
+    /// Runs `vm` for at most `fuel` retired instructions.
+    fn run(&mut self, vm: &mut Vm, fuel: u64) -> Result<ExitStatus, VmTrap>;
+    /// Folds this backend's block execution counters (histogram × execs)
+    /// into `counts`, completing the per-op retirement statistics.
+    fn add_op_counts(&self, counts: &mut [u64]);
+    /// Clone through the trait object (keeps `Vm: Clone`).
+    fn boxed_clone(&self) -> Box<dyn ExecBackend>;
+}
+
+/// Builds the backend selected by `cfg.backend`.
+pub(crate) fn new_backend(cfg: &VmConfig, code_len: usize) -> Box<dyn ExecBackend> {
+    match cfg.backend {
+        BackendKind::Reference => Box::new(Engine::<InterpBody>::new(cfg, false, code_len)),
+        BackendKind::Chained => Box::new(Engine::<InterpBody>::new(cfg, true, code_len)),
+        BackendKind::Template => Box::new(Engine::<TemplateBody>::new(cfg, true, code_len)),
+    }
+}
+
+/// What a compiled block is to a particular backend.
+pub(crate) trait BlockRepr: Clone + fmt::Debug + Send + Sync + 'static {
+    /// Compiles the (possibly peephole-rewritten) micro-ops.
+    fn compile(ops: &[FlatOp]) -> Self;
+    /// Executes the block body entered at `entry`. `Ok` is the next pc
+    /// after the terminal; `Err` carries the pc of the trapping op so the
+    /// engine can unwind the hoisted statistics positionally.
+    fn exec(&self, vm: &mut Vm, entry: u64) -> Result<u64, (u64, TrapCause)>;
+}
+
+/// One compiled block plus everything the engine needs without touching
+/// the body: accounting data (always describing the *source*
+/// instructions) and the memoized chain slots.
+#[derive(Clone, Debug)]
+struct Compiled<R> {
+    start: u64,
+    /// Source instruction count (`Block::instr_len`, not `ops.len()`).
+    len: u64,
+    base_cycles: u64,
+    raw: Box<[Op]>,
+    hist: Box<[(Op, u32)]>,
+    exit: BlockExit,
+    /// Compiled-block id of the taken/jump successor; `u32::MAX` until
+    /// first chained through.
+    taken: u32,
+    /// Compiled-block id of the fall-through successor.
+    fall: u32,
+    body: R,
+}
+
+/// The generic block engine: lazy compiled-block cache keyed by entry pc,
+/// per-block execution counters for stat hoisting, and the dispatch loop
+/// with optional block chaining.
+#[derive(Clone, Debug)]
+pub(crate) struct Engine<R> {
+    kind: BackendKind,
+    chain: bool,
+    opt: OptLevel,
+    /// `index[pc]` is the compiled block entered at `pc`, or `u32::MAX`.
+    index: Vec<u32>,
+    blocks: Vec<Compiled<R>>,
+    /// Completed executions per block (partial executions account their
+    /// prefix into the machine's residual counters instead).
+    execs: Vec<u64>,
+    /// Memo of the last terminal scan: every entry pc in
+    /// `[scan_start, scan_end)` has its block end exactly at `scan_end`.
+    /// Lets the dispatch loop ask for block *lengths* without compiling —
+    /// one O(block) scan serves a whole single-stepped walk across a long
+    /// straight-line region.
+    scan_start: u64,
+    scan_end: u64,
+}
+
+impl<R: BlockRepr> Engine<R> {
+    fn new(cfg: &VmConfig, chain: bool, code_len: usize) -> Engine<R> {
+        Engine {
+            kind: cfg.backend,
+            chain,
+            opt: cfg.opt,
+            index: vec![u32::MAX; code_len],
+            blocks: Vec::new(),
+            execs: Vec::new(),
+            scan_start: 0,
+            scan_end: 0,
+        }
+    }
+
+    /// Source-instruction length of the block entered at `pc`, without
+    /// compiling it: cached block if one exists, memoized terminal scan
+    /// otherwise.
+    fn block_len_at(&mut self, pc: u64, code: &[Instr]) -> u64 {
+        let id = self.index[pc as usize];
+        if id != u32::MAX {
+            return self.blocks[id as usize].len;
+        }
+        if pc >= self.scan_start && pc < self.scan_end {
+            return self.scan_end - pc;
+        }
+        let end = crate::ir::block_end(pc, code);
+        self.scan_start = pc;
+        self.scan_end = end as u64;
+        end as u64 - pc
+    }
+
+    /// The compiled block entered at `pc`, building it on first use.
+    fn get_or_compile(&mut self, pc: u64, code: &[Instr]) -> u32 {
+        let slot = pc as usize;
+        let id = self.index[slot];
+        if id != u32::MAX {
+            return id;
+        }
+        let mut block = Block::build(pc, code);
+        if self.opt == OptLevel::Peephole {
+            opt::peephole(&mut block);
+        }
+        let id = self.blocks.len() as u32;
+        self.blocks.push(Compiled {
+            start: block.start,
+            len: block.instr_len(),
+            base_cycles: block.base_cycles,
+            body: R::compile(&block.ops),
+            raw: block.raw,
+            hist: block.hist,
+            exit: block.exit,
+            taken: u32::MAX,
+            fall: u32::MAX,
+        });
+        self.execs.push(0);
+        self.index[slot] = id;
+        id
+    }
+
+    /// The dispatch loop. Mirrors the pre-backend `Vm::run`/`run_block`
+    /// pair decision for decision; the chain loop inside only hops when
+    /// the outer loop would have dispatched the successor block whole.
+    fn run_loop(&mut self, vm: &mut Vm, fuel: u64) -> Result<ExitStatus, VmTrap> {
+        let mut remaining = fuel;
+        loop {
+            if let Some(code) = vm.halted {
+                return Ok(ExitStatus {
+                    code,
+                    stats: vm.stats_with(&*self),
+                });
+            }
+            if remaining == 0 {
+                break;
+            }
+            let pc = vm.pc;
+            // Block entry performs exactly the window validation the
+            // per-instruction fetch would: a full PCC check only when the
+            // pc left the cached window (after a PCC write or a jump out).
+            if pc < vm.run_start || pc >= vm.run_end {
+                vm.fetch_slow(pc)?;
+            }
+            let len = self.block_len_at(pc, &vm.code);
+            if len > remaining || pc + len > vm.run_end {
+                // Not enough fuel to retire the whole block, or the
+                // (narrowed) PCC window cuts it short: single-step, which
+                // re-checks the window per instruction and traps exactly
+                // where the interpreter would.
+                vm.step()?;
+                remaining -= 1;
+                continue;
+            }
+            let mut id = self.get_or_compile(pc, &vm.code);
+            let mut entry = pc;
+            // The chain loop: execute the block, then — for direct
+            // branch/jump terminals — hop straight to the compiled
+            // successor while it stays inside the window and the fuel.
+            loop {
+                debug_assert_eq!(self.blocks[id as usize].start, entry);
+                // Base cycles are hoisted to one add, *before* the block
+                // body, so a terminal `clock()` syscall reads the same
+                // cycle count the per-instruction loop (which charges
+                // before executing) shows.
+                let exec_result = {
+                    let c = &self.blocks[id as usize];
+                    vm.cycles += c.base_cycles;
+                    c.body.exec(vm, entry)
+                };
+                let next = match exec_result {
+                    Ok(next) => next,
+                    Err((trap_pc, cause)) => {
+                        let c = &self.blocks[id as usize];
+                        let executed = (trap_pc - entry) as usize + 1;
+                        vm.unwind_partial(&c.raw, executed, c.base_cycles);
+                        // Like `step`, leave the pc at the trapping
+                        // instruction.
+                        vm.pc = trap_pc;
+                        return Err(VmTrap { pc: trap_pc, cause });
+                    }
+                };
+                self.execs[id as usize] += 1;
+                let (blen, exit, taken_memo, fall_memo) = {
+                    let c = &self.blocks[id as usize];
+                    (c.len, c.exit, c.taken, c.fall)
+                };
+                vm.instret += blen;
+                vm.regs[0] = 0;
+                vm.pc = next;
+                remaining -= blen;
+                if !self.chain {
+                    break;
+                }
+                // Only static-successor exits chain; everything else
+                // (indirect, capability jump, syscall/break, fall-off)
+                // returns to the outer loop, which re-checks `halted` and
+                // the fetch window.
+                let take_edge = match exit {
+                    BlockExit::Branch { taken, .. } => next == taken,
+                    BlockExit::Jump { .. } => true,
+                    _ => break,
+                };
+                // The successor must be inside the validated window (the
+                // window is invariant during a chain — nothing chained
+                // writes the PCC) and must fit in the remaining fuel,
+                // exactly the outer loop's dispatch conditions.
+                if next < vm.run_start || next >= vm.run_end {
+                    break;
+                }
+                let memo = if take_edge { taken_memo } else { fall_memo };
+                let nid = if memo != u32::MAX {
+                    memo
+                } else {
+                    let nid = self.get_or_compile(next, &vm.code);
+                    let c = &mut self.blocks[id as usize];
+                    if take_edge {
+                        c.taken = nid;
+                    } else {
+                        c.fall = nid;
+                    }
+                    nid
+                };
+                let nlen = self.blocks[nid as usize].len;
+                if nlen > remaining || next + nlen > vm.run_end {
+                    break;
+                }
+                id = nid;
+                entry = next;
+            }
+        }
+        Err(VmTrap {
+            pc: vm.pc,
+            cause: TrapCause::OutOfFuel,
+        })
+    }
+}
+
+impl<R: BlockRepr> ExecBackend for Engine<R> {
+    fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    fn run(&mut self, vm: &mut Vm, fuel: u64) -> Result<ExitStatus, VmTrap> {
+        self.run_loop(vm, fuel)
+    }
+
+    fn add_op_counts(&self, counts: &mut [u64]) {
+        for (block, &n) in self.blocks.iter().zip(&self.execs) {
+            if n == 0 {
+                continue;
+            }
+            for &(op, c) in block.hist.iter() {
+                counts[op as usize] += u64::from(c) * n;
+            }
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ExecBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// The reference block body: the flattened micro-ops, executed through
+/// the interpreter's `exec_flat` match.
+#[derive(Clone, Debug)]
+pub(crate) struct InterpBody(Box<[FlatOp]>);
+
+impl BlockRepr for InterpBody {
+    fn compile(ops: &[FlatOp]) -> InterpBody {
+        InterpBody(ops.into())
+    }
+
+    fn exec(&self, vm: &mut Vm, entry: u64) -> Result<u64, (u64, TrapCause)> {
+        let mut cur = entry;
+        for op in self.0.iter() {
+            match vm.exec_flat(op, cur) {
+                Ok(next) => cur = next,
+                Err(cause) => return Err((cur, cause)),
+            }
+        }
+        Ok(cur)
+    }
+}
+
+/// One op's handler: pre-bound at compile time, reading pre-extracted
+/// operands from the [`TOp`] instead of destructuring a [`FlatOp`].
+type Handler = fn(&mut Vm, &TOp, u64) -> Result<u64, TrapCause>;
+
+/// A templated op: handler pointer plus its operands, unpacked once at
+/// block compile time. `a`/`b`/`c` are the destination and source
+/// register indices (or the width, for memory ops); the long tail keeps
+/// the original [`FlatOp`] and goes through the interpreter arm.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TOp {
+    run: Handler,
+    a: u8,
+    b: u8,
+    c: u8,
+    imm: i64,
+    target: u64,
+    flat: FlatOp,
+}
+
+/// The template block body: a pre-bound monomorphized handler chain.
+#[derive(Clone, Debug)]
+pub(crate) struct TemplateBody(Box<[TOp]>);
+
+impl BlockRepr for TemplateBody {
+    fn compile(ops: &[FlatOp]) -> TemplateBody {
+        TemplateBody(ops.iter().map(bind).collect())
+    }
+
+    fn exec(&self, vm: &mut Vm, entry: u64) -> Result<u64, (u64, TrapCause)> {
+        let mut cur = entry;
+        for t in self.0.iter() {
+            match (t.run)(vm, t, cur) {
+                Ok(next) => cur = next,
+                Err(cause) => return Err((cur, cause)),
+            }
+        }
+        Ok(cur)
+    }
+}
+
+macro_rules! alu2 {
+    ($name:ident, |$x:ident, $y:ident| $v:expr) => {
+        fn $name(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+            let $x = vm.reg(t.b);
+            let $y = vm.reg(t.c);
+            vm.set_reg(t.a, $v);
+            Ok(pc + 1)
+        }
+    };
+}
+
+macro_rules! alu_imm {
+    ($name:ident, |$x:ident, $i:ident| $v:expr) => {
+        fn $name(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+            let $x = vm.reg(t.b);
+            let $i = t.imm;
+            vm.set_reg(t.a, $v);
+            Ok(pc + 1)
+        }
+    };
+}
+
+macro_rules! cond_branch {
+    ($name:ident, |$x:ident, $y:ident| $taken:expr) => {
+        fn $name(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+            let $x = vm.reg(t.b);
+            let $y = vm.reg(t.c);
+            Ok(if $taken { t.target } else { pc + 1 })
+        }
+    };
+}
+
+alu2!(h_addu, |a, b| a.wrapping_add(b));
+alu2!(h_subu, |a, b| a.wrapping_sub(b));
+alu2!(h_and, |a, b| a & b);
+alu2!(h_or, |a, b| a | b);
+alu2!(h_xor, |a, b| a ^ b);
+alu2!(h_nor, |a, b| !(a | b));
+alu2!(h_slt, |a, b| u64::from((a as i64) < (b as i64)));
+alu2!(h_sltu, |a, b| u64::from(a < b));
+alu2!(h_sllv, |a, b| a << (b & 63));
+alu2!(h_srlv, |a, b| a >> (b & 63));
+alu2!(h_srav, |a, b| ((a as i64) >> (b & 63)) as u64);
+alu2!(h_mul, |a, b| a.wrapping_mul(b));
+alu_imm!(h_addiu, |a, i| a.wrapping_add(i as u64));
+alu_imm!(h_andi, |a, i| a & (i as u64));
+alu_imm!(h_ori, |a, i| a | (i as u64));
+alu_imm!(h_xori, |a, i| a ^ (i as u64));
+alu_imm!(h_slti, |a, i| u64::from((a as i64) < i));
+alu_imm!(h_sltiu, |a, i| u64::from(a < i as u64));
+alu_imm!(h_sll, |a, i| a << (i as u32));
+alu_imm!(h_srl, |a, i| a >> (i as u32));
+alu_imm!(h_sra, |a, i| ((a as i64) >> (i as u32)) as u64);
+cond_branch!(h_beq, |a, b| a == b);
+cond_branch!(h_bne, |a, b| a != b);
+cond_branch!(h_blez, |a, _b| a as i64 <= 0);
+cond_branch!(h_bgtz, |a, _b| a as i64 > 0);
+cond_branch!(h_bltz, |a, _b| (a as i64) < 0);
+cond_branch!(h_bgez, |a, _b| a as i64 >= 0);
+
+fn h_nop(_vm: &mut Vm, _t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    Ok(pc + 1)
+}
+
+fn h_li(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    vm.set_reg(t.a, t.imm as u64);
+    Ok(pc + 1)
+}
+
+fn h_add(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    let v = (vm.reg(t.b) as i64)
+        .checked_add(vm.reg(t.c) as i64)
+        .ok_or(TrapCause::IntegerOverflow)?;
+    vm.set_reg(t.a, v as u64);
+    Ok(pc + 1)
+}
+
+fn h_sub(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    let v = (vm.reg(t.b) as i64)
+        .checked_sub(vm.reg(t.c) as i64)
+        .ok_or(TrapCause::IntegerOverflow)?;
+    vm.set_reg(t.a, v as u64);
+    Ok(pc + 1)
+}
+
+fn h_addi(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    let v = (vm.reg(t.b) as i64)
+        .checked_add(t.imm)
+        .ok_or(TrapCause::IntegerOverflow)?;
+    vm.set_reg(t.a, v as u64);
+    Ok(pc + 1)
+}
+
+fn h_j(_vm: &mut Vm, t: &TOp, _pc: u64) -> Result<u64, TrapCause> {
+    Ok(t.target)
+}
+
+fn h_jal(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    vm.set_reg(cheri_isa::RA, pc + 1);
+    Ok(t.target)
+}
+
+fn h_jr(vm: &mut Vm, t: &TOp, _pc: u64) -> Result<u64, TrapCause> {
+    Ok(vm.reg(t.b))
+}
+
+fn h_jalr(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    // Read the target before writing the link: `jalr r, r` must jump to
+    // the register's old value.
+    let target = vm.reg(t.b);
+    vm.set_reg(t.a, pc + 1);
+    Ok(target)
+}
+
+fn h_load<const SIGNED: bool, const CAP: bool>(
+    vm: &mut Vm,
+    t: &TOp,
+    pc: u64,
+) -> Result<u64, TrapCause> {
+    vm.exec_load(t.a, t.b, t.imm as i32, t.c, SIGNED, CAP)?;
+    Ok(pc + 1)
+}
+
+fn h_store<const CAP: bool>(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    vm.exec_store(t.a, t.b, t.imm as i32, t.c, CAP)?;
+    Ok(pc + 1)
+}
+
+fn h_fused<const SIGNED: bool, const IMM: bool, const IF: bool>(
+    vm: &mut Vm,
+    t: &TOp,
+    pc: u64,
+) -> Result<u64, TrapCause> {
+    let a = vm.reg(t.b);
+    let v = if IMM {
+        if SIGNED {
+            u64::from((a as i64) < t.imm)
+        } else {
+            u64::from(a < t.imm as u64)
+        }
+    } else {
+        let b = vm.reg(t.c);
+        if SIGNED {
+            u64::from((a as i64) < (b as i64))
+        } else {
+            u64::from(a < b)
+        }
+    };
+    vm.set_reg(t.a, v);
+    Ok(if (v != 0) == IF { t.target } else { pc + 2 })
+}
+
+/// The long tail — capability ops and `Other` — goes through the
+/// interpreter's own arm, which keeps every capability/trap decision in
+/// exactly one place.
+fn h_flat(vm: &mut Vm, t: &TOp, pc: u64) -> Result<u64, TrapCause> {
+    vm.exec_flat(&t.flat, pc)
+}
+
+/// Pre-binds one micro-op to its handler, extracting operands once.
+fn bind(op: &FlatOp) -> TOp {
+    let mut t = TOp {
+        run: h_flat,
+        a: 0,
+        b: 0,
+        c: 0,
+        imm: 0,
+        target: 0,
+        flat: *op,
+    };
+    macro_rules! set {
+        ($run:expr, $a:expr, $b:expr, $c:expr, $imm:expr, $target:expr) => {{
+            t.run = $run;
+            t.a = $a;
+            t.b = $b;
+            t.c = $c;
+            t.imm = $imm;
+            t.target = $target;
+        }};
+    }
+    match *op {
+        FlatOp::Nop => set!(h_nop, 0, 0, 0, 0, 0),
+        FlatOp::Add { rd, rs, rt } => set!(h_add, rd, rs, rt, 0, 0),
+        FlatOp::Sub { rd, rs, rt } => set!(h_sub, rd, rs, rt, 0, 0),
+        FlatOp::Addi { rd, rs, imm } => set!(h_addi, rd, rs, 0, imm, 0),
+        FlatOp::Addu { rd, rs, rt } => set!(h_addu, rd, rs, rt, 0, 0),
+        FlatOp::Subu { rd, rs, rt } => set!(h_subu, rd, rs, rt, 0, 0),
+        FlatOp::And { rd, rs, rt } => set!(h_and, rd, rs, rt, 0, 0),
+        FlatOp::Or { rd, rs, rt } => set!(h_or, rd, rs, rt, 0, 0),
+        FlatOp::Xor { rd, rs, rt } => set!(h_xor, rd, rs, rt, 0, 0),
+        FlatOp::Nor { rd, rs, rt } => set!(h_nor, rd, rs, rt, 0, 0),
+        FlatOp::Slt { rd, rs, rt } => set!(h_slt, rd, rs, rt, 0, 0),
+        FlatOp::Sltu { rd, rs, rt } => set!(h_sltu, rd, rs, rt, 0, 0),
+        FlatOp::Sllv { rd, rs, rt } => set!(h_sllv, rd, rs, rt, 0, 0),
+        FlatOp::Srlv { rd, rs, rt } => set!(h_srlv, rd, rs, rt, 0, 0),
+        FlatOp::Srav { rd, rs, rt } => set!(h_srav, rd, rs, rt, 0, 0),
+        FlatOp::Mul { rd, rs, rt } => set!(h_mul, rd, rs, rt, 0, 0),
+        // Div/Divu/Rem/Remu stay on the interpreter arm: they are rare in
+        // compiled code and their two-cause trap logic is not worth a
+        // second copy.
+        FlatOp::Addiu { rd, rs, imm } => set!(h_addiu, rd, rs, 0, imm as i64, 0),
+        FlatOp::Andi { rd, rs, imm } => set!(h_andi, rd, rs, 0, imm as i64, 0),
+        FlatOp::Ori { rd, rs, imm } => set!(h_ori, rd, rs, 0, imm as i64, 0),
+        FlatOp::Xori { rd, rs, imm } => set!(h_xori, rd, rs, 0, imm as i64, 0),
+        FlatOp::Slti { rd, rs, imm } => set!(h_slti, rd, rs, 0, imm, 0),
+        FlatOp::Sltiu { rd, rs, imm } => set!(h_sltiu, rd, rs, 0, imm as i64, 0),
+        FlatOp::Li { rd, v } => set!(h_li, rd, 0, 0, v as i64, 0),
+        FlatOp::Sll { rd, rs, sh } => set!(h_sll, rd, rs, 0, i64::from(sh), 0),
+        FlatOp::Srl { rd, rs, sh } => set!(h_srl, rd, rs, 0, i64::from(sh), 0),
+        FlatOp::Sra { rd, rs, sh } => set!(h_sra, rd, rs, 0, i64::from(sh), 0),
+        FlatOp::Beq { rs, rt, target } => set!(h_beq, 0, rs, rt, 0, target),
+        FlatOp::Bne { rs, rt, target } => set!(h_bne, 0, rs, rt, 0, target),
+        FlatOp::Blez { rs, target } => set!(h_blez, 0, rs, 0, 0, target),
+        FlatOp::Bgtz { rs, target } => set!(h_bgtz, 0, rs, 0, 0, target),
+        FlatOp::Bltz { rs, target } => set!(h_bltz, 0, rs, 0, 0, target),
+        FlatOp::Bgez { rs, target } => set!(h_bgez, 0, rs, 0, 0, target),
+        FlatOp::J { target } => set!(h_j, 0, 0, 0, 0, target),
+        FlatOp::Jal { target } => set!(h_jal, 0, 0, 0, 0, target),
+        FlatOp::Jr { rs } => set!(h_jr, 0, rs, 0, 0, 0),
+        FlatOp::Jalr { rd, rs } => set!(h_jalr, rd, rs, 0, 0, 0),
+        FlatOp::FusedCmpBranch {
+            rd,
+            rs,
+            rt,
+            imm,
+            signed,
+            imm_form,
+            branch_if,
+            target,
+        } => {
+            let run = match (signed, imm_form, branch_if) {
+                (true, true, true) => h_fused::<true, true, true>,
+                (true, true, false) => h_fused::<true, true, false>,
+                (true, false, true) => h_fused::<true, false, true>,
+                (true, false, false) => h_fused::<true, false, false>,
+                (false, true, true) => h_fused::<false, true, true>,
+                (false, true, false) => h_fused::<false, true, false>,
+                (false, false, true) => h_fused::<false, false, true>,
+                (false, false, false) => h_fused::<false, false, false>,
+            };
+            set!(run, rd, rs, rt, imm, target);
+        }
+        FlatOp::Load {
+            rd,
+            base,
+            off,
+            width,
+            signed,
+            via_cap,
+        } => {
+            let run = match (signed, via_cap) {
+                (true, true) => h_load::<true, true>,
+                (true, false) => h_load::<true, false>,
+                (false, true) => h_load::<false, true>,
+                (false, false) => h_load::<false, false>,
+            };
+            set!(run, rd, base, width, i64::from(off), 0);
+        }
+        FlatOp::Store {
+            rv,
+            base,
+            off,
+            width,
+            via_cap,
+        } => {
+            let run = if via_cap {
+                h_store::<true>
+            } else {
+                h_store::<false>
+            };
+            set!(run, rv, base, width, i64::from(off), 0);
+        }
+        // Capability ops and the `Other` long tail keep `h_flat`.
+        _ => {}
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{Instr, Op};
+
+    fn engine(code_len: usize) -> Engine<InterpBody> {
+        Engine::new(&VmConfig::functional(), false, code_len)
+    }
+
+    #[test]
+    fn block_len_at_agrees_with_built_blocks_and_builds_nothing() {
+        // A long straight-line region: asking for lengths at every pc must
+        // not compile (or cache) any block, and each answer must match
+        // what Block::build would produce. Sequential queries ride one
+        // memoized scan.
+        let mut code = vec![Instr::i2(Op::Addiu, 8, 8, 1); 64];
+        code.push(Instr::syscall(0)); // 64: terminal
+        code.push(Instr::li(4, 0)); // 65
+        code.push(Instr::new(Op::J, 0, 0, 0, 0)); // 66: terminal
+        let mut e = engine(code.len());
+        for pc in 0..code.len() as u64 {
+            let len = e.block_len_at(pc, &code);
+            let expect = Block::build(pc, &code).instr_len();
+            assert_eq!(len, expect, "length at pc {pc}");
+        }
+        assert_eq!(e.blocks.len(), 0, "length queries must not compile");
+        // Once a block is compiled, its cached length is served from it.
+        let id = e.get_or_compile(3, &code);
+        assert_eq!(e.block_len_at(3, &code), e.blocks[id as usize].len);
+    }
+
+    #[test]
+    fn compile_is_cached_and_lengths_count_source_instructions() {
+        // A fused terminal shortens `ops` but never the instruction count.
+        let code = vec![
+            Instr::r3(Op::Slt, 11, 10, 9),
+            Instr::new(Op::Beq, 0, 11, 0, 0),
+        ];
+        let mut e: Engine<InterpBody> = Engine::new(
+            &VmConfig::functional().with_opt_level(OptLevel::Peephole),
+            false,
+            code.len(),
+        );
+        let id = e.get_or_compile(0, &code);
+        assert_eq!(e.blocks[id as usize].len, 2);
+        assert_eq!(e.blocks[id as usize].body.0.len(), 1, "fused to one op");
+        assert_eq!(e.get_or_compile(0, &code), id, "compile is cached");
+    }
+
+    #[test]
+    fn add_op_counts_weights_histograms_by_execs() {
+        let code = vec![
+            Instr::li(8, 0),
+            Instr::li(9, 1),
+            Instr::r3(Op::Addu, 8, 8, 9),
+            Instr::new(Op::Beq, 0, 8, 0, 2),
+        ];
+        let mut e = engine(code.len());
+        let id = e.get_or_compile(0, &code);
+        e.execs[id as usize] = 2;
+        let mut counts = vec![0u64; 256];
+        e.add_op_counts(&mut counts);
+        assert_eq!(counts[Op::Li as usize], 4);
+        assert_eq!(counts[Op::Beq as usize], 2);
+    }
+
+    #[test]
+    fn backend_kinds_round_trip_through_the_factory() {
+        for kind in [
+            BackendKind::Reference,
+            BackendKind::Chained,
+            BackendKind::Template,
+        ] {
+            let cfg = VmConfig::functional().with_backend(kind);
+            assert_eq!(new_backend(&cfg, 4).kind(), kind);
+        }
+    }
+}

@@ -9,6 +9,58 @@ use cheri_mem::UnrepresentablePolicy;
 /// makes null-pointer dereferences crash on conventional machines.
 pub const NULL_GUARD_SIZE: u64 = 0x1000;
 
+/// Which execution backend drives [`crate::Vm::run`]. Every backend is
+/// bit-identical in architectural state and statistics (simulated cycles,
+/// traps, `fetch_checks`, the traffic ledger); they differ only in host
+/// wall-clock speed. See the README's "Execution backends" section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The basic-block superinstruction interpreter, one block per
+    /// dispatch — the reference semantics every other backend is
+    /// differenced against.
+    Reference,
+    /// The block interpreter with block chaining: a direct branch/jump
+    /// terminal transfers straight to the already-compiled successor.
+    Chained,
+    /// The template tier: each micro-op pre-bound to a monomorphized
+    /// handler at block compile time, plus chaining.
+    Template,
+}
+
+impl BackendKind {
+    /// All backends, reference first (differential-suite order).
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Reference,
+        BackendKind::Chained,
+        BackendKind::Template,
+    ];
+
+    /// Driver-facing name (`fig1 -- <scale> template`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Reference => "reference",
+            BackendKind::Chained => "chained",
+            BackendKind::Template => "template",
+        }
+    }
+
+    /// Parses a driver-facing name.
+    pub fn from_name(s: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// IR optimization level applied when a block is compiled. Gated so the
+/// unoptimized path stays available as the differential baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Flatten only; execute the micro-ops exactly as decoded.
+    None,
+    /// The peephole pass: constant folding into immediates,
+    /// redundant-write elision, fused compare-and-branch.
+    Peephole,
+}
+
 /// Configuration for a [`crate::Vm`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VmConfig {
@@ -29,6 +81,11 @@ pub struct VmConfig {
     /// What a Cap128 capability store does when the capability is not
     /// representable (ignored under [`CapFormat::Cap256`]).
     pub cap128_policy: UnrepresentablePolicy,
+    /// Which execution backend drives the machine. All backends are
+    /// bit-identical in everything but host speed.
+    pub backend: BackendKind,
+    /// IR optimization level applied when blocks are compiled.
+    pub opt: OptLevel,
 }
 
 impl VmConfig {
@@ -43,6 +100,8 @@ impl VmConfig {
             heap_size: 8 << 20,
             cap_format: CapFormat::Cap256,
             cap128_policy: UnrepresentablePolicy::SideTable,
+            backend: BackendKind::Template,
+            opt: OptLevel::Peephole,
         }
     }
 
@@ -77,6 +136,18 @@ impl VmConfig {
     /// The same machine with `policy` for unrepresentable Cap128 stores.
     pub fn with_cap128_policy(mut self, policy: UnrepresentablePolicy) -> VmConfig {
         self.cap128_policy = policy;
+        self
+    }
+
+    /// The same machine driven by `backend`.
+    pub fn with_backend(mut self, backend: BackendKind) -> VmConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// The same machine with blocks compiled at `opt`.
+    pub fn with_opt_level(mut self, opt: OptLevel) -> VmConfig {
+        self.opt = opt;
         self
     }
 }
@@ -122,5 +193,19 @@ mod tests {
         assert_eq!(c.cap_format, CapFormat::Cap128);
         assert_eq!(c.cap128_policy, UnrepresentablePolicy::Trap);
         assert_eq!(VmConfig::default().cap_format, CapFormat::Cap256);
+    }
+
+    #[test]
+    fn builders_select_backend_and_opt_level() {
+        assert_eq!(VmConfig::default().backend, BackendKind::Template);
+        assert_eq!(VmConfig::default().opt, OptLevel::Peephole);
+        let c = VmConfig::functional()
+            .with_backend(BackendKind::Reference)
+            .with_opt_level(OptLevel::None);
+        assert_eq!((c.backend, c.opt), (BackendKind::Reference, OptLevel::None));
+        for k in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(BackendKind::from_name("jit"), None);
     }
 }

@@ -1,4 +1,4 @@
-//! Basic-block superinstructions: the VM's block-level dispatch layer.
+//! The block IR: straight-line basic blocks of flattened micro-ops.
 //!
 //! At first execution of an entry pc the predecoded `Vec<Instr>` is grouped
 //! into a straight-line **block** — the maximal run of instructions ending
@@ -6,9 +6,18 @@
 //! code image. Each instruction is *flattened* into a [`FlatOp`]: register
 //! indices and immediates pre-resolved (sign/zero extension done once,
 //! shift amounts masked, load/store width/signedness/addressing unified,
-//! the `CPtrCmp` selector decoded), so the hot loop in
-//! `machine::Vm::run_block` executes the whole block without per-step
-//! fetch-window compares or per-op statistics.
+//! the `CPtrCmp` selector decoded), so a backend executes the whole block
+//! without per-step fetch-window compares or per-op statistics.
+//!
+//! The IR is decoupled from dispatch: a [`Block`] carries everything any
+//! backend needs — the micro-ops, the raw opcode array and histogram for
+//! statistics reconstruction, the hoisted base-cycle sum, and a
+//! [`BlockExit`] describing the static successor targets (which the
+//! chained drivers use to jump block-to-block without re-entering the
+//! dispatch match). The [`crate::opt`] peephole pass rewrites `ops` in
+//! place; `raw`, `hist` and `base_cycles` always describe the *source*
+//! instructions, which is what keeps retirement counts and cycle charges
+//! bit-identical whether or not a rewrite fired.
 //!
 //! Statistics are hoisted to per-block counters: a completed block bumps
 //! one execution counter and adds one precomputed base-cycle sum; the
@@ -28,16 +37,15 @@
 //! until revalidated. Validation rides the machine's cached fetch window:
 //! writing the PCC empties the window, and the next block entry performs
 //! the same one full `set_offset` + `check_access` the per-instruction
-//! interpreter would, keeping `VmStats::fetch_checks` identical. A block
-//! that no longer fits the (narrowed) window is not executed as a block;
-//! the machine falls back to single-stepping, which traps at exactly the
-//! pc the interpreter would.
+//! interpreter would, keeping `VmStats::fetch_checks` identical.
 
-use cheri_isa::{CmpOp, Instr, Op};
-use std::sync::Arc;
+use cheri_isa::{CmpOp, ControlKind, Instr, Op};
 
 /// One flattened micro-op. Field meanings mirror `machine::Vm::execute_at`
 /// arm for arm; the flattening only moves operand decoding to build time.
+/// [`FlatOp::FusedCmpBranch`] is the one op with no 1:1 source
+/// instruction: the peephole pass synthesises it from a compare + branch
+/// pair (see [`crate::opt`]).
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum FlatOp {
     Nop,
@@ -230,6 +238,27 @@ pub(crate) enum FlatOp {
         rd: u8,
         rs: u8,
     },
+    /// A compare feeding a terminal branch on its result, fused by the
+    /// peephole pass into one micro-op covering *two* source
+    /// instructions: `v = cmp(...)`; `rd = v`; branch when
+    /// `(v != 0) == branch_if`. Neither component can trap, and the
+    /// compare's register write is preserved, so the fusion is
+    /// unobservable outside dispatch count. `target` is the taken pc; the
+    /// fall-through is `pc + 2` (the op sits at the compare's slot).
+    FusedCmpBranch {
+        rd: u8,
+        rs: u8,
+        rt: u8,
+        imm: i64,
+        /// Signed (`slt`/`slti`) vs unsigned (`sltu`/`sltiu`) compare.
+        signed: bool,
+        /// Compare against `imm` instead of `reg(rt)`.
+        imm_form: bool,
+        /// Branch when the comparison result is 1 (`bne rd, r0`) vs 0
+        /// (`beq rd, r0`).
+        branch_if: bool,
+        target: u64,
+    },
     /// All eleven legacy and seven capability-relative scalar loads,
     /// unified: width, signedness and addressing mode pre-resolved.
     Load {
@@ -332,7 +361,7 @@ pub(crate) enum FlatOp {
 /// Flattens one predecoded instruction. The extensions/masks here must
 /// match `execute_at` exactly — the differential and bit-identity tests
 /// hold the two dispatchers to the same answers.
-fn flatten(i: Instr) -> FlatOp {
+pub(crate) fn flatten(i: Instr) -> FlatOp {
     let (rd, rs, rt, imm) = (i.rd, i.rs, i.rt, i.imm);
     let simm = imm as i64;
     match i.op {
@@ -521,28 +550,56 @@ fn store(i: Instr, width: u8, via_cap: bool) -> FlatOp {
     }
 }
 
+/// A block's successor structure, derived from its terminal's
+/// [`ControlKind`]. Chained drivers follow [`BlockExit::Branch`] and
+/// [`BlockExit::Jump`] edges directly; everything else returns to the
+/// dispatch loop (indirect targets are dynamic, capability jumps
+/// invalidate the fetch window, effects may halt, and a clipped block
+/// falls off the code image).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockExit {
+    /// Conditional branch: taken target plus fall-through.
+    Branch { taken: u64, fall: u64 },
+    /// Unconditional direct jump (`j`/`jal`).
+    Jump { target: u64 },
+    /// Indirect jump through an integer register (`jr`/`jalr`).
+    Indirect,
+    /// Capability jump (`cjr`/`cjalr`): rewrites the PCC.
+    CapJump,
+    /// `syscall`/`break`.
+    Effect,
+    /// Clipped at the end of the code image (no terminal).
+    FallOff,
+}
+
 /// One straight-line block: flattened ops plus everything needed to hoist
-/// (and, on a mid-block trap, to reconstruct) per-instruction statistics.
-#[derive(Debug)]
+/// (and, on a mid-block trap, to reconstruct) per-instruction statistics,
+/// plus the static successor targets for chained dispatch.
+#[derive(Clone, Debug)]
 pub(crate) struct Block {
     /// Entry pc (instruction index).
     pub start: u64,
-    /// The flattened instructions, terminal included.
+    /// The executable micro-ops. 1:1 with `raw` as built; the peephole
+    /// pass may rewrite slots in place and may drop the terminal slot
+    /// when it fuses the compare + branch pair.
     pub ops: Box<[FlatOp]>,
-    /// The raw opcodes, for partial-execution stat accounting.
+    /// The raw opcodes, always 1:1 with the source instructions — the
+    /// basis for instruction counts and partial-execution accounting.
     pub raw: Box<[Op]>,
     /// Σ `base_cycles` over the whole block, charged in one add.
     pub base_cycles: u64,
     /// Opcode histogram; `VmStats` reconstructs per-op retirement counts
     /// as `Σ hist × execs` plus the single-step residual.
     pub hist: Box<[(Op, u32)]>,
+    /// Static successor targets.
+    pub exit: BlockExit,
 }
 
 /// One past the last instruction of the block entered at `pc`: the first
 /// block-ender inclusive, clipped to the end of the code image. The single
 /// source of truth for block extent — `Block::build` and the dispatch
 /// loop's length precheck must never disagree.
-fn block_end(pc: u64, code: &[Instr]) -> usize {
+pub(crate) fn block_end(pc: u64, code: &[Instr]) -> usize {
     let mut end = pc as usize;
     while end < code.len() {
         let ends = code[end].op.ends_block();
@@ -557,7 +614,7 @@ fn block_end(pc: u64, code: &[Instr]) -> usize {
 impl Block {
     /// Builds the block entered at `pc`: instructions up to and including
     /// the first block-ender, clipped to the end of the code image.
-    fn build(pc: u64, code: &[Instr]) -> Block {
+    pub fn build(pc: u64, code: &[Instr]) -> Block {
         let start = pc as usize;
         let end = block_end(pc, code);
         let raw: Box<[Op]> = code[start..end].iter().map(|i| i.op).collect();
@@ -570,100 +627,35 @@ impl Block {
                 None => hist.push((op, 1)),
             }
         }
+        let terminal = code[end - 1];
+        let exit = match terminal.op.control_kind() {
+            ControlKind::Branch => BlockExit::Branch {
+                taken: terminal.imm as u64,
+                fall: end as u64,
+            },
+            ControlKind::Jump => BlockExit::Jump {
+                target: terminal.imm as u64,
+            },
+            ControlKind::IndirectJump => BlockExit::Indirect,
+            ControlKind::CapJump => BlockExit::CapJump,
+            ControlKind::Effect => BlockExit::Effect,
+            ControlKind::None => BlockExit::FallOff,
+        };
         Block {
             start: pc,
             ops,
             raw,
             base_cycles,
             hist: hist.into_boxed_slice(),
-        }
-    }
-}
-
-/// The per-machine block cache: blocks are built lazily, keyed by entry
-/// pc, shared immutably (so cloning a [`crate::Vm`] shares them), with a
-/// per-block completed-execution counter for the stat hoisting.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct TraceCache {
-    /// `index[pc]` is the block built at entry `pc`, or `u32::MAX`.
-    index: Vec<u32>,
-    blocks: Vec<Arc<Block>>,
-    /// Completed executions per block (partial executions account their
-    /// prefix into the machine's residual counters instead).
-    execs: Vec<u64>,
-    /// Memo of the last terminal scan: every entry pc in
-    /// `[scan_start, scan_end)` has its block end exactly at `scan_end`
-    /// (no block-ender in between). Lets the dispatch loop ask for block
-    /// *lengths* without building anything — one O(block) scan serves a
-    /// whole single-stepped walk across a long straight-line region.
-    scan_start: u64,
-    scan_end: u64,
-}
-
-impl TraceCache {
-    pub fn new(code_len: usize) -> TraceCache {
-        TraceCache {
-            index: vec![u32::MAX; code_len],
-            blocks: Vec::new(),
-            execs: Vec::new(),
-            scan_start: 0,
-            scan_end: 0,
+            exit,
         }
     }
 
-    /// Length of the block entered at `pc`, without building it: cached
-    /// block if one exists, memoized terminal scan otherwise.
-    pub fn block_len_at(&mut self, pc: u64, code: &[Instr]) -> u64 {
-        let id = self.index[pc as usize];
-        if id != u32::MAX {
-            return self.blocks[id as usize].ops.len() as u64;
-        }
-        if pc >= self.scan_start && pc < self.scan_end {
-            return self.scan_end - pc;
-        }
-        let end = block_end(pc, code);
-        self.scan_start = pc;
-        self.scan_end = end as u64;
-        end as u64 - pc
-    }
-
-    /// The block entered at `pc`, building (and caching) it on first use.
-    pub fn block_at(&mut self, pc: u64, code: &[Instr]) -> (usize, Arc<Block>) {
-        let slot = pc as usize;
-        let id = self.index[slot];
-        if id != u32::MAX {
-            return (id as usize, self.blocks[id as usize].clone());
-        }
-        let block = Arc::new(Block::build(pc, code));
-        let id = self.blocks.len();
-        self.index[slot] = id as u32;
-        self.blocks.push(block.clone());
-        self.execs.push(0);
-        (id, block)
-    }
-
-    /// Records one completed execution of block `id`.
-    pub fn retire(&mut self, id: usize) {
-        self.execs[id] += 1;
-    }
-
-    /// Folds every block's opcode histogram, weighted by its completed
-    /// executions, into `counts`.
-    pub fn add_op_counts(&self, counts: &mut [u64]) {
-        for (block, &n) in self.blocks.iter().zip(&self.execs) {
-            if n == 0 {
-                continue;
-            }
-            for &(op, c) in block.hist.iter() {
-                counts[op as usize] += u64::from(c) * n;
-            }
-        }
-    }
-
-    /// Blocks built so far (test introspection).
-    #[cfg(test)]
-    pub fn block_count(&self) -> usize {
-        self.blocks.len()
+    /// Source instructions covered by this block. `ops.len()` can be one
+    /// shorter after terminal fusion; instruction counts always come from
+    /// here.
+    pub fn instr_len(&self) -> u64 {
+        self.raw.len() as u64
     }
 }
 
@@ -685,89 +677,62 @@ mod tests {
     #[test]
     fn blocks_end_at_control_transfers() {
         let code = code();
-        let mut t = TraceCache::new(code.len());
-        let (_, b) = t.block_at(0, &code);
+        let b = Block::build(0, &code);
         assert_eq!(b.start, 0);
         assert_eq!(b.ops.len(), 4, "block runs through the beq inclusive");
         assert_eq!(b.raw.last(), Some(&Op::Beq));
-        let (_, b2) = t.block_at(4, &code);
+        let b2 = Block::build(4, &code);
         assert_eq!(b2.ops.len(), 2);
         assert_eq!(b2.raw.last(), Some(&Op::Syscall));
-        assert_eq!(t.block_count(), 2);
     }
 
     #[test]
     fn mid_block_entry_builds_an_overlapping_block() {
         let code = code();
-        let mut t = TraceCache::new(code.len());
-        t.block_at(0, &code);
-        let (_, b) = t.block_at(2, &code);
+        let b = Block::build(2, &code);
         assert_eq!(b.start, 2);
         assert_eq!(b.ops.len(), 2);
-        assert_eq!(t.block_count(), 2);
-        // Re-entry reuses the cached block.
-        let before = t.block_count();
-        t.block_at(2, &code);
-        assert_eq!(t.block_count(), before);
     }
 
     #[test]
     fn block_without_terminal_clips_at_code_end() {
         let code = vec![Instr::nop(), Instr::nop()];
-        let mut t = TraceCache::new(code.len());
-        let (_, b) = t.block_at(0, &code);
+        let b = Block::build(0, &code);
         assert_eq!(b.ops.len(), 2);
+        assert_eq!(b.exit, BlockExit::FallOff);
     }
 
     #[test]
-    fn block_len_at_agrees_with_built_blocks_and_builds_nothing() {
-        // A long straight-line region: asking for lengths at every pc must
-        // not build (or cache) any block, and each answer must match what
-        // Block::build would produce. Sequential queries ride one memoized
-        // scan.
-        let mut code = vec![Instr::i2(Op::Addiu, 8, 8, 1); 64];
-        code.push(Instr::syscall(0)); // 64: terminal
-        code.push(Instr::li(4, 0)); // 65
-        code.push(Instr::new(Op::J, 0, 0, 0, 0)); // 66: terminal
-        let mut t = TraceCache::new(code.len());
-        for pc in 0..code.len() as u64 {
-            let len = t.block_len_at(pc, &code);
-            let expect = {
-                let mut end = pc as usize;
-                while end < code.len() {
-                    let ends = code[end].op.ends_block();
-                    end += 1;
-                    if ends {
-                        break;
-                    }
-                }
-                end as u64 - pc
-            };
-            assert_eq!(len, expect, "length at pc {pc}");
-        }
-        assert_eq!(t.block_count(), 0, "length queries must not build blocks");
-        // Once a block is built, its cached length is served from it.
-        let (_, b) = t.block_at(3, &code);
-        assert_eq!(t.block_len_at(3, &code), b.ops.len() as u64);
+    fn exits_record_static_successors() {
+        let code = code();
+        assert_eq!(
+            Block::build(0, &code).exit,
+            BlockExit::Branch { taken: 2, fall: 4 }
+        );
+        assert_eq!(Block::build(4, &code).exit, BlockExit::Effect);
+        let jumps = vec![
+            Instr::new(Op::J, 0, 0, 0, 7),
+            Instr::new(Op::Jal, 0, 0, 0, 3),
+            Instr::new(Op::Jr, 0, 8, 0, 0),
+            Instr::new(Op::CJr, 0, 6, 0, 0),
+        ];
+        assert_eq!(Block::build(0, &jumps).exit, BlockExit::Jump { target: 7 });
+        assert_eq!(Block::build(1, &jumps).exit, BlockExit::Jump { target: 3 });
+        assert_eq!(Block::build(2, &jumps).exit, BlockExit::Indirect);
+        assert_eq!(Block::build(3, &jumps).exit, BlockExit::CapJump);
     }
 
     #[test]
     fn histogram_and_cycles_sum_the_block() {
         let code = code();
-        let mut t = TraceCache::new(code.len());
-        let (id, b) = t.block_at(0, &code);
+        let b = Block::build(0, &code);
         assert_eq!(
             b.base_cycles,
             b.raw.iter().map(|o| o.base_cycles()).sum::<u64>()
         );
         let li = b.hist.iter().find(|(o, _)| *o == Op::Li).unwrap().1;
         assert_eq!(li, 2);
-        t.retire(id);
-        t.retire(id);
-        let mut counts = vec![0u64; 256];
-        t.add_op_counts(&mut counts);
-        assert_eq!(counts[Op::Li as usize], 4);
-        assert_eq!(counts[Op::Beq as usize], 2);
+        assert_eq!(b.instr_len(), 4);
     }
 
     #[test]

@@ -35,12 +35,14 @@
 //! assert_eq!(exit.code, 42);
 //! ```
 
+mod backend;
 mod config;
+mod ir;
 mod machine;
-mod trace;
+mod opt;
 mod trap;
 
-pub use config::{VmConfig, NULL_GUARD_SIZE};
+pub use config::{BackendKind, OptLevel, VmConfig, NULL_GUARD_SIZE};
 pub use machine::{ExitStatus, Vm, VmStats};
 pub use trap::{TrapCause, VmTrap};
 

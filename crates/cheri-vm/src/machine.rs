@@ -1,8 +1,9 @@
 //! The machine: register files, execution loop, syscalls.
 
+use crate::backend::{new_backend, ExecBackend};
 use crate::config::{VmConfig, NULL_GUARD_SIZE};
+use crate::ir::FlatOp;
 use crate::sys;
-use crate::trace::{Block, FlatOp, TraceCache};
 use crate::trap::{TrapCause, VmTrap};
 use cheri_cache::{CacheStats, Hierarchy};
 #[cfg(test)]
@@ -72,21 +73,21 @@ pub struct ExitStatus {
 /// The CHERI machine.
 ///
 /// See the crate documentation for an end-to-end example.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Vm {
-    code: Vec<Instr>,
-    regs: [u64; 32],
+    pub(crate) code: Vec<Instr>,
+    pub(crate) regs: [u64; 32],
     caps: [Capability; 32],
     pcc: Capability,
-    pc: u64,
+    pub(crate) pc: u64,
     mem: TaggedMemory,
     cache: Option<Hierarchy>,
     heap: Allocator,
-    cycles: u64,
-    instret: u64,
+    pub(crate) cycles: u64,
+    pub(crate) instret: u64,
     op_counts: Vec<u64>,
     output: Vec<u8>,
-    halted: Option<i64>,
+    pub(crate) halted: Option<i64>,
     cfg: VmConfig,
     /// Cached straight-line fetch window: instruction indices in
     /// `[run_start, run_end)` are known to pass the PCC execute check, so
@@ -94,13 +95,40 @@ pub struct Vm {
     /// empty) whenever the PCC is written. One successful full check
     /// validates the whole window because tag, seal, permissions and
     /// bounds are properties of the PCC, not of the individual pc.
-    run_start: u64,
-    run_end: u64,
+    pub(crate) run_start: u64,
+    pub(crate) run_end: u64,
     fetch_checks: u64,
-    /// Basic-block superinstruction cache: `run` dispatches whole
-    /// straight-line blocks through it, hoisting the per-instruction
-    /// fetch compare and stat bookkeeping to one update per block.
-    trace: TraceCache,
+    /// The pluggable execution pipeline (see [`crate::backend`]): owns
+    /// the compiled-block cache and the dispatch loop. `None` only while
+    /// `run` has lent it the machine.
+    backend: Option<Box<dyn ExecBackend>>,
+}
+
+impl Clone for Vm {
+    fn clone(&self) -> Vm {
+        Vm {
+            code: self.code.clone(),
+            regs: self.regs,
+            caps: self.caps,
+            pcc: self.pcc,
+            pc: self.pc,
+            mem: self.mem.clone(),
+            cache: self.cache.clone(),
+            heap: self.heap.clone(),
+            cycles: self.cycles,
+            instret: self.instret,
+            op_counts: self.op_counts.clone(),
+            output: self.output.clone(),
+            halted: self.halted,
+            cfg: self.cfg,
+            run_start: self.run_start,
+            run_end: self.run_end,
+            fetch_checks: self.fetch_checks,
+            // Clones the compiled blocks *and* their execution counters,
+            // so a cloned machine reports the same op counts.
+            backend: self.backend.as_ref().map(|b| b.boxed_clone()),
+        }
+    }
 }
 
 impl Vm {
@@ -135,7 +163,7 @@ impl Vm {
 
         Vm {
             pc: program.entry,
-            trace: TraceCache::new(program.code.len()),
+            backend: Some(new_backend(&cfg, program.code.len())),
             code: program.code,
             regs,
             caps,
@@ -224,10 +252,24 @@ impl Vm {
     }
 
     /// Statistics so far. Per-opcode retirement counts are reconstructed
-    /// from the block execution counters plus the single-step residual.
+    /// from the backend's block execution counters plus the single-step
+    /// residual.
     pub fn stats(&self) -> VmStats {
         let mut op_counts = self.op_counts.clone();
-        self.trace.add_op_counts(&mut op_counts);
+        if let Some(b) = &self.backend {
+            b.add_op_counts(&mut op_counts);
+        }
+        self.finish_stats(op_counts)
+    }
+
+    /// `stats` while the backend is detached (lent to [`Vm::run`]).
+    pub(crate) fn stats_with(&self, backend: &dyn ExecBackend) -> VmStats {
+        let mut op_counts = self.op_counts.clone();
+        backend.add_op_counts(&mut op_counts);
+        self.finish_stats(op_counts)
+    }
+
+    fn finish_stats(&self, op_counts: Vec<u64>) -> VmStats {
         VmStats {
             instret: self.instret,
             cycles: self.cycles,
@@ -239,101 +281,54 @@ impl Vm {
         }
     }
 
+    /// Which execution backend this machine is configured with.
+    pub fn backend_kind(&self) -> crate::BackendKind {
+        match &self.backend {
+            Some(b) => b.kind(),
+            None => self.cfg.backend,
+        }
+    }
+
     /// Runs until `exit`, a trap, or `fuel` retired instructions.
     ///
-    /// The hot loop dispatches whole basic-block superinstructions (see
-    /// [`crate::trace`]): traps, statistics and simulated cycles are
-    /// bit-identical to single-stepping, which remains available as
-    /// [`Vm::step`] and is what the loop falls back to near the fuel
-    /// limit or when the PCC window is narrower than a cached block.
+    /// Dispatch is delegated to the configured execution backend (see
+    /// [`crate::backend`] and [`crate::BackendKind`]): traps, statistics
+    /// and simulated cycles are bit-identical to single-stepping under
+    /// every backend and optimization level. Single-stepping remains
+    /// available as [`Vm::step`] and is what the backends fall back to
+    /// near the fuel limit or when the PCC window is narrower than a
+    /// compiled block.
     ///
     /// # Errors
     ///
     /// The trap that stopped execution, including [`TrapCause::OutOfFuel`]
     /// when the budget is exhausted.
     pub fn run(&mut self, fuel: u64) -> Result<ExitStatus, VmTrap> {
-        let mut remaining = fuel;
-        loop {
-            if let Some(code) = self.halted {
-                return Ok(ExitStatus {
-                    code,
-                    stats: self.stats(),
-                });
-            }
-            if remaining == 0 {
-                break;
-            }
-            remaining -= self.run_block(remaining)?;
-        }
-        Err(VmTrap {
-            pc: self.pc,
-            cause: TrapCause::OutOfFuel,
-        })
+        let mut backend = self.backend.take().expect("backend present outside of run");
+        let result = backend.run(self, fuel);
+        self.backend = Some(backend);
+        result
     }
 
-    /// Executes the basic block entered at the current pc (at most
-    /// `remaining` instructions), returning how many retired.
-    fn run_block(&mut self, remaining: u64) -> Result<u64, VmTrap> {
-        let pc = self.pc;
-        // Block entry performs exactly the window validation the
-        // per-instruction fetch would: a full PCC check only when the pc
-        // left the cached window (i.e. after a PCC write or a jump out).
-        if pc < self.run_start || pc >= self.run_end {
-            self.fetch_slow(pc)?;
-        }
-        // Decide from the (memoized, allocation-free) block length alone
-        // whether the block is runnable — building and caching a flattened
-        // block that the fuel budget or a narrowed PCC window would refuse
-        // anyway turns a single-stepped walk over long straight-line code
-        // quadratic.
-        let len = self.trace.block_len_at(pc, &self.code);
-        if len > remaining || pc + len > self.run_end {
-            // Not enough fuel to retire the whole block, or the (narrowed)
-            // PCC window cuts it short: single-step, which re-checks the
-            // window per instruction and traps exactly where the
-            // interpreter would.
-            self.step()?;
-            return Ok(1);
-        }
-        let (id, block) = self.trace.block_at(pc, &self.code);
-        debug_assert_eq!(block.start, pc, "block cache keyed by entry pc");
-        debug_assert_eq!(block.ops.len() as u64, len);
-        // Base cycles are hoisted to one add, *before* the block body so a
-        // terminal `clock()` syscall reads the same cycle count the
-        // per-instruction loop (which charges before executing) shows.
-        self.cycles += block.base_cycles;
-        let mut cur = pc;
-        for op in block.ops.iter() {
-            match self.exec_flat(op, cur) {
-                Ok(next) => cur = next,
-                Err(cause) => {
-                    let executed = (cur - pc) as usize + 1;
-                    self.unwind_block_stats(&block, executed);
-                    // Like `step`, leave the pc at the trapping instruction.
-                    self.pc = cur;
-                    return Err(VmTrap { pc: cur, cause });
-                }
-            }
-        }
-        self.instret += len;
-        self.trace.retire(id);
-        self.regs[0] = 0;
-        self.pc = cur;
-        Ok(len)
+    /// Retires one instruction's statistics — base cycles, instruction
+    /// count, residual per-op count. The single accounting path shared by
+    /// single-stepping and the backends' partial-block unwind.
+    pub(crate) fn retire_one(&mut self, op: Op) {
+        self.cycles += op.base_cycles();
+        self.instret += 1;
+        self.op_counts[op as usize] += 1;
     }
 
-    /// Reconciles the statistics of a block that trapped after `executed`
-    /// instructions: refund the un-retired suffix's hoisted base cycles
-    /// and account the executed prefix into the residual counters, so the
-    /// totals match single-stepping instruction for instruction.
-    fn unwind_block_stats(&mut self, block: &Block, executed: usize) {
-        let mut prefix_cycles = 0;
-        for &op in &block.raw[..executed] {
-            prefix_cycles += op.base_cycles();
-            self.op_counts[op as usize] += 1;
+    /// Reconciles a block that stopped after `executed` of its `raw`
+    /// instructions: refund the whole `hoisted` base-cycle sum, then
+    /// account the executed prefix through the same per-instruction
+    /// bookkeeping [`Vm::step`] uses, so the totals match single-stepping
+    /// instruction for instruction.
+    pub(crate) fn unwind_partial(&mut self, raw: &[Op], executed: usize, hoisted: u64) {
+        self.cycles -= hoisted;
+        for &op in &raw[..executed] {
+            self.retire_one(op);
         }
-        self.cycles -= block.base_cycles - prefix_cycles;
-        self.instret += executed as u64;
     }
 
     /// Executes one instruction.
@@ -344,9 +339,7 @@ impl Vm {
     pub fn step(&mut self) -> Result<(), VmTrap> {
         let pc = self.pc;
         let instr = self.fetch(pc)?;
-        self.cycles += instr.op.base_cycles();
-        self.instret += 1;
-        self.op_counts[instr.op as usize] += 1;
+        self.retire_one(instr.op);
         match self.execute_at(instr, pc) {
             Ok(next) => {
                 self.pc = next;
@@ -369,7 +362,7 @@ impl Vm {
     /// Full PCC validation, then caching of the straight-line window it
     /// implies: every index whose 8-byte fetch the current PCC authorises
     /// and that has a decoded instruction behind it.
-    fn fetch_slow(&mut self, pc: u64) -> Result<Instr, VmTrap> {
+    pub(crate) fn fetch_slow(&mut self, pc: u64) -> Result<Instr, VmTrap> {
         self.fetch_checks += 1;
         let byte_addr = pc.wrapping_mul(8);
         let fetch_cap = self
@@ -734,11 +727,13 @@ impl Vm {
         }
     }
 
-    /// Executes one flattened block micro-op (see [`crate::trace`]).
+    /// Executes one flattened block micro-op (see [`crate::ir`]).
     /// Mirrors [`Vm::execute_at`] arm for arm with operand decoding
-    /// already done; the `Other` fallback *is* `execute_at`.
+    /// already done; the `Other` fallback *is* `execute_at`. Every
+    /// backend funnels its long-tail and capability ops through here, so
+    /// each pointer/trap decision lives in exactly one place.
     #[allow(clippy::too_many_lines)]
-    fn exec_flat(&mut self, op: &FlatOp, pc: u64) -> Result<u64, TrapCause> {
+    pub(crate) fn exec_flat(&mut self, op: &FlatOp, pc: u64) -> Result<u64, TrapCause> {
         let next = pc + 1;
         macro_rules! alu {
             ($rd:expr, $v:expr) => {{
@@ -834,6 +829,41 @@ impl Vm {
             FlatOp::Bgtz { rs, target } => branch!(self.reg(rs) as i64 > 0, target),
             FlatOp::Bltz { rs, target } => branch!((self.reg(rs) as i64) < 0, target),
             FlatOp::Bgez { rs, target } => branch!(self.reg(rs) as i64 >= 0, target),
+            FlatOp::FusedCmpBranch {
+                rd,
+                rs,
+                rt,
+                imm,
+                signed,
+                imm_form,
+                branch_if,
+                target,
+            } => {
+                // Two source instructions in one dispatch: the compare
+                // still writes `rd`, then the branch tests its result.
+                // The fall-through is `pc + 2` — past both instructions.
+                let a = self.reg(rs);
+                let v = if imm_form {
+                    if signed {
+                        u64::from((a as i64) < imm)
+                    } else {
+                        u64::from(a < imm as u64)
+                    }
+                } else {
+                    let b = self.reg(rt);
+                    if signed {
+                        u64::from((a as i64) < (b as i64))
+                    } else {
+                        u64::from(a < b)
+                    }
+                };
+                self.set_reg(rd, v);
+                Ok(if (v != 0) == branch_if {
+                    target
+                } else {
+                    pc + 2
+                })
+            }
             FlatOp::J { target } => Ok(target),
             FlatOp::Jal { target } => {
                 self.set_reg(cheri_isa::RA, next);
@@ -931,7 +961,7 @@ impl Vm {
         }
     }
 
-    fn exec_load(
+    pub(crate) fn exec_load(
         &mut self,
         rd: u8,
         base: u8,
@@ -950,7 +980,7 @@ impl Vm {
         Ok(())
     }
 
-    fn exec_store(
+    pub(crate) fn exec_store(
         &mut self,
         rv: u8,
         base: u8,

@@ -153,6 +153,31 @@ mod tests {
         base
     }
 
+    /// The runner plumbs `VmConfig::backend` straight through: every
+    /// execution backend reproduces the reference run's output, exit,
+    /// instruction count and simulated cycles on a real workload.
+    #[test]
+    fn runner_is_backend_invariant() {
+        use cheri_vm::{BackendKind, OptLevel};
+        let src = sources::treeadd(5, 2);
+        let base_cfg = VmConfig::functional()
+            .with_backend(BackendKind::Reference)
+            .with_opt_level(OptLevel::None);
+        let base = run_workload(&src, Abi::CheriV3, base_cfg, &[], FUEL).unwrap();
+        for backend in BackendKind::ALL {
+            for opt in [OptLevel::None, OptLevel::Peephole] {
+                let cfg = VmConfig::functional()
+                    .with_backend(backend)
+                    .with_opt_level(opt);
+                let r = run_workload(&src, Abi::CheriV3, cfg, &[], FUEL).unwrap();
+                assert_eq!(r.exit, base.exit, "{backend:?}/{opt:?}");
+                assert_eq!(r.output, base.output, "{backend:?}/{opt:?}");
+                assert_eq!(r.instret, base.instret, "{backend:?}/{opt:?}");
+                assert_eq!(r.cycles, base.cycles, "{backend:?}/{opt:?}");
+            }
+        }
+    }
+
     #[test]
     fn treeadd_matches_across_abis() {
         let r = identical_across_abis(&sources::treeadd(6, 3), &[]);
