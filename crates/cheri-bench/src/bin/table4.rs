@@ -3,7 +3,17 @@
 //! capabilities: footprint, representability, simulated cycles) and the
 //! DRAM-traffic report (per-edge bytes under the bandwidth-aware cache
 //! model, both formats, 64B and 16B L1 lines).
+//!
+//! Usage: `table4 [backend]` where `backend` is `reference`, `chained` or
+//! `template` (default: the machine default, template). Simulated cycles
+//! are backend-invariant; the choice only changes host wall-clock time.
 fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(name) = args.next() {
+        let kind = cheri_vm::BackendKind::from_name(&name)
+            .unwrap_or_else(|| panic!("unknown backend {name:?} (reference|chained|template)"));
+        cheri_bench::select_backend(kind);
+    }
     print!("{}", cheri_bench::table4_report());
     print!("{}", cheri_bench::cap_memory_report());
     print!("{}", cheri_bench::cap_traffic_report());

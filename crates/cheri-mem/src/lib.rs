@@ -39,7 +39,7 @@ mod tagged;
 
 pub use alloc::{AllocStats, Allocator};
 pub use error::MemError;
-pub use tagged::{TaggedMemory, UnrepresentablePolicy};
+pub use tagged::{MemSnapshot, TaggedMemory, UnrepresentablePolicy};
 
 // Re-exported so memory-format configuration needs only this crate.
 pub use cheri_cap::CapFormat;

@@ -6,7 +6,7 @@ use cheri_cap::{
     CompressionStats, CAP128_SIZE_BYTES, CAP_ALIGN, CAP_SIZE_BYTES,
 };
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Retired backing stores, reused by [`TaggedMemory::with_format`] so a
 /// hot loop constructing machines (the fig benches build a fresh 16 MiB
@@ -556,6 +556,119 @@ impl TaggedMemory {
         self.mark_dirty(addr, len);
         Ok(())
     }
+
+    /// Captures the warm footprint of this memory — every chunk dirtied
+    /// since construction (or the last [`TaggedMemory::reset`]) with its
+    /// bytes and tags, plus the Cap128 side table and compression counters
+    /// — as a shareable [`MemSnapshot`].
+    ///
+    /// The snapshot relies on the dirty bitmap being a complete record of
+    /// mutation: a clean chunk is all-zero with clear tags. That invariant
+    /// holds for every `TaggedMemory` built through the public API —
+    /// construction yields a zeroed store (pooled stores are reset) and
+    /// every mutating operation marks the chunks it touches.
+    pub fn snapshot(&self) -> MemSnapshot {
+        let mut warm = Vec::new();
+        for (w, &word) in self.dirty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                let start = (w as u64 * 64 + b) * DIRTY_CHUNK;
+                let end = (start + DIRTY_CHUNK).min(self.size());
+                let g0 = (start / CAP_ALIGN) as usize;
+                let g1 = (end.div_ceil(CAP_ALIGN) as usize).min(self.tags.len());
+                warm.push(WarmChunk {
+                    start,
+                    bytes: self.bytes[start as usize..end as usize].to_vec(),
+                    tags: self.tags[g0..g1].to_vec(),
+                });
+            }
+        }
+        MemSnapshot {
+            inner: Arc::new(SnapInner {
+                size: self.size(),
+                format: self.format,
+                policy: self.policy,
+                dirty: self.dirty.clone(),
+                warm,
+                side: self.side.clone(),
+                comp_stats: self.comp_stats,
+            }),
+        }
+    }
+}
+
+/// One dirty chunk captured by [`TaggedMemory::snapshot`]: its byte image
+/// and the tags of the granules it covers. Only the last chunk of a memory
+/// may be short.
+#[derive(Debug)]
+struct WarmChunk {
+    start: u64,
+    bytes: Vec<u8>,
+    tags: Vec<bool>,
+}
+
+#[derive(Debug)]
+struct SnapInner {
+    size: u64,
+    format: CapFormat,
+    policy: UnrepresentablePolicy,
+    dirty: Vec<u64>,
+    warm: Vec<WarmChunk>,
+    side: HashMap<u64, [u8; CAP_SIZE_BYTES]>,
+    comp_stats: CompressionStats,
+}
+
+/// An immutable, cheaply shareable image of a [`TaggedMemory`]'s warm
+/// footprint, used to fork a warmed-up machine per request instead of
+/// re-initializing (and re-executing into) a fresh one.
+///
+/// Copy-on-write is applied at fork time and at dirty-chunk granularity:
+/// [`MemSnapshot::fork`] obtains a zeroed backing store from the memory
+/// pool (whose `reset` already re-zeroes only previously-dirty chunks) and
+/// copies in *only* the chunks the snapshot recorded as warm. Cost is
+/// proportional to the guest's actual footprint, not the memory size, and
+/// the forked memory shares no mutable state with the snapshot — so the
+/// hot read path (`read_bytes` returning borrowed slices) stays exactly as
+/// it is, with no per-access indirection to a base image.
+///
+/// Cloning a `MemSnapshot` clones an [`Arc`]; snapshots can be shared
+/// freely across worker threads.
+#[derive(Clone, Debug)]
+pub struct MemSnapshot {
+    inner: Arc<SnapInner>,
+}
+
+impl MemSnapshot {
+    /// Materializes a new [`TaggedMemory`] identical (bytes, tags, side
+    /// table, compression counters, dirty bitmap) to the memory the
+    /// snapshot was taken from.
+    pub fn fork(&self) -> TaggedMemory {
+        let s = &*self.inner;
+        let mut m = TaggedMemory::with_format(s.size, s.format, s.policy);
+        for chunk in &s.warm {
+            let a = chunk.start as usize;
+            m.bytes[a..a + chunk.bytes.len()].copy_from_slice(&chunk.bytes);
+            let g0 = (chunk.start / CAP_ALIGN) as usize;
+            m.tags[g0..g0 + chunk.tags.len()].copy_from_slice(&chunk.tags);
+        }
+        m.dirty.copy_from_slice(&s.dirty);
+        m.side = s.side.clone();
+        m.comp_stats = s.comp_stats;
+        m
+    }
+
+    /// Total size of the memory the snapshot describes, in bytes.
+    pub fn size(&self) -> u64 {
+        self.inner.size
+    }
+
+    /// Bytes of warm (captured) chunk data — the amount [`MemSnapshot::fork`]
+    /// actually copies.
+    pub fn warm_bytes(&self) -> u64 {
+        self.inner.warm.iter().map(|c| c.bytes.len() as u64).sum()
+    }
 }
 
 impl Drop for TaggedMemory {
@@ -794,6 +907,76 @@ mod tests {
         m.write_cap(0x200, &a_cap()).unwrap();
         let got: Vec<u64> = m.tagged_granules().collect();
         assert_eq!(got, vec![0x40, 0x200]);
+    }
+
+    /// Every observable facet of two memories is identical.
+    fn assert_mem_identical(a: &TaggedMemory, b: &TaggedMemory) {
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.format(), b.format());
+        assert_eq!(
+            a.read_bytes(0, a.size()).unwrap(),
+            b.read_bytes(0, b.size()).unwrap()
+        );
+        assert_eq!(
+            a.tagged_granules().collect::<Vec<_>>(),
+            b.tagged_granules().collect::<Vec<_>>()
+        );
+        assert_eq!(a.side_table_len(), b.side_table_len());
+        assert_eq!(a.compression_stats(), b.compression_stats());
+        assert_eq!(a.dirty, b.dirty);
+    }
+
+    #[test]
+    fn snapshot_fork_reproduces_the_memory() {
+        let size = 8 * DIRTY_CHUNK;
+        let mut m = TaggedMemory::new(size);
+        m.write_u64(8, 0xDEAD_BEEF).unwrap();
+        m.write_bytes(DIRTY_CHUNK + 3, b"warm data").unwrap();
+        m.write_cap(2 * DIRTY_CHUNK, &a_cap()).unwrap();
+        m.fill(5 * DIRTY_CHUNK - 16, 64, 0xAA).unwrap(); // straddles chunks
+        let snap = m.snapshot();
+        let fork = snap.fork();
+        assert_mem_identical(&m, &fork);
+        // The fork copied only the warm footprint, not the whole store.
+        assert!(snap.warm_bytes() < size);
+        assert_eq!(snap.warm_bytes() % DIRTY_CHUNK, 0);
+        // Forks are independent of the source and of each other.
+        let mut fork2 = snap.fork();
+        fork2.write_u8(0x20, 0x55).unwrap();
+        assert_eq!(m.read_u8(0x20).unwrap(), 0);
+        assert_eq!(fork.read_u8(0x20).unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshot_fork_carries_cap128_side_table() {
+        let mut m = TaggedMemory::with_format(
+            0x10_0000,
+            CapFormat::Cap128,
+            UnrepresentablePolicy::SideTable,
+        );
+        m.write_cap(0x40, &unrep_cap()).unwrap();
+        m.write_cap(0x80, &a_cap()).unwrap();
+        let fork = m.snapshot().fork();
+        assert_mem_identical(&m, &fork);
+        assert_eq!(fork.read_cap(0x40).unwrap(), unrep_cap());
+        assert_eq!(fork.read_cap(0x80).unwrap(), a_cap());
+    }
+
+    #[test]
+    fn forked_memory_resets_and_pools_like_a_fresh_one() {
+        let size = 2 * POOL_MIN_BYTES;
+        let mut m = TaggedMemory::new(size);
+        m.write_bytes(0x100, b"snapshot me").unwrap();
+        let snap = m.snapshot();
+        let mut fork = snap.fork();
+        fork.write_cap(0x40, &a_cap()).unwrap();
+        fork.reset();
+        let fresh = TaggedMemory::new(size);
+        assert_eq!(
+            fork.read_bytes(0, size).unwrap(),
+            fresh.read_bytes(0, size).unwrap()
+        );
+        assert_eq!(fork.tagged_granules().count(), 0);
     }
 
     fn mem128() -> TaggedMemory {

@@ -1,0 +1,62 @@
+//! Sandbox-service benches: the copy-on-write fork against the cold boot
+//! it replaces, and aggregate request throughput through the scheduler.
+
+use cheri_compile::{compile, Abi};
+use cheri_sandbox::{guests, Request, SandboxService, TenantConfig};
+use cheri_vm::{TrapCause, Vm, VmConfig, VmTrap};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const TENANT_MEM: u64 = 4 << 20;
+
+fn tree_tenant() -> TenantConfig {
+    TenantConfig::new("tree", guests::tree_service(8), Abi::CheriV3)
+        .with_vm(VmConfig::functional().with_mem_size(TENANT_MEM))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sandbox_service");
+
+    let cfg = tree_tenant();
+    let mut service = SandboxService::new();
+    let tenant = service.add_tenant(cfg.clone()).unwrap();
+
+    // The per-request operation with snapshot forking: copy the warm
+    // footprint onto a pooled zeroed store.
+    g.bench_function("fork_warmed_guest", |b| {
+        b.iter(|| black_box(service.fork_tenant(tenant)));
+    });
+
+    // What each request would cost without it: a fresh machine plus the
+    // guest's warm-up run to the ready marker (program pre-compiled, so
+    // this under-counts the true cold path by the compile time).
+    let prog = compile(&cfg.source, cfg.abi).unwrap();
+    g.bench_function("cold_boot_guest", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(prog.clone(), cfg.vm);
+            match vm.run(cfg.fuel_budget) {
+                Err(VmTrap {
+                    pc,
+                    cause: TrapCause::Breakpoint,
+                }) => vm.set_pc(pc + 1),
+                other => panic!("guest must reach its ready marker, got {other:?}"),
+            }
+            black_box(vm)
+        });
+    });
+
+    // Aggregate throughput: 32 requests over the work-stealing scheduler.
+    let requests: Vec<Request> = (0..32)
+        .map(|i| Request {
+            tenant,
+            payload: vec![i as u8; 8],
+        })
+        .collect();
+    g.bench_function("serve_32_requests", |b| {
+        b.iter(|| black_box(service.serve(&requests, 4)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! The sandbox service driver: boots a tenant fleet (including one
+//! deliberately trapping guest), serves a deterministic request stream
+//! across work-stealing workers, and reports fork latency vs cold boot
+//! plus aggregate throughput.
+//!
+//! Usage: `sandboxd [requests] [tenants] [workers] [backend]` with
+//! `backend` one of `reference`, `chained`, `template` (default: the
+//! machine default, template).
+
+use cheri_compile::{compile, Abi};
+use cheri_sandbox::{Outcome, Request, SandboxService, TenantConfig};
+use cheri_vm::{BackendKind, CapFormat, TrapCause, Vm, VmTrap};
+use std::time::Instant;
+
+/// Per-tenant memory quota: big enough for the demo guests, small enough
+/// that a batch of live forks stays cheap on a CI box.
+const TENANT_MEM: u64 = 4 << 20;
+
+fn tenant_fleet(n: usize, backend: Option<BackendKind>) -> Vec<TenantConfig> {
+    let vm = |format: CapFormat| {
+        let mut cfg = cheri_vm::VmConfig::functional()
+            .with_mem_size(TENANT_MEM)
+            .with_cap_format(format);
+        if let Some(kind) = backend {
+            cfg = cfg.with_backend(kind);
+        }
+        cfg
+    };
+    (0..n)
+        .map(|i| {
+            let templates = [
+                (
+                    "tree-v3",
+                    cheri_sandbox::guests::tree_service(8),
+                    Abi::CheriV3,
+                    CapFormat::Cap256,
+                ),
+                (
+                    "table-128",
+                    cheri_sandbox::guests::table_service(),
+                    Abi::CheriV3,
+                    CapFormat::Cap128,
+                ),
+                (
+                    "oob-v3",
+                    cheri_sandbox::guests::oob_service(),
+                    Abi::CheriV3,
+                    CapFormat::Cap256,
+                ),
+                (
+                    "tree-mips",
+                    cheri_sandbox::guests::tree_service(5),
+                    Abi::Mips,
+                    CapFormat::Cap256,
+                ),
+            ];
+            let (name, source, abi, format) = templates[i % templates.len()].clone();
+            TenantConfig::new(&format!("{name}#{i}"), source, abi)
+                .with_vm(vm(format))
+                .with_fuel_slice(50_000)
+        })
+        .collect()
+}
+
+/// A tiny deterministic generator (no host RNG, so every run and every
+/// worker count sees the same stream).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn request_stream(n: usize, tenants: usize) -> Vec<Request> {
+    let mut rng = Lcg(0x5EED);
+    (0..n)
+        .map(|i| {
+            let len = 1 + (rng.next() as usize % 24);
+            let payload: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            Request {
+                tenant: i % tenants,
+                payload,
+            }
+        })
+        .collect()
+}
+
+/// Cold guest initialization: compile nothing (the program is prebuilt),
+/// but pay the full `Vm::new` + warm-up run to the ready marker — what a
+/// request would cost without snapshot forking.
+fn cold_boot(prog: &cheri_isa::Program, cfg: cheri_vm::VmConfig, fuel: u64) -> Vm {
+    let mut vm = Vm::new(prog.clone(), cfg);
+    match vm.run(fuel) {
+        Err(VmTrap {
+            pc,
+            cause: TrapCause::Breakpoint,
+        }) => vm.set_pc(pc + 1),
+        other => panic!("guest must reach its ready marker, got {other:?}"),
+    }
+    vm
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let requests: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let tenants: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let backend = args.next().map(|name| {
+        BackendKind::from_name(&name)
+            .unwrap_or_else(|| panic!("unknown backend {name:?} (reference|chained|template)"))
+    });
+
+    let fleet = tenant_fleet(tenants, backend);
+    let mut service = SandboxService::new();
+    let boot_start = Instant::now();
+    for cfg in &fleet {
+        service
+            .add_tenant(cfg.clone())
+            .unwrap_or_else(|e| panic!("admitting {}: {e}", cfg.name));
+    }
+    println!(
+        "booted {tenants} tenants in {:.1} ms (warm images: {})",
+        boot_start.elapsed().as_secs_f64() * 1e3,
+        (0..tenants)
+            .map(|t| format!(
+                "{} {} KiB",
+                service.tenant_name(t),
+                service.warm_bytes(t) >> 10
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Fork vs cold-init latency on tenant 0 (the pointer-heavy tree guest).
+    let cfg0 = &fleet[0];
+    let prog = compile(&cfg0.source, cfg0.abi).expect("tenant 0 compiles");
+    let cold_runs = 20;
+    let t = Instant::now();
+    for _ in 0..cold_runs {
+        std::hint::black_box(cold_boot(&prog, cfg0.vm, cfg0.fuel_budget));
+    }
+    let cold_us = t.elapsed().as_secs_f64() * 1e6 / cold_runs as f64;
+    let fork_runs = 2000;
+    let t = Instant::now();
+    for _ in 0..fork_runs {
+        std::hint::black_box(service.fork_tenant(0));
+    }
+    let fork_us = t.elapsed().as_secs_f64() * 1e6 / fork_runs as f64;
+    println!(
+        "fork {:.1} us vs cold init {:.1} us  ({:.0}x faster)",
+        fork_us,
+        cold_us,
+        cold_us / fork_us
+    );
+
+    let stream = request_stream(requests, tenants);
+    let t = Instant::now();
+    let responses = service.serve(&stream, workers);
+    let wall = t.elapsed();
+
+    let mut per_tenant = vec![[0u32; 4]; tenants];
+    for r in &responses {
+        let slot = match r.outcome {
+            Outcome::Completed { .. } => 0,
+            Outcome::Trapped { .. } => 1,
+            Outcome::BudgetExhausted { .. } => 2,
+            Outcome::Rejected { .. } => 3,
+        };
+        per_tenant[r.tenant][slot] += 1;
+    }
+    println!("tenant                completed  trapped  exhausted  rejected");
+    for (t, counts) in per_tenant.iter().enumerate() {
+        println!(
+            "{:<22}{:>9}{:>9}{:>11}{:>10}",
+            service.tenant_name(t),
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3]
+        );
+    }
+    let served: u32 = per_tenant.iter().map(|c| c.iter().sum::<u32>()).sum();
+    assert_eq!(served as usize, requests, "every request must be answered");
+    let trapped: u32 = per_tenant.iter().map(|c| c[1]).sum();
+    println!(
+        "served {requests} requests across {tenants} tenants on {workers} workers in {:.1} ms  ({:.0} req/s, {trapped} rewound)",
+        wall.as_secs_f64() * 1e3,
+        requests as f64 / wall.as_secs_f64()
+    );
+}

@@ -1,0 +1,130 @@
+//! Demo guest programs for the sandbox service, written in the same
+//! mini-C dialect as the paper workloads.
+//!
+//! Every guest follows the service's warm-up protocol: `main` builds its
+//! working state, calls `abort()` — the `break` instruction the service
+//! treats as the *ready marker* and snapshots at — and then serves exactly
+//! one request from the `request`/`request_len` globals before returning.
+//! Each forked machine resumes just past the marker with the warmed state
+//! (including `main`'s locals, which live on the snapshotted stack).
+
+/// A pointer-heavy tenant: warm-up builds a `depth`-deep binary tree
+/// (Olden `treeadd` style); a request salts the tree sum with a rolling
+/// hash of the payload bytes.
+pub fn tree_service(depth: u32) -> String {
+    format!(
+        r#"
+unsigned char request[64];
+long request_len = 0;
+
+struct node {{ long v; struct node *l; struct node *r; }};
+
+struct node *build(long depth, long v) {{
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    n->v = v;
+    if (depth <= 1) {{
+        n->l = 0;
+        n->r = 0;
+        return n;
+    }}
+    n->l = build(depth - 1, v * 2);
+    n->r = build(depth - 1, v * 2 + 1);
+    return n;
+}}
+
+long sum(struct node *n) {{
+    if (!n) {{ return 0; }}
+    return n->v + sum(n->l) + sum(n->r);
+}}
+
+int main(void) {{
+    struct node *root = build({depth}, 1);
+    long warm = sum(root);
+    abort();
+    long salt = 0;
+    long i = 0;
+    while (i < request_len) {{
+        salt = salt * 31 + (long)request[i];
+        i = i + 1;
+    }}
+    putint(warm + sum(root) + salt);
+    putchar(10);
+    return 0;
+}}
+"#
+    )
+}
+
+/// A scalar tenant: warm-up fills a substitution table; a request is
+/// hashed through it (zlib-lite flavour, no pointer chasing).
+pub fn table_service() -> String {
+    r#"
+unsigned char table[256];
+unsigned char request[128];
+long request_len = 0;
+
+int main(void) {
+    unsigned char *t = table;
+    for (int i = 0; i < 256; i++) {
+        t[i] = (unsigned char)((i * 167 + 13) % 256);
+    }
+    abort();
+    long h = 5381;
+    long i = 0;
+    while (i < request_len) {
+        h = (h * 33 + (long)t[(long)request[i]]) % 1000000007;
+        i = i + 1;
+    }
+    putint(h);
+    putchar(10);
+    return 0;
+}
+"#
+    .to_string()
+}
+
+/// The deliberately misbehaving tenant: requests whose first payload byte
+/// is odd stray ~250 KB past a 64-byte heap buffer — a capability bounds
+/// trap under the CHERI ABIs, which the service answers by rewinding the
+/// fork and discarding the request while every other tenant keeps being
+/// served. Even first bytes stay in bounds and succeed.
+pub fn oob_service() -> String {
+    r#"
+unsigned char request[64];
+long request_len = 0;
+
+int main(void) {
+    unsigned char *buf = (unsigned char*)malloc(64);
+    for (int i = 0; i < 64; i++) {
+        buf[i] = (unsigned char)(i * 3);
+    }
+    abort();
+    long idx = 0;
+    if (request_len > 0) { idx = (long)request[0]; }
+    if (idx % 2 == 1) {
+        idx = idx + 250000;
+    } else {
+        idx = idx % 64;
+    }
+    putint((long)buf[idx]);
+    putchar(10);
+    return 0;
+}
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_compile::{compile, Abi};
+
+    #[test]
+    fn demo_guests_compile_for_their_abis() {
+        for abi in [Abi::Mips, Abi::CheriV3] {
+            compile(&tree_service(4), abi).unwrap_or_else(|e| panic!("tree/{abi}: {e}"));
+            compile(&table_service(), abi).unwrap_or_else(|e| panic!("table/{abi}: {e}"));
+            compile(&oob_service(), abi).unwrap_or_else(|e| panic!("oob/{abi}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! A work-stealing executor for preemptible jobs.
+//!
+//! Jobs are *sliced*: the step function runs a job for one quantum and
+//! either finishes it ([`Slice::Done`]) or hands it back to be re-queued
+//! ([`Slice::Yield`]) — which is exactly the shape of a guest VM running
+//! under a fuel budget. Each worker owns a deque; it pops its own work
+//! LIFO (newest first, keeping one job hot per worker) and steals FIFO
+//! from the front of other workers' deques when it runs dry.
+//!
+//! Mirrors the `fan_out_ordered` conventions from `cheri-interp`: worker
+//! count is capped at host parallelism, a 1-core host (or a single-worker
+//! request) runs the same discipline inline on the caller's thread, and
+//! worker panics propagate.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What one scheduling quantum did with a job.
+pub enum Slice<J, R> {
+    /// The job finished with this result.
+    Done(R),
+    /// The job was preempted; re-queue it and run it again later.
+    Yield(J),
+}
+
+/// The worker count `run_sliced` will actually use for `requested`
+/// workers and `jobs` jobs on this host.
+pub fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    requested.max(1).min(host).min(jobs.max(1))
+}
+
+/// Runs every job to completion across `workers` work-stealing workers,
+/// returning the results in completion order (callers that care about
+/// request order should embed an index in `R` and sort).
+///
+/// `step` must be safe to call concurrently from multiple threads; each
+/// individual job is only ever stepped by one worker at a time.
+pub fn run_sliced<J, R>(
+    jobs: Vec<J>,
+    workers: usize,
+    step: impl Fn(J) -> Slice<J, R> + Sync,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+{
+    let workers = effective_workers(workers, jobs.len());
+    if workers <= 1 {
+        return run_inline(jobs, step);
+    }
+    let pending = AtomicUsize::new(jobs.len());
+    let deques: Vec<Mutex<VecDeque<J>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, j) in jobs.into_iter().enumerate() {
+        deques[i % workers].lock().unwrap().push_back(j);
+    }
+    let results: Vec<Mutex<Vec<R>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (deques, pending, results, step) = (&deques, &pending, &results, &step);
+                s.spawn(move || loop {
+                    match pop_or_steal(deques, w) {
+                        Some(job) => match step(job) {
+                            Slice::Done(r) => {
+                                results[w].lock().unwrap().push(r);
+                                pending.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            Slice::Yield(job) => deques[w].lock().unwrap().push_back(job),
+                        },
+                        None => {
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        }
+    });
+    results
+        .into_iter()
+        .flat_map(|m| m.into_inner().unwrap())
+        .collect()
+}
+
+/// The single-worker discipline on the caller's thread: same LIFO order a
+/// worker uses, so at most one preempted job is ever live at a time.
+fn run_inline<J, R>(jobs: Vec<J>, step: impl Fn(J) -> Slice<J, R>) -> Vec<R> {
+    let mut queue: VecDeque<J> = jobs.into();
+    let mut out = Vec::with_capacity(queue.len());
+    while let Some(job) = queue.pop_back() {
+        match step(job) {
+            Slice::Done(r) => out.push(r),
+            Slice::Yield(job) => queue.push_back(job),
+        }
+    }
+    out
+}
+
+/// Own deque from the back (LIFO); steal from the front (FIFO) of the
+/// nearest victim to the right.
+fn pop_or_steal<J>(deques: &[Mutex<VecDeque<J>>], w: usize) -> Option<J> {
+    if let Some(j) = deques[w].lock().unwrap().pop_back() {
+        return Some(j);
+    }
+    for i in 1..deques.len() {
+        let victim = (w + i) % deques.len();
+        if let Some(j) = deques[victim].lock().unwrap().pop_front() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A job that must be stepped `left` more times before finishing.
+    struct Count {
+        id: usize,
+        left: u32,
+    }
+
+    fn run_counts(workers: usize) -> Vec<(usize, u32)> {
+        let jobs: Vec<Count> = (0..20)
+            .map(|id| Count {
+                id,
+                left: id as u32 % 5,
+            })
+            .collect();
+        let mut out = run_sliced(jobs, workers, |mut j: Count| {
+            if j.left == 0 {
+                Slice::Done((j.id, j.id as u32 % 5))
+            } else {
+                j.left -= 1;
+                Slice::Yield(j)
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn all_jobs_complete_under_any_worker_count() {
+        let expect: Vec<(usize, u32)> = (0..20).map(|id| (id, id as u32 % 5)).collect();
+        for workers in [1, 2, 4, 9, 64] {
+            assert_eq!(run_counts(workers), expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_workers_are_fine() {
+        let none: Vec<u8> = run_sliced(Vec::<u8>::new(), 0, |_| Slice::Done(0u8));
+        assert!(none.is_empty());
+        let one = run_sliced(vec![7u8], 0, Slice::Done);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job blew up")]
+    fn worker_panics_propagate() {
+        let _ = run_sliced(vec![1u8, 2], 2, |v| {
+            assert!(v != 2, "job blew up");
+            Slice::Done(v)
+        });
+    }
+}

@@ -113,6 +113,15 @@ impl VmConfig {
         }
     }
 
+    /// The same machine with a `bytes` physical-memory quota. The stack
+    /// stays at the top of the (smaller) memory and the heap shrinks to
+    /// whatever fits between data segment and stack — the per-tenant
+    /// memory-quota knob of the sandbox service.
+    pub fn with_mem_size(mut self, bytes: u64) -> VmConfig {
+        self.mem_size = bytes;
+        self
+    }
+
     /// The same machine with `format` capability storage.
     pub fn with_cap_format(mut self, format: CapFormat) -> VmConfig {
         self.cap_format = format;
@@ -183,6 +192,14 @@ mod tests {
             .is_none());
         let again = VmConfig::functional().with_cache(HierarchyConfig::desktop());
         assert_eq!(again.cache, Some(HierarchyConfig::desktop()));
+    }
+
+    #[test]
+    fn builder_sets_memory_quota() {
+        let c = VmConfig::functional().with_mem_size(4 << 20);
+        assert_eq!(c.mem_size, 4 << 20);
+        // The quota leaves the layout consistent: stack fits, heap shrinks.
+        assert!(c.data_base + c.stack_size <= c.mem_size);
     }
 
     #[test]

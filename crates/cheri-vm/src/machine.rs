@@ -10,7 +10,7 @@ use cheri_cache::{CacheStats, Hierarchy};
 use cheri_cap::CapError;
 use cheri_cap::{ptr_cmp, CapFormat, Capability, CompressionStats, Perms};
 use cheri_isa::{CmpOp, Instr, Op, Program, DDC};
-use cheri_mem::{Allocator, TaggedMemory};
+use cheri_mem::{Allocator, MemSnapshot, TaggedMemory};
 use std::cmp::Ordering;
 
 /// Capability register conventions used by the compiler and runtime.
@@ -68,6 +68,43 @@ pub struct ExitStatus {
     pub code: i64,
     /// Statistics at the moment of exit.
     pub stats: VmStats,
+}
+
+/// An immutable image of a (typically warmed-up) machine, shareable across
+/// threads, from which per-request machines are forked.
+///
+/// Produced by [`Vm::snapshot`]. The machine state (registers, heap, cache
+/// model, statistics, compiled blocks) is held as a memory-less shell and
+/// cloned per fork; memory itself is a [`MemSnapshot`], so each fork pays
+/// only for the chunks the guest actually touched — not for the 8–16 MiB
+/// backing store, which comes zeroed from the memory pool.
+#[derive(Clone, Debug)]
+pub struct VmSnapshot {
+    /// The machine minus its memory (the shell's memory is zero-sized).
+    shell: Vm,
+    /// The warm-footprint image of the snapshotted machine's memory.
+    mem: MemSnapshot,
+}
+
+impl VmSnapshot {
+    /// Materializes an independent machine observationally identical to
+    /// the one the snapshot was taken from: same registers, output,
+    /// statistics, cache/traffic ledger and memory, bit for bit.
+    pub fn fork(&self) -> Vm {
+        let mut vm = self.shell.clone();
+        vm.mem = self.mem.fork();
+        vm
+    }
+
+    /// Bytes of warm memory each fork copies (the guest's footprint).
+    pub fn warm_bytes(&self) -> u64 {
+        self.mem.warm_bytes()
+    }
+
+    /// The configuration of the snapshotted machine.
+    pub fn config(&self) -> VmConfig {
+        self.shell.cfg
+    }
 }
 
 /// The CHERI machine.
@@ -226,6 +263,14 @@ impl Vm {
         self.pc
     }
 
+    /// Sets the program counter — e.g. to resume past the `break` a guest
+    /// uses as its ready marker before [`Vm::snapshot`]. The next fetch
+    /// revalidates against the PCC as usual, so this cannot widen what the
+    /// machine may execute.
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
     /// The memory, e.g. to inspect results or pre-load inputs.
     pub fn mem(&self) -> &TaggedMemory {
         &self.mem
@@ -286,6 +331,42 @@ impl Vm {
         match &self.backend {
             Some(b) => b.kind(),
             None => self.cfg.backend,
+        }
+    }
+
+    /// Captures the machine's complete state — registers, capabilities,
+    /// PCC/pc, heap, cache and traffic ledger, statistics, console output,
+    /// compiled-block cache, and the memory's warm footprint — as a
+    /// [`VmSnapshot`] that can be [`VmSnapshot::fork`]ed per request.
+    ///
+    /// A fork is observationally identical to `self.clone()` but copies
+    /// only the dirty-chunk footprint of memory instead of the whole
+    /// backing store, which is what makes serving a request stream from a
+    /// warmed-up guest image cheap.
+    pub fn snapshot(&self) -> VmSnapshot {
+        let shell = Vm {
+            code: self.code.clone(),
+            regs: self.regs,
+            caps: self.caps,
+            pcc: self.pcc,
+            pc: self.pc,
+            mem: TaggedMemory::new(0),
+            cache: self.cache.clone(),
+            heap: self.heap.clone(),
+            cycles: self.cycles,
+            instret: self.instret,
+            op_counts: self.op_counts.clone(),
+            output: self.output.clone(),
+            halted: self.halted,
+            cfg: self.cfg,
+            run_start: self.run_start,
+            run_end: self.run_end,
+            fetch_checks: self.fetch_checks,
+            backend: self.backend.as_ref().map(|b| b.boxed_clone()),
+        };
+        VmSnapshot {
+            shell,
+            mem: self.mem.snapshot(),
         }
     }
 
@@ -1092,6 +1173,50 @@ mod tests {
     fn exit_code_flows_through() {
         let (s, _) = run_prog(vec![Instr::li(A0, 7), Instr::syscall(sys::EXIT)]).unwrap();
         assert_eq!(s.code, 7);
+    }
+
+    /// A guest that stores state, hits its `break` ready marker, and then
+    /// serves from that state: forking a snapshot taken at the marker is
+    /// bit-identical to cloning the whole machine.
+    #[test]
+    fn snapshot_fork_matches_full_clone() {
+        let code = vec![
+            Instr::li(8, 0x2000),
+            Instr::li(9, 123),
+            Instr::mem(Op::Sd, 9, 8, 0),
+            Instr::new(Op::Break, 0, 0, 0, 0), // ready marker
+            Instr::mem(Op::Ld, 10, 8, 0),
+            Instr::r3(Op::Addu, A0, 10, 0),
+            Instr::syscall(sys::EXIT),
+        ];
+        let mut p = Program::new();
+        p.code = code;
+        let mut vm = Vm::new(p, VmConfig::fpga());
+        let trap = vm.run(1_000_000).unwrap_err();
+        assert_eq!(trap.cause, TrapCause::Breakpoint);
+        vm.set_pc(trap.pc + 1);
+
+        let snap = vm.snapshot();
+        let mut cloned = vm.clone();
+        let mut forked = snap.fork();
+        let a = cloned.run(1_000_000).unwrap();
+        let b = forked.run(1_000_000).unwrap();
+        assert_eq!((a.code, b.code), (123, 123));
+        let (sa, sb) = (cloned.stats(), forked.stats());
+        assert_eq!(sa.instret, sb.instret);
+        assert_eq!(sa.cycles, sb.cycles);
+        assert_eq!(sa.fetch_checks, sb.fetch_checks);
+        assert_eq!(sa.cache, sb.cache);
+        for r in 0..32 {
+            assert_eq!(cloned.reg(r), forked.reg(r), "reg {r}");
+            assert_eq!(cloned.cap(r), forked.cap(r), "cap {r}");
+        }
+        assert_eq!(cloned.output(), forked.output());
+        // Forks are independent: running one does not perturb the image.
+        let mut again = snap.fork();
+        assert_eq!(again.run(1_000_000).unwrap().code, 123);
+        assert!(snap.warm_bytes() > 0);
+        assert!(snap.warm_bytes() < snap.config().mem_size);
     }
 
     #[test]

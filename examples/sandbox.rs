@@ -1,109 +1,125 @@
-//! Capability sandboxing (paper §4.1): "The total memory that is reachable
-//! from a piece of code is the transitive closure of the memory
-//! capabilities reachable from its capability registers."
+//! The multi-tenant sandbox service (paper §4.1, scaled out): each tenant
+//! is an untrusted guest compiled for the CHERI ABI, warmed up once, then
+//! served from copy-on-write forks of its ready image. Capability bounds —
+//! not an MMU or a process boundary — are what confine a misbehaving
+//! request, and forking means a trapped request costs the tenant nothing:
+//! the poisoned fork is discarded and the next request starts from the
+//! same pristine snapshot.
 //!
-//! Run with `cargo run --example sandbox`.
-//!
-//! We hand untrusted code a *restricted* view of a buffer — first read-only
-//! (`__input`-style), then length-limited — and watch the hardware-style
-//! checks confine it. No MMU, no process boundary: just capabilities.
+//! Run with `cargo run --release --example sandbox`.
 
-use cheri::cap::{CapError, CapFormat, Capability, Perms};
-use cheri::gc::Collector;
-use cheri::mem::{Allocator, TaggedMemory, UnrepresentablePolicy};
-
-fn untrusted_sum(mem: &TaggedMemory, view: Capability) -> Result<u64, CapError> {
-    let mut sum = 0;
-    for i in 0..view.length() {
-        let p = view.set_offset(i)?;
-        let addr = p.check_access(1, Perms::LOAD)?;
-        sum += mem.read_u8(addr).expect("in range") as u64;
-    }
-    Ok(sum)
-}
-
-fn untrusted_scribble(mem: &mut TaggedMemory, view: Capability) -> Result<(), CapError> {
-    let addr = view.check_access(1, Perms::STORE)?;
-    mem.write_u8(addr, 0xEE).expect("in range");
-    Ok(())
-}
+use cheri::compile::Abi;
+use cheri::sandbox::{guests, Outcome, Request, SandboxService, TenantConfig};
+use cheri::vm::{CapFormat, VmConfig};
 
 fn main() {
-    let mut mem = TaggedMemory::new(0x10000);
-    let secret_base = 0x1000;
-    let public_base = 0x2000;
-    mem.write_bytes(secret_base, b"top secret").unwrap();
-    mem.write_bytes(public_base, &[1, 2, 3, 4, 5, 6, 7, 8])
-        .unwrap();
+    // A small fleet: two well-behaved tenants (one per capability format)
+    // and one guest that dereferences out of bounds whenever the first
+    // payload byte is odd.
+    let quota = 4 << 20; // 4 MiB per tenant
+    let vm = |format| {
+        VmConfig::functional()
+            .with_mem_size(quota)
+            .with_cap_format(format)
+    };
+    let fleet = vec![
+        TenantConfig::new("tree", guests::tree_service(8), Abi::CheriV3)
+            .with_vm(vm(CapFormat::Cap256)),
+        TenantConfig::new("table", guests::table_service(), Abi::CheriV3)
+            .with_vm(vm(CapFormat::Cap128)),
+        TenantConfig::new("oob", guests::oob_service(), Abi::CheriV3)
+            .with_vm(vm(CapFormat::Cap256)),
+    ];
 
-    // Full authority over the public buffer...
-    let public = Capability::new_mem(public_base, 8, Perms::data());
-    // ...but the sandbox only receives a read-only view of half of it.
-    let view = public
-        .set_length(4)
-        .unwrap()
-        .and_perms(Perms::input())
-        .unwrap();
+    let mut service = SandboxService::new();
+    for cfg in fleet {
+        let id = service
+            .add_tenant(cfg)
+            .unwrap_or_else(|e| panic!("tenant admission failed: {e}"));
+        println!(
+            "admitted tenant {:>5} (warm image {} KiB)",
+            service.tenant_name(id),
+            service.warm_bytes(id) >> 10
+        );
+    }
 
-    println!("sandbox view: {view}");
-    println!(
-        "sum of visible bytes: {}",
-        untrusted_sum(&mem, view).unwrap()
+    // A request stream that interleaves the tenants and deliberately pokes
+    // the out-of-bounds guest with both even (in-bounds) and odd
+    // (trapping) leading bytes.
+    let requests = vec![
+        Request {
+            tenant: 0,
+            payload: b"abcdef".to_vec(),
+        },
+        Request {
+            tenant: 1,
+            payload: b"hash me".to_vec(),
+        },
+        Request {
+            tenant: 2,
+            payload: vec![2, 0, 0],
+        }, // even -> in-bounds
+        Request {
+            tenant: 2,
+            payload: vec![7, 0, 0],
+        }, // odd  -> capability trap
+        Request {
+            tenant: 0,
+            payload: b"ghij".to_vec(),
+        },
+        Request {
+            tenant: 2,
+            payload: vec![4, 4, 4],
+        }, // even again: unharmed
+        Request {
+            tenant: 1,
+            payload: b"hash me".to_vec(),
+        },
+    ];
+
+    println!("\nserving {} requests on 2 workers:", requests.len());
+    for resp in service.serve(&requests, 2) {
+        let req = &requests[resp.request];
+        match &resp.outcome {
+            Outcome::Completed { output, instret, .. } => println!(
+                "  #{:<2} {:>5} {:<12} -> completed in {:>6} instructions, output {:?}",
+                resp.request,
+                service.tenant_name(resp.tenant),
+                format!("{:?}", String::from_utf8_lossy(&req.payload)),
+                instret,
+                output.trim_end()
+            ),
+            Outcome::Trapped { trap, .. } => println!(
+                "  #{:<2} {:>5} {:<12} -> TRAPPED ({:?} at pc {:#x}); fork discarded, tenant rewound",
+                resp.request,
+                service.tenant_name(resp.tenant),
+                format!("{:?}", req.payload),
+                trap.cause,
+                trap.pc
+            ),
+            other => println!(
+                "  #{:<2} {:>5} -> {:?}",
+                resp.request,
+                service.tenant_name(resp.tenant),
+                other
+            ),
+        }
+    }
+
+    // The trap left no residue: the same tenant keeps serving, and its
+    // snapshot still forks bit-identical guests.
+    let again = service.serve(
+        &[Request {
+            tenant: 2,
+            payload: vec![8, 1, 2],
+        }],
+        1,
     );
-
-    // Writing through the view is a permission violation.
-    match untrusted_scribble(&mut mem, view) {
-        Err(e) => println!("write blocked: {e}"),
-        Ok(()) => unreachable!("the input view must not be writable"),
-    }
-
-    // Escaping the bounds is a bounds violation — even though the secret
-    // is right there in the same address space.
-    let escape = view
-        .set_offset(secret_base.wrapping_sub(public_base))
-        .unwrap();
-    match escape.check_access(1, Perms::LOAD) {
-        Err(e) => println!("escape blocked: {e}"),
-        Ok(_) => unreachable!("bounds must hold"),
-    }
-
-    // And a forged pointer (integer smuggled into a capability) has no tag.
-    let forged = Capability::from_int(secret_base);
-    match forged.check_access(1, Perms::LOAD) {
-        Err(e) => println!("forgery blocked: {e}"),
-        Ok(_) => unreachable!("untagged values must not dereference"),
-    }
-
-    // Bonus (§4.2): the tag-accurate collector can relocate objects out
-    // from under integers, because integers are provably not pointers.
-    println!("\n== relocating GC over tagged memory ==");
-    let mut gc = Collector::new(0x4000, 0x8000);
-    let a = gc.alloc(&mut mem, 64).unwrap();
-    let b = gc.alloc(&mut mem, 64).unwrap();
-    mem.write_cap(a.base(), &b).unwrap(); // a -> b (a real, tagged pointer)
-    mem.write_u64(a.base() + 32, b.base()).unwrap(); // b's ADDRESS as an int
-    let mut roots = [a];
-    let stats = gc.collect(&mut mem, &mut roots);
-    println!(
-        "collected: {} objects live, {} capabilities rewritten (the integer copy of the address kept nothing alive)",
-        stats.live_objects, stats.rewritten_caps
+    assert!(
+        again[0].outcome.is_completed(),
+        "tenant must survive a trapped request untouched"
     );
-
-    // Bonus 2: the same spill/reload story on low-fat 128-bit capability
-    // storage. A 2^E-padding allocator keeps every handed-out capability
-    // representable, so the compressed memory behaves identically while
-    // storing half the bytes per pointer.
-    println!("\n== 128-bit compressed capability storage ==");
-    let mut mem128 =
-        TaggedMemory::with_format(0x10000, CapFormat::Cap128, UnrepresentablePolicy::SideTable);
-    let mut heap = Allocator::with_format(0x4000, 0x8000, CapFormat::Cap128);
-    let obj = heap.alloc_cap(100, Perms::data()).unwrap();
-    mem128.write_cap(0x2000, &obj).unwrap();
-    let back = mem128.read_cap(0x2000).unwrap();
-    assert_eq!(back, obj);
     println!(
-        "spilled and reloaded {obj} intact; resident capability storage: {} bytes (vs 32 in the 256-bit format), escapes: {}",
-        mem128.cap_footprint_bytes(),
-        mem128.side_table_len(),
+        "\nthe trapping tenant answered its next request normally — rewind-and-continue works"
     );
 }

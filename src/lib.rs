@@ -25,6 +25,9 @@
 //!   the paper's §4.2.
 //! * [`workloads`] — Olden, Dhrystone, tcpdump-lite and zlib-lite sources
 //!   plus the porting-effort tooling behind Table 4 and Figures 1–4.
+//! * [`sandbox`] — the multi-tenant sandbox service: a work-stealing,
+//!   fuel-sliced scheduler serving request streams from copy-on-write
+//!   forks of warmed-up guest images, with rewind-on-trap.
 //!
 //! ## Quickstart
 //!
@@ -46,5 +49,6 @@ pub use cheri_idioms as idioms;
 pub use cheri_interp as interp;
 pub use cheri_isa as isa;
 pub use cheri_mem as mem;
+pub use cheri_sandbox as sandbox;
 pub use cheri_vm as vm;
 pub use cheri_workloads as workloads;
