@@ -1,0 +1,17 @@
+use cheri_sandbox::scheduler::{run_sliced, Slice};
+use std::time::Duration;
+
+// deque0=[0,2], deque1=[1,3]; worker1 pops 3 (LIFO) and panics after a
+// short sleep; worker0 finishes the rest and then spins on pending=1.
+#[test]
+#[should_panic(expected = "boom")]
+fn panicking_worker_with_live_peer() {
+    let _ = run_sliced(vec![0u8, 1, 2, 3], 2, |v| {
+        if v == 3 {
+            std::thread::sleep(Duration::from_millis(20));
+            panic!("boom");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        Slice::Done(v)
+    });
+}
