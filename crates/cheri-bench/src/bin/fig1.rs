@@ -1,11 +1,17 @@
 //! Regenerates Figure 1: Olden runtimes under the three ABIs.
 //!
-//! Usage: `fig1 [scale] [backend]` where `backend` is `reference`,
-//! `chained` or `template` (default: the machine default, template).
-//! Simulated cycles are backend-invariant; the choice only changes host
-//! wall-clock time.
+//! Usage: `fig1 [scale] [backend] [fetch]` where `backend` is
+//! `reference`, `chained` or `template` (default: the machine default,
+//! template). Simulated cycles are backend-invariant; the choice only
+//! changes host wall-clock time. Passing the literal word `fetch` turns
+//! on per-block instruction-fetch charging (a new cycle era; columns
+//! gain the fetch share).
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "fetch") {
+        cheri_bench::select_fetch_charging(true);
+    }
+    let mut args = raw.into_iter().filter(|a| a != "fetch");
     let scale = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     if let Some(name) = args.next() {
         let kind = cheri_vm::BackendKind::from_name(&name)

@@ -1,9 +1,16 @@
 //! Regenerates Figure 3: tcpdump trace-processing time under the three ABIs.
 //!
-//! Usage: `fig3 [packets] [backend]` where `backend` is `reference`,
-//! `chained` or `template` (default: the machine default, template).
+//! Usage: `fig3 [packets] [backend] [fetch]` where `backend` is
+//! `reference`, `chained` or `template` (default: the machine default,
+//! template). Passing the literal word `fetch` turns on per-block
+//! instruction-fetch charging (a new cycle era; columns gain the fetch
+//! share).
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "fetch") {
+        cheri_bench::select_fetch_charging(true);
+    }
+    let mut args = raw.into_iter().filter(|a| a != "fetch");
     let packets: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
     if let Some(name) = args.next() {
         let kind = cheri_vm::BackendKind::from_name(&name)

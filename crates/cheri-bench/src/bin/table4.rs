@@ -4,17 +4,23 @@
 //! DRAM-traffic report (per-edge bytes under the bandwidth-aware cache
 //! model, both formats, 64B and 16B L1 lines).
 //!
-//! Usage: `table4 [backend]` where `backend` is `reference`, `chained` or
-//! `template` (default: the machine default, template). Simulated cycles
-//! are backend-invariant; the choice only changes host wall-clock time.
+//! Usage: `table4 [backend] [contention]` where `backend` is `reference`,
+//! `chained` or `template` (default: the machine default, template).
+//! Simulated cycles are backend-invariant; the choice only changes host
+//! wall-clock time. Passing the literal word `contention` appends the
+//! shared-L2 multi-core contention report (1/2/4/8 cores, both formats).
 fn main() {
-    let mut args = std::env::args().skip(1);
-    if let Some(name) = args.next() {
-        let kind = cheri_vm::BackendKind::from_name(&name)
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let contention = raw.iter().any(|a| a == "contention");
+    if let Some(name) = raw.iter().find(|a| *a != "contention") {
+        let kind = cheri_vm::BackendKind::from_name(name)
             .unwrap_or_else(|| panic!("unknown backend {name:?} (reference|chained|template)"));
         cheri_bench::select_backend(kind);
     }
     print!("{}", cheri_bench::table4_report());
     print!("{}", cheri_bench::cap_memory_report());
     print!("{}", cheri_bench::cap_traffic_report());
+    if contention {
+        print!("{}", cheri_bench::contention_report());
+    }
 }

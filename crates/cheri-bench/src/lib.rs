@@ -24,6 +24,7 @@ use std::sync::OnceLock;
 pub const FUEL: u64 = 20_000_000_000;
 
 static BACKEND: OnceLock<BackendKind> = OnceLock::new();
+static FETCH_CHARGING: OnceLock<bool> = OnceLock::new();
 
 /// Selects the execution backend every figure/table driver runs on; the
 /// figure binaries call this with their optional trailing argument
@@ -34,13 +35,23 @@ pub fn select_backend(kind: BackendKind) {
     let _ = BACKEND.set(kind);
 }
 
+/// Turns per-block instruction-fetch charging on for every figure/table
+/// driver (the figure binaries call this when passed the literal word
+/// `fetch`). First call wins; the default is off — fetch charging starts
+/// a new cycle-comparability era (see ROADMAP's bench discipline note),
+/// so it never contaminates default runs.
+pub fn select_fetch_charging(on: bool) {
+    let _ = FETCH_CHARGING.set(on);
+}
+
 /// The FPGA-like machine every driver measures on, under the selected
-/// execution backend.
+/// execution backend and fetch-charging mode.
 pub fn machine_config() -> VmConfig {
-    match BACKEND.get() {
+    let cfg = match BACKEND.get() {
         Some(&k) => VmConfig::fpga().with_backend(k),
         None => VmConfig::fpga(),
-    }
+    };
+    cfg.with_fetch_charging(FETCH_CHARGING.get().copied().unwrap_or(false))
 }
 
 // ---------------------------------------------------------------- Table 1
@@ -331,6 +342,11 @@ pub struct TrafficRow {
     pub l1_line_bytes: u64,
     /// Simulated cycles.
     pub cycles: u64,
+    /// Simulated cycles of the same run with 4 MSHRs per level (misses
+    /// in a burst overlap) and a 2-entry store buffer. Demand traffic is
+    /// identical; only the cycle accounting changes, so the column reads
+    /// directly as the win from memory-level parallelism.
+    pub mshr4_cycles: u64,
     /// Bytes filled over the L2↔DRAM edge.
     pub dram_fill_bytes: u64,
     /// Bytes written back over the L2↔DRAM edge.
@@ -370,11 +386,24 @@ pub fn cap_traffic_rows() -> Vec<TrafficRow> {
                 let status = vm.run(FUEL).unwrap_or_else(|e| panic!("{name}: {e}"));
                 assert_eq!(status.code, 0, "{name}/{format:?} failed");
                 let cache = status.stats.cache.expect("cache model enabled");
+                // The same run under the transaction model: 4 MSHRs per
+                // level and a 2-entry store buffer.
+                let mshr_cache = cfg
+                    .cache
+                    .expect("traffic rows run with the cache model")
+                    .with_mshrs(4)
+                    .with_store_buffer(2);
+                let mut mshr_vm = Vm::new(prog.clone(), cfg.with_cache(mshr_cache));
+                let mshr_status = mshr_vm
+                    .run(FUEL)
+                    .unwrap_or_else(|e| panic!("{name} (mshr4): {e}"));
+                assert_eq!(mshr_status.code, 0, "{name}/{format:?} (mshr4) failed");
                 rows.push(TrafficRow {
                     name: (*name).to_string(),
                     format,
                     l1_line_bytes: l1_line,
                     cycles: status.stats.cycles,
+                    mshr4_cycles: mshr_status.stats.cycles,
                     dram_fill_bytes: cache.traffic.l2_dram.fill_bytes,
                     dram_writeback_bytes: cache.traffic.l2_dram.writeback_bytes,
                     l1_l2_bytes: cache.traffic.l1_l2.total_bytes(),
@@ -400,11 +429,12 @@ pub fn render_cap_traffic(rows: &[TrafficRow]) -> String {
          (same CHERIv3 workload, both in-memory formats, 64B and 16B L1 lines)\n\n",
     );
     out.push_str(&format!(
-        "{:<12}{:>7}{:<8}{:>12}{:>14}{:>12}{:>14}{:>9}\n",
+        "{:<12}{:>7}{:<8}{:>12}{:>12}{:>14}{:>12}{:>14}{:>9}\n",
         "PROGRAM",
         "L1LINE",
         " FORMAT",
         "CYCLES",
+        "MSHR4 CYC",
         "DRAM FILL B",
         "DRAM WB B",
         "L1<->L2 B",
@@ -412,7 +442,7 @@ pub fn render_cap_traffic(rows: &[TrafficRow]) -> String {
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<12}{:>7}{:<8}{:>12}{:>14}{:>12}{:>14}{:>9}\n",
+            "{:<12}{:>7}{:<8}{:>12}{:>12}{:>14}{:>12}{:>14}{:>9}\n",
             r.name,
             r.l1_line_bytes,
             match r.format {
@@ -420,6 +450,7 @@ pub fn render_cap_traffic(rows: &[TrafficRow]) -> String {
                 CapFormat::Cap128 => "    128",
             },
             r.cycles,
+            r.mshr4_cycles,
             r.dram_fill_bytes,
             r.dram_writeback_bytes,
             r.l1_l2_bytes,
@@ -447,7 +478,162 @@ pub fn render_cap_traffic(rows: &[TrafficRow]) -> String {
             100.0 * (comp.cycles as f64 / full.cycles as f64 - 1.0),
         ));
     }
+    let win = |r: &TrafficRow| 100.0 * (1.0 - r.mshr4_cycles as f64 / r.cycles.max(1) as f64);
+    if let Some(best) = rows
+        .iter()
+        .max_by(|a, b| win(a).total_cmp(&win(b)))
+        .filter(|r| win(r) > 0.0)
+    {
+        out.push_str(&format!(
+            "memory-level parallelism: 4 MSHRs + a 2-entry store buffer save up to \
+             {:.1}% cycles ({} @ {}B lines, Cap{})\n",
+            win(best),
+            best.name,
+            best.l1_line_bytes,
+            match best.format {
+                CapFormat::Cap256 => "256",
+                CapFormat::Cap128 => "128",
+            },
+        ));
+    }
     out
+}
+
+// ----------------------------------------- shared-L2 contention (table4)
+
+/// One point of the multi-core contention report: `cores` identical
+/// pointer-chasing workloads racing over one shared memory system.
+#[derive(Clone, Debug)]
+pub struct ContentionRow {
+    /// Number of simulated cores in the batch.
+    pub cores: usize,
+    /// The in-memory capability format.
+    pub format: CapFormat,
+    /// Simulated cycles summed across all cores.
+    pub total_cycles: u64,
+    /// Queueing cycles summed across all cores (included in
+    /// `total_cycles`).
+    pub total_contention: u64,
+}
+
+impl ContentionRow {
+    /// Mean simulated cycles per core.
+    pub fn avg_cycles(&self) -> u64 {
+        self.total_cycles / self.cores as u64
+    }
+
+    /// Mean queueing cycles per core.
+    pub fn avg_contention(&self) -> u64 {
+        self.total_contention / self.cores as u64
+    }
+}
+
+/// Runs `cores` copies of Treeadd per core count, each on its own
+/// FPGA-like machine (private L1/L2 tags) with the L2 service port and
+/// the DRAM edge arbitrated through one [`cheri_vm::SharedHierarchy`].
+/// Cores advance in deterministic round-robin fuel slices on one thread,
+/// so the interleaving — and therefore every reported cycle — is exactly
+/// reproducible.
+pub fn contention_rows_for(core_counts: &[usize], formats: &[CapFormat]) -> Vec<ContentionRow> {
+    use cheri_vm::{SharedHierarchy, TrapCause, VmTrap};
+    // Fine slices approximate true concurrency; the arbitration model is
+    // stable in the slice size (coarser slices read slightly more
+    // contended because each alternation presents a bigger time skew,
+    // but the slowdown stays under the N-core serialization bound).
+    const SLICE: u64 = 500;
+    let src = sources::treeadd(8, 4);
+    let prog = compile(&src, Abi::CheriV3).expect("workload compiles");
+    let mut rows = Vec::new();
+    for &format in formats {
+        for &cores in core_counts {
+            let cfg = machine_config().with_cap_format(format);
+            let mut vms: Vec<Vm> = (0..cores).map(|_| Vm::new(prog.clone(), cfg)).collect();
+            let shared = SharedHierarchy::new();
+            for vm in &mut vms {
+                vm.attach_shared_hierarchy(shared.clone());
+            }
+            let mut live = vec![true; cores];
+            let mut remaining = cores;
+            while remaining > 0 {
+                for (i, vm) in vms.iter_mut().enumerate() {
+                    if !live[i] {
+                        continue;
+                    }
+                    match vm.run(SLICE) {
+                        Ok(status) => {
+                            assert_eq!(status.code, 0, "treeadd failed");
+                            live[i] = false;
+                            remaining -= 1;
+                        }
+                        Err(VmTrap {
+                            cause: TrapCause::OutOfFuel,
+                            ..
+                        }) => {}
+                        Err(t) => panic!("treeadd trapped: {t}"),
+                    }
+                }
+            }
+            let (mut cycles, mut contention) = (0u64, 0u64);
+            for vm in &vms {
+                let s = vm.stats();
+                cycles += s.cycles;
+                contention += s.cache.as_ref().map_or(0, |c| c.contention_cycles);
+            }
+            rows.push(ContentionRow {
+                cores,
+                format,
+                total_cycles: cycles,
+                total_contention: contention,
+            });
+        }
+    }
+    rows
+}
+
+/// The contention matrix the `table4` binary prints: 1/2/4/8 cores under
+/// both capability formats.
+pub fn contention_rows() -> Vec<ContentionRow> {
+    contention_rows_for(&[1, 2, 4, 8], &[CapFormat::Cap256, CapFormat::Cap128])
+}
+
+/// Renders the shared-L2 contention report.
+pub fn render_contention(rows: &[ContentionRow]) -> String {
+    let mut out = String::from(
+        "\nShared-L2 contention: N cores x Treeadd over one shared memory system\n\
+         (private L1/L2 tags per core; L2 service port and DRAM edge arbitrated,\n\
+         deterministic round-robin interleaving)\n\n",
+    );
+    out.push_str(&format!(
+        "{:>6}{:<8}{:>14}{:>14}{:>8}{:>10}\n",
+        "CORES", "  FORMAT", "AVG CYCLES", "CONTENTION", "SHARE", "SLOWDOWN"
+    ));
+    for r in rows {
+        let solo = rows
+            .iter()
+            .find(|s| s.format == r.format && s.cores == 1)
+            .map(|s| s.avg_cycles());
+        let slowdown = solo
+            .map(|s| format!("{:.2}x", r.avg_cycles() as f64 / s.max(1) as f64))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{:>6}{:<8}{:>14}{:>14}{:>7.1}%{:>10}\n",
+            r.cores,
+            match r.format {
+                CapFormat::Cap256 => "     256",
+                CapFormat::Cap128 => "     128",
+            },
+            r.avg_cycles(),
+            r.avg_contention(),
+            100.0 * r.avg_contention() as f64 / r.avg_cycles().max(1) as f64,
+            slowdown,
+        ));
+    }
+    out
+}
+
+/// Renders [`contention_rows`] — the report printed by `table4`.
+pub fn contention_report() -> String {
+    render_contention(&contention_rows())
 }
 
 // ---------------------------------------------------------------- Figures
@@ -567,13 +753,23 @@ pub fn fig4_points(sizes: &[u32], seed: u64) -> Vec<Fig4Point> {
         .collect()
 }
 
-/// Renders a cycles-per-ABI report with MIPS-relative ratios.
+/// Renders a cycles-per-ABI report with MIPS-relative ratios. When any
+/// point carries fetch transactions (the driver ran with fetch charging
+/// on), two extra columns report the fetch bytes and the share of cycles
+/// spent fetching; default-era output is unchanged.
 pub fn render_abi_points(title: &str, points: &[AbiPoint]) -> String {
     let mut out = format!("{title}\n\n");
+    let fetch_era = points
+        .iter()
+        .any(|p| p.outcome.cache.is_some_and(|c| c.fetch.blocks > 0));
     out.push_str(&format!(
-        "{:<12}{:<10}{:>16}{:>14}{:>12}{:>10}{:>10}{:>12}\n",
+        "{:<12}{:<10}{:>16}{:>14}{:>12}{:>10}{:>10}{:>12}",
         "PROGRAM", "ABI", "CYCLES", "INSTRET", "SEC@100MHz", "vs MIPS", "L1MISS%", "DRAM BYTES"
     ));
+    if fetch_era {
+        out.push_str(&format!("{:>13}{:>9}", "FETCH B", "FETCH%"));
+    }
+    out.push('\n');
     let mut names: Vec<String> = points.iter().map(|p| p.name.clone()).collect();
     names.dedup();
     for name in names {
@@ -596,7 +792,7 @@ pub fn render_abi_points(title: &str, points: &[AbiPoint]) -> String {
                 .map(|c| c.traffic.dram_bytes().to_string())
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{:<12}{:<10}{:>16}{:>14}{:>12.4}{:>10}{:>10}{:>12}\n",
+                "{:<12}{:<10}{:>16}{:>14}{:>12.4}{:>10}{:>10}{:>12}",
                 p.name,
                 p.abi.name(),
                 p.outcome.cycles,
@@ -606,6 +802,23 @@ pub fn render_abi_points(title: &str, points: &[AbiPoint]) -> String {
                 miss,
                 dram,
             ));
+            if fetch_era {
+                let (bytes, pct) = p
+                    .outcome
+                    .cache
+                    .map(|c| {
+                        (
+                            c.fetch.bytes.to_string(),
+                            format!(
+                                "{:.1}",
+                                100.0 * c.fetch.cycles as f64 / p.outcome.cycles.max(1) as f64
+                            ),
+                        )
+                    })
+                    .unwrap_or_default();
+                out.push_str(&format!("{bytes:>13}{pct:>9}"));
+            }
+            out.push('\n');
         }
     }
     out
@@ -785,6 +998,57 @@ mod tests {
         assert!(r.contains("DRAM traffic"));
         assert!(r.contains("MallocOOB"));
         assert!(r.contains("fewer DRAM bytes"));
+        assert!(r.contains("memory-level parallelism"));
+    }
+
+    /// The transaction knobs must only ever help: 4 MSHRs + a store
+    /// buffer never cost cycles, and on the miss-heavy 16-byte geometry
+    /// the overlap must show up as a measurable win.
+    #[test]
+    fn four_mshrs_overlap_misses_into_fewer_cycles() {
+        for r in shared_traffic_rows() {
+            assert!(
+                r.mshr4_cycles <= r.cycles,
+                "{} @ {}B/{:?}: 4 MSHRs cost cycles ({} vs {})",
+                r.name,
+                r.l1_line_bytes,
+                r.format,
+                r.mshr4_cycles,
+                r.cycles
+            );
+            if r.l1_line_bytes == 16 {
+                assert!(
+                    r.mshr4_cycles < r.cycles,
+                    "{} @ 16B/{:?}: the burst overlap must win measurably",
+                    r.name,
+                    r.format
+                );
+            }
+        }
+    }
+
+    /// Cores racing over one shared memory system slow each other down,
+    /// and the slowdown is pure queueing: subtracting the contention
+    /// cycles recovers each core's solo run exactly.
+    #[test]
+    fn shared_cores_pay_only_queueing() {
+        let rows = contention_rows_for(&[1, 4], &[CapFormat::Cap256]);
+        let (solo, quad) = (&rows[0], &rows[1]);
+        assert_eq!(solo.cores, 1);
+        assert_eq!(quad.cores, 4);
+        assert!(
+            quad.avg_cycles() > solo.avg_cycles(),
+            "4 cores must degrade per-core latency ({} vs {})",
+            quad.avg_cycles(),
+            solo.avg_cycles()
+        );
+        assert!(quad.total_contention > solo.total_contention);
+        let private = solo.total_cycles - solo.total_contention;
+        assert_eq!(
+            quad.total_cycles - quad.total_contention,
+            4 * private,
+            "contention must move no bytes and charge no compute"
+        );
     }
 
     #[test]

@@ -30,6 +30,30 @@
 //! geometry sector and line coincide and the model charges exactly the
 //! flat per-level constants the presets derive.
 //!
+//! # The transaction model
+//!
+//! Since the transaction refactor every charge is a *transaction* with
+//! three optional overlap mechanisms layered over the unchanged tag state
+//! machine:
+//!
+//! - **MSHRs** ([`LevelSpec::mshrs`]): a burst of N independent misses on
+//!   one edge costs `latency + N·transfer` instead of
+//!   `N·(latency + transfer)` once the file is deep enough — the
+//!   memory-level-parallelism the serialized model rounds away.
+//! - **A store buffer** ([`LevelSpec::store_buffer`]): dirty write-backs
+//!   drain off the critical path; the CPU stalls only when the buffer is
+//!   full.
+//! - **A prefetcher** ([`HierarchyConfig::prefetch`]): next-line or stride
+//!   predictions fill L2 behind the demand stream; their bytes are tagged
+//!   separately in the ledger so speculation cannot masquerade as demand
+//!   efficiency.
+//!
+//! With the default knobs (`mshrs = 1`, `store_buffer = 0`, prefetch off)
+//! every transaction degenerates to the serialized legacy charge, bit for
+//! bit. For multi-core contention, several hierarchies can share their
+//! lower edges through a [`SharedHierarchy`]; queueing behind another
+//! core's traffic is charged as [`CacheStats::contention_cycles`].
+//!
 //! # Example
 //!
 //! ```
@@ -44,732 +68,17 @@
 //! assert_eq!(t.l2_dram.fill_bytes, 64); // one line came from DRAM
 //! ```
 
-use std::fmt;
+mod hierarchy;
+mod level;
+mod mshr;
+mod shared;
+mod traffic;
 
-/// Geometry and timing of one cache level.
-///
-/// `bytes_per_cycle` is the bandwidth of the edge this level *serves*:
-/// for L1 that is the CPU load/store port (each access charges
-/// `latency_cycles + ceil(bytes / bytes_per_cycle)`), for L2 it is the
-/// L1↔L2 edge over which L1 lines fill and write back.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct LevelSpec {
-    /// Total capacity in bytes.
-    pub size_bytes: u64,
-    /// Line size in bytes (power of two).
-    pub line_bytes: u64,
-    /// Associativity (ways per set).
-    pub ways: u64,
-    /// Fixed cycles per transfer served by this level.
-    pub latency_cycles: u64,
-    /// Bandwidth of this level's service port, in bytes per cycle.
-    pub bytes_per_cycle: u64,
-}
-
-/// Timing of the DRAM edge (L2↔DRAM): every L2-line fill or drain charges
-/// `latency_cycles + ceil(l2.line_bytes / bytes_per_cycle)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct DramSpec {
-    /// Fixed cycles per DRAM transfer (row activation, controller).
-    pub latency_cycles: u64,
-    /// DRAM burst bandwidth in bytes per cycle.
-    pub bytes_per_cycle: u64,
-}
-
-/// A [`LevelSpec`] or [`HierarchyConfig`] that cannot be simulated.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CacheConfigError {
-    /// A size, line size, way count or bandwidth is zero.
-    ZeroField(&'static str),
-    /// `line_bytes` is not a power of two.
-    LineNotPowerOfTwo(u64),
-    /// The capacity does not split into a power-of-two number of sets of
-    /// `ways` lines.
-    BadGeometry {
-        /// Capacity in bytes.
-        size_bytes: u64,
-        /// Line size in bytes.
-        line_bytes: u64,
-        /// Ways per set.
-        ways: u64,
-    },
-    /// The L1 line is wider than the L2 line (an L1 fill could not come
-    /// from a single L2 line).
-    L1LineWiderThanL2 {
-        /// L1 line size in bytes.
-        l1: u64,
-        /// L2 line size in bytes.
-        l2: u64,
-    },
-    /// More than 64 L1-line-sized sectors fit in an L2 line (the
-    /// per-sector dirty mask is 64 bits wide).
-    TooManySectors {
-        /// L1 line size in bytes.
-        l1: u64,
-        /// L2 line size in bytes.
-        l2: u64,
-    },
-}
-
-impl fmt::Display for CacheConfigError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CacheConfigError::ZeroField(which) => write!(f, "{which} must be non-zero"),
-            CacheConfigError::LineNotPowerOfTwo(n) => {
-                write!(f, "line_bytes must be a power of two, got {n}")
-            }
-            CacheConfigError::BadGeometry {
-                size_bytes,
-                line_bytes,
-                ways,
-            } => write!(
-                f,
-                "{size_bytes} bytes of {line_bytes}-byte lines do not form a \
-                 power-of-two number of {ways}-way sets"
-            ),
-            CacheConfigError::L1LineWiderThanL2 { l1, l2 } => {
-                write!(f, "L1 line ({l1} bytes) wider than L2 line ({l2} bytes)")
-            }
-            CacheConfigError::TooManySectors { l1, l2 } => write!(
-                f,
-                "L2 line ({l2} bytes) holds more than 64 L1-line ({l1} bytes) \
-                 sectors; the dirty mask is 64 bits"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for CacheConfigError {}
-
-impl LevelSpec {
-    /// Checks the level in isolation: non-zero fields, power-of-two line,
-    /// and a power-of-two number of whole sets.
-    ///
-    /// # Errors
-    ///
-    /// The first [`CacheConfigError`] found.
-    pub fn validate(&self) -> Result<(), CacheConfigError> {
-        if self.size_bytes == 0 {
-            return Err(CacheConfigError::ZeroField("size_bytes"));
-        }
-        if self.line_bytes == 0 {
-            return Err(CacheConfigError::ZeroField("line_bytes"));
-        }
-        if self.ways == 0 {
-            return Err(CacheConfigError::ZeroField("ways"));
-        }
-        if self.bytes_per_cycle == 0 {
-            return Err(CacheConfigError::ZeroField("bytes_per_cycle"));
-        }
-        if !self.line_bytes.is_power_of_two() {
-            return Err(CacheConfigError::LineNotPowerOfTwo(self.line_bytes));
-        }
-        let bad = CacheConfigError::BadGeometry {
-            size_bytes: self.size_bytes,
-            line_bytes: self.line_bytes,
-            ways: self.ways,
-        };
-        if self.size_bytes % self.line_bytes != 0 {
-            return Err(bad);
-        }
-        let lines = self.size_bytes / self.line_bytes;
-        if lines % self.ways != 0 || !(lines / self.ways).is_power_of_two() {
-            return Err(bad);
-        }
-        Ok(())
-    }
-
-    /// Number of sets implied by the geometry. Meaningful only after
-    /// [`LevelSpec::validate`] has passed.
-    pub fn sets(&self) -> u64 {
-        (self.size_bytes / self.line_bytes) / self.ways
-    }
-}
-
-/// Configuration of the full hierarchy: two cache levels plus the DRAM
-/// edge. The flat per-level cycle constants of the old model survive only
-/// as values derived from `latency + ceil(line / bandwidth)` inside the
-/// presets.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct HierarchyConfig {
-    /// L1 data cache.
-    pub l1: LevelSpec,
-    /// L2 cache.
-    pub l2: LevelSpec,
-    /// The DRAM edge below L2.
-    pub dram: DramSpec,
-}
-
-impl HierarchyConfig {
-    /// The paper's FPGA softcore: 16 KB L1, 64 KB L2, 64-byte lines.
-    /// The derived per-line costs reproduce the pre-bandwidth model
-    /// exactly: an L1 hit is 1 cycle (port), an L1 fill from L2 adds
-    /// `5 + 64/16 = 9`, a DRAM transfer adds `22 + 64/8 = 30` — DRAM
-    /// "less costly than on most modern processors".
-    pub fn fpga_softcore() -> HierarchyConfig {
-        HierarchyConfig {
-            l1: LevelSpec {
-                size_bytes: 16 * 1024,
-                line_bytes: 64,
-                ways: 4,
-                latency_cycles: 0,
-                bytes_per_cycle: 64,
-            },
-            l2: LevelSpec {
-                size_bytes: 64 * 1024,
-                line_bytes: 64,
-                ways: 8,
-                latency_cycles: 5,
-                bytes_per_cycle: 16,
-            },
-            dram: DramSpec {
-                latency_cycles: 22,
-                bytes_per_cycle: 8,
-            },
-        }
-    }
-
-    /// A modern-desktop-like hierarchy for the substrate ablation bench
-    /// (bigger caches, relatively slower DRAM): L2 serves a line in
-    /// `4 + 64/8 = 12` cycles, DRAM in `184 + 64/4 = 200`.
-    pub fn desktop() -> HierarchyConfig {
-        HierarchyConfig {
-            l1: LevelSpec {
-                size_bytes: 32 * 1024,
-                line_bytes: 64,
-                ways: 8,
-                latency_cycles: 0,
-                bytes_per_cycle: 64,
-            },
-            l2: LevelSpec {
-                size_bytes: 512 * 1024,
-                line_bytes: 64,
-                ways: 8,
-                latency_cycles: 4,
-                bytes_per_cycle: 8,
-            },
-            dram: DramSpec {
-                latency_cycles: 184,
-                bytes_per_cycle: 4,
-            },
-        }
-    }
-
-    /// The same hierarchy with a narrower L1 line (16 or 32 bytes): the
-    /// geometry that lets half-width capability stores touch half the
-    /// bytes instead of rounding up to a 64-byte line.
-    pub fn with_l1_line_bytes(mut self, line_bytes: u64) -> HierarchyConfig {
-        self.l1.line_bytes = line_bytes;
-        self
-    }
-
-    /// Checks both levels and their relationship (the L1 line must divide
-    /// into the L2 line so a fill comes from one L2 line).
-    ///
-    /// # Errors
-    ///
-    /// The first [`CacheConfigError`] found.
-    pub fn validate(&self) -> Result<(), CacheConfigError> {
-        self.l1.validate()?;
-        self.l2.validate()?;
-        if self.dram.bytes_per_cycle == 0 {
-            return Err(CacheConfigError::ZeroField("dram.bytes_per_cycle"));
-        }
-        if self.l1.line_bytes > self.l2.line_bytes {
-            return Err(CacheConfigError::L1LineWiderThanL2 {
-                l1: self.l1.line_bytes,
-                l2: self.l2.line_bytes,
-            });
-        }
-        if self.l2.line_bytes / self.l1.line_bytes > 64 {
-            return Err(CacheConfigError::TooManySectors {
-                l1: self.l1.line_bytes,
-                l2: self.l2.line_bytes,
-            });
-        }
-        Ok(())
-    }
-
-    /// Cycles the CPU port charges for `bytes` within one L1 line.
-    pub fn port_cycles(&self, bytes: u64) -> u64 {
-        self.l1.latency_cycles + bytes.div_ceil(self.l1.bytes_per_cycle)
-    }
-
-    /// Cycles one L1-line transfer on the L1↔L2 edge costs (fill or
-    /// write-back).
-    pub fn l1_l2_transfer_cycles(&self) -> u64 {
-        self.l2.latency_cycles + self.l1.line_bytes.div_ceil(self.l2.bytes_per_cycle)
-    }
-
-    /// Cycles one full-L2-line transfer on the L2↔DRAM edge costs (a
-    /// demand fill, or a drain whose every sector is dirty).
-    pub fn l2_dram_transfer_cycles(&self) -> u64 {
-        self.dram.latency_cycles + self.l2.line_bytes.div_ceil(self.dram.bytes_per_cycle)
-    }
-
-    /// Cycles a sub-blocked drain of `sectors` dirty L1-line-sized
-    /// sectors costs on the L2↔DRAM edge (one DRAM latency, then the
-    /// burst).
-    pub fn l2_drain_cycles(&self, sectors: u64) -> u64 {
-        self.dram.latency_cycles
-            + (sectors * self.l1.line_bytes).div_ceil(self.dram.bytes_per_cycle)
-    }
-}
-
-impl Default for HierarchyConfig {
-    fn default() -> HierarchyConfig {
-        HierarchyConfig::fpga_softcore()
-    }
-}
-
-/// Bytes and transfers moved across one inter-level edge, fills (toward
-/// the CPU) and write-backs (away from it) separated.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct EdgeTraffic {
-    /// Lines moved toward the CPU (demand fills) — L1 lines on the L1↔L2
-    /// edge, L2 lines on the L2↔DRAM edge.
-    pub fill_lines: u64,
-    /// Bytes those fills moved.
-    pub fill_bytes: u64,
-    /// Transfers moved away from the CPU (dirty write-backs): L1 lines on
-    /// the L1↔L2 edge; on the L2↔DRAM edge, dirty *sectors* (L1-line
-    /// sized) of drained L2 lines.
-    pub writeback_lines: u64,
-    /// Bytes those write-backs moved.
-    pub writeback_bytes: u64,
-}
-
-impl EdgeTraffic {
-    /// Total bytes moved on the edge in either direction.
-    pub fn total_bytes(&self) -> u64 {
-        self.fill_bytes + self.writeback_bytes
-    }
-}
-
-/// The per-edge traffic ledger: every byte the hierarchy moves is
-/// attributed to exactly one edge and one direction.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct TrafficStats {
-    /// The L1↔L2 edge: L1-line fills and dirty-L1 write-backs.
-    pub l1_l2: EdgeTraffic,
-    /// The L2↔DRAM edge: L2-line fills and dirty-L2 drains.
-    pub l2_dram: EdgeTraffic,
-}
-
-impl TrafficStats {
-    /// Total bytes moved on the DRAM edge — the paper's headline metric
-    /// for capability-width cost.
-    pub fn dram_bytes(&self) -> u64 {
-        self.l2_dram.total_bytes()
-    }
-}
-
-/// Hit/miss counters and the traffic ledger for the whole hierarchy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Accesses served by L1.
-    pub l1_hits: u64,
-    /// Accesses that missed L1.
-    pub l1_misses: u64,
-    /// L1 misses served by L2.
-    pub l2_hits: u64,
-    /// Accesses that went all the way to DRAM.
-    pub l2_misses: u64,
-    /// Dirty lines written back on eviction (both edges; also counts lines
-    /// dropped by [`Hierarchy::flush`], which moves no modelled traffic).
-    pub writebacks: u64,
-    /// Total cycles charged by the hierarchy.
-    pub cycles: u64,
-    /// Bytes moved per edge.
-    pub traffic: TrafficStats,
-}
-
-impl CacheStats {
-    /// L1 hit rate in `[0, 1]` (0 if no accesses).
-    pub fn l1_hit_rate(&self) -> f64 {
-        let total = self.l1_hits + self.l1_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.l1_hits as f64 / total as f64
-        }
-    }
-}
-
-impl fmt::Display for CacheStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "L1 {}/{} hits ({:.1}%), L2 {} hits, {} DRAM, {} writebacks, {} cycles, \
-             {} B L1<->L2, {} B L2<->DRAM",
-            self.l1_hits,
-            self.l1_hits + self.l1_misses,
-            100.0 * self.l1_hit_rate(),
-            self.l2_hits,
-            self.l2_misses,
-            self.writebacks,
-            self.cycles,
-            self.traffic.l1_l2.total_bytes(),
-            self.traffic.l2_dram.total_bytes(),
-        )
-    }
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// Dirty mask, one bit per L1-line-sized sector. For L1 (and for an
-    /// L2 whose line equals the L1 line) this is a single bit.
-    dirty: u64,
-    stamp: u64,
-}
-
-const EMPTY_LINE: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: 0,
-    stamp: 0,
-};
-
-/// The line displaced by a fill.
-#[derive(Clone, Copy, Debug)]
-struct Victim {
-    line_addr: u64,
-    /// Per-sector dirty mask; 0 means clean.
-    dirty: u64,
-}
-
-#[derive(Clone, Debug)]
-struct Level {
-    spec: LevelSpec,
-    /// `nsets × ways` fixed line slots: `lines[set * ways .. +ways]`.
-    lines: Box<[Line]>,
-    clock: u64,
-    /// Shift/mask index math; validation guarantees power-of-two line
-    /// size and set count.
-    line_shift: u32,
-    set_mask: u64,
-    set_shift: u32,
-    /// Dirty granularity: log2 of the sector size (the hierarchy's L1
-    /// line) and the sectors-per-line mask.
-    sector_shift: u32,
-    sector_mask: u64,
-}
-
-enum Lookup {
-    Hit,
-    /// Miss; the fill may have displaced a victim line.
-    Miss(Option<Victim>),
-}
-
-impl Level {
-    /// Builds the level; `sector_bytes` (the hierarchy's L1 line size)
-    /// sets the dirty-tracking granularity.
-    fn new(spec: LevelSpec, sector_bytes: u64) -> Level {
-        let nsets = spec.sets();
-        Level {
-            spec,
-            lines: vec![EMPTY_LINE; (nsets * spec.ways) as usize].into_boxed_slice(),
-            clock: 0,
-            line_shift: spec.line_bytes.trailing_zeros(),
-            set_mask: nsets - 1,
-            set_shift: nsets.trailing_zeros(),
-            sector_shift: sector_bytes.trailing_zeros(),
-            sector_mask: spec.line_bytes / sector_bytes - 1,
-        }
-    }
-
-    /// Splits `line_addr` into (set index, tag).
-    fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
-        let idx = line_addr >> self.line_shift;
-        ((idx & self.set_mask) as usize, idx >> self.set_shift)
-    }
-
-    /// The dirty-mask bit for the sector containing `addr`.
-    fn sector_bit(&self, addr: u64) -> u64 {
-        1 << ((addr >> self.sector_shift) & self.sector_mask)
-    }
-
-    /// Looks up the line containing `line_addr`, filling on miss (into a
-    /// free way if one exists, else over the least-recently-used line).
-    /// A write dirties the sector containing `line_addr`.
-    fn access(&mut self, line_addr: u64, write: bool) -> Lookup {
-        self.clock += 1;
-        let (set_idx, tag) = self.set_and_tag(line_addr);
-        let wmask = if write { self.sector_bit(line_addr) } else { 0 };
-        let ways = self.spec.ways as usize;
-        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
-        let mut free = None;
-        let mut lru = 0;
-        let mut lru_stamp = u64::MAX;
-        for (i, l) in set.iter_mut().enumerate() {
-            if l.valid {
-                if l.tag == tag {
-                    l.stamp = self.clock;
-                    l.dirty |= wmask;
-                    return Lookup::Hit;
-                }
-                if l.stamp < lru_stamp {
-                    lru_stamp = l.stamp;
-                    lru = i;
-                }
-            } else if free.is_none() {
-                free = Some(i);
-            }
-        }
-        let slot = free.unwrap_or(lru);
-        let victim = set[slot].valid.then(|| Victim {
-            // tag = idx / sets and set = idx % sets, so the victim's line
-            // address reconstructs exactly.
-            line_addr: ((set[slot].tag << self.set_shift) | set_idx as u64) << self.line_shift,
-            dirty: set[slot].dirty,
-        });
-        set[slot] = Line {
-            tag,
-            valid: true,
-            dirty: wmask,
-            stamp: self.clock,
-        };
-        Lookup::Miss(victim)
-    }
-
-    /// Marks the sector containing `addr` dirty in its resident line and
-    /// refreshes it (a write-back install), without allocating. Returns
-    /// whether the line was present.
-    fn touch_dirty(&mut self, addr: u64) -> bool {
-        self.clock += 1;
-        let (set_idx, tag) = self.set_and_tag(addr);
-        let bit = self.sector_bit(addr);
-        let ways = self.spec.ways as usize;
-        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
-        for l in set.iter_mut() {
-            if l.valid && l.tag == tag {
-                l.dirty |= bit;
-                l.stamp = self.clock;
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Removes the line containing `line_addr` if resident, returning its
-    /// dirty mask (inclusion back-invalidation).
-    fn invalidate(&mut self, line_addr: u64) -> Option<u64> {
-        let (set_idx, tag) = self.set_and_tag(line_addr);
-        let ways = self.spec.ways as usize;
-        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
-        for l in set.iter_mut() {
-            if l.valid && l.tag == tag {
-                let dirty = l.dirty;
-                *l = EMPTY_LINE;
-                return Some(dirty);
-            }
-        }
-        None
-    }
-
-    fn flush(&mut self) -> u64 {
-        let mut dirty = 0;
-        for l in self.lines.iter_mut() {
-            dirty += u64::from(l.valid && l.dirty != 0);
-            *l = EMPTY_LINE;
-        }
-        dirty
-    }
-}
-
-/// A two-level write-back, write-allocate, inclusive cache hierarchy with
-/// LRU replacement, charging latency + bandwidth cycles per transfer and
-/// keeping a per-edge byte ledger.
-#[derive(Clone, Debug)]
-pub struct Hierarchy {
-    cfg: HierarchyConfig,
-    l1: Level,
-    l2: Level,
-    stats: CacheStats,
-    /// Port cycles when one transfer covers any in-line access
-    /// (`bytes_per_cycle >= line_bytes`, true of every preset), so the
-    /// hot hit path does no division.
-    port_flat: Option<u64>,
-    /// Precomputed `l1_l2_transfer_cycles` / `l2_dram_transfer_cycles`.
-    l1_fill_cycles: u64,
-    l2_fill_cycles: u64,
-}
-
-impl Hierarchy {
-    /// Builds the hierarchy for `cfg`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg` fails [`HierarchyConfig::validate`]; use
-    /// [`Hierarchy::try_new`] to get the error instead.
-    pub fn new(cfg: HierarchyConfig) -> Hierarchy {
-        Hierarchy::try_new(cfg).unwrap_or_else(|e| panic!("invalid cache config: {e}"))
-    }
-
-    /// Builds the hierarchy for `cfg`, reporting invalid geometry as an
-    /// error instead of panicking.
-    ///
-    /// # Errors
-    ///
-    /// The [`CacheConfigError`] from [`HierarchyConfig::validate`].
-    pub fn try_new(cfg: HierarchyConfig) -> Result<Hierarchy, CacheConfigError> {
-        cfg.validate()?;
-        Ok(Hierarchy {
-            l1: Level::new(cfg.l1, cfg.l1.line_bytes),
-            l2: Level::new(cfg.l2, cfg.l1.line_bytes),
-            stats: CacheStats::default(),
-            port_flat: (cfg.l1.bytes_per_cycle >= cfg.l1.line_bytes)
-                .then(|| cfg.l1.latency_cycles + 1),
-            l1_fill_cycles: cfg.l1_l2_transfer_cycles(),
-            l2_fill_cycles: cfg.l2_dram_transfer_cycles(),
-            cfg,
-        })
-    }
-
-    /// The configuration in force.
-    pub fn config(&self) -> HierarchyConfig {
-        self.cfg
-    }
-
-    /// Simulates an access of `len` bytes at `addr` (split across L1 lines
-    /// as the hardware would), returning the cycles charged. Zero-length
-    /// accesses (e.g. `memcpy(d, s, 0)`) touch no line and cost nothing.
-    pub fn access(&mut self, addr: u64, len: u64, write: bool) -> u64 {
-        if len == 0 {
-            return 0;
-        }
-        let line = self.cfg.l1.line_bytes;
-        let mut cycles = 0;
-        let mut a = addr;
-        let end = addr.saturating_add(len);
-        while a < end {
-            let line_addr = a & !(line - 1);
-            // The last line of the address space has no successor; stepping
-            // past it would wrap and walk the whole space again.
-            let next = line_addr.checked_add(line);
-            let piece = next.map_or(end, |n| n.min(end)) - a;
-            cycles += self.access_line(line_addr, piece, write);
-            match next {
-                Some(n) => a = n,
-                None => break,
-            }
-        }
-        self.stats.cycles += cycles;
-        cycles
-    }
-
-    fn access_line(&mut self, line_addr: u64, bytes: u64, write: bool) -> u64 {
-        // The CPU port is charged for every access, hit or miss.
-        let port = match self.port_flat {
-            Some(p) => p,
-            None => self.cfg.port_cycles(bytes),
-        };
-        match self.l1.access(line_addr, write) {
-            Lookup::Hit => {
-                self.stats.l1_hits += 1;
-                port
-            }
-            Lookup::Miss(victim) => {
-                self.stats.l1_misses += 1;
-                let mut cycles = port;
-                // Drain the dirty L1 victim first: inclusion guarantees its
-                // containing L2 line is still resident *before* the demand
-                // fill below may evict it.
-                if let Some(v) = victim {
-                    if v.dirty != 0 {
-                        cycles += self.writeback_l1_line(v.line_addr);
-                    }
-                }
-                // Demand path: the containing L2 line, from L2 or DRAM.
-                match self.l2.access(line_addr, write) {
-                    Lookup::Hit => self.stats.l2_hits += 1,
-                    Lookup::Miss(l2_victim) => {
-                        self.stats.l2_misses += 1;
-                        self.stats.traffic.l2_dram.fill_lines += 1;
-                        self.stats.traffic.l2_dram.fill_bytes += self.cfg.l2.line_bytes;
-                        cycles += self.l2_fill_cycles;
-                        if let Some(v) = l2_victim {
-                            cycles += self.evict_l2_line(v);
-                        }
-                    }
-                }
-                // The L1 fill itself: one L1 line over the L1<->L2 edge.
-                self.stats.traffic.l1_l2.fill_lines += 1;
-                self.stats.traffic.l1_l2.fill_bytes += self.cfg.l1.line_bytes;
-                cycles += self.l1_fill_cycles;
-                cycles
-            }
-        }
-    }
-
-    /// Writes a dirty L1 line back into its containing L2 line. Inclusion
-    /// means the L2 line is resident (every L1 line filled through L2 and
-    /// L2 evictions back-invalidate), so this never allocates.
-    fn writeback_l1_line(&mut self, line_addr: u64) -> u64 {
-        self.stats.writebacks += 1;
-        self.stats.traffic.l1_l2.writeback_lines += 1;
-        self.stats.traffic.l1_l2.writeback_bytes += self.cfg.l1.line_bytes;
-        let hit = self.l2.touch_dirty(line_addr);
-        debug_assert!(hit, "inclusion: a dirty L1 line's L2 container is resident");
-        self.l1_fill_cycles
-    }
-
-    /// Handles an L2 eviction: back-invalidates the victim's L1 sub-lines
-    /// (merging dirty data across the L1↔L2 edge), then drains the dirty
-    /// sectors to DRAM. Sub-blocking is what lets a half-width capability
-    /// store put half the bytes on the DRAM write-back stream when the L1
-    /// line is narrower than the L2 line.
-    fn evict_l2_line(&mut self, v: Victim) -> u64 {
-        let mut cycles = 0;
-        let mut dirty = v.dirty;
-        let sub = self.cfg.l1.line_bytes;
-        let mut a = v.line_addr;
-        let end = v.line_addr + self.cfg.l2.line_bytes;
-        while a < end {
-            if self.l1.invalidate(a).is_some_and(|m| m != 0) {
-                self.stats.writebacks += 1;
-                self.stats.traffic.l1_l2.writeback_lines += 1;
-                self.stats.traffic.l1_l2.writeback_bytes += sub;
-                cycles += self.l1_fill_cycles;
-                dirty |= self.l2.sector_bit(a);
-            }
-            a += sub;
-        }
-        if dirty != 0 {
-            let sectors = u64::from(dirty.count_ones());
-            self.stats.writebacks += 1;
-            self.stats.traffic.l2_dram.writeback_lines += sectors;
-            self.stats.traffic.l2_dram.writeback_bytes += sectors * sub;
-            cycles += self.cfg.l2_drain_cycles(sectors);
-        }
-        cycles
-    }
-
-    /// Accumulated statistics.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
-    }
-
-    /// Empties both levels (counting dirty lines in
-    /// [`CacheStats::writebacks`] but moving no modelled traffic) and
-    /// keeps statistics. Used between benchmark phases.
-    pub fn flush(&mut self) {
-        self.stats.writebacks += self.l1.flush() + self.l2.flush();
-    }
-
-    /// Resets statistics without touching cache contents.
-    pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
-    }
-}
-
-impl Default for Hierarchy {
-    fn default() -> Hierarchy {
-        Hierarchy::new(HierarchyConfig::default())
-    }
-}
+pub use hierarchy::{CacheConfigError, DramSpec, Hierarchy, HierarchyConfig};
+pub use level::LevelSpec;
+pub use mshr::PrefetchPolicy;
+pub use shared::{SharedEdge, SharedHierarchy};
+pub use traffic::{CacheStats, EdgeTraffic, FetchStats, TrafficStats};
 
 #[cfg(test)]
 mod tests {
@@ -803,6 +112,17 @@ mod tests {
         let d = HierarchyConfig::desktop();
         assert_eq!(d.l1_l2_transfer_cycles(), 12);
         assert_eq!(d.l2_dram_transfer_cycles(), 200);
+    }
+
+    #[test]
+    fn presets_default_to_the_serialized_transaction_knobs() {
+        for cfg in [HierarchyConfig::fpga_softcore(), HierarchyConfig::desktop()] {
+            assert_eq!(cfg.l1.mshrs, 1);
+            assert_eq!(cfg.l2.mshrs, 1);
+            assert_eq!(cfg.l1.store_buffer, 0);
+            assert_eq!(cfg.l2.store_buffer, 0);
+            assert_eq!(cfg.prefetch, PrefetchPolicy::Off);
+        }
     }
 
     #[test]
@@ -853,6 +173,32 @@ mod tests {
         assert!(Hierarchy::try_new(zero_bw).is_err());
         let msg = zero_bw.validate().unwrap_err().to_string();
         assert!(msg.contains("bytes_per_cycle"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_impossible_transaction_knobs() {
+        let good = HierarchyConfig::fpga_softcore();
+        let mut no_mshrs = good;
+        no_mshrs.l1.mshrs = 0;
+        assert_eq!(
+            no_mshrs.validate(),
+            Err(CacheConfigError::ZeroField("mshrs"))
+        );
+        // A store buffer deeper than the MSHR file could never drain.
+        let mut deep_sb = good;
+        deep_sb.l2.store_buffer = 2; // mshrs is 1
+        assert_eq!(
+            deep_sb.validate(),
+            Err(CacheConfigError::StoreBufferExceedsMshrs {
+                store_buffer: 2,
+                mshrs: 1
+            })
+        );
+        let msg = deep_sb.validate().unwrap_err().to_string();
+        assert!(msg.contains("store buffer"), "{msg}");
+        assert!(Hierarchy::try_new(deep_sb).is_err());
+        // The builders keep the pair consistent.
+        assert!(good.with_mshrs(4).with_store_buffer(4).validate().is_ok());
     }
 
     #[test]
@@ -968,6 +314,201 @@ mod tests {
     }
 
     #[test]
+    fn store_buffer_takes_the_writeback_off_the_critical_path() {
+        // The same displacement pattern as dirty_writeback_charges_cycles,
+        // but with one store-buffer entry: the lone dirty victim drains in
+        // the background, so dirty and clean runs now cost the same. The
+        // ledger still records the moved bytes.
+        let cfg = HierarchyConfig::fpga_softcore().with_store_buffer(1);
+        let stride = cfg.l1.line_bytes * cfg.l1.sets();
+        let run = |dirty: bool| {
+            let mut h = Hierarchy::new(cfg);
+            h.access(0, 8, dirty);
+            let cycles = (1..=cfg.l1.ways)
+                .map(|i| h.access(i * stride, 1, false))
+                .sum::<u64>();
+            (cycles, h.stats().traffic.l1_l2.writeback_bytes)
+        };
+        let (dirty_cycles, dirty_bytes) = run(true);
+        let (clean_cycles, clean_bytes) = run(false);
+        assert_eq!(dirty_cycles, clean_cycles);
+        assert_eq!(dirty_bytes - clean_bytes, cfg.l1.line_bytes);
+    }
+
+    #[test]
+    fn mshrs_overlap_a_burst_of_independent_misses() {
+        // A cold sweep of N distinct lines is the textbook MLP case: with
+        // 1 MSHR it costs N·(latency + transfer) per edge, with a deep
+        // file latency amortizes to once per burst. The byte ledger must
+        // not notice the difference.
+        let sweep = |cfg: HierarchyConfig| {
+            let mut h = Hierarchy::new(cfg);
+            for i in 0..64u64 {
+                h.access(i * 64, 8, false);
+            }
+            h.stats()
+        };
+        let serialized = sweep(HierarchyConfig::fpga_softcore());
+        let overlapped = sweep(HierarchyConfig::fpga_softcore().with_mshrs(4));
+        assert!(
+            overlapped.cycles < serialized.cycles,
+            "4 MSHRs must beat 1 on a miss burst: {} vs {}",
+            overlapped.cycles,
+            serialized.cycles
+        );
+        assert_eq!(overlapped.traffic, serialized.traffic);
+        assert_eq!(overlapped.l1_misses, serialized.l1_misses);
+        // The serialized sweep is exactly the legacy constant per miss;
+        // the overlapped one keeps every transfer (bandwidth floor).
+        let cfg = HierarchyConfig::fpga_softcore();
+        assert_eq!(
+            serialized.cycles,
+            64 * (cfg.port_cycles(8) + cfg.l1_l2_transfer_cycles() + cfg.l2_dram_transfer_cycles())
+        );
+        let floor = serialized.traffic.l1_l2.fill_bytes / cfg.l2.bytes_per_cycle
+            + serialized.traffic.l2_dram.fill_bytes / cfg.dram.bytes_per_cycle;
+        assert!(overlapped.cycles >= floor);
+    }
+
+    #[test]
+    fn compute_gaps_close_the_burst_window() {
+        // Misses separated by long compute stretches are not a burst:
+        // with access_at feeding a clock that jumps far between misses,
+        // every miss pays the full latency even with a deep MSHR file.
+        let cfg = HierarchyConfig::fpga_softcore().with_mshrs(8);
+        let full = cfg.port_cycles(8) + cfg.l1_l2_transfer_cycles() + cfg.l2_dram_transfer_cycles();
+        let mut h = Hierarchy::new(cfg);
+        let mut clock = 0u64;
+        for i in 0..16u64 {
+            let c = h.access_at(clock, i * 64, 8, false);
+            assert_eq!(c, full, "an isolated miss charges the serialized cost");
+            clock += c + 10_000; // compute gap
+        }
+    }
+
+    #[test]
+    fn next_line_prefetch_turns_a_sweep_into_l2_hits() {
+        let sweep = |cfg: HierarchyConfig| {
+            let mut h = Hierarchy::new(cfg);
+            for i in 0..64u64 {
+                h.access(i * 64, 8, false);
+            }
+            h.stats()
+        };
+        let off = sweep(HierarchyConfig::fpga_softcore());
+        let pf = sweep(HierarchyConfig::fpga_softcore().with_prefetch(PrefetchPolicy::NextLine));
+        // Every line but the first was prefetched into L2 ahead of demand.
+        assert_eq!(pf.l2_misses, 1);
+        assert_eq!(pf.l2_hits, 63);
+        assert!(pf.cycles < off.cycles);
+        // The speculation is visible in the ledger, tagged apart from
+        // demand fills, and demand accounting is untouched.
+        assert_eq!(pf.traffic.l2_dram.fill_lines, pf.l2_misses);
+        assert_eq!(pf.traffic.l2_dram.prefetch_lines, 64);
+        assert_eq!(pf.traffic.l2_dram.prefetch_bytes, 64 * 64);
+        assert_eq!(off.traffic.l2_dram.prefetch_lines, 0);
+        // Total DRAM bytes went up (one overshoot line), not down:
+        // prefetching trades bandwidth for latency and the ledger says so.
+        assert!(pf.traffic.dram_bytes() >= off.traffic.dram_bytes());
+    }
+
+    #[test]
+    fn shared_edges_charge_contention_to_the_queueing_core() {
+        let cold_sweep = |h: &mut Hierarchy| {
+            for i in 0..32u64 {
+                h.access(i * 64, 8, false);
+            }
+        };
+        // Alone on the shared edges: no queueing.
+        let shared = SharedHierarchy::new();
+        let mut solo = Hierarchy::new(HierarchyConfig::fpga_softcore());
+        let mut rival = Hierarchy::new(HierarchyConfig::fpga_softcore());
+        // Both cores join the window before either moves, i.e. they run
+        // concurrently; whoever reserves second queues.
+        solo.attach_shared(shared.clone());
+        rival.attach_shared(shared.clone());
+        cold_sweep(&mut solo);
+        assert_eq!(solo.stats().contention_cycles, 0);
+        cold_sweep(&mut rival);
+        let s = rival.stats();
+        assert!(s.contention_cycles > 0);
+        assert!(s.cycles > solo.stats().cycles);
+        assert_eq!(s.traffic, solo.stats().traffic, "contention moves no bytes");
+        // A clean read sweep reserves only demand fills, so the edges'
+        // own ledgers account for exactly the rival's queueing.
+        assert_eq!(
+            shared.l1_l2.contended_cycles() + shared.l2_dram.contended_cycles(),
+            s.contention_cycles
+        );
+    }
+
+    /// Joining at the horizon instead of window time 0: a core that
+    /// arrives after earlier traffic drained must not be billed for it
+    /// (the failure mode was waits compounding exponentially across a
+    /// batch of sequential forks).
+    #[test]
+    fn a_late_joiner_is_not_billed_bus_history() {
+        let cold_sweep = |h: &mut Hierarchy| {
+            for i in 0..32u64 {
+                h.access(i * 64, 8, false);
+            }
+        };
+        let shared = SharedHierarchy::new();
+        let mut first = Hierarchy::new(HierarchyConfig::fpga_softcore());
+        first.attach_shared(shared.clone());
+        cold_sweep(&mut first);
+        let busy_until = shared.l1_l2.horizon().max(shared.l2_dram.horizon());
+        assert!(busy_until > 0);
+        // Attached only now: the first core's transfers are history.
+        let mut late = Hierarchy::new(HierarchyConfig::fpga_softcore());
+        late.attach_shared(shared.clone());
+        cold_sweep(&mut late);
+        assert_eq!(late.stats().contention_cycles, 0);
+        assert_eq!(late.stats().cycles, first.stats().cycles);
+    }
+
+    #[test]
+    fn fetch_transactions_land_in_the_fetch_ledger() {
+        let mut h = Hierarchy::default();
+        let cold = h.access_fetch(0, 0x1000, 32);
+        let warm = h.access_fetch(cold, 0x1000, 32);
+        let s = h.stats();
+        assert_eq!(s.fetch.blocks, 2);
+        assert_eq!(s.fetch.bytes, 64);
+        assert_eq!(s.fetch.l1_misses, 1);
+        assert_eq!(s.fetch.cycles, cold + warm);
+        // A fetch is a read access: same counters, same cost.
+        assert_eq!(s.l1_misses, 1);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(warm, h.config().port_cycles(32));
+        assert_eq!(s.cycles, cold + warm);
+    }
+
+    #[test]
+    fn narrow_geometry_with_mshrs_still_beats_serialized_on_malloc_stress() {
+        // The BENCH-facing claim: on the 16-byte-line geometry a
+        // pointer-dense sweep with 4 MSHRs takes measurably fewer cycles
+        // than the serialized model, at identical traffic.
+        let run = |mshrs: u64| {
+            let mut h = Hierarchy::new(
+                narrow_l1()
+                    .with_mshrs(mshrs)
+                    .with_store_buffer(mshrs.min(2)),
+            );
+            for round in 0..4u64 {
+                for i in 0..512u64 {
+                    h.access(0x1_0000 + i * 48, 32, round % 2 == 0);
+                }
+            }
+            h.stats()
+        };
+        let serialized = run(1);
+        let overlapped = run(4);
+        assert!(overlapped.cycles < serialized.cycles);
+        assert_eq!(overlapped.traffic, serialized.traffic);
+    }
+
+    #[test]
     fn l2_eviction_back_invalidates_l1_sublines() {
         // Narrow-line geometry: dirty a 16-byte L1 sub-line, then force
         // its containing 64-byte L2 line out. Inclusion must pull the
@@ -1077,20 +618,26 @@ mod tests {
     }
 
     /// Every traffic invariant the ledger promises, checked after an
-    /// arbitrary access sequence on `cfg`.
+    /// arbitrary access sequence on `cfg` — under any transaction knobs.
     fn assert_traffic_conserves(h: &Hierarchy) {
         let cfg = h.config();
         let s = h.stats();
         let t = s.traffic;
-        // Bytes are exactly lines × the edge's line size.
+        // Bytes are exactly lines × the edge's line size, prefetches
+        // included.
         assert_eq!(t.l1_l2.fill_bytes, t.l1_l2.fill_lines * cfg.l1.line_bytes);
         assert_eq!(
             t.l1_l2.writeback_bytes,
             t.l1_l2.writeback_lines * cfg.l1.line_bytes
         );
+        assert_eq!(t.l1_l2.prefetch_lines, 0, "prefetches target L2 only");
         assert_eq!(
             t.l2_dram.fill_bytes,
             t.l2_dram.fill_lines * cfg.l2.line_bytes
+        );
+        assert_eq!(
+            t.l2_dram.prefetch_bytes,
+            t.l2_dram.prefetch_lines * cfg.l2.line_bytes
         );
         // DRAM write-backs are sub-blocked: they move dirty sectors of the
         // L1 line size.
@@ -1099,16 +646,24 @@ mod tests {
             t.l2_dram.writeback_lines * cfg.l1.line_bytes
         );
         // Demand accounting: every L1 miss is one L1 fill, every L2 miss
-        // one DRAM fill.
+        // one DRAM fill — prefetch fills are ledgered apart and never
+        // inflate demand.
         assert_eq!(t.l1_l2.fill_lines, s.l1_misses);
         assert_eq!(t.l2_dram.fill_lines, s.l2_misses);
         // A line must be filled before it can be written back (inclusion
-        // makes this hold per edge, not just globally).
+        // makes this hold per edge, not just globally; on the DRAM edge a
+        // dirty line may have arrived as a prefetch).
         assert!(t.l1_l2.writeback_bytes <= t.l1_l2.fill_bytes);
-        assert!(t.l2_dram.writeback_bytes <= t.l2_dram.fill_bytes);
-        // Cycles are bounded below by the bandwidth term of every edge.
-        let bw_floor = t.l1_l2.total_bytes() / cfg.l2.bytes_per_cycle
-            + t.l2_dram.total_bytes() / cfg.dram.bytes_per_cycle;
+        assert!(t.l2_dram.writeback_bytes <= t.l2_dram.fill_bytes + t.l2_dram.prefetch_bytes);
+        // Cycles are bounded below by the bandwidth term of every *demand*
+        // transfer (prefetches charge the CPU nothing, and a store buffer
+        // moves write-back bandwidth off the charged path).
+        let mut bw_floor = t.l1_l2.fill_bytes / cfg.l2.bytes_per_cycle
+            + t.l2_dram.fill_bytes / cfg.dram.bytes_per_cycle;
+        if cfg.l1.store_buffer == 0 && cfg.l2.store_buffer == 0 {
+            bw_floor += t.l1_l2.writeback_bytes / cfg.l2.bytes_per_cycle
+                + t.l2_dram.writeback_bytes / cfg.dram.bytes_per_cycle;
+        }
         assert!(
             s.cycles >= bw_floor,
             "cycles {} below bandwidth floor {}",
@@ -1121,11 +676,37 @@ mod tests {
         assert!(s.writebacks <= t.l1_l2.writeback_lines + t.l2_dram.writeback_lines);
     }
 
+    /// The transaction-knob axes the proptests sweep.
+    fn knobbed_config(
+        narrow: bool,
+        mshrs: u64,
+        store_buffer: u64,
+        prefetch: PrefetchPolicy,
+    ) -> HierarchyConfig {
+        let base = if narrow {
+            narrow_l1()
+        } else {
+            HierarchyConfig::fpga_softcore()
+        };
+        base.with_mshrs(mshrs)
+            .with_store_buffer(store_buffer.min(mshrs))
+            .with_prefetch(prefetch)
+    }
+
+    fn prefetch_policies() -> impl Strategy<Value = PrefetchPolicy> {
+        (0u64..3).prop_map(|i| match i {
+            0 => PrefetchPolicy::Off,
+            1 => PrefetchPolicy::NextLine,
+            _ => PrefetchPolicy::Stride,
+        })
+    }
+
     proptest! {
         /// The hierarchy never charges less than a port access or more
         /// than a full miss per line touched, and cycle accounting matches
         /// stats — on the legacy 64-byte geometry and on the narrow-L1
-        /// geometry alike.
+        /// geometry alike (legacy serialized knobs, where the per-line
+        /// worst case is exact).
         #[test]
         fn cycle_bounds(
             accesses in proptest::collection::vec((0u64..1 << 20, 1u64..64, any::<bool>()), 1..200),
@@ -1157,19 +738,76 @@ mod tests {
         }
 
         /// The per-edge ledger conserves: bytes = lines × line size, fills
-        /// match demand misses, write-backs never exceed fills, and the
-        /// bandwidth term lower-bounds the charged cycles.
+        /// match demand misses, write-backs never exceed what was brought
+        /// in, and the demand bandwidth term lower-bounds the charged
+        /// cycles — across every combination of geometry, MSHR depth,
+        /// store-buffer depth and prefetch policy.
         #[test]
         fn traffic_conserves(
             accesses in proptest::collection::vec((0u64..1 << 18, 1u64..64, any::<bool>()), 1..300),
             narrow in any::<bool>(),
+            mshrs in 1u64..6,
+            store_buffer in 0u64..6,
+            prefetch in prefetch_policies(),
         ) {
-            let cfg = if narrow { narrow_l1() } else { HierarchyConfig::fpga_softcore() };
+            let cfg = knobbed_config(narrow, mshrs, store_buffer, prefetch);
+            prop_assert!(cfg.validate().is_ok());
             let mut h = Hierarchy::new(cfg);
             for (addr, len, w) in accesses {
                 h.access(addr, len, w);
             }
             assert_traffic_conserves(&h);
+        }
+
+        /// The transaction knobs are cycle *policies*: whatever their
+        /// setting, the byte ledger's demand half and the hit/miss
+        /// counters match the serialized model exactly, and overlap never
+        /// makes a sequence slower. (Prefetching is excluded: it changes
+        /// hit/miss placement by design.)
+        #[test]
+        fn knobs_never_change_demand_traffic(
+            accesses in proptest::collection::vec((0u64..1 << 18, 1u64..64, any::<bool>()), 1..200),
+            narrow in any::<bool>(),
+            mshrs in 1u64..6,
+            store_buffer in 0u64..6,
+        ) {
+            let base = knobbed_config(narrow, 1, 0, PrefetchPolicy::Off);
+            let knobbed = knobbed_config(narrow, mshrs, store_buffer, PrefetchPolicy::Off);
+            let mut a = Hierarchy::new(base);
+            let mut b = Hierarchy::new(knobbed);
+            for &(addr, len, w) in &accesses {
+                a.access(addr, len, w);
+                b.access(addr, len, w);
+            }
+            let (sa, sb) = (a.stats(), b.stats());
+            prop_assert_eq!(sa.traffic, sb.traffic);
+            prop_assert_eq!(sa.l1_hits, sb.l1_hits);
+            prop_assert_eq!(sa.l1_misses, sb.l1_misses);
+            prop_assert_eq!(sa.l2_hits, sb.l2_hits);
+            prop_assert_eq!(sa.l2_misses, sb.l2_misses);
+            prop_assert_eq!(sa.writebacks, sb.writebacks);
+            prop_assert!(sb.cycles <= sa.cycles);
+        }
+
+        /// With the serialized knobs the transaction engine *is* the
+        /// legacy model: access_at with an arbitrary monotone clock feed
+        /// charges exactly the same cycles as the clockless path.
+        #[test]
+        fn serialized_knobs_ignore_the_clock(
+            accesses in proptest::collection::vec((0u64..1 << 18, 1u64..64, any::<bool>()), 1..200),
+            gaps in proptest::collection::vec(0u64..10_000, 1..200),
+        ) {
+            let cfg = HierarchyConfig::fpga_softcore();
+            let mut plain = Hierarchy::new(cfg);
+            let mut clocked = Hierarchy::new(cfg);
+            let mut clock = 0u64;
+            for (i, &(addr, len, w)) in accesses.iter().enumerate() {
+                let c0 = plain.access(addr, len, w);
+                let c1 = clocked.access_at(clock, addr, len, w);
+                prop_assert_eq!(c0, c1);
+                clock += c1 + gaps[i % gaps.len()];
+            }
+            prop_assert_eq!(plain.stats(), clocked.stats());
         }
 
         /// Repeating the same small working set converges to all-hits.

@@ -1,0 +1,280 @@
+//! The transaction-model primitives: the MSHR file that overlaps
+//! outstanding misses, the store buffer that drains write-backs off the
+//! critical path, and the next-line/stride prefetcher.
+//!
+//! All three are *cycle policies* layered over the unchanged tag state
+//! machine in [`crate::level`]: they decide how many cycles a transfer
+//! charges the CPU, never which bytes move. The byte ledger is therefore
+//! identical under every knob setting, which is what lets the
+//! traffic-conservation proptests stay the invariant wall.
+
+use std::collections::VecDeque;
+
+/// A miss status holding register file for one edge: the burst-overlap
+/// model behind `LevelSpec::mshrs`.
+///
+/// The hierarchy charges synchronously (the caller's cycle counter *is*
+/// the clock), so overlap is modelled as a *burst window*: a miss that
+/// issues while the edge's previous activity is still within one latency
+/// of the clock is considered part of an in-flight burst and charges only
+/// its steady-state share, `max(transfer, ceil(latency / mshrs))` —
+/// bandwidth-bound with many MSHRs, MSHR-bound with few. A miss that
+/// issues after the window closed is a burst leader and charges the full
+/// serialized `latency + transfer`. A burst of N back-to-back misses thus
+/// costs `latency + N·transfer` once `mshrs ≥ latency/transfer`, the
+/// textbook memory-level-parallelism bound, and degrades gracefully for
+/// smaller files.
+///
+/// With `mshrs == 1` every miss charges `latency + transfer` and the
+/// burst state is never consulted: bit-identical to the pre-transaction
+/// model.
+#[derive(Clone, Debug)]
+pub(crate) struct MshrFile {
+    mshrs: u64,
+    latency: u64,
+    /// End (absolute hierarchy clock) of the last burst activity; `None`
+    /// until the first miss.
+    burst_free: Option<u64>,
+}
+
+impl MshrFile {
+    pub(crate) fn new(mshrs: u64, latency: u64) -> MshrFile {
+        MshrFile {
+            mshrs: mshrs.max(1),
+            latency,
+            burst_free: None,
+        }
+    }
+
+    /// Cycles a demand miss issued at `now` charges, given its `transfer`
+    /// (bandwidth) cycles.
+    pub(crate) fn charge(&mut self, now: u64, transfer: u64) -> u64 {
+        if self.mshrs <= 1 {
+            return self.latency + transfer;
+        }
+        let overlapped = self
+            .burst_free
+            .is_some_and(|b| now <= b.saturating_add(self.latency));
+        let cycles = if overlapped {
+            transfer.max(self.latency.div_ceil(self.mshrs))
+        } else {
+            self.latency + transfer
+        };
+        self.burst_free = Some(now + cycles);
+        cycles
+    }
+
+    /// Occupies the edge with background (prefetch) activity the CPU does
+    /// not wait for: extends the burst window so demand misses behind the
+    /// prefetch see it as in-flight work, without charging anything here.
+    pub(crate) fn occupy(&mut self, now: u64, transfer: u64) {
+        if self.mshrs <= 1 {
+            return;
+        }
+        let base = self.burst_free.map_or(now, |b| b.max(now));
+        self.burst_free = Some(base + transfer);
+    }
+}
+
+/// A write-back buffer for one edge: the drain-off-critical-path model
+/// behind `LevelSpec::store_buffer`.
+///
+/// Each buffered write-back records its drain-completion time; a
+/// write-back that finds a free entry charges the CPU nothing, one that
+/// finds the buffer full stalls until the oldest drain completes. With
+/// `store_buffer == 0` every write-back charges its full serialized cost:
+/// bit-identical to the pre-transaction model.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreBuffer {
+    entries: u64,
+    /// Drain-completion times (absolute hierarchy clock), oldest first;
+    /// `len <= entries`.
+    pending: VecDeque<u64>,
+    /// When the drain engine frees (drains are serialized behind each
+    /// other on their edge).
+    drain_free: u64,
+}
+
+impl StoreBuffer {
+    pub(crate) fn new(entries: u64) -> StoreBuffer {
+        StoreBuffer {
+            entries,
+            pending: VecDeque::new(),
+            drain_free: 0,
+        }
+    }
+
+    /// Cycles the CPU is charged for a write-back issued at `now` whose
+    /// serialized cost is `cost`.
+    pub(crate) fn charge(&mut self, now: u64, cost: u64) -> u64 {
+        if self.entries == 0 {
+            return cost;
+        }
+        while self.pending.front().is_some_and(|&t| t <= now) {
+            self.pending.pop_front();
+        }
+        let start = now.max(self.drain_free);
+        self.drain_free = start + cost;
+        if (self.pending.len() as u64) < self.entries {
+            self.pending.push_back(self.drain_free);
+            0
+        } else {
+            // Full: the CPU stalls until the oldest drain completes and
+            // frees its entry. Entries still pending drain strictly after
+            // `now` (completed ones were popped above).
+            let oldest = self.pending.pop_front().expect("buffer is full");
+            self.pending.push_back(self.drain_free);
+            oldest - now
+        }
+    }
+}
+
+/// What the prefetcher watches for on L1 demand misses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrefetchPolicy {
+    /// No prefetching (the legacy model).
+    #[default]
+    Off,
+    /// On every L1 demand miss, prefetch the next L1 line into L2.
+    NextLine,
+    /// Track the stride between consecutive L1 demand-miss addresses;
+    /// once the same non-zero stride repeats, prefetch one stride ahead
+    /// into L2.
+    Stride,
+}
+
+/// The L1-miss-driven prefetch engine. Predictions target L2 (prefetching
+/// into L1 would let speculation evict demand data from the small level);
+/// fills it triggers are tagged as `prefetch_lines`/`prefetch_bytes` in
+/// the [`crate::TrafficStats`] ledger and charge the CPU nothing — their
+/// cost is the DRAM-edge occupancy demand misses then queue behind.
+#[derive(Clone, Debug)]
+pub(crate) struct Prefetcher {
+    policy: PrefetchPolicy,
+    last_miss: u64,
+    stride: i64,
+    primed: bool,
+}
+
+impl Prefetcher {
+    pub(crate) fn new(policy: PrefetchPolicy) -> Prefetcher {
+        Prefetcher {
+            policy,
+            last_miss: 0,
+            stride: 0,
+            primed: false,
+        }
+    }
+
+    /// Observes an L1 demand miss at `line_addr` and returns the L1-line
+    /// address to prefetch, if the policy predicts one.
+    pub(crate) fn observe(&mut self, line_addr: u64, line_bytes: u64) -> Option<u64> {
+        match self.policy {
+            PrefetchPolicy::Off => None,
+            PrefetchPolicy::NextLine => line_addr.checked_add(line_bytes),
+            PrefetchPolicy::Stride => {
+                let stride = line_addr.wrapping_sub(self.last_miss) as i64;
+                let confirmed = self.primed && stride != 0 && stride == self.stride;
+                self.stride = stride;
+                self.last_miss = line_addr;
+                self.primed = true;
+                if confirmed {
+                    line_addr.checked_add_signed(stride)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_mshr_serializes_every_miss() {
+        let mut m = MshrFile::new(1, 22);
+        assert_eq!(m.charge(0, 8), 30);
+        assert_eq!(m.charge(30, 8), 30);
+        assert_eq!(m.charge(1000, 8), 30);
+    }
+
+    #[test]
+    fn burst_costs_latency_plus_n_transfers() {
+        // mshrs >= latency/transfer: a back-to-back burst of N misses
+        // costs latency + N*transfer in total.
+        let (lat, tr, n) = (22u64, 8u64, 10u64);
+        let mut m = MshrFile::new(4, lat);
+        let mut now = 0;
+        for _ in 0..n {
+            now += m.charge(now, tr);
+        }
+        assert_eq!(now, lat + n * tr);
+    }
+
+    #[test]
+    fn few_mshrs_bound_the_overlap() {
+        // With 2 MSHRs and latency 22, steady state cannot beat
+        // ceil(22/2) = 11 cycles per miss even though transfer is 8.
+        let mut m = MshrFile::new(2, 22);
+        let mut now = m.charge(0, 8);
+        let steady = m.charge(now, 8);
+        assert_eq!(steady, 11);
+        now += steady;
+        assert_eq!(m.charge(now, 8), 11);
+    }
+
+    #[test]
+    fn a_gap_longer_than_the_latency_ends_the_burst() {
+        let mut m = MshrFile::new(4, 22);
+        let c0 = m.charge(0, 8);
+        assert_eq!(c0, 30);
+        // Next miss lands way past the window: full charge again.
+        assert_eq!(m.charge(c0 + 23, 8), 30);
+    }
+
+    #[test]
+    fn zero_entry_store_buffer_charges_synchronously() {
+        let mut sb = StoreBuffer::new(0);
+        assert_eq!(sb.charge(0, 9), 9);
+        assert_eq!(sb.charge(100, 9), 9);
+    }
+
+    #[test]
+    fn store_buffer_absorbs_until_full_then_stalls() {
+        let mut sb = StoreBuffer::new(2);
+        // Two write-backs at t=0 are absorbed; their drains complete at
+        // t=9 and t=18.
+        assert_eq!(sb.charge(0, 9), 0);
+        assert_eq!(sb.charge(0, 9), 0);
+        // A third at t=0 stalls until the first drain (t=9) frees a slot.
+        assert_eq!(sb.charge(0, 9), 9);
+        // Much later, everything has drained: absorbed again.
+        assert_eq!(sb.charge(1000, 9), 0);
+    }
+
+    #[test]
+    fn next_line_predicts_the_successor() {
+        let mut p = Prefetcher::new(PrefetchPolicy::NextLine);
+        assert_eq!(p.observe(0x1000, 64), Some(0x1040));
+        assert_eq!(p.observe(!63u64, 64), None, "no successor line");
+    }
+
+    #[test]
+    fn stride_needs_one_confirmation() {
+        let mut p = Prefetcher::new(PrefetchPolicy::Stride);
+        assert_eq!(p.observe(0x1000, 64), None, "first miss primes");
+        assert_eq!(p.observe(0x1100, 64), None, "stride observed, unconfirmed");
+        assert_eq!(p.observe(0x1200, 64), Some(0x1300), "stride confirmed");
+        assert_eq!(p.observe(0x1240, 64), None, "stride changed");
+    }
+
+    #[test]
+    fn off_policy_never_predicts() {
+        let mut p = Prefetcher::new(PrefetchPolicy::Off);
+        for i in 0..10 {
+            assert_eq!(p.observe(i * 64, 64), None);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The statistics side of the model: the per-edge byte ledger
+//! ([`TrafficStats`]), the fetch-path ledger ([`FetchStats`]) and the
+//! hit/miss/cycle counters ([`CacheStats`]).
+
+use std::fmt;
+
+/// Bytes and transfers moved across one inter-level edge, fills (toward
+/// the CPU) and write-backs (away from it) separated. Prefetch fills are
+/// tagged apart from demand fills so a prefetcher cannot masquerade as a
+/// hit-rate improvement without its traffic showing up in the ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeTraffic {
+    /// Lines moved toward the CPU on demand (misses) — L1 lines on the
+    /// L1↔L2 edge, L2 lines on the L2↔DRAM edge.
+    pub fill_lines: u64,
+    /// Bytes those demand fills moved.
+    pub fill_bytes: u64,
+    /// Lines moved toward the CPU speculatively by the prefetcher.
+    pub prefetch_lines: u64,
+    /// Bytes those prefetch fills moved.
+    pub prefetch_bytes: u64,
+    /// Transfers moved away from the CPU (dirty write-backs): L1 lines on
+    /// the L1↔L2 edge; on the L2↔DRAM edge, dirty *sectors* (L1-line
+    /// sized) of drained L2 lines.
+    pub writeback_lines: u64,
+    /// Bytes those write-backs moved.
+    pub writeback_bytes: u64,
+}
+
+impl EdgeTraffic {
+    /// Total bytes moved on the edge in either direction, demand and
+    /// prefetch alike.
+    pub fn total_bytes(&self) -> u64 {
+        self.fill_bytes + self.prefetch_bytes + self.writeback_bytes
+    }
+}
+
+/// The per-edge traffic ledger: every byte the hierarchy moves is
+/// attributed to exactly one edge, one direction, and (toward the CPU)
+/// either demand or prefetch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// The L1↔L2 edge: L1-line fills and dirty-L1 write-backs.
+    pub l1_l2: EdgeTraffic,
+    /// The L2↔DRAM edge: L2-line fills, prefetch fills and dirty-L2
+    /// drains.
+    pub l2_dram: EdgeTraffic,
+}
+
+impl TrafficStats {
+    /// Total bytes moved on the DRAM edge — the paper's headline metric
+    /// for capability-width cost.
+    pub fn dram_bytes(&self) -> u64 {
+        self.l2_dram.total_bytes()
+    }
+}
+
+/// The instruction-fetch slice of the hierarchy's activity. Populated
+/// only when the VM charges fetch through the hierarchy (one transaction
+/// per superinstruction block); under the legacy configuration every
+/// field stays zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Fetch transactions charged (one per block entry, not per
+    /// instruction).
+    pub blocks: u64,
+    /// Instruction bytes those transactions requested.
+    pub bytes: u64,
+    /// L1 misses taken on the fetch path.
+    pub l1_misses: u64,
+    /// Cycles the fetch path charged.
+    pub cycles: u64,
+}
+
+/// Hit/miss counters and the traffic ledger for the whole hierarchy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses served by L1.
+    pub l1_hits: u64,
+    /// Accesses that missed L1.
+    pub l1_misses: u64,
+    /// L1 misses served by L2.
+    pub l2_hits: u64,
+    /// Accesses that went all the way to DRAM.
+    pub l2_misses: u64,
+    /// Dirty lines written back on eviction (both edges; also counts lines
+    /// dropped by [`crate::Hierarchy::flush`], which moves no modelled
+    /// traffic).
+    pub writebacks: u64,
+    /// Total cycles charged by the hierarchy.
+    pub cycles: u64,
+    /// Cycles spent queueing behind other cores on a shared edge (zero
+    /// unless a [`crate::SharedHierarchy`] is attached). Included in
+    /// `cycles`.
+    pub contention_cycles: u64,
+    /// Bytes moved per edge.
+    pub traffic: TrafficStats,
+    /// The instruction-fetch slice of the above (zero unless the VM
+    /// charges fetch through the hierarchy).
+    pub fetch: FetchStats,
+}
+
+impl CacheStats {
+    /// L1 hit rate in `[0, 1]` (0 if no accesses).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 {}/{} hits ({:.1}%), L2 {} hits, {} DRAM, {} writebacks, {} cycles, \
+             {} B L1<->L2, {} B L2<->DRAM",
+            self.l1_hits,
+            self.l1_hits + self.l1_misses,
+            100.0 * self.l1_hit_rate(),
+            self.l2_hits,
+            self.l2_misses,
+            self.writebacks,
+            self.cycles,
+            self.traffic.l1_l2.total_bytes(),
+            self.traffic.l2_dram.total_bytes(),
+        )
+    }
+}

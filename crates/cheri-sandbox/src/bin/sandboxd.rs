@@ -5,7 +5,10 @@
 //!
 //! Usage: `sandboxd [requests] [tenants] [workers] [backend]` with
 //! `backend` one of `reference`, `chained`, `template` (default: the
-//! machine default, template).
+//! machine default, template). Passing the literal word `shared`
+//! anywhere switches the fleet onto cache-modelled machines (the FPGA
+//! soft-core geometry) arbitrating one shared memory system, and adds
+//! per-tenant contention columns to the report.
 
 use cheri_compile::{compile, Abi};
 use cheri_sandbox::{Outcome, Request, SandboxService, TenantConfig};
@@ -16,11 +19,16 @@ use std::time::Instant;
 /// that a batch of live forks stays cheap on a CI box.
 const TENANT_MEM: u64 = 4 << 20;
 
-fn tenant_fleet(n: usize, backend: Option<BackendKind>) -> Vec<TenantConfig> {
-    let vm = |format: CapFormat| {
-        let mut cfg = cheri_vm::VmConfig::functional()
-            .with_mem_size(TENANT_MEM)
-            .with_cap_format(format);
+fn tenant_fleet(n: usize, backend: Option<BackendKind>, shared: bool) -> Vec<TenantConfig> {
+    let vm = move |format: CapFormat| {
+        // Shared mode needs a memory system to contend on: model each
+        // tenant as an FPGA soft core instead of a functional machine.
+        let base = if shared {
+            cheri_vm::VmConfig::fpga()
+        } else {
+            cheri_vm::VmConfig::functional()
+        };
+        let mut cfg = base.with_mem_size(TENANT_MEM).with_cap_format(format);
         if let Some(kind) = backend {
             cfg = cfg.with_backend(kind);
         }
@@ -106,7 +114,9 @@ fn cold_boot(prog: &cheri_isa::Program, cfg: cheri_vm::VmConfig, fuel: u64) -> V
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let shared = raw.iter().any(|a| a == "shared");
+    let mut args = raw.into_iter().filter(|a| a != "shared");
     let requests: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
     let tenants: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
@@ -115,8 +125,8 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown backend {name:?} (reference|chained|template)"))
     });
 
-    let fleet = tenant_fleet(tenants, backend);
-    let mut service = SandboxService::new();
+    let fleet = tenant_fleet(tenants, backend, shared);
+    let mut service = SandboxService::new().with_shared_memory(shared);
     let boot_start = Instant::now();
     for cfg in &fleet {
         service
@@ -164,18 +174,31 @@ fn main() {
     let wall = t.elapsed();
 
     let mut per_tenant = vec![[0u32; 4]; tenants];
+    let mut sim_cycles = vec![0u64; tenants];
+    let mut sim_waited = vec![0u64; tenants];
     for r in &responses {
-        let slot = match r.outcome {
-            Outcome::Completed { .. } => 0,
+        let slot = match &r.outcome {
+            Outcome::Completed {
+                cycles, contention, ..
+            } => {
+                sim_cycles[r.tenant] += cycles;
+                sim_waited[r.tenant] += contention;
+                0
+            }
             Outcome::Trapped { .. } => 1,
             Outcome::BudgetExhausted { .. } => 2,
             Outcome::Rejected { .. } => 3,
         };
         per_tenant[r.tenant][slot] += 1;
     }
-    println!("tenant                completed  trapped  exhausted  rejected");
+    let contention_cols = if shared {
+        "     cycles  contention"
+    } else {
+        ""
+    };
+    println!("tenant                completed  trapped  exhausted  rejected{contention_cols}");
     for (t, counts) in per_tenant.iter().enumerate() {
-        println!(
+        print!(
             "{:<22}{:>9}{:>9}{:>11}{:>10}",
             service.tenant_name(t),
             counts[0],
@@ -183,6 +206,15 @@ fn main() {
             counts[2],
             counts[3]
         );
+        if shared {
+            let pct = if sim_cycles[t] > 0 {
+                100.0 * sim_waited[t] as f64 / sim_cycles[t] as f64
+            } else {
+                0.0
+            };
+            print!("{:>11}{:>10} ({pct:.1}%)", sim_cycles[t], sim_waited[t]);
+        }
+        println!();
     }
     let served: u32 = per_tenant.iter().map(|c| c.iter().sum::<u32>()).sum();
     assert_eq!(served as usize, requests, "every request must be answered");

@@ -13,7 +13,7 @@
 //! worker panics propagate.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// What one scheduling quantum did with a job.
@@ -50,7 +50,31 @@ where
     if workers <= 1 {
         return run_inline(jobs, step);
     }
+    run_workers(jobs, workers, step)
+}
+
+/// Sets the abort flag if dropped while its owning `step` call is
+/// unwinding, so peer workers stop spinning on a pending count that will
+/// never reach zero. Disarmed on the normal path.
+struct AbortOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The multi-worker discipline behind [`run_sliced`], with the worker
+/// count taken as given (the public entry point caps it at host
+/// parallelism; tests drive this directly so the cross-thread paths are
+/// exercised even on a single-core host).
+fn run_workers<J, R>(jobs: Vec<J>, workers: usize, step: impl Fn(J) -> Slice<J, R> + Sync) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+{
     let pending = AtomicUsize::new(jobs.len());
+    let abort = AtomicBool::new(false);
     let deques: Vec<Mutex<VecDeque<J>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, j) in jobs.into_iter().enumerate() {
@@ -61,15 +85,28 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let (deques, pending, results, step) = (&deques, &pending, &results, &step);
+                let abort = &abort;
                 s.spawn(move || loop {
+                    if abort.load(Ordering::SeqCst) {
+                        break;
+                    }
                     match pop_or_steal(deques, w) {
-                        Some(job) => match step(job) {
-                            Slice::Done(r) => {
-                                results[w].lock().unwrap().push(r);
-                                pending.fetch_sub(1, Ordering::SeqCst);
+                        Some(job) => {
+                            // A panicking step (a bug in the job body) must
+                            // not leave peers spinning forever on a pending
+                            // count that can no longer reach zero: flag the
+                            // abort before the unwind leaves this frame.
+                            let guard = AbortOnPanic(abort);
+                            let sliced = step(job);
+                            std::mem::forget(guard);
+                            match sliced {
+                                Slice::Done(r) => {
+                                    results[w].lock().unwrap().push(r);
+                                    pending.fetch_sub(1, Ordering::SeqCst);
+                                }
+                                Slice::Yield(job) => deques[w].lock().unwrap().push_back(job),
                             }
-                            Slice::Yield(job) => deques[w].lock().unwrap().push_back(job),
-                        },
+                        }
                         None => {
                             if pending.load(Ordering::SeqCst) == 0 {
                                 break;
@@ -171,5 +208,47 @@ mod tests {
             assert!(v != 2, "job blew up");
             Slice::Done(v)
         });
+    }
+
+    /// Regression test for the abort flag: deque0=[0,2], deque1=[1,3];
+    /// worker 1 pops job 3 (LIFO) and panics after a short sleep while
+    /// worker 0 is still finishing its own jobs. Before the flag, worker 0
+    /// then spun forever on `pending == 1` and `run_sliced` never
+    /// returned. Driven through `run_workers` directly so both threads
+    /// really exist even on a single-core host (the public entry point
+    /// would cap to the inline path there).
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panicking_worker_releases_spinning_peers() {
+        use std::time::Duration;
+        let _ = run_workers(vec![0u8, 1, 2, 3], 2, |v| {
+            if v == 3 {
+                std::thread::sleep(Duration::from_millis(20));
+                panic!("boom");
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            Slice::Done(v)
+        });
+    }
+
+    /// The multi-worker discipline itself (uncapped) completes every job
+    /// and loses none to the abort machinery on panic-free runs.
+    #[test]
+    fn run_workers_completes_everything_without_the_host_cap() {
+        for workers in [2, 3, 8] {
+            let jobs: Vec<u32> = (0..40).collect();
+            let mut out = run_workers(jobs, workers, |j: u32| {
+                if j % 3 == 0 {
+                    Slice::Done(j)
+                } else {
+                    Slice::Yield(j - (j % 3).min(1))
+                }
+            });
+            out.sort_unstable();
+            let expect: Vec<u32> = (0..40).map(|j| j - j % 3).collect();
+            let mut expect_sorted = expect;
+            expect_sorted.sort_unstable();
+            assert_eq!(out, expect_sorted, "workers={workers}");
+        }
     }
 }

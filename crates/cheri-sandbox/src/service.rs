@@ -2,7 +2,7 @@
 
 use crate::scheduler::{run_sliced, Slice};
 use cheri_compile::{compile, Abi, CompileError};
-use cheri_vm::{TrapCause, Vm, VmConfig, VmSnapshot, VmTrap};
+use cheri_vm::{SharedHierarchy, TrapCause, Vm, VmConfig, VmSnapshot, VmTrap};
 use std::error::Error;
 use std::fmt;
 
@@ -140,6 +140,10 @@ pub enum Outcome {
         instret: u64,
         /// Simulated cycles the request phase cost.
         cycles: u64,
+        /// Cycles (included in `cycles`) the request spent queueing behind
+        /// other tenants on shared memory edges. Always 0 unless the
+        /// service was built with [`SandboxService::with_shared_memory`].
+        contention: u64,
         /// Fuel slices consumed (1 = never preempted).
         slices: u32,
     },
@@ -199,12 +203,28 @@ struct Job<'a> {
 #[derive(Clone, Debug, Default)]
 pub struct SandboxService {
     tenants: Vec<Tenant>,
+    shared_memory: bool,
 }
 
 impl SandboxService {
     /// An empty service.
     pub fn new() -> SandboxService {
         SandboxService::default()
+    }
+
+    /// The same service with the shared memory system on or off.
+    ///
+    /// When on, every [`SandboxService::serve`] batch arbitrates its
+    /// requests' L1↔L2 and L2↔DRAM transfers over one pair of shared
+    /// edges, as if each fork ran on its own core of a multi-core host
+    /// with private caches over a shared memory system. Queueing delays
+    /// are charged to the waiting request's cycles and reported as
+    /// [`Outcome::Completed::contention`]. Tenants on cache-less machines
+    /// are unaffected. Off (the default), forks have independent memory
+    /// systems and responses never depend on batch composition.
+    pub fn with_shared_memory(mut self, on: bool) -> SandboxService {
+        self.shared_memory = on;
+        self
     }
 
     /// Compiles, boots and warms `cfg`'s guest up to its ready marker,
@@ -310,13 +330,20 @@ impl SandboxService {
                 slices: 0,
             })
             .collect();
-        let mut responses = run_sliced(jobs, workers, |job| self.step(job));
+        // One contention window per batch: every request fork attaches to
+        // the same pair of shared edges, whichever worker steps it.
+        let shared = self.shared_memory.then(SharedHierarchy::new);
+        let mut responses = run_sliced(jobs, workers, |job| self.step(job, shared.as_ref()));
         responses.sort_unstable_by_key(|r| r.request);
         responses
     }
 
     /// Runs one fuel slice of `job`.
-    fn step<'a>(&self, mut job: Job<'a>) -> Slice<Job<'a>, Response> {
+    fn step<'a>(
+        &self,
+        mut job: Job<'a>,
+        shared: Option<&SharedHierarchy>,
+    ) -> Slice<Job<'a>, Response> {
         let tenant = &self.tenants[job.request.tenant];
         let (index, tenant_id) = (job.index, job.request.tenant);
         let done = move |outcome| {
@@ -346,6 +373,9 @@ impl SandboxService {
                     .write_u64(len_addr, payload.len() as u64)
                     .expect("request_len is in the data segment");
             }
+            if let Some(sh) = shared {
+                vm.attach_shared_hierarchy(sh.clone());
+            }
             job.vm = Some(Box::new(vm));
         }
         let vm = job.vm.as_mut().expect("job has a live fork");
@@ -360,6 +390,10 @@ impl SandboxService {
                         .into_owned(),
                     instret: stats.instret - tenant.warm_instret,
                     cycles: stats.cycles - tenant.warm_cycles,
+                    // The warm-up ran before the shared edges were
+                    // attached, so the whole counter belongs to the
+                    // request phase — no baseline to subtract.
+                    contention: stats.cache.as_ref().map_or(0, |c| c.contention_cycles),
                     slices: job.slices,
                 })
             }

@@ -219,6 +219,11 @@ impl<R: BlockRepr> Engine<R> {
                 // before executing) shows.
                 let exec_result = {
                     let c = &self.blocks[id as usize];
+                    // Fetch is charged once per block entry (outer dispatch
+                    // and chain hops alike), amortized exactly like the
+                    // hoisted base cycles; a no-op unless fetch charging is
+                    // configured.
+                    vm.charge_fetch(entry, c.len);
                     vm.cycles += c.base_cycles;
                     c.body.exec(vm, entry)
                 };

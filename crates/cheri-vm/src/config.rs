@@ -86,6 +86,12 @@ pub struct VmConfig {
     pub backend: BackendKind,
     /// IR optimization level applied when blocks are compiled.
     pub opt: OptLevel,
+    /// Charge instruction fetch through the cache hierarchy, one
+    /// transaction per superinstruction block entry (amortized exactly
+    /// like the block's base cycles). Off by default: the data-side cost
+    /// model stays byte-identical to earlier eras, and fetch traffic
+    /// stays out of the ledger. No effect on cache-less configs.
+    pub fetch_charging: bool,
 }
 
 impl VmConfig {
@@ -102,6 +108,7 @@ impl VmConfig {
             cap128_policy: UnrepresentablePolicy::SideTable,
             backend: BackendKind::Template,
             opt: OptLevel::Peephole,
+            fetch_charging: false,
         }
     }
 
@@ -157,6 +164,13 @@ impl VmConfig {
     /// The same machine with blocks compiled at `opt`.
     pub fn with_opt_level(mut self, opt: OptLevel) -> VmConfig {
         self.opt = opt;
+        self
+    }
+
+    /// The same machine with instruction fetch charged through the cache
+    /// hierarchy (see [`VmConfig::fetch_charging`]).
+    pub fn with_fetch_charging(mut self, on: bool) -> VmConfig {
+        self.fetch_charging = on;
         self
     }
 }
@@ -220,6 +234,8 @@ mod tests {
             .with_backend(BackendKind::Reference)
             .with_opt_level(OptLevel::None);
         assert_eq!((c.backend, c.opt), (BackendKind::Reference, OptLevel::None));
+        assert!(!c.fetch_charging, "fetch charging defaults off");
+        assert!(c.with_fetch_charging(true).fetch_charging);
         for k in BackendKind::ALL {
             assert_eq!(BackendKind::from_name(k.name()), Some(k));
         }

@@ -46,7 +46,10 @@ pub use config::{BackendKind, OptLevel, VmConfig, NULL_GUARD_SIZE};
 pub use machine::{ExitStatus, Vm, VmSnapshot, VmStats};
 pub use trap::{TrapCause, VmTrap};
 
-// Re-exported so a VM can be configured without naming cheri-cap/cheri-mem.
+// Re-exported so a VM can be configured without naming cheri-cap/cheri-mem,
+// and so multi-core hosts can share a memory system without naming
+// cheri-cache.
+pub use cheri_cache::{CacheStats, SharedHierarchy};
 pub use cheri_cap::CapFormat;
 pub use cheri_mem::UnrepresentablePolicy;
 

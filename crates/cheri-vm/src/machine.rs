@@ -5,7 +5,7 @@ use crate::config::{VmConfig, NULL_GUARD_SIZE};
 use crate::ir::FlatOp;
 use crate::sys;
 use crate::trap::{TrapCause, VmTrap};
-use cheri_cache::{CacheStats, Hierarchy};
+use cheri_cache::{CacheStats, Hierarchy, SharedHierarchy};
 #[cfg(test)]
 use cheri_cap::CapError;
 use cheri_cap::{ptr_cmp, CapFormat, Capability, CompressionStats, Perms};
@@ -39,6 +39,11 @@ pub struct VmStats {
     /// performed. With run caching this counts one per control-flow
     /// transfer out of the validated window, not one per instruction.
     pub fetch_checks: u64,
+    /// Cycles the instruction-fetch path charged through the cache
+    /// hierarchy (zero unless [`VmConfig::fetch_charging`] is on).
+    /// Included in `cycles`; the full fetch ledger is in
+    /// `cache.unwrap().fetch`.
+    pub fetch_cycles: u64,
     /// Capability-compression statistics from tagged memory, present when
     /// the machine stores 128-bit compressed capabilities.
     pub compression: Option<CompressionStats>,
@@ -320,6 +325,7 @@ impl Vm {
             cycles: self.cycles,
             cache: self.cache.as_ref().map(|c| c.stats()),
             fetch_checks: self.fetch_checks,
+            fetch_cycles: self.cache.as_ref().map_or(0, |c| c.stats().fetch.cycles),
             compression: (self.cfg.cap_format == CapFormat::Cap128)
                 .then(|| self.mem.compression_stats()),
             op_counts,
@@ -420,6 +426,7 @@ impl Vm {
     pub fn step(&mut self) -> Result<(), VmTrap> {
         let pc = self.pc;
         let instr = self.fetch(pc)?;
+        self.charge_fetch(pc, 1);
         self.retire_one(instr.op);
         match self.execute_at(instr, pc) {
             Ok(next) => {
@@ -480,9 +487,35 @@ impl Vm {
     fn charge_mem(&mut self, addr: u64, len: u64, write: bool) {
         match &mut self.cache {
             Some(h) => {
-                self.cycles += h.access(addr, len, write);
+                // Issue at the VM's own clock so the hierarchy's burst
+                // windows see compute gaps between accesses (a no-op under
+                // the serialized mshrs=1 model).
+                self.cycles += h.access_at(self.cycles, addr, len, write);
             }
             None => self.cycles += 1,
+        }
+    }
+
+    /// Charges one instruction-fetch transaction for `words` instructions
+    /// starting at `pc` — one call per superinstruction block entry, or
+    /// per instruction when single-stepping. No-op unless
+    /// [`VmConfig::fetch_charging`] is on and a cache model is configured.
+    pub(crate) fn charge_fetch(&mut self, pc: u64, words: u64) {
+        if !self.cfg.fetch_charging {
+            return;
+        }
+        if let Some(h) = &mut self.cache {
+            self.cycles += h.access_fetch(self.cycles, pc.wrapping_mul(8), words * 8);
+        }
+    }
+
+    /// Attaches this machine's cache hierarchy (one simulated core) to
+    /// `shared` contended edges; see
+    /// [`cheri_cache::Hierarchy::attach_shared`]. No-op on cache-less
+    /// configs.
+    pub fn attach_shared_hierarchy(&mut self, shared: SharedHierarchy) {
+        if let Some(h) = &mut self.cache {
+            h.attach_shared(shared);
         }
     }
 

@@ -375,6 +375,107 @@ fn assembly_traps_identical_across_matrix() {
     }
 }
 
+/// The transaction-era identity contract: the serialized knobs
+/// (`mshrs = 1`, no store buffer, prefetch off, fetch charging off) are
+/// the defaults and spelling them out explicitly changes no observable
+/// bit — cycles, instret, registers and the full traffic ledger included.
+/// This is the wall that keeps the pre-transaction eras reproducible.
+#[test]
+fn serialized_transaction_knobs_are_the_legacy_model() {
+    use cheri::cache::{HierarchyConfig, PrefetchPolicy};
+    let spelled_cache = HierarchyConfig::fpga_softcore()
+        .with_mshrs(1)
+        .with_store_buffer(0)
+        .with_prefetch(PrefetchPolicy::Off);
+    for name in ["linked_list", "branchy", "oob_trap"] {
+        let prog = compile(program(name), Abi::CheriV3).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for format in [CapFormat::Cap256, CapFormat::Cap128] {
+            for (backend, opt) in matrix() {
+                let base = VmConfig::fpga()
+                    .with_cap_format(format)
+                    .with_backend(backend)
+                    .with_opt_level(opt);
+                let legacy = fingerprint(&prog, base);
+                let spelled = fingerprint(
+                    &prog,
+                    base.with_cache(spelled_cache).with_fetch_charging(false),
+                );
+                assert_eq!(
+                    spelled, legacy,
+                    "{name}/{format:?}/{backend:?}/{opt:?}: serialized knobs must be a no-op"
+                );
+                let cache = legacy.cache.as_ref().expect("fpga config has a cache");
+                assert_eq!(
+                    cache.fetch,
+                    Default::default(),
+                    "no fetch ledger by default"
+                );
+                assert_eq!(cache.contention_cycles, 0, "no shared edges by default");
+                assert_eq!(cache.traffic.l2_dram.prefetch_lines, 0);
+            }
+        }
+    }
+}
+
+/// The new cost-model axes — overlapping MSHRs, a store buffer, a
+/// prefetcher, and per-block fetch charging — keep every backend
+/// bit-identical to the reference interpreter at the same configuration,
+/// and fetch charging shows up as strictly more cycles plus a populated
+/// fetch ledger.
+#[test]
+fn transaction_knobs_are_identical_across_backends() {
+    use cheri::cache::{HierarchyConfig, PrefetchPolicy};
+    let overlapped = HierarchyConfig::fpga_softcore()
+        .with_mshrs(4)
+        .with_store_buffer(2)
+        .with_prefetch(PrefetchPolicy::NextLine);
+    let variants: [(&str, VmConfig); 3] = [
+        ("mshr_sb_prefetch", VmConfig::fpga().with_cache(overlapped)),
+        ("fetch_charging", VmConfig::fpga().with_fetch_charging(true)),
+        (
+            "everything_on",
+            VmConfig::fpga()
+                .with_cache(overlapped)
+                .with_l1_line_bytes(16)
+                .with_fetch_charging(true),
+        ),
+    ];
+    for name in ["linked_list", "recursion", "oob_trap"] {
+        let prog = compile(program(name), Abi::CheriV3).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let legacy = fingerprint(
+            &prog,
+            VmConfig::fpga()
+                .with_backend(BackendKind::Reference)
+                .with_opt_level(OptLevel::None),
+        );
+        for (label, base) in variants {
+            let oracle = fingerprint(
+                &prog,
+                base.with_backend(BackendKind::Reference)
+                    .with_opt_level(OptLevel::None),
+            );
+            for (backend, opt) in matrix() {
+                let got = fingerprint(&prog, base.with_backend(backend).with_opt_level(opt));
+                assert_eq!(
+                    got, oracle,
+                    "{name}/{label}/{backend:?}/{opt:?} diverged from reference"
+                );
+            }
+            if base.fetch_charging {
+                let cache = oracle.cache.as_ref().expect("cache model configured");
+                assert!(cache.fetch.blocks > 0, "{name}/{label}: fetch ledger empty");
+                assert!(cache.fetch.bytes >= cache.fetch.blocks * 8);
+                assert!(
+                    oracle.cycles > legacy.cycles,
+                    "{name}/{label}: charging fetch must cost cycles"
+                );
+            } else {
+                assert_eq!(oracle.instret, legacy.instret, "{name}/{label}: same work");
+            }
+        }
+    }
+}
+
 /// Compiled Olden/Dhrystone workloads through the workload runner: the
 /// whole matrix agrees on exit, output, instret, simulated cycles and the
 /// full cache statistics (traffic ledger included).
