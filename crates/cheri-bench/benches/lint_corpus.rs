@@ -1,0 +1,50 @@
+//! Criterion bench pinning `cheri-lint`'s analyzer throughput over the
+//! synthetic corpus: parse+lint of one small package, the full 13-package
+//! corpus, and a functions-per-second figure for the ablation record.
+use cheri_idioms::corpus;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn bench(c: &mut Criterion) {
+    let spec = corpus::paper_packages().remove(11); // zlib: small
+    let package = corpus::generate_package(&spec, 7);
+    let unit = cheri_c::parse(&package.source).unwrap();
+
+    // Throughput headline: functions analyzed per second over the whole
+    // corpus (the lint re-runs per function, so funcs/sec is the natural
+    // unit for the ablation table).
+    let corpus_units: Vec<_> = corpus::generate_corpus(2026)
+        .into_iter()
+        .map(|pkg| cheri_c::parse(&pkg.source).unwrap())
+        .collect();
+    let funcs: usize = corpus_units
+        .iter()
+        .map(|u| cheri_lint::analyze(u).funcs.len())
+        .sum();
+    let t0 = Instant::now();
+    for u in &corpus_units {
+        let _ = cheri_lint::analyze(u);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "lint_corpus throughput: {funcs} funcs in {secs:.3}s = {:.0} funcs/sec",
+        funcs as f64 / secs
+    );
+
+    let mut g = c.benchmark_group("lint_corpus");
+    g.bench_function("lint_zlib_package", |b| {
+        b.iter(|| cheri_lint::analyze(&unit))
+    });
+    g.bench_function("lint_full_corpus", |b| {
+        b.iter(|| {
+            corpus_units
+                .iter()
+                .map(|u| cheri_lint::analyze(u).findings.len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

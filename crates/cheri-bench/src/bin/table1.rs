@@ -1,4 +1,10 @@
 //! Regenerates Table 1: idiom counts over the (synthetic) corpus.
+//! With `--lines`, prints the per-idiom source locations instead (the
+//! flow-sensitive lint's attribution of every count).
 fn main() {
-    print!("{}", cheri_bench::table1_report(2026));
+    if std::env::args().any(|a| a == "--lines") {
+        print!("{}", cheri_bench::table1_lines_report(2026));
+    } else {
+        print!("{}", cheri_bench::table1_report(2026));
+    }
 }

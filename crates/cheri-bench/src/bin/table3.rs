@@ -1,4 +1,8 @@
-//! Regenerates Table 3: idiom support per memory model, measured live.
+//! Regenerates Table 3: idiom support per memory model, measured live,
+//! followed by the static companion matrix (dynamic verdict next to
+//! `cheri-lint`'s prediction, with the false-warn rate).
 fn main() {
     print!("{}", cheri_bench::table3_report());
+    println!();
+    print!("{}", cheri_bench::table3_static_report());
 }

@@ -270,6 +270,38 @@ impl BinOp {
     }
 }
 
+/// A source position: 1-based line plus 1-based column. A column of `0`
+/// means "unknown" (positions recorded before column tracking existed, or
+/// synthesized nodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (0 when unknown).
+    pub col: u32,
+}
+
+impl From<u32> for Span {
+    fn from(line: u32) -> Span {
+        Span { line, col: 0 }
+    }
+}
+
+impl From<(u32, u32)> for Span {
+    fn from((line, col): (u32, u32)) -> Span {
+        Span { line, col }
+    }
+}
+
+impl From<&crate::lexer::Token> for Span {
+    fn from(t: &crate::lexer::Token) -> Span {
+        Span {
+            line: t.line,
+            col: t.col,
+        }
+    }
+}
+
 /// An expression; `ty` is filled in by semantic analysis.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Expr {
@@ -279,15 +311,19 @@ pub struct Expr {
     pub ty: Type,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column (0 when unknown).
+    pub col: u32,
 }
 
 impl Expr {
     /// An expression with type to-be-determined.
-    pub fn new(kind: ExprKind, line: u32) -> Expr {
+    pub fn new(kind: ExprKind, span: impl Into<Span>) -> Expr {
+        let span = span.into();
         Expr {
             kind,
             ty: Type::Void,
-            line,
+            line: span.line,
+            col: span.col,
         }
     }
 }

@@ -17,13 +17,15 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token with its source line.
+/// A token with its source position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
 }
 
 /// Multi-character operators, longest first so maximal munch works.
@@ -44,12 +46,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
     let mut toks = Vec::new();
     let mut i = 0;
     let mut line: u32 = 1;
+    // Byte index where the current line starts; columns are 1-based offsets
+    // from it.
+    let mut line_start = 0usize;
     let mut at_line_start = true;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let col = (i - line_start + 1) as u32;
         match c {
             '\n' => {
                 line += 1;
+                line_start = i + 1;
                 at_line_start = true;
                 i += 1;
             }
@@ -69,6 +76,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
                     if bytes[i] == b'\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     i += 1;
                 }
@@ -88,6 +96,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 toks.push(Token {
                     kind: TokenKind::Ident(src[start..i].to_string()),
                     line,
+                    col,
                 });
             }
             c if c.is_ascii_digit() => {
@@ -128,6 +137,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 toks.push(Token {
                     kind: TokenKind::Int(v),
                     line,
+                    col,
                 });
             }
             '\'' => {
@@ -142,6 +152,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 toks.push(Token {
                     kind: TokenKind::Int(ch as i64),
                     line,
+                    col,
                 });
             }
             '"' => {
@@ -160,6 +171,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 toks.push(Token {
                     kind: TokenKind::Str(s),
                     line,
+                    col,
                 });
             }
             _ => {
@@ -172,6 +184,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                 toks.push(Token {
                     kind: TokenKind::Punct(p),
                     line,
+                    col,
                 });
                 i += p.len();
             }
@@ -180,6 +193,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
     toks.push(Token {
         kind: TokenKind::Eof,
         line,
+        col: (bytes.len() - line_start + 1) as u32,
     });
     Ok(toks)
 }

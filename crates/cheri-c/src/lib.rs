@@ -40,7 +40,7 @@ mod parser;
 mod sema;
 
 pub use ast::{
-    BinOp, Block, CapQual, Expr, ExprKind, Field, FuncDef, GlobalDef, Param, Stmt, StructDef,
+    BinOp, Block, CapQual, Expr, ExprKind, Field, FuncDef, GlobalDef, Param, Span, Stmt, StructDef,
     StructId, TranslationUnit, Type, UnOp,
 };
 pub use lexer::{lex, Token, TokenKind};
@@ -60,9 +60,9 @@ pub struct CError {
 }
 
 impl CError {
-    pub(crate) fn new(line: u32, msg: impl Into<String>) -> CError {
+    pub(crate) fn new(at: impl Into<Span>, msg: impl Into<String>) -> CError {
         CError {
-            line,
+            line: at.into().line,
             msg: msg.into(),
         }
     }

@@ -57,6 +57,11 @@ impl<'a> Parser<'a> {
         self.toks[self.pos].line
     }
 
+    /// Line and column of the current token, for expression positions.
+    fn span(&self) -> Span {
+        Span::from(&self.toks[self.pos])
+    }
+
     fn bump(&mut self) -> &TokenKind {
         let k = &self.toks[self.pos].kind;
         if self.pos + 1 < self.toks.len() {
@@ -567,7 +572,7 @@ impl<'a> Parser<'a> {
     }
 
     fn assignment(&mut self) -> Result<Expr, CError> {
-        let line = self.line();
+        let line = self.span();
         let lhs = self.ternary()?;
         let op = if self.eat_punct("=") {
             None
@@ -602,7 +607,7 @@ impl<'a> Parser<'a> {
     }
 
     fn ternary(&mut self) -> Result<Expr, CError> {
-        let line = self.line();
+        let line = self.span();
         let cond = self.binary(0)?;
         if self.eat_punct("?") {
             let a = self.expr()?;
@@ -644,7 +649,7 @@ impl<'a> Parser<'a> {
             if prec < min_prec {
                 break;
             }
-            let line = self.line();
+            let line = self.span();
             self.pos += 1;
             let rhs = self.binary(prec + 1)?;
             lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), line);
@@ -653,7 +658,7 @@ impl<'a> Parser<'a> {
     }
 
     fn unary(&mut self) -> Result<Expr, CError> {
-        let line = self.line();
+        let line = self.span();
         if self.eat_punct("-") {
             return Ok(Expr::new(
                 ExprKind::Unary(UnOp::Neg, Box::new(self.unary()?)),
@@ -748,7 +753,7 @@ impl<'a> Parser<'a> {
     fn postfix(&mut self) -> Result<Expr, CError> {
         let mut e = self.primary()?;
         loop {
-            let line = self.line();
+            let line = self.span();
             if self.eat_punct("[") {
                 let idx = self.expr()?;
                 self.expect_punct("]")?;
@@ -799,7 +804,7 @@ impl<'a> Parser<'a> {
     }
 
     fn primary(&mut self) -> Result<Expr, CError> {
-        let line = self.line();
+        let line = self.span();
         if self.eat_punct("(") {
             let e = self.expr()?;
             self.expect_punct(")")?;

@@ -29,5 +29,6 @@ pub mod analyzer;
 pub mod cases;
 pub mod corpus;
 mod idiom;
+pub mod pitfalls;
 
 pub use idiom::{Idiom, IdiomCounts};

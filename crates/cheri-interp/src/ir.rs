@@ -24,6 +24,34 @@ use cheri_c::{BinOp, Type, UnOp};
 /// Index into [`IrProgram::types`].
 pub type TyId = u32;
 
+/// Provenance of a constant-folded [`Op::ConstInt`]: `sizeof`/`offsetof`
+/// fold to plain integers during lowering, but static analyses (the
+/// **Container** idiom in particular) need to know where the constant came
+/// from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConstOrigin {
+    /// An ordinary constant (literal, folded arithmetic).
+    #[default]
+    None,
+    /// Folded from `offsetof(struct, field)`.
+    Offsetof,
+    /// Folded from `sizeof(type)` or `sizeof expr`.
+    Sizeof,
+}
+
+/// Per-op source metadata, kept in a side table ([`IrProgram::info`])
+/// parallel to [`IrProgram::code`] so the hot `Op` enum stays compact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpInfo {
+    /// 1-based source line of the expression or statement that emitted
+    /// the op (best-effort for synthesized ops such as scope kills).
+    pub line: u32,
+    /// 1-based source column (0 when unknown).
+    pub col: u32,
+    /// Constant provenance, for [`Op::ConstInt`] only.
+    pub origin: ConstOrigin,
+}
+
 /// A lowered translation unit for one target layout.
 #[derive(Clone, Debug)]
 pub struct IrProgram {
@@ -32,6 +60,8 @@ pub struct IrProgram {
     pub target: TargetInfo,
     /// The flat op stream; all functions, back to back.
     pub code: Vec<Op>,
+    /// Source metadata for each op, parallel to `code` (same length).
+    pub info: Vec<OpInfo>,
     /// Function descriptors, indexed by the `f` field of [`Op::Call`].
     pub funcs: Vec<IrFunc>,
     /// Interned types referenced by ops (for model calls that need them).
@@ -59,6 +89,27 @@ impl IrProgram {
     /// Total op count (a proxy for compiled size).
     pub fn len(&self) -> usize {
         self.code.len()
+    }
+
+    /// Source metadata for the op at `pc` (zeroed when the side table was
+    /// not populated, e.g. hand-built programs).
+    pub fn op_info(&self, pc: usize) -> OpInfo {
+        self.info.get(pc).copied().unwrap_or_default()
+    }
+
+    /// The half-open pc range `[entry, end)` of function `fid`: functions
+    /// are lowered back to back, so a function extends to the next entry
+    /// point (or the end of the op stream).
+    pub fn func_range(&self, fid: u32) -> (usize, usize) {
+        let entry = self.funcs[fid as usize].entry;
+        let end = self
+            .funcs
+            .iter()
+            .map(|f| f.entry)
+            .filter(|&e| e > entry)
+            .min()
+            .unwrap_or(self.code.len());
+        (entry, end)
     }
 
     /// `true` when no code was generated (never the case after lowering —
@@ -471,6 +522,7 @@ mod tests {
         let prog = IrProgram {
             target: TargetInfo::lp64(),
             code: vec![Op::Ret { has_value: false }],
+            info: vec![OpInfo::default()],
             funcs: vec![IrFunc {
                 name: "main".into(),
                 entry: 0,

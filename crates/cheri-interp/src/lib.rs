@@ -41,6 +41,7 @@
 //! assert!(run_main(&unit, ModelKind::CheriV2).is_err());
 //! ```
 
+mod cfg;
 mod ir;
 mod layout;
 mod lower;
@@ -50,7 +51,10 @@ mod models;
 mod par;
 mod value;
 
-pub use ir::{BinMeta, Builtin, IrFunc, IrGlobal, IrProgram, Op, SlotDef, TyId};
+pub use cfg::{BasicBlock, Cfg};
+pub use ir::{
+    BinMeta, Builtin, ConstOrigin, IrFunc, IrGlobal, IrProgram, Op, OpInfo, SlotDef, TyId,
+};
 pub use layout::{align_of, field_offset, size_of, TargetInfo};
 pub use lower::lower;
 pub use machine::{run_main, run_main_all, ExecResult, Interp, LoweredUnit, RtError};

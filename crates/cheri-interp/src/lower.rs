@@ -11,7 +11,10 @@
 //! declaration, retired at scope exit) and lazy unsupported-construct
 //! errors are all preserved, so `RtError` reporting is unchanged.
 
-use crate::ir::{BinMeta, Builtin, IrFunc, IrGlobal, IrProgram, Op, SlotDef, TyId, ELEM_POISON};
+use crate::ir::{
+    BinMeta, Builtin, ConstOrigin, IrFunc, IrGlobal, IrProgram, Op, OpInfo, SlotDef, TyId,
+    ELEM_POISON,
+};
 use crate::layout::{align_of, field_offset, size_of, TargetInfo};
 use crate::machine::{GLOBALS_OFF, VBASE};
 use cheri_c::{BinOp, Block, Expr, ExprKind, FuncDef, Stmt, TranslationUnit, Type, UnOp};
@@ -24,6 +27,8 @@ pub fn lower(unit: &TranslationUnit, target: TargetInfo) -> IrProgram {
         unit,
         ti: target,
         code: Vec::new(),
+        info: Vec::new(),
+        cur: OpInfo::default(),
         types: Vec::new(),
         ty_map: HashMap::new(),
         strings: Vec::new(),
@@ -43,6 +48,7 @@ pub fn lower(unit: &TranslationUnit, target: TargetInfo) -> IrProgram {
     IrProgram {
         target,
         code: lw.code,
+        info: lw.info,
         funcs,
         types: lw.types,
         strings: lw.strings,
@@ -79,6 +85,11 @@ struct Lowerer<'u> {
     unit: &'u TranslationUnit,
     ti: TargetInfo,
     code: Vec<Op>,
+    /// Per-op source metadata, pushed in lock step with `code`.
+    info: Vec<OpInfo>,
+    /// Position stamped onto the next emitted ops (the expression or
+    /// statement currently being lowered).
+    cur: OpInfo,
     types: Vec<Type>,
     ty_map: HashMap<Type, TyId>,
     strings: Vec<String>,
@@ -130,7 +141,25 @@ impl<'u> Lowerer<'u> {
 
     fn emit(&mut self, op: Op) -> usize {
         self.code.push(op);
+        self.info.push(OpInfo {
+            origin: ConstOrigin::None,
+            ..self.cur
+        });
         self.code.len() - 1
+    }
+
+    /// [`Lowerer::emit`] with an explicit constant provenance (for folded
+    /// `sizeof`/`offsetof` constants).
+    fn emit_origin(&mut self, op: Op, origin: ConstOrigin) -> usize {
+        let at = self.emit(op);
+        self.info[at].origin = origin;
+        at
+    }
+
+    /// Stamps the position subsequently emitted ops are attributed to.
+    fn at(&mut self, line: u32, col: u32) {
+        self.cur.line = line;
+        self.cur.col = col;
     }
 
     fn here(&self) -> usize {
@@ -231,7 +260,7 @@ impl<'u> Lowerer<'u> {
     fn pop_scope(&mut self) {
         let scope = self.scopes.pop().expect("scope");
         for (_, l) in &scope {
-            self.code.push(Op::Kill {
+            self.emit(Op::Kill {
                 off: l.off,
                 size: l.size,
             });
@@ -248,7 +277,7 @@ impl<'u> Lowerer<'u> {
             .flat_map(|s| s.iter().map(|(_, l)| (l.off, l.size)))
             .collect();
         for (off, size) in kills {
-            self.code.push(Op::Kill { off, size });
+            self.emit(Op::Kill { off, size });
         }
     }
 
@@ -344,6 +373,7 @@ impl<'u> Lowerer<'u> {
                 init,
                 line,
             } => {
+                self.at(*line, 0);
                 let local = self.define_slot(name, ty);
                 self.emit(Op::Define {
                     off: local.off,
@@ -527,6 +557,7 @@ impl<'u> Lowerer<'u> {
     // --- Places ---
 
     fn lower_place(&mut self, e: &Expr) -> PlaceL {
+        self.at(e.line, e.col);
         match &e.kind {
             ExprKind::Ident(name) => self.lookup(name).unwrap_or_else(|| {
                 self.unsupported(format!("unbound variable {name}"), e.line);
@@ -638,6 +669,7 @@ impl<'u> Lowerer<'u> {
     /// `&place`: whole-object bounds for variables, model-specific
     /// narrowing for members (mirrors the AST walker's `addr_of`).
     fn lower_addr_of(&mut self, e: &Expr) {
+        self.at(e.line, e.col);
         match &e.kind {
             ExprKind::Unary(UnOp::Deref, inner) => self.lower_ptr(inner),
             ExprKind::Index(base, idx) => {
@@ -703,6 +735,7 @@ impl<'u> Lowerer<'u> {
     /// AST `eval`: pushes the expression's value.
     fn lower_expr(&mut self, e: &Expr) {
         let line = e.line;
+        self.at(e.line, e.col);
         match &e.kind {
             ExprKind::IntLit(v) => {
                 let width = if e.ty == Type::long() { 8 } else { 4 };
@@ -842,19 +875,25 @@ impl<'u> Lowerer<'u> {
             }
             ExprKind::SizeofType(ty) => {
                 let v = self.size(ty) as i64;
-                self.emit(Op::ConstInt {
-                    v,
-                    width: 8,
-                    signed: false,
-                });
+                self.emit_origin(
+                    Op::ConstInt {
+                        v,
+                        width: 8,
+                        signed: false,
+                    },
+                    ConstOrigin::Sizeof,
+                );
             }
             ExprKind::SizeofExpr(inner) => {
                 let v = self.size(&inner.ty) as i64;
-                self.emit(Op::ConstInt {
-                    v,
-                    width: 8,
-                    signed: false,
-                });
+                self.emit_origin(
+                    Op::ConstInt {
+                        v,
+                        width: 8,
+                        signed: false,
+                    },
+                    ConstOrigin::Sizeof,
+                );
             }
             ExprKind::Offsetof(ty, field) => {
                 let Type::Struct(id) = ty else {
@@ -862,11 +901,14 @@ impl<'u> Lowerer<'u> {
                     return;
                 };
                 let (off, _) = field_offset(&self.unit.structs, *id, field, &self.ti);
-                self.emit(Op::ConstInt {
-                    v: off as i64,
-                    width: 8,
-                    signed: false,
-                });
+                self.emit_origin(
+                    Op::ConstInt {
+                        v: off as i64,
+                        width: 8,
+                        signed: false,
+                    },
+                    ConstOrigin::Offsetof,
+                );
             }
             ExprKind::IncDec { pre, inc, target } => {
                 let pl = self.lower_place(target);

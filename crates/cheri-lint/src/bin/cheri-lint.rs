@@ -1,0 +1,185 @@
+//! `cheri-lint` — the command-line front end of the static analyzer.
+//!
+//! With no arguments it lints the full built-in suite — the eight Table 3
+//! idiom cases, the two CRuby pitfalls, the 13-package synthetic corpus
+//! and every `cheri-workloads` source — and prints the diagnostics. The
+//! output is deterministic, which makes it a regression oracle:
+//!
+//! * `cheri-lint --update-golden PATH` writes the suite output to PATH;
+//! * `cheri-lint --golden PATH` re-runs the suite and exits nonzero if
+//!   the output differs from the committed file (used by CI);
+//! * `cheri-lint FILE.c` lints one source file and prints its report.
+
+use cheri_idioms::{cases, corpus, pitfalls, Idiom};
+use cheri_interp::ModelKind;
+use cheri_lint::analyze_source;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Corpus seed shared with the Table 1 tests and benches.
+const CORPUS_SEED: u64 = 2026;
+
+/// Lints one named program and appends its full diagnostics.
+fn lint_section(out: &mut String, name: &str, src: &str) {
+    let report = analyze_source(src).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+    let _ = writeln!(out, "== {name} ({} findings)", report.findings.len());
+    out.push_str(&report.render());
+    out.push('\n');
+}
+
+/// The workload sources, sized small — the analyzer never executes them,
+/// so the parameters only pick loop-bound constants.
+fn workloads() -> Vec<(&'static str, String)> {
+    use cheri_workloads::sources as w;
+    vec![
+        ("treeadd", w::treeadd(4, 2)),
+        ("bisort", w::bisort(32)),
+        ("perimeter", w::perimeter(3)),
+        ("mst", w::mst(8)),
+        ("malloc-stress", w::malloc_stress(4, 2)),
+        ("malloc-stress-oob", w::malloc_stress_oob(4, 2)),
+        ("dhrystone", w::dhrystone(5)),
+        ("tcpdump-baseline", w::tcpdump_baseline()),
+        ("tcpdump-cheriv2", w::tcpdump_cheriv2()),
+        ("tcpdump-cheriv3", w::tcpdump_cheriv3()),
+        ("zlib", w::zlib(1024, true)),
+    ]
+}
+
+/// Runs the whole built-in suite and returns its deterministic transcript.
+fn suite() -> String {
+    let mut out = String::new();
+    out.push_str("cheri-lint golden diagnostics\n");
+    out.push_str("(canonical cases, CRuby pitfalls, synthetic corpus, workload sources)\n\n");
+
+    out.push_str("---- canonical idiom cases ----\n\n");
+    for idiom in Idiom::ALL {
+        lint_section(
+            &mut out,
+            &format!("case {}", idiom.label()),
+            cases::source(idiom),
+        );
+    }
+    for p in pitfalls::Pitfall::ALL {
+        lint_section(
+            &mut out,
+            &format!("pitfall {}", p.name()),
+            pitfalls::source(p),
+        );
+    }
+
+    out.push_str("---- synthetic corpus (seed 2026) ----\n\n");
+    for pkg in corpus::generate_corpus(CORPUS_SEED) {
+        let report = analyze_source(&pkg.source)
+            .unwrap_or_else(|e| panic!("corpus {}: parse error: {e}", pkg.spec.name));
+        let counts = report.idiom_counts();
+        let _ = write!(out, "{:<14}", pkg.spec.name);
+        for (idiom, n) in Idiom::ALL.iter().zip(counts) {
+            let _ = write!(out, " {}={n}", idiom.label());
+        }
+        let works: Vec<&str> = ModelKind::ALL
+            .iter()
+            .filter(|&&m| report.works(m))
+            .map(|m| m.display_name())
+            .collect();
+        let verdict = if report.portable() {
+            "portable".to_string()
+        } else {
+            format!("runs under [{}]", works.join(","))
+        };
+        let _ = writeln!(out, " | {verdict}");
+    }
+    out.push('\n');
+
+    out.push_str("---- workload sources ----\n\n");
+    for (name, src) in workloads() {
+        lint_section(&mut out, name, &src);
+    }
+    out
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cheri-lint                      lint the built-in suite to stdout\n\
+         \x20      cheri-lint FILE.c             lint one source file\n\
+         \x20      cheri-lint --golden PATH      compare the suite against a golden file\n\
+         \x20      cheri-lint --update-golden PATH  rewrite the golden file"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            print!("{}", suite());
+            ExitCode::SUCCESS
+        }
+        [flag, path] if flag == "--update-golden" => {
+            let text = suite();
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cheri-lint: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("cheri-lint: wrote {} lines to {path}", text.lines().count());
+            ExitCode::SUCCESS
+        }
+        [flag, path] if flag == "--golden" => {
+            let want = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cheri-lint: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let got = suite();
+            if got == want {
+                eprintln!("cheri-lint: diagnostics match {path}");
+                return ExitCode::SUCCESS;
+            }
+            // Report the first divergence with a line of context; dumping
+            // both full transcripts would drown the CI log.
+            let (mut line_no, mut shown) = (0usize, false);
+            for (a, b) in got.lines().zip(want.lines()) {
+                line_no += 1;
+                if a != b {
+                    eprintln!(
+                        "cheri-lint: golden mismatch at line {line_no}:\n  golden: {b}\n  actual: {a}"
+                    );
+                    shown = true;
+                    break;
+                }
+            }
+            if !shown {
+                eprintln!(
+                    "cheri-lint: golden mismatch: lengths differ ({} vs {} lines)",
+                    got.lines().count(),
+                    want.lines().count()
+                );
+            }
+            eprintln!("cheri-lint: re-run with --update-golden {path} after reviewing the diff");
+            ExitCode::FAILURE
+        }
+        [path] if !path.starts_with('-') => match std::fs::read_to_string(path) {
+            Ok(src) => match analyze_source(&src) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if report.portable() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cheri-lint: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("cheri-lint: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

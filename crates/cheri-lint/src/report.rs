@@ -1,0 +1,241 @@
+//! Lint findings and per-program verdicts.
+
+use crate::lattice::ModelSet;
+use cheri_idioms::Idiom;
+use cheri_interp::ModelKind;
+use std::fmt::Write as _;
+
+/// What a finding is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A Table 1 idiom occurrence (the static analog of
+    /// [`cheri_idioms::analyze_unit`]'s counts).
+    Idiom(Idiom),
+    /// A dereference that may trap under the listed models.
+    Deref,
+    /// Pointer arithmetic that may trap at the operation itself
+    /// (CHERIv2 bounds consumption / capability arithmetic).
+    Arith,
+    /// A possibly-zero divisor (or `i64::MIN % -1`).
+    DivByZero,
+    /// Possible signed 64-bit overflow — wraps in the interpreters, traps
+    /// on the compiled-VM substrates.
+    Overflow,
+    /// An `assert` that statically always fails.
+    AssertFail,
+    /// A layout-sensitive constant (`sizeof`/`offsetof`) whose value
+    /// differs between the LP64 and CHERI lowerings.
+    Layout,
+    /// A nondeterministic input (`clock`) — execution may differ between
+    /// substrates regardless of memory model.
+    Nondet,
+    /// The analysis gave up on this function (budget, irregular stack).
+    Diverged,
+}
+
+impl FindingKind {
+    /// Short diagnostic label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::Idiom(i) => i.label(),
+            FindingKind::Deref => "deref",
+            FindingKind::Arith => "ptr-arith",
+            FindingKind::DivByZero => "div-by-zero",
+            FindingKind::Overflow => "overflow",
+            FindingKind::AssertFail => "assert-fail",
+            FindingKind::Layout => "layout",
+            FindingKind::Nondet => "nondet",
+            FindingKind::Diverged => "diverged",
+        }
+    }
+}
+
+/// One diagnostic: an op (pc) in a function that the listed models may
+/// trap on, or an idiom occurrence worth an escape-hatch annotation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Containing function (source name).
+    pub func: String,
+    /// Op index into the lowered program.
+    pub pc: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (0 when unknown).
+    pub col: u32,
+    /// What was found.
+    pub kind: FindingKind,
+    /// The models that may trap here (empty for pure idiom tallies that
+    /// every model tolerates).
+    pub may: ModelSet,
+}
+
+/// The lint result for one translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, in (function, pc) order, deduplicated by `(pc, kind)`.
+    pub findings: Vec<Finding>,
+    /// Names of the analyzed functions.
+    pub funcs: Vec<String>,
+}
+
+impl Report {
+    /// Idiom occurrence counts in [`Idiom::ALL`] order — bit-compatible
+    /// with the AST analyzer's Table 1 counts.
+    pub fn idiom_counts(&self) -> [u64; 8] {
+        let mut counts = [0u64; 8];
+        for f in &self.findings {
+            if let FindingKind::Idiom(i) = f.kind {
+                counts[Idiom::ALL.iter().position(|&k| k == i).expect("idiom")] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The idiom findings, for per-line reporting.
+    pub fn idiom_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f.kind, FindingKind::Idiom(_)))
+    }
+
+    /// Whether the program is predicted to run to completion under `m`:
+    /// no finding names the model and the analysis did not give up.
+    pub fn works(&self, m: ModelKind) -> bool {
+        self.findings.iter().all(|f| !f.may.contains(m))
+    }
+
+    /// Whether the compiled-VM substrates may diverge from the wrapping
+    /// interpreters (overflow traps).
+    pub fn vm_clean(&self) -> bool {
+        self.findings.iter().all(|f| !f.may.has_vm())
+    }
+
+    /// The lint's portability verdict: predicted to behave identically on
+    /// **all** substrates — every model runs it, the VM cannot overflow-
+    /// trap, and there is no nondeterministic input.
+    pub fn portable(&self) -> bool {
+        ModelKind::ALL.iter().all(|&m| self.works(m))
+            && self.vm_clean()
+            && !self
+                .findings
+                .iter()
+                .any(|f| matches!(f.kind, FindingKind::Nondet | FindingKind::Diverged))
+    }
+
+    /// The findings that make the program non-portable (everything except
+    /// model-neutral idiom tallies).
+    pub fn blocking(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| {
+            !f.may.is_empty() || matches!(f.kind, FindingKind::Nondet | FindingKind::Diverged)
+        })
+    }
+
+    /// Renders compiler-style source-line diagnostics.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let mods = if f.may == ModelSet::everything() {
+                "all".to_string()
+            } else {
+                let mut names: Vec<&str> =
+                    f.may.models().iter().map(|m| m.display_name()).collect();
+                if f.may.has_vm() {
+                    names.push("vm");
+                }
+                names.join(",")
+            };
+            let _ = match f.kind {
+                FindingKind::Idiom(i) => writeln!(
+                    out,
+                    "{}:{}: idiom {} in `{}`{}",
+                    f.line,
+                    f.col,
+                    i.label(),
+                    f.func,
+                    if f.may.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (may trap: {mods})")
+                    }
+                ),
+                _ => writeln!(
+                    out,
+                    "{}:{}: {} in `{}` may trap: {}",
+                    f.line,
+                    f.col,
+                    f.kind.label(),
+                    f.func,
+                    mods
+                ),
+            };
+        }
+        let verdict = if self.portable() {
+            "portable: behaves identically on every substrate".to_string()
+        } else {
+            let works: Vec<&str> = ModelKind::ALL
+                .iter()
+                .filter(|&&m| self.works(m))
+                .map(|m| m.display_name())
+                .collect();
+            format!(
+                "not portable; predicted to run under: [{}]",
+                works.join(",")
+            )
+        };
+        let _ = writeln!(out, "{verdict}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_portable() {
+        let r = Report::default();
+        assert!(r.portable());
+        assert!(r.vm_clean());
+        for m in ModelKind::ALL {
+            assert!(r.works(m));
+        }
+        assert_eq!(r.idiom_counts(), [0; 8]);
+        assert!(r.render().contains("portable"));
+    }
+
+    #[test]
+    fn model_findings_break_works_but_not_others() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            func: "f".into(),
+            pc: 3,
+            line: 2,
+            col: 1,
+            kind: FindingKind::Deref,
+            may: ModelSet::EMPTY.with(ModelKind::CheriV2),
+        });
+        assert!(!r.works(ModelKind::CheriV2));
+        assert!(r.works(ModelKind::CheriV3));
+        assert!(!r.portable());
+        assert!(r.render().contains("deref"));
+    }
+
+    #[test]
+    fn neutral_idiom_findings_keep_portability() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            func: "f".into(),
+            pc: 0,
+            line: 1,
+            col: 0,
+            kind: FindingKind::Idiom(Idiom::Sub),
+            may: ModelSet::EMPTY,
+        });
+        assert!(
+            r.portable(),
+            "an idiom every model tolerates is not blocking"
+        );
+        assert_eq!(r.idiom_counts()[2], 1, "SUB is column 2");
+        assert_eq!(r.blocking().count(), 0);
+    }
+}

@@ -19,6 +19,8 @@
 //!   Strict, CHERIv2, CHERIv3).
 //! * [`idioms`] — the pointer-idiom taxonomy, test cases, static analyzer
 //!   and synthetic corpus generator behind Tables 1 and 3.
+//! * [`lint`] — a flow-sensitive abstract interpreter over the execution
+//!   IR predicting per-model traps and CHERI portability statically.
 //! * [`compile`] — a mini-C → ISA code generator with MIPS, CHERIv2 and
 //!   CHERIv3 ABIs.
 //! * [`gc`] — the tag-accurate copying/generational collector sketched in
@@ -48,6 +50,7 @@ pub use cheri_gc as gc;
 pub use cheri_idioms as idioms;
 pub use cheri_interp as interp;
 pub use cheri_isa as isa;
+pub use cheri_lint as lint;
 pub use cheri_mem as mem;
 pub use cheri_sandbox as sandbox;
 pub use cheri_vm as vm;
