@@ -74,11 +74,14 @@ fn bench(c: &mut Criterion) {
 
     // The backend ladder on the same counted loop: chaining removes the
     // per-iteration dispatch lookup, the template tier removes the
-    // per-op decode match. Both run the peephole pass (the default), so
-    // the loop body is also compare-and-branch fused.
+    // per-op decode match, and the native tier removes the per-op call
+    // through a closure by emitting the block as host machine code. All
+    // run the peephole pass (the default), so the loop body is also
+    // compare-and-branch fused.
     for (name, backend) in [
         ("vm_block_chained_4k", BackendKind::Chained),
         ("vm_template_backend_4k", BackendKind::Template),
+        ("vm_native_backend_4k", BackendKind::Native),
     ] {
         let cfg = VmConfig::functional()
             .with_backend(backend)

@@ -1,21 +1,26 @@
 //! Regenerates Figure 3: tcpdump trace-processing time under the three ABIs.
 //!
-//! Usage: `fig3 [packets] [backend] [fetch]` where `backend` is
-//! `reference`, `chained` or `template` (default: the machine default,
-//! template). Passing the literal word `fetch` turns on per-block
-//! instruction-fetch charging (a new cycle era; columns gain the fetch
-//! share).
+//! Usage: `fig3 [packets] [backend] [fetch]` where `backend` is one of
+//! `reference`, `chained`, `template` or `native` (default: the machine
+//! default, template). Passing the literal word `fetch` turns on
+//! per-block instruction-fetch charging (a new cycle era; columns gain
+//! the fetch share). An unknown backend name prints the valid names and
+//! exits non-zero.
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "fetch") {
         cheri_bench::select_fetch_charging(true);
     }
-    let mut args = raw.into_iter().filter(|a| a != "fetch");
-    let packets: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let mut args = raw.into_iter().filter(|a| a != "fetch").peekable();
+    let packets: u32 = match args.peek().and_then(|s| s.parse().ok()) {
+        Some(n) => {
+            args.next();
+            n
+        }
+        None => 2_000,
+    };
     if let Some(name) = args.next() {
-        let kind = cheri_vm::BackendKind::from_name(&name)
-            .unwrap_or_else(|| panic!("unknown backend {name:?} (reference|chained|template)"));
-        cheri_bench::select_backend(kind);
+        cheri_bench::select_backend(cheri_bench::backend_arg(&name));
     }
     let pts = cheri_bench::fig3_points(packets, 61106);
     print!(

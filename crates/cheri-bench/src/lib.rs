@@ -44,6 +44,21 @@ pub fn select_fetch_charging(on: bool) {
     let _ = FETCH_CHARGING.set(on);
 }
 
+/// Resolves a backend name from the command line, or prints the valid
+/// names (from [`BackendKind::ALL`]) and exits non-zero. The figure/table
+/// binaries all route their backend argument through here, so a typo
+/// (`fig1 1 natve`) fails loudly instead of being silently ignored.
+pub fn backend_arg(name: &str) -> BackendKind {
+    BackendKind::from_name(name).unwrap_or_else(|| {
+        let names: Vec<&str> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+        eprintln!(
+            "unknown backend {name:?}; valid backends: {}",
+            names.join("|")
+        );
+        std::process::exit(2);
+    })
+}
+
 /// The FPGA-like machine every driver measures on, under the selected
 /// execution backend and fetch-charging mode.
 pub fn machine_config() -> VmConfig {

@@ -59,13 +59,48 @@ pub(crate) fn new_backend(cfg: &VmConfig, code_len: usize) -> Box<dyn ExecBacken
         BackendKind::Reference => Box::new(Engine::<InterpBody>::new(cfg, false, code_len)),
         BackendKind::Chained => Box::new(Engine::<InterpBody>::new(cfg, true, code_len)),
         BackendKind::Template => Box::new(Engine::<TemplateBody>::new(cfg, true, code_len)),
+        BackendKind::Native => new_native(cfg, code_len),
     }
+}
+
+/// The native tier, or its fallback where the emitter cannot target the
+/// host (non-x86-64, non-Linux, miri).
+fn new_native(cfg: &VmConfig, code_len: usize) -> Box<dyn ExecBackend> {
+    #[cfg(all(target_arch = "x86_64", target_os = "linux", not(miri)))]
+    if crate::codegen::supported() {
+        return Box::new(Engine::<crate::codegen::NativeBody>::new(
+            cfg, true, code_len,
+        ));
+    }
+    native_fallback(cfg, code_len)
+}
+
+/// The template tier running under the `Native` label — results are
+/// bit-identical (that is the whole point of the differential matrix), so
+/// every suite and driver stays green on hosts without the JIT. Logs a
+/// note once per process so the substitution is never silent.
+fn native_fallback(cfg: &VmConfig, code_len: usize) -> Box<dyn ExecBackend> {
+    static NOTE: std::sync::Once = std::sync::Once::new();
+    NOTE.call_once(|| {
+        eprintln!(
+            "cheri-vm: the native backend has no emitter for this host; \
+             running the template tier under the `native` label"
+        );
+    });
+    Box::new(Engine::<TemplateBody>::new(cfg, true, code_len))
 }
 
 /// What a compiled block is to a particular backend.
 pub(crate) trait BlockRepr: Clone + fmt::Debug + Send + Sync + 'static {
-    /// Compiles the (possibly peephole-rewritten) micro-ops.
-    fn compile(ops: &[FlatOp]) -> Self;
+    /// Per-engine compilation context, threaded into every `compile`.
+    /// `()` for the interpreted tiers; the native tier's executable
+    /// [`crate::codegen`] code buffer. Cloning a context must yield a
+    /// context fit for an *independent* engine clone (the native buffer
+    /// seals itself and hands the clone an empty one).
+    type Cx: Default + Clone + fmt::Debug + Send + Sync;
+    /// Compiles the (possibly peephole-rewritten) micro-ops of the block
+    /// entered at `start`.
+    fn compile(ops: &[FlatOp], start: u64, cx: &Self::Cx) -> Self;
     /// Executes the block body entered at `entry`. `Ok` is the next pc
     /// after the terminal; `Err` carries the pc of the trapping op so the
     /// engine can unwind the hoisted statistics positionally.
@@ -96,10 +131,12 @@ struct Compiled<R> {
 /// per-block execution counters for stat hoisting, and the dispatch loop
 /// with optional block chaining.
 #[derive(Clone, Debug)]
-pub(crate) struct Engine<R> {
+pub(crate) struct Engine<R: BlockRepr> {
     kind: BackendKind,
     chain: bool,
     opt: OptLevel,
+    /// Per-engine compile context (the native tier's code buffer).
+    cx: R::Cx,
     /// `index[pc]` is the compiled block entered at `pc`, or `u32::MAX`.
     index: Vec<u32>,
     blocks: Vec<Compiled<R>>,
@@ -121,6 +158,7 @@ impl<R: BlockRepr> Engine<R> {
             kind: cfg.backend,
             chain,
             opt: cfg.opt,
+            cx: R::Cx::default(),
             index: vec![u32::MAX; code_len],
             blocks: Vec::new(),
             execs: Vec::new(),
@@ -158,11 +196,12 @@ impl<R: BlockRepr> Engine<R> {
             opt::peephole(&mut block);
         }
         let id = self.blocks.len() as u32;
+        let body = R::compile(&block.ops, block.start, &self.cx);
         self.blocks.push(Compiled {
             start: block.start,
             len: block.instr_len(),
             base_cycles: block.base_cycles,
-            body: R::compile(&block.ops),
+            body,
             raw: block.raw,
             hist: block.hist,
             exit: block.exit,
@@ -326,7 +365,9 @@ impl<R: BlockRepr> ExecBackend for Engine<R> {
 pub(crate) struct InterpBody(Box<[FlatOp]>);
 
 impl BlockRepr for InterpBody {
-    fn compile(ops: &[FlatOp]) -> InterpBody {
+    type Cx = ();
+
+    fn compile(ops: &[FlatOp], _start: u64, _cx: &()) -> InterpBody {
         InterpBody(ops.into())
     }
 
@@ -366,7 +407,9 @@ pub(crate) struct TOp {
 pub(crate) struct TemplateBody(Box<[TOp]>);
 
 impl BlockRepr for TemplateBody {
-    fn compile(ops: &[FlatOp]) -> TemplateBody {
+    type Cx = ();
+
+    fn compile(ops: &[FlatOp], _start: u64, _cx: &()) -> TemplateBody {
         TemplateBody(ops.iter().map(bind).collect())
     }
 
@@ -728,13 +771,44 @@ mod tests {
 
     #[test]
     fn backend_kinds_round_trip_through_the_factory() {
-        for kind in [
-            BackendKind::Reference,
-            BackendKind::Chained,
-            BackendKind::Template,
-        ] {
+        for kind in BackendKind::ALL {
             let cfg = VmConfig::functional().with_backend(kind);
             assert_eq!(new_backend(&cfg, 4).kind(), kind);
         }
+    }
+
+    #[test]
+    fn native_fallback_reports_the_native_label_and_runs() {
+        // The explicit fallback engine — what `Native` builds on hosts
+        // without the emitter (and the path the non-x86_64 cfg of
+        // `new_native` always takes). It must report the configured kind,
+        // not its template substrate, and execute correctly.
+        let cfg = VmConfig::functional().with_backend(BackendKind::Native);
+        let mut backend = native_fallback(&cfg, 4);
+        assert_eq!(backend.kind(), BackendKind::Native);
+        let mut vm = crate::machine::Vm::new(
+            {
+                let mut p = cheri_isa::Program::new();
+                p.code = vec![
+                    Instr::li(4, 41),
+                    Instr::i2(Op::Addiu, 4, 4, 1),
+                    Instr::syscall(0),
+                ];
+                p
+            },
+            cfg,
+        );
+        let exit = backend.run(&mut vm, 1_000).expect("fallback runs");
+        assert_eq!(exit.code, 42);
+    }
+
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux", not(miri))))]
+    #[test]
+    fn native_backend_falls_back_where_unsupported() {
+        assert!(!crate::codegen::supported());
+        let cfg = VmConfig::functional().with_backend(BackendKind::Native);
+        // The factory silently substitutes the template tier but keeps
+        // the `Native` label for drivers and stats.
+        assert_eq!(new_backend(&cfg, 4).kind(), BackendKind::Native);
     }
 }

@@ -1,0 +1,730 @@
+//! A minimal x86-64 assembler and the per-block code generator.
+//!
+//! [`emit_block`] lowers one straight-line block of [`FlatOp`] micro-ops
+//! to System-V x86-64 machine code with the ABI described in
+//! [`super::jit`]: `fn(regs: *mut u64, vm: *mut Vm, ctx: *mut TrapCtx) ->
+//! u64` where the return value is the next pc, or [`super::jit::SENTINEL`]
+//! with the trap parked in `ctx`. Guest registers live in the `regs`
+//! array; reads of `r0` materialize zero and writes to it are skipped at
+//! emit time, mirroring `Vm::reg`/`Vm::set_reg`.
+//!
+//! Two prologue shapes are emitted. A block with no trampolined op keeps
+//! the incoming argument registers live (`rdi` = guest register file,
+//! `rdx` = trap context) and clobbers only caller-saved scratch — the hot
+//! ALU/branch loop bodies pay no stack traffic at all. A block that calls
+//! the interpreter shim pins the three pointers in callee-saved `r12`
+//! (regs), `r13` (vm) and `r14` (ctx) so they survive the calls.
+//!
+//! Everything here writes plain bytes into a `Vec<u8>`; nothing in this
+//! module is `unsafe`. Making the bytes executable (and calling them) is
+//! [`super::jit`]'s job.
+
+use crate::ir::FlatOp;
+
+// Register numbers (the low 3 bits of modrm/SIB fields; bit 3 goes in
+// the REX prefix).
+const RAX: u8 = 0;
+const RCX: u8 = 1;
+const RDX: u8 = 2;
+const RSI: u8 = 6;
+const RDI: u8 = 7;
+const R11: u8 = 11;
+const R12: u8 = 12;
+const R13: u8 = 13;
+const R14: u8 = 14;
+
+// Condition codes (the low nibble of `0F 9x` setcc / `0F 4x` cmovcc /
+// `0F 8x` jcc).
+const CC_NO: u8 = 0x1;
+const CC_B: u8 = 0x2;
+const CC_E: u8 = 0x4;
+const CC_NE: u8 = 0x5;
+const CC_L: u8 = 0xC;
+const CC_GE: u8 = 0xD;
+const CC_LE: u8 = 0xE;
+const CC_G: u8 = 0xF;
+
+// `81 /ext` ALU immediate-form extensions and the matching `r/m64, r64`
+// opcodes.
+const EXT_ADD: u8 = 0;
+const EXT_OR: u8 = 1;
+const EXT_AND: u8 = 4;
+const EXT_XOR: u8 = 6;
+const EXT_CMP: u8 = 7;
+const OP_ADD: u8 = 0x01;
+const OP_OR: u8 = 0x09;
+const OP_AND: u8 = 0x21;
+const OP_SUB: u8 = 0x29;
+const OP_XOR: u8 = 0x31;
+const OP_CMP: u8 = 0x39;
+const OP_TEST: u8 = 0x85;
+
+// `C1`/`D3 /ext` shift extensions.
+const SH_SHL: u8 = 4;
+const SH_SHR: u8 = 5;
+const SH_SAR: u8 = 7;
+
+/// Byte buffer plus the fixup list for forward jumps to the epilogue.
+struct Asm {
+    buf: Vec<u8>,
+    /// Offsets of 4-byte rel32 placeholders that must land on the
+    /// epilogue.
+    epi_fixups: Vec<usize>,
+}
+
+impl Asm {
+    fn new() -> Asm {
+        Asm {
+            buf: Vec::with_capacity(128),
+            epi_fixups: Vec::new(),
+        }
+    }
+
+    fn imm32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn imm64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// REX.W prefix with the R (modrm reg) and B (modrm rm / opcode reg)
+    /// extension bits.
+    fn rex(&mut self, reg: u8, rm: u8) {
+        self.buf
+            .push(0x48 | (u8::from(reg >= 8) << 2) | u8::from(rm >= 8));
+    }
+
+    /// modrm byte for a register-direct (mode 11) operand.
+    fn modrm_rr(&mut self, reg: u8, rm: u8) {
+        self.buf.push(0xC0 | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    /// modrm (+SIB) + displacement for a `[base + disp]` operand.
+    fn modrm_mem(&mut self, reg: u8, base: u8, disp: i32) {
+        let short = (-128..=127).contains(&disp);
+        let mode = if short { 0x40 } else { 0x80 };
+        self.buf.push(mode | ((reg & 7) << 3) | (base & 7));
+        if base & 7 == 4 {
+            // rsp/r12 as base needs a SIB byte (index = none).
+            self.buf.push(0x24);
+        }
+        if short {
+            self.buf.push(disp as u8);
+        } else {
+            self.imm32(disp);
+        }
+    }
+
+    /// `mov dst, qword [base + disp]`
+    fn load(&mut self, dst: u8, base: u8, disp: i32) {
+        self.rex(dst, base);
+        self.buf.push(0x8B);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `mov qword [base + disp], src`
+    fn store(&mut self, base: u8, disp: i32, src: u8) {
+        self.rex(src, base);
+        self.buf.push(0x89);
+        self.modrm_mem(src, base, disp);
+    }
+
+    /// `mov qword [base + disp], imm32` (sign-extended)
+    fn store_imm32(&mut self, base: u8, disp: i32, v: i32) {
+        self.rex(0, base);
+        self.buf.push(0xC7);
+        self.modrm_mem(0, base, disp);
+        self.imm32(v);
+    }
+
+    /// `mov dst, src`
+    fn mov_rr(&mut self, dst: u8, src: u8) {
+        self.rex(src, dst);
+        self.buf.push(0x89);
+        self.modrm_rr(src, dst);
+    }
+
+    /// `mov dst, imm` in the shortest encoding. Never touches FLAGS, so
+    /// it is safe between a compare and its cmov.
+    fn mov_imm(&mut self, dst: u8, v: u64) {
+        if u32::try_from(v).is_ok() {
+            // mov r32, imm32 zero-extends.
+            if dst >= 8 {
+                self.buf.push(0x41);
+            }
+            self.buf.push(0xB8 + (dst & 7));
+            self.imm32(v as u32 as i32);
+        } else if let Ok(s) = i32::try_from(v as i64) {
+            // mov r/m64, imm32 sign-extends.
+            self.rex(0, dst);
+            self.buf.push(0xC7);
+            self.modrm_rr(0, dst);
+            self.imm32(s);
+        } else {
+            // movabs r64, imm64.
+            self.buf.push(0x48 | u8::from(dst >= 8));
+            self.buf.push(0xB8 + (dst & 7));
+            self.imm64(v);
+        }
+    }
+
+    /// `op dst, src` for the `r/m64, r64` ALU opcodes ([`OP_ADD`]…).
+    fn alu_rr(&mut self, opcode: u8, dst: u8, src: u8) {
+        self.rex(src, dst);
+        self.buf.push(opcode);
+        self.modrm_rr(src, dst);
+    }
+
+    /// `op dst, imm32` via `81/83 /ext` (imm always sign-extended to 64
+    /// bits, which reproduces the operand exactly whenever it fits i32).
+    fn alu_imm(&mut self, ext: u8, dst: u8, v: i32) {
+        self.rex(0, dst);
+        if (-128..=127).contains(&v) {
+            self.buf.push(0x83);
+            self.modrm_rr(ext, dst);
+            self.buf.push(v as u8);
+        } else {
+            self.buf.push(0x81);
+            self.modrm_rr(ext, dst);
+            self.imm32(v);
+        }
+    }
+
+    /// `imul dst, src` (64-bit low half — exactly `wrapping_mul`).
+    fn imul(&mut self, dst: u8, src: u8) {
+        self.rex(dst, src);
+        self.buf.extend_from_slice(&[0x0F, 0xAF]);
+        self.modrm_rr(dst, src);
+    }
+
+    /// `not dst`
+    fn not(&mut self, dst: u8) {
+        self.rex(0, dst);
+        self.buf.push(0xF7);
+        self.modrm_rr(2, dst);
+    }
+
+    /// `shl/shr/sar dst, cl` (count masked to 63 by hardware, matching
+    /// the interpreter's `& 63`).
+    fn shift_cl(&mut self, ext: u8, dst: u8) {
+        self.rex(0, dst);
+        self.buf.push(0xD3);
+        self.modrm_rr(ext, dst);
+    }
+
+    /// `shl/shr/sar dst, imm8`
+    fn shift_imm(&mut self, ext: u8, dst: u8, n: u8) {
+        self.rex(0, dst);
+        self.buf.push(0xC1);
+        self.modrm_rr(ext, dst);
+        self.buf.push(n & 63);
+    }
+
+    /// `setcc dst` — `dst` must be rax or rcx (al/cl need no REX).
+    fn setcc(&mut self, cc: u8, dst: u8) {
+        debug_assert!(dst <= RCX);
+        self.buf.extend_from_slice(&[0x0F, 0x90 + cc]);
+        self.modrm_rr(0, dst);
+    }
+
+    /// `movzx dst, src8` — `src` must be rax or rcx.
+    fn movzx8(&mut self, dst: u8, src: u8) {
+        debug_assert!(src <= RCX);
+        self.rex(dst, src);
+        self.buf.extend_from_slice(&[0x0F, 0xB6]);
+        self.modrm_rr(dst, src);
+    }
+
+    /// `cmovcc dst, src`
+    fn cmov(&mut self, cc: u8, dst: u8, src: u8) {
+        self.rex(dst, src);
+        self.buf.extend_from_slice(&[0x0F, 0x40 + cc]);
+        self.modrm_rr(dst, src);
+    }
+
+    fn push(&mut self, r: u8) {
+        if r >= 8 {
+            self.buf.push(0x41);
+        }
+        self.buf.push(0x50 + (r & 7));
+    }
+
+    fn pop(&mut self, r: u8) {
+        if r >= 8 {
+            self.buf.push(0x41);
+        }
+        self.buf.push(0x58 + (r & 7));
+    }
+
+    /// `call r`
+    fn call(&mut self, r: u8) {
+        if r >= 8 {
+            self.buf.push(0x41);
+        }
+        self.buf.push(0xFF);
+        self.modrm_rr(2, r);
+    }
+
+    fn ret(&mut self) {
+        self.buf.push(0xC3);
+    }
+
+    /// `jcc rel32` with the target patched later; returns the placeholder
+    /// offset.
+    fn jcc_local(&mut self, cc: u8) -> usize {
+        self.buf.extend_from_slice(&[0x0F, 0x80 + cc]);
+        let pos = self.buf.len();
+        self.imm32(0);
+        pos
+    }
+
+    /// `jcc rel32` to the (not yet emitted) epilogue.
+    fn jcc_epilogue(&mut self, cc: u8) {
+        let pos = self.jcc_local(cc);
+        self.epi_fixups.push(pos);
+    }
+
+    /// `jmp rel32` to the epilogue.
+    fn jmp_epilogue(&mut self) {
+        self.buf.push(0xE9);
+        let pos = self.buf.len();
+        self.imm32(0);
+        self.epi_fixups.push(pos);
+    }
+
+    /// Points the rel32 placeholder at `pos` to the current position.
+    fn patch_here(&mut self, pos: usize) {
+        let rel = (self.buf.len() - (pos + 4)) as i32;
+        self.buf[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+    }
+}
+
+/// Does this op go through the interpreter shim instead of inline code?
+/// The list of inline ops mirrors the template tier's `bind()` exactly,
+/// minus loads/stores and division (which bind to handlers there but
+/// trampoline here so the memory system and two-cause trap logic stay
+/// single-sourced).
+pub(super) fn trampolined(op: &FlatOp) -> bool {
+    !matches!(
+        op,
+        FlatOp::Nop
+            | FlatOp::Add { .. }
+            | FlatOp::Sub { .. }
+            | FlatOp::Addi { .. }
+            | FlatOp::Addu { .. }
+            | FlatOp::Subu { .. }
+            | FlatOp::And { .. }
+            | FlatOp::Or { .. }
+            | FlatOp::Xor { .. }
+            | FlatOp::Nor { .. }
+            | FlatOp::Slt { .. }
+            | FlatOp::Sltu { .. }
+            | FlatOp::Sllv { .. }
+            | FlatOp::Srlv { .. }
+            | FlatOp::Srav { .. }
+            | FlatOp::Mul { .. }
+            | FlatOp::Addiu { .. }
+            | FlatOp::Andi { .. }
+            | FlatOp::Ori { .. }
+            | FlatOp::Xori { .. }
+            | FlatOp::Slti { .. }
+            | FlatOp::Sltiu { .. }
+            | FlatOp::Li { .. }
+            | FlatOp::Sll { .. }
+            | FlatOp::Srl { .. }
+            | FlatOp::Sra { .. }
+            | FlatOp::Beq { .. }
+            | FlatOp::Bne { .. }
+            | FlatOp::Blez { .. }
+            | FlatOp::Bgtz { .. }
+            | FlatOp::Bltz { .. }
+            | FlatOp::Bgez { .. }
+            | FlatOp::J { .. }
+            | FlatOp::Jal { .. }
+            | FlatOp::Jr { .. }
+            | FlatOp::Jalr { .. }
+            | FlatOp::FusedCmpBranch { .. }
+    )
+}
+
+/// Ops that leave the next pc in `rax` themselves (control transfers and
+/// shim calls); everything else falls through and, when terminal, needs
+/// `rax = pc + 1` materialized.
+fn sets_next(op: &FlatOp) -> bool {
+    trampolined(op)
+        || matches!(
+            op,
+            FlatOp::Beq { .. }
+                | FlatOp::Bne { .. }
+                | FlatOp::Blez { .. }
+                | FlatOp::Bgtz { .. }
+                | FlatOp::Bltz { .. }
+                | FlatOp::Bgez { .. }
+                | FlatOp::J { .. }
+                | FlatOp::Jal { .. }
+                | FlatOp::Jr { .. }
+                | FlatOp::Jalr { .. }
+                | FlatOp::FusedCmpBranch { .. }
+        )
+}
+
+/// Emit-time environment: where the pinned pointers live for this block
+/// shape, plus the shim address for trampolined ops.
+struct Env {
+    /// Guest register file base (`rdi`, or `r12` when pinned).
+    regs: u8,
+    /// Trap context pointer (`rdx`, or `r14` when pinned).
+    ctx: u8,
+    /// `Some((vm_reg, shim_addr))` in pinned blocks.
+    shim: Option<(u8, usize)>,
+}
+
+/// `dst = guest reg r` — reads of r0 materialize zero (clobbers FLAGS).
+fn ld(a: &mut Asm, e: &Env, dst: u8, r: u8) {
+    if r == 0 {
+        a.alu_rr(OP_XOR, dst, dst);
+    } else {
+        a.load(dst, e.regs, i32::from(r) * 8);
+    }
+}
+
+/// `guest reg r = src` — writes to r0 are dropped at emit time.
+fn st(a: &mut Asm, e: &Env, r: u8, src: u8) {
+    if r != 0 {
+        a.store(e.regs, i32::from(r) * 8, src);
+    }
+}
+
+/// `op rax, imm` picking the imm32 form when the value survives the
+/// sign-extension round trip, else materializing through rcx.
+fn alu_rax_imm(a: &mut Asm, opcode: u8, ext: u8, v: u64) {
+    if let Ok(s) = i32::try_from(v as i64) {
+        a.alu_imm(ext, RAX, s);
+    } else {
+        a.mov_imm(RCX, v);
+        a.alu_rr(opcode, RAX, RCX);
+    }
+}
+
+/// `rd = (rs <cc> rt) ? 1 : 0` for the compare family.
+fn cmp_set(a: &mut Asm, e: &Env, cc: u8, rd: u8, rs: u8, rt: u8) {
+    ld(a, e, RAX, rs);
+    ld(a, e, RCX, rt);
+    a.alu_rr(OP_CMP, RAX, RCX);
+    a.setcc(cc, RAX);
+    a.movzx8(RAX, RAX);
+    st(a, e, rd, RAX);
+}
+
+/// `rax = cc ? target : fall` off already-latched FLAGS.
+fn pick_next(a: &mut Asm, cc: u8, target: u64, fall: u64) {
+    a.mov_imm(RAX, fall);
+    a.mov_imm(RCX, target);
+    a.cmov(cc, RAX, RCX);
+}
+
+/// The overflow check after a trapping add/sub: on OF, park
+/// `(pc, IntegerOverflow)` in the trap context and return the sentinel.
+fn trap_on_overflow(a: &mut Asm, e: &Env, pc: u64) {
+    let ok = a.jcc_local(CC_NO);
+    a.mov_imm(RCX, pc);
+    a.store(e.ctx, 0, RCX); // ctx.trap_pc
+    a.store_imm32(e.ctx, 8, 1); // ctx.inline_cause = overflow
+    a.mov_imm(RAX, u64::MAX); // SENTINEL
+    a.jmp_epilogue();
+    a.patch_here(ok);
+}
+
+/// Call the interpreter shim for one trampolined op. On a mid-block op
+/// the sentinel return short-circuits to the epilogue; a terminal op's
+/// return value (next pc or sentinel) falls through as the block result.
+fn call_shim(a: &mut Asm, e: &Env, op: &FlatOp, pc: u64, last: bool) {
+    let (vm, shim) = e.shim.expect("trampolined op outside a pinned block");
+    a.mov_rr(RDI, vm);
+    a.mov_imm(RSI, op as *const FlatOp as u64);
+    a.mov_imm(RDX, pc);
+    a.mov_rr(RCX, e.ctx);
+    a.mov_imm(R11, shim as u64);
+    a.call(R11);
+    if !last {
+        a.alu_imm(EXT_CMP, RAX, -1);
+        a.jcc_epilogue(CC_E);
+    }
+}
+
+fn emit_op(a: &mut Asm, e: &Env, op: &FlatOp, pc: u64, last: bool) {
+    use FlatOp::*;
+    match *op {
+        Nop => {}
+        Addu { rd, rs, rt } => bin(a, e, OP_ADD, rd, rs, rt),
+        Subu { rd, rs, rt } => bin(a, e, OP_SUB, rd, rs, rt),
+        And { rd, rs, rt } => bin(a, e, OP_AND, rd, rs, rt),
+        Or { rd, rs, rt } => bin(a, e, OP_OR, rd, rs, rt),
+        Xor { rd, rs, rt } => bin(a, e, OP_XOR, rd, rs, rt),
+        Nor { rd, rs, rt } => {
+            ld(a, e, RAX, rs);
+            ld(a, e, RCX, rt);
+            a.alu_rr(OP_OR, RAX, RCX);
+            a.not(RAX);
+            st(a, e, rd, RAX);
+        }
+        Slt { rd, rs, rt } => cmp_set(a, e, CC_L, rd, rs, rt),
+        Sltu { rd, rs, rt } => cmp_set(a, e, CC_B, rd, rs, rt),
+        Sllv { rd, rs, rt } => shift_var(a, e, SH_SHL, rd, rs, rt),
+        Srlv { rd, rs, rt } => shift_var(a, e, SH_SHR, rd, rs, rt),
+        Srav { rd, rs, rt } => shift_var(a, e, SH_SAR, rd, rs, rt),
+        Mul { rd, rs, rt } => {
+            ld(a, e, RAX, rs);
+            ld(a, e, RCX, rt);
+            a.imul(RAX, RCX);
+            st(a, e, rd, RAX);
+        }
+        Add { rd, rs, rt } => {
+            ld(a, e, RAX, rs);
+            ld(a, e, RCX, rt);
+            a.alu_rr(OP_ADD, RAX, RCX);
+            trap_on_overflow(a, e, pc);
+            st(a, e, rd, RAX);
+        }
+        Sub { rd, rs, rt } => {
+            ld(a, e, RAX, rs);
+            ld(a, e, RCX, rt);
+            a.alu_rr(OP_SUB, RAX, RCX);
+            trap_on_overflow(a, e, pc);
+            st(a, e, rd, RAX);
+        }
+        Addi { rd, rs, imm } => {
+            ld(a, e, RAX, rs);
+            alu_rax_imm(a, OP_ADD, EXT_ADD, imm as u64);
+            trap_on_overflow(a, e, pc);
+            st(a, e, rd, RAX);
+        }
+        Addiu { rd, rs, imm } => imm_alu(a, e, OP_ADD, EXT_ADD, rd, rs, imm),
+        Andi { rd, rs, imm } => imm_alu(a, e, OP_AND, EXT_AND, rd, rs, imm),
+        Ori { rd, rs, imm } => imm_alu(a, e, OP_OR, EXT_OR, rd, rs, imm),
+        Xori { rd, rs, imm } => imm_alu(a, e, OP_XOR, EXT_XOR, rd, rs, imm),
+        Slti { rd, rs, imm } => {
+            ld(a, e, RAX, rs);
+            alu_rax_imm(a, OP_CMP, EXT_CMP, imm as u64);
+            a.setcc(CC_L, RAX);
+            a.movzx8(RAX, RAX);
+            st(a, e, rd, RAX);
+        }
+        Sltiu { rd, rs, imm } => {
+            ld(a, e, RAX, rs);
+            alu_rax_imm(a, OP_CMP, EXT_CMP, imm);
+            a.setcc(CC_B, RAX);
+            a.movzx8(RAX, RAX);
+            st(a, e, rd, RAX);
+        }
+        Li { rd, v } => {
+            if rd != 0 {
+                a.mov_imm(RAX, v);
+                st(a, e, rd, RAX);
+            }
+        }
+        Sll { rd, rs, sh } => shift_const(a, e, SH_SHL, rd, rs, sh),
+        Srl { rd, rs, sh } => shift_const(a, e, SH_SHR, rd, rs, sh),
+        Sra { rd, rs, sh } => shift_const(a, e, SH_SAR, rd, rs, sh),
+        Beq { rs, rt, target } => reg_branch(a, e, CC_E, rs, rt, target, pc),
+        Bne { rs, rt, target } => reg_branch(a, e, CC_NE, rs, rt, target, pc),
+        Blez { rs, target } => zero_branch(a, e, CC_LE, rs, target, pc),
+        Bgtz { rs, target } => zero_branch(a, e, CC_G, rs, target, pc),
+        Bltz { rs, target } => zero_branch(a, e, CC_L, rs, target, pc),
+        Bgez { rs, target } => zero_branch(a, e, CC_GE, rs, target, pc),
+        J { target } => a.mov_imm(RAX, target),
+        Jal { target } => {
+            a.mov_imm(RCX, pc + 1);
+            st(a, e, cheri_isa::RA, RCX);
+            a.mov_imm(RAX, target);
+        }
+        Jr { rs } => ld(a, e, RAX, rs),
+        Jalr { rd, rs } => {
+            // Read the target before writing the link: `jalr r, r` must
+            // jump to the register's old value.
+            ld(a, e, RAX, rs);
+            a.mov_imm(RCX, pc + 1);
+            st(a, e, rd, RCX);
+        }
+        FusedCmpBranch {
+            rd,
+            rs,
+            rt,
+            imm,
+            signed,
+            imm_form,
+            branch_if,
+            target,
+        } => {
+            ld(a, e, RAX, rs);
+            if imm_form {
+                alu_rax_imm(a, OP_CMP, EXT_CMP, imm as u64);
+            } else {
+                ld(a, e, RCX, rt);
+                a.alu_rr(OP_CMP, RAX, RCX);
+            }
+            a.setcc(if signed { CC_L } else { CC_B }, RAX);
+            a.movzx8(RAX, RAX);
+            st(a, e, rd, RAX);
+            a.alu_rr(OP_TEST, RAX, RAX);
+            // The fused pair covers two source instructions: fall = pc+2.
+            pick_next(a, if branch_if { CC_NE } else { CC_E }, target, pc + 2);
+        }
+        // Division, loads/stores, capability ops, syscalls and the rest
+        // of the long tail: one interpreter round trip.
+        _ => call_shim(a, e, op, pc, last),
+    }
+    if last && !sets_next(op) {
+        a.mov_imm(RAX, pc + 1);
+    }
+}
+
+/// `rd = rs <op> rt` for the wrapping/logical register ALU family.
+fn bin(a: &mut Asm, e: &Env, opcode: u8, rd: u8, rs: u8, rt: u8) {
+    ld(a, e, RAX, rs);
+    ld(a, e, RCX, rt);
+    a.alu_rr(opcode, RAX, RCX);
+    st(a, e, rd, RAX);
+}
+
+/// `rd = rs <op> imm` for the immediate ALU family.
+fn imm_alu(a: &mut Asm, e: &Env, opcode: u8, ext: u8, rd: u8, rs: u8, imm: u64) {
+    ld(a, e, RAX, rs);
+    alu_rax_imm(a, opcode, ext, imm);
+    st(a, e, rd, RAX);
+}
+
+/// `rd = rs <shift> (rt & 63)` — the hardware masks cl to 6 bits for
+/// 64-bit shifts, exactly the interpreter's semantics.
+fn shift_var(a: &mut Asm, e: &Env, ext: u8, rd: u8, rs: u8, rt: u8) {
+    ld(a, e, RAX, rs);
+    ld(a, e, RCX, rt);
+    a.shift_cl(ext, RAX);
+    st(a, e, rd, RAX);
+}
+
+/// `rd = rs <shift> sh` with a constant count.
+fn shift_const(a: &mut Asm, e: &Env, ext: u8, rd: u8, rs: u8, sh: u32) {
+    ld(a, e, RAX, rs);
+    a.shift_imm(ext, RAX, sh as u8);
+    st(a, e, rd, RAX);
+}
+
+/// Two-register conditional branch terminal.
+fn reg_branch(a: &mut Asm, e: &Env, cc: u8, rs: u8, rt: u8, target: u64, pc: u64) {
+    ld(a, e, RAX, rs);
+    ld(a, e, RCX, rt);
+    a.alu_rr(OP_CMP, RAX, RCX);
+    pick_next(a, cc, target, pc + 1);
+}
+
+/// Compare-against-zero conditional branch terminal.
+fn zero_branch(a: &mut Asm, e: &Env, cc: u8, rs: u8, target: u64, pc: u64) {
+    ld(a, e, RAX, rs);
+    a.alu_imm(EXT_CMP, RAX, 0);
+    pick_next(a, cc, target, pc + 1);
+}
+
+/// Lowers one block to machine code. `ops` must be the final (stable)
+/// storage of the micro-ops: trampolined ops embed their element's
+/// address into the emitted code. `shim` is the address of
+/// [`super::jit::flat_shim`].
+pub(super) fn emit_block(ops: &[FlatOp], start: u64, shim: usize) -> Vec<u8> {
+    let pinned = ops.iter().any(trampolined);
+    let mut a = Asm::new();
+    let e = if pinned {
+        // Calls clobber the argument registers, so park the three
+        // pointers in callee-saved registers. Three pushes also restore
+        // the 16-byte stack alignment the SysV ABI requires at each call.
+        a.push(R12);
+        a.push(R13);
+        a.push(R14);
+        a.mov_rr(R12, RDI);
+        a.mov_rr(R13, RSI);
+        a.mov_rr(R14, RDX);
+        Env {
+            regs: R12,
+            ctx: R14,
+            shim: Some((R13, shim)),
+        }
+    } else {
+        Env {
+            regs: RDI,
+            ctx: RDX,
+            shim: None,
+        }
+    };
+    let n = ops.len();
+    for (i, op) in ops.iter().enumerate() {
+        emit_op(&mut a, &e, op, start + i as u64, i + 1 == n);
+    }
+    // Epilogue: every early-out lands here with the result in rax.
+    let epi_fixups = std::mem::take(&mut a.epi_fixups);
+    for pos in epi_fixups {
+        a.patch_here(pos);
+    }
+    if pinned {
+        a.pop(R14);
+        a.pop(R13);
+        a.pop(R12);
+    }
+    a.ret();
+    a.buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trampoline_classification_matches_the_template_tier() {
+        // Inline: the whole integer ALU/branch matrix `bind()` binds.
+        assert!(!trampolined(&FlatOp::Addu {
+            rd: 1,
+            rs: 2,
+            rt: 3
+        }));
+        assert!(!trampolined(&FlatOp::Li { rd: 1, v: 7 }));
+        assert!(!trampolined(&FlatOp::J { target: 3 }));
+        // Trampolined: division and memory ops (bound in the template
+        // tier, interpreted here) plus the `Other` long tail.
+        assert!(trampolined(&FlatOp::Div {
+            rd: 1,
+            rs: 2,
+            rt: 3
+        }));
+        assert!(trampolined(&FlatOp::Load {
+            rd: 1,
+            base: 2,
+            off: 0,
+            width: 8,
+            signed: false,
+            via_cap: false,
+        }));
+    }
+
+    #[test]
+    fn pure_blocks_have_no_prologue_and_end_in_ret() {
+        let code = emit_block(&[FlatOp::Li { rd: 8, v: 42 }], 0, 0);
+        // mov eax, 42; mov [rdi+64], rax; mov eax, 1; ret
+        assert_eq!(code.first(), Some(&0xB8), "starts with mov eax, imm32");
+        assert_eq!(code.last(), Some(&0xC3), "ends with ret");
+        assert!(!code.starts_with(&[0x41, 0x54]), "no push r12 prologue");
+    }
+
+    #[test]
+    fn shim_blocks_pin_callee_saved_registers() {
+        let code = emit_block(
+            &[FlatOp::Div {
+                rd: 1,
+                rs: 2,
+                rt: 3,
+            }],
+            0,
+            0x1000,
+        );
+        assert!(code.starts_with(&[0x41, 0x54, 0x41, 0x55, 0x41, 0x56]));
+        assert_eq!(code.last(), Some(&0xC3));
+    }
+}

@@ -1,0 +1,46 @@
+//! Native code generation for [`crate::config::BackendKind::Native`].
+//!
+//! The native tier is the last rung of the dispatch ladder: at block
+//! compile time it walks the same micro-op × specialization matrix the
+//! template tier's `bind()` enumerates and emits x86-64 machine code per
+//! block into a W^X executable buffer. The split of labor is deliberate:
+//!
+//! * **Inline**: integer ALU ops, immediates, shifts, compares, branches,
+//!   jumps, and the fused compare-and-branch compile to straight-line
+//!   machine code operating on a pinned register-file pointer.
+//! * **Trampolined**: capability ops, loads/stores, division, syscalls
+//!   and the `Other` long tail call back through one `extern "C"` shim
+//!   into [`crate::machine::Vm::exec_flat`], so the capability model (and
+//!   every trap decision) stays interpreted and single-sourced.
+//!
+//! A block body is a function `fn(regs, vm, ctx) -> next_pc` returning
+//! [`jit::SENTINEL`] on trap with the pc/cause parked in a stack-local
+//! [`jit::TrapCtx`]; the generic engine then unwinds hoisted statistics
+//! through the same `unwind_partial` path every other backend uses, which
+//! is what keeps trap pcs, register snapshots, cycles, `fetch_checks` and
+//! the traffic ledger bit-identical to the reference oracle.
+//!
+//! Code lives in [`jit::CodeBuf`] — per-engine chunks, each an anonymous
+//! memfd mapped twice: a read+write view the assembler copies bodies
+//! into and a read+execute view entry points come from, so no mapping is
+//! ever writable and executable at once and a compiled block costs zero
+//! syscalls. Retired chunk pairs recycle through a small process-wide
+//! pool with their pages still faulted in. Hosts the emitter cannot
+//! target (non-x86-64, non-Linux, miri) run the template tier under the
+//! `Native` label instead; see [`supported`].
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux", not(miri)))]
+mod emit;
+#[cfg(all(target_arch = "x86_64", target_os = "linux", not(miri)))]
+mod jit;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux", not(miri)))]
+pub(crate) use jit::NativeBody;
+
+/// True when this build can emit and execute native block bodies. When
+/// false, [`crate::backend::new_backend`] quietly substitutes the template
+/// tier for `BackendKind::Native` (with a one-time logged note), so every
+/// suite and driver stays green on every host.
+pub(crate) fn supported() -> bool {
+    cfg!(all(target_arch = "x86_64", target_os = "linux", not(miri)))
+}

@@ -25,14 +25,20 @@ pub enum BackendKind {
     /// The template tier: each micro-op pre-bound to a monomorphized
     /// handler at block compile time, plus chaining.
     Template,
+    /// The native tier: each block JIT-compiled to host machine code in a
+    /// W^X buffer (x86-64 only; other hosts silently run the template
+    /// tier under this label), plus chaining. Capability ops, memory ops
+    /// and syscalls trampoline into the interpreter.
+    Native,
 }
 
 impl BackendKind {
     /// All backends, reference first (differential-suite order).
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Reference,
         BackendKind::Chained,
         BackendKind::Template,
+        BackendKind::Native,
     ];
 
     /// Driver-facing name (`fig1 -- <scale> template`).
@@ -41,6 +47,7 @@ impl BackendKind {
             BackendKind::Reference => "reference",
             BackendKind::Chained => "chained",
             BackendKind::Template => "template",
+            BackendKind::Native => "native",
         }
     }
 

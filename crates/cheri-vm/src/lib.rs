@@ -36,6 +36,7 @@
 //! ```
 
 mod backend;
+mod codegen;
 mod config;
 mod ir;
 mod machine;

@@ -14,9 +14,10 @@
 //! is tallied and bounded, not forbidden: that is the imprecision budget.
 //!
 //! The generator is deterministic (no proptest shrinking needed — every
-//! seed is checked, every failure names its seed) and emits four program
+//! seed is checked, every failure names its seed) and emits six program
 //! shapes per seed class: pure arithmetic, pointer→`long` round trips,
-//! `intptr_t` round trips, and flag-masking stashes.
+//! `intptr_t` round trips, flag-masking stashes, nested-loop pointer
+//! walks, and pointer escapes across a call boundary.
 
 use cheri::compile::{compile, Abi};
 use cheri::interp::{run_main, ModelKind};
@@ -109,12 +110,60 @@ fn gen_mask_stash(seed: u64) -> String {
     )
 }
 
+/// Nested-loop pointer walk: repeated passes over an array through a
+/// derived pointer, every deref indexed by the inner counter so the
+/// lint's interval analysis can prove it in bounds (and every load
+/// masked before accumulating so the AIR overflow check stays provable
+/// too). Portable by construction — the lint must prove it.
+fn gen_nested_walk(seed: u64) -> String {
+    let n = (mix(seed) % 4 + 2) as i64; // array length, 2..=5
+    let k = (mix(seed ^ 1) % 9 + 1) as i64; // fill multiplier
+    let r = (mix(seed ^ 2) % 3 + 2) as i64; // outer passes, 2..=4
+    format!(
+        "int main(void) {{\n\
+         \x20   int a[{n}];\n\
+         \x20   int *p = a;\n\
+         \x20   int i;\n\
+         \x20   int j;\n\
+         \x20   int s = 0;\n\
+         \x20   for (j = 0; j < {n}; j++) {{ p[j] = j * {k}; }}\n\
+         \x20   for (i = 0; i < {r}; i++) {{\n\
+         \x20       for (j = 0; j < {n}; j++) {{ s = s + p[j] % 32; }}\n\
+         \x20   }}\n\
+         \x20   return s % 256;\n\
+         }}\n"
+    )
+}
+
+/// Pointer escaping into a callee that stashes it through a plain
+/// `long` before dereferencing: the shape-1 round trip moved across a
+/// call boundary, so the lint's verdict depends on tracking the taint
+/// interprocedurally. Runs everywhere except the two CHERIs.
+fn gen_escape_call(seed: u64) -> String {
+    let v = (mix(seed) % 100) as i64;
+    format!(
+        "int peek(int *p) {{\n\
+         \x20   long bits = (long)p;\n\
+         \x20   int *q = (int*)bits;\n\
+         \x20   return *q;\n\
+         }}\n\
+         int main(void) {{\n\
+         \x20   int x = {v};\n\
+         \x20   int r = peek(&x);\n\
+         \x20   assert(r == {v});\n\
+         \x20   return 0;\n\
+         }}\n"
+    )
+}
+
 fn gen_program(seed: u64) -> String {
-    match seed % 4 {
+    match seed % 6 {
         0 => gen_arith(seed),
         1 => gen_plain_roundtrip(seed),
         2 => gen_intptr_roundtrip(seed),
-        _ => gen_mask_stash(seed),
+        3 => gen_mask_stash(seed),
+        4 => gen_nested_walk(seed),
+        _ => gen_escape_call(seed),
     }
 }
 
@@ -216,8 +265,8 @@ proptest! {
     /// both soundness guarantees. The deterministic sweep above covers
     /// seeds 0..520; this explores the rest of the seed space.
     #[test]
-    fn lint_is_sound_on_arbitrary_seeds(seed in 0u64..u64::MAX / 2, shape in 0u64..4) {
-        let src = gen_program(seed / 4 * 4 + shape);
+    fn lint_is_sound_on_arbitrary_seeds(seed in 0u64..u64::MAX / 2, shape in 0u64..6) {
+        let src = gen_program(seed / 6 * 6 + shape);
         let report = analyze_source(&src).expect("generated program parses");
         let unit = cheri::c::parse(&src).expect("parsed above");
         for m in ModelKind::ALL {
@@ -244,13 +293,14 @@ proptest! {
 }
 
 /// The shape-by-shape verdict profile, pinned so the analysis cannot
-/// silently drift: arithmetic and `intptr_t` round trips are portable,
-/// plain-`long` round trips lose exactly the two CHERIs, and mask
-/// stashes additionally lose the metadata-keyed schemes.
+/// silently drift: arithmetic, `intptr_t` round trips and nested-loop
+/// pointer walks are portable, plain-`long` round trips (in `main` or
+/// behind a call) lose exactly the two CHERIs, and mask stashes
+/// additionally lose the metadata-keyed schemes.
 #[test]
 fn generated_shapes_have_pinned_verdicts() {
     use ModelKind::*;
-    for seed in 0..40u64 {
+    for seed in 0..60u64 {
         let src = gen_program(seed);
         let report = analyze_source(&src).expect("generated program parses");
         let works: Vec<ModelKind> = ModelKind::ALL
@@ -258,13 +308,13 @@ fn generated_shapes_have_pinned_verdicts() {
             .copied()
             .filter(|&m| report.works(m))
             .collect();
-        match seed % 4 {
-            0 | 2 => assert!(
+        match seed % 6 {
+            0 | 2 | 4 => assert!(
                 report.portable(),
                 "seed {seed} should be portable\n{}\n{src}",
                 report.render()
             ),
-            1 => assert_eq!(
+            1 | 5 => assert_eq!(
                 works,
                 vec![Pdp11, HardBound, Mpx, Relaxed, Strict],
                 "seed {seed}\n{src}"

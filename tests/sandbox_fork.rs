@@ -13,10 +13,11 @@ use cheri::vm::{BackendKind, CapFormat, TrapCause, Vm, VmConfig, VmTrap};
 
 const TENANT_MEM: u64 = 4 << 20;
 
-const BACKENDS: [BackendKind; 3] = [
+const BACKENDS: [BackendKind; 4] = [
     BackendKind::Reference,
     BackendKind::Chained,
     BackendKind::Template,
+    BackendKind::Native,
 ];
 
 fn cfg(format: CapFormat, backend: BackendKind) -> VmConfig {
